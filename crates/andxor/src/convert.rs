@@ -1,0 +1,148 @@
+//! Conversions from the simpler representation systems into and/xor trees.
+//!
+//! Every model of `cpdb-model` embeds losslessly into a probabilistic and/xor
+//! tree (§3.2): a tuple-independent relation becomes an ∧ root whose children
+//! are one ∨ node per tuple with a single leaf; a BID relation (and an
+//! x-tuple relation) becomes an ∧ root whose children are one ∨ node per
+//! block with one leaf per alternative; an explicitly enumerated world set
+//! becomes a single ∨ root whose children are ∧ nodes spelling out each
+//! world (the construction of Figure 1(iii)).
+
+use crate::tree::{AndXorTree, AndXorTreeBuilder};
+use cpdb_model::error::ModelError;
+use cpdb_model::{BidDb, TupleIndependentDb, WorldSet, XTupleDb};
+
+/// Embeds a tuple-independent relation into an and/xor tree.
+pub fn from_tuple_independent(db: &TupleIndependentDb) -> Result<AndXorTree, ModelError> {
+    let mut b = AndXorTreeBuilder::new();
+    let mut children = Vec::with_capacity(db.len());
+    for (alt, p) in db.tuples() {
+        let leaf = b.leaf(*alt);
+        children.push(b.xor_node(vec![(leaf, *p)]));
+    }
+    let root = if children.is_empty() {
+        // An empty relation: a single ∨ node with no mass (always yields ∅)
+        // is not representable (inner nodes need children), so use a dummy
+        // leaf under a zero-probability ∨ edge.
+        let dummy = b.leaf_parts(u64::MAX, 0.0);
+        b.xor_node(vec![(dummy, 0.0)])
+    } else {
+        b.and_node(children)
+    };
+    b.build(root)
+}
+
+/// Embeds a block-independent-disjoint relation into an and/xor tree
+/// (the construction of Figure 1(i)).
+pub fn from_bid(db: &BidDb) -> Result<AndXorTree, ModelError> {
+    let mut b = AndXorTreeBuilder::new();
+    let mut children = Vec::with_capacity(db.len());
+    for block in db.blocks() {
+        let edges: Vec<_> = block
+            .alternatives()
+            .iter()
+            .map(|(v, p)| {
+                let leaf = b.leaf_parts(block.key().0, v.0);
+                (leaf, *p)
+            })
+            .collect();
+        children.push(b.xor_node(edges));
+    }
+    let root = if children.is_empty() {
+        let dummy = b.leaf_parts(u64::MAX, 0.0);
+        b.xor_node(vec![(dummy, 0.0)])
+    } else {
+        b.and_node(children)
+    };
+    b.build(root)
+}
+
+/// Embeds an x-tuple relation into an and/xor tree (via its BID form).
+pub fn from_xtuples(db: &XTupleDb) -> Result<AndXorTree, ModelError> {
+    from_bid(&db.to_bid())
+}
+
+/// Embeds an explicitly enumerated world distribution into an and/xor tree:
+/// a root ∨ node with one ∧ child per world (the construction the paper uses
+/// to show and/xor trees capture arbitrary correlations, Figure 1(iii)).
+///
+/// Empty worlds are represented by the leftover probability mass at the root.
+pub fn from_world_set(worlds: &WorldSet) -> Result<AndXorTree, ModelError> {
+    let mut b = AndXorTreeBuilder::new();
+    let mut edges = Vec::new();
+    for (w, p) in worlds.worlds() {
+        if *p <= 0.0 || w.is_empty() {
+            continue;
+        }
+        let leaves: Vec<_> = w.alternatives().iter().map(|a| b.leaf(*a)).collect();
+        let world_node = if leaves.len() == 1 {
+            leaves[0]
+        } else {
+            b.and_node(leaves)
+        };
+        edges.push((world_node, *p));
+    }
+    let root = if edges.is_empty() {
+        let dummy = b.leaf_parts(u64::MAX, 0.0);
+        b.xor_node(vec![(dummy, 0.0)])
+    } else {
+        b.xor_node(edges)
+    };
+    b.build(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_model::{Alternative, BidBlock, PossibleWorld, WorldModel, XTuple};
+
+    #[test]
+    fn tuple_independent_round_trip() {
+        let db = TupleIndependentDb::from_triples(&[(1, 10.0, 0.3), (2, 20.0, 0.8)]).unwrap();
+        let tree = from_tuple_independent(&db).unwrap();
+        assert_eq!(tree.enumerate_worlds(), db.enumerate_worlds());
+    }
+
+    #[test]
+    fn bid_round_trip() {
+        let db = BidDb::new(vec![
+            BidBlock::from_pairs(1, &[(5.0, 0.2), (6.0, 0.5)]).unwrap(),
+            BidBlock::from_pairs(2, &[(7.0, 1.0)]).unwrap(),
+        ])
+        .unwrap();
+        let tree = from_bid(&db).unwrap();
+        assert_eq!(tree.enumerate_worlds(), db.enumerate_worlds());
+    }
+
+    #[test]
+    fn xtuple_round_trip() {
+        let db = XTupleDb::new(vec![
+            XTuple::certain(1, &[(5.0, 0.5), (6.0, 0.5)]).unwrap(),
+            XTuple::maybe(2, &[(7.0, 0.25)]).unwrap(),
+        ])
+        .unwrap();
+        let tree = from_xtuples(&db).unwrap();
+        assert_eq!(tree.enumerate_worlds(), db.enumerate_worlds());
+    }
+
+    #[test]
+    fn world_set_round_trip() {
+        let w1 = PossibleWorld::new(vec![Alternative::new(1, 1.0), Alternative::new(2, 2.0)])
+            .unwrap();
+        let w2 = PossibleWorld::new(vec![Alternative::new(1, 5.0)]).unwrap();
+        let w3 = PossibleWorld::empty();
+        let ws = WorldSet::new(vec![(w1, 0.5), (w2, 0.3), (w3, 0.2)]).unwrap();
+        let tree = from_world_set(&ws).unwrap();
+        let round = tree.enumerate_worlds();
+        assert_eq!(round, ws.normalize());
+    }
+
+    #[test]
+    fn empty_models_produce_empty_world() {
+        let db = TupleIndependentDb::from_triples(&[]).unwrap();
+        let tree = from_tuple_independent(&db).unwrap();
+        let ws = tree.enumerate_worlds();
+        assert_eq!(ws.len(), 1);
+        assert!(ws.worlds()[0].0.is_empty());
+    }
+}

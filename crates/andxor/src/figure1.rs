@@ -1,0 +1,182 @@
+//! The worked examples of Figure 1 of the paper, reconstructed exactly.
+//!
+//! * **Figure 1(i)** — a block-independent-disjoint relation of four tuples
+//!   with two alternatives each; assigning `x` to every leaf yields the
+//!   world-size generating function `0.08·x² + 0.44·x³ + 0.48·x⁴`.
+//! * **Figure 1(ii)/(iii)** — a highly correlated database with exactly three
+//!   possible worlds (probabilities 0.3, 0.3, 0.4) and the and/xor tree that
+//!   captures it; assigning `y` to the leaf `(t3, 6)`, `x` to the leaves with
+//!   key ≠ t3 and score > 6, and 1 to the rest yields
+//!   `0.3·y + 0.3·x² + 0.4·x`, whose `y` coefficient (0.3) is the probability
+//!   that the alternative `(t3, 6)` is ranked first.
+//!
+//! These constructions are used by the `figure1` bench/experiment to
+//! reproduce the published polynomials digit for digit, and by tests
+//! throughout the repository as small correlated fixtures.
+
+use crate::tree::{AndXorTree, AndXorTreeBuilder};
+use cpdb_model::{BidBlock, BidDb, PossibleWorld, WorldSet};
+
+/// The BID relation of Figure 1(i): four independent probabilistic tuples,
+/// each with two mutually exclusive alternatives.
+///
+/// | tuple | alternatives (value, prob)      | presence |
+/// |-------|---------------------------------|----------|
+/// | t1    | (8, 0.1), (2, 0.5)              | 0.6      |
+/// | t2    | (3, 0.4), (4, 0.4)              | 0.8      |
+/// | t3    | (1, 0.2), (9, 0.8)              | 1.0      |
+/// | t4    | (6, 0.5), (5, 0.5)              | 1.0      |
+pub fn figure1_bid() -> BidDb {
+    BidDb::new(vec![
+        BidBlock::from_pairs(1, &[(8.0, 0.1), (2.0, 0.5)]).expect("valid block"),
+        BidBlock::from_pairs(2, &[(3.0, 0.4), (4.0, 0.4)]).expect("valid block"),
+        BidBlock::from_pairs(3, &[(1.0, 0.2), (9.0, 0.8)]).expect("valid block"),
+        BidBlock::from_pairs(4, &[(6.0, 0.5), (5.0, 0.5)]).expect("valid block"),
+    ])
+    .expect("distinct keys")
+}
+
+/// The and/xor tree form of Figure 1(i).
+pub fn figure1_bid_tree() -> AndXorTree {
+    crate::convert::from_bid(&figure1_bid()).expect("Figure 1(i) satisfies all constraints")
+}
+
+/// The coefficients of the world-size generating function stated in
+/// Figure 1(i): `Pr(|pw| = 2) = 0.08`, `Pr(|pw| = 3) = 0.44`,
+/// `Pr(|pw| = 4) = 0.48`.
+pub const FIGURE1_I_SIZE_DISTRIBUTION: [(usize, f64); 3] =
+    [(2, 0.08), (3, 0.44), (4, 0.48)];
+
+/// The three possible worlds of Figure 1(ii) with their probabilities.
+pub fn figure1_worlds() -> WorldSet {
+    let pw1 = PossibleWorld::new(vec![
+        cpdb_model::Alternative::new(3, 6.0),
+        cpdb_model::Alternative::new(2, 5.0),
+        cpdb_model::Alternative::new(1, 1.0),
+    ])
+    .expect("distinct keys");
+    let pw2 = PossibleWorld::new(vec![
+        cpdb_model::Alternative::new(3, 9.0),
+        cpdb_model::Alternative::new(1, 7.0),
+        cpdb_model::Alternative::new(4, 0.0),
+    ])
+    .expect("distinct keys");
+    let pw3 = PossibleWorld::new(vec![
+        cpdb_model::Alternative::new(2, 8.0),
+        cpdb_model::Alternative::new(4, 4.0),
+        cpdb_model::Alternative::new(5, 3.0),
+    ])
+    .expect("distinct keys");
+    WorldSet::new(vec![(pw1, 0.3), (pw2, 0.3), (pw3, 0.4)]).expect("probabilities sum to 1")
+}
+
+/// The and/xor tree of Figure 1(iii): a root ∨ node whose three children are
+/// ∧ nodes spelling out the three possible worlds.
+pub fn figure1_correlated_tree() -> AndXorTree {
+    let mut b = AndXorTreeBuilder::new();
+    // pw1 = {(t3, 6), (t2, 5), (t1, 1)} with probability 0.3
+    let w1 = {
+        let l1 = b.leaf_parts(3, 6.0);
+        let l2 = b.leaf_parts(2, 5.0);
+        let l3 = b.leaf_parts(1, 1.0);
+        b.and_node(vec![l1, l2, l3])
+    };
+    // pw2 = {(t3, 9), (t1, 7), (t4, 0)} with probability 0.3
+    let w2 = {
+        let l1 = b.leaf_parts(3, 9.0);
+        let l2 = b.leaf_parts(1, 7.0);
+        let l3 = b.leaf_parts(4, 0.0);
+        b.and_node(vec![l1, l2, l3])
+    };
+    // pw3 = {(t2, 8), (t4, 4), (t5, 3)} with probability 0.4
+    let w3 = {
+        let l1 = b.leaf_parts(2, 8.0);
+        let l2 = b.leaf_parts(4, 4.0);
+        let l3 = b.leaf_parts(5, 3.0);
+        b.and_node(vec![l1, l2, l3])
+    };
+    let root = b.xor_node(vec![(w1, 0.3), (w2, 0.3), (w3, 0.4)]);
+    b.build(root).expect("Figure 1(iii) satisfies all constraints")
+}
+
+/// The coefficients of the generating function stated in Figure 1(iii) when
+/// `y` is assigned to the leaf `(t3, 6)` and `x` to every other leaf with
+/// score greater than 6 (the figure's literal labelling, which also marks the
+/// other alternative of `t3`): `0.3·y + 0.3·x² + 0.4·x`. Marking `(t3, 9)`
+/// with `x` or with 1 does not change the rank interpretation — the
+/// coefficient of `x^{i-1}·y` is unaffected because `(t3, 9)` can never
+/// co-occur with `(t3, 6)`.
+pub const FIGURE1_III_COEFFICIENTS: [((usize, usize), f64); 3] =
+    [((0, 1), 0.3), ((2, 0), 0.3), ((1, 0), 0.4)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genfunc_eval::VarAssignment;
+    use cpdb_genfunc::{approx_eq, Truncation};
+    use cpdb_model::{Alternative, WorldModel};
+
+    #[test]
+    fn figure1_i_generating_function_matches_paper() {
+        let tree = figure1_bid_tree();
+        let dist = tree.world_size_distribution();
+        for (size, coeff) in FIGURE1_I_SIZE_DISTRIBUTION {
+            assert!(
+                approx_eq(dist.coeff(size), coeff),
+                "Pr(|pw| = {size}) = {} (paper: {coeff})",
+                dist.coeff(size)
+            );
+        }
+        assert!(approx_eq(dist.coeff(0), 0.0));
+        assert!(approx_eq(dist.coeff(1), 0.0));
+        assert!(approx_eq(dist.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn figure1_iii_tree_enumerates_to_figure1_ii_worlds() {
+        let tree = figure1_correlated_tree();
+        let ws = tree.enumerate_worlds();
+        assert_eq!(ws.normalize(), figure1_worlds().normalize());
+    }
+
+    #[test]
+    fn figure1_iii_generating_function_matches_paper() {
+        let tree = figure1_correlated_tree();
+        // The figure's literal leaf labelling: y ↦ (t3, 6); x ↦ every other
+        // leaf with score > 6; 1 ↦ everything else.
+        let poly = tree.genfunc2(Truncation::None, Truncation::None, |a| {
+            if *a == Alternative::new(3, 6.0) {
+                VarAssignment::Y
+            } else if a.value.0 > 6.0 {
+                VarAssignment::X
+            } else {
+                VarAssignment::One
+            }
+        });
+        for ((i, j), coeff) in FIGURE1_III_COEFFICIENTS {
+            assert!(
+                approx_eq(poly.coeff(i, j), coeff),
+                "coefficient of x^{i} y^{j} = {} (paper: {coeff})",
+                poly.coeff(i, j)
+            );
+        }
+        assert!(approx_eq(poly.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn figure1_iii_rank_interpretation() {
+        // The coefficient of x^0 y^1 (= 0.3) is Pr((t3, 6) is ranked first).
+        let tree = figure1_correlated_tree();
+        let ws = tree.enumerate_worlds();
+        let direct: f64 = ws
+            .worlds()
+            .iter()
+            .filter(|(w, _)| {
+                w.contains(&Alternative::new(3, 6.0))
+                    && w.rank_of(cpdb_model::TupleKey(3)) == Some(1)
+            })
+            .map(|(_, p)| *p)
+            .sum();
+        assert!(approx_eq(direct, 0.3));
+    }
+}

@@ -1,0 +1,295 @@
+//! The Hungarian algorithm (Kuhn–Munkres) for rectangular assignment.
+//!
+//! Solves `min Σ cost[i][σ(i)]` over injective assignments of rows to
+//! columns. The implementation is the classic potentials-and-augmenting-paths
+//! formulation, O(rows² · cols), and handles arbitrary finite real costs
+//! (including negative). Rectangular instances are supported directly: when
+//! `rows ≤ cols` every row is assigned; when `rows > cols` every column is
+//! assigned (the caller reads the matching from the side that is fully
+//! matched).
+//!
+//! The paper's consensus-Top-k algorithms use the *max-profit* variant: the
+//! profit of placing tuple `t` at result position `i` is
+//! `Σ_{j ≥ i} Pr(r(t) ≤ j)/j` (intersection metric, §5.3) or
+//! `-(Υ₃(t,i) + Υ₂(t) − 2(k+1)Υ₁(t))` (footrule, §5.4). Use
+//! [`max_profit_assignment`], which negates and delegates.
+
+/// The result of an assignment: for every row, the column it was assigned to
+/// (or `None` when there are more rows than columns), plus the total cost /
+/// profit of the assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[i]` is the column assigned to row `i`.
+    pub row_to_col: Vec<Option<usize>>,
+    /// `col_to_row[j]` is the row assigned to column `j`.
+    pub col_to_row: Vec<Option<usize>>,
+    /// Total objective value of the matched pairs.
+    pub objective: f64,
+}
+
+/// Minimum-cost assignment of a rectangular cost matrix.
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`. All rows must
+/// have the same length. When `rows ≤ cols`, every row is matched; otherwise
+/// every column is matched. Entries may be any finite `f64`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged, or contains non-finite values.
+pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Assignment {
+    assert!(!cost.is_empty(), "cost matrix must have at least one row");
+    let cols = cost[0].len();
+    assert!(cols > 0, "cost matrix must have at least one column");
+    for row in cost {
+        assert_eq!(row.len(), cols, "cost matrix must be rectangular");
+        for &c in row {
+            assert!(c.is_finite(), "cost entries must be finite");
+        }
+    }
+    let rows = cost.len();
+    if rows <= cols {
+        solve(cost, rows, cols)
+    } else {
+        // Transpose so the smaller side drives the augmentation, then swap
+        // the answer back.
+        let transposed: Vec<Vec<f64>> = (0..cols)
+            .map(|j| (0..rows).map(|i| cost[i][j]).collect())
+            .collect();
+        let a = solve(&transposed, cols, rows);
+        Assignment {
+            row_to_col: a.col_to_row,
+            col_to_row: a.row_to_col,
+            objective: a.objective,
+        }
+    }
+}
+
+/// Maximum-profit assignment (negates the matrix and calls
+/// [`min_cost_assignment`]).
+pub fn max_profit_assignment(profit: &[Vec<f64>]) -> Assignment {
+    let negated: Vec<Vec<f64>> = profit
+        .iter()
+        .map(|row| row.iter().map(|&p| -p).collect())
+        .collect();
+    let mut a = min_cost_assignment(&negated);
+    a.objective = -a.objective;
+    a
+}
+
+/// Core O(n²·m) Hungarian algorithm for `n ≤ m` (every row gets matched).
+/// Standard potentials formulation with 1-based internal indexing.
+fn solve(cost: &[Vec<f64>], n: usize, m: usize) -> Assignment {
+    const INF: f64 = f64::INFINITY;
+    // Potentials for rows (u) and columns (v); way[j] = the column preceding
+    // j on the shortest augmenting path; p[j] = the row matched to column j.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // 0 = unmatched
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path ending at j0.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; n];
+    let mut col_to_row = vec![None; m];
+    let mut objective = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            let i = p[j] - 1;
+            row_to_col[i] = Some(j - 1);
+            col_to_row[j - 1] = Some(i);
+            objective += cost[i][j - 1];
+        }
+    }
+    Assignment {
+        row_to_col,
+        col_to_row,
+        objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force minimum assignment over all injective maps, for
+    /// cross-checking on small instances.
+    fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+        let rows = cost.len();
+        let cols = cost[0].len();
+        let k = rows.min(cols);
+        let mut best = f64::INFINITY;
+        // Permute the larger side taken k at a time via simple recursion.
+        fn rec(
+            cost: &[Vec<f64>],
+            rows: usize,
+            cols: usize,
+            i: usize,
+            used: &mut Vec<bool>,
+            acc: f64,
+            best: &mut f64,
+            k: usize,
+        ) {
+            if i == k {
+                if acc < *best {
+                    *best = acc;
+                }
+                return;
+            }
+            for j in 0..cols.max(rows) {
+                if used[j] {
+                    continue;
+                }
+                used[j] = true;
+                let c = if rows <= cols { cost[i][j] } else { cost[j][i] };
+                rec(cost, rows, cols, i + 1, used, acc + c, best, k);
+                used[j] = false;
+            }
+        }
+        let bigger = rows.max(cols);
+        rec(
+            cost,
+            rows,
+            cols,
+            0,
+            &mut vec![false; bigger],
+            0.0,
+            &mut best,
+            k,
+        );
+        best
+    }
+
+    #[test]
+    fn square_matrix_known_optimum() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = min_cost_assignment(&cost);
+        assert!((a.objective - 5.0).abs() < 1e-9);
+        // Each row and column matched exactly once.
+        let mut cols: Vec<usize> = a.row_to_col.iter().map(|c| c.unwrap()).collect();
+        cols.sort();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        // 2 rows, 4 columns: both rows matched.
+        let cost = vec![vec![5.0, 1.0, 9.0, 2.0], vec![4.0, 3.0, 7.0, 1.0]];
+        let a = min_cost_assignment(&cost);
+        assert!((a.objective - brute_force_min(&cost)).abs() < 1e-9);
+        assert!(a.row_to_col.iter().all(|c| c.is_some()));
+    }
+
+    #[test]
+    fn rectangular_tall_matrix() {
+        // 4 rows, 2 columns: both columns matched, two rows unmatched.
+        let cost = vec![
+            vec![5.0, 1.0],
+            vec![4.0, 3.0],
+            vec![9.0, 9.0],
+            vec![1.0, 8.0],
+        ];
+        let a = min_cost_assignment(&cost);
+        assert!((a.objective - 2.0).abs() < 1e-9); // rows 3→col0 (1.0) and 0→col1 (1.0)
+        assert_eq!(a.row_to_col.iter().filter(|c| c.is_some()).count(), 2);
+        assert!(a.col_to_row.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn negative_costs_are_handled() {
+        let cost = vec![vec![-1.0, 2.0], vec![3.0, -4.0]];
+        let a = min_cost_assignment(&cost);
+        assert!((a.objective - (-5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_profit_negates_correctly() {
+        let profit = vec![vec![1.0, 5.0], vec![2.0, 4.0]];
+        let a = max_profit_assignment(&profit);
+        // Best: row0→col1 (5), row1→col0 (2) = 7.
+        assert!((a.objective - 7.0).abs() < 1e-9);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let rows = rng.gen_range(1..=6);
+            let cols = rng.gen_range(1..=6);
+            let cost: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let a = min_cost_assignment(&cost);
+            let bf = brute_force_min(&cost);
+            assert!(
+                (a.objective - bf).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute force {bf}",
+                a.objective
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_panics() {
+        min_cost_assignment(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_cost_panics() {
+        min_cost_assignment(&[vec![f64::NAN]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # cpdb-assignment — assignment and flow solvers
+//!
+//! Several consensus-answer algorithms in the paper reduce to classic
+//! combinatorial optimisation problems:
+//!
+//! * the **intersection-metric** and **Spearman-footrule** consensus Top-k
+//!   answers (§5.3–§5.4) are assignment problems — each tuple is an agent,
+//!   each of the k result positions is a task, and the profit/cost of placing
+//!   tuple `t` at position `i` is a function of the rank distribution of `t`;
+//! * the **group-by aggregate median** (§6.1, Theorem 5) needs a min-cost
+//!   flow with *lower bounds*: every group must receive at least
+//!   `⌊r̄[v]⌋` tuples and may receive one extra unit at a marginal cost.
+//!
+//! This crate provides both solvers, self-contained and dependency-free:
+//!
+//! * [`hungarian::min_cost_assignment`] / [`hungarian::max_profit_assignment`]
+//!   — the O(n³) Hungarian algorithm on rectangular matrices;
+//! * [`mincostflow::MinCostFlow`] — successive-shortest-path min-cost
+//!   max-flow with support for edge lower bounds and exact flow values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hungarian;
+pub mod mincostflow;
+
+pub use hungarian::{max_profit_assignment, min_cost_assignment, Assignment};
+pub use mincostflow::{FlowError, MinCostFlow, MinCostFlowSolution};

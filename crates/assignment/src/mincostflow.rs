@@ -1,0 +1,451 @@
+//! Min-cost max-flow with optional edge lower bounds.
+//!
+//! The group-by aggregate median algorithm (§6.1, Theorem 5) needs a min-cost
+//! flow on a bipartite tuple→group network in which the edge from group `v`
+//! to the sink has a *mandatory* capacity of `⌊r̄[v]⌋` units plus one optional
+//! unit with a marginal cost. [`MinCostFlow`] supports exactly this:
+//!
+//! * [`MinCostFlow::add_edge`] — add a directed edge with `(lower, upper)`
+//!   capacity bounds and a per-unit cost;
+//! * [`MinCostFlow::min_cost_flow`] — find the cheapest feasible flow of a
+//!   required value from source to sink, honouring all lower bounds.
+//!
+//! The solver is the textbook successive-shortest-paths algorithm with SPFA
+//! (Bellman–Ford queue) path search, which tolerates negative edge costs.
+//! Lower bounds are removed by the standard node-balance transformation with
+//! a super-source/super-sink.
+
+/// Errors produced by the flow solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// No feasible flow satisfies the lower bounds and the required value.
+    Infeasible,
+    /// An edge endpoint was out of range.
+    InvalidNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// Lower bound exceeds upper bound, or a bound/cost is not finite.
+    InvalidEdge {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Infeasible => write!(f, "no feasible flow exists"),
+            FlowError::InvalidNode { node } => write!(f, "node {node} out of range"),
+            FlowError::InvalidEdge { context } => write!(f, "invalid edge: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A solved flow: the achieved value, its total cost, and per-edge flows in
+/// the order the edges were added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCostFlowSolution {
+    /// Total flow shipped from source to sink.
+    pub value: i64,
+    /// Total cost `Σ flow_e · cost_e` including flow forced by lower bounds.
+    pub cost: f64,
+    /// Flow on each original edge, indexed by insertion order.
+    pub edge_flows: Vec<i64>,
+}
+
+#[derive(Debug, Clone)]
+struct RawEdge {
+    from: usize,
+    to: usize,
+    lower: i64,
+    upper: i64,
+    cost: f64,
+}
+
+/// A min-cost flow problem under construction.
+#[derive(Debug, Clone, Default)]
+pub struct MinCostFlow {
+    num_nodes: usize,
+    edges: Vec<RawEdge>,
+}
+
+impl MinCostFlow {
+    /// Creates a problem with `num_nodes` nodes (indices `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        MinCostFlow {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity in `[lower, upper]` and
+    /// the given per-unit cost. Returns the edge's index (used to read its
+    /// flow from the solution).
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        lower: i64,
+        upper: i64,
+        cost: f64,
+    ) -> Result<usize, FlowError> {
+        if from >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: from });
+        }
+        if to >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: to });
+        }
+        if lower < 0 || lower > upper {
+            return Err(FlowError::InvalidEdge {
+                context: format!("bounds [{lower}, {upper}]"),
+            });
+        }
+        if !cost.is_finite() {
+            return Err(FlowError::InvalidEdge {
+                context: "non-finite cost".to_string(),
+            });
+        }
+        self.edges.push(RawEdge {
+            from,
+            to,
+            lower,
+            upper,
+            cost,
+        });
+        Ok(self.edges.len() - 1)
+    }
+
+    /// Finds a minimum-cost flow of value exactly `required` from `source` to
+    /// `sink`, honouring all lower bounds. Returns [`FlowError::Infeasible`]
+    /// when no such flow exists.
+    pub fn min_cost_flow(
+        &self,
+        source: usize,
+        sink: usize,
+        required: i64,
+    ) -> Result<MinCostFlowSolution, FlowError> {
+        if source >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: source });
+        }
+        if sink >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: sink });
+        }
+
+        // Node-balance transformation: every lower bound becomes forced flow.
+        // excess[v] > 0 means v must additionally receive that much from the
+        // super source; excess[v] < 0 means it must send to the super sink.
+        let n = self.num_nodes;
+        let super_source = n;
+        let super_sink = n + 1;
+        let mut graph = ResidualGraph::new(n + 2);
+        let mut excess = vec![0i64; n];
+        let mut base_cost = 0.0;
+        let mut edge_handles = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            excess[e.to] += e.lower;
+            excess[e.from] -= e.lower;
+            base_cost += e.lower as f64 * e.cost;
+            let h = graph.add_edge(e.from, e.to, e.upper - e.lower, e.cost);
+            edge_handles.push(h);
+        }
+        // The required source→sink value is itself a lower bound on a virtual
+        // sink→source edge of capacity `required`.
+        excess[source] += required;
+        excess[sink] -= required;
+
+        let mut needed = 0i64;
+        for (v, &b) in excess.iter().enumerate() {
+            if b > 0 {
+                graph.add_edge(super_source, v, b, 0.0);
+                needed += b;
+            } else if b < 0 {
+                graph.add_edge(v, super_sink, -b, 0.0);
+            }
+        }
+
+        let (shipped, extra_cost) = graph.successive_shortest_paths(super_source, super_sink);
+        if shipped < needed {
+            return Err(FlowError::Infeasible);
+        }
+
+        let edge_flows: Vec<i64> = self
+            .edges
+            .iter()
+            .zip(edge_handles.iter())
+            .map(|(e, &h)| e.lower + graph.flow_on(h))
+            .collect();
+        Ok(MinCostFlowSolution {
+            value: required,
+            cost: base_cost + extra_cost,
+            edge_flows,
+        })
+    }
+
+    /// Finds the maximum flow from `source` to `sink` of minimum cost,
+    /// ignoring lower bounds (all must be zero). Useful for plain assignment
+    /// style networks.
+    pub fn max_flow_min_cost(
+        &self,
+        source: usize,
+        sink: usize,
+    ) -> Result<MinCostFlowSolution, FlowError> {
+        if self.edges.iter().any(|e| e.lower != 0) {
+            return Err(FlowError::InvalidEdge {
+                context: "max_flow_min_cost requires all lower bounds to be zero".to_string(),
+            });
+        }
+        if source >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: source });
+        }
+        if sink >= self.num_nodes {
+            return Err(FlowError::InvalidNode { node: sink });
+        }
+        let mut graph = ResidualGraph::new(self.num_nodes);
+        let handles: Vec<usize> = self
+            .edges
+            .iter()
+            .map(|e| graph.add_edge(e.from, e.to, e.upper, e.cost))
+            .collect();
+        let (value, cost) = graph.successive_shortest_paths(source, sink);
+        Ok(MinCostFlowSolution {
+            value,
+            cost,
+            edge_flows: handles.iter().map(|&h| graph.flow_on(h)).collect(),
+        })
+    }
+}
+
+/// Residual graph with paired forward/backward edges.
+#[derive(Debug, Clone)]
+struct ResidualGraph {
+    /// `(to, capacity, cost)` for each directed residual edge; edge `i ^ 1` is
+    /// the reverse of edge `i`.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    cost: Vec<f64>,
+    head: Vec<Vec<usize>>,
+}
+
+impl ResidualGraph {
+    fn new(n: usize) -> Self {
+        ResidualGraph {
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a forward/backward edge pair; returns the forward edge id.
+    fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) -> usize {
+        let id = self.to.len();
+        self.to.push(to);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.head[from].push(id);
+        self.to.push(from);
+        self.cap.push(0);
+        self.cost.push(-cost);
+        self.head[to].push(id + 1);
+        id
+    }
+
+    /// Flow pushed through forward edge `id` = residual capacity of its
+    /// reverse edge.
+    fn flow_on(&self, id: usize) -> i64 {
+        self.cap[id ^ 1]
+    }
+
+    /// Successive shortest augmenting paths using SPFA (handles negative
+    /// costs; the graphs built here contain no negative cycles). Returns
+    /// `(total flow, total cost)`.
+    fn successive_shortest_paths(&mut self, s: usize, t: usize) -> (i64, f64) {
+        let n = self.head.len();
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+        loop {
+            // SPFA shortest path by cost.
+            let mut dist = vec![f64::INFINITY; n];
+            let mut in_queue = vec![false; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0.0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for &eid in &self.head[u] {
+                    if self.cap[eid] <= 0 {
+                        continue;
+                    }
+                    let v = self.to[eid];
+                    let nd = du + self.cost[eid];
+                    if nd + 1e-12 < dist[v] {
+                        dist[v] = nd;
+                        prev_edge[v] = eid;
+                        if !in_queue[v] {
+                            queue.push_back(v);
+                            in_queue[v] = true;
+                        }
+                    }
+                }
+            }
+            if !dist[t].is_finite() {
+                break;
+            }
+            // Find bottleneck along the path and augment.
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                bottleneck = bottleneck.min(self.cap[eid]);
+                v = self.to[eid ^ 1];
+            }
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                self.cap[eid] -= bottleneck;
+                self.cap[eid ^ 1] += bottleneck;
+                v = self.to[eid ^ 1];
+            }
+            total_flow += bottleneck;
+            total_cost += bottleneck as f64 * dist[t];
+        }
+        (total_flow, total_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_flow_min_cost() {
+        // s=0, t=3; two parallel routes with different costs.
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 0, 2, 1.0).unwrap();
+        f.add_edge(0, 2, 0, 2, 2.0).unwrap();
+        f.add_edge(1, 3, 0, 2, 1.0).unwrap();
+        f.add_edge(2, 3, 0, 2, 1.0).unwrap();
+        let sol = f.max_flow_min_cost(0, 3).unwrap();
+        assert_eq!(sol.value, 4);
+        assert!((sol.cost - (2.0 * 2.0 + 2.0 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_value_flow_picks_cheapest_route() {
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 0, 2, 1.0).unwrap();
+        f.add_edge(0, 2, 0, 2, 5.0).unwrap();
+        f.add_edge(1, 3, 0, 2, 0.0).unwrap();
+        f.add_edge(2, 3, 0, 2, 0.0).unwrap();
+        let sol = f.min_cost_flow(0, 3, 2).unwrap();
+        assert_eq!(sol.value, 2);
+        assert!((sol.cost - 2.0).abs() < 1e-9);
+        assert_eq!(sol.edge_flows[0], 2);
+        assert_eq!(sol.edge_flows[1], 0);
+    }
+
+    #[test]
+    fn lower_bounds_force_expensive_route() {
+        // The expensive route has a lower bound of 1, so it must carry flow
+        // even though the cheap route has spare capacity.
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 0, 2, 1.0).unwrap();
+        f.add_edge(0, 2, 1, 2, 5.0).unwrap();
+        f.add_edge(1, 3, 0, 2, 0.0).unwrap();
+        f.add_edge(2, 3, 0, 2, 0.0).unwrap();
+        let sol = f.min_cost_flow(0, 3, 2).unwrap();
+        assert_eq!(sol.value, 2);
+        assert_eq!(sol.edge_flows[1], 1);
+        assert_eq!(sol.edge_flows[0], 1);
+        assert!((sol.cost - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_required_flow_exceeds_capacity() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 0, 3, 1.0).unwrap();
+        assert_eq!(f.min_cost_flow(0, 1, 5), Err(FlowError::Infeasible));
+    }
+
+    #[test]
+    fn infeasible_when_lower_bound_cannot_be_met() {
+        let mut f = MinCostFlow::new(3);
+        // Edge 1→2 requires 2 units but only 1 can arrive at node 1.
+        f.add_edge(0, 1, 0, 1, 0.0).unwrap();
+        f.add_edge(1, 2, 2, 5, 0.0).unwrap();
+        assert_eq!(f.min_cost_flow(0, 2, 2), Err(FlowError::Infeasible));
+    }
+
+    #[test]
+    fn negative_costs_are_used_when_beneficial() {
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 0, 1, 2.0).unwrap();
+        f.add_edge(0, 2, 0, 1, 1.0).unwrap();
+        f.add_edge(1, 3, 0, 1, -3.0).unwrap();
+        f.add_edge(2, 3, 0, 1, 0.0).unwrap();
+        let sol = f.min_cost_flow(0, 3, 1).unwrap();
+        // Route through node 1 costs 2 - 3 = -1 < 1.
+        assert!((sol.cost - (-1.0)).abs() < 1e-9);
+        assert_eq!(sol.edge_flows[0], 1);
+    }
+
+    #[test]
+    fn assignment_as_flow_matches_hungarian() {
+        use crate::hungarian::min_cost_assignment;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..6);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            // Build bipartite flow: source 0, rows 1..=n, cols n+1..=2n, sink 2n+1.
+            let mut f = MinCostFlow::new(2 * n + 2);
+            let source = 0;
+            let sink = 2 * n + 1;
+            for i in 0..n {
+                f.add_edge(source, 1 + i, 0, 1, 0.0).unwrap();
+                f.add_edge(1 + n + i, sink, 0, 1, 0.0).unwrap();
+                for j in 0..n {
+                    f.add_edge(1 + i, 1 + n + j, 0, 1, cost[i][j]).unwrap();
+                }
+            }
+            let sol = f.min_cost_flow(source, sink, n as i64).unwrap();
+            let hung = min_cost_assignment(&cost);
+            assert!(
+                (sol.cost - hung.objective).abs() < 1e-9,
+                "flow {} vs hungarian {}",
+                sol.cost,
+                hung.objective
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let mut f = MinCostFlow::new(2);
+        assert!(f.add_edge(0, 5, 0, 1, 0.0).is_err());
+        assert!(f.add_edge(0, 1, 3, 1, 0.0).is_err());
+        assert!(f.add_edge(0, 1, 0, 1, f64::NAN).is_err());
+        assert!(f.add_edge(0, 1, 0, 1, 1.0).is_ok());
+        assert_eq!(f.num_edges(), 1);
+        assert_eq!(f.num_nodes(), 2);
+    }
+}

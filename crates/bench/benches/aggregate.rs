@@ -1,0 +1,37 @@
+//! E10: consensus group-by count aggregates (mean vector + min-cost-flow
+//! rounding to the closest possible answer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpdb_consensus::aggregate::GroupByInstance;
+use cpdb_workloads::{random_groupby_instance, GroupByConfig};
+use std::hint::black_box;
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(n, m) in &[(1_000usize, 8usize), (2_000, 16)] {
+        let probs = random_groupby_instance(&GroupByConfig {
+            num_tuples: n,
+            num_groups: m,
+            skew: 1.2,
+            seed: 5,
+        });
+        let inst = GroupByInstance::new(probs).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("mean_answer", format!("n{n}_m{m}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(inst.mean_answer())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("closest_possible_flow", format!("n{n}_m{m}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(inst.closest_possible_answer().unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! F1: regenerating the Figure 1 generating functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("fig1i_world_size_distribution", |b| {
+        let tree = cpdb_andxor::figure1::figure1_bid_tree();
+        b.iter(|| black_box(tree.world_size_distribution()));
+    });
+    group.bench_function("fig1iii_rank_generating_function", |b| {
+        let tree = cpdb_andxor::figure1::figure1_correlated_tree();
+        b.iter(|| black_box(tree.rank_pmf(cpdb_model::TupleKey(3), 3)));
+    });
+    group.bench_function("fig1_full_table", |b| {
+        b.iter(|| black_box(cpdb_bench::experiments::figure1_table().render()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

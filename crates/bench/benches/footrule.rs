@@ -1,0 +1,40 @@
+//! F2/E7: the footrule decomposition of Figure 2 and the assignment-based
+//! mean answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpdb_bench::experiments::scaling_tree;
+use cpdb_consensus::topk::footrule;
+use cpdb_consensus::TopKContext;
+use cpdb_rankagg::TopKList;
+use std::hint::black_box;
+
+fn bench_footrule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footrule");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        for &k in &[10usize, 25] {
+            let tree = scaling_tree(n, 9);
+            let ctx = TopKContext::new(&tree, k);
+            group.bench_with_input(
+                BenchmarkId::new("assignment_mean", format!("n{n}_k{k}")),
+                &ctx,
+                |b, ctx| b.iter(|| black_box(footrule::mean_topk_footrule(ctx))),
+            );
+            let candidate =
+                TopKList::new(tree.keys().iter().take(k).map(|t| t.0).collect()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("figure2_expected_distance", format!("n{n}_k{k}")),
+                &(&ctx, &candidate),
+                |b, (ctx, candidate)| {
+                    b.iter(|| black_box(footrule::expected_footrule_distance(ctx, candidate)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_footrule);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E13: raw generating-function engine scaling (polynomial products over
+//! trees of increasing size, with and without truncation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cpdb_bench::experiments::scaling_tree;
+use cpdb_genfunc::{Poly1, Truncation};
+use std::hint::black_box;
+
+fn bench_genfunc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genfunc_scaling");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bernoulli_product_full", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut acc = Poly1::constant(1.0);
+                    for i in 0..n {
+                        let p = (i % 97) as f64 / 100.0;
+                        acc.mul_bernoulli_assign(1.0 - p, p, Truncation::None);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bernoulli_product_truncated_k25", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut acc = Poly1::constant(1.0);
+                    for i in 0..n {
+                        let p = (i % 97) as f64 / 100.0;
+                        acc.mul_bernoulli_assign(1.0 - p, p, Truncation::Degree(25));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    for &n in &[500usize, 1000, 2000] {
+        let tree = scaling_tree(n, 23);
+        group.bench_with_input(
+            BenchmarkId::new("tree_world_size_distribution", n),
+            &tree,
+            |b, tree| b.iter(|| black_box(tree.world_size_distribution())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_genfunc_scaling);
+criterion_main!(benches);

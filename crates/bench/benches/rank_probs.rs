@@ -1,0 +1,40 @@
+//! E9: exact rank-distribution and pairwise-order computations on the
+//! and/xor tree (the generating-function engine's hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpdb_bench::experiments::scaling_tree;
+use cpdb_model::TupleKey;
+use std::hint::black_box;
+
+fn bench_rank_probs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_probs");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[200usize, 500, 1000] {
+        let tree = scaling_tree(n, 13);
+        let key = tree.keys()[n / 2];
+        group.bench_with_input(
+            BenchmarkId::new("rank_pmf_single_tuple_k10", n),
+            &(&tree, key),
+            |b, (tree, key)| b.iter(|| black_box(tree.rank_pmf(*key, 10))),
+        );
+        let other = tree.keys()[n / 3];
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_order_probability", n),
+            &(&tree, key, other),
+            |b, (tree, key, other)| {
+                b.iter(|| black_box(tree.pairwise_order_probability(*key, *other)))
+            },
+        );
+    }
+    // The Figure 1(iii) correlated fixture as a micro-benchmark.
+    let tree = cpdb_andxor::figure1::figure1_correlated_tree();
+    group.bench_function("figure1iii_pairwise_t3_t2", |b| {
+        b.iter(|| black_box(tree.pairwise_order_probability(TupleKey(3), TupleKey(2))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_probs);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E1/E2: consensus worlds under the symmetric-difference distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpdb_consensus::set_distance;
+use cpdb_workloads::{random_tuple_independent, TupleIndependentConfig};
+use std::hint::black_box;
+
+fn bench_set_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_distance");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let db = random_tuple_independent(&TupleIndependentConfig {
+            num_tuples: n,
+            ..Default::default()
+        });
+        let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
+        group.bench_with_input(BenchmarkId::new("mean_world", n), &tree, |b, tree| {
+            b.iter(|| black_box(set_distance::mean_world(tree)));
+        });
+        let mean = set_distance::mean_world(&tree);
+        group.bench_with_input(
+            BenchmarkId::new("expected_distance", n),
+            &(tree, mean),
+            |b, (tree, mean)| b.iter(|| black_box(set_distance::expected_distance(tree, mean))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_distance);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6: mean Top-k answers under the intersection metric — exact assignment
+//! vs the Υ_H ranking shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpdb_bench::experiments::scaling_tree;
+use cpdb_consensus::topk::intersection;
+use cpdb_consensus::TopKContext;
+use std::hint::black_box;
+
+fn bench_topk_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_intersection");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        for &k in &[10usize, 25] {
+            let tree = scaling_tree(n, 5);
+            let ctx = TopKContext::new(&tree, k);
+            group.bench_with_input(
+                BenchmarkId::new("assignment_exact", format!("n{n}_k{k}")),
+                &ctx,
+                |b, ctx| b.iter(|| black_box(intersection::mean_topk_intersection(ctx))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("upsilon_h_approx", format!("n{n}_k{k}")),
+                &ctx,
+                |b, ctx| b.iter(|| black_box(intersection::mean_topk_upsilon_h(ctx))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_intersection);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # cpdb-bench — experiment harness shared by the benches and the
+//! `experiments` binary.
+//!
+//! The paper has no empirical section, so the "tables and figures" this
+//! harness regenerates are (a) the two figures of the paper, reproduced
+//! exactly, and (b) one validation + one scaling experiment per algorithmic
+//! claim, as catalogued in `DESIGN.md` and reported in `EXPERIMENTS.md`.
+//!
+//! The heavy lifting lives here so that the Criterion benches and the
+//! `experiments` binary print exactly the same numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,94 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// A simple table: a header row plus data rows, rendered with fixed-width
+/// columns so experiment output is readable in a terminal and diffable in
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (already formatted as strings).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n## {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:<w$} | "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows_with_padding() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| name  | value |"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,455 @@
+//! Consensus answers for group-by count aggregates (§6.1).
+//!
+//! The query `SELECT groupname, COUNT(*) FROM R GROUP BY groupname` over a
+//! probabilistic relation with attribute-level uncertainty is specified by a
+//! matrix `P = [p_{i,v}]` (tuple `i` takes group `v` with probability
+//! `p_{i,v}`, rows summing to 1). A deterministic answer is an
+//! `m`-dimensional count vector, and distances are squared L2.
+//!
+//! * the **mean** answer is simply the vector of expected counts `r̄ = 1·P`
+//!   (linearity of expectation), and it minimises the expected squared
+//!   distance over all real vectors;
+//! * the **median** answer must be a *possible* count vector. Theorem 5: the
+//!   possible vector closest to `r̄` rounds every coordinate to `⌊r̄[v]⌋` or
+//!   `⌈r̄[v]⌉` (Lemma 3) and can be found by a min-cost flow with lower
+//!   bounds; Corollary 2: that vector is a 4-approximation of the true
+//!   median.
+
+use cpdb_assignment::{FlowError, MinCostFlow};
+use cpdb_model::error::ModelError;
+use rand::Rng;
+
+/// A group-by count aggregation problem: `probs[i][v]` is the probability
+/// that tuple `i` belongs to group `v`. Rows must sum to 1 (every tuple
+/// belongs to exactly one group in every world).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByInstance {
+    probs: Vec<Vec<f64>>,
+    num_groups: usize,
+}
+
+impl GroupByInstance {
+    /// Builds an instance, validating shapes and probabilities.
+    pub fn new(probs: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        if probs.is_empty() {
+            return Err(ModelError::Empty {
+                context: "group-by instance with no tuples".to_string(),
+            });
+        }
+        let num_groups = probs[0].len();
+        if num_groups == 0 {
+            return Err(ModelError::Empty {
+                context: "group-by instance with no groups".to_string(),
+            });
+        }
+        for (i, row) in probs.iter().enumerate() {
+            if row.len() != num_groups {
+                return Err(ModelError::Invalid {
+                    context: format!("tuple {i} has {} group probabilities, expected {num_groups}", row.len()),
+                });
+            }
+            let mut total = 0.0;
+            for (v, &p) in row.iter().enumerate() {
+                cpdb_model::error::validate_probability(p, &format!("tuple {i}, group {v}"))?;
+                total += p;
+            }
+            if (total - 1.0).abs() > 1e-6 {
+                return Err(ModelError::Invalid {
+                    context: format!("tuple {i} group probabilities sum to {total}, expected 1"),
+                });
+            }
+        }
+        Ok(GroupByInstance { probs, num_groups })
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn num_tuples(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// The probability matrix.
+    #[inline]
+    pub fn probabilities(&self) -> &[Vec<f64>] {
+        &self.probs
+    }
+
+    /// The **mean** answer `r̄ = 1·P`: the expected count of every group.
+    pub fn mean_answer(&self) -> Vec<f64> {
+        let mut mean = vec![0.0; self.num_groups];
+        for row in &self.probs {
+            for (v, &p) in row.iter().enumerate() {
+                mean[v] += p;
+            }
+        }
+        mean
+    }
+
+    /// The exact expected squared distance `E[‖r − R‖²]` of an arbitrary
+    /// candidate vector `r`, using
+    /// `E[‖r − R‖²] = ‖r − r̄‖² + Σ_v Var(R_v)` and the independence of
+    /// tuples: `Var(R_v) = Σ_i p_{i,v}(1 − p_{i,v})`.
+    pub fn expected_squared_distance(&self, candidate: &[f64]) -> f64 {
+        let mean = self.mean_answer();
+        let mut bias: f64 = 0.0;
+        for v in 0..self.num_groups {
+            let c = candidate.get(v).copied().unwrap_or(0.0);
+            bias += (c - mean[v]).powi(2);
+        }
+        bias + self.total_variance()
+    }
+
+    /// `Σ_v Var(R_v)` — the irreducible part of the expected squared distance.
+    pub fn total_variance(&self) -> f64 {
+        self.probs
+            .iter()
+            .flat_map(|row| row.iter().map(|&p| p * (1.0 - p)))
+            .sum()
+    }
+
+    /// Theorem 5: the possible count vector closest to the mean answer,
+    /// found by a min-cost flow with lower bounds. Returns the vector and the
+    /// per-tuple group assignment that witnesses its possibility.
+    pub fn closest_possible_answer(&self) -> Result<PossibleAggregate, ModelError> {
+        let n = self.num_tuples();
+        let m = self.num_groups();
+        let mean = self.mean_answer();
+
+        // Node layout: 0 = source, 1..=n tuples, n+1..=n+m groups, n+m+1 sink.
+        let source = 0usize;
+        let sink = n + m + 1;
+        let mut flow = MinCostFlow::new(n + m + 2);
+        let mut tuple_group_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            flow.add_edge(source, 1 + i, 0, 1, 0.0)
+                .map_err(flow_to_model_error)?;
+            for (v, &p) in self.probs[i].iter().enumerate() {
+                if p > 0.0 {
+                    let e = flow
+                        .add_edge(1 + i, 1 + n + v, 0, 1, 0.0)
+                        .map_err(flow_to_model_error)?;
+                    tuple_group_edges[i].push((v, e));
+                }
+            }
+        }
+        for v in 0..m {
+            let floor = mean[v].floor();
+            let frac = mean[v] - floor;
+            // Mandatory ⌊r̄[v]⌋ units at zero marginal cost.
+            flow.add_edge(1 + n + v, sink, floor as i64, floor as i64, 0.0)
+                .map_err(flow_to_model_error)?;
+            if frac > 1e-9 {
+                // One optional unit whose marginal cost is the change in
+                // squared error from rounding up instead of down.
+                let cost = (mean[v].ceil() - mean[v]).powi(2) - (floor - mean[v]).powi(2);
+                flow.add_edge(1 + n + v, sink, 0, 1, cost)
+                    .map_err(flow_to_model_error)?;
+            }
+        }
+        let solution = flow
+            .min_cost_flow(source, sink, n as i64)
+            .map_err(flow_to_model_error)?;
+
+        // Recover the witnessing assignment and the rounded vector.
+        let mut assignment = vec![0usize; n];
+        let mut counts = vec![0i64; m];
+        for (i, edges) in tuple_group_edges.iter().enumerate() {
+            for &(v, e) in edges {
+                if solution.edge_flows[e] > 0 {
+                    assignment[i] = v;
+                    counts[v] += 1;
+                }
+            }
+        }
+        Ok(PossibleAggregate {
+            counts,
+            assignment,
+        })
+    }
+
+    /// Corollary 2: a deterministic 4-approximation of the **median** answer
+    /// — simply the closest possible answer to the mean.
+    pub fn median_answer_4approx(&self) -> Result<PossibleAggregate, ModelError> {
+        self.closest_possible_answer()
+    }
+
+    /// Samples a possible count vector (a query answer of a random world).
+    pub fn sample_answer<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
+        let mut counts = vec![0i64; self.num_groups];
+        for row in &self.probs {
+            let mut u: f64 = rng.gen();
+            let mut chosen = self.num_groups - 1;
+            for (v, &p) in row.iter().enumerate() {
+                if u < p {
+                    chosen = v;
+                    break;
+                }
+                u -= p;
+            }
+            counts[chosen] += 1;
+        }
+        counts
+    }
+
+    /// Exhaustively enumerates the distribution over possible count vectors.
+    /// Exponential in the number of tuples; ground truth for small instances.
+    pub fn enumerate_answers(&self) -> Vec<(Vec<i64>, f64)> {
+        assert!(
+            self.num_tuples() <= 12,
+            "exhaustive group-by enumeration limited to 12 tuples"
+        );
+        let mut dist: Vec<(Vec<i64>, f64)> = vec![(vec![0; self.num_groups], 1.0)];
+        for row in &self.probs {
+            let mut next: std::collections::BTreeMap<Vec<i64>, f64> = std::collections::BTreeMap::new();
+            for (counts, p) in &dist {
+                for (v, &q) in row.iter().enumerate() {
+                    if q <= 0.0 {
+                        continue;
+                    }
+                    let mut c = counts.clone();
+                    c[v] += 1;
+                    *next.entry(c).or_insert(0.0) += p * q;
+                }
+            }
+            dist = next.into_iter().collect();
+        }
+        dist
+    }
+
+    /// The exact **median** answer by exhaustive enumeration (ground truth).
+    pub fn median_answer_brute_force(&self) -> (Vec<i64>, f64) {
+        let answers = self.enumerate_answers();
+        let mut best: Option<(Vec<i64>, f64)> = None;
+        for (candidate, p) in &answers {
+            if *p <= 0.0 {
+                continue;
+            }
+            let cost: f64 = answers
+                .iter()
+                .map(|(other, q)| {
+                    q * candidate
+                        .iter()
+                        .zip(other.iter())
+                        .map(|(a, b)| ((a - b) as f64).powi(2))
+                        .sum::<f64>()
+                })
+                .sum();
+            if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+                best = Some((candidate.clone(), cost));
+            }
+        }
+        best.expect("at least one possible answer exists")
+    }
+}
+
+/// A possible aggregate answer together with the tuple → group assignment
+/// that realises it (the witness that the vector is a possible query answer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossibleAggregate {
+    /// The per-group counts.
+    pub counts: Vec<i64>,
+    /// `assignment[i]` is the group taken by tuple `i` in the witnessing
+    /// world.
+    pub assignment: Vec<usize>,
+}
+
+fn flow_to_model_error(e: FlowError) -> ModelError {
+    ModelError::Invalid {
+        context: format!("aggregate flow construction failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> GroupByInstance {
+        GroupByInstance::new(vec![
+            vec![0.6, 0.4, 0.0],
+            vec![0.1, 0.7, 0.2],
+            vec![0.3, 0.3, 0.4],
+            vec![0.0, 0.5, 0.5],
+            vec![0.9, 0.05, 0.05],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_rows() {
+        assert!(GroupByInstance::new(vec![]).is_err());
+        assert!(GroupByInstance::new(vec![vec![]]).is_err());
+        assert!(GroupByInstance::new(vec![vec![0.5, 0.6]]).is_err());
+        assert!(GroupByInstance::new(vec![vec![0.5, 0.5], vec![1.0]]).is_err());
+        assert!(GroupByInstance::new(vec![vec![0.5, 0.5], vec![1.0, 0.0]]).is_ok());
+    }
+
+    #[test]
+    fn mean_answer_is_column_sums() {
+        let inst = small_instance();
+        let mean = inst.mean_answer();
+        assert!((mean[0] - 1.9).abs() < 1e-12);
+        assert!((mean[1] - 1.95).abs() < 1e-12);
+        assert!((mean[2] - 1.15).abs() < 1e-12);
+        assert!((mean.iter().sum::<f64>() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_squared_distance_matches_enumeration() {
+        let inst = small_instance();
+        let answers = inst.enumerate_answers();
+        let candidates = [vec![2.0, 2.0, 1.0], vec![0.0, 0.0, 5.0], inst.mean_answer()];
+        for cand in &candidates {
+            let formula = inst.expected_squared_distance(cand);
+            let brute: f64 = answers
+                .iter()
+                .map(|(ans, p)| {
+                    p * cand
+                        .iter()
+                        .zip(ans.iter())
+                        .map(|(c, a)| (c - *a as f64).powi(2))
+                        .sum::<f64>()
+                })
+                .sum();
+            assert!(
+                (formula - brute).abs() < 1e-9,
+                "candidate {cand:?}: formula {formula} vs enumeration {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_answer_minimises_expected_squared_distance() {
+        let inst = small_instance();
+        let mean = inst.mean_answer();
+        let base = inst.expected_squared_distance(&mean);
+        for delta in [-0.5, 0.25, 1.0] {
+            let mut perturbed = mean.clone();
+            perturbed[0] += delta;
+            assert!(inst.expected_squared_distance(&perturbed) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn closest_possible_answer_rounds_the_mean() {
+        let inst = small_instance();
+        let mean = inst.mean_answer();
+        let possible = inst.closest_possible_answer().unwrap();
+        // Lemma 3: every coordinate is the floor or ceiling of the mean.
+        for (v, &c) in possible.counts.iter().enumerate() {
+            assert!(
+                c == mean[v].floor() as i64 || c == mean[v].ceil() as i64,
+                "group {v}: count {c} vs mean {}",
+                mean[v]
+            );
+        }
+        // The counts sum to n and the assignment witnesses them.
+        assert_eq!(possible.counts.iter().sum::<i64>(), 5);
+        let mut counted = vec![0i64; inst.num_groups()];
+        for (i, &g) in possible.assignment.iter().enumerate() {
+            assert!(inst.probabilities()[i][g] > 0.0, "tuple {i} cannot take group {g}");
+            counted[g] += 1;
+        }
+        assert_eq!(counted, possible.counts);
+    }
+
+    #[test]
+    fn closest_possible_answer_is_optimal_among_possible_answers() {
+        let inst = small_instance();
+        let mean = inst.mean_answer();
+        let possible = inst.closest_possible_answer().unwrap();
+        let chosen_dist: f64 = possible
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| (c as f64 - mean[v]).powi(2))
+            .sum();
+        for (candidate, p) in inst.enumerate_answers() {
+            if p <= 0.0 {
+                continue;
+            }
+            let d: f64 = candidate
+                .iter()
+                .enumerate()
+                .map(|(v, &c)| (c as f64 - mean[v]).powi(2))
+                .sum();
+            assert!(
+                chosen_dist <= d + 1e-9,
+                "possible answer {candidate:?} is closer to the mean"
+            );
+        }
+    }
+
+    #[test]
+    fn four_approximation_holds_on_random_instances() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..7);
+            let m = rng.gen_range(2..4);
+            let probs: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    let mut row: Vec<f64> = (0..m).map(|_| rng.gen_range(0.01..1.0)).collect();
+                    let total: f64 = row.iter().sum();
+                    row.iter_mut().for_each(|p| *p /= total);
+                    row
+                })
+                .collect();
+            let inst = GroupByInstance::new(probs).unwrap();
+            let approx = inst.median_answer_4approx().unwrap();
+            let approx_counts: Vec<f64> = approx.counts.iter().map(|&c| c as f64).collect();
+            let approx_cost = inst.expected_squared_distance(&approx_counts);
+            let (_, opt_cost) = inst.median_answer_brute_force();
+            assert!(
+                approx_cost <= 4.0 * opt_cost + 1e-9,
+                "approx {approx_cost} vs optimal median {opt_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_answers_have_the_right_expectation() {
+        let inst = small_instance();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut acc = vec![0.0; inst.num_groups()];
+        for _ in 0..n {
+            let s = inst.sample_answer(&mut rng);
+            for (v, c) in s.iter().enumerate() {
+                acc[v] += *c as f64;
+            }
+        }
+        let mean = inst.mean_answer();
+        for v in 0..inst.num_groups() {
+            assert!(
+                (acc[v] / n as f64 - mean[v]).abs() < 0.05,
+                "group {v}: sampled {} vs mean {}",
+                acc[v] / n as f64,
+                mean[v]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_instance_is_its_own_median() {
+        let inst = GroupByInstance::new(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let possible = inst.closest_possible_answer().unwrap();
+        assert_eq!(possible.counts, vec![1, 2]);
+        assert_eq!(inst.total_variance(), 0.0);
+        let (brute, cost) = inst.median_answer_brute_force();
+        assert_eq!(brute, vec![1, 2]);
+        assert_eq!(cost, 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Consensus worlds under the Jaccard distance (§4.2, Lemmas 1–2).
+//!
+//! The Jaccard distance `d_J(S₁, S₂) = |S₁ Δ S₂| / |S₁ ∪ S₂]` couples the
+//! tuples, so the expected distance no longer decomposes per tuple. The paper
+//! shows two facts that still make the problem tractable:
+//!
+//! * **Lemma 1** — for any candidate world `W`, `E[d_J(W, pw)]` can be read
+//!   off a bivariate generating function in which members of `W` map to `x`
+//!   and non-members to `y`: the coefficient of `x^i y^j` is the probability
+//!   that `|W ∩ pw| = i` and `|pw \ W| = j`, and such a world is at distance
+//!   `(|W| − i + j) / (|W| + j)`.
+//! * **Lemma 2** — for tuple-independent databases the mean world is a
+//!   *prefix* of the tuples sorted by decreasing probability, so scanning the
+//!   `n + 1` prefixes and scoring each with Lemma 1 finds it in polynomial
+//!   time. The same scan over the highest-probability alternative of each
+//!   block gives the median world for BID databases.
+
+use cpdb_andxor::{AndXorTree, VarAssignment};
+use cpdb_genfunc::Truncation;
+use cpdb_model::{Alternative, BidDb, PossibleWorld, TupleIndependentDb};
+use std::collections::HashSet;
+
+/// Lemma 1: the exact expected Jaccard distance between a candidate world and
+/// the random world of an and/xor tree.
+pub fn expected_jaccard_distance(tree: &AndXorTree, candidate: &PossibleWorld) -> f64 {
+    let members: HashSet<Alternative> = candidate.alternatives().iter().copied().collect();
+    let w = members.len();
+    let poly = tree.genfunc2(Truncation::None, Truncation::None, |a| {
+        if members.contains(a) {
+            VarAssignment::X
+        } else {
+            VarAssignment::Y
+        }
+    });
+    poly.expectation_with(|i, j| {
+        let union = w + j;
+        if union == 0 {
+            0.0
+        } else {
+            (w - i + j) as f64 / union as f64
+        }
+    })
+}
+
+/// The result of a consensus-world search: the chosen world and its expected
+/// distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaccardConsensus {
+    /// The selected world.
+    pub world: PossibleWorld,
+    /// Its exact expected Jaccard distance to the random world.
+    pub expected_distance: f64,
+}
+
+/// Lemma 2: the mean world of a tuple-independent database under the Jaccard
+/// distance, found by scanning prefixes of the probability-sorted tuple list
+/// and scoring each prefix exactly with Lemma 1.
+pub fn mean_world_tuple_independent(db: &TupleIndependentDb) -> JaccardConsensus {
+    let tree = cpdb_andxor::convert::from_tuple_independent(db)
+        .expect("tuple-independent databases always satisfy the tree constraints");
+    let sorted = db.sorted_by_probability_desc();
+    best_prefix(&tree, &sorted)
+}
+
+/// The median world of a BID database under the Jaccard distance: only the
+/// highest-probability alternative of each block can participate (per §4.2),
+/// and the candidates are again prefixes by probability.
+pub fn median_world_bid(db: &BidDb) -> JaccardConsensus {
+    let tree = cpdb_andxor::convert::from_bid(db)
+        .expect("BID databases always satisfy the tree constraints");
+    let mut best_alts: Vec<(Alternative, f64)> = db
+        .blocks()
+        .iter()
+        .map(|b| b.best_alternative())
+        .collect();
+    best_alts.sort_by(|(a1, p1), (a2, p2)| {
+        p2.partial_cmp(p1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a1.key.cmp(&a2.key))
+    });
+    best_prefix(&tree, &best_alts)
+}
+
+/// Scores every prefix of `sorted` (including the empty prefix) with Lemma 1
+/// and returns the best one.
+fn best_prefix(tree: &AndXorTree, sorted: &[(Alternative, f64)]) -> JaccardConsensus {
+    let mut best = JaccardConsensus {
+        world: PossibleWorld::empty(),
+        expected_distance: expected_jaccard_distance(tree, &PossibleWorld::empty()),
+    };
+    let mut prefix: Vec<Alternative> = Vec::with_capacity(sorted.len());
+    for (alt, _) in sorted {
+        prefix.push(*alt);
+        let world = PossibleWorld::new(prefix.clone())
+            .expect("prefixes contain at most one alternative per key");
+        let d = expected_jaccard_distance(tree, &world);
+        if d < best.expected_distance {
+            best = JaccardConsensus {
+                world,
+                expected_distance: d,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use cpdb_model::{BidBlock, WorldModel};
+
+    fn jaccard(a: &PossibleWorld, b: &PossibleWorld) -> f64 {
+        a.jaccard_distance(b)
+    }
+
+    #[test]
+    fn lemma1_matches_enumeration() {
+        let db = TupleIndependentDb::from_triples(&[
+            (1, 1.0, 0.8),
+            (2, 2.0, 0.5),
+            (3, 3.0, 0.3),
+            (4, 4.0, 0.6),
+        ])
+        .unwrap();
+        let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
+        let ws = db.enumerate_worlds();
+        let candidates = [
+            PossibleWorld::empty(),
+            PossibleWorld::new(vec![Alternative::new(1, 1.0)]).unwrap(),
+            PossibleWorld::new(vec![Alternative::new(1, 1.0), Alternative::new(4, 4.0)]).unwrap(),
+            PossibleWorld::new(vec![
+                Alternative::new(1, 1.0),
+                Alternative::new(2, 2.0),
+                Alternative::new(3, 3.0),
+                Alternative::new(4, 4.0),
+            ])
+            .unwrap(),
+        ];
+        for cand in &candidates {
+            let exact = expected_jaccard_distance(&tree, cand);
+            let brute = oracle::expected_world_distance(cand, &ws, jaccard);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "candidate {cand}: genfunc {exact} vs enumeration {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_matches_enumeration_on_correlated_tree() {
+        let tree = cpdb_andxor::figure1::figure1_correlated_tree();
+        let ws = tree.enumerate_worlds();
+        for (cand, _) in ws.worlds() {
+            let exact = expected_jaccard_distance(&tree, cand);
+            let brute = oracle::expected_world_distance(cand, &ws, jaccard);
+            assert!((exact - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lemma2_mean_world_matches_brute_force() {
+        let db = TupleIndependentDb::from_triples(&[
+            (1, 1.0, 0.9),
+            (2, 2.0, 0.8),
+            (3, 3.0, 0.45),
+            (4, 4.0, 0.2),
+            (5, 5.0, 0.65),
+        ])
+        .unwrap();
+        let consensus = mean_world_tuple_independent(&db);
+        let ws = db.enumerate_worlds();
+        let (_, brute_cost) = oracle::brute_force_mean_world(&ws, jaccard);
+        assert!(
+            (consensus.expected_distance - brute_cost).abs() < 1e-9,
+            "prefix scan {} vs brute force {brute_cost}",
+            consensus.expected_distance
+        );
+        // The chosen world is a prefix of the probability order.
+        assert!(consensus.world.contains(&Alternative::new(1, 1.0)));
+        assert!(consensus.world.contains(&Alternative::new(2, 2.0)));
+    }
+
+    #[test]
+    fn lemma2_prefix_structure_holds_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..8 {
+            let n = rng.gen_range(3..8);
+            let triples: Vec<(u64, f64, f64)> = (0..n)
+                .map(|i| (i as u64, i as f64, rng.gen_range(0.05..0.95)))
+                .collect();
+            let db = TupleIndependentDb::from_triples(&triples).unwrap();
+            let consensus = mean_world_tuple_independent(&db);
+            let ws = db.enumerate_worlds();
+            let (_, brute_cost) = oracle::brute_force_mean_world(&ws, jaccard);
+            assert!(
+                consensus.expected_distance <= brute_cost + 1e-9,
+                "prefix scan {} vs brute force {brute_cost}",
+                consensus.expected_distance
+            );
+        }
+    }
+
+    #[test]
+    fn bid_median_is_a_possible_world_and_beats_random_candidates() {
+        let db = BidDb::new(vec![
+            BidBlock::from_pairs(1, &[(10.0, 0.7), (11.0, 0.2)]).unwrap(),
+            BidBlock::from_pairs(2, &[(20.0, 0.5), (21.0, 0.5)]).unwrap(),
+            BidBlock::from_pairs(3, &[(30.0, 0.3)]).unwrap(),
+        ])
+        .unwrap();
+        let consensus = median_world_bid(&db);
+        let ws = db.enumerate_worlds();
+        // The answer must be a possible world (it only uses one alternative
+        // per block).
+        assert!(ws
+            .worlds()
+            .iter()
+            .any(|(w, p)| *p > 0.0 && *w == consensus.world));
+        // And it should not be beaten by any single-block-best candidate
+        // prefix that the algorithm considered.
+        let empty_cost = oracle::expected_world_distance(&PossibleWorld::empty(), &ws, jaccard);
+        assert!(consensus.expected_distance <= empty_cost + 1e-9);
+    }
+
+    #[test]
+    fn empty_database_has_zero_distance() {
+        let db = TupleIndependentDb::from_triples(&[]).unwrap();
+        let consensus = mean_world_tuple_independent(&db);
+        assert!(consensus.world.is_empty());
+        assert_eq!(consensus.expected_distance, 0.0);
+    }
+}

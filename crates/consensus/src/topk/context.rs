@@ -1,0 +1,257 @@
+//! Shared precomputation for the Top-k consensus algorithms.
+//!
+//! Every algorithm in §5 is driven by the same quantities: for each tuple `t`
+//! and each position `i ≤ k`, the probability `Pr(r(t) = i)` that `t` is
+//! ranked exactly `i`-th in the random possible world. [`TopKContext`]
+//! computes them once from the and/xor tree (via the generating-function
+//! engine) and exposes the derived statistics the individual algorithms need:
+//! `Pr(r(t) ≤ i)`, `Pr(r(t) > k)`, and the Υ-statistics of §5.4.
+
+use cpdb_andxor::AndXorTree;
+use cpdb_model::TupleKey;
+use std::collections::HashMap;
+
+/// Precomputed rank statistics for a Top-k query over an and/xor tree.
+#[derive(Debug, Clone)]
+pub struct TopKContext {
+    k: usize,
+    keys: Vec<TupleKey>,
+    /// `pmf[t][i - 1] = Pr(r(t) = i)` for `1 ≤ i ≤ k`.
+    pmf: HashMap<TupleKey, Vec<f64>>,
+    /// `cdf[t][i - 1] = Pr(r(t) ≤ i)` for `1 ≤ i ≤ k`.
+    cdf: HashMap<TupleKey, Vec<f64>>,
+}
+
+impl TopKContext {
+    /// Builds the context for a Top-k query with the given `k`.
+    pub fn new(tree: &AndXorTree, k: usize) -> Self {
+        let keys = tree.keys();
+        let mut pmf = HashMap::with_capacity(keys.len());
+        let mut cdf = HashMap::with_capacity(keys.len());
+        for &key in &keys {
+            let p = tree.rank_pmf(key, k);
+            let mut c = Vec::with_capacity(k);
+            let mut acc = 0.0;
+            for &v in &p {
+                acc += v;
+                c.push(acc.min(1.0));
+            }
+            pmf.insert(key, p);
+            cdf.insert(key, c);
+        }
+        TopKContext { k, keys, pmf, cdf }
+    }
+
+    /// Builds a context directly from per-tuple rank distributions (useful in
+    /// tests and for models other than the and/xor tree). `pmf[t]` must have
+    /// length `k`.
+    pub fn from_pmf(k: usize, pmf: HashMap<TupleKey, Vec<f64>>) -> Self {
+        let mut keys: Vec<TupleKey> = pmf.keys().copied().collect();
+        keys.sort();
+        let cdf = pmf
+            .iter()
+            .map(|(t, p)| {
+                let mut acc = 0.0;
+                (
+                    *t,
+                    p.iter()
+                        .map(|&v| {
+                            acc += v;
+                            acc.min(1.0)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        TopKContext { k, keys, pmf, cdf }
+    }
+
+    /// The query parameter `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The tuple keys of the database, sorted.
+    #[inline]
+    pub fn keys(&self) -> &[TupleKey] {
+        &self.keys
+    }
+
+    /// `Pr(r(t) = i)` for `1 ≤ i ≤ k` (0 outside that range or for unknown
+    /// tuples).
+    pub fn rank_probability(&self, t: TupleKey, i: usize) -> f64 {
+        if i == 0 || i > self.k {
+            return 0.0;
+        }
+        self.pmf.get(&t).map(|p| p[i - 1]).unwrap_or(0.0)
+    }
+
+    /// `Pr(r(t) ≤ i)` for `1 ≤ i ≤ k` (0 for `i = 0`, and the value at `k`
+    /// for `i > k` since the context never looks past `k`).
+    pub fn rank_cdf(&self, t: TupleKey, i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let i = i.min(self.k);
+        self.cdf
+            .get(&t)
+            .and_then(|c| c.get(i - 1))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// `Pr(r(t) ≤ k)` — the probability that `t` makes the Top-k at all.
+    pub fn topk_probability(&self, t: TupleKey) -> f64 {
+        self.rank_cdf(t, self.k)
+    }
+
+    /// `Pr(r(t) > k)` — includes the probability that `t` is absent.
+    pub fn beyond_topk_probability(&self, t: TupleKey) -> f64 {
+        1.0 - self.topk_probability(t)
+    }
+
+    /// `Σ_t Pr(r(t) ≤ i)` over all tuples — the expected size of the random
+    /// world's Top-i answer.
+    pub fn total_topi_mass(&self, i: usize) -> f64 {
+        self.keys.iter().map(|&t| self.rank_cdf(t, i)).sum()
+    }
+
+    /// Υ₁(t) = `Σ_{i ≤ k} Pr(r(t) = i)` = `Pr(r(t) ≤ k)` (§5.4).
+    pub fn upsilon1(&self, t: TupleKey) -> f64 {
+        self.topk_probability(t)
+    }
+
+    /// Υ₂(t) = `Σ_{i ≤ k} i · Pr(r(t) = i)` (§5.4).
+    pub fn upsilon2(&self, t: TupleKey) -> f64 {
+        (1..=self.k)
+            .map(|i| i as f64 * self.rank_probability(t, i))
+            .sum()
+    }
+
+    /// Υ₃(t, i) = `Σ_{j ≤ k} Pr(r(t) = j)·|i − j| + i·Pr(r(t) > k)` (§5.4).
+    pub fn upsilon3(&self, t: TupleKey, i: usize) -> f64 {
+        let tail = i as f64 * self.beyond_topk_probability(t);
+        (1..=self.k)
+            .map(|j| self.rank_probability(t, j) * (i as f64 - j as f64).abs())
+            .sum::<f64>()
+            + tail
+    }
+
+    /// Υ_H(t) = `Σ_{i ≤ k} Pr(r(t) ≤ i)/i` — the harmonic ranking function of
+    /// §5.3 (a parameterised ranking function in the sense of [29]).
+    pub fn upsilon_h(&self, t: TupleKey) -> f64 {
+        (1..=self.k)
+            .map(|i| self.rank_cdf(t, i) / i as f64)
+            .sum()
+    }
+
+    /// The tuples sorted by decreasing `Pr(r(t) ≤ k)`, ties broken by key.
+    pub fn keys_by_topk_probability(&self) -> Vec<(TupleKey, f64)> {
+        let mut v: Vec<(TupleKey, f64)> = self
+            .keys
+            .iter()
+            .map(|&t| (t, self.topk_probability(t)))
+            .collect();
+        v.sort_by(|(ka, pa), (kb, pb)| {
+            pb.partial_cmp(pa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| ka.cmp(kb))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_andxor::figure1::figure1_correlated_tree;
+    use cpdb_andxor::AndXorTreeBuilder;
+
+    fn independent_tree() -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for (key, score, p) in [(1u64, 30.0, 0.5), (2, 20.0, 0.8), (3, 10.0, 0.4)] {
+            let l = b.leaf_parts(key, score);
+            xors.push(b.xor_node(vec![(l, p)]));
+        }
+        let root = b.and_node(xors);
+        b.build(root).unwrap()
+    }
+
+    use cpdb_andxor::AndXorTree;
+
+    #[test]
+    fn cdf_is_cumulative_pmf() {
+        let tree = independent_tree();
+        let ctx = TopKContext::new(&tree, 3);
+        for &t in ctx.keys() {
+            let mut acc = 0.0;
+            for i in 1..=3 {
+                acc += ctx.rank_probability(t, i);
+                assert!((ctx.rank_cdf(t, i) - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_probability_equals_presence_when_k_is_n() {
+        let tree = independent_tree();
+        let ctx = TopKContext::new(&tree, 3);
+        let presence = tree.key_presence_probabilities();
+        for (&t, &p) in &presence {
+            assert!((ctx.topk_probability(t) - p).abs() < 1e-9);
+            assert!((ctx.beyond_topk_probability(t) - (1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn upsilon_statistics_consistency() {
+        let tree = figure1_correlated_tree();
+        let ctx = TopKContext::new(&tree, 2);
+        for &t in ctx.keys() {
+            let u1 = ctx.upsilon1(t);
+            let u2 = ctx.upsilon2(t);
+            // Υ₂ is between 1·Υ₁ and k·Υ₁.
+            assert!(u2 + 1e-12 >= u1);
+            assert!(u2 <= ctx.k() as f64 * u1 + 1e-12);
+            // Υ₃(t, i) at i = 0 is just Σ j·Pr(r=j) = Υ₂.
+            assert!((ctx.upsilon3(t, 0) - u2).abs() < 1e-12);
+            // Υ_H(t) ≥ Pr(r(t) ≤ 1) and ≤ H_k.
+            assert!(ctx.upsilon_h(t) + 1e-12 >= ctx.rank_cdf(t, 1));
+            assert!(ctx.upsilon_h(t) <= 1.0 + 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_are_zero() {
+        let tree = independent_tree();
+        let ctx = TopKContext::new(&tree, 2);
+        assert_eq!(ctx.rank_probability(TupleKey(1), 0), 0.0);
+        assert_eq!(ctx.rank_probability(TupleKey(1), 5), 0.0);
+        assert_eq!(ctx.rank_probability(TupleKey(99), 1), 0.0);
+        assert_eq!(ctx.rank_cdf(TupleKey(99), 2), 0.0);
+        assert_eq!(ctx.rank_cdf(TupleKey(1), 0), 0.0);
+    }
+
+    #[test]
+    fn keys_by_topk_probability_sorted_descending() {
+        let tree = independent_tree();
+        let ctx = TopKContext::new(&tree, 1);
+        let sorted = ctx.keys_by_topk_probability();
+        for pair in sorted.windows(2) {
+            assert!(pair[0].1 >= pair[1].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_pmf_round_trip() {
+        let mut pmf = HashMap::new();
+        pmf.insert(TupleKey(1), vec![0.5, 0.2]);
+        pmf.insert(TupleKey(2), vec![0.3, 0.3]);
+        let ctx = TopKContext::from_pmf(2, pmf);
+        assert_eq!(ctx.k(), 2);
+        assert!((ctx.topk_probability(TupleKey(1)) - 0.7).abs() < 1e-12);
+        assert!((ctx.total_topi_mass(1) - 0.8).abs() < 1e-12);
+    }
+}

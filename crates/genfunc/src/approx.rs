@@ -1,0 +1,88 @@
+//! Tolerant floating-point comparison helpers.
+//!
+//! Probabilities produced by generating-function evaluation accumulate
+//! rounding error proportional to the number of leaf polynomials multiplied
+//! together. The tolerances here are far larger than that error for any
+//! instance size this library targets, while still being far smaller than any
+//! meaningful probability difference.
+
+/// Default absolute tolerance used when comparing probabilities.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// Returns `true` when `a` and `b` differ by at most `eps` (absolute).
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Asserts (in debug builds and tests) that a value is a valid probability,
+/// allowing a small tolerance outside `[0, 1]` for accumulated rounding.
+#[inline]
+pub fn is_probability(p: f64) -> bool {
+    p.is_finite() && p >= -DEFAULT_EPS && p <= 1.0 + 1e-6
+}
+
+/// Clamps an almost-probability into `[0, 1]`.
+///
+/// Generating-function coefficients are mathematically probabilities but can
+/// land slightly outside `[0, 1]` after many floating-point operations; this
+/// snaps them back without hiding genuine errors (values far outside the range
+/// are left untouched so they show up in tests).
+#[inline]
+pub fn clamp_probability(p: f64) -> f64 {
+    if p < 0.0 && p >= -1e-6 {
+        0.0
+    } else if p > 1.0 && p <= 1.0 + 1e-6 {
+        1.0
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(0.3, 0.3 + 1e-12));
+        assert!(!approx_eq(0.3, 0.300001));
+    }
+
+    #[test]
+    fn approx_eq_eps_custom_tolerance() {
+        assert!(approx_eq_eps(1.0, 1.05, 0.1));
+        assert!(!approx_eq_eps(1.0, 1.05, 0.01));
+    }
+
+    #[test]
+    fn is_probability_accepts_valid_range() {
+        assert!(is_probability(0.0));
+        assert!(is_probability(1.0));
+        assert!(is_probability(0.5));
+        assert!(is_probability(-1e-12));
+    }
+
+    #[test]
+    fn is_probability_rejects_out_of_range() {
+        assert!(!is_probability(1.5));
+        assert!(!is_probability(-0.5));
+        assert!(!is_probability(f64::NAN));
+        assert!(!is_probability(f64::INFINITY));
+    }
+
+    #[test]
+    fn clamp_probability_snaps_small_overshoot() {
+        assert_eq!(clamp_probability(-1e-9), 0.0);
+        assert_eq!(clamp_probability(1.0 + 1e-9), 1.0);
+        assert_eq!(clamp_probability(0.25), 0.25);
+        // Far out-of-range values are preserved so bugs stay visible.
+        assert_eq!(clamp_probability(2.0), 2.0);
+    }
+}

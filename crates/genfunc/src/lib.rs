@@ -1,0 +1,82 @@
+//! # cpdb-genfunc — generating-function engine
+//!
+//! Probability computations on probabilistic and/xor trees (Li & Deshpande,
+//! PODS 2009, §3.3) reduce to manipulating *generating functions*: polynomials
+//! whose coefficients are probabilities. This crate provides the polynomial
+//! machinery those computations need:
+//!
+//! * [`Poly1`] — dense univariate polynomials over `f64` (`Σ c_i x^i`), used for
+//!   possible-world size distributions, `Pr(|pw ∩ S| = i)` style membership
+//!   counts, and the `Pr(r(t) ≤ k)` rank computations (Examples 1–2 of the
+//!   paper).
+//! * [`Poly2`] — dense bivariate polynomials (`Σ c_{i,j} x^i y^j`), used for the
+//!   rank-position computation of Example 3 (coefficient of `x^{i-1} y`), the
+//!   Jaccard-distance expectation of Lemma 1, and the Spearman-footrule
+//!   bookkeeping of §5.4.
+//!
+//! Both types support *truncated* multiplication: when only coefficients up to
+//! degree `k` are ever read (as in Top-k computations) the higher-degree terms
+//! can be discarded during every product, keeping the work per tree node at
+//! `O(k)` instead of `O(n)`.
+//!
+//! The engine is deliberately self-contained (no dependencies) and uses plain
+//! `f64` coefficients: all probabilities in this problem domain are bounded by
+//! 1 and degrees are bounded by the number of tuples, so dense representation
+//! and floating-point arithmetic are both appropriate. Helper routines for
+//! comparing probability values with a tolerance live in [`approx`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod poly1;
+pub mod poly2;
+
+pub use approx::{approx_eq, approx_eq_eps, clamp_probability, is_probability, DEFAULT_EPS};
+pub use poly1::Poly1;
+pub use poly2::Poly2;
+
+/// The truncation policy used by polynomial products.
+///
+/// Generating-function evaluation over an and/xor tree multiplies one
+/// polynomial per leaf; without truncation the degree (and the work) grows
+/// linearly in the number of leaves. Top-k style computations only ever read
+/// coefficients of degree at most `k`, so the products can safely drop all
+/// higher-degree terms as they go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// Keep every coefficient produced by the product.
+    None,
+    /// Keep only coefficients with total degree `≤ limit` (for [`Poly1`]) or
+    /// `x`-degree `≤ limit` (for [`Poly2`]).
+    Degree(usize),
+}
+
+impl Truncation {
+    /// The largest degree kept under this policy given a natural (untruncated)
+    /// degree bound `natural`.
+    #[inline]
+    pub fn cap(&self, natural: usize) -> usize {
+        match *self {
+            Truncation::None => natural,
+            Truncation::Degree(d) => d.min(natural),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_cap_none_keeps_natural_degree() {
+        assert_eq!(Truncation::None.cap(17), 17);
+    }
+
+    #[test]
+    fn truncation_cap_degree_takes_minimum() {
+        assert_eq!(Truncation::Degree(5).cap(17), 5);
+        assert_eq!(Truncation::Degree(20).cap(17), 17);
+        assert_eq!(Truncation::Degree(0).cap(17), 0);
+    }
+}

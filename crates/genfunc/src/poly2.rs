@@ -1,0 +1,452 @@
+//! Dense bivariate polynomials over `f64`.
+//!
+//! [`Poly2`] represents `Σ_{i,j} c_{i,j} x^i y^j` as a row-major matrix of
+//! coefficients. It backs the two-variable generating functions of the paper:
+//!
+//! * Example 3 — `Pr(r(t) = i)` is the coefficient of `x^{i-1} y` when leaves
+//!   scoring above `t` map to `x` and the alternative of `t` itself maps to
+//!   `y`;
+//! * Lemma 1 — the expected Jaccard distance between a candidate world `W` and
+//!   the random world is `Σ_{i,j} c_{i,j} (|W| - i + j) / (|W| + j)` where
+//!   members of `W` map to `x` and non-members to `y`;
+//! * §5.4 — the Υ-statistics used by the Spearman-footrule consensus answer.
+
+use crate::Truncation;
+use std::fmt;
+
+/// A dense bivariate polynomial with `x`-degree `< rows` and `y`-degree `< cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly2 {
+    rows: usize,
+    cols: usize,
+    /// Row-major: `data[i * cols + j]` is the coefficient of `x^i y^j`.
+    data: Vec<f64>,
+}
+
+impl Poly2 {
+    /// The zero polynomial (a single zero coefficient).
+    pub fn zero() -> Self {
+        Poly2 {
+            rows: 1,
+            cols: 1,
+            data: vec![0.0],
+        }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Poly2 {
+            rows: 1,
+            cols: 1,
+            data: vec![c],
+        }
+    }
+
+    /// The polynomial `x`.
+    pub fn x() -> Self {
+        Poly2 {
+            rows: 2,
+            cols: 1,
+            data: vec![0.0, 1.0],
+        }
+    }
+
+    /// The polynomial `y`.
+    pub fn y() -> Self {
+        Poly2 {
+            rows: 1,
+            cols: 2,
+            data: vec![0.0, 1.0],
+        }
+    }
+
+    /// The leaf polynomial `q + p·x`.
+    pub fn bernoulli_x(q: f64, p: f64) -> Self {
+        Poly2 {
+            rows: 2,
+            cols: 1,
+            data: vec![q, p],
+        }
+    }
+
+    /// The leaf polynomial `q + p·y`.
+    pub fn bernoulli_y(q: f64, p: f64) -> Self {
+        Poly2 {
+            rows: 1,
+            cols: 2,
+            data: vec![q, p],
+        }
+    }
+
+    /// Builds a polynomial from a dense coefficient matrix
+    /// (`matrix[i][j]` = coefficient of `x^i y^j`). Rows may have differing
+    /// lengths; missing entries are zero. An empty matrix yields zero.
+    pub fn from_matrix(matrix: Vec<Vec<f64>>) -> Self {
+        if matrix.is_empty() {
+            return Self::zero();
+        }
+        let rows = matrix.len();
+        let cols = matrix.iter().map(|r| r.len()).max().unwrap_or(1).max(1);
+        let mut data = vec![0.0; rows * cols];
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                data[i * cols + j] = c;
+            }
+        }
+        Poly2 { rows, cols, data }
+    }
+
+    /// Number of stored `x`-degrees (max x-degree + 1).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of stored `y`-degrees (max y-degree + 1).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The coefficient of `x^i y^j` (zero outside the stored range).
+    #[inline]
+    pub fn coeff(&self, i: usize, j: usize) -> f64 {
+        if i < self.rows && j < self.cols {
+            self.data[i * self.cols + j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of all coefficients (`eval(1, 1)`), the total probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Evaluates the polynomial at `(x, y)`.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in (0..self.rows).rev() {
+            let mut row_acc = 0.0;
+            for j in (0..self.cols).rev() {
+                row_acc = row_acc * y + self.data[i * self.cols + j];
+            }
+            acc = acc * x + row_acc;
+        }
+        acc
+    }
+
+    /// Weighted sum `Σ_{i,j} c_{i,j} · w(i, j)` — the expectation of `w` under
+    /// the joint distribution encoded by the coefficients. This is exactly the
+    /// `||C_F ⊗ M||` Hadamard-product expression used in Lemmas 1–2.
+    pub fn expectation_with<W>(&self, mut w: W) -> f64
+    where
+        W: FnMut(usize, usize) -> f64,
+    {
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let c = self.data[i * self.cols + j];
+                if c != 0.0 {
+                    acc += c * w(i, j);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Marginal over `y`: collapses the polynomial to a univariate polynomial
+    /// in `x` by summing every row (i.e. substituting `y = 1`).
+    pub fn marginal_x(&self) -> crate::Poly1 {
+        let mut coeffs = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            coeffs[i] = self.data[i * self.cols..(i + 1) * self.cols].iter().sum();
+        }
+        crate::Poly1::from_coeffs(coeffs)
+    }
+
+    /// Marginal over `x` (substituting `x = 1`), a univariate polynomial in `y`.
+    pub fn marginal_y(&self) -> crate::Poly1 {
+        let mut coeffs = vec![0.0; self.cols];
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                coeffs[j] += self.data[i * self.cols + j];
+            }
+        }
+        crate::Poly1::from_coeffs(coeffs)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Self {
+        Poly2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&c| c * s).collect(),
+        }
+    }
+
+    /// Adds `other` scaled by `s` in place, growing the coefficient matrix as
+    /// needed.
+    pub fn add_scaled_assign(&mut self, other: &Poly2, s: f64) {
+        let rows = self.rows.max(other.rows);
+        let cols = self.cols.max(other.cols);
+        if rows != self.rows || cols != self.cols {
+            let mut data = vec![0.0; rows * cols];
+            for i in 0..self.rows {
+                for j in 0..self.cols {
+                    data[i * cols + j] = self.data[i * self.cols + j];
+                }
+            }
+            self.rows = rows;
+            self.cols = cols;
+            self.data = data;
+        }
+        for i in 0..other.rows {
+            for j in 0..other.cols {
+                self.data[i * self.cols + j] += s * other.coeff(i, j);
+            }
+        }
+    }
+
+    /// Adds a constant to the constant coefficient in place.
+    pub fn add_constant_assign(&mut self, c: f64) {
+        self.data[0] += c;
+    }
+
+    /// Full product of two bivariate polynomials.
+    pub fn mul_full(&self, other: &Poly2) -> Self {
+        self.mul_truncated(other, Truncation::None, Truncation::None)
+    }
+
+    /// Product keeping only coefficients with `x`-degree within `trunc_x` and
+    /// `y`-degree within `trunc_y`.
+    pub fn mul_truncated(&self, other: &Poly2, trunc_x: Truncation, trunc_y: Truncation) -> Self {
+        let natural_x = self.rows + other.rows - 2;
+        let natural_y = self.cols + other.cols - 2;
+        let cap_x = trunc_x.cap(natural_x);
+        let cap_y = trunc_y.cap(natural_y);
+        let rows = cap_x + 1;
+        let cols = cap_y + 1;
+        let mut data = vec![0.0; rows * cols];
+        for ai in 0..self.rows {
+            if ai > cap_x {
+                break;
+            }
+            for aj in 0..self.cols {
+                if aj > cap_y {
+                    break;
+                }
+                let a = self.data[ai * self.cols + aj];
+                if a == 0.0 {
+                    continue;
+                }
+                let bi_max = (cap_x - ai).min(other.rows - 1);
+                let bj_max = (cap_y - aj).min(other.cols - 1);
+                for bi in 0..=bi_max {
+                    let base = (ai + bi) * cols + aj;
+                    for bj in 0..=bj_max {
+                        data[base + bj] += a * other.data[bi * other.cols + bj];
+                    }
+                }
+            }
+        }
+        Poly2 { rows, cols, data }
+    }
+
+    /// Multiplies in place by the linear leaf polynomial
+    /// `c + px·x + py·y` (any of the three terms may be zero), truncated.
+    ///
+    /// Every leaf polynomial used by the paper's constructions has this shape,
+    /// so tree evaluation over thousands of independent leaves never allocates
+    /// a full temporary product.
+    pub fn mul_linear_assign(
+        &mut self,
+        c: f64,
+        px: f64,
+        py: f64,
+        trunc_x: Truncation,
+        trunc_y: Truncation,
+    ) {
+        let natural_x = self.rows - 1 + usize::from(px != 0.0);
+        let natural_y = self.cols - 1 + usize::from(py != 0.0);
+        let cap_x = trunc_x.cap(natural_x);
+        let cap_y = trunc_y.cap(natural_y);
+        let rows = cap_x + 1;
+        let cols = cap_y + 1;
+        let mut data = vec![0.0; rows * cols];
+        for i in 0..self.rows.min(rows) {
+            for j in 0..self.cols.min(cols) {
+                let a = self.data[i * self.cols + j];
+                if a == 0.0 {
+                    continue;
+                }
+                data[i * cols + j] += c * a;
+                if px != 0.0 && i + 1 < rows {
+                    data[(i + 1) * cols + j] += px * a;
+                }
+                if py != 0.0 && j + 1 < cols {
+                    data[i * cols + j + 1] += py * a;
+                }
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data = data;
+    }
+
+    /// Probability-weighted mixture at a ∨ (xor) node: each child taken with
+    /// its weight, leftover mass contributing the constant 1.
+    pub fn xor_combine(children: &[(f64, Poly2)]) -> Self {
+        let leftover: f64 = 1.0 - children.iter().map(|(w, _)| *w).sum::<f64>();
+        let mut out = Poly2::constant(leftover);
+        for (w, p) in children {
+            out.add_scaled_assign(p, *w);
+        }
+        out
+    }
+}
+
+impl Default for Poly2 {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl fmt::Display for Poly2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let c = self.coeff(i, j);
+                if c == 0.0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, " + ")?;
+                }
+                first = false;
+                write!(f, "{c}")?;
+                match i {
+                    0 => {}
+                    1 => write!(f, "·x")?,
+                    _ => write!(f, "·x^{i}")?,
+                }
+                match j {
+                    0 => {}
+                    1 => write!(f, "·y")?,
+                    _ => write!(f, "·y^{j}")?,
+                }
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+
+    #[test]
+    fn constants_and_variables() {
+        assert!(approx_eq(Poly2::constant(0.7).coeff(0, 0), 0.7));
+        assert!(approx_eq(Poly2::x().coeff(1, 0), 1.0));
+        assert!(approx_eq(Poly2::y().coeff(0, 1), 1.0));
+        assert!(approx_eq(Poly2::zero().total_mass(), 0.0));
+    }
+
+    #[test]
+    fn product_of_x_and_y_leaves() {
+        // (0.5 + 0.5x)(0.4 + 0.6y) = 0.2 + 0.2x + 0.3y + 0.3xy
+        let a = Poly2::bernoulli_x(0.5, 0.5);
+        let b = Poly2::bernoulli_y(0.4, 0.6);
+        let p = a.mul_full(&b);
+        assert!(approx_eq(p.coeff(0, 0), 0.2));
+        assert!(approx_eq(p.coeff(1, 0), 0.2));
+        assert!(approx_eq(p.coeff(0, 1), 0.3));
+        assert!(approx_eq(p.coeff(1, 1), 0.3));
+        assert!(approx_eq(p.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn mul_linear_assign_matches_mul_full() {
+        let mut acc = Poly2::from_matrix(vec![vec![0.25, 0.25], vec![0.25, 0.25]]);
+        let expect = acc.mul_full(&Poly2::from_matrix(vec![vec![0.3, 0.5], vec![0.2, 0.0]]));
+        acc.mul_linear_assign(0.3, 0.2, 0.5, Truncation::None, Truncation::None);
+        for i in 0..expect.rows() {
+            for j in 0..expect.cols() {
+                assert!(
+                    approx_eq(acc.coeff(i, j), expect.coeff(i, j)),
+                    "({i},{j}): {} vs {}",
+                    acc.coeff(i, j),
+                    expect.coeff(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_product_matches_prefix() {
+        let a = Poly2::from_matrix(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let b = Poly2::from_matrix(vec![vec![0.5, 0.1], vec![0.2, 0.2]]);
+        let full = a.mul_full(&b);
+        let t = a.mul_truncated(&b, Truncation::Degree(1), Truncation::Degree(1));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(full.coeff(i, j), t.coeff(i, j)));
+            }
+        }
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+    }
+
+    #[test]
+    fn eval_and_marginals() {
+        let p = Poly2::from_matrix(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        // p(x,y) = 1 + 2y + 3x + 4xy ; p(2, 3) = 1 + 6 + 6 + 24 = 37
+        assert!(approx_eq(p.eval(2.0, 3.0), 37.0));
+        let mx = p.marginal_x();
+        assert!(approx_eq(mx.coeff(0), 3.0));
+        assert!(approx_eq(mx.coeff(1), 7.0));
+        let my = p.marginal_y();
+        assert!(approx_eq(my.coeff(0), 4.0));
+        assert!(approx_eq(my.coeff(1), 6.0));
+    }
+
+    #[test]
+    fn expectation_with_weights() {
+        let p = Poly2::from_matrix(vec![vec![0.2, 0.3], vec![0.4, 0.1]]);
+        let e = p.expectation_with(|i, j| (i + 2 * j) as f64);
+        // 0.2*0 + 0.3*2 + 0.4*1 + 0.1*3 = 1.3
+        assert!(approx_eq(e, 1.3));
+    }
+
+    #[test]
+    fn xor_combine_two_children() {
+        let children = vec![(0.3, Poly2::x()), (0.4, Poly2::y())];
+        let c = Poly2::xor_combine(&children);
+        assert!(approx_eq(c.coeff(0, 0), 0.3));
+        assert!(approx_eq(c.coeff(1, 0), 0.3));
+        assert!(approx_eq(c.coeff(0, 1), 0.4));
+        assert!(approx_eq(c.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn add_scaled_grows_matrix() {
+        let mut a = Poly2::constant(0.5);
+        a.add_scaled_assign(&Poly2::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 1.0]]), 0.5);
+        assert!(approx_eq(a.coeff(0, 0), 0.5));
+        assert!(approx_eq(a.coeff(1, 1), 0.5));
+    }
+
+    #[test]
+    fn display_contains_terms() {
+        let p = Poly2::from_matrix(vec![vec![0.0, 0.3], vec![0.7, 0.0]]);
+        let s = format!("{p}");
+        assert!(s.contains("0.3·y"));
+        assert!(s.contains("0.7·x"));
+    }
+}

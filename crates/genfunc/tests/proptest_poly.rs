@@ -1,0 +1,114 @@
+//! Property-based tests for the polynomial engine.
+
+use cpdb_genfunc::{approx_eq_eps, Poly1, Poly2, Truncation};
+use proptest::prelude::*;
+
+fn small_coeffs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 1..8)
+}
+
+proptest! {
+    /// Multiplication is commutative.
+    #[test]
+    fn poly1_mul_commutative(a in small_coeffs(), b in small_coeffs()) {
+        let pa = Poly1::from_coeffs(a);
+        let pb = Poly1::from_coeffs(b);
+        let ab = pa.mul_full(&pb);
+        let ba = pb.mul_full(&pa);
+        for i in 0..ab.len().max(ba.len()) {
+            prop_assert!(approx_eq_eps(ab.coeff(i), ba.coeff(i), 1e-9));
+        }
+    }
+
+    /// Multiplication distributes over addition.
+    #[test]
+    fn poly1_mul_distributes(a in small_coeffs(), b in small_coeffs(), c in small_coeffs()) {
+        let pa = Poly1::from_coeffs(a);
+        let pb = Poly1::from_coeffs(b);
+        let pc = Poly1::from_coeffs(c);
+        let lhs = pa.mul_full(&(&pb + &pc));
+        let mut rhs = pa.mul_full(&pb);
+        rhs.add_scaled_assign(&pa.mul_full(&pc), 1.0);
+        for i in 0..lhs.len().max(rhs.len()) {
+            prop_assert!(approx_eq_eps(lhs.coeff(i), rhs.coeff(i), 1e-9));
+        }
+    }
+
+    /// Evaluation is a ring homomorphism: (p*q)(x) = p(x)*q(x).
+    #[test]
+    fn poly1_eval_homomorphism(a in small_coeffs(), b in small_coeffs(), x in 0.0f64..2.0) {
+        let pa = Poly1::from_coeffs(a);
+        let pb = Poly1::from_coeffs(b);
+        let prod = pa.mul_full(&pb);
+        prop_assert!(approx_eq_eps(prod.eval(x), pa.eval(x) * pb.eval(x), 1e-6));
+    }
+
+    /// Truncated products agree with the prefix of the full product.
+    #[test]
+    fn poly1_truncation_is_prefix(a in small_coeffs(), b in small_coeffs(), k in 0usize..6) {
+        let pa = Poly1::from_coeffs(a);
+        let pb = Poly1::from_coeffs(b);
+        let full = pa.mul_full(&pb);
+        let trunc = pa.mul_truncated(&pb, Truncation::Degree(k));
+        for i in 0..=k {
+            prop_assert!(approx_eq_eps(full.coeff(i), trunc.coeff(i), 1e-9));
+        }
+        prop_assert!(trunc.len() <= k + 1);
+    }
+
+    /// A product of Bernoulli leaves with probabilities in [0,1] is itself a
+    /// probability distribution over degrees: non-negative coefficients that
+    /// sum to 1.
+    #[test]
+    fn poly1_bernoulli_products_are_distributions(ps in prop::collection::vec(0.0f64..=1.0, 1..12)) {
+        let mut acc = Poly1::constant(1.0);
+        for p in &ps {
+            acc.mul_bernoulli_assign(1.0 - p, *p, Truncation::None);
+        }
+        prop_assert!(approx_eq_eps(acc.total_mass(), 1.0, 1e-9));
+        for i in 0..acc.len() {
+            prop_assert!(acc.coeff(i) >= -1e-12);
+        }
+        // Expected degree is the sum of the probabilities (linearity).
+        let expect: f64 = ps.iter().sum();
+        prop_assert!(approx_eq_eps(acc.expectation(), expect, 1e-9));
+    }
+
+    /// Bivariate evaluation is a homomorphism too.
+    #[test]
+    fn poly2_eval_homomorphism(
+        a in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 1..4), 1..4),
+        b in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 1..4), 1..4),
+        x in 0.0f64..1.5,
+        y in 0.0f64..1.5,
+    ) {
+        let pa = Poly2::from_matrix(a);
+        let pb = Poly2::from_matrix(b);
+        let prod = pa.mul_full(&pb);
+        prop_assert!(approx_eq_eps(prod.eval(x, y), pa.eval(x, y) * pb.eval(x, y), 1e-6));
+    }
+
+    /// Marginalising a product of x-leaves and y-leaves over y gives the same
+    /// polynomial as multiplying only the x-leaves.
+    #[test]
+    fn poly2_marginal_consistency(
+        xs in prop::collection::vec(0.0f64..=1.0, 1..6),
+        ys in prop::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let mut biv = Poly2::constant(1.0);
+        for p in &xs {
+            biv.mul_linear_assign(1.0 - p, *p, 0.0, Truncation::None, Truncation::None);
+        }
+        for p in &ys {
+            biv.mul_linear_assign(1.0 - p, 0.0, *p, Truncation::None, Truncation::None);
+        }
+        let mut uni = Poly1::constant(1.0);
+        for p in &xs {
+            uni.mul_bernoulli_assign(1.0 - p, *p, Truncation::None);
+        }
+        let marg = biv.marginal_x();
+        for i in 0..uni.len() {
+            prop_assert!(approx_eq_eps(marg.coeff(i), uni.coeff(i), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The block-independent-disjoint (BID) probabilistic database model.
+//!
+//! A BID relation `R(K; A; Pr)` groups tuple alternatives into *blocks* by
+//! their possible-worlds key: the alternatives within one block are mutually
+//! exclusive (at most one appears in a world, possibly none), and different
+//! blocks are independent. This is the model of Figure 1(i) of the paper and
+//! the direct ancestor of the probabilistic and/xor tree.
+
+use crate::error::{validate_probability, ModelError};
+use crate::tuple::{Alternative, AttrValue, TupleKey};
+use crate::world::{PossibleWorld, WorldModel, WorldSet};
+use rand::Rng;
+
+/// One block: the mutually exclusive alternatives of a single probabilistic
+/// tuple, each with its probability. The probabilities must sum to at most 1;
+/// the leftover mass is the probability that the tuple is absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidBlock {
+    key: TupleKey,
+    alternatives: Vec<(AttrValue, f64)>,
+}
+
+impl BidBlock {
+    /// Builds a block, validating each probability and the total mass.
+    pub fn new(key: TupleKey, alternatives: Vec<(AttrValue, f64)>) -> Result<Self, ModelError> {
+        if alternatives.is_empty() {
+            return Err(ModelError::Empty {
+                context: format!("BID block for key {key}"),
+            });
+        }
+        let mut total = 0.0;
+        for (v, p) in &alternatives {
+            validate_probability(*p, &format!("alternative ({key}, {v})"))?;
+            total += p;
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(ModelError::ProbabilityMassExceeded {
+                total,
+                context: format!("BID block for key {key}"),
+            });
+        }
+        Ok(BidBlock { key, alternatives })
+    }
+
+    /// Convenience constructor from `(value, probability)` pairs.
+    pub fn from_pairs(key: u64, pairs: &[(f64, f64)]) -> Result<Self, ModelError> {
+        Self::new(
+            TupleKey(key),
+            pairs.iter().map(|&(v, p)| (AttrValue(v), p)).collect(),
+        )
+    }
+
+    /// The block's possible-worlds key.
+    #[inline]
+    pub fn key(&self) -> TupleKey {
+        self.key
+    }
+
+    /// The block's `(value, probability)` alternatives.
+    #[inline]
+    pub fn alternatives(&self) -> &[(AttrValue, f64)] {
+        &self.alternatives
+    }
+
+    /// Probability that the tuple is present at all (sum over alternatives).
+    pub fn presence_probability(&self) -> f64 {
+        self.alternatives.iter().map(|(_, p)| *p).sum()
+    }
+
+    /// The highest-probability alternative of this block (used by the
+    /// BID Jaccard-median heuristic of §4.2).
+    pub fn best_alternative(&self) -> (Alternative, f64) {
+        let (v, p) = self
+            .alternatives
+            .iter()
+            .max_by(|(v1, p1), (v2, p2)| {
+                p1.partial_cmp(p2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| v1.cmp(v2))
+            })
+            .expect("blocks are non-empty by construction");
+        (
+            Alternative {
+                key: self.key,
+                value: *v,
+            },
+            *p,
+        )
+    }
+}
+
+/// A block-independent-disjoint probabilistic relation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BidDb {
+    blocks: Vec<BidBlock>,
+}
+
+impl BidDb {
+    /// Builds the relation, rejecting duplicate block keys.
+    pub fn new(blocks: Vec<BidBlock>) -> Result<Self, ModelError> {
+        let mut keys: Vec<TupleKey> = blocks.iter().map(|b| b.key).collect();
+        keys.sort();
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ModelError::DuplicateKey {
+                    key: pair[0].0,
+                    context: "BID relation".to_string(),
+                });
+            }
+        }
+        Ok(BidDb { blocks })
+    }
+
+    /// The blocks of the relation.
+    #[inline]
+    pub fn blocks(&self) -> &[BidBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks (probabilistic tuples).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the relation has no blocks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of alternatives across all blocks.
+    pub fn alternative_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.alternatives.len()).sum()
+    }
+
+    /// Builds a BID relation in which every block has exactly one alternative
+    /// — i.e. the embedding of a tuple-independent database.
+    pub fn from_tuple_independent(db: &crate::TupleIndependentDb) -> Self {
+        let blocks = db
+            .tuples()
+            .iter()
+            .map(|(a, p)| BidBlock {
+                key: a.key,
+                alternatives: vec![(a.value, *p)],
+            })
+            .collect();
+        BidDb { blocks }
+    }
+}
+
+impl WorldModel for BidDb {
+    fn alternatives(&self) -> Vec<Alternative> {
+        let mut alts: Vec<Alternative> = self
+            .blocks
+            .iter()
+            .flat_map(|b| {
+                b.alternatives.iter().map(move |(v, _)| Alternative {
+                    key: b.key,
+                    value: *v,
+                })
+            })
+            .collect();
+        alts.sort();
+        alts
+    }
+
+    fn enumerate_worlds(&self) -> WorldSet {
+        // Each block contributes (its alternatives + "absent"); the number of
+        // worlds is the product of (|block| + 1) over blocks (or |block| when
+        // the block's mass is exactly 1).
+        let mut worlds: Vec<(Vec<Alternative>, f64)> = vec![(Vec::new(), 1.0)];
+        for block in &self.blocks {
+            let absent = 1.0 - block.presence_probability();
+            let mut next = Vec::with_capacity(worlds.len() * (block.alternatives.len() + 1));
+            for (alts, p) in &worlds {
+                if absent > 1e-12 {
+                    next.push((alts.clone(), p * absent));
+                }
+                for (v, q) in &block.alternatives {
+                    if *q == 0.0 {
+                        continue;
+                    }
+                    let mut with = alts.clone();
+                    with.push(Alternative {
+                        key: block.key,
+                        value: *v,
+                    });
+                    next.push((with, p * q));
+                }
+            }
+            worlds = next;
+            assert!(
+                worlds.len() <= 4_000_000,
+                "exhaustive BID enumeration grew past 4M worlds"
+            );
+        }
+        WorldSet::new_unchecked(
+            worlds
+                .into_iter()
+                .map(|(alts, p)| (PossibleWorld::from_trusted(alts), p))
+                .collect(),
+        )
+        .normalize()
+    }
+
+    fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> PossibleWorld {
+        let mut alts = Vec::new();
+        for block in &self.blocks {
+            let mut u: f64 = rng.gen();
+            for (v, p) in &block.alternatives {
+                if u < *p {
+                    alts.push(Alternative {
+                        key: block.key,
+                        value: *v,
+                    });
+                    break;
+                }
+                u -= p;
+            }
+        }
+        PossibleWorld::from_trusted(alts)
+    }
+
+    fn alternative_probability(&self, alt: &Alternative) -> f64 {
+        self.blocks
+            .iter()
+            .find(|b| b.key == alt.key)
+            .and_then(|b| {
+                b.alternatives
+                    .iter()
+                    .find(|(v, _)| *v == alt.value)
+                    .map(|(_, p)| *p)
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The block-independent relation of Figure 1(i): four tuples, each with
+    /// two alternatives. The per-block presence probabilities are 0.6, 0.8,
+    /// 1.0, 1.0, giving the world-size generating function
+    /// `0.08·x² + 0.44·x³ + 0.48·x⁴` stated in the figure.
+    pub(crate) fn figure1_bid() -> BidDb {
+        BidDb::new(vec![
+            BidBlock::from_pairs(1, &[(8.0, 0.1), (2.0, 0.5)]).unwrap(),
+            BidBlock::from_pairs(2, &[(3.0, 0.4), (4.0, 0.4)]).unwrap(),
+            BidBlock::from_pairs(3, &[(1.0, 0.2), (9.0, 0.8)]).unwrap(),
+            BidBlock::from_pairs(4, &[(6.0, 0.5), (5.0, 0.5)]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn block_validation() {
+        assert!(BidBlock::from_pairs(1, &[(1.0, 0.6), (2.0, 0.5)]).is_err());
+        assert!(BidBlock::from_pairs(1, &[(1.0, -0.1)]).is_err());
+        assert!(BidBlock::from_pairs(1, &[]).is_err());
+        let b = BidBlock::from_pairs(1, &[(1.0, 0.6), (2.0, 0.4)]).unwrap();
+        assert!((b.presence_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_rejects_duplicate_blocks() {
+        let b1 = BidBlock::from_pairs(1, &[(1.0, 0.5)]).unwrap();
+        let b2 = BidBlock::from_pairs(1, &[(2.0, 0.5)]).unwrap();
+        assert!(BidDb::new(vec![b1, b2]).is_err());
+    }
+
+    #[test]
+    fn figure1_enumeration_probabilities() {
+        let db = figure1_bid();
+        let ws = db.enumerate_worlds();
+        let total: f64 = ws.worlds().iter().map(|(_, p)| *p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Tuple 2 has total presence probability 0.8; each alternative 0.4.
+        assert!((ws.marginal_key(TupleKey(2)) - 0.8).abs() < 1e-9);
+        assert!((ws.marginal(&Alternative::new(2, 3.0)) - 0.4).abs() < 1e-9);
+        // World-size distribution stated in Figure 1(i):
+        // 0.08·x² + 0.44·x³ + 0.48·x⁴.
+        let size_prob = |s: usize| -> f64 {
+            ws.worlds()
+                .iter()
+                .filter(|(w, _)| w.len() == s)
+                .map(|(_, p)| *p)
+                .sum()
+        };
+        assert!((size_prob(2) - 0.08).abs() < 1e-9);
+        assert!((size_prob(3) - 0.44).abs() < 1e-9);
+        assert!((size_prob(4) - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_alternative_picks_highest_probability() {
+        let b = BidBlock::from_pairs(5, &[(1.0, 0.3), (2.0, 0.5), (3.0, 0.2)]).unwrap();
+        let (alt, p) = b.best_alternative();
+        assert_eq!(alt, Alternative::new(5, 2.0));
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tuple_independent_round_trip() {
+        let ti =
+            crate::TupleIndependentDb::from_triples(&[(1, 5.0, 0.25), (2, 7.0, 0.75)]).unwrap();
+        let bid = BidDb::from_tuple_independent(&ti);
+        assert_eq!(bid.len(), 2);
+        assert!((bid.alternative_probability(&Alternative::new(1, 5.0)) - 0.25).abs() < 1e-12);
+        let ws_ti = ti.enumerate_worlds();
+        let ws_bid = bid.enumerate_worlds();
+        assert_eq!(ws_ti, ws_bid);
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let db = figure1_bid();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 30_000;
+        let mut count = 0;
+        for _ in 0..n {
+            let w = db.sample_world(&mut rng);
+            if w.contains(&Alternative::new(3, 9.0)) {
+                count += 1;
+            }
+        }
+        let freq = count as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn alternative_count_counts_all() {
+        assert_eq!(figure1_bid().alternative_count(), 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! Typed errors for model construction and validation.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating probabilistic relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A probability was outside `[0, 1]` (or not finite).
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of where the value was found.
+        context: String,
+    },
+    /// The probabilities of mutually exclusive alternatives summed to more
+    /// than one.
+    ProbabilityMassExceeded {
+        /// The offending sum.
+        total: f64,
+        /// Human-readable description of the block/node.
+        context: String,
+    },
+    /// Two alternatives with the same possible-worlds key were allowed to
+    /// co-exist (violating the key constraint of the model).
+    DuplicateKey {
+        /// The duplicated key.
+        key: u64,
+        /// Human-readable description of where the duplicate appeared.
+        context: String,
+    },
+    /// A structure was empty where at least one element is required.
+    Empty {
+        /// Human-readable description of the empty structure.
+        context: String,
+    },
+    /// A caller-supplied index or identifier did not refer to anything.
+    NotFound {
+        /// Human-readable description of the missing reference.
+        context: String,
+    },
+    /// A structural invariant was violated (catch-all with description).
+    Invalid {
+        /// Human-readable description of the violation.
+        context: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} ({context})")
+            }
+            ModelError::ProbabilityMassExceeded { total, context } => {
+                write!(f, "probability mass {total} exceeds 1 ({context})")
+            }
+            ModelError::DuplicateKey { key, context } => {
+                write!(f, "duplicate possible-worlds key {key} ({context})")
+            }
+            ModelError::Empty { context } => write!(f, "empty structure: {context}"),
+            ModelError::NotFound { context } => write!(f, "not found: {context}"),
+            ModelError::Invalid { context } => write!(f, "invalid structure: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates that `p` is a finite probability in `[0, 1]` (with a tiny
+/// tolerance for accumulated rounding).
+pub fn validate_probability(p: f64, context: &str) -> Result<(), ModelError> {
+    if !p.is_finite() || p < -1e-9 || p > 1.0 + 1e-9 {
+        Err(ModelError::InvalidProbability {
+            value: p,
+            context: context.to_string(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_probability_accepts_unit_interval() {
+        assert!(validate_probability(0.0, "t").is_ok());
+        assert!(validate_probability(1.0, "t").is_ok());
+        assert!(validate_probability(0.5, "t").is_ok());
+    }
+
+    #[test]
+    fn validate_probability_rejects_invalid() {
+        assert!(validate_probability(-0.1, "t").is_err());
+        assert!(validate_probability(1.1, "t").is_err());
+        assert!(validate_probability(f64::NAN, "t").is_err());
+    }
+
+    #[test]
+    fn errors_render_context() {
+        let e = ModelError::DuplicateKey {
+            key: 7,
+            context: "block 3".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains('7'));
+        assert!(s.contains("block 3"));
+    }
+}

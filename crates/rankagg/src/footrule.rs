@@ -1,0 +1,193 @@
+//! Optimal footrule aggregation via bipartite assignment.
+//!
+//! Dwork, Kumar, Naor & Sivakumar (WWW 2001) observed that the ranking
+//! minimising the total Spearman footrule distance to a set of input rankings
+//! can be found in polynomial time: place item `t` at position `p` with cost
+//! `Σ_i w_i · |σ_i(t) − p|` and solve the resulting assignment problem. Since
+//! the footrule is within a factor 2 of the Kendall distance, the optimal
+//! footrule aggregation is a 2-approximation of the Kemeny aggregation.
+//!
+//! The same construction, with positions restricted to `1..k` and missing
+//! items charged at the location parameter `ℓ = k + 1`, gives footrule
+//! aggregation for Top-k lists — the deterministic skeleton that the paper's
+//! §5.4 consensus answer instantiates with probabilities from the and/xor
+//! tree.
+
+use crate::lists::{FullRanking, TopKList};
+use cpdb_assignment::min_cost_assignment;
+
+/// Optimal footrule aggregation of weighted full rankings over `items`.
+/// Every input ranking must rank every item.
+pub fn footrule_aggregate(items: &[u64], rankings: &[(FullRanking, f64)]) -> FullRanking {
+    assert!(!items.is_empty(), "need at least one item");
+    let n = items.len();
+    // cost[i][p] = Σ_r w_r |σ_r(item_i) - (p+1)|
+    let cost: Vec<Vec<f64>> = items
+        .iter()
+        .map(|&item| {
+            (0..n)
+                .map(|p| {
+                    rankings
+                        .iter()
+                        .map(|(r, w)| {
+                            let pos = r
+                                .position_of(item)
+                                .expect("full rankings must rank every item")
+                                as f64;
+                            w * (pos - (p + 1) as f64).abs()
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = min_cost_assignment(&cost);
+    let mut slots: Vec<u64> = vec![0; n];
+    for (i, col) in assignment.row_to_col.iter().enumerate() {
+        slots[col.expect("square assignment matches every row")] = items[i];
+    }
+    FullRanking::new(slots).expect("permutation of distinct items")
+}
+
+/// Optimal footrule aggregation of weighted Top-k lists: chooses `k` of the
+/// `items` and an order for them minimising the total weighted footrule
+/// distance (with location parameter `k + 1`) to the reference lists.
+///
+/// The cost of placing item `t` at position `p ≤ k` is
+/// `Σ_i w_i · |pos_i(t) − p|` where `pos_i(t) = k + 1` when `t ∉ τ_i`; the
+/// cost of *not* selecting `t` is `Σ_i w_i · |pos_i(t) − (k+1)|`, which is
+/// constant per item and handled by subtracting it from the placement costs
+/// (so leaving an item out is the zero-cost default).
+pub fn footrule_aggregate_topk(items: &[u64], lists: &[(TopKList, f64)], k: usize) -> TopKList {
+    if k == 0 || items.is_empty() {
+        return TopKList::empty();
+    }
+    let k = k.min(items.len());
+    let ell = (k + 1) as f64;
+    // Placement cost relative to the "left out" baseline.
+    let cost: Vec<Vec<f64>> = items
+        .iter()
+        .map(|&item| {
+            let leave_out: f64 = lists
+                .iter()
+                .map(|(l, w)| {
+                    let pos = l.position_of(item).map(|p| p as f64).unwrap_or(ell);
+                    w * (pos - ell).abs()
+                })
+                .sum();
+            (0..k)
+                .map(|p| {
+                    let place: f64 = lists
+                        .iter()
+                        .map(|(l, w)| {
+                            let pos = l.position_of(item).map(|p| p as f64).unwrap_or(ell);
+                            w * (pos - (p + 1) as f64).abs()
+                        })
+                        .sum();
+                    place - leave_out
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = min_cost_assignment(&cost);
+    let mut slots: Vec<Option<u64>> = vec![None; k];
+    for (i, col) in assignment.row_to_col.iter().enumerate() {
+        if let Some(c) = col {
+            slots[*c] = Some(items[i]);
+        }
+    }
+    TopKList::new(slots.into_iter().flatten().collect()).expect("distinct by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::footrule_distance;
+
+    #[test]
+    fn unanimous_input_is_reproduced() {
+        let items = [1u64, 2, 3, 4];
+        let r = FullRanking::new(vec![4, 2, 1, 3]).unwrap();
+        let agg = footrule_aggregate(&items, &[(r.clone(), 1.0)]);
+        assert_eq!(agg, r);
+    }
+
+    #[test]
+    fn aggregation_minimises_total_footrule() {
+        let items = [1u64, 2, 3];
+        let rankings = [
+            (FullRanking::new(vec![1, 2, 3]).unwrap(), 1.0),
+            (FullRanking::new(vec![2, 1, 3]).unwrap(), 1.0),
+            (FullRanking::new(vec![1, 3, 2]).unwrap(), 1.0),
+        ];
+        let agg = footrule_aggregate(&items, &rankings);
+        let total = |candidate: &FullRanking| -> f64 {
+            rankings
+                .iter()
+                .map(|(r, w)| w * candidate.footrule_distance(r) as f64)
+                .sum()
+        };
+        // Exhaustively verify optimality over all 6 permutations.
+        let perms: [Vec<u64>; 6] = [
+            vec![1, 2, 3],
+            vec![1, 3, 2],
+            vec![2, 1, 3],
+            vec![2, 3, 1],
+            vec![3, 1, 2],
+            vec![3, 2, 1],
+        ];
+        let best = perms
+            .iter()
+            .map(|p| total(&FullRanking::new(p.clone()).unwrap()))
+            .fold(f64::INFINITY, f64::min);
+        assert!((total(&agg) - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topk_aggregation_unanimous() {
+        let items = [1u64, 2, 3, 4, 5];
+        let l = TopKList::new(vec![3, 1, 4]).unwrap();
+        let agg = footrule_aggregate_topk(&items, &[(l.clone(), 1.0)], 3);
+        assert_eq!(agg, l);
+    }
+
+    #[test]
+    fn topk_aggregation_is_optimal_on_small_instance() {
+        let items = [1u64, 2, 3, 4];
+        let lists = [
+            (TopKList::new(vec![1, 2]).unwrap(), 0.5),
+            (TopKList::new(vec![2, 3]).unwrap(), 0.3),
+            (TopKList::new(vec![4, 2]).unwrap(), 0.2),
+        ];
+        let agg = footrule_aggregate_topk(&items, &lists, 2);
+        let total = |candidate: &TopKList| -> f64 {
+            lists
+                .iter()
+                .map(|(l, w)| w * footrule_distance(candidate, l))
+                .sum()
+        };
+        // Enumerate all ordered pairs of distinct items.
+        let mut best = f64::INFINITY;
+        for &a in &items {
+            for &b in &items {
+                if a == b {
+                    continue;
+                }
+                let cand = TopKList::new(vec![a, b]).unwrap();
+                best = best.min(total(&cand));
+            }
+        }
+        assert!(
+            (total(&agg) - best).abs() < 1e-9,
+            "aggregated {} vs best {best}",
+            total(&agg)
+        );
+    }
+
+    #[test]
+    fn topk_k_zero_returns_empty() {
+        let items = [1u64, 2];
+        let lists = [(TopKList::new(vec![1]).unwrap(), 1.0)];
+        assert!(footrule_aggregate_topk(&items, &lists, 0).is_empty());
+    }
+}

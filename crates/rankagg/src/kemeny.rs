@@ -1,0 +1,186 @@
+//! Exact (brute-force) Kemeny-optimal rank aggregation.
+//!
+//! The Kemeny optimal aggregation of rankings `τ₁ … τ_m` is the ranking `τ`
+//! minimising `Σ_i w_i · K(τ, τ_i)` where `K` is the Kendall tau distance.
+//! Computing it is NP-hard already for four input rankings (Dwork et al.),
+//! so this module provides an exhaustive solver for small item sets — used
+//! throughout the repository as the ground-truth oracle that approximation
+//! algorithms (pivot, footrule, Borda) are measured against.
+
+use crate::lists::{FullRanking, TopKList};
+use crate::metrics::kendall_tau_topk;
+use crate::pivot::PreferenceMatrix;
+
+/// Exhaustively finds a Kemeny-optimal full ranking of `items` against a
+/// weighted pairwise-preference tournament. The objective minimised is
+/// `Σ_{i ranked after j} w(j, i)` — the total weight of violated preferences
+/// — which equals the weighted Kendall distance to the input rankings when
+/// `w` is built from them.
+///
+/// # Panics
+///
+/// Panics when more than 10 items are supplied (10! permutations ≈ 3.6M).
+pub fn kemeny_optimal(items: &[u64], prefs: &PreferenceMatrix) -> (FullRanking, f64) {
+    assert!(
+        items.len() <= 10,
+        "brute-force Kemeny aggregation limited to 10 items"
+    );
+    assert!(!items.is_empty(), "need at least one item");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    let mut best_cost = f64::INFINITY;
+    let mut best_order = order.clone();
+    permute(&mut order, 0, &mut |perm| {
+        let mut cost = 0.0;
+        for a in 0..perm.len() {
+            for b in (a + 1)..perm.len() {
+                // items[perm[a]] is ranked ahead of items[perm[b]]; we pay the
+                // weight of voters preferring the opposite order.
+                cost += prefs.weight(items[perm[b]], items[perm[a]]);
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_order = perm.to_vec();
+        }
+    });
+    let ranking = FullRanking::new(best_order.iter().map(|&i| items[i]).collect())
+        .expect("permutation of distinct items");
+    (ranking, best_cost)
+}
+
+/// Exhaustively finds the Top-k list (over `items`, any subset of size `k`,
+/// any order) minimising the weighted average Kendall-tau Top-k distance to
+/// the given `(list, weight)` pairs. Ground-truth oracle for the Kendall
+/// consensus Top-k answer.
+///
+/// # Panics
+///
+/// Panics when the search space `P(n, k)` exceeds ~1e7.
+pub fn kemeny_optimal_topk(
+    items: &[u64],
+    k: usize,
+    references: &[(TopKList, f64)],
+) -> (TopKList, f64) {
+    let n = items.len();
+    let k = k.min(n);
+    let mut space = 1.0f64;
+    for i in 0..k {
+        space *= (n - i) as f64;
+    }
+    assert!(space <= 1e7, "Top-k enumeration space too large ({space})");
+    let mut best: Option<(TopKList, f64)> = None;
+    let mut current: Vec<u64> = Vec::with_capacity(k);
+    let mut used = vec![false; n];
+    enumerate_topk(
+        items,
+        k,
+        &mut current,
+        &mut used,
+        &mut |candidate: &[u64]| {
+            let list = TopKList::new(candidate.to_vec()).expect("distinct by construction");
+            let cost: f64 = references
+                .iter()
+                .map(|(r, w)| w * kendall_tau_topk(&list, r))
+                .sum();
+            if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+                best = Some((list, cost));
+            }
+        },
+    );
+    best.expect("k ≥ 0 implies at least the empty candidate")
+}
+
+fn permute<F: FnMut(&[usize])>(order: &mut Vec<usize>, start: usize, visit: &mut F) {
+    if start == order.len() {
+        visit(order);
+        return;
+    }
+    for i in start..order.len() {
+        order.swap(start, i);
+        permute(order, start + 1, visit);
+        order.swap(start, i);
+    }
+}
+
+fn enumerate_topk<F: FnMut(&[u64])>(
+    items: &[u64],
+    k: usize,
+    current: &mut Vec<u64>,
+    used: &mut Vec<bool>,
+    visit: &mut F,
+) {
+    if current.len() == k {
+        visit(current);
+        return;
+    }
+    for i in 0..items.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        current.push(items[i]);
+        enumerate_topk(items, k, current, used, visit);
+        current.pop();
+        used[i] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::FullRanking;
+
+    #[test]
+    fn kemeny_of_identical_rankings_is_that_ranking() {
+        let items = [1u64, 2, 3, 4];
+        let r = FullRanking::new(vec![3, 1, 4, 2]).unwrap();
+        let prefs = PreferenceMatrix::from_rankings(&items, &[(r.clone(), 1.0)]);
+        let (best, cost) = kemeny_optimal(&items, &prefs);
+        assert_eq!(best, r);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn kemeny_majority_order_wins() {
+        let items = [1u64, 2, 3];
+        let rankings = [
+            (FullRanking::new(vec![1, 2, 3]).unwrap(), 2.0),
+            (FullRanking::new(vec![2, 1, 3]).unwrap(), 1.0),
+        ];
+        let prefs = PreferenceMatrix::from_rankings(&items, &rankings);
+        let (best, cost) = kemeny_optimal(&items, &prefs);
+        assert_eq!(best.items(), &[1, 2, 3]);
+        // Only the minority voter's (2 ≻ 1) preference is violated; the
+        // preference matrix normalises weights, so the cost is 1/3.
+        assert!((cost - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kemeny_topk_prefers_frequent_members() {
+        let refs = vec![
+            (TopKList::new(vec![1, 2]).unwrap(), 0.6),
+            (TopKList::new(vec![2, 3]).unwrap(), 0.4),
+        ];
+        let (best, _) = kemeny_optimal_topk(&[1, 2, 3, 4], 2, &refs);
+        // Item 2 appears in both reference lists, item 1 in the heavier one.
+        assert!(best.contains(2));
+        assert!(best.contains(1));
+    }
+
+    #[test]
+    fn kemeny_topk_zero_cost_when_all_references_identical() {
+        let r = TopKList::new(vec![5, 6, 7]).unwrap();
+        let refs = vec![(r.clone(), 1.0)];
+        let (best, cost) = kemeny_optimal_topk(&[5, 6, 7, 8, 9], 3, &refs);
+        assert_eq!(best, r);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 10 items")]
+    fn kemeny_rejects_large_instances() {
+        let items: Vec<u64> = (0..11).collect();
+        let prefs = PreferenceMatrix::new(&items);
+        kemeny_optimal(&items, &prefs);
+    }
+}

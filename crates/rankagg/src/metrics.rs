@@ -1,0 +1,280 @@
+//! Distance measures between Top-k lists (Fagin, Kumar & Sivakumar 2003).
+//!
+//! These are the metrics §5.1 of the paper builds on:
+//!
+//! * [`symmetric_difference_topk`] — `d_Δ(τ₁, τ₂) = |τ₁ Δ τ₂| / (2k)`,
+//!   membership only;
+//! * [`intersection_metric`] — `d_I(τ₁, τ₂) = (1/k) Σ_{i=1}^k d_Δ(τ₁^i, τ₂^i)`,
+//!   membership at every prefix depth;
+//! * [`footrule_distance`] — Spearman's footrule with location parameter
+//!   `ℓ = k + 1`: missing items are placed at position `k+1`;
+//! * [`kendall_tau_topk`] — Kendall's tau with the optimistic (`K^(0)`)
+//!   treatment of pairs that never co-occur.
+
+use crate::lists::TopKList;
+
+/// Normalised symmetric-difference distance between two Top-k lists:
+/// `|τ₁ Δ τ₂| / (2k)` with `k = max(|τ₁|, |τ₂|)`. Ranges over `[0, 1]`;
+/// `0` for identical membership, `1` for disjoint lists of equal length.
+/// Returns 0 when both lists are empty.
+pub fn symmetric_difference_topk(a: &TopKList, b: &TopKList) -> f64 {
+    let k = a.len().max(b.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let overlap = a.overlap(b);
+    let sym_diff = (a.len() - overlap) + (b.len() - overlap);
+    sym_diff as f64 / (2.0 * k as f64)
+}
+
+/// The intersection metric: the average, over prefix depths `i = 1..k`, of
+/// the normalised symmetric difference of the two `i`-prefixes.
+pub fn intersection_metric(a: &TopKList, b: &TopKList) -> f64 {
+    let k = a.len().max(b.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 1..=k {
+        total += symmetric_difference_topk(&a.prefix(i), &b.prefix(i));
+    }
+    total / k as f64
+}
+
+/// Spearman's footrule with location parameter `ℓ = k + 1` (denoted `F^(k+1)`
+/// or `dF` in the paper): every item missing from a list is treated as if it
+/// were at position `k + 1`, then the usual footrule (L1 distance between
+/// position vectors) is computed over the union of the two lists.
+pub fn footrule_distance(a: &TopKList, b: &TopKList) -> f64 {
+    let k = a.len().max(b.len());
+    let ell = (k + 1) as f64;
+    let mut items: Vec<u64> = a.items().to_vec();
+    for &it in b.items() {
+        if !a.contains(it) {
+            items.push(it);
+        }
+    }
+    let mut total = 0.0;
+    for it in items {
+        let pa = a.position_of(it).map(|p| p as f64).unwrap_or(ell);
+        let pb = b.position_of(it).map(|p| p as f64).unwrap_or(ell);
+        total += (pa - pb).abs();
+    }
+    total
+}
+
+/// Kendall's tau distance between Top-k lists with the optimistic handling of
+/// pairs absent from one of the lists (the `K^(0)` variant of Fagin et al.):
+///
+/// * both items in both lists → 1 if their relative order differs;
+/// * both items in list 1, only one in list 2 (say `i`) → 1 if list 1 ranks
+///   `j` ahead of `i` (list 2 implicitly ranks `i` ahead of `j`);
+/// * `i` only in list 1 and `j` only in list 2 → always 1 (each list
+///   implicitly ranks its own member ahead);
+/// * both items in only one of the lists → 0.
+pub fn kendall_tau_topk(a: &TopKList, b: &TopKList) -> f64 {
+    let mut items: Vec<u64> = a.items().to_vec();
+    for &it in b.items() {
+        if !a.contains(it) {
+            items.push(it);
+        }
+    }
+    let pa = a.position_map();
+    let pb = b.position_map();
+    let mut total = 0.0;
+    for x in 0..items.len() {
+        for y in (x + 1)..items.len() {
+            let (i, j) = (items[x], items[y]);
+            match (pa.get(&i), pa.get(&j), pb.get(&i), pb.get(&j)) {
+                (Some(ai), Some(aj), Some(bi), Some(bj)) => {
+                    if (ai < aj) != (bi < bj) {
+                        total += 1.0;
+                    }
+                }
+                // i, j both in a; only one of them in b.
+                (Some(ai), Some(aj), Some(_), None) => {
+                    // b ranks i ahead of j; disagreement iff a ranks j ahead.
+                    if aj < ai {
+                        total += 1.0;
+                    }
+                }
+                (Some(ai), Some(aj), None, Some(_)) => {
+                    if ai < aj {
+                        total += 1.0;
+                    }
+                }
+                // i, j both in b; only one of them in a.
+                (Some(_), None, Some(bi), Some(bj)) => {
+                    if bj < bi {
+                        total += 1.0;
+                    }
+                }
+                (None, Some(_), Some(bi), Some(bj)) => {
+                    if bi < bj {
+                        total += 1.0;
+                    }
+                }
+                // i appears only in one list and j only in the other.
+                (Some(_), None, None, Some(_)) | (None, Some(_), Some(_), None) => {
+                    total += 1.0;
+                }
+                // Both items confined to the same single list (or absent):
+                // optimistic variant counts 0.
+                _ => {}
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(items: &[u64]) -> TopKList {
+        TopKList::new(items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn symmetric_difference_extremes() {
+        let a = list(&[1, 2, 3]);
+        assert_eq!(symmetric_difference_topk(&a, &a), 0.0);
+        let b = list(&[4, 5, 6]);
+        assert_eq!(symmetric_difference_topk(&a, &b), 1.0);
+        assert_eq!(
+            symmetric_difference_topk(&TopKList::empty(), &TopKList::empty()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn symmetric_difference_partial_overlap() {
+        let a = list(&[1, 2, 3, 4]);
+        let b = list(&[3, 4, 5, 6]);
+        // |Δ| = 4, 2k = 8.
+        assert!((symmetric_difference_topk(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_metric_penalises_early_disagreement() {
+        // Same membership, different order: d_Δ = 0 but d_I > 0.
+        let a = list(&[1, 2, 3]);
+        let b = list(&[3, 2, 1]);
+        assert_eq!(symmetric_difference_topk(&a, &b), 0.0);
+        let di = intersection_metric(&a, &b);
+        // Prefix 1: {1} vs {3} → 1; prefix 2: {1,2} vs {3,2} → 1/2; prefix 3: 0.
+        assert!((di - (1.0 + 0.5 + 0.0) / 3.0).abs() < 1e-12);
+        // Disagreement at the top is worse than at the bottom.
+        let c = list(&[1, 3, 2]);
+        assert!(intersection_metric(&a, &c) < di);
+    }
+
+    #[test]
+    fn intersection_metric_bounds() {
+        let a = list(&[1, 2]);
+        let b = list(&[3, 4]);
+        assert_eq!(intersection_metric(&a, &b), 1.0);
+        assert_eq!(intersection_metric(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn footrule_identical_and_disjoint() {
+        let a = list(&[1, 2, 3]);
+        assert_eq!(footrule_distance(&a, &a), 0.0);
+        let b = list(&[4, 5, 6]);
+        // Every item of a is at (1,2,3) vs ℓ=4: 3+2+1 = 6; same for b: total 12.
+        assert_eq!(footrule_distance(&a, &b), 12.0);
+    }
+
+    #[test]
+    fn footrule_matches_paper_formula() {
+        // dF(τ1,τ2) = (k+1)|τ1Δτ2| + Σ_{t∈both}|τ1(t)-τ2(t)|
+        //             - Σ_{t∈τ1\τ2} τ1(t) - Σ_{t∈τ2\τ1} τ2(t).
+        let t1 = list(&[1, 2, 3, 4]);
+        let t2 = list(&[2, 5, 4, 6]);
+        let k = 4.0;
+        let sym: f64 = 4.0; // {1,3} ∪ {5,6}
+        let common: f64 = (t1.position_of(2).unwrap() as f64 - t2.position_of(2).unwrap() as f64)
+            .abs()
+            + (t1.position_of(4).unwrap() as f64 - t2.position_of(4).unwrap() as f64).abs();
+        let only1: f64 = (t1.position_of(1).unwrap() + t1.position_of(3).unwrap()) as f64;
+        let only2: f64 = (t2.position_of(5).unwrap() + t2.position_of(6).unwrap()) as f64;
+        let formula = (k + 1.0) * sym + common - only1 - only2;
+        assert!((footrule_distance(&t1, &t2) - formula).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_topk_basic_cases() {
+        let a = list(&[1, 2, 3]);
+        assert_eq!(kendall_tau_topk(&a, &a), 0.0);
+        let b = list(&[2, 1, 3]);
+        assert_eq!(kendall_tau_topk(&a, &b), 1.0);
+        // Completely disjoint lists: every cross pair disagrees → k² pairs.
+        let c = list(&[4, 5, 6]);
+        assert_eq!(kendall_tau_topk(&a, &c), 9.0);
+    }
+
+    #[test]
+    fn kendall_case2_only_one_in_second_list() {
+        // a = [1, 2], b = [2, 3]:
+        //  pair (1,2): both in a, only 2 in b → a ranks 1 ahead, b ranks 2 ahead → 1
+        //  pair (1,3): 1 only in a, 3 only in b → 1
+        //  pair (2,3): both in b, only 2 in a → b ranks 2 ahead, a ranks 2 ahead → 0
+        let a = list(&[1, 2]);
+        let b = list(&[2, 3]);
+        assert_eq!(kendall_tau_topk(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn footrule_and_kendall_equivalence_class() {
+        // Fagin et al.: dK ≤ dF ≤ 2·dK for Top-k lists (both with the same k).
+        let lists = [
+            list(&[1, 2, 3]),
+            list(&[3, 2, 1]),
+            list(&[4, 2, 9]),
+            list(&[7, 8, 9]),
+            list(&[1, 9, 4]),
+        ];
+        for a in &lists {
+            for b in &lists {
+                let f = footrule_distance(a, b);
+                let k = kendall_tau_topk(a, b);
+                assert!(k <= f + 1e-9, "K={k} F={f}");
+                assert!(f <= 2.0 * k + 1e-9, "K={k} F={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = list(&[1, 2, 3, 4]);
+        let b = list(&[2, 6, 1, 7]);
+        assert_eq!(
+            symmetric_difference_topk(&a, &b),
+            symmetric_difference_topk(&b, &a)
+        );
+        assert_eq!(intersection_metric(&a, &b), intersection_metric(&b, &a));
+        assert_eq!(footrule_distance(&a, &b), footrule_distance(&b, &a));
+        assert_eq!(kendall_tau_topk(&a, &b), kendall_tau_topk(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_for_footrule() {
+        let xs = [
+            list(&[1, 2, 3]),
+            list(&[2, 3, 4]),
+            list(&[5, 1, 2]),
+            list(&[3, 2, 1]),
+        ];
+        for a in &xs {
+            for b in &xs {
+                for c in &xs {
+                    assert!(
+                        footrule_distance(a, c)
+                            <= footrule_distance(a, b) + footrule_distance(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the Top-k distance metrics and aggregation
+//! algorithms.
+
+use cpdb_rankagg::borda::borda_aggregate_topk;
+use cpdb_rankagg::footrule::footrule_aggregate_topk;
+use cpdb_rankagg::kemeny::kemeny_optimal;
+use cpdb_rankagg::metrics::{
+    footrule_distance, intersection_metric, kendall_tau_topk, symmetric_difference_topk,
+};
+use cpdb_rankagg::pivot::{pivot_best_of, PreferenceMatrix};
+use cpdb_rankagg::{FullRanking, TopKList};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a Top-k list of distinct items drawn from 0..12.
+fn topk_list() -> impl Strategy<Value = TopKList> {
+    prop::collection::vec(0u64..12, 0..6).prop_map(|mut items| {
+        items.sort_unstable();
+        items.dedup();
+        // A deterministic shuffle so the order isn't always ascending.
+        items.reverse();
+        TopKList::new(items).expect("deduplicated")
+    })
+}
+
+/// Strategy: a Top-k list of exactly `len` distinct items drawn from 0..12.
+fn topk_list_exact(len: usize) -> impl Strategy<Value = TopKList> {
+    Just((0u64..12).collect::<Vec<u64>>())
+        .prop_shuffle()
+        .prop_map(move |items| TopKList::new(items.into_iter().take(len).collect()).unwrap())
+}
+
+fn full_ranking() -> impl Strategy<Value = FullRanking> {
+    Just((0u64..6).collect::<Vec<u64>>())
+        .prop_shuffle()
+        .prop_map(|items| FullRanking::new(items).expect("permutation"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every metric is symmetric, non-negative, and zero on identical lists.
+    #[test]
+    fn metrics_are_symmetric_and_reflexive(a in topk_list(), b in topk_list()) {
+        for metric in [
+            symmetric_difference_topk,
+            intersection_metric,
+            footrule_distance,
+            kendall_tau_topk,
+        ] {
+            prop_assert!(metric(&a, &b) >= 0.0);
+            prop_assert!((metric(&a, &b) - metric(&b, &a)).abs() < 1e-12);
+            prop_assert_eq!(metric(&a, &a), 0.0);
+        }
+    }
+
+    /// Normalised metrics stay in [0, 1].
+    #[test]
+    fn normalised_metrics_bounded(a in topk_list(), b in topk_list()) {
+        prop_assert!(symmetric_difference_topk(&a, &b) <= 1.0 + 1e-12);
+        prop_assert!(intersection_metric(&a, &b) <= 1.0 + 1e-12);
+    }
+
+    /// The intersection metric is at least `d_Δ / k`: its depth-k term alone
+    /// already contributes the full symmetric difference divided by k, and
+    /// every other term is non-negative.
+    #[test]
+    fn intersection_lower_bounded_by_sym_diff(a in topk_list(), b in topk_list()) {
+        let k = a.len().max(b.len());
+        if k > 0 {
+            prop_assert!(
+                intersection_metric(&a, &b) + 1e-12
+                    >= symmetric_difference_topk(&a, &b) / k as f64
+            );
+        }
+    }
+
+    /// The footrule triangle inequality holds on Top-k lists of a common
+    /// length (the setting in which Fagin et al. prove `F^{(k+1)}` is a
+    /// metric).
+    #[test]
+    fn footrule_triangle_inequality(
+        a in topk_list_exact(3),
+        b in topk_list_exact(3),
+        c in topk_list_exact(3),
+    ) {
+        prop_assert!(
+            footrule_distance(&a, &c)
+                <= footrule_distance(&a, &b) + footrule_distance(&b, &c) + 1e-9
+        );
+    }
+
+    /// Kendall and footrule distances of full rankings obey the
+    /// Diaconis–Graham inequalities K ≤ F ≤ 2K.
+    #[test]
+    fn diaconis_graham(a in full_ranking(), b in full_ranking()) {
+        let k = a.kendall_tau(&b);
+        let f = a.footrule_distance(&b);
+        prop_assert!(k <= f);
+        prop_assert!(f <= 2 * k || k == 0);
+    }
+
+    /// Footrule aggregation of Top-k lists is never worse than the Borda
+    /// aggregation under the footrule objective (it is optimal when every
+    /// reference list has at most k items, so the location parameter k+1
+    /// matches the metric's).
+    #[test]
+    fn footrule_aggregation_beats_borda(
+        lists in prop::collection::vec((topk_list_exact(3), 0.1f64..1.0), 1..4),
+        k in 3usize..5,
+    ) {
+        let items: Vec<u64> = (0..12).collect();
+        let foot = footrule_aggregate_topk(&items, &lists, k);
+        let borda = borda_aggregate_topk(&items, &lists, k);
+        let objective = |cand: &TopKList| -> f64 {
+            lists.iter().map(|(l, w)| w * footrule_distance(cand, l)).sum()
+        };
+        prop_assert!(objective(&foot) <= objective(&borda) + 1e-9);
+    }
+
+    /// Pivot aggregation (best of a few runs) is within factor 2 of the
+    /// Kemeny optimum on random weighted tournaments.
+    #[test]
+    fn pivot_within_two_of_kemeny(seed in 0u64..1000) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<u64> = (0..5).collect();
+        let mut prefs = PreferenceMatrix::new(&items);
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let w: f64 = rng.gen();
+                prefs.set_weight(items[i], items[j], w);
+                prefs.set_weight(items[j], items[i], 1.0 - w);
+            }
+        }
+        let (_, opt) = kemeny_optimal(&items, &prefs);
+        let approx = pivot_best_of(&prefs, 6, &mut rng);
+        prop_assert!(prefs.disagreement(&approx) <= 2.0 * opt + 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Probability and score distributions used by the generators.
+
+use rand::Rng;
+
+/// How tuple-presence (or alternative) probabilities are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbabilityDistribution {
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Mostly confident tuples (probability close to 1) with a fraction of
+    /// low-confidence stragglers — the shape produced by information
+    /// extraction pipelines.
+    HighConfidence {
+        /// Fraction of low-confidence tuples, in `[0, 1]`.
+        noisy_fraction: f64,
+    },
+    /// Probabilities concentrated around ½ (maximum entropy per tuple) — the
+    /// hardest regime for consensus answers.
+    NearHalf,
+}
+
+impl ProbabilityDistribution {
+    /// Draws one probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ProbabilityDistribution::Uniform { lo, hi } => {
+                let lo = lo.clamp(0.0, 1.0);
+                let hi = hi.clamp(lo, 1.0);
+                if hi - lo < f64::EPSILON {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            ProbabilityDistribution::HighConfidence { noisy_fraction } => {
+                if rng.gen::<f64>() < noisy_fraction.clamp(0.0, 1.0) {
+                    rng.gen_range(0.05..0.5)
+                } else {
+                    rng.gen_range(0.8..1.0)
+                }
+            }
+            ProbabilityDistribution::NearHalf => rng.gen_range(0.35..0.65),
+        }
+    }
+}
+
+/// How tuple scores are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreDistribution {
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Zipf-like heavy tail: a few very large scores, many small ones.
+    Zipf {
+        /// Skew exponent (> 0); larger values concentrate mass at the top.
+        exponent: f64,
+    },
+    /// Scores correlated with the tuple's probability (`score ≈ scale · p`):
+    /// the regime where all ranking semantics tend to agree.
+    CorrelatedWithProbability {
+        /// Multiplicative scale applied to the probability.
+        scale: f64,
+    },
+}
+
+impl ScoreDistribution {
+    /// Draws one score given the tuple's (already drawn) probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, probability: f64) -> f64 {
+        match *self {
+            ScoreDistribution::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            ScoreDistribution::Zipf { exponent } => {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                u.powf(-1.0 / exponent.max(1e-6))
+            }
+            ScoreDistribution::CorrelatedWithProbability { scale } => {
+                probability * scale + rng.gen_range(0.0..0.01 * scale.abs().max(1.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_probabilities_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ProbabilityDistribution::Uniform { lo: 0.2, hi: 0.7 };
+        for _ in 0..1000 {
+            let p = d.sample(&mut rng);
+            assert!((0.2..=0.7).contains(&p));
+        }
+    }
+
+    #[test]
+    fn high_confidence_is_bimodal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = ProbabilityDistribution::HighConfidence {
+            noisy_fraction: 0.3,
+        };
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let high = samples.iter().filter(|&&p| p >= 0.8).count();
+        let low = samples.iter().filter(|&&p| p < 0.5).count();
+        assert!(high > 1000);
+        assert!(low > 350);
+        assert_eq!(high + low, samples.len());
+    }
+
+    #[test]
+    fn near_half_concentrates_around_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = ProbabilityDistribution::NearHalf;
+        for _ in 0..500 {
+            let p = d.sample(&mut rng);
+            assert!((0.35..0.65).contains(&p));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_constant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = ProbabilityDistribution::Uniform { lo: 0.5, hi: 0.5 };
+        assert_eq!(d.sample(&mut rng), 0.5);
+    }
+
+    #[test]
+    fn zipf_scores_are_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = ScoreDistribution::Zipf { exponent: 1.5 };
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng, 0.5)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(max > 20.0 * median, "max {max} median {median}");
+        assert!(samples.iter().all(|&s| s >= 1.0));
+    }
+
+    #[test]
+    fn correlated_scores_track_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = ScoreDistribution::CorrelatedWithProbability { scale: 100.0 };
+        let low = d.sample(&mut rng, 0.1);
+        let high = d.sample(&mut rng, 0.9);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,421 @@
+//! Seeded instance generators.
+//!
+//! Every generator takes a `Config` struct with a `seed` and produces the
+//! same instance for the same configuration, so experiments and benchmarks
+//! are reproducible. Scores are drawn without ties (perturbed by a tiny
+//! per-tuple offset) because the paper assumes distinct scores.
+
+use crate::distributions::{ProbabilityDistribution, ScoreDistribution};
+use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_model::{BidBlock, BidDb, TupleIndependentDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for tuple-independent relations of scored tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TupleIndependentConfig {
+    /// Number of tuples.
+    pub num_tuples: usize,
+    /// Presence-probability distribution.
+    pub probabilities: ProbabilityDistribution,
+    /// Score distribution.
+    pub scores: ScoreDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TupleIndependentConfig {
+    fn default() -> Self {
+        TupleIndependentConfig {
+            num_tuples: 100,
+            probabilities: ProbabilityDistribution::Uniform { lo: 0.05, hi: 1.0 },
+            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a tuple-independent relation of scored tuples.
+pub fn random_tuple_independent(config: &TupleIndependentConfig) -> TupleIndependentDb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let triples: Vec<(u64, f64, f64)> = (0..config.num_tuples)
+        .map(|i| {
+            let p = config.probabilities.sample(&mut rng);
+            // A tiny deterministic offset guarantees distinct scores.
+            let score = config.scores.sample(&mut rng, p) + i as f64 * 1e-7;
+            (i as u64, score, p)
+        })
+        .collect();
+    TupleIndependentDb::from_triples(&triples).expect("generated probabilities are valid")
+}
+
+/// Configuration for block-independent-disjoint relations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidConfig {
+    /// Number of blocks (probabilistic tuples).
+    pub num_blocks: usize,
+    /// Alternatives per block.
+    pub alternatives_per_block: usize,
+    /// Probability that a block is "maybe" (total mass < 1).
+    pub maybe_fraction: f64,
+    /// Score distribution for the alternatives.
+    pub scores: ScoreDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BidConfig {
+    fn default() -> Self {
+        BidConfig {
+            num_blocks: 50,
+            alternatives_per_block: 3,
+            maybe_fraction: 0.3,
+            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a BID relation with attribute-level uncertainty.
+pub fn random_bid_db(config: &BidConfig) -> BidDb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let blocks: Vec<BidBlock> = (0..config.num_blocks)
+        .map(|b| {
+            let alts = config.alternatives_per_block.max(1);
+            // Draw raw weights and normalise; "maybe" blocks keep some mass
+            // for the absent outcome.
+            let mut weights: Vec<f64> = (0..alts).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let absent = if rng.gen::<f64>() < config.maybe_fraction {
+                rng.gen_range(0.1..0.6)
+            } else {
+                0.0
+            };
+            let total: f64 = weights.iter().sum::<f64>() + absent;
+            weights.iter_mut().for_each(|w| *w /= total);
+            let pairs: Vec<(f64, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let score = config.scores.sample(&mut rng, p)
+                        + (b * alts + i) as f64 * 1e-7;
+                    (score, p)
+                })
+                .collect();
+            BidBlock::from_pairs(b as u64, &pairs).expect("normalised weights are valid")
+        })
+        .collect();
+    BidDb::new(blocks).expect("block keys are distinct")
+}
+
+/// Generates the and/xor tree of a random BID relation (the most common
+/// experimental substrate: independent probabilistic tuples with uncertain
+/// scores).
+pub fn random_scored_bid_tree(config: &BidConfig) -> AndXorTree {
+    cpdb_andxor::convert::from_bid(&random_bid_db(config))
+        .expect("generated BID relations satisfy the tree constraints")
+}
+
+/// Configuration for layered random and/xor trees with nested correlations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndXorTreeConfig {
+    /// Number of leaves (tuple alternatives).
+    pub num_leaves: usize,
+    /// Number of grouping layers above the leaf blocks (each layer
+    /// alternates ∧ / ∨ structure); 0 gives a flat BID-like tree.
+    pub depth: usize,
+    /// Fan-out of the grouping layers.
+    pub fanout: usize,
+    /// Score distribution.
+    pub scores: ScoreDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AndXorTreeConfig {
+    fn default() -> Self {
+        AndXorTreeConfig {
+            num_leaves: 64,
+            depth: 2,
+            fanout: 4,
+            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a layered and/xor tree with nested co-existence and mutual
+/// exclusion: leaves are grouped into ∧ "co-occurrence bundles", bundles are
+/// combined under ∨ choice nodes, and choice nodes are combined under a root
+/// ∧ node, repeated for `depth` layers.
+pub fn random_andxor_tree(config: &AndXorTreeConfig) -> AndXorTree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = AndXorTreeBuilder::new();
+    // Leaf layer: one leaf per key, distinct scores.
+    let mut nodes: Vec<cpdb_andxor::NodeId> = (0..config.num_leaves.max(1))
+        .map(|i| {
+            let p = rng.gen_range(0.05..1.0);
+            let score = config.scores.sample(&mut rng, p) + i as f64 * 1e-7;
+            b.leaf_parts(i as u64, score)
+        })
+        .collect();
+    // Alternate ∧ (bundle) and ∨ (choice) layers.
+    for layer in 0..config.depth.max(1) {
+        let fanout = config.fanout.max(2);
+        let mut next = Vec::with_capacity(nodes.len() / fanout + 1);
+        for chunk in nodes.chunks(fanout) {
+            if layer % 2 == 0 {
+                // ∨ layer: each child chosen with probability mass that sums
+                // to below 1 so the subtree can also produce nothing.
+                let mut weights: Vec<f64> =
+                    (0..chunk.len()).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let total: f64 = weights.iter().sum::<f64>() * rng.gen_range(1.0..1.5);
+                weights.iter_mut().for_each(|w| *w /= total);
+                next.push(b.xor_node(chunk.iter().copied().zip(weights).collect()));
+            } else {
+                next.push(b.and_node(chunk.to_vec()));
+            }
+        }
+        nodes = next;
+        if nodes.len() == 1 {
+            break;
+        }
+    }
+    let root = if nodes.len() == 1 {
+        nodes[0]
+    } else {
+        b.and_node(nodes)
+    };
+    b.build(root).expect("layered construction keeps keys disjoint under ∧ nodes")
+}
+
+/// Configuration for group-by count instances (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupByConfig {
+    /// Number of tuples.
+    pub num_tuples: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Zipf skew of the group-membership probabilities (0 = uniform).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GroupByConfig {
+    fn default() -> Self {
+        GroupByConfig {
+            num_tuples: 100,
+            num_groups: 8,
+            skew: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the probability matrix of a group-by count query: each tuple's
+/// group distribution is a normalised Zipf-weighted draw over a random
+/// permutation of the groups.
+pub fn random_groupby_instance(config: &GroupByConfig) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let m = config.num_groups.max(1);
+    (0..config.num_tuples.max(1))
+        .map(|_| {
+            let mut row: Vec<f64> = (0..m)
+                .map(|g| {
+                    let zipf = 1.0 / ((g + 1) as f64).powf(config.skew.max(0.0));
+                    zipf * rng.gen_range(0.05..1.0)
+                })
+                .collect();
+            // Random group permutation so the skew does not always favour the
+            // same group indices.
+            for i in (1..m).rev() {
+                let j = rng.gen_range(0..=i);
+                row.swap(i, j);
+            }
+            let total: f64 = row.iter().sum();
+            row.iter_mut().for_each(|p| *p /= total);
+            row
+        })
+        .collect()
+}
+
+/// Configuration for attribute-uncertain clustering instances (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringConfig {
+    /// Number of tuples.
+    pub num_tuples: usize,
+    /// Number of distinct attribute values (latent clusters).
+    pub num_values: usize,
+    /// Probability that a tuple takes its "home" value (higher = cleaner
+    /// clusters).
+    pub cohesion: f64,
+    /// Probability that a tuple is missing from a world entirely.
+    pub absence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig {
+            num_tuples: 30,
+            num_values: 4,
+            cohesion: 0.7,
+            absence: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates an and/xor tree for consensus clustering: every tuple has a
+/// latent home value taken with probability `cohesion`, a uniformly random
+/// other value otherwise, and is absent with probability `absence`.
+pub fn random_clustering_tree(config: &ClusteringConfig) -> AndXorTree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let values = config.num_values.max(2);
+    let mut b = AndXorTreeBuilder::new();
+    let mut xors = Vec::with_capacity(config.num_tuples);
+    for i in 0..config.num_tuples.max(1) {
+        let home = rng.gen_range(0..values);
+        let other = (home + 1 + rng.gen_range(0..values - 1)) % values;
+        let present = 1.0 - config.absence.clamp(0.0, 0.95);
+        let p_home = present * config.cohesion.clamp(0.0, 1.0);
+        let p_other = present - p_home;
+        let mut edges = Vec::new();
+        let l_home = b.leaf_parts(i as u64, home as f64);
+        edges.push((l_home, p_home));
+        if p_other > 1e-12 {
+            let l_other = b.leaf_parts(i as u64, other as f64);
+            edges.push((l_other, p_other));
+        }
+        xors.push(b.xor_node(edges));
+    }
+    let root = b.and_node(xors);
+    b.build(root).expect("per-tuple blocks keep keys disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_model::WorldModel;
+
+    #[test]
+    fn tuple_independent_generator_is_deterministic() {
+        let config = TupleIndependentConfig {
+            num_tuples: 20,
+            ..Default::default()
+        };
+        let a = random_tuple_independent(&config);
+        let b = random_tuple_independent(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        let other = random_tuple_independent(&TupleIndependentConfig {
+            seed: 43,
+            ..config
+        });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn scores_are_distinct() {
+        let db = random_tuple_independent(&TupleIndependentConfig {
+            num_tuples: 200,
+            ..Default::default()
+        });
+        let mut scores: Vec<f64> = db.tuples().iter().map(|(a, _)| a.value.0).collect();
+        scores.sort_by(f64::total_cmp);
+        scores.dedup();
+        assert_eq!(scores.len(), 200);
+    }
+
+    #[test]
+    fn bid_generator_respects_block_structure() {
+        let config = BidConfig {
+            num_blocks: 10,
+            alternatives_per_block: 4,
+            ..Default::default()
+        };
+        let db = random_bid_db(&config);
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.alternative_count(), 40);
+        for block in db.blocks() {
+            assert!(block.presence_probability() <= 1.0 + 1e-9);
+        }
+        // The tree conversion validates all constraints.
+        let tree = random_scored_bid_tree(&config);
+        assert_eq!(tree.keys().len(), 10);
+    }
+
+    #[test]
+    fn layered_tree_is_valid_and_has_requested_leaves() {
+        let config = AndXorTreeConfig {
+            num_leaves: 30,
+            depth: 3,
+            fanout: 3,
+            ..Default::default()
+        };
+        let tree = random_andxor_tree(&config);
+        assert_eq!(tree.leaf_count(), 30);
+        assert!(tree.depth() >= 3);
+        // Probabilities must be internally consistent: marginals in [0, 1].
+        for (_, p) in tree.key_presence_probabilities() {
+            assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn layered_tree_small_instance_enumerates_consistently() {
+        let config = AndXorTreeConfig {
+            num_leaves: 8,
+            depth: 2,
+            fanout: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let tree = random_andxor_tree(&config);
+        let ws = tree.enumerate_worlds();
+        let total: f64 = ws.worlds().iter().map(|(_, p)| *p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn groupby_rows_are_distributions() {
+        let probs = random_groupby_instance(&GroupByConfig {
+            num_tuples: 50,
+            num_groups: 6,
+            ..Default::default()
+        });
+        assert_eq!(probs.len(), 50);
+        for row in &probs {
+            assert_eq!(row.len(), 6);
+            let total: f64 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn clustering_tree_has_one_block_per_tuple() {
+        let tree = random_clustering_tree(&ClusteringConfig {
+            num_tuples: 12,
+            ..Default::default()
+        });
+        assert_eq!(tree.keys().len(), 12);
+        for (_, p) in tree.key_presence_probabilities() {
+            assert!(p <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generators_differ_across_seeds() {
+        let a = random_groupby_instance(&GroupByConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_groupby_instance(&GroupByConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+}

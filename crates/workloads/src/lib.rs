@@ -1,0 +1,23 @@
+//! # cpdb-workloads — synthetic workload generators
+//!
+//! The paper has no published datasets (it is a theory paper), so every
+//! experiment in this repository runs on synthetic instances that exercise
+//! the same code paths the paper's motivating applications would: scored
+//! tuples from information retrieval / information extraction (independent
+//! or block-disjoint with attribute-level uncertainty), deeply correlated
+//! and/xor trees, group-by matrices, and attribute-uncertain clustering
+//! inputs. All generators are deterministic given a seed, so experiments are
+//! reproducible bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod generators;
+
+pub use distributions::{ProbabilityDistribution, ScoreDistribution};
+pub use generators::{
+    random_andxor_tree, random_bid_db, random_clustering_tree, random_groupby_instance,
+    random_scored_bid_tree, random_tuple_independent, AndXorTreeConfig, BidConfig,
+    ClusteringConfig, GroupByConfig, TupleIndependentConfig,
+};

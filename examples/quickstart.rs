@@ -1,0 +1,72 @@
+//! Quickstart: build a small probabilistic database, inspect its possible
+//! worlds, and compute consensus answers under several distance measures.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use consensus_pdb::consensus::topk::{footrule, intersection, sym_diff};
+use consensus_pdb::consensus::{jaccard, set_distance};
+use consensus_pdb::prelude::*;
+
+fn main() {
+    // A small probabilistic relation of scored tuples (e.g. retrieval results
+    // with relevance scores and extraction confidences).
+    let db = TupleIndependentDb::from_triples(&[
+        // (key, score, probability)
+        (1, 98.0, 0.30),
+        (2, 92.0, 0.95),
+        (3, 87.0, 0.80),
+        (4, 83.0, 0.60),
+        (5, 75.0, 0.90),
+        (6, 70.0, 0.20),
+    ])
+    .expect("valid probabilities");
+
+    // Every model embeds into the paper's probabilistic and/xor tree.
+    let tree =
+        consensus_pdb::andxor::convert::from_tuple_independent(&db).expect("valid tree");
+
+    println!("=== The probabilistic database ===");
+    for (alt, p) in db.tuples() {
+        println!("  {alt}  with probability {p:.2}");
+    }
+    println!(
+        "\nexpected world size = {:.3}",
+        db.expected_world_size()
+    );
+    let size_dist = tree.world_size_distribution();
+    println!("world-size generating function: {size_dist}");
+
+    // --- Consensus world under the symmetric-difference distance (§4.1). ---
+    let mean_world = set_distance::mean_world(&tree);
+    println!("\n=== Consensus (mean) world, symmetric difference ===");
+    println!("  {mean_world}");
+    println!(
+        "  expected distance = {:.4}",
+        set_distance::expected_distance(&tree, &mean_world)
+    );
+
+    // --- Consensus world under the Jaccard distance (§4.2). ---
+    let jc = jaccard::mean_world_tuple_independent(&db);
+    println!("\n=== Consensus (mean) world, Jaccard distance ===");
+    println!("  {}", jc.world);
+    println!("  expected distance = {:.4}", jc.expected_distance);
+
+    // --- Consensus Top-k answers (§5). ---
+    let k = 3;
+    let ctx = TopKContext::new(&tree, k);
+    println!("\n=== Consensus Top-{k} answers ===");
+    println!("Pr(r(t) <= {k}) per tuple:");
+    for (t, p) in ctx.keys_by_topk_probability() {
+        println!("  {t}: {p:.4}");
+    }
+    let d_delta = sym_diff::mean_topk_sym_diff(&ctx);
+    println!("symmetric difference : {d_delta}");
+    let d_int = intersection::mean_topk_intersection(&ctx);
+    println!("intersection metric  : {d_int}");
+    let d_foot = footrule::mean_topk_footrule(&ctx);
+    println!("Spearman footrule    : {d_foot}");
+    println!(
+        "footrule answer expected distance = {:.4}",
+        footrule::expected_footrule_distance(&ctx, &d_foot)
+    );
+}

@@ -1,0 +1,80 @@
+//! # consensus-pdb — consensus answers for queries over probabilistic databases
+//!
+//! A from-scratch Rust implementation of Li & Deshpande, *Consensus Answers
+//! for Queries over Probabilistic Databases* (PODS 2009): the probabilistic
+//! and/xor tree correlation model, its generating-function probability
+//! engine, and polynomial-time (or constant-approximation) algorithms for
+//! computing **consensus answers** — the single deterministic answer that
+//! minimises the expected distance to the answers of the possible worlds —
+//! for set queries, Top-k ranking queries, group-by count aggregates, and
+//! clustering.
+//!
+//! This crate is a facade that re-exports the workspace's crates under one
+//! namespace:
+//!
+//! * [`genfunc`] — polynomial / generating-function engine;
+//! * [`model`] — probabilistic relation models and possible-world semantics;
+//! * [`andxor`] — the probabilistic and/xor tree;
+//! * [`assignment`] — Hungarian algorithm and min-cost flow;
+//! * [`rankagg`] — Top-k list types, distance metrics, rank aggregation;
+//! * [`consensus`] — the consensus-answer algorithms themselves;
+//! * [`workloads`] — seeded synthetic instance generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use consensus_pdb::prelude::*;
+//!
+//! // A small probabilistic relation: four independent tuples with scores.
+//! let db = TupleIndependentDb::from_triples(&[
+//!     (1, 95.0, 0.4),   // (key, score, probability)
+//!     (2, 90.0, 0.9),
+//!     (3, 85.0, 0.7),
+//!     (4, 80.0, 0.85),
+//! ]).unwrap();
+//! let tree = consensus_pdb::andxor::convert::from_tuple_independent(&db).unwrap();
+//!
+//! // Consensus Top-2 answer under the symmetric-difference metric.
+//! let ctx = TopKContext::new(&tree, 2);
+//! let answer = consensus_pdb::consensus::topk::sym_diff::mean_topk_sym_diff(&ctx);
+//! assert_eq!(answer.len(), 2);
+//! assert!(answer.contains(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cpdb_andxor as andxor;
+pub use cpdb_assignment as assignment;
+pub use cpdb_consensus as consensus;
+pub use cpdb_genfunc as genfunc;
+pub use cpdb_model as model;
+pub use cpdb_rankagg as rankagg;
+pub use cpdb_workloads as workloads;
+
+/// The most commonly used types and functions, re-exported for convenience.
+pub mod prelude {
+    pub use cpdb_andxor::{AndXorTree, AndXorTreeBuilder, NodeKind, VarAssignment};
+    pub use cpdb_consensus::aggregate::GroupByInstance;
+    pub use cpdb_consensus::clustering::CoClusteringWeights;
+    pub use cpdb_consensus::TopKContext;
+    pub use cpdb_genfunc::{Poly1, Poly2, Truncation};
+    pub use cpdb_model::{
+        Alternative, AttrValue, BidBlock, BidDb, PossibleWorld, TupleIndependentDb, TupleKey,
+        WorldModel, WorldSet, XTuple, XTupleDb,
+    };
+    pub use cpdb_rankagg::{FullRanking, TopKList};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_are_usable() {
+        let db = TupleIndependentDb::from_triples(&[(1, 10.0, 0.9)]).unwrap();
+        let tree = crate::andxor::convert::from_tuple_independent(&db).unwrap();
+        let ctx = TopKContext::new(&tree, 1);
+        assert!((ctx.topk_probability(TupleKey(1)) - 0.9).abs() < 1e-9);
+    }
+}
