@@ -127,8 +127,8 @@ mod tests {
 
     #[test]
     fn world_set_round_trip() {
-        let w1 = PossibleWorld::new(vec![Alternative::new(1, 1.0), Alternative::new(2, 2.0)])
-            .unwrap();
+        let w1 =
+            PossibleWorld::new(vec![Alternative::new(1, 1.0), Alternative::new(2, 2.0)]).unwrap();
         let w2 = PossibleWorld::new(vec![Alternative::new(1, 5.0)]).unwrap();
         let w3 = PossibleWorld::empty();
         let ws = WorldSet::new(vec![(w1, 0.5), (w2, 0.3), (w3, 0.2)]).unwrap();

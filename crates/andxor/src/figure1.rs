@@ -44,8 +44,7 @@ pub fn figure1_bid_tree() -> AndXorTree {
 /// The coefficients of the world-size generating function stated in
 /// Figure 1(i): `Pr(|pw| = 2) = 0.08`, `Pr(|pw| = 3) = 0.44`,
 /// `Pr(|pw| = 4) = 0.48`.
-pub const FIGURE1_I_SIZE_DISTRIBUTION: [(usize, f64); 3] =
-    [(2, 0.08), (3, 0.44), (4, 0.48)];
+pub const FIGURE1_I_SIZE_DISTRIBUTION: [(usize, f64); 3] = [(2, 0.08), (3, 0.44), (4, 0.48)];
 
 /// The three possible worlds of Figure 1(ii) with their probabilities.
 pub fn figure1_worlds() -> WorldSet {
@@ -96,7 +95,8 @@ pub fn figure1_correlated_tree() -> AndXorTree {
         b.and_node(vec![l1, l2, l3])
     };
     let root = b.xor_node(vec![(w1, 0.3), (w2, 0.3), (w3, 0.4)]);
-    b.build(root).expect("Figure 1(iii) satisfies all constraints")
+    b.build(root)
+        .expect("Figure 1(iii) satisfies all constraints")
 }
 
 /// The coefficients of the generating function stated in Figure 1(iii) when

@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn membership_count_matches_enumeration() {
         let tree = independent_tree(&[0.9, 0.4, 0.6, 0.2]);
-        let subset = |a: &Alternative| a.key.0 % 2 == 0;
+        let subset = |a: &Alternative| a.key.0.is_multiple_of(2);
         let dist = tree.membership_count_distribution(subset);
         let ws = tree.enumerate_worlds();
         for count in 0..=2usize {

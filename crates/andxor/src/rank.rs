@@ -309,12 +309,10 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let expected = ws.expectation(|w| {
-                    match (w.rank_of(a), w.rank_of(b)) {
-                        (Some(ra), Some(rb)) => f64::from(ra < rb),
-                        (Some(_), None) => 1.0,
-                        _ => 0.0,
-                    }
+                let expected = ws.expectation(|w| match (w.rank_of(a), w.rank_of(b)) {
+                    (Some(ra), Some(rb)) => f64::from(ra < rb),
+                    (Some(_), None) => 1.0,
+                    _ => 0.0,
                 });
                 let got = tree.pairwise_order_probability(a, b);
                 assert!(
@@ -328,7 +326,10 @@ mod tests {
     #[test]
     fn pairwise_order_self_is_zero() {
         let tree = figure1_iii_tree();
-        assert_eq!(tree.pairwise_order_probability(TupleKey(1), TupleKey(1)), 0.0);
+        assert_eq!(
+            tree.pairwise_order_probability(TupleKey(1), TupleKey(1)),
+            0.0
+        );
     }
 
     #[test]
@@ -381,7 +382,11 @@ mod tests {
     fn rank_probability_edge_cases() {
         let tree = independent_tree(&[(1, 9.0, 0.5)]);
         assert_eq!(tree.rank_probability(TupleKey(1), 0), 0.0);
-        assert!(approx_eq_eps(tree.rank_probability(TupleKey(1), 1), 0.5, 1e-12));
+        assert!(approx_eq_eps(
+            tree.rank_probability(TupleKey(1), 1),
+            0.5,
+            1e-12
+        ));
         assert_eq!(tree.rank_pmf(TupleKey(1), 0).len(), 0);
     }
 

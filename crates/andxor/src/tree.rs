@@ -256,7 +256,9 @@ impl AndXorTree {
                 });
             } else if count > 1 {
                 return Err(ModelError::Invalid {
-                    context: format!("node {idx} has {count} parents; the structure must be a tree"),
+                    context: format!(
+                        "node {idx} has {count} parents; the structure must be a tree"
+                    ),
                 });
             }
         }

@@ -42,7 +42,8 @@ fn random_tree() -> impl Strategy<Value = AndXorTree> {
             xors.push(b.xor_node(edges));
         }
         let root = b.and_node(xors);
-        b.build(root).expect("construction keeps keys disjoint and mass ≤ 1")
+        b.build(root)
+            .expect("construction keeps keys disjoint and mass ≤ 1")
     })
 }
 

@@ -165,6 +165,7 @@ mod tests {
         let k = rows.min(cols);
         let mut best = f64::INFINITY;
         // Permute the larger side taken k at a time via simple recursion.
+        #[allow(clippy::too_many_arguments)]
         fn rec(
             cost: &[Vec<f64>],
             rows: usize,

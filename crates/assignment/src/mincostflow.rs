@@ -420,11 +420,11 @@ mod tests {
             let mut f = MinCostFlow::new(2 * n + 2);
             let source = 0;
             let sink = 2 * n + 1;
-            for i in 0..n {
+            for (i, row) in cost.iter().enumerate() {
                 f.add_edge(source, 1 + i, 0, 1, 0.0).unwrap();
                 f.add_edge(1 + n + i, sink, 0, 1, 0.0).unwrap();
-                for j in 0..n {
-                    f.add_edge(1 + i, 1 + n + j, 0, 1, cost[i][j]).unwrap();
+                for (j, &c) in row.iter().enumerate() {
+                    f.add_edge(1 + i, 1 + n + j, 0, 1, c).unwrap();
                 }
             }
             let sol = f.min_cost_flow(source, sink, n as i64).unwrap();

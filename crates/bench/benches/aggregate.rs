@@ -1,9 +1,9 @@
 //! E10: consensus group-by count aggregates (mean vector + min-cost-flow
 //! rounding to the closest possible answer).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_consensus::aggregate::GroupByInstance;
 use cpdb_workloads::{random_groupby_instance, GroupByConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_aggregate(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! E12: the previously proposed ranking semantics vs the consensus answers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::{footrule, intersection, sym_diff};
 use cpdb_consensus::{baselines, TopKContext};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;

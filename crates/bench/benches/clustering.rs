@@ -1,9 +1,9 @@
 //! E11: consensus clustering — pairwise weight computation and pivot
 //! clustering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_consensus::clustering::{pivot_clustering_best_of, CoClusteringWeights};
 use cpdb_workloads::{random_clustering_tree, ClusteringConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;

@@ -1,11 +1,11 @@
 //! F2/E7: the footrule decomposition of Figure 2 and the assignment-based
 //! mean answer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::footrule;
 use cpdb_consensus::TopKContext;
 use cpdb_rankagg::TopKList;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_footrule(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! E13: raw generating-function engine scaling (polynomial products over
 //! trees of increasing size, with and without truncation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_genfunc::{Poly1, Truncation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_genfunc_scaling(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! E3: consensus worlds under the Jaccard distance (Lemmas 1–2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_consensus::jaccard;
 use cpdb_model::WorldModel;
 use cpdb_workloads::{random_tuple_independent, TupleIndependentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_jaccard(c: &mut Criterion) {
@@ -39,11 +39,10 @@ fn bench_jaccard(c: &mut Criterion) {
     let brute = db.enumerate_worlds();
     group.bench_function("oracle_enumeration_n8", |b| {
         b.iter(|| {
-            black_box(
-                cpdb_consensus::oracle::brute_force_mean_world(&brute, |a, w| {
-                    a.jaccard_distance(w)
-                }),
-            )
+            black_box(cpdb_consensus::oracle::brute_force_mean_world(
+                &brute,
+                |a, w| a.jaccard_distance(w),
+            ))
         })
     });
     group.finish();

@@ -1,9 +1,9 @@
 //! E9: exact rank-distribution and pairwise-order computations on the
 //! and/xor tree (the generating-function engine's hot path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_model::TupleKey;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_rank_probs(c: &mut Criterion) {

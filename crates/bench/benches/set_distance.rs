@@ -1,8 +1,8 @@
 //! E1/E2: consensus worlds under the symmetric-difference distance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_consensus::set_distance;
 use cpdb_workloads::{random_tuple_independent, TupleIndependentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_set_distance(c: &mut Criterion) {

@@ -1,10 +1,10 @@
 //! E6: mean Top-k answers under the intersection metric — exact assignment
 //! vs the Υ_H ranking shortcut.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::intersection;
 use cpdb_consensus::TopKContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_topk_intersection(c: &mut Criterion) {

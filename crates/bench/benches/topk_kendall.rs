@@ -1,10 +1,10 @@
 //! E8: Kendall-tau consensus via pivot aggregation over exact pairwise order
 //! probabilities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::kendall;
 use cpdb_consensus::TopKContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -31,11 +31,7 @@ fn bench_topk_kendall(c: &mut Criterion) {
             &(&tree, &ctx),
             |b, (tree, ctx)| {
                 let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| {
-                    black_box(kendall::mean_topk_kendall_pivot(
-                        tree, ctx, 30, 4, &mut rng,
-                    ))
-                })
+                b.iter(|| black_box(kendall::mean_topk_kendall_pivot(tree, ctx, 30, 4, &mut rng)))
             },
         );
     }

@@ -1,9 +1,9 @@
 //! E5: median Top-k answers via the Theorem 4 dynamic program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::median_dp;
 use cpdb_consensus::TopKContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_topk_median(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! E4: mean Top-k answers under the symmetric-difference metric (Theorem 3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpdb_bench::experiments::scaling_tree;
 use cpdb_consensus::topk::sym_diff;
 use cpdb_consensus::TopKContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_topk_sym_diff(c: &mut Criterion) {

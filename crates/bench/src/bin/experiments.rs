@@ -4,8 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cpdb-bench --bin experiments            # run everything
-//! cargo run --release -p cpdb-bench --bin experiments fig1 e4    # run a subset
+//! cargo run --release -p cpdb_bench --bin experiments            # run everything
+//! cargo run --release -p cpdb_bench --bin experiments fig1 e4    # run a subset
 //! ```
 //!
 //! Experiment names: `fig1`, `fig2`, `e1` (set distance), `e3` (Jaccard),

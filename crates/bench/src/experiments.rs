@@ -19,8 +19,8 @@ use cpdb_rankagg::metrics::{footrule_distance, intersection_metric, kendall_tau_
 use cpdb_rankagg::TopKList;
 use cpdb_workloads::{
     random_clustering_tree, random_groupby_instance, random_scored_bid_tree,
-    random_tuple_independent, BidConfig, ClusteringConfig, GroupByConfig,
-    ProbabilityDistribution, ScoreDistribution, TupleIndependentConfig,
+    random_tuple_independent, BidConfig, ClusteringConfig, GroupByConfig, ProbabilityDistribution,
+    ScoreDistribution, TupleIndependentConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,7 +109,14 @@ pub fn figure1_table() -> Table {
 pub fn figure2_table() -> Table {
     let mut t = Table::new(
         "F2: Figure 2 footrule decomposition vs enumeration (corrected sign)",
-        &["seed", "k", "candidate", "closed form", "enumeration", "|diff|"],
+        &[
+            "seed",
+            "k",
+            "candidate",
+            "closed form",
+            "enumeration",
+            "|diff|",
+        ],
     );
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
@@ -136,14 +143,23 @@ pub fn figure2_table() -> Table {
 /// E1/E2 — consensus worlds under the symmetric difference: Theorem 2 /
 /// Corollary 1 validation plus scaling of the closed-form computation.
 pub fn set_distance_tables() -> Vec<Table> {
-    vec![set_distance_validation_table(), set_distance_scaling_table()]
+    vec![
+        set_distance_validation_table(),
+        set_distance_scaling_table(),
+    ]
 }
 
 /// E1/E2 validation table only (cheap; used by the harness self-tests).
 pub fn set_distance_validation_table() -> Table {
     let mut validation = Table::new(
         "E1/E2: mean world under symmetric difference vs brute force",
-        &["seed", "n alts", "algorithm E[d]", "brute force E[d]", "optimal?"],
+        &[
+            "seed",
+            "n alts",
+            "algorithm E[d]",
+            "brute force E[d]",
+            "optimal?",
+        ],
     );
     for &seed in &VALIDATION_SEEDS {
         let db = random_tuple_independent(&TupleIndependentConfig {
@@ -201,7 +217,13 @@ pub fn jaccard_tables() -> Vec<Table> {
 pub fn jaccard_validation_table() -> Table {
     let mut validation = Table::new(
         "E3: Jaccard mean world (prefix scan) vs brute force",
-        &["seed", "n", "prefix-scan E[d]", "brute force E[d]", "optimal?"],
+        &[
+            "seed",
+            "n",
+            "prefix-scan E[d]",
+            "brute force E[d]",
+            "optimal?",
+        ],
     );
     for &seed in &VALIDATION_SEEDS {
         let db = random_tuple_independent(&TupleIndependentConfig {
@@ -255,7 +277,13 @@ pub fn topk_sym_diff_tables() -> Vec<Table> {
 pub fn topk_sym_diff_validation_table() -> Table {
     let mut validation = Table::new(
         "E4: mean Top-k under d_Δ (Theorem 3) vs brute force",
-        &["seed", "k", "algorithm E[d]", "brute force E[d]", "optimal?"],
+        &[
+            "seed",
+            "k",
+            "algorithm E[d]",
+            "brute force E[d]",
+            "optimal?",
+        ],
     );
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
@@ -373,8 +401,7 @@ pub fn topk_intersection_tables() -> Vec<Table> {
             let ctx = TopKContext::new(&tree, k);
             let opt = intersection::mean_topk_intersection(&ctx);
             let cost = intersection::expected_intersection_distance(&ctx, &opt);
-            let (_, brute) =
-                oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
+            let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
             let approx = intersection::mean_topk_upsilon_h(&ctx);
             let ratio = intersection::objective_a(&ctx, &approx)
                 / intersection::objective_a(&ctx, &opt).max(1e-12);
@@ -464,7 +491,13 @@ pub fn topk_footrule_tables() -> Vec<Table> {
 pub fn topk_kendall_table() -> Table {
     let mut t = Table::new(
         "E8: Kendall-tau consensus answers — measured approximation ratios",
-        &["seed", "k", "optimal E[d_K]", "pivot ratio", "footrule ratio"],
+        &[
+            "seed",
+            "k",
+            "optimal E[d_K]",
+            "pivot ratio",
+            "footrule ratio",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(2009);
     for &seed in &VALIDATION_SEEDS {
@@ -684,7 +717,10 @@ pub fn baselines_table() -> Table {
             "expected rank",
             baselines::expected_rank_topk(&tree, k, 20_000, &mut rng),
         ),
-        ("U-Top-k (sampled)", baselines::u_topk(&tree, k, 20_000, &mut rng)),
+        (
+            "U-Top-k (sampled)",
+            baselines::u_topk(&tree, k, 20_000, &mut rng),
+        ),
     ];
     for (name, answer) in answers {
         let overlap = answer.overlap(&consensus_sym);
@@ -702,7 +738,11 @@ pub fn baselines_table() -> Table {
 pub fn genfunc_scaling_table() -> Table {
     let mut t = Table::new(
         "E13: generating-function engine scaling",
-        &["n blocks", "world-size dist (ms)", "Pr(r ≤ 10) for all tuples (ms)"],
+        &[
+            "n blocks",
+            "world-size dist (ms)",
+            "Pr(r ≤ 10) for all tuples (ms)",
+        ],
     );
     for &n in &[100usize, 500, 1000, 2000] {
         let tree = scaling_tree(n, 23);

@@ -45,7 +45,10 @@ impl GroupByInstance {
         for (i, row) in probs.iter().enumerate() {
             if row.len() != num_groups {
                 return Err(ModelError::Invalid {
-                    context: format!("tuple {i} has {} group probabilities, expected {num_groups}", row.len()),
+                    context: format!(
+                        "tuple {i} has {} group probabilities, expected {num_groups}",
+                        row.len()
+                    ),
                 });
             }
             let mut total = 0.0;
@@ -98,9 +101,9 @@ impl GroupByInstance {
     pub fn expected_squared_distance(&self, candidate: &[f64]) -> f64 {
         let mean = self.mean_answer();
         let mut bias: f64 = 0.0;
-        for v in 0..self.num_groups {
+        for (v, m) in mean.iter().enumerate() {
             let c = candidate.get(v).copied().unwrap_or(0.0);
-            bias += (c - mean[v]).powi(2);
+            bias += (c - m).powi(2);
         }
         bias + self.total_variance()
     }
@@ -126,7 +129,7 @@ impl GroupByInstance {
         let sink = n + m + 1;
         let mut flow = MinCostFlow::new(n + m + 2);
         let mut tuple_group_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        for i in 0..n {
+        for (i, edges) in tuple_group_edges.iter_mut().enumerate() {
             flow.add_edge(source, 1 + i, 0, 1, 0.0)
                 .map_err(flow_to_model_error)?;
             for (v, &p) in self.probs[i].iter().enumerate() {
@@ -134,20 +137,20 @@ impl GroupByInstance {
                     let e = flow
                         .add_edge(1 + i, 1 + n + v, 0, 1, 0.0)
                         .map_err(flow_to_model_error)?;
-                    tuple_group_edges[i].push((v, e));
+                    edges.push((v, e));
                 }
             }
         }
-        for v in 0..m {
-            let floor = mean[v].floor();
-            let frac = mean[v] - floor;
+        for (v, &mv) in mean.iter().enumerate() {
+            let floor = mv.floor();
+            let frac = mv - floor;
             // Mandatory ⌊r̄[v]⌋ units at zero marginal cost.
             flow.add_edge(1 + n + v, sink, floor as i64, floor as i64, 0.0)
                 .map_err(flow_to_model_error)?;
             if frac > 1e-9 {
                 // One optional unit whose marginal cost is the change in
                 // squared error from rounding up instead of down.
-                let cost = (mean[v].ceil() - mean[v]).powi(2) - (floor - mean[v]).powi(2);
+                let cost = (mv.ceil() - mv).powi(2) - (floor - mv).powi(2);
                 flow.add_edge(1 + n + v, sink, 0, 1, cost)
                     .map_err(flow_to_model_error)?;
             }
@@ -167,10 +170,7 @@ impl GroupByInstance {
                 }
             }
         }
-        Ok(PossibleAggregate {
-            counts,
-            assignment,
-        })
+        Ok(PossibleAggregate { counts, assignment })
     }
 
     /// Corollary 2: a deterministic 4-approximation of the **median** answer
@@ -206,7 +206,8 @@ impl GroupByInstance {
         );
         let mut dist: Vec<(Vec<i64>, f64)> = vec![(vec![0; self.num_groups], 1.0)];
         for row in &self.probs {
-            let mut next: std::collections::BTreeMap<Vec<i64>, f64> = std::collections::BTreeMap::new();
+            let mut next: std::collections::BTreeMap<Vec<i64>, f64> =
+                std::collections::BTreeMap::new();
             for (counts, p) in &dist {
                 for (v, &q) in row.iter().enumerate() {
                     if q <= 0.0 {
@@ -240,7 +241,7 @@ impl GroupByInstance {
                         .sum::<f64>()
                 })
                 .sum();
-            if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
                 best = Some((candidate.clone(), cost));
             }
         }
@@ -354,7 +355,10 @@ mod tests {
         assert_eq!(possible.counts.iter().sum::<i64>(), 5);
         let mut counted = vec![0i64; inst.num_groups()];
         for (i, &g) in possible.assignment.iter().enumerate() {
-            assert!(inst.probabilities()[i][g] > 0.0, "tuple {i} cannot take group {g}");
+            assert!(
+                inst.probabilities()[i][g] > 0.0,
+                "tuple {i} cannot take group {g}"
+            );
             counted[g] += 1;
         }
         assert_eq!(counted, possible.counts);
@@ -439,12 +443,8 @@ mod tests {
 
     #[test]
     fn deterministic_instance_is_its_own_median() {
-        let inst = GroupByInstance::new(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let inst =
+            GroupByInstance::new(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
         let possible = inst.closest_possible_answer().unwrap();
         assert_eq!(possible.counts, vec![1, 2]);
         assert_eq!(inst.total_variance(), 0.0);

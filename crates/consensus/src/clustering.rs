@@ -109,10 +109,7 @@ impl CoClusteringWeights {
 /// put every unclustered tuple with co-clustering probability ≥ ½ into the
 /// pivot's cluster, and recurse on the rest. Expected constant-factor
 /// approximation of the optimal consensus clustering.
-pub fn pivot_clustering<R: Rng + ?Sized>(
-    weights: &CoClusteringWeights,
-    rng: &mut R,
-) -> Clustering {
+pub fn pivot_clustering<R: Rng + ?Sized>(weights: &CoClusteringWeights, rng: &mut R) -> Clustering {
     let mut remaining: Vec<TupleKey> = weights.keys().to_vec();
     remaining.shuffle(rng);
     let mut clusters = Vec::new();
@@ -177,7 +174,7 @@ pub fn brute_force_clustering(weights: &CoClusteringWeights) -> (Clustering, f64
             clustering[label].push(keys[idx]);
         }
         let cost = weights.expected_distance(&clustering);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((clustering, cost));
         }
     });
@@ -237,7 +234,11 @@ mod tests {
         b.build(root).unwrap()
     }
 
-    fn world_clustering_distance(w: &PossibleWorld, clustering: &Clustering, keys: &[TupleKey]) -> f64 {
+    fn world_clustering_distance(
+        w: &PossibleWorld,
+        clustering: &Clustering,
+        keys: &[TupleKey],
+    ) -> f64 {
         let mut cluster_of: HashMap<TupleKey, usize> = HashMap::new();
         for (c, members) in clustering.iter().enumerate() {
             for &t in members {

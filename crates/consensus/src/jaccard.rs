@@ -68,11 +68,8 @@ pub fn mean_world_tuple_independent(db: &TupleIndependentDb) -> JaccardConsensus
 pub fn median_world_bid(db: &BidDb) -> JaccardConsensus {
     let tree = cpdb_andxor::convert::from_bid(db)
         .expect("BID databases always satisfy the tree constraints");
-    let mut best_alts: Vec<(Alternative, f64)> = db
-        .blocks()
-        .iter()
-        .map(|b| b.best_alternative())
-        .collect();
+    let mut best_alts: Vec<(Alternative, f64)> =
+        db.blocks().iter().map(|b| b.best_alternative()).collect();
     best_alts.sort_by(|(a1, p1), (a2, p2)| {
         p2.partial_cmp(p1)
             .unwrap_or(std::cmp::Ordering::Equal)

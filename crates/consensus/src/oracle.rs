@@ -36,7 +36,7 @@ where
             continue;
         }
         let cost = expected_world_distance(candidate, worlds, &mut d);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((candidate.clone(), cost));
         }
     }
@@ -68,7 +68,7 @@ where
             Err(_) => continue,
         };
         let cost = expected_world_distance(&candidate, worlds, &mut d);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((candidate, cost));
         }
     }
@@ -77,12 +77,7 @@ where
 
 /// Expected distance from a fixed Top-k list to the Top-k answer of the
 /// random world.
-pub fn expected_topk_distance<D>(
-    candidate: &TopKList,
-    worlds: &WorldSet,
-    k: usize,
-    mut d: D,
-) -> f64
+pub fn expected_topk_distance<D>(candidate: &TopKList, worlds: &WorldSet, k: usize, mut d: D) -> f64
 where
     D: FnMut(&TopKList, &TopKList) -> f64,
 {
@@ -144,7 +139,7 @@ where
     enumerate_ordered(items, k, &mut current, &mut used, &mut |cand: &[u64]| {
         let list = TopKList::new(cand.to_vec()).expect("distinct by construction");
         let cost = expected_topk_distance(&list, worlds, k, &mut d);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((list, cost));
         }
     });
@@ -164,7 +159,7 @@ where
         }
         let candidate = world_topk(w, k);
         let cost = expected_topk_distance(&candidate, worlds, k, &mut d);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((candidate, cost));
         }
     }
@@ -227,12 +222,8 @@ mod tests {
     #[test]
     fn median_world_is_a_possible_world() {
         let ws = sample_db();
-        let (median, cost) =
-            brute_force_median_world(&ws, |a, b| a.symmetric_difference(b) as f64);
-        assert!(ws
-            .worlds()
-            .iter()
-            .any(|(w, p)| *p > 0.0 && *w == median));
+        let (median, cost) = brute_force_median_world(&ws, |a, b| a.symmetric_difference(b) as f64);
+        assert!(ws.worlds().iter().any(|(w, p)| *p > 0.0 && *w == median));
         assert!(cost >= 0.0);
     }
 
@@ -251,9 +242,8 @@ mod tests {
     #[test]
     fn brute_force_mean_topk_picks_high_probability_members() {
         let ws = sample_db();
-        let (best, _) = brute_force_mean_topk(&[1, 2, 3], 2, &ws, |a, b| {
-            symmetric_difference_topk(a, b)
-        });
+        let (best, _) =
+            brute_force_mean_topk(&[1, 2, 3], 2, &ws, |a, b| symmetric_difference_topk(a, b));
         assert!(best.contains(1));
         assert!(best.contains(2));
     }
@@ -261,8 +251,7 @@ mod tests {
     #[test]
     fn brute_force_median_topk_is_answer_of_some_world() {
         let ws = sample_db();
-        let (best, _) =
-            brute_force_median_topk(&ws, 2, |a, b| symmetric_difference_topk(a, b));
+        let (best, _) = brute_force_median_topk(&ws, 2, symmetric_difference_topk);
         let candidates: Vec<TopKList> = ws
             .worlds()
             .iter()

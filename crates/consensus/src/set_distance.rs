@@ -99,7 +99,7 @@ pub fn median_world_from_worldset(worlds: &WorldSet) -> (PossibleWorld, f64) {
             continue;
         }
         let cost = expected_symmetric_difference(w, &marginals);
-        if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((w.clone(), cost));
         }
     }
@@ -152,8 +152,7 @@ mod tests {
         // The brute-force optimum has the same cost (it may differ on the
         // probability-exactly-½ tuple, which is cost-neutral).
         assert!(
-            (oracle::expected_world_distance(&brute, &ws, |a, b| a.symmetric_difference(b)
-                as f64)
+            (oracle::expected_world_distance(&brute, &ws, |a, b| a.symmetric_difference(b) as f64)
                 - closed_cost)
                 .abs()
                 < 1e-9

@@ -175,8 +175,7 @@ mod tests {
             let ctx = TopKContext::new(&tree, k);
             let mean = mean_topk_footrule(&ctx);
             let cost = expected_footrule_distance(&ctx, &mean);
-            let (_, brute_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
+            let (_, brute_cost) = oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
             assert!(
                 (cost - brute_cost).abs() < 1e-9,
                 "k={k}: assignment {cost} vs brute force {brute_cost}"
@@ -193,8 +192,7 @@ mod tests {
             let ctx = TopKContext::new(&tree, k);
             let mean = mean_topk_footrule(&ctx);
             let cost = expected_footrule_distance(&ctx, &mean);
-            let (_, brute_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
+            let (_, brute_cost) = oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
             assert!(
                 (cost - brute_cost).abs() < 1e-9,
                 "k={k}: assignment {cost} vs brute force {brute_cost}"

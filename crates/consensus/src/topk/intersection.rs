@@ -90,11 +90,8 @@ pub fn mean_topk_intersection(ctx: &TopKContext) -> TopKList {
 /// `Υ_H(t)`, in decreasing order. Guaranteed to achieve at least a `1/H_k`
 /// fraction of the optimal objective `A(τ*)`.
 pub fn mean_topk_upsilon_h(ctx: &TopKContext) -> TopKList {
-    let mut scored: Vec<(TupleKey, f64)> = ctx
-        .keys()
-        .iter()
-        .map(|&t| (t, ctx.upsilon_h(t)))
-        .collect();
+    let mut scored: Vec<(TupleKey, f64)> =
+        ctx.keys().iter().map(|&t| (t, ctx.upsilon_h(t))).collect();
     scored.sort_by(|(ka, sa), (kb, sb)| {
         sb.partial_cmp(sa)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -256,6 +253,9 @@ mod tests {
         let tree = independent_tree(&[(1, 1.0, 0.5)]);
         let ctx = TopKContext::new(&tree, 0);
         assert!(mean_topk_intersection(&ctx).is_empty());
-        assert_eq!(expected_intersection_distance(&ctx, &TopKList::empty()), 0.0);
+        assert_eq!(
+            expected_intersection_distance(&ctx, &TopKList::empty()),
+            0.0
+        );
     }
 }

@@ -170,8 +170,7 @@ mod tests {
             let ctx = TopKContext::new(&tree, k);
             let pivot = mean_topk_kendall_pivot(&tree, &ctx, items.len(), 8, &mut rng);
             let pivot_cost = expected_kendall_distance_enumerated(&tree, &ctx, &pivot);
-            let (_, opt_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
+            let (_, opt_cost) = oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
             assert!(
                 pivot_cost <= 2.0 * opt_cost + 1e-9,
                 "k={k}: pivot {pivot_cost} vs optimal {opt_cost}"
@@ -188,8 +187,7 @@ mod tests {
             let ctx = TopKContext::new(&tree, k);
             let answer = mean_topk_kendall_via_footrule(&ctx);
             let cost = expected_kendall_distance_enumerated(&tree, &ctx, &answer);
-            let (_, opt_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
+            let (_, opt_cost) = oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
             assert!(
                 cost <= 2.0 * opt_cost + 1e-9,
                 "k={k}: footrule answer {cost} vs optimal {opt_cost}"
@@ -204,8 +202,7 @@ mod tests {
         let candidate = TopKList::new(vec![2, 4]).unwrap();
         let exact = expected_kendall_distance_enumerated(&tree, &ctx, &candidate);
         let mut rng = StdRng::seed_from_u64(77);
-        let sampled =
-            expected_kendall_distance_sampled(&tree, &ctx, &candidate, 20_000, &mut rng);
+        let sampled = expected_kendall_distance_sampled(&tree, &ctx, &candidate, 20_000, &mut rng);
         assert!(
             (exact - sampled).abs() < 0.05,
             "exact {exact} vs sampled {sampled}"

@@ -15,14 +15,8 @@ use cpdb_rankagg::TopKList;
 /// membership; the ordering is a deterministic convention).
 pub fn mean_topk_sym_diff(ctx: &TopKContext) -> TopKList {
     let ranked = ctx.keys_by_topk_probability();
-    TopKList::new(
-        ranked
-            .into_iter()
-            .take(ctx.k())
-            .map(|(t, _)| t.0)
-            .collect(),
-    )
-    .expect("keys are distinct")
+    TopKList::new(ranked.into_iter().take(ctx.k()).map(|(t, _)| t.0).collect())
+        .expect("keys are distinct")
 }
 
 /// The exact expected (normalised) symmetric-difference distance
@@ -76,10 +70,9 @@ mod tests {
             let mean = mean_topk_sym_diff(&ctx);
             let ws = tree.enumerate_worlds();
             let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
-            let (_, brute_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, |a, b| {
-                    oracle::sym_diff_distance_fixed_k(k, a, b)
-                });
+            let (_, brute_cost) = oracle::brute_force_mean_topk(&items, k, &ws, |a, b| {
+                oracle::sym_diff_distance_fixed_k(k, a, b)
+            });
             let closed = expected_sym_diff_distance(&ctx, &mean);
             let direct = oracle::expected_topk_distance(&mean, &ws, k, |a, b| {
                 oracle::sym_diff_distance_fixed_k(k, a, b)
@@ -103,10 +96,9 @@ mod tests {
             let mean = mean_topk_sym_diff(&ctx);
             let ws = tree.enumerate_worlds();
             let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
-            let (_, brute_cost) =
-                oracle::brute_force_mean_topk(&items, k, &ws, |a, b| {
-                    oracle::sym_diff_distance_fixed_k(k, a, b)
-                });
+            let (_, brute_cost) = oracle::brute_force_mean_topk(&items, k, &ws, |a, b| {
+                oracle::sym_diff_distance_fixed_k(k, a, b)
+            });
             let cost = expected_sym_diff_distance(&ctx, &mean);
             assert!(
                 (cost - brute_cost).abs() < 1e-9,

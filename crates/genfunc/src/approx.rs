@@ -25,7 +25,7 @@ pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
 /// allowing a small tolerance outside `[0, 1]` for accumulated rounding.
 #[inline]
 pub fn is_probability(p: f64) -> bool {
-    p.is_finite() && p >= -DEFAULT_EPS && p <= 1.0 + 1e-6
+    p.is_finite() && (-DEFAULT_EPS..=1.0 + 1e-6).contains(&p)
 }
 
 /// Clamps an almost-probability into `[0, 1]`.
@@ -36,7 +36,7 @@ pub fn is_probability(p: f64) -> bool {
 /// are left untouched so they show up in tests).
 #[inline]
 pub fn clamp_probability(p: f64) -> f64 {
-    if p < 0.0 && p >= -1e-6 {
+    if (-1e-6..0.0).contains(&p) {
         0.0
     } else if p > 1.0 && p <= 1.0 + 1e-6 {
         1.0

@@ -72,10 +72,7 @@ impl Poly1 {
     /// The degree of the polynomial, ignoring trailing (near-)zero
     /// coefficients. The zero polynomial has degree 0 by convention.
     pub fn degree(&self) -> usize {
-        self.coeffs
-            .iter()
-            .rposition(|&c| c != 0.0)
-            .unwrap_or(0)
+        self.coeffs.iter().rposition(|&c| c != 0.0).unwrap_or(0)
     }
 
     /// Number of stored coefficients (degree bound + 1).

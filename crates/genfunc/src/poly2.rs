@@ -158,19 +158,20 @@ impl Poly2 {
     /// Marginal over `y`: collapses the polynomial to a univariate polynomial
     /// in `x` by summing every row (i.e. substituting `y = 1`).
     pub fn marginal_x(&self) -> crate::Poly1 {
-        let mut coeffs = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            coeffs[i] = self.data[i * self.cols..(i + 1) * self.cols].iter().sum();
-        }
+        let coeffs: Vec<f64> = self
+            .data
+            .chunks(self.cols)
+            .map(|row| row.iter().sum())
+            .collect();
         crate::Poly1::from_coeffs(coeffs)
     }
 
     /// Marginal over `x` (substituting `x = 1`), a univariate polynomial in `y`.
     pub fn marginal_y(&self) -> crate::Poly1 {
         let mut coeffs = vec![0.0; self.cols];
-        for j in 0..self.cols {
-            for i in 0..self.rows {
-                coeffs[j] += self.data[i * self.cols + j];
+        for row in self.data.chunks(self.cols) {
+            for (acc, &c) in coeffs.iter_mut().zip(row) {
+                *acc += c;
             }
         }
         crate::Poly1::from_coeffs(coeffs)
@@ -437,7 +438,10 @@ mod tests {
     #[test]
     fn add_scaled_grows_matrix() {
         let mut a = Poly2::constant(0.5);
-        a.add_scaled_assign(&Poly2::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 1.0]]), 0.5);
+        a.add_scaled_assign(
+            &Poly2::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 1.0]]),
+            0.5,
+        );
         assert!(approx_eq(a.coeff(0, 0), 0.5));
         assert!(approx_eq(a.coeff(1, 1), 0.5));
     }

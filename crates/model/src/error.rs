@@ -69,7 +69,7 @@ impl std::error::Error for ModelError {}
 /// Validates that `p` is a finite probability in `[0, 1]` (with a tiny
 /// tolerance for accumulated rounding).
 pub fn validate_probability(p: f64, context: &str) -> Result<(), ModelError> {
-    if !p.is_finite() || p < -1e-9 || p > 1.0 + 1e-9 {
+    if !p.is_finite() || !(-1e-9..=1.0 + 1e-9).contains(&p) {
         Err(ModelError::InvalidProbability {
             value: p,
             context: context.to_string(),

@@ -113,8 +113,7 @@ impl Max2SatInstance {
         );
         let mut best = (0usize, vec![false; self.num_vars]);
         for mask in 0u64..(1u64 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| mask >> i & 1 == 1).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask >> i & 1 == 1).collect();
             let count = self.satisfied_count(&assignment);
             if count > best.0 {
                 best = (count, assignment);
@@ -155,11 +154,7 @@ impl HardnessGadget {
         let mut r_rows = Vec::with_capacity(2 * instance.clauses.len());
         for (ci, clause) in instance.clauses.iter().enumerate() {
             for lit in [clause.a, clause.b] {
-                r_rows.push(vec![
-                    ci as i64,
-                    lit.var as i64,
-                    i64::from(lit.positive),
-                ]);
+                r_rows.push(vec![ci as i64, lit.var as i64, i64::from(lit.positive)]);
             }
         }
         let r_relation = Relation::new(3, r_rows);
@@ -196,7 +191,9 @@ impl HardnessGadget {
             .collect();
         let s = Relation::new(2, s_rows);
         // R(C, x, b) ⋈ S(x, b) on (x, b), projected onto C.
-        self.r_relation.equi_join(&s, &[(1, 0), (2, 1)]).project(&[0])
+        self.r_relation
+            .equi_join(&s, &[(1, 0), (2, 1)])
+            .project(&[0])
     }
 
     /// The full answer distribution of `π_C(R ⋈ S)` over all possible worlds
@@ -223,7 +220,7 @@ impl HardnessGadget {
                 continue;
             }
             let size = self.query_answer(w).len();
-            if best.as_ref().map_or(true, |(b, _)| size > *b) {
+            if best.as_ref().is_none_or(|(b, _)| size > *b) {
                 best = Some((size, w.clone()));
             }
         }
@@ -261,8 +258,9 @@ mod tests {
 
     #[test]
     fn instance_validation() {
-        assert!(Max2SatInstance::new(1, vec![Clause::new(Literal::pos(0), Literal::pos(1))])
-            .is_err());
+        assert!(
+            Max2SatInstance::new(1, vec![Clause::new(Literal::pos(0), Literal::pos(1))]).is_err()
+        );
     }
 
     #[test]

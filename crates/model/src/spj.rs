@@ -70,7 +70,9 @@ impl Relation {
 
     /// Whether the given row is present.
     pub fn contains(&self, row: &[i64]) -> bool {
-        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+        self.rows
+            .binary_search_by(|r| r.as_slice().cmp(row))
+            .is_ok()
     }
 
     /// Selection: keeps the rows satisfying `pred`.
@@ -242,9 +244,7 @@ mod tests {
         // Two independent tuples; query = identity projection of the keys.
         let db = TupleIndependentDb::from_triples(&[(1, 1.0, 0.5), (2, 2.0, 0.8)]).unwrap();
         let ws = db.enumerate_worlds();
-        let dist = AnswerDistribution::evaluate(&ws, |w| {
-            world_to_relation(w).project(&[0])
-        });
+        let dist = AnswerDistribution::evaluate(&ws, |w| world_to_relation(w).project(&[0]));
         // Four distinct answers: {}, {1}, {2}, {1,2}.
         assert_eq!(dist.answers().len(), 4);
         let marg = dist.row_marginals();
@@ -258,8 +258,8 @@ mod tests {
 
     #[test]
     fn world_to_relation_rounds_values() {
-        let w = PossibleWorld::new(vec![Alternative::new(1, 2.4), Alternative::new(2, 2.6)])
-            .unwrap();
+        let w =
+            PossibleWorld::new(vec![Alternative::new(1, 2.4), Alternative::new(2, 2.6)]).unwrap();
         let r = world_to_relation(&w);
         assert!(r.contains(&[1, 2]));
         assert!(r.contains(&[2, 3]));

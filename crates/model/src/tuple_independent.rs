@@ -151,8 +151,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn db3() -> TupleIndependentDb {
-        TupleIndependentDb::from_triples(&[(1, 10.0, 0.9), (2, 20.0, 0.5), (3, 30.0, 0.2)])
-            .unwrap()
+        TupleIndependentDb::from_triples(&[(1, 10.0, 0.9), (2, 20.0, 0.5), (3, 30.0, 0.2)]).unwrap()
     }
 
     #[test]

@@ -129,11 +129,7 @@ impl PossibleWorld {
     /// result is deterministic.
     pub fn top_k(&self, k: usize) -> Vec<Alternative> {
         let mut sorted = self.alternatives.clone();
-        sorted.sort_by(|a, b| {
-            b.value
-                .cmp(&a.value)
-                .then_with(|| a.key.cmp(&b.key))
-        });
+        sorted.sort_by(|a, b| b.value.cmp(&a.value).then_with(|| a.key.cmp(&b.key)));
         sorted.truncate(k);
         sorted
     }
@@ -145,9 +141,7 @@ impl PossibleWorld {
         let better = self
             .alternatives
             .iter()
-            .filter(|a| {
-                a.value > target.value || (a.value == target.value && a.key < target.key)
-            })
+            .filter(|a| a.value > target.value || (a.value == target.value && a.key < target.key))
             .count();
         Some(better + 1)
     }

@@ -42,9 +42,7 @@ impl XTuple {
         let mass = block.presence_probability();
         if (mass - 1.0).abs() > 1e-9 {
             return Err(ModelError::Invalid {
-                context: format!(
-                    "certain x-tuple {key} has total probability {mass}, expected 1"
-                ),
+                context: format!("certain x-tuple {key} has total probability {mass}, expected 1"),
             });
         }
         Ok(XTuple {

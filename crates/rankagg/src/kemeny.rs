@@ -82,7 +82,7 @@ pub fn kemeny_optimal_topk(
                 .iter()
                 .map(|(r, w)| w * kendall_tau_topk(&list, r))
                 .sum();
-            if best.as_ref().map_or(true, |(_, b)| cost < *b) {
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
                 best = Some((list, cost));
             }
         },

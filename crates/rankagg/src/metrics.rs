@@ -86,34 +86,29 @@ pub fn kendall_tau_topk(a: &TopKList, b: &TopKList) -> f64 {
         for y in (x + 1)..items.len() {
             let (i, j) = (items[x], items[y]);
             match (pa.get(&i), pa.get(&j), pb.get(&i), pb.get(&j)) {
-                (Some(ai), Some(aj), Some(bi), Some(bj)) => {
-                    if (ai < aj) != (bi < bj) {
+                (Some(ai), Some(aj), Some(bi), Some(bj))
+                    if (ai < aj) != (bi < bj) => {
                         total += 1.0;
                     }
-                }
                 // i, j both in a; only one of them in b.
-                (Some(ai), Some(aj), Some(_), None) => {
+                (Some(ai), Some(aj), Some(_), None)
                     // b ranks i ahead of j; disagreement iff a ranks j ahead.
-                    if aj < ai {
+                    if aj < ai => {
                         total += 1.0;
                     }
-                }
-                (Some(ai), Some(aj), None, Some(_)) => {
-                    if ai < aj {
+                (Some(ai), Some(aj), None, Some(_))
+                    if ai < aj => {
                         total += 1.0;
                     }
-                }
                 // i, j both in b; only one of them in a.
-                (Some(_), None, Some(bi), Some(bj)) => {
-                    if bj < bi {
+                (Some(_), None, Some(bi), Some(bj))
+                    if bj < bi => {
                         total += 1.0;
                     }
-                }
-                (None, Some(_), Some(bi), Some(bj)) => {
-                    if bi < bj {
+                (None, Some(_), Some(bi), Some(bj))
+                    if bi < bj => {
                         total += 1.0;
                     }
-                }
                 // i appears only in one list and j only in the other.
                 (Some(_), None, None, Some(_)) | (None, Some(_), Some(_), None) => {
                     total += 1.0;

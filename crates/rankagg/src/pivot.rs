@@ -100,15 +100,12 @@ impl PreferenceMatrix {
         let mut cost = 0.0;
         for (a_idx, &a) in self.items.iter().enumerate() {
             for &b in self.items.iter().skip(a_idx + 1) {
-                match (pos.get(&a), pos.get(&b)) {
-                    (Some(pa), Some(pb)) => {
-                        if pa < pb {
-                            cost += self.weight(b, a);
-                        } else {
-                            cost += self.weight(a, b);
-                        }
+                if let (Some(pa), Some(pb)) = (pos.get(&a), pos.get(&b)) {
+                    if pa < pb {
+                        cost += self.weight(b, a);
+                    } else {
+                        cost += self.weight(a, b);
                     }
-                    _ => {}
                 }
             }
         }

@@ -1,0 +1,413 @@
+//! The oracle conformance runner.
+//!
+//! Each `check_*` function pits one consensus algorithm against its
+//! brute-force definition on a small instance and panics with a labelled
+//! message on divergence. Exact algorithms (Theorems 2–5, Lemmas 1–2) must
+//! match the enumerated optimum to [`crate::TOL`]; approximation algorithms
+//! (Υ_H, Kendall pivot/footrule, KwikCluster, the aggregate 4-approximation)
+//! must respect their proven factor and never beat the enumerated optimum.
+//! Every function returns the number of assertions it performed so suites
+//! can report coverage.
+
+use crate::fixtures;
+use crate::TOL;
+use cpdb_andxor::AndXorTree;
+use cpdb_consensus::aggregate::GroupByInstance;
+use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
+use cpdb_consensus::{clustering, jaccard, oracle, set_distance, TopKContext};
+use cpdb_model::{PossibleWorld, TupleIndependentDb, WorldModel};
+use cpdb_rankagg::metrics::{footrule_distance, intersection_metric, kendall_tau_topk};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts `got ≈ oracle` to [`TOL`] with a labelled failure message.
+fn assert_close(label: &str, got: f64, want: f64) {
+    assert!(
+        (got - want).abs() < TOL,
+        "{label}: algorithm returned {got}, oracle computed {want} (|Δ| = {})",
+        (got - want).abs()
+    );
+}
+
+/// Asserts an approximation lies in `[opt − TOL, factor·opt + slack]`.
+fn assert_within_factor(label: &str, cost: f64, opt: f64, factor: f64) {
+    assert!(
+        cost + TOL >= opt,
+        "{label}: approximation cost {cost} beats the enumerated optimum {opt}"
+    );
+    assert!(
+        cost <= factor * opt + 1e-6,
+        "{label}: approximation cost {cost} exceeds {factor}× optimum {opt}"
+    );
+}
+
+fn sym_diff_world(a: &PossibleWorld, b: &PossibleWorld) -> f64 {
+    a.symmetric_difference(b) as f64
+}
+
+/// Theorem 2 / Corollary 1: the closed-form mean world under symmetric
+/// difference matches enumeration and is the enumerated optimum; for and/xor
+/// trees whose majority set is possible, it is also the median world.
+pub fn check_set_consensus(tree: &AndXorTree) -> usize {
+    let ws = tree.enumerate_worlds();
+    let mean = set_distance::mean_world(tree);
+    let closed = set_distance::expected_distance(tree, &mean);
+    let direct = oracle::expected_world_distance(&mean, &ws, sym_diff_world);
+    assert_close("set/sym-diff closed-form expected distance", closed, direct);
+
+    let (_, brute_mean) = oracle::brute_force_mean_world(&ws, sym_diff_world);
+    assert_close("set/sym-diff mean-world optimality", closed, brute_mean);
+
+    let median = set_distance::median_world(tree);
+    assert!(
+        ws.worlds().iter().any(|(w, p)| *p > 0.0 && *w == median),
+        "set/sym-diff median world {median} is not a possible world of the fixture"
+    );
+    let (_, brute_median) = oracle::brute_force_median_world(&ws, sym_diff_world);
+    assert_close(
+        "set/sym-diff median-world optimality (Corollary 1)",
+        set_distance::expected_distance(tree, &median),
+        brute_median,
+    );
+    4
+}
+
+/// Lemmas 1–2: the generating-function Jaccard expectation is exact for
+/// arbitrary candidates, and the prefix-scan mean world is the enumerated
+/// optimum.
+pub fn check_jaccard(db: &TupleIndependentDb) -> usize {
+    let tree = cpdb_andxor::convert::from_tuple_independent(db)
+        .expect("tuple-independent relations always convert");
+    let ws = db.enumerate_worlds();
+    let n = db.len();
+    let mut checks = 0;
+
+    // Candidate worlds: empty, full, alternating, and a hash-spread subset.
+    let masks = [0u64, (1 << n) - 1, 0x5555_5555 & ((1 << n) - 1), {
+        let h = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h & ((1 << n) - 1)
+    }];
+    for mask in masks {
+        let chosen: Vec<_> = db
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, (a, _))| *a)
+            .collect();
+        let candidate = PossibleWorld::new(chosen).expect("distinct keys by construction");
+        let exact = jaccard::expected_jaccard_distance(&tree, &candidate);
+        let brute = oracle::expected_world_distance(&candidate, &ws, |a, b| a.jaccard_distance(b));
+        assert_close("jaccard expectation (Lemma 1)", exact, brute);
+        checks += 1;
+    }
+
+    let consensus = jaccard::mean_world_tuple_independent(db);
+    let (_, brute) = oracle::brute_force_mean_world(&ws, |a, b| a.jaccard_distance(b));
+    assert_close(
+        "jaccard mean-world optimality (Lemma 2)",
+        consensus.expected_distance,
+        brute,
+    );
+    checks + 1
+}
+
+/// Theorem 3 / §5.3 / §5.4: the mean Top-k answers under symmetric
+/// difference, the intersection metric, and the footrule metric all match
+/// their closed-form expected distances and the enumerated optima; the Υ_H
+/// heuristic respects its `1/H_k` guarantee.
+pub fn check_topk_means(tree: &AndXorTree, k: usize) -> usize {
+    let ws = tree.enumerate_worlds();
+    let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+    let k = k.min(items.len());
+    if k == 0 {
+        return 0;
+    }
+    let ctx = TopKContext::new(tree, k);
+
+    let mean = sym_diff::mean_topk_sym_diff(&ctx);
+    let closed = sym_diff::expected_sym_diff_distance(&ctx, &mean);
+    let fixed_k = |a: &_, b: &_| oracle::sym_diff_distance_fixed_k(k, a, b);
+    let direct = oracle::expected_topk_distance(&mean, &ws, k, fixed_k);
+    assert_close(
+        "topk/sym-diff closed-form expected distance",
+        closed,
+        direct,
+    );
+    let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, fixed_k);
+    assert_close("topk/sym-diff mean optimality (Theorem 3)", closed, brute);
+
+    let mean = intersection::mean_topk_intersection(&ctx);
+    let closed = intersection::expected_intersection_distance(&ctx, &mean);
+    let direct = oracle::expected_topk_distance(&mean, &ws, k, intersection_metric);
+    assert_close(
+        "topk/intersection closed-form expected distance",
+        closed,
+        direct,
+    );
+    let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
+    assert_close("topk/intersection mean optimality (§5.3)", closed, brute);
+
+    let upsilon = intersection::mean_topk_upsilon_h(&ctx);
+    let a_opt = intersection::objective_a(&ctx, &mean);
+    let a_ups = intersection::objective_a(&ctx, &upsilon);
+    assert!(
+        a_ups + TOL >= a_opt / intersection::harmonic(k) && a_ups <= a_opt + TOL,
+        "topk/intersection Υ_H objective {a_ups} violates [opt/H_k, opt] = [{}, {a_opt}]",
+        a_opt / intersection::harmonic(k)
+    );
+
+    let mean = footrule::mean_topk_footrule(&ctx);
+    let closed = footrule::expected_footrule_distance(&ctx, &mean);
+    let direct = oracle::expected_topk_distance(&mean, &ws, k, footrule_distance);
+    assert_close(
+        "topk/footrule closed-form expected distance",
+        closed,
+        direct,
+    );
+    let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
+    assert_close("topk/footrule mean optimality (§5.4)", closed, brute);
+    7
+}
+
+/// Theorem 4: the median-Top-k dynamic program under symmetric difference
+/// reports an exact expected distance and attains the enumerated median
+/// optimum.
+pub fn check_topk_median_dp(tree: &AndXorTree, k: usize) -> usize {
+    let ws = tree.enumerate_worlds();
+    let k = k.min(tree.keys().len());
+    if k == 0 {
+        return 0;
+    }
+    let ctx = TopKContext::new(tree, k);
+    let median = median_dp::median_topk_sym_diff(tree, &ctx);
+    let fixed_k = |a: &_, b: &_| oracle::sym_diff_distance_fixed_k(k, a, b);
+    let direct = oracle::expected_topk_distance(&median.answer, &ws, k, fixed_k);
+    assert_close(
+        "topk/median-dp closed-form expected distance",
+        median.expected_distance,
+        direct,
+    );
+    let (_, brute) = oracle::brute_force_median_topk(&ws, k, fixed_k);
+    assert_close(
+        "topk/median-dp optimality (Theorem 4)",
+        median.expected_distance,
+        brute,
+    );
+    2
+}
+
+/// §5.5: the Kendall consensus heuristics never beat the enumerated optimum
+/// and stay within their factor-2 guarantee (footrule proxy by Diaconis–
+/// Graham / Fagin et al.; pivot by the KwikSort expectation, taken best-of).
+pub fn check_kendall(tree: &AndXorTree, k: usize, seed: u64) -> usize {
+    let ws = tree.enumerate_worlds();
+    let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+    let k = k.min(items.len());
+    if k == 0 {
+        return 0;
+    }
+    let ctx = TopKContext::new(tree, k);
+    let (_, opt) = oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
+
+    let via_footrule = kendall::mean_topk_kendall_via_footrule(&ctx);
+    let cost_footrule = kendall::expected_kendall_distance_enumerated(tree, &ctx, &via_footrule);
+    // The enumerated-expectation helper must agree with the generic oracle.
+    assert_close(
+        "topk/kendall enumerated expectation helper",
+        cost_footrule,
+        oracle::expected_topk_distance(&via_footrule, &ws, k, kendall_tau_topk),
+    );
+    assert_within_factor("topk/kendall via footrule", cost_footrule, opt, 2.0);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_0FC4);
+    let pivot = kendall::mean_topk_kendall_pivot(tree, &ctx, items.len(), 4, &mut rng);
+    let cost_pivot = kendall::expected_kendall_distance_enumerated(tree, &ctx, &pivot);
+    assert_within_factor("topk/kendall pivot", cost_pivot, opt, 2.0);
+    5
+}
+
+/// §6.1 (Theorem 5 / Corollary 2): the mean aggregate is the exact
+/// expectation, the closed-form expected squared distance matches
+/// enumeration, the min-cost-flow answer is the closest *possible* answer,
+/// and the flow answer 4-approximates the enumerated median.
+pub fn check_aggregate(inst: &GroupByInstance) -> usize {
+    let answers = inst.enumerate_answers();
+    let total_mass: f64 = answers.iter().map(|(_, p)| *p).sum();
+    assert_close("aggregate world-mass normalisation", total_mass, 1.0);
+
+    let m = inst.num_groups();
+    let mean = inst.mean_answer();
+    for v in 0..m {
+        let enumerated: f64 = answers.iter().map(|(c, p)| c[v] as f64 * p).sum();
+        assert_close("aggregate mean answer (linearity)", mean[v], enumerated);
+    }
+
+    let brute_sq = |candidate: &[f64]| -> f64 {
+        answers
+            .iter()
+            .map(|(c, p)| {
+                p * c
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &x)| (candidate[v] - x as f64).powi(2))
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let floor_mean: Vec<f64> = mean.iter().map(|x| x.floor()).collect();
+    let zeros = vec![0.0; m];
+    let mut checks = 1 + m;
+    for candidate in [&mean, &floor_mean, &zeros] {
+        assert_close(
+            "aggregate closed-form expected squared distance",
+            inst.expected_squared_distance(candidate),
+            brute_sq(candidate),
+        );
+        checks += 1;
+    }
+
+    let closest = inst
+        .closest_possible_answer()
+        .expect("flow construction succeeds on valid instances");
+    let closest_f: Vec<f64> = closest.counts.iter().map(|&c| c as f64).collect();
+    let closest_cost = inst.expected_squared_distance(&closest_f);
+    assert!(
+        answers
+            .iter()
+            .any(|(c, p)| *p > 0.0 && *c == closest.counts),
+        "aggregate flow answer {:?} is not a possible count vector",
+        closest.counts
+    );
+    let support_opt = answers
+        .iter()
+        .filter(|(_, p)| *p > 0.0)
+        .map(|(c, _)| {
+            let cf: Vec<f64> = c.iter().map(|&x| x as f64).collect();
+            inst.expected_squared_distance(&cf)
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert_close(
+        "aggregate closest-possible-answer optimality (Theorem 5)",
+        closest_cost,
+        support_opt,
+    );
+
+    let (_, median_cost) = inst.median_answer_brute_force();
+    assert_within_factor(
+        "aggregate median 4-approximation (Corollary 2)",
+        closest_cost,
+        median_cost,
+        4.0,
+    );
+    checks + 4
+}
+
+/// §6.2: the generating-function co-clustering weights match enumeration
+/// pair by pair, and best-of KwikCluster stays within its constant factor of
+/// the enumerated optimal consensus clustering.
+pub fn check_clustering(tree: &AndXorTree, seed: u64) -> usize {
+    let ws = tree.enumerate_worlds();
+    let weights = clustering::CoClusteringWeights::from_tree(tree);
+    let keys = weights.keys().to_vec();
+    let mut checks = 0;
+
+    for (idx, &i) in keys.iter().enumerate() {
+        for &j in keys.iter().skip(idx + 1) {
+            let enumerated: f64 = ws
+                .worlds()
+                .iter()
+                .map(|(w, p)| {
+                    let together = match (w.value_of(i), w.value_of(j)) {
+                        (Some(a), Some(b)) => a == b,
+                        (None, None) => true, // the artificial "absent" cluster
+                        _ => false,
+                    };
+                    if together {
+                        *p
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            assert_close(
+                "clustering co-occurrence weight w_ij",
+                weights.weight(i, j),
+                enumerated,
+            );
+            checks += 1;
+        }
+    }
+
+    let (_, opt) = clustering::brute_force_clustering(&weights);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC105_7E12);
+    let (_, cost) = clustering::pivot_clustering_best_of(&weights, 8, &mut rng);
+    assert_within_factor("clustering best-of KwikCluster", cost, opt, 2.0);
+    checks + 2
+}
+
+/// Outcome of a full conformance sweep for one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceSummary {
+    /// The fixture seed that was swept.
+    pub seed: u64,
+    /// Total number of oracle assertions that passed.
+    pub checks: usize,
+}
+
+/// Runs every conformance check against the full fixture family for one
+/// seed: set consensus and Jaccard on tuple-independent instances, all Top-k
+/// algorithms on BID trees (k = 1..3) and tuple-independent trees, aggregates
+/// on group-by instances, and clustering on attribute-uncertainty trees.
+pub fn run_seed(seed: u64) -> ConformanceSummary {
+    let ti_db = fixtures::small_tuple_independent(seed);
+    let ti_tree = fixtures::small_tuple_independent_tree(seed);
+    let bid_tree = fixtures::small_bid_tree(seed);
+
+    let mut checks = 0;
+    checks += check_set_consensus(&ti_tree);
+    checks += check_set_consensus(&bid_tree);
+    checks += check_jaccard(&ti_db);
+    for k in 1..=3 {
+        checks += check_topk_means(&bid_tree, k);
+        checks += check_topk_median_dp(&bid_tree, k);
+    }
+    checks += check_topk_means(&ti_tree, 2);
+    checks += check_topk_median_dp(&ti_tree, 2);
+    checks += check_kendall(&bid_tree, 2, seed);
+    checks += check_kendall(&ti_tree, 2, seed);
+    checks += check_aggregate(&fixtures::small_groupby(seed));
+    checks += check_clustering(&fixtures::small_clustering_tree(seed), seed);
+    ConformanceSummary { seed, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_seed_reports_all_checks() {
+        let summary = run_seed(0);
+        assert!(
+            summary.checks > 40,
+            "expected a full sweep, got {summary:?}"
+        );
+    }
+
+    #[test]
+    fn assert_close_accepts_rounding_noise() {
+        assert_close("noise", 1.0, 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle computed")]
+    fn assert_close_rejects_real_divergence() {
+        assert_close("divergence", 1.0, 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beats the enumerated optimum")]
+    fn approximations_may_not_beat_the_oracle() {
+        assert_within_factor("impossible", 0.5, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic small-instance fixtures for oracle conformance tests.
+//!
+//! Every fixture is a pure function of its `seed`, built on the
+//! [`cpdb_workloads`] generators, with sizes chosen so that the brute-force
+//! oracles in [`cpdb_consensus::oracle`] (possible-world enumeration,
+//! ordered Top-k candidate enumeration, set-partition enumeration) remain
+//! comfortably cheap. Varying the seed varies both the drawn probabilities
+//! *and* the instance shape, so a seed sweep covers a spread of sizes.
+
+use cpdb_andxor::AndXorTree;
+use cpdb_consensus::aggregate::GroupByInstance;
+use cpdb_model::{BidDb, TupleIndependentDb};
+use cpdb_workloads::distributions::{ProbabilityDistribution, ScoreDistribution};
+use cpdb_workloads::generators::{
+    random_bid_db, random_clustering_tree, random_groupby_instance, random_tuple_independent,
+    BidConfig, ClusteringConfig, GroupByConfig, TupleIndependentConfig,
+};
+
+/// A small tuple-independent relation: 4–7 tuples, probabilities bounded
+/// away from 0 and 1, distinct scores in `[0, 100)`.
+pub fn small_tuple_independent(seed: u64) -> TupleIndependentDb {
+    random_tuple_independent(&TupleIndependentConfig {
+        num_tuples: 4 + (seed % 4) as usize,
+        probabilities: ProbabilityDistribution::Uniform { lo: 0.05, hi: 0.95 },
+        scores: ScoreDistribution::Uniform { lo: 0.0, hi: 100.0 },
+        seed,
+    })
+}
+
+/// A small BID relation: 2–4 blocks of 1–2 alternatives, with a substantial
+/// fraction of "maybe" blocks so short worlds occur.
+pub fn small_bid(seed: u64) -> BidDb {
+    random_bid_db(&BidConfig {
+        num_blocks: 2 + (seed % 3) as usize,
+        alternatives_per_block: 1 + (seed % 2) as usize,
+        maybe_fraction: 0.4,
+        scores: ScoreDistribution::Uniform { lo: 0.0, hi: 100.0 },
+        seed,
+    })
+}
+
+/// The and/xor tree of [`small_bid`].
+pub fn small_bid_tree(seed: u64) -> AndXorTree {
+    cpdb_andxor::convert::from_bid(&small_bid(seed))
+        .expect("generated BID relations satisfy the tree constraints")
+}
+
+/// The and/xor tree of [`small_tuple_independent`].
+pub fn small_tuple_independent_tree(seed: u64) -> AndXorTree {
+    cpdb_andxor::convert::from_tuple_independent(&small_tuple_independent(seed))
+        .expect("tuple-independent relations always convert")
+}
+
+/// A small group-by count instance: 5–7 tuples over 2–3 groups, skewed.
+pub fn small_groupby(seed: u64) -> GroupByInstance {
+    let probs = random_groupby_instance(&GroupByConfig {
+        num_tuples: 5 + (seed % 3) as usize,
+        num_groups: 2 + (seed % 2) as usize,
+        skew: 0.5 + (seed % 3) as f64 * 0.5,
+        seed,
+    });
+    GroupByInstance::new(probs).expect("generated rows are normalised distributions")
+}
+
+/// A small clustering instance: 5–7 tuples over 2–3 latent values, with
+/// absence, well inside the 10-key brute-force partition limit.
+pub fn small_clustering_tree(seed: u64) -> AndXorTree {
+    random_clustering_tree(&ClusteringConfig {
+        num_tuples: 5 + (seed % 3) as usize,
+        num_values: 2 + (seed % 2) as usize,
+        cohesion: 0.55 + (seed % 4) as f64 * 0.1,
+        absence: 0.15,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_model::WorldModel;
+
+    #[test]
+    fn fixtures_are_deterministic_per_seed() {
+        for seed in 0..6 {
+            assert_eq!(small_tuple_independent(seed), small_tuple_independent(seed));
+            assert_eq!(small_bid(seed), small_bid(seed));
+            assert_eq!(
+                small_groupby(seed).probabilities(),
+                small_groupby(seed).probabilities()
+            );
+        }
+    }
+
+    #[test]
+    fn fixtures_stay_within_oracle_budgets() {
+        for seed in 0..12 {
+            assert!(small_tuple_independent(seed).len() <= 7);
+            let bid_tree = small_bid_tree(seed);
+            assert!(bid_tree.keys().len() <= 4);
+            assert!(bid_tree.enumerate_worlds().len() <= 81);
+            assert!(small_groupby(seed).num_tuples() <= 7);
+            assert!(small_clustering_tree(seed).keys().len() <= 7);
+        }
+    }
+
+    #[test]
+    fn fixtures_vary_across_seeds() {
+        assert_ne!(small_tuple_independent(1), small_tuple_independent(2));
+        assert_ne!(
+            small_groupby(1).probabilities(),
+            small_groupby(2).probabilities()
+        );
+    }
+}

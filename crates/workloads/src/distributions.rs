@@ -31,7 +31,7 @@ impl ProbabilityDistribution {
             ProbabilityDistribution::Uniform { lo, hi } => {
                 let lo = lo.clamp(0.0, 1.0);
                 let hi = hi.clamp(lo, 1.0);
-                if hi - lo < f64::EPSILON {
+                if (hi - lo).abs() < f64::EPSILON {
                     lo
                 } else {
                     rng.gen_range(lo..=hi)

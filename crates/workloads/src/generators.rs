@@ -29,7 +29,10 @@ impl Default for TupleIndependentConfig {
         TupleIndependentConfig {
             num_tuples: 100,
             probabilities: ProbabilityDistribution::Uniform { lo: 0.05, hi: 1.0 },
-            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            scores: ScoreDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            },
             seed: 42,
         }
     }
@@ -70,7 +73,10 @@ impl Default for BidConfig {
             num_blocks: 50,
             alternatives_per_block: 3,
             maybe_fraction: 0.3,
-            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            scores: ScoreDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            },
             seed: 42,
         }
     }
@@ -96,8 +102,7 @@ pub fn random_bid_db(config: &BidConfig) -> BidDb {
                 .iter()
                 .enumerate()
                 .map(|(i, &p)| {
-                    let score = config.scores.sample(&mut rng, p)
-                        + (b * alts + i) as f64 * 1e-7;
+                    let score = config.scores.sample(&mut rng, p) + (b * alts + i) as f64 * 1e-7;
                     (score, p)
                 })
                 .collect();
@@ -137,7 +142,10 @@ impl Default for AndXorTreeConfig {
             num_leaves: 64,
             depth: 2,
             fanout: 4,
-            scores: ScoreDistribution::Uniform { lo: 0.0, hi: 1000.0 },
+            scores: ScoreDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            },
             seed: 42,
         }
     }
@@ -185,7 +193,8 @@ pub fn random_andxor_tree(config: &AndXorTreeConfig) -> AndXorTree {
     } else {
         b.and_node(nodes)
     };
-    b.build(root).expect("layered construction keeps keys disjoint under ∧ nodes")
+    b.build(root)
+        .expect("layered construction keeps keys disjoint under ∧ nodes")
 }
 
 /// Configuration for group-by count instances (§6.1).
@@ -309,10 +318,7 @@ mod tests {
         let b = random_tuple_independent(&config);
         assert_eq!(a, b);
         assert_eq!(a.len(), 20);
-        let other = random_tuple_independent(&TupleIndependentConfig {
-            seed: 43,
-            ..config
-        });
+        let other = random_tuple_independent(&TupleIndependentConfig { seed: 43, ..config });
         assert_ne!(a, other);
     }
 

@@ -1,0 +1,146 @@
+//! Seed-determinism and distribution-sanity tests for the workload
+//! generators: identical configurations must yield bit-identical instances,
+//! and every drawn probability / score must respect its configured bounds.
+
+use cpdb_workloads::{
+    random_scored_bid_tree, random_tuple_independent, BidConfig, ProbabilityDistribution,
+    ScoreDistribution, TupleIndependentConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCORE_LO: f64 = 10.0;
+const SCORE_HI: f64 = 250.0;
+
+fn ti_config(seed: u64) -> TupleIndependentConfig {
+    TupleIndependentConfig {
+        num_tuples: 64,
+        probabilities: ProbabilityDistribution::Uniform { lo: 0.1, hi: 0.9 },
+        scores: ScoreDistribution::Uniform {
+            lo: SCORE_LO,
+            hi: SCORE_HI,
+        },
+        seed,
+    }
+}
+
+fn bid_config(seed: u64) -> BidConfig {
+    BidConfig {
+        num_blocks: 24,
+        alternatives_per_block: 3,
+        maybe_fraction: 0.3,
+        scores: ScoreDistribution::Uniform {
+            lo: SCORE_LO,
+            hi: SCORE_HI,
+        },
+        seed,
+    }
+}
+
+#[test]
+fn tuple_independent_identical_for_identical_seeds() {
+    for seed in 0..8 {
+        let a = random_tuple_independent(&ti_config(seed));
+        let b = random_tuple_independent(&ti_config(seed));
+        assert_eq!(a, b, "seed {seed} produced two different instances");
+    }
+}
+
+#[test]
+fn tuple_independent_differs_across_seeds() {
+    let dbs: Vec<_> = (0..8)
+        .map(|seed| random_tuple_independent(&ti_config(seed)))
+        .collect();
+    for (i, a) in dbs.iter().enumerate() {
+        for b in dbs.iter().skip(i + 1) {
+            assert_ne!(a, b, "two distinct seeds collided");
+        }
+    }
+}
+
+#[test]
+fn scored_bid_tree_identical_for_identical_seeds() {
+    for seed in 0..8 {
+        let a = random_scored_bid_tree(&bid_config(seed));
+        let b = random_scored_bid_tree(&bid_config(seed));
+        assert_eq!(a, b, "seed {seed} produced two different trees");
+    }
+}
+
+#[test]
+fn scored_bid_tree_differs_across_seeds() {
+    let a = random_scored_bid_tree(&bid_config(1));
+    let b = random_scored_bid_tree(&bid_config(2));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn tuple_independent_probabilities_and_scores_respect_bounds() {
+    for seed in 0..4 {
+        let db = random_tuple_independent(&ti_config(seed));
+        for (i, (alt, p)) in db.tuples().iter().enumerate() {
+            assert!((0.1..=0.9).contains(p), "probability {p} outside config");
+            // The generator perturbs score i by i·1e-7 to break ties.
+            let perturbation = i as f64 * 1e-7;
+            let score = alt.value.0;
+            assert!(
+                score >= SCORE_LO && score < SCORE_HI + perturbation + 1e-12,
+                "score {score} outside [{SCORE_LO}, {SCORE_HI})"
+            );
+        }
+    }
+}
+
+#[test]
+fn scored_bid_tree_probabilities_and_scores_respect_bounds() {
+    for seed in 0..4 {
+        let tree = random_scored_bid_tree(&bid_config(seed));
+        for (alt, p) in tree.alternative_probabilities() {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&p),
+                "marginal {p} outside [0, 1]"
+            );
+            let score = alt.value.0;
+            // 24 blocks × 3 alternatives → perturbations below 72·1e-7.
+            assert!(
+                (SCORE_LO..SCORE_HI + 72.0 * 1e-7).contains(&score),
+                "score {score} outside [{SCORE_LO}, {SCORE_HI})"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_probability_distribution_yields_valid_probabilities() {
+    let distributions = [
+        ProbabilityDistribution::Uniform { lo: 0.05, hi: 1.0 },
+        ProbabilityDistribution::HighConfidence {
+            noisy_fraction: 0.25,
+        },
+        ProbabilityDistribution::NearHalf,
+    ];
+    let mut rng = StdRng::seed_from_u64(7);
+    for d in distributions {
+        for _ in 0..2000 {
+            let p = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&p), "{d:?} drew {p} outside [0, 1]");
+        }
+    }
+}
+
+#[test]
+fn every_score_distribution_respects_its_support() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..2000 {
+        let uniform = ScoreDistribution::Uniform { lo: -5.0, hi: 5.0 }.sample(&mut rng, 0.5);
+        assert!((-5.0..5.0).contains(&uniform));
+        let zipf = ScoreDistribution::Zipf { exponent: 1.5 }.sample(&mut rng, 0.5);
+        assert!(
+            zipf >= 1.0,
+            "Zipf scores are ≥ 1 by construction, got {zipf}"
+        );
+        let corr =
+            ScoreDistribution::CorrelatedWithProbability { scale: 100.0 }.sample(&mut rng, 0.4);
+        assert!((40.0..41.0).contains(&corr), "correlated score {corr}");
+    }
+}

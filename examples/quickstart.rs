@@ -22,17 +22,13 @@ fn main() {
     .expect("valid probabilities");
 
     // Every model embeds into the paper's probabilistic and/xor tree.
-    let tree =
-        consensus_pdb::andxor::convert::from_tuple_independent(&db).expect("valid tree");
+    let tree = consensus_pdb::andxor::convert::from_tuple_independent(&db).expect("valid tree");
 
     println!("=== The probabilistic database ===");
     for (alt, p) in db.tuples() {
         println!("  {alt}  with probability {p:.2}");
     }
-    println!(
-        "\nexpected world size = {:.3}",
-        db.expected_world_size()
-    );
+    println!("\nexpected world size = {:.3}", db.expected_world_size());
     let size_dist = tree.world_size_distribution();
     println!("world-size generating function: {size_dist}");
 

@@ -42,8 +42,7 @@ fn pipeline_consensus_world_matches_oracle_over_generated_workloads() {
 
         // Jaccard: Lemmas 1–2.
         let jc = jaccard::mean_world_tuple_independent(&db);
-        let (_, brute_jaccard) =
-            oracle::brute_force_mean_world(&ws, |a, b| a.jaccard_distance(b));
+        let (_, brute_jaccard) = oracle::brute_force_mean_world(&ws, |a, b| a.jaccard_distance(b));
         assert!((jc.expected_distance - brute_jaccard).abs() < 1e-9);
     }
 }
@@ -82,8 +81,7 @@ fn pipeline_topk_consensus_matches_oracle_over_generated_workloads() {
 
             // §5.3 (mean, intersection metric).
             let inter = intersection::mean_topk_intersection(&ctx);
-            let (_, brute_int) =
-                oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
+            let (_, brute_int) = oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
             assert!(
                 (intersection::expected_intersection_distance(&ctx, &inter) - brute_int).abs()
                     < 1e-9,
@@ -92,8 +90,7 @@ fn pipeline_topk_consensus_matches_oracle_over_generated_workloads() {
 
             // §5.4 (mean, footrule).
             let foot = footrule::mean_topk_footrule(&ctx);
-            let (_, brute_foot) =
-                oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
+            let (_, brute_foot) = oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
             assert!(
                 (footrule::expected_footrule_distance(&ctx, &foot) - brute_foot).abs() < 1e-9,
                 "seed {seed} k {k}: footrule mean mismatch"

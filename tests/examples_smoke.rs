@@ -1,0 +1,28 @@
+//! Smoke test: the `quickstart` example must build and run end to end.
+//!
+//! The other examples are compiled by `cargo test` (examples are default
+//! test-compilation targets) and executed in CI; `quickstart` is additionally
+//! *run* here because it is the README's entry point and exercises the
+//! facade, the tree conversion, and three consensus algorithms in one pass.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs() {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--offline", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo must be invocable from tests");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("Consensus Top-"),
+        "quickstart output missing consensus section:\n{stdout}"
+    );
+}

@@ -161,7 +161,7 @@ proptest! {
         for key in tree.keys() {
             let pmf = tree.rank_pmf(key, n);
             let total: f64 = pmf.iter().sum();
-            prop_assert!(pmf.iter().all(|&p| p >= -1e-9 && p <= 1.0 + 1e-9));
+            prop_assert!(pmf.iter().all(|&p| (-1e-9..=1.0 + 1e-9).contains(&p)));
             prop_assert!((total - presence[&key]).abs() < 1e-9,
                 "Σ_i Pr(r = i) = {} but Pr(present) = {}", total, presence[&key]);
         }

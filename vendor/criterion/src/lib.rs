@@ -1,0 +1,321 @@
+//! Offline, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! implementing the API surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] tuning knobs,
+//! [`BenchmarkId::new`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are simple wall-clock medians over `sample_size` samples —
+//! no outlier analysis, no HTML reports — printed one line per benchmark so
+//! `cargo bench` gives usable numbers without any external dependency.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.full_name(),
+            Duration::from_millis(200),
+            Duration::from_millis(600),
+            10,
+            None,
+            |b| f(b),
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how long to warm up before sampling.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the sampling time budget.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets how many samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work per iteration, for elements/sec style reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full_name());
+        run_benchmark(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            self.throughput.clone(),
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, handing it a borrowed `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full_name());
+        run_benchmark(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            self.throughput.clone(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at a given parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function_name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function_name, p),
+            None => self.function_name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: name,
+            parameter: None,
+        }
+    }
+}
+
+/// The quantity processed per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    sampled: Option<Duration>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also discovers how many iterations fit one sample.
+        let warm_up_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time || iters_per_sample == 0 {
+            std::hint::black_box(routine());
+            iters_per_sample += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / iters_per_sample as f64;
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = samples[samples.len() / 2];
+        self.sampled = Some(Duration::from_secs_f64(median));
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sampled: None,
+        warm_up_time,
+        measurement_time,
+        sample_size,
+    };
+    f(&mut bencher);
+    match bencher.sampled {
+        Some(per_iter) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.3e} elem/s)", n as f64 / per_iter.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.3e} B/s)", n as f64 / per_iter.as_secs_f64())
+                }
+            });
+            println!(
+                "{label:<60} time: {:>12.1?} /iter{}",
+                per_iter,
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{label:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("sum", 10), |b| {
+            ran = true;
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "n10").full_name(), "f/n10");
+        assert_eq!(BenchmarkId::from_parameter(5).full_name(), "5");
+        assert_eq!(BenchmarkId::from("bare").full_name(), "bare");
+    }
+}
