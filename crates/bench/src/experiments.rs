@@ -9,16 +9,18 @@ use crate::table::Table;
 use cpdb_andxor::figure1;
 use cpdb_andxor::AndXorTree;
 use cpdb_consensus::aggregate::GroupByInstance;
-use cpdb_consensus::clustering::{
-    brute_force_clustering, pivot_clustering_best_of, CoClusteringWeights,
+use cpdb_consensus::clustering::brute_force_clustering;
+use cpdb_consensus::topk::{footrule, intersection, median_dp, sym_diff};
+use cpdb_consensus::{jaccard, oracle, set_distance, TopKContext};
+use cpdb_engine::{
+    BaselineKind, ConsensusEngine, ConsensusEngineBuilder, IntersectionStrategy, KendallStrategy,
+    Query, SetMetric, TopKMetric, Variant,
 };
-use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
-use cpdb_consensus::{baselines, jaccard, oracle, set_distance, TopKContext};
 use cpdb_model::{TupleKey, WorldModel};
 use cpdb_rankagg::metrics::{footrule_distance, intersection_metric, kendall_tau_topk};
 use cpdb_rankagg::TopKList;
 use cpdb_workloads::{
-    random_clustering_tree, random_groupby_instance, random_scored_bid_tree,
+    groupby_tree, random_clustering_tree, random_groupby_instance, random_scored_bid_tree,
     random_tuple_independent, BidConfig, ClusteringConfig, GroupByConfig, ProbabilityDistribution,
     ScoreDistribution, TupleIndependentConfig,
 };
@@ -58,6 +60,15 @@ pub fn small_tree(seed: u64) -> AndXorTree {
         scores: ScoreDistribution::Uniform { lo: 0.0, hi: 100.0 },
         seed,
     })
+}
+
+/// The standard engine the validation experiments run their queries through
+/// (seeded so randomised paths are reproducible).
+pub fn validation_engine(tree: AndXorTree, seed: u64) -> ConsensusEngine {
+    ConsensusEngineBuilder::new(tree)
+        .seed(seed)
+        .build()
+        .expect("default engine configuration is valid")
 }
 
 /// F1 — reproduces both generating functions of Figure 1.
@@ -152,11 +163,11 @@ pub fn set_distance_tables() -> Vec<Table> {
 /// E1/E2 validation table only (cheap; used by the harness self-tests).
 pub fn set_distance_validation_table() -> Table {
     let mut validation = Table::new(
-        "E1/E2: mean world under symmetric difference vs brute force",
+        "E1/E2: mean world under symmetric difference (engine) vs brute force",
         &[
             "seed",
             "n alts",
-            "algorithm E[d]",
+            "engine E[d]",
             "brute force E[d]",
             "optimal?",
         ],
@@ -170,8 +181,14 @@ pub fn set_distance_validation_table() -> Table {
         });
         let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
         let ws = db.enumerate_worlds();
-        let mean = set_distance::mean_world(&tree);
-        let cost = set_distance::expected_distance(&tree, &mean);
+        let mut engine = validation_engine(tree, seed);
+        let answer = engine
+            .run(&Query::SetConsensus {
+                metric: SetMetric::SymmetricDifference,
+                variant: Variant::Mean,
+            })
+            .expect("supported");
+        let cost = answer.expected_distance;
         let (_, brute) =
             oracle::brute_force_mean_world(&ws, |a, b| a.symmetric_difference(b) as f64);
         validation.add_row(vec![
@@ -216,14 +233,8 @@ pub fn jaccard_tables() -> Vec<Table> {
 /// E3 validation table only.
 pub fn jaccard_validation_table() -> Table {
     let mut validation = Table::new(
-        "E3: Jaccard mean world (prefix scan) vs brute force",
-        &[
-            "seed",
-            "n",
-            "prefix-scan E[d]",
-            "brute force E[d]",
-            "optimal?",
-        ],
+        "E3: Jaccard mean world (engine prefix scan) vs brute force",
+        &["seed", "n", "engine E[d]", "brute force E[d]", "optimal?"],
     );
     for &seed in &VALIDATION_SEEDS {
         let db = random_tuple_independent(&TupleIndependentConfig {
@@ -233,14 +244,21 @@ pub fn jaccard_validation_table() -> Table {
             seed,
         });
         let ws = db.enumerate_worlds();
-        let consensus = jaccard::mean_world_tuple_independent(&db);
+        let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
+        let mut engine = validation_engine(tree, seed);
+        let answer = engine
+            .run(&Query::SetConsensus {
+                metric: SetMetric::Jaccard,
+                variant: Variant::Mean,
+            })
+            .expect("supported");
         let (_, brute) = oracle::brute_force_mean_world(&ws, |a, b| a.jaccard_distance(b));
         validation.add_row(vec![
             seed.to_string(),
             db.len().to_string(),
-            fmt(consensus.expected_distance),
+            fmt(answer.expected_distance),
             fmt(brute),
-            ((consensus.expected_distance - brute).abs() < 1e-9).to_string(),
+            ((answer.expected_distance - brute).abs() < 1e-9).to_string(),
         ]);
     }
     validation
@@ -276,23 +294,23 @@ pub fn topk_sym_diff_tables() -> Vec<Table> {
 /// E4 validation table only.
 pub fn topk_sym_diff_validation_table() -> Table {
     let mut validation = Table::new(
-        "E4: mean Top-k under d_Δ (Theorem 3) vs brute force",
-        &[
-            "seed",
-            "k",
-            "algorithm E[d]",
-            "brute force E[d]",
-            "optimal?",
-        ],
+        "E4: mean Top-k under d_Δ (Theorem 3, engine) vs brute force",
+        &["seed", "k", "engine E[d]", "brute force E[d]", "optimal?"],
     );
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+        let mut engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
-            let ctx = TopKContext::new(&tree, k);
-            let mean = sym_diff::mean_topk_sym_diff(&ctx);
-            let cost = sym_diff::expected_sym_diff_distance(&ctx, &mean);
+            let answer = engine
+                .run(&Query::TopK {
+                    k,
+                    metric: TopKMetric::SymmetricDifference,
+                    variant: Variant::Mean,
+                })
+                .expect("supported");
+            let cost = answer.expected_distance;
             let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, |a, b| {
                 oracle::sym_diff_distance_fixed_k(k, a, b)
             });
@@ -333,16 +351,23 @@ pub fn topk_sym_diff_scaling_table() -> Table {
 /// E5 — median Top-k under the symmetric difference (Theorem 4 DP).
 pub fn topk_median_tables() -> Vec<Table> {
     let mut validation = Table::new(
-        "E5: median Top-k under d_Δ (Theorem 4 DP) vs brute force",
-        &["seed", "k", "DP E[d]", "brute force E[d]", "optimal?"],
+        "E5: median Top-k under d_Δ (Theorem 4 DP, engine) vs brute force",
+        &["seed", "k", "engine E[d]", "brute force E[d]", "optimal?"],
     );
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
+        let mut engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
-            let ctx = TopKContext::new(&tree, k);
-            let median = median_dp::median_topk_sym_diff(&tree, &ctx);
-            let cost = oracle::expected_topk_distance(&median.answer, &ws, k, |a, b| {
+            let answer = engine
+                .run(&Query::TopK {
+                    k,
+                    metric: TopKMetric::SymmetricDifference,
+                    variant: Variant::Median,
+                })
+                .expect("supported");
+            let median = answer.value.as_topk().expect("Top-k answer");
+            let cost = oracle::expected_topk_distance(median, &ws, k, |a, b| {
                 oracle::sym_diff_distance_fixed_k(k, a, b)
             });
             let (_, brute) = oracle::brute_force_median_topk(&ws, k, |a, b| {
@@ -382,7 +407,7 @@ pub fn topk_median_tables() -> Vec<Table> {
 /// formulation and measured quality of the Υ_H approximation.
 pub fn topk_intersection_tables() -> Vec<Table> {
     let mut validation = Table::new(
-        "E6: intersection-metric mean Top-k (assignment) vs brute force; Υ_H quality",
+        "E6: intersection-metric mean Top-k (engine assignment) vs brute force; Υ_H quality",
         &[
             "seed",
             "k",
@@ -397,13 +422,28 @@ pub fn topk_intersection_tables() -> Vec<Table> {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+        // Two engines over the same tree: the exact assignment solver and the
+        // Υ_H shortcut, selected by the builder's approximation knob.
+        let mut exact_engine = validation_engine(tree.clone(), seed);
+        let mut upsilon_engine = ConsensusEngineBuilder::new(tree)
+            .seed(seed)
+            .intersection_strategy(IntersectionStrategy::Harmonic)
+            .build()
+            .expect("valid configuration");
         for k in [2usize, 3] {
-            let ctx = TopKContext::new(&tree, k);
-            let opt = intersection::mean_topk_intersection(&ctx);
-            let cost = intersection::expected_intersection_distance(&ctx, &opt);
+            let query = Query::TopK {
+                k,
+                metric: TopKMetric::Intersection,
+                variant: Variant::Mean,
+            };
+            let answer = exact_engine.run(&query).expect("supported");
+            let opt = answer.value.as_topk().expect("Top-k answer").clone();
+            let cost = answer.expected_distance;
             let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, intersection_metric);
-            let approx = intersection::mean_topk_upsilon_h(&ctx);
-            let ratio = intersection::objective_a(&ctx, &approx)
+            let approx_answer = upsilon_engine.run(&query).expect("supported");
+            let approx = approx_answer.value.as_topk().expect("Top-k answer");
+            let ctx = exact_engine.context(k).expect("k is in range").clone();
+            let ratio = intersection::objective_a(&ctx, approx)
                 / intersection::objective_a(&ctx, &opt).max(1e-12);
             validation.add_row(vec![
                 seed.to_string(),
@@ -445,17 +485,23 @@ pub fn topk_intersection_tables() -> Vec<Table> {
 /// E7 — footrule mean answer optimality (the algorithmic side of Figure 2).
 pub fn topk_footrule_tables() -> Vec<Table> {
     let mut validation = Table::new(
-        "E7: footrule mean Top-k (assignment) vs brute force",
-        &["seed", "k", "assignment E[F*]", "brute E[F*]", "optimal?"],
+        "E7: footrule mean Top-k (engine assignment) vs brute force",
+        &["seed", "k", "engine E[F*]", "brute E[F*]", "optimal?"],
     );
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+        let mut engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
-            let ctx = TopKContext::new(&tree, k);
-            let mean = footrule::mean_topk_footrule(&ctx);
-            let cost = footrule::expected_footrule_distance(&ctx, &mean);
+            let answer = engine
+                .run(&Query::TopK {
+                    k,
+                    metric: TopKMetric::Footrule,
+                    variant: Variant::Mean,
+                })
+                .expect("supported");
+            let cost = answer.expected_distance;
             let (_, brute) = oracle::brute_force_mean_topk(&items, k, &ws, footrule_distance);
             validation.add_row(vec![
                 seed.to_string(),
@@ -490,7 +536,7 @@ pub fn topk_footrule_tables() -> Vec<Table> {
 /// and footrule answers against the brute-force optimum.
 pub fn topk_kendall_table() -> Table {
     let mut t = Table::new(
-        "E8: Kendall-tau consensus answers — measured approximation ratios",
+        "E8: Kendall-tau consensus answers (engine strategies) — measured approximation ratios",
         &[
             "seed",
             "k",
@@ -499,18 +545,38 @@ pub fn topk_kendall_table() -> Table {
             "footrule ratio",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(2009);
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+        // One engine per Kendall strategy knob.
+        let mut pivot_engine = validation_engine(tree.clone(), seed);
+        let mut proxy_engine = ConsensusEngineBuilder::new(tree)
+            .seed(seed)
+            .kendall_strategy(KendallStrategy::FootruleProxy)
+            .build()
+            .expect("valid configuration");
         for k in [2usize, 3] {
-            let ctx = TopKContext::new(&tree, k);
+            let query = Query::TopK {
+                k,
+                metric: TopKMetric::Kendall,
+                variant: Variant::Mean,
+            };
             let (_, opt) = oracle::brute_force_mean_topk(&items, k, &ws, kendall_tau_topk);
-            let pivot = kendall::mean_topk_kendall_pivot(&tree, &ctx, items.len(), 8, &mut rng);
-            let pivot_cost = oracle::expected_topk_distance(&pivot, &ws, k, kendall_tau_topk);
-            let foot = kendall::mean_topk_kendall_via_footrule(&ctx);
-            let foot_cost = oracle::expected_topk_distance(&foot, &ws, k, kendall_tau_topk);
+            let pivot = pivot_engine.run(&query).expect("supported");
+            let pivot_cost = oracle::expected_topk_distance(
+                pivot.value.as_topk().expect("Top-k answer"),
+                &ws,
+                k,
+                kendall_tau_topk,
+            );
+            let foot = proxy_engine.run(&query).expect("supported");
+            let foot_cost = oracle::expected_topk_distance(
+                foot.value.as_topk().expect("Top-k answer"),
+                &ws,
+                k,
+                kendall_tau_topk,
+            );
             let denom = opt.max(1e-12);
             t.add_row(vec![
                 seed.to_string(),
@@ -578,7 +644,7 @@ pub fn rank_probability_table() -> Table {
 /// vector among possible answers, measured 4-approximation ratio, scaling.
 pub fn aggregate_tables() -> Vec<Table> {
     let mut validation = Table::new(
-        "E10: group-by median 4-approximation (Theorem 5 / Corollary 2)",
+        "E10: group-by median 4-approximation (Theorem 5 / Corollary 2, engine)",
         &[
             "seed",
             "n×m",
@@ -595,10 +661,18 @@ pub fn aggregate_tables() -> Vec<Table> {
             skew: 1.0,
             seed,
         });
-        let inst = GroupByInstance::new(probs).unwrap();
-        let approx = inst.median_answer_4approx().unwrap();
-        let approx_vec: Vec<f64> = approx.counts.iter().map(|&c| c as f64).collect();
-        let approx_cost = inst.expected_squared_distance(&approx_vec);
+        let inst = GroupByInstance::new(probs.clone()).unwrap();
+        let mut engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
+            .seed(seed)
+            .groupby(inst.clone())
+            .build()
+            .expect("valid configuration");
+        let approx = engine
+            .run(&Query::Aggregate {
+                variant: Variant::Median,
+            })
+            .expect("instance attached");
+        let approx_cost = approx.expected_distance;
         let (_, opt) = inst.median_answer_brute_force();
         let ratio = approx_cost / opt.max(1e-12);
         validation.add_row(vec![
@@ -638,10 +712,9 @@ pub fn aggregate_tables() -> Vec<Table> {
 /// algorithm and scaling of the weight computation.
 pub fn clustering_tables() -> Vec<Table> {
     let mut validation = Table::new(
-        "E11: consensus clustering — pivot vs brute-force optimum",
+        "E11: consensus clustering (engine) — pivot vs brute-force optimum",
         &["seed", "n", "pivot E[d]", "optimal E[d]", "ratio"],
     );
-    let mut rng = StdRng::seed_from_u64(31);
     for &seed in &VALIDATION_SEEDS {
         let tree = random_clustering_tree(&ClusteringConfig {
             num_tuples: 7,
@@ -650,20 +723,22 @@ pub fn clustering_tables() -> Vec<Table> {
             absence: 0.1,
             seed,
         });
-        let weights = CoClusteringWeights::from_tree(&tree);
-        let (_, pivot_cost) = pivot_clustering_best_of(&weights, 32, &mut rng);
-        let (_, opt_cost) = brute_force_clustering(&weights);
+        let mut engine = validation_engine(tree, seed);
+        let answer = engine
+            .run(&Query::Clustering { restarts: 32 })
+            .expect("supported");
+        let (_, opt_cost) = brute_force_clustering(engine.coclustering_weights());
         validation.add_row(vec![
             seed.to_string(),
             "7".to_string(),
-            fmt(pivot_cost),
+            fmt(answer.expected_distance),
             fmt(opt_cost),
-            fmt(pivot_cost / opt_cost.max(1e-12)),
+            fmt(answer.expected_distance / opt_cost.max(1e-12)),
         ]);
     }
 
     let mut scaling = Table::new(
-        "E11 scaling: pairwise weight computation + pivot clustering",
+        "E11 scaling: pairwise weight computation (cold engine) + pivot reusing them (warm)",
         &["n tuples", "weights (ms)", "pivot (ms)"],
     );
     for &n in &[30usize, 60, 100] {
@@ -674,11 +749,14 @@ pub fn clustering_tables() -> Vec<Table> {
             absence: 0.1,
             seed: 17,
         });
+        let mut engine = validation_engine(tree, 17);
         let start = Instant::now();
-        let weights = CoClusteringWeights::from_tree(&tree);
+        let _ = engine.coclustering_weights();
         let t_weights = start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let _ = pivot_clustering_best_of(&weights, 16, &mut rng);
+        let _ = engine
+            .run(&Query::Clustering { restarts: 16 })
+            .expect("supported");
         let t_pivot = start.elapsed().as_secs_f64();
         scaling.add_row(vec![n.to_string(), fmt_ms(t_weights), fmt_ms(t_pivot)]);
     }
@@ -690,7 +768,8 @@ pub fn clustering_tables() -> Vec<Table> {
 /// each answer's expected footrule distance.
 pub fn baselines_table() -> Table {
     let mut t = Table::new(
-        "E12: baseline ranking semantics vs consensus Top-k answers (n = 300, k = 10)",
+        "E12: baseline ranking semantics vs consensus Top-k answers \
+         (n = 300, k = 10, one engine batch)",
         &[
             "semantics",
             "overlap with d_Δ consensus",
@@ -700,28 +779,90 @@ pub fn baselines_table() -> Table {
     );
     let tree = scaling_tree(300, 21);
     let k = 10;
-    let ctx = TopKContext::new(&tree, k);
-    let consensus_sym = sym_diff::mean_topk_sym_diff(&ctx);
-    let consensus_foot = footrule::mean_topk_footrule(&ctx);
-    let mut rng = StdRng::seed_from_u64(7);
-    let answers: Vec<(&str, TopKList)> = vec![
-        ("consensus d_Δ / Global Top-k", consensus_sym.clone()),
-        ("consensus footrule", consensus_foot),
+    let mut engine = validation_engine(tree, 7);
+    // Consensus answers and baselines flow through one heterogeneous batch;
+    // the rank-probability PMFs are computed once for all eight queries.
+    let batch: Vec<(&str, Query)> = vec![
+        (
+            "consensus d_Δ / Global Top-k",
+            Query::TopK {
+                k,
+                metric: TopKMetric::SymmetricDifference,
+                variant: Variant::Mean,
+            },
+        ),
+        (
+            "consensus footrule",
+            Query::TopK {
+                k,
+                metric: TopKMetric::Footrule,
+                variant: Variant::Mean,
+            },
+        ),
         (
             "consensus intersection",
-            intersection::mean_topk_intersection(&ctx),
+            Query::TopK {
+                k,
+                metric: TopKMetric::Intersection,
+                variant: Variant::Mean,
+            },
         ),
-        ("Υ_H ranking", intersection::mean_topk_upsilon_h(&ctx)),
-        ("expected score", baselines::expected_score_topk(&tree, k)),
+        (
+            "expected score",
+            Query::Baseline {
+                kind: BaselineKind::ExpectedScore { k },
+            },
+        ),
         (
             "expected rank",
-            baselines::expected_rank_topk(&tree, k, 20_000, &mut rng),
+            Query::Baseline {
+                kind: BaselineKind::ExpectedRank { k, samples: 20_000 },
+            },
         ),
         (
             "U-Top-k (sampled)",
-            baselines::u_topk(&tree, k, 20_000, &mut rng),
+            Query::Baseline {
+                kind: BaselineKind::UTopK { k, samples: 20_000 },
+            },
         ),
     ];
+    let queries: Vec<Query> = batch.iter().map(|(_, q)| q.clone()).collect();
+    let results = engine.run_batch(&queries);
+    assert_eq!(
+        engine.cache_stats().rank_context_builds,
+        1,
+        "E12 batch must share one rank-PMF build"
+    );
+    let mut answers: Vec<(&str, TopKList)> = batch
+        .iter()
+        .zip(results)
+        .map(|((name, _), r)| {
+            let answer = r.expect("all E12 queries are supported");
+            (*name, answer.value.as_topk().expect("Top-k answer").clone())
+        })
+        .collect();
+    // The Υ_H shortcut comes from a second engine with the harmonic knob set.
+    let mut upsilon_engine = ConsensusEngineBuilder::new(engine.tree().clone())
+        .seed(7)
+        .intersection_strategy(IntersectionStrategy::Harmonic)
+        .build()
+        .expect("valid configuration");
+    let upsilon = upsilon_engine
+        .run(&Query::TopK {
+            k,
+            metric: TopKMetric::Intersection,
+            variant: Variant::Mean,
+        })
+        .expect("supported");
+    answers.insert(
+        3,
+        (
+            "Υ_H ranking",
+            upsilon.value.as_topk().expect("list").clone(),
+        ),
+    );
+    let ctx = engine.context(k).expect("k is in range").clone();
+    let consensus_sym = answers[0].1.clone();
     for (name, answer) in answers {
         let overlap = answer.overlap(&consensus_sym);
         t.add_row(vec![

@@ -18,7 +18,7 @@
 use cpdb_andxor::{AndXorTree, VarAssignment};
 use cpdb_genfunc::Truncation;
 use cpdb_model::{Alternative, BidDb, PossibleWorld, TupleIndependentDb};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Lemma 1: the exact expected Jaccard distance between a candidate world and
 /// the random world of an and/xor tree.
@@ -59,7 +59,7 @@ pub fn mean_world_tuple_independent(db: &TupleIndependentDb) -> JaccardConsensus
     let tree = cpdb_andxor::convert::from_tuple_independent(db)
         .expect("tuple-independent databases always satisfy the tree constraints");
     let sorted = db.sorted_by_probability_desc();
-    best_prefix(&tree, &sorted)
+    best_prefix_world(&tree, &sorted)
 }
 
 /// The median world of a BID database under the Jaccard distance: only the
@@ -75,12 +75,57 @@ pub fn median_world_bid(db: &BidDb) -> JaccardConsensus {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a1.key.cmp(&a2.key))
     });
-    best_prefix(&tree, &best_alts)
+    best_prefix_world(&tree, &best_alts)
+}
+
+/// The candidate list the prefix scan works on, derived directly from an
+/// and/xor tree: the highest-marginal-probability alternative of every tuple
+/// key, sorted by decreasing probability (ties broken by key). For
+/// tuple-independent trees this is exactly the Lemma 2 candidate order; for
+/// BID trees it is the §4.2 median candidate order. This is the caching seam
+/// used by `cpdb_engine` — the list is computed once per tree and reused by
+/// every Jaccard query.
+pub fn prefix_candidates(tree: &AndXorTree) -> Vec<(Alternative, f64)> {
+    prefix_candidates_from_marginals(&tree.alternative_probabilities())
+}
+
+/// [`prefix_candidates`] from an already-computed marginal-probability table,
+/// so callers that cache `alternative_probabilities` (the engine does, for
+/// symmetric-difference set queries) avoid a second tree walk.
+pub fn prefix_candidates_from_marginals(
+    marginals: &HashMap<Alternative, f64>,
+) -> Vec<(Alternative, f64)> {
+    let mut best: HashMap<cpdb_model::TupleKey, (Alternative, f64)> = HashMap::new();
+    for (&alt, &p) in marginals {
+        match best.entry(alt.key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((alt, p));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (cur, cur_p) = *e.get();
+                let better = p
+                    .partial_cmp(&cur_p)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| alt.value.0.total_cmp(&cur.value.0))
+                    .is_gt();
+                if better {
+                    e.insert((alt, p));
+                }
+            }
+        }
+    }
+    let mut sorted: Vec<(Alternative, f64)> = best.into_values().collect();
+    sorted.sort_by(|(a1, p1), (a2, p2)| {
+        p2.partial_cmp(p1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a1.key.cmp(&a2.key))
+    });
+    sorted
 }
 
 /// Scores every prefix of `sorted` (including the empty prefix) with Lemma 1
 /// and returns the best one.
-fn best_prefix(tree: &AndXorTree, sorted: &[(Alternative, f64)]) -> JaccardConsensus {
+pub fn best_prefix_world(tree: &AndXorTree, sorted: &[(Alternative, f64)]) -> JaccardConsensus {
     let mut best = JaccardConsensus {
         world: PossibleWorld::empty(),
         expected_distance: expected_jaccard_distance(tree, &PossibleWorld::empty()),
@@ -220,6 +265,38 @@ mod tests {
         // prefix that the algorithm considered.
         let empty_cost = oracle::expected_world_distance(&PossibleWorld::empty(), &ws, jaccard);
         assert!(consensus.expected_distance <= empty_cost + 1e-9);
+    }
+
+    #[test]
+    fn prefix_candidates_match_model_sorted_orders() {
+        // Tuple-independent: same order as the db's probability sort.
+        let db = TupleIndependentDb::from_triples(&[
+            (1, 1.0, 0.9),
+            (2, 2.0, 0.2),
+            (3, 3.0, 0.65),
+            (4, 4.0, 0.65),
+        ])
+        .unwrap();
+        let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
+        assert_eq!(prefix_candidates(&tree), db.sorted_by_probability_desc());
+        // And the scan over them reproduces the Lemma 2 consensus exactly.
+        assert_eq!(
+            best_prefix_world(&tree, &prefix_candidates(&tree)),
+            mean_world_tuple_independent(&db)
+        );
+
+        // BID: same answer as the block-best median scan.
+        let bid = BidDb::new(vec![
+            BidBlock::from_pairs(1, &[(10.0, 0.7), (11.0, 0.2)]).unwrap(),
+            BidBlock::from_pairs(2, &[(20.0, 0.4), (21.0, 0.5)]).unwrap(),
+            BidBlock::from_pairs(3, &[(30.0, 0.3)]).unwrap(),
+        ])
+        .unwrap();
+        let bid_tree = cpdb_andxor::convert::from_bid(&bid).unwrap();
+        assert_eq!(
+            best_prefix_world(&bid_tree, &prefix_candidates(&bid_tree)),
+            median_world_bid(&bid)
+        );
     }
 
     #[test]

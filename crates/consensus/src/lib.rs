@@ -41,4 +41,5 @@ pub mod oracle;
 pub mod set_distance;
 pub mod topk;
 
+pub use cpdb_genfunc::harmonic;
 pub use topk::context::TopKContext;

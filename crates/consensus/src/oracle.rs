@@ -242,8 +242,7 @@ mod tests {
     #[test]
     fn brute_force_mean_topk_picks_high_probability_members() {
         let ws = sample_db();
-        let (best, _) =
-            brute_force_mean_topk(&[1, 2, 3], 2, &ws, |a, b| symmetric_difference_topk(a, b));
+        let (best, _) = brute_force_mean_topk(&[1, 2, 3], 2, &ws, symmetric_difference_topk);
         assert!(best.contains(1));
         assert!(best.contains(2));
     }

@@ -139,7 +139,7 @@ impl TopKContext {
     }
 
     /// Υ_H(t) = `Σ_{i ≤ k} Pr(r(t) ≤ i)/i` — the harmonic ranking function of
-    /// §5.3 (a parameterised ranking function in the sense of [29]).
+    /// §5.3 (a parameterised ranking function in the sense of \[29\]).
     pub fn upsilon_h(&self, t: TupleKey) -> f64 {
         (1..=self.k).map(|i| self.rank_cdf(t, i) / i as f64).sum()
     }

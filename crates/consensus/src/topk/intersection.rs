@@ -102,10 +102,10 @@ pub fn mean_topk_upsilon_h(ctx: &TopKContext) -> TopKList {
 }
 
 /// The `k`-th harmonic number `H_k = Σ_{i ≤ k} 1/i` (the approximation bound
-/// of §5.3).
-pub fn harmonic(k: usize) -> f64 {
-    (1..=k).map(|i| 1.0 / i as f64).sum()
-}
+/// of §5.3) now lives in the shared numerics module of `cpdb_genfunc`; it is
+/// re-exported here because it is the natural companion of
+/// [`mean_topk_upsilon_h`].
+pub use cpdb_genfunc::harmonic;
 
 #[cfg(test)]
 mod tests {
@@ -242,10 +242,8 @@ mod tests {
     }
 
     #[test]
-    fn harmonic_numbers() {
-        assert_eq!(harmonic(0), 0.0);
-        assert!((harmonic(1) - 1.0).abs() < 1e-12);
-        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    fn harmonic_re_export_matches_genfunc() {
+        assert_eq!(harmonic(4), cpdb_genfunc::harmonic(4));
     }
 
     #[test]

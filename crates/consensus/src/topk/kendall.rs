@@ -44,6 +44,32 @@ pub fn preference_matrix(tree: &AndXorTree, keys: &[TupleKey]) -> PreferenceMatr
     m
 }
 
+/// The candidate pool the pivot aggregation works on: the `pool_size` (at
+/// least `k`) most promising tuples by `Pr(r(t) ≤ k)`, in that order.
+pub fn candidate_pool(ctx: &TopKContext, pool_size: usize) -> Vec<TupleKey> {
+    ctx.keys_by_topk_probability()
+        .into_iter()
+        .take(pool_size.max(ctx.k()))
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Restricts a precomputed pairwise-order tournament to a candidate pool,
+/// copying the weights instead of recomputing the generating functions. This
+/// is the caching seam used by `cpdb_engine`: the full tournament is computed
+/// once per tree, and per-query pools are carved out of it for free.
+pub fn preference_submatrix(full: &PreferenceMatrix, pool: &[TupleKey]) -> PreferenceMatrix {
+    let items: Vec<u64> = pool.iter().map(|t| t.0).collect();
+    let mut m = PreferenceMatrix::new(&items);
+    for (idx, &a) in pool.iter().enumerate() {
+        for &b in pool.iter().skip(idx + 1) {
+            m.set_weight(a.0, b.0, full.weight(a.0, b.0));
+            m.set_weight(b.0, a.0, full.weight(b.0, a.0));
+        }
+    }
+    m
+}
+
 /// Kendall consensus answer via pivot aggregation: run seeded KwikSort over
 /// the pairwise-order tournament (restricted to the `candidate_pool` most
 /// promising tuples by `Pr(r(t) ≤ k)`), take the best of `trials` runs, and
@@ -51,7 +77,7 @@ pub fn preference_matrix(tree: &AndXorTree, keys: &[TupleKey]) -> PreferenceMatr
 pub fn mean_topk_kendall_pivot<R: Rng + ?Sized>(
     tree: &AndXorTree,
     ctx: &TopKContext,
-    candidate_pool: usize,
+    candidate_pool_size: usize,
     trials: usize,
     rng: &mut R,
 ) -> TopKList {
@@ -59,18 +85,28 @@ pub fn mean_topk_kendall_pivot<R: Rng + ?Sized>(
     if k == 0 {
         return TopKList::empty();
     }
-    let pool: Vec<TupleKey> = ctx
-        .keys_by_topk_probability()
-        .into_iter()
-        .take(candidate_pool.max(k))
-        .map(|(t, _)| t)
-        .collect();
+    let pool = candidate_pool(ctx, candidate_pool_size);
     if pool.is_empty() {
         return TopKList::empty();
     }
     let prefs = preference_matrix(tree, &pool);
-    let ranking = pivot_best_of(&prefs, trials, rng);
-    ranking.top_k(k)
+    mean_topk_kendall_pivot_from_prefs(ctx, &prefs, trials, rng)
+}
+
+/// The pivot aggregation step alone, given an already pool-restricted
+/// tournament (see [`preference_submatrix`]): best-of-`trials` KwikSort,
+/// truncated to the Top-k prefix.
+pub fn mean_topk_kendall_pivot_from_prefs<R: Rng + ?Sized>(
+    ctx: &TopKContext,
+    prefs: &PreferenceMatrix,
+    trials: usize,
+    rng: &mut R,
+) -> TopKList {
+    if ctx.k() == 0 || prefs.items().is_empty() {
+        return TopKList::empty();
+    }
+    let ranking = pivot_best_of(prefs, trials, rng);
+    ranking.top_k(ctx.k())
 }
 
 /// Kendall consensus answer via the footrule-optimal answer — a
@@ -218,6 +254,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let pivot = mean_topk_kendall_pivot(&tree, &ctx, 3, 4, &mut rng);
         assert_eq!(pivot.items(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn preference_submatrix_path_is_bit_identical_to_direct() {
+        let tree = tree_small();
+        let ctx = TopKContext::new(&tree, 2);
+        let full = preference_matrix(&tree, &tree.keys());
+        let pool = candidate_pool(&ctx, 4);
+        let sub = preference_submatrix(&full, &pool);
+        assert_eq!(sub, preference_matrix(&tree, &pool));
+        let mut direct_rng = StdRng::seed_from_u64(9);
+        let mut cached_rng = StdRng::seed_from_u64(9);
+        assert_eq!(
+            mean_topk_kendall_pivot(&tree, &ctx, 4, 4, &mut direct_rng),
+            mean_topk_kendall_pivot_from_prefs(&ctx, &sub, 4, &mut cached_rng)
+        );
     }
 
     #[test]

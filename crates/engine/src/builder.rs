@@ -1,0 +1,208 @@
+//! Builder-pattern construction of [`ConsensusEngine`] with typed errors.
+
+use crate::engine::ConsensusEngine;
+use crate::error::EngineError;
+use cpdb_andxor::AndXorTree;
+use cpdb_consensus::aggregate::GroupByInstance;
+use std::ops::RangeInclusive;
+
+/// How Kendall-tau Top-k queries are approximated (the problem is NP-hard
+/// exactly, §5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KendallStrategy {
+    /// Seeded KwikSort over the pairwise-order tournament, best of `trials`
+    /// runs, restricted to the `pool` most promising tuples by
+    /// `Pr(r(t) ≤ k)`. A `pool` of `0` means "all tuples". The factor-2
+    /// guarantee only holds over the full pool: answers from a restricted
+    /// pool are tagged `Heuristic` (the pool can exclude the optimum).
+    Pivot {
+        /// Candidate-pool size (`0` = every tuple; always at least `k`).
+        pool: usize,
+        /// Number of randomised KwikSort runs to take the best of.
+        trials: usize,
+    },
+    /// Serve the footrule-optimal answer, a 2-approximation because the two
+    /// metrics are within a factor 2 of each other (Fagin et al.).
+    FootruleProxy,
+}
+
+/// How intersection-metric Top-k queries are solved (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectionStrategy {
+    /// The exact assignment formulation (Hungarian algorithm).
+    Assignment,
+    /// The Υ_H harmonic-ranking shortcut — `O(n log n)` instead of an
+    /// assignment solve, within `1/H_k` of the optimal objective.
+    Harmonic,
+}
+
+/// Builds a [`ConsensusEngine`] from an [`AndXorTree`] plus tuning knobs,
+/// validating the configuration with typed errors.
+///
+/// ```
+/// use cpdb_engine::ConsensusEngineBuilder;
+/// # use cpdb_andxor::AndXorTreeBuilder;
+/// # let mut b = AndXorTreeBuilder::new();
+/// # let l = b.leaf_parts(1, 10.0);
+/// # let x = b.xor_node(vec![(l, 0.8)]);
+/// # let root = b.and_node(vec![x]);
+/// # let tree = b.build(root).unwrap();
+/// let engine = ConsensusEngineBuilder::new(tree)
+///     .seed(2009)
+///     .k_range(1..=1)
+///     .build()
+///     .unwrap();
+/// # let _ = engine;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConsensusEngineBuilder {
+    tree: AndXorTree,
+    seed: u64,
+    k_range: Option<(usize, usize)>,
+    kendall: KendallStrategy,
+    intersection: IntersectionStrategy,
+    kendall_distance_samples: usize,
+    groupby: Option<GroupByInstance>,
+}
+
+impl ConsensusEngineBuilder {
+    /// Starts a builder for the given and/xor tree with default knobs:
+    /// seed 0, k-range `1..=n` (the number of distinct tuple keys), exact
+    /// intersection assignment, Kendall pivot over the full pool with 8
+    /// trials, and 1024 samples for Kendall expected-distance estimates.
+    pub fn new(tree: AndXorTree) -> Self {
+        ConsensusEngineBuilder {
+            tree,
+            seed: 0,
+            k_range: None,
+            kendall: KendallStrategy::Pivot { pool: 0, trials: 8 },
+            intersection: IntersectionStrategy::Assignment,
+            kendall_distance_samples: 1024,
+            groupby: None,
+        }
+    }
+
+    /// Seed for every randomised path (Kendall pivot, clustering restarts,
+    /// sampled baselines, Monte-Carlo distance estimates). Each query derives
+    /// its own deterministic RNG stream from this seed and its
+    /// [`crate::Query::rng_tag`], so answers do not depend on batch order.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Admissible `k` values for Top-k and baseline queries. Defaults to
+    /// `1..=n`. Queries outside the range fail with
+    /// [`EngineError::KOutOfRange`] instead of silently clamping.
+    pub fn k_range(mut self, range: RangeInclusive<usize>) -> Self {
+        self.k_range = Some((*range.start(), *range.end()));
+        self
+    }
+
+    /// Approximation strategy for Kendall-tau Top-k queries.
+    pub fn kendall_strategy(mut self, strategy: KendallStrategy) -> Self {
+        self.kendall = strategy;
+        self
+    }
+
+    /// Solver for intersection-metric Top-k queries.
+    pub fn intersection_strategy(mut self, strategy: IntersectionStrategy) -> Self {
+        self.intersection = strategy;
+        self
+    }
+
+    /// Sample count for the Monte-Carlo estimate of `E[d_K]` reported with
+    /// Kendall answers (evaluating it exactly is exponential).
+    pub fn kendall_distance_samples(mut self, samples: usize) -> Self {
+        self.kendall_distance_samples = samples;
+        self
+    }
+
+    /// Attaches a group-by instance so [`crate::Query::Aggregate`] queries
+    /// can be served (§6.1 works on the probability matrix, not the tree).
+    pub fn groupby(mut self, instance: GroupByInstance) -> Self {
+        self.groupby = Some(instance);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    pub fn build(self) -> Result<ConsensusEngine, EngineError> {
+        let n = self.tree.keys().len();
+        let (lo, hi) = self.k_range.unwrap_or((1, n.max(1)));
+        if lo == 0 || lo > hi {
+            return Err(EngineError::InvalidConfig {
+                context: format!("k-range [{lo}, {hi}] must satisfy 1 <= lo <= hi"),
+            });
+        }
+        if self.kendall_distance_samples == 0 {
+            return Err(EngineError::InvalidConfig {
+                context: "kendall_distance_samples must be at least 1".to_string(),
+            });
+        }
+        if let KendallStrategy::Pivot { trials, .. } = self.kendall {
+            if trials == 0 {
+                return Err(EngineError::InvalidConfig {
+                    context: "Kendall pivot needs at least 1 trial".to_string(),
+                });
+            }
+        }
+        Ok(ConsensusEngine::from_parts(
+            self.tree,
+            self.seed,
+            (lo, hi),
+            self.kendall,
+            self.intersection,
+            self.kendall_distance_samples,
+            self.groupby,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_andxor::AndXorTreeBuilder;
+
+    fn tiny_tree() -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let l1 = b.leaf_parts(1, 10.0);
+        let x1 = b.xor_node(vec![(l1, 0.8)]);
+        let l2 = b.leaf_parts(2, 20.0);
+        let x2 = b.xor_node(vec![(l2, 0.4)]);
+        let root = b.and_node(vec![x1, x2]);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn default_k_range_covers_the_tree() {
+        let engine = ConsensusEngineBuilder::new(tiny_tree()).build().unwrap();
+        assert_eq!(engine.k_range(), 1..=2);
+    }
+
+    #[test]
+    fn invalid_knobs_are_typed_errors() {
+        assert!(matches!(
+            ConsensusEngineBuilder::new(tiny_tree())
+                .k_range(0..=2)
+                .build(),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = ConsensusEngineBuilder::new(tiny_tree())
+            .k_range(3..=1)
+            .build();
+        assert!(matches!(reversed, Err(EngineError::InvalidConfig { .. })));
+        assert!(matches!(
+            ConsensusEngineBuilder::new(tiny_tree())
+                .kendall_distance_samples(0)
+                .build(),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ConsensusEngineBuilder::new(tiny_tree())
+                .kendall_strategy(KendallStrategy::Pivot { pool: 0, trials: 0 })
+                .build(),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+    }
+}

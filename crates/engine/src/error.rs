@@ -1,0 +1,124 @@
+//! Typed errors for engine construction and query execution.
+
+use cpdb_model::error::ModelError;
+use std::fmt;
+
+/// Errors raised while building a [`crate::ConsensusEngine`] or executing a
+/// [`crate::Query`].
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm so
+/// new failure modes can be added without a breaking release. Converts into
+/// and from [`ModelError`] via `From`, so engine code can use `?` on model
+/// constructors and model-level callers can absorb engine failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An underlying model construction or validation failed.
+    Model(ModelError),
+    /// A query asked for a `k` outside the engine's configured k-range.
+    KOutOfRange {
+        /// The requested `k`.
+        k: usize,
+        /// Smallest admissible `k`.
+        lo: usize,
+        /// Largest admissible `k`.
+        hi: usize,
+    },
+    /// The query names a (metric, variant) combination with no known
+    /// polynomial-time or constant-approximation algorithm.
+    Unsupported {
+        /// Human-readable rendering of the offending query.
+        query: String,
+        /// Why the engine refuses it.
+        reason: String,
+    },
+    /// The query needs an input the engine was not built with (for example a
+    /// group-by instance for aggregate queries).
+    MissingInput {
+        /// The missing input, e.g. `"group-by instance"`.
+        input: &'static str,
+    },
+    /// A builder knob was set to an invalid value.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        context: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "model error: {e}"),
+            EngineError::KOutOfRange { k, lo, hi } => {
+                write!(f, "k = {k} outside the engine's k-range [{lo}, {hi}]")
+            }
+            EngineError::Unsupported { query, reason } => {
+                write!(f, "unsupported query {query}: {reason}")
+            }
+            EngineError::MissingInput { input } => {
+                write!(
+                    f,
+                    "query needs a {input}, but the engine was built without one"
+                )
+            }
+            EngineError::InvalidConfig { context } => {
+                write!(f, "invalid engine configuration: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<EngineError> for ModelError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Model(m) => m,
+            other => ModelError::Invalid {
+                context: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_model_errors() {
+        let m = ModelError::Empty {
+            context: "no tuples".into(),
+        };
+        let e: EngineError = m.clone().into();
+        assert_eq!(e, EngineError::Model(m.clone()));
+        let back: ModelError = e.into();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn engine_only_errors_become_invalid_model_errors() {
+        let e = EngineError::KOutOfRange { k: 9, lo: 1, hi: 4 };
+        let m: ModelError = e.clone().into();
+        match m {
+            ModelError::Invalid { context } => assert!(context.contains("k-range")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Error + Display are implemented.
+        let _: &dyn std::error::Error = &e;
+        assert!(e.to_string().contains("k = 9"));
+    }
+}

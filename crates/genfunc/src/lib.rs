@@ -23,16 +23,20 @@
 //! `f64` coefficients: all probabilities in this problem domain are bounded by
 //! 1 and degrees are bounded by the number of tuples, so dense representation
 //! and floating-point arithmetic are both appropriate. Helper routines for
-//! comparing probability values with a tolerance live in [`approx`].
+//! comparing probability values with a tolerance live in [`approx`], and
+//! small shared numeric quantities (harmonic numbers, the §5.3 bound) in
+//! [`numeric`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod numeric;
 pub mod poly1;
 pub mod poly2;
 
 pub use approx::{approx_eq, approx_eq_eps, clamp_probability, is_probability, DEFAULT_EPS};
+pub use numeric::harmonic;
 pub use poly1::Poly1;
 pub use poly2::Poly2;
 

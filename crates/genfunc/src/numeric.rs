@@ -1,0 +1,34 @@
+//! Small shared numeric helpers used across the workspace.
+//!
+//! These are quantities the paper's bounds are stated in terms of, needed by
+//! more than one algorithm crate, so they live here next to the polynomial
+//! engine rather than inside any single consumer.
+
+/// The `k`-th harmonic number `H_k = Σ_{i ≤ k} 1/i`, with `H_0 = 0`.
+///
+/// This is the approximation bound of the paper's §5.3: the Υ_H ranking
+/// shortcut achieves at least a `1/H_k` fraction of the optimal
+/// intersection-metric objective `A(τ*)`, and `Υ_H(t) = Σ_{i ≤ k}
+/// Pr(r(t) ≤ i)/i` itself is a harmonic-weighted rank statistic.
+pub fn harmonic(k: usize) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_numbers() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_is_monotone() {
+        for k in 1..50 {
+            assert!(harmonic(k) > harmonic(k - 1));
+        }
+    }
+}

@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors raised while constructing or validating probabilistic relations.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm so
+/// new validation failures can be added without a breaking release. The
+/// engine-facing counterpart is `cpdb_engine::EngineError`, which converts
+/// into and from this type via `From`.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A probability was outside `[0, 1]` (or not finite).
     InvalidProbability {

@@ -14,7 +14,11 @@ use crate::TOL;
 use cpdb_andxor::AndXorTree;
 use cpdb_consensus::aggregate::GroupByInstance;
 use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
-use cpdb_consensus::{clustering, jaccard, oracle, set_distance, TopKContext};
+use cpdb_consensus::{baselines, clustering, jaccard, oracle, set_distance, TopKContext};
+use cpdb_engine::{
+    BaselineKind, ConsensusEngineBuilder, IntersectionStrategy, KendallStrategy, Query, SetMetric,
+    TopKMetric, Variant,
+};
 use cpdb_model::{PossibleWorld, TupleIndependentDb, WorldModel};
 use cpdb_rankagg::metrics::{footrule_distance, intersection_metric, kendall_tau_topk};
 use rand::rngs::StdRng;
@@ -346,6 +350,275 @@ pub fn check_clustering(tree: &AndXorTree, seed: u64) -> usize {
     checks + 2
 }
 
+/// Engine ↔ direct equivalence: every [`Query`] variant executed through a
+/// [`cpdb_engine::ConsensusEngine`] must return **bit-identical** results to
+/// the free functions it unifies (replaying the engine's per-query RNG stream
+/// for the randomised paths), and the exact answers must still attain the
+/// enumerated oracle optimum. Exercises `run_batch` so the cached-artifact
+/// path is what gets checked, and asserts the rank-probability PMFs were
+/// built once per distinct `k` rather than once per query.
+pub fn check_engine(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> usize {
+    const KENDALL_SAMPLES: usize = 256;
+    const BASELINE_SAMPLES: usize = 500;
+    let mut engine = ConsensusEngineBuilder::new(tree.clone())
+        .seed(seed)
+        .kendall_distance_samples(KENDALL_SAMPLES)
+        .groupby(groupby.clone())
+        .build()
+        .expect("default engine configuration is valid");
+    let n = tree.keys().len();
+    let ws = tree.enumerate_worlds();
+    let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
+    let mut checks = 0;
+
+    // --- Top-k: the whole metric × variant grid through one batch. ---
+    let ks: Vec<usize> = (1..=n.min(3)).collect();
+    let mut queries = Vec::new();
+    for &k in &ks {
+        for metric in [
+            TopKMetric::SymmetricDifference,
+            TopKMetric::Intersection,
+            TopKMetric::Footrule,
+            TopKMetric::Kendall,
+        ] {
+            queries.push(Query::TopK {
+                k,
+                metric,
+                variant: Variant::Mean,
+            });
+        }
+        queries.push(Query::TopK {
+            k,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Median,
+        });
+    }
+    let answers = engine.run_batch(&queries);
+    for (query, answer) in queries.iter().zip(answers) {
+        let answer = answer.expect("every grid query is supported");
+        let Query::TopK { k, metric, variant } = query else {
+            unreachable!()
+        };
+        let ctx = TopKContext::new(tree, *k);
+        let got = answer.value.as_topk().expect("Top-k queries return lists");
+        let (direct, direct_distance) = match (metric, variant) {
+            (TopKMetric::SymmetricDifference, Variant::Mean) => {
+                let list = sym_diff::mean_topk_sym_diff(&ctx);
+                let d = sym_diff::expected_sym_diff_distance(&ctx, &list);
+                // Exact: must also attain the enumerated optimum.
+                let fixed_k = |a: &_, b: &_| oracle::sym_diff_distance_fixed_k(*k, a, b);
+                let (_, brute) = oracle::brute_force_mean_topk(&items, *k, &ws, fixed_k);
+                assert_close("engine topk/sym-diff vs oracle", d, brute);
+                checks += 1;
+                (list, d)
+            }
+            (TopKMetric::SymmetricDifference, Variant::Median) => {
+                let median = median_dp::median_topk_sym_diff(tree, &ctx);
+                let fixed_k = |a: &_, b: &_| oracle::sym_diff_distance_fixed_k(*k, a, b);
+                let (_, brute) = oracle::brute_force_median_topk(&ws, *k, fixed_k);
+                assert_close(
+                    "engine topk/median-dp vs oracle",
+                    median.expected_distance,
+                    brute,
+                );
+                checks += 1;
+                (median.answer, median.expected_distance)
+            }
+            (TopKMetric::Intersection, Variant::Mean) => {
+                let list = intersection::mean_topk_intersection(&ctx);
+                let d = intersection::expected_intersection_distance(&ctx, &list);
+                let (_, brute) =
+                    oracle::brute_force_mean_topk(&items, *k, &ws, intersection_metric);
+                assert_close("engine topk/intersection vs oracle", d, brute);
+                checks += 1;
+                (list, d)
+            }
+            (TopKMetric::Footrule, Variant::Mean) => {
+                let list = footrule::mean_topk_footrule(&ctx);
+                let d = footrule::expected_footrule_distance(&ctx, &list);
+                let (_, brute) = oracle::brute_force_mean_topk(&items, *k, &ws, footrule_distance);
+                assert_close("engine topk/footrule vs oracle", d, brute);
+                checks += 1;
+                (list, d)
+            }
+            (TopKMetric::Kendall, Variant::Mean) => {
+                // Replay the engine's owned RNG stream through the free
+                // function (pool = all keys, 8 trials: the default knobs).
+                let mut rng = engine.query_rng(query);
+                let list = kendall::mean_topk_kendall_pivot(tree, &ctx, n, 8, &mut rng);
+                let d = kendall::expected_kendall_distance_sampled(
+                    tree,
+                    &ctx,
+                    &list,
+                    KENDALL_SAMPLES,
+                    &mut rng,
+                );
+                (list, d)
+            }
+            _ => unreachable!("grid only contains supported combinations"),
+        };
+        assert_eq!(
+            *got, direct,
+            "engine Top-k answer diverges from the free function for {query:?}"
+        );
+        assert_eq!(
+            answer.expected_distance.to_bits(),
+            direct_distance.to_bits(),
+            "engine expected distance not bit-identical for {query:?}"
+        );
+        checks += 2;
+    }
+    // Rank PMFs must have been built once per distinct k, not once per query.
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.rank_context_builds,
+        ks.len(),
+        "engine rebuilt rank PMFs within a batch: {stats:?}"
+    );
+    checks += 1;
+
+    // --- Approximation-knob strategies. ---
+    let k = n.clamp(1, 2);
+    let ctx = TopKContext::new(tree, k);
+    let mut harmonic_engine = ConsensusEngineBuilder::new(tree.clone())
+        .seed(seed)
+        .intersection_strategy(IntersectionStrategy::Harmonic)
+        .build()
+        .expect("valid configuration");
+    let got = harmonic_engine
+        .run(&Query::TopK {
+            k,
+            metric: TopKMetric::Intersection,
+            variant: Variant::Mean,
+        })
+        .expect("supported");
+    assert_eq!(
+        got.value.as_topk().expect("list"),
+        &intersection::mean_topk_upsilon_h(&ctx),
+        "engine Υ_H strategy diverges"
+    );
+    let mut proxy_engine = ConsensusEngineBuilder::new(tree.clone())
+        .seed(seed)
+        .kendall_strategy(KendallStrategy::FootruleProxy)
+        .kendall_distance_samples(KENDALL_SAMPLES)
+        .build()
+        .expect("valid configuration");
+    let q = Query::TopK {
+        k,
+        metric: TopKMetric::Kendall,
+        variant: Variant::Mean,
+    };
+    let got = proxy_engine.run(&q).expect("supported");
+    assert_eq!(
+        got.value.as_topk().expect("list"),
+        &kendall::mean_topk_kendall_via_footrule(&ctx),
+        "engine footrule-proxy strategy diverges"
+    );
+    checks += 2;
+
+    // --- Set consensus. ---
+    let set_mean = engine
+        .run(&Query::SetConsensus {
+            metric: SetMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        })
+        .expect("supported");
+    let direct_world = set_distance::mean_world(tree);
+    assert_eq!(set_mean.value.as_world().expect("world"), &direct_world);
+    let (_, brute) = oracle::brute_force_mean_world(&ws, |a, b| a.symmetric_difference(b) as f64);
+    assert_close(
+        "engine set/sym-diff vs oracle",
+        set_mean.expected_distance,
+        brute,
+    );
+    let jac = engine
+        .run(&Query::SetConsensus {
+            metric: SetMetric::Jaccard,
+            variant: Variant::Mean,
+        })
+        .expect("supported");
+    let direct_jac = jaccard::best_prefix_world(tree, &jaccard::prefix_candidates(tree));
+    assert_eq!(jac.value.as_world().expect("world"), &direct_jac.world);
+    assert_eq!(
+        jac.expected_distance.to_bits(),
+        direct_jac.expected_distance.to_bits(),
+        "engine Jaccard distance not bit-identical"
+    );
+    checks += 3;
+
+    // --- Clustering. ---
+    let q = Query::Clustering { restarts: 8 };
+    let got = engine.run(&q).expect("supported");
+    let weights = clustering::CoClusteringWeights::from_tree(tree);
+    let mut rng = engine.query_rng(&q);
+    let (direct, direct_cost) = clustering::pivot_clustering_best_of(&weights, 8, &mut rng);
+    assert_eq!(got.value.as_clustering().expect("clustering"), &direct);
+    assert_eq!(got.expected_distance.to_bits(), direct_cost.to_bits());
+    checks += 2;
+
+    // --- Aggregates. ---
+    let mean = engine
+        .run(&Query::Aggregate {
+            variant: Variant::Mean,
+        })
+        .expect("supported");
+    assert_eq!(
+        mean.value.as_counts().expect("counts"),
+        groupby.mean_answer()
+    );
+    let median = engine
+        .run(&Query::Aggregate {
+            variant: Variant::Median,
+        })
+        .expect("supported");
+    let direct = groupby.median_answer_4approx().expect("valid instance");
+    let got_counts = median.value.as_counts().expect("counts");
+    let direct_counts: Vec<f64> = direct.counts.iter().map(|&c| c as f64).collect();
+    assert_eq!(got_counts, direct_counts);
+    checks += 2;
+
+    // --- Baselines. ---
+    for kind in [
+        BaselineKind::ExpectedScore { k },
+        BaselineKind::ExpectedRank {
+            k,
+            samples: BASELINE_SAMPLES,
+        },
+        BaselineKind::UTopK {
+            k,
+            samples: BASELINE_SAMPLES,
+        },
+        BaselineKind::UTopKExact { k },
+        BaselineKind::GlobalTopK { k },
+        BaselineKind::ProbabilisticThreshold { k, threshold: 0.5 },
+    ] {
+        let q = Query::Baseline { kind };
+        let got = engine.run(&q).expect("supported");
+        let mut rng = engine.query_rng(&q);
+        let direct = match kind {
+            BaselineKind::ExpectedScore { k } => baselines::expected_score_topk(tree, k),
+            BaselineKind::ExpectedRank { k, samples } => {
+                baselines::expected_rank_topk(tree, k, samples, &mut rng)
+            }
+            BaselineKind::UTopK { k, samples } => baselines::u_topk(tree, k, samples, &mut rng),
+            BaselineKind::UTopKExact { k } => baselines::u_topk_enumerated(tree, k),
+            BaselineKind::GlobalTopK { .. } => baselines::global_topk(&ctx),
+            BaselineKind::ProbabilisticThreshold { threshold, .. } => {
+                baselines::ptk_answer(&ctx, threshold)
+            }
+            _ => unreachable!("fixed list above"),
+        };
+        assert_eq!(
+            got.value.as_topk().expect("list"),
+            &direct,
+            "engine baseline diverges for {kind:?}"
+        );
+        checks += 1;
+    }
+
+    checks
+}
+
 /// Outcome of a full conformance sweep for one seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConformanceSummary {
@@ -358,7 +631,8 @@ pub struct ConformanceSummary {
 /// Runs every conformance check against the full fixture family for one
 /// seed: set consensus and Jaccard on tuple-independent instances, all Top-k
 /// algorithms on BID trees (k = 1..3) and tuple-independent trees, aggregates
-/// on group-by instances, and clustering on attribute-uncertainty trees.
+/// on group-by instances, clustering on attribute-uncertainty trees, and the
+/// engine ↔ free-function equivalence sweep on both tree families.
 pub fn run_seed(seed: u64) -> ConformanceSummary {
     let ti_db = fixtures::small_tuple_independent(seed);
     let ti_tree = fixtures::small_tuple_independent_tree(seed);
@@ -378,6 +652,9 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_kendall(&ti_tree, 2, seed);
     checks += check_aggregate(&fixtures::small_groupby(seed));
     checks += check_clustering(&fixtures::small_clustering_tree(seed), seed);
+    let groupby = fixtures::small_groupby(seed);
+    checks += check_engine(&bid_tree, &groupby, seed);
+    checks += check_engine(&ti_tree, &groupby, seed);
     ConformanceSummary { seed, checks }
 }
 

@@ -221,6 +221,27 @@ impl Default for GroupByConfig {
     }
 }
 
+/// The attribute-uncertainty and/xor tree equivalent to a group-by matrix:
+/// one ∨ block per tuple whose alternatives are the candidate groups, with
+/// the group index as the leaf value. Lets aggregate workloads drive a
+/// `ConsensusEngine` (which is built from a tree) with the same uncertainty
+/// the matrix describes.
+pub fn groupby_tree(probs: &[Vec<f64>]) -> AndXorTree {
+    let mut builder = AndXorTreeBuilder::new();
+    let mut xors = Vec::new();
+    for (i, row) in probs.iter().enumerate() {
+        let edges: Vec<_> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(v, &p)| (builder.leaf_parts(i as u64, v as f64), p))
+            .collect();
+        xors.push(builder.xor_node(edges));
+    }
+    let root = builder.and_node(xors);
+    builder.build(root).expect("rows are distributions")
+}
+
 /// Generates the probability matrix of a group-by count query: each tuple's
 /// group distribution is a normalised Zipf-weighted draw over a random
 /// permutation of the groups.

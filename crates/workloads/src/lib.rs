@@ -17,7 +17,7 @@ pub mod generators;
 
 pub use distributions::{ProbabilityDistribution, ScoreDistribution};
 pub use generators::{
-    random_andxor_tree, random_bid_db, random_clustering_tree, random_groupby_instance,
-    random_scored_bid_tree, random_tuple_independent, AndXorTreeConfig, BidConfig,
-    ClusteringConfig, GroupByConfig, TupleIndependentConfig,
+    groupby_tree, random_andxor_tree, random_bid_db, random_clustering_tree,
+    random_groupby_instance, random_scored_bid_tree, random_tuple_independent, AndXorTreeConfig,
+    BidConfig, ClusteringConfig, GroupByConfig, TupleIndependentConfig,
 };

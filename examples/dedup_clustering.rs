@@ -7,16 +7,13 @@
 //! a different clustering of the records. The consensus clustering minimises
 //! the expected number of pairwise disagreements with the possible worlds —
 //! and only needs the pairwise co-clustering probabilities `w_ij`, which the
-//! and/xor tree computes exactly.
+//! `ConsensusEngine` computes once from the and/xor tree and reuses across
+//! every clustering query.
 //!
 //! Run with: `cargo run --example dedup_clustering`
 
-use consensus_pdb::consensus::clustering::{
-    brute_force_clustering, pivot_clustering_best_of, CoClusteringWeights,
-};
+use consensus_pdb::consensus::clustering::brute_force_clustering;
 use consensus_pdb::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // Eight customer records; the matcher proposes entity ids 100/200/300
@@ -44,8 +41,14 @@ fn main() {
     let root = builder.and_node(xors);
     let tree = builder.build(root).expect("valid dedup tree");
 
+    let mut engine = ConsensusEngineBuilder::new(tree)
+        .seed(17)
+        .build()
+        .expect("valid engine configuration");
+
     println!("=== Consensus clustering of 8 customer records ===\n");
-    let weights = CoClusteringWeights::from_tree(&tree);
+    // The engine memoises the pairwise weights; borrow them for the report.
+    let weights = engine.coclustering_weights().clone();
     println!("Pairwise co-clustering probabilities w_ij (records together):");
     let keys = weights.keys().to_vec();
     print!("      ");
@@ -65,14 +68,22 @@ fn main() {
         println!();
     }
 
-    let mut rng = StdRng::seed_from_u64(17);
-    let (consensus, consensus_cost) = pivot_clustering_best_of(&weights, 64, &mut rng);
-    println!("\nConsensus clustering (pivot algorithm, best of 64 runs):");
+    let answer = engine
+        .run(&Query::Clustering { restarts: 64 })
+        .expect("clustering is always supported");
+    let consensus = answer.value.as_clustering().expect("clustering answer");
+    println!(
+        "\nConsensus clustering (pivot algorithm, best of 64 runs, {}):",
+        answer.optimality
+    );
     for (c, members) in consensus.iter().enumerate() {
         let ids: Vec<String> = members.iter().map(|t| format!("r{}", t.0)).collect();
         println!("  cluster {c}: {}", ids.join(", "));
     }
-    println!("  expected pairwise disagreements = {consensus_cost:.4}");
+    println!(
+        "  expected pairwise disagreements = {:.4}",
+        answer.expected_distance
+    );
 
     let (optimal, optimal_cost) = brute_force_clustering(&weights);
     println!("\nExact optimum (brute force over all set partitions):");
@@ -83,6 +94,16 @@ fn main() {
     println!("  expected pairwise disagreements = {optimal_cost:.4}");
     println!(
         "\napproximation ratio achieved = {:.4}",
-        consensus_cost / optimal_cost.max(1e-12)
+        answer.expected_distance / optimal_cost.max(1e-12)
+    );
+
+    // A second, cheaper query reuses the cached weights.
+    let quick = engine
+        .run(&Query::Clustering { restarts: 4 })
+        .expect("supported");
+    let stats = engine.cache_stats();
+    println!(
+        "second query (4 restarts) cost = {:.4}; weights built {} time(s), {} cache hit(s)",
+        quick.expected_distance, stats.coclustering_builds, stats.coclustering_hits
     );
 }

@@ -6,12 +6,13 @@
 //! deterministic histogram to put in a report. The mean answer is fractional
 //! (expected counts); the paper's Theorem 5 rounds it to the *closest
 //! possible* histogram via a min-cost flow, which is also a 4-approximation
-//! of the true median answer.
+//! of the true median answer. Both variants are one `Query::Aggregate` away
+//! on a `ConsensusEngine` whose tree models the same attribute uncertainty.
 //!
 //! Run with: `cargo run --example extraction_aggregates`
 
-use consensus_pdb::consensus::aggregate::GroupByInstance;
-use consensus_pdb::workloads::{random_groupby_instance, GroupByConfig};
+use consensus_pdb::prelude::*;
+use consensus_pdb::workloads::{groupby_tree, random_groupby_instance, GroupByConfig};
 
 const CATEGORIES: [&str; 5] = ["software", "finance", "health", "retail", "energy"];
 
@@ -23,31 +24,51 @@ fn main() {
         skew: 1.2,
         seed: 2009,
     });
-    let instance = GroupByInstance::new(probs).expect("generated rows are distributions");
+    let instance = GroupByInstance::new(probs.clone()).expect("generated rows are distributions");
+    let mut engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
+        .seed(2009)
+        .groupby(instance.clone())
+        .build()
+        .expect("valid engine configuration");
 
     println!("=== Probabilistic GROUP BY category COUNT(*) over 40 postings ===\n");
 
-    let mean = instance.mean_answer();
-    println!("Mean answer (expected counts — minimises expected squared distance):");
+    let mean = engine
+        .run(&Query::Aggregate {
+            variant: Variant::Mean,
+        })
+        .expect("aggregate instance is attached");
+    let mean_counts = mean.value.as_counts().expect("count vector");
+    println!(
+        "Mean answer (expected counts — minimises expected squared distance, {}):",
+        mean.optimality
+    );
     for (g, category) in CATEGORIES.iter().enumerate() {
-        println!("  {category:<9} {:.3}", mean[g]);
+        println!("  {category:<9} {:.3}", mean_counts[g]);
     }
     println!(
         "  expected squared distance = {:.4}",
-        instance.expected_squared_distance(&mean)
+        mean.expected_distance
     );
 
-    let possible = instance
-        .closest_possible_answer()
-        .expect("a possible answer always exists");
-    println!("\nClosest *possible* answer (Theorem 5, min-cost flow rounding):");
+    let median = engine
+        .run(&Query::Aggregate {
+            variant: Variant::Median,
+        })
+        .expect("aggregate instance is attached");
+    let Value::PossibleCounts(possible) = &median.value else {
+        panic!("median aggregate answers carry their witness");
+    };
+    println!(
+        "\nClosest *possible* answer (Theorem 5, min-cost flow rounding, {}):",
+        median.optimality
+    );
     for (g, category) in CATEGORIES.iter().enumerate() {
         println!("  {category:<9} {}", possible.counts[g]);
     }
-    let as_f64: Vec<f64> = possible.counts.iter().map(|&c| c as f64).collect();
     println!(
         "  expected squared distance = {:.4}  (median 4-approximation, Corollary 2)",
-        instance.expected_squared_distance(&as_f64)
+        median.expected_distance
     );
     println!(
         "  total count = {} (= number of postings, as required of a possible answer)",
@@ -65,7 +86,7 @@ fn main() {
     }
 
     // Naive rounding of the mean can be impossible (wrong total); show it.
-    let naive: Vec<i64> = mean.iter().map(|&x| x.round() as i64).collect();
+    let naive: Vec<i64> = mean_counts.iter().map(|&x| x.round() as i64).collect();
     println!(
         "\nNaively rounded mean = {naive:?} (sums to {}, {})",
         naive.iter().sum::<i64>(),

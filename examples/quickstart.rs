@@ -1,10 +1,9 @@
 //! Quickstart: build a small probabilistic database, inspect its possible
-//! worlds, and compute consensus answers under several distance measures.
+//! worlds, and ask one `ConsensusEngine` for consensus answers under several
+//! distance measures.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use consensus_pdb::consensus::topk::{footrule, intersection, sym_diff};
-use consensus_pdb::consensus::{jaccard, set_distance};
 use consensus_pdb::prelude::*;
 
 fn main() {
@@ -21,7 +20,8 @@ fn main() {
     ])
     .expect("valid probabilities");
 
-    // Every model embeds into the paper's probabilistic and/xor tree.
+    // Every model embeds into the paper's probabilistic and/xor tree, and the
+    // engine owns the tree plus every cached artifact derived from it.
     let tree = consensus_pdb::andxor::convert::from_tuple_independent(&db).expect("valid tree");
 
     println!("=== The probabilistic database ===");
@@ -32,37 +32,68 @@ fn main() {
     let size_dist = tree.world_size_distribution();
     println!("world-size generating function: {size_dist}");
 
-    // --- Consensus world under the symmetric-difference distance (§4.1). ---
-    let mean_world = set_distance::mean_world(&tree);
-    println!("\n=== Consensus (mean) world, symmetric difference ===");
-    println!("  {mean_world}");
-    println!(
-        "  expected distance = {:.4}",
-        set_distance::expected_distance(&tree, &mean_world)
-    );
+    let mut engine = ConsensusEngineBuilder::new(tree)
+        .seed(2009)
+        .build()
+        .expect("valid engine configuration");
 
-    // --- Consensus world under the Jaccard distance (§4.2). ---
-    let jc = jaccard::mean_world_tuple_independent(&db);
-    println!("\n=== Consensus (mean) world, Jaccard distance ===");
-    println!("  {}", jc.world);
-    println!("  expected distance = {:.4}", jc.expected_distance);
-
-    // --- Consensus Top-k answers (§5). ---
-    let k = 3;
-    let ctx = TopKContext::new(&tree, k);
-    println!("\n=== Consensus Top-{k} answers ===");
-    println!("Pr(r(t) <= {k}) per tuple:");
-    for (t, p) in ctx.keys_by_topk_probability() {
-        println!("  {t}: {p:.4}");
+    // --- Consensus worlds (§4): one query per metric. ---
+    println!("\n=== Consensus (mean) worlds ===");
+    for (name, metric) in [
+        ("symmetric difference", SetMetric::SymmetricDifference),
+        ("Jaccard distance    ", SetMetric::Jaccard),
+    ] {
+        let answer = engine
+            .run(&Query::SetConsensus {
+                metric,
+                variant: Variant::Mean,
+            })
+            .expect("set queries are always supported");
+        println!("  {name} : {answer}");
     }
-    let d_delta = sym_diff::mean_topk_sym_diff(&ctx);
-    println!("symmetric difference : {d_delta}");
-    let d_int = intersection::mean_topk_intersection(&ctx);
-    println!("intersection metric  : {d_int}");
-    let d_foot = footrule::mean_topk_footrule(&ctx);
-    println!("Spearman footrule    : {d_foot}");
+
+    // --- Consensus Top-k answers (§5): a batch over all four metrics shares
+    // the rank-probability PMFs. ---
+    let k = 3;
+    println!("\n=== Consensus Top-{k} answers ===");
+    let named: Vec<(&str, Query)> = [
+        ("symmetric difference", TopKMetric::SymmetricDifference),
+        ("intersection metric ", TopKMetric::Intersection),
+        ("Spearman footrule   ", TopKMetric::Footrule),
+        ("Kendall tau         ", TopKMetric::Kendall),
+    ]
+    .into_iter()
+    .map(|(name, metric)| {
+        (
+            name,
+            Query::TopK {
+                k,
+                metric,
+                variant: Variant::Mean,
+            },
+        )
+    })
+    .collect();
+    let queries: Vec<Query> = named.iter().map(|(_, q)| q.clone()).collect();
+    for ((name, _), answer) in named.iter().zip(engine.run_batch(&queries)) {
+        println!("  {name} : {}", answer.expect("supported"));
+    }
+    let stats = engine.cache_stats();
     println!(
-        "footrule answer expected distance = {:.4}",
-        footrule::expected_footrule_distance(&ctx, &d_foot)
+        "\nrank-probability PMFs built {} time(s) for {} Top-{k} queries \
+         (cache hits: {})",
+        stats.rank_context_builds,
+        queries.len(),
+        stats.rank_context_hits
     );
+
+    // --- The median variant restricts to answers of possible worlds. ---
+    let median = engine
+        .run(&Query::TopK {
+            k,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Median,
+        })
+        .expect("Theorem 4 median is supported");
+    println!("median Top-{k} (d_Δ)    : {median}");
 }

@@ -6,16 +6,12 @@
 //! calibrated possibilities, mutually exclusive) and at the tuple level (a
 //! sensor may have dropped out entirely). The operator wants the Top-k
 //! hottest sensors — but every possible world ranks them differently, so we
-//! compute consensus Top-k answers and compare them with the older ad-hoc
-//! ranking semantics.
+//! ask one `ConsensusEngine` for the consensus Top-k answers and compare them
+//! with the older ad-hoc ranking semantics served by the same engine.
 //!
 //! Run with: `cargo run --example sensor_topk`
 
-use consensus_pdb::consensus::topk::{footrule, intersection, kendall, sym_diff};
-use consensus_pdb::consensus::{baselines, TopKContext};
 use consensus_pdb::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // Build a BID relation: one block per sensor, alternatives = calibrated
@@ -35,47 +31,118 @@ fn main() {
     let tree = consensus_pdb::andxor::convert::from_bid(&db).unwrap();
 
     let k = 3;
-    let ctx = TopKContext::new(&tree, k);
+    let mut engine = ConsensusEngineBuilder::new(tree)
+        .seed(7)
+        .build()
+        .expect("valid engine configuration");
 
     println!("=== Sensor fleet: who are the {k} hottest sensors? ===\n");
     println!("Pr(sensor is in the true Top-{k}):");
-    for (t, p) in ctx.keys_by_topk_probability() {
+    let probs = engine
+        .context(k)
+        .expect("k is in range")
+        .keys_by_topk_probability();
+    for (t, p) in probs {
         println!("  sensor {t}: {p:.4}");
     }
 
-    println!("\nConsensus answers:");
-    let by_membership = sym_diff::mean_topk_sym_diff(&ctx);
-    println!("  symmetric difference (membership only) : {by_membership}");
-    let by_prefix = intersection::mean_topk_intersection(&ctx);
-    println!("  intersection metric (prefix aware)     : {by_prefix}");
-    let by_footrule = footrule::mean_topk_footrule(&ctx);
-    println!("  Spearman footrule (position aware)     : {by_footrule}");
-    let mut rng = StdRng::seed_from_u64(7);
-    let by_kendall = kendall::mean_topk_kendall_pivot(&tree, &ctx, 8, 16, &mut rng);
-    println!("  Kendall tau (pivot aggregation)        : {by_kendall}");
+    // One batch covers the four consensus metrics AND the baseline ranking
+    // semantics; the engine computes the rank PMFs once for all of them.
+    let consensus_queries: Vec<(&str, Query)> = vec![
+        (
+            "symmetric difference (membership only)",
+            Query::TopK {
+                k,
+                metric: TopKMetric::SymmetricDifference,
+                variant: Variant::Mean,
+            },
+        ),
+        (
+            "intersection metric (prefix aware)    ",
+            Query::TopK {
+                k,
+                metric: TopKMetric::Intersection,
+                variant: Variant::Mean,
+            },
+        ),
+        (
+            "Spearman footrule (position aware)    ",
+            Query::TopK {
+                k,
+                metric: TopKMetric::Footrule,
+                variant: Variant::Mean,
+            },
+        ),
+        (
+            "Kendall tau (pivot aggregation)       ",
+            Query::TopK {
+                k,
+                metric: TopKMetric::Kendall,
+                variant: Variant::Mean,
+            },
+        ),
+    ];
+    let baseline_queries: Vec<(&str, Query)> = vec![
+        (
+            "expected score",
+            Query::Baseline {
+                kind: BaselineKind::ExpectedScore { k },
+            },
+        ),
+        (
+            "expected rank ",
+            Query::Baseline {
+                kind: BaselineKind::ExpectedRank { k, samples: 20_000 },
+            },
+        ),
+        (
+            "U-Top-k       ",
+            Query::Baseline {
+                kind: BaselineKind::UTopKExact { k },
+            },
+        ),
+        (
+            "Global Top-k  ",
+            Query::Baseline {
+                kind: BaselineKind::GlobalTopK { k },
+            },
+        ),
+    ];
 
-    println!("\nPreviously proposed ranking semantics (baselines):");
-    let by_escore = baselines::expected_score_topk(&tree, k);
-    println!("  expected score : {by_escore}");
-    let by_erank = baselines::expected_rank_topk(&tree, k, 20_000, &mut rng);
-    println!("  expected rank  : {by_erank}");
-    let by_utopk = baselines::u_topk_enumerated(&tree, k);
-    println!("  U-Top-k        : {by_utopk}");
-    let global = baselines::global_topk(&ctx);
-    println!("  Global Top-k   : {global}  (identical to the d_Δ consensus answer)");
+    println!("\nConsensus answers (answer, E[d], guarantee):");
+    let mut answers = Vec::new();
+    for (name, query) in &consensus_queries {
+        let answer = engine.run(query).expect("supported");
+        println!("  {name} : {answer}");
+        answers.push((*name, answer));
+    }
 
-    // Quantify how good each answer is under the footrule objective.
+    println!("\nPreviously proposed ranking semantics (served as baselines, scored under d_Δ):");
+    for (name, query) in &baseline_queries {
+        let answer = engine.run(query).expect("supported");
+        println!("  {name} : {answer}");
+        answers.push((*name, answer));
+    }
+    println!("  (Global Top-k is identical to the d_Δ consensus answer — Theorem 3.)");
+
+    // Quantify how good each answer is under the footrule objective, using
+    // the engine's cached context.
     println!("\nExpected footrule distance of each answer (lower is better):");
-    for (name, answer) in [
-        ("footrule consensus", &by_footrule),
-        ("intersection consensus", &by_prefix),
-        ("membership consensus", &by_membership),
-        ("expected score", &by_escore),
-        ("U-Top-k", &by_utopk),
-    ] {
+    let ctx = engine.context(k).expect("k is in range").clone();
+    for (name, answer) in &answers {
+        let list = answer.value.as_topk().expect("all answers are lists");
         println!(
-            "  {name:<24} {:.4}",
-            footrule::expected_footrule_distance(&ctx, answer)
+            "  {:<38} {:.4}",
+            name.trim(),
+            consensus_pdb::consensus::topk::footrule::expected_footrule_distance(&ctx, list)
         );
     }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\nengine cache: {} rank-PMF build(s), {} hit(s) across {} queries",
+        stats.rank_context_builds,
+        stats.rank_context_hits,
+        consensus_queries.len() + baseline_queries.len()
+    );
 }

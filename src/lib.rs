@@ -12,6 +12,8 @@
 //! This crate is a facade that re-exports the workspace's crates under one
 //! namespace:
 //!
+//! * [`engine`] — the unified [`ConsensusEngine`](engine::ConsensusEngine)
+//!   query API with cached artifacts and batch execution;
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
 //! * [`andxor`] — the probabilistic and/xor tree;
@@ -21,6 +23,10 @@
 //! * [`workloads`] — seeded synthetic instance generators.
 //!
 //! ## Quickstart
+//!
+//! Every consensus notion of the paper is a [`Query`](engine::Query) answered
+//! by one engine; batches share the cached rank-probability PMFs, preference
+//! matrices, and co-clustering weights:
 //!
 //! ```
 //! use consensus_pdb::prelude::*;
@@ -34,11 +40,25 @@
 //! ]).unwrap();
 //! let tree = consensus_pdb::andxor::convert::from_tuple_independent(&db).unwrap();
 //!
+//! let mut engine = ConsensusEngineBuilder::new(tree).seed(2009).build().unwrap();
+//!
 //! // Consensus Top-2 answer under the symmetric-difference metric.
-//! let ctx = TopKContext::new(&tree, 2);
-//! let answer = consensus_pdb::consensus::topk::sym_diff::mean_topk_sym_diff(&ctx);
-//! assert_eq!(answer.len(), 2);
-//! assert!(answer.contains(2));
+//! let answer = engine.run(&Query::TopK {
+//!     k: 2,
+//!     metric: TopKMetric::SymmetricDifference,
+//!     variant: Variant::Mean,
+//! }).unwrap();
+//! let list = answer.value.as_topk().unwrap();
+//! assert_eq!(list.len(), 2);
+//! assert!(list.contains(2));
+//! assert_eq!(answer.optimality, Optimality::Exact);
+//!
+//! // The same engine serves the consensus world, too.
+//! let world = engine.run(&Query::SetConsensus {
+//!     metric: SetMetric::SymmetricDifference,
+//!     variant: Variant::Mean,
+//! }).unwrap();
+//! println!("consensus world: {world}");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,6 +67,7 @@
 pub use cpdb_andxor as andxor;
 pub use cpdb_assignment as assignment;
 pub use cpdb_consensus as consensus;
+pub use cpdb_engine as engine;
 pub use cpdb_genfunc as genfunc;
 pub use cpdb_model as model;
 pub use cpdb_rankagg as rankagg;
@@ -58,6 +79,11 @@ pub mod prelude {
     pub use cpdb_consensus::aggregate::GroupByInstance;
     pub use cpdb_consensus::clustering::CoClusteringWeights;
     pub use cpdb_consensus::TopKContext;
+    pub use cpdb_engine::{
+        Answer, BaselineKind, ConsensusEngine, ConsensusEngineBuilder, EngineError,
+        IntersectionStrategy, KendallStrategy, Optimality, Query, SetMetric, TopKMetric, Value,
+        Variant,
+    };
     pub use cpdb_genfunc::{Poly1, Poly2, Truncation};
     pub use cpdb_model::{
         Alternative, AttrValue, BidBlock, BidDb, PossibleWorld, TupleIndependentDb, TupleKey,
@@ -76,5 +102,20 @@ mod tests {
         let tree = crate::andxor::convert::from_tuple_independent(&db).unwrap();
         let ctx = TopKContext::new(&tree, 1);
         assert!((ctx.topk_probability(TupleKey(1)) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_is_reachable_through_the_prelude() {
+        let db = TupleIndependentDb::from_triples(&[(1, 10.0, 0.9), (2, 5.0, 0.4)]).unwrap();
+        let tree = crate::andxor::convert::from_tuple_independent(&db).unwrap();
+        let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+        let answer = engine
+            .run(&Query::TopK {
+                k: 1,
+                metric: TopKMetric::SymmetricDifference,
+                variant: Variant::Mean,
+            })
+            .unwrap();
+        assert_eq!(answer.value.as_topk().unwrap().items(), &[1]);
     }
 }

@@ -1,0 +1,90 @@
+//! Engine ↔ direct equivalence gate: every `Query` variant executed through
+//! `ConsensusEngine` must return bit-identical results to the free functions
+//! it unifies, on the full 16-seed testkit fixture sweep, and the exact
+//! answers must still attain the brute-force oracle optimum. This pins the
+//! unified API to the per-algorithm implementations the rest of the test
+//! suite certifies.
+
+use consensus_pdb::engine::{ConsensusEngineBuilder, EngineError, Query, TopKMetric, Variant};
+use cpdb_testkit::conformance::check_engine;
+use cpdb_testkit::fixtures;
+
+const SEEDS: std::ops::Range<u64> = 0..16;
+
+#[test]
+fn engine_matches_direct_algorithms_on_the_seed_sweep() {
+    let mut total_checks = 0;
+    for seed in SEEDS {
+        let groupby = fixtures::small_groupby(seed);
+        total_checks += check_engine(&fixtures::small_bid_tree(seed), &groupby, seed);
+        total_checks += check_engine(
+            &fixtures::small_tuple_independent_tree(seed),
+            &groupby,
+            seed,
+        );
+    }
+    assert!(
+        total_checks >= 16 * 2 * 30,
+        "engine equivalence sweep shrank to {total_checks} checks"
+    );
+}
+
+#[test]
+fn engine_batches_are_order_independent() {
+    // The per-query RNG streams are derived from (seed, query), so a batch
+    // permutation must not change any answer.
+    let tree = fixtures::small_bid_tree(3);
+    let queries: Vec<Query> = [
+        TopKMetric::SymmetricDifference,
+        TopKMetric::Intersection,
+        TopKMetric::Footrule,
+        TopKMetric::Kendall,
+    ]
+    .into_iter()
+    .map(|metric| Query::TopK {
+        k: 2,
+        metric,
+        variant: Variant::Mean,
+    })
+    .collect();
+    let mut forward_engine = ConsensusEngineBuilder::new(tree.clone())
+        .seed(11)
+        .build()
+        .unwrap();
+    let forward: Vec<_> = forward_engine
+        .run_batch(&queries)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let reversed_queries: Vec<Query> = queries.iter().rev().cloned().collect();
+    let mut reversed_engine = ConsensusEngineBuilder::new(tree).seed(11).build().unwrap();
+    let reversed: Vec<_> = reversed_engine
+        .run_batch(&reversed_queries)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    for (i, answer) in forward.iter().enumerate() {
+        assert_eq!(*answer, reversed[forward.len() - 1 - i]);
+    }
+}
+
+#[test]
+fn unsupported_queries_fail_with_typed_errors() {
+    let tree = fixtures::small_bid_tree(0);
+    let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+    for metric in [
+        TopKMetric::Intersection,
+        TopKMetric::Footrule,
+        TopKMetric::Kendall,
+    ] {
+        let err = engine.run(&Query::TopK {
+            k: 1,
+            metric,
+            variant: Variant::Median,
+        });
+        assert!(
+            matches!(err, Err(EngineError::Unsupported { .. })),
+            "{metric:?}"
+        );
+    }
+}

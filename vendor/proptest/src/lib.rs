@@ -2,7 +2,7 @@
 //! [`proptest`](https://crates.io/crates/proptest) crate, implementing the
 //! API surface this workspace's property suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map` and `prop_shuffle`;
+//! * the [`strategy::Strategy`] trait with `prop_map` and `prop_shuffle`;
 //! * range strategies (`0.0f64..1.0`, `1usize..=6`, …), tuple strategies,
 //!   [`strategy::Just`], and [`collection::vec`];
 //! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
@@ -265,7 +265,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
