@@ -1,0 +1,873 @@
+//! Single-sweep batch evaluation of the per-tuple generating-function
+//! statistics (rank PMFs, pairwise order, co-clustering weights).
+//!
+//! The per-tuple paths in [`crate::rank`] pay one full tree sweep per
+//! statistic: [`AndXorTree::rank_pmf`] per key (`O(n)` sweeps for a rank
+//! table) and [`AndXorTree::pairwise_order_probability`] per ordered pair
+//! (`O(n²)` sweeps for a Kendall tournament). This module computes *all* of
+//! them from shared precomputation:
+//!
+//! * **Rank PMFs** ([`AndXorTree::batch_rank_pmfs`]) — one chronological
+//!   sweep over the alternatives in decreasing-score order. Every tree node
+//!   caches its current univariate polynomial under the assignment
+//!   "already-processed (i.e. out-ranking) leaves ↦ `x`, the rest ↦ 1";
+//!   ∨ nodes are updated by a leave-one-out mixture delta (`O(k)` per
+//!   activation) and ∧ nodes keep a balanced product tree over their
+//!   children so one child change re-multiplies only `O(log fanout)`
+//!   partial products. Each target's `Pr(r(t) = i)` polynomial is then
+//!   recovered along its root-to-leaf path: the coefficient of `y` is the
+//!   path's ∨-edge probability times the product of the cached
+//!   prefix/suffix sibling polynomials at every ∧ ancestor — no fresh
+//!   whole-tree sweep per target. All products use in-place truncated
+//!   convolution with reusable scratch buffers ([`Poly1`]), so the sweep
+//!   allocates O(tree) once instead of O(tree) per target.
+//! * **Pairwise statistics** ([`AndXorTree::batch_pairwise_order`],
+//!   [`AndXorTree::batch_cocluster_weights`]) — both reduce to *alternative
+//!   co-presence* probabilities `Pr(α ∧ β)`, which the tree structure gives
+//!   in closed form: two leaves co-exist exactly when every ∨ ancestor picks
+//!   the edge towards them, so `Pr(α ∧ β)` is the product of the ∨-edge
+//!   probabilities on the union of the two root-to-leaf paths (and `0` when
+//!   the paths diverge at a ∨ node). One root-to-leaf path extraction pass
+//!   replaces the `O(n²)` generating-function sweeps entirely.
+//!
+//! Results match the per-tuple reference paths within `1e-12` (they perform
+//! the same exact computation with a different floating-point association;
+//! the conformance suite pins this), and are **bit-identical at any thread
+//! count**: parallel workers replay the identical operation sequence for
+//! every target, and all reductions happen in a fixed sorted order.
+
+use crate::tree::{AndXorTree, Node, NodeKind};
+use cpdb_genfunc::{clamp_probability, Poly1, Truncation};
+use cpdb_model::TupleKey;
+use cpdb_parallel::{parallel_map_indexed, parallel_map_with};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Balanced product tree over the children of one ∧ node.
+// ---------------------------------------------------------------------------
+
+/// Prefix/suffix partial products over the children of one ∧ node, stored as
+/// a balanced binary product tree: replacing one child's polynomial
+/// recomputes `O(log fanout)` internal products, and the leave-one-out
+/// product `Π_{i ≠ j} A_i` needed by a query multiplies the `O(log fanout)`
+/// sibling entries along the leaf-to-root path.
+#[derive(Debug, Clone)]
+struct AndSeg {
+    /// Power-of-two capacity (≥ number of children); `seg` has `2 * size`
+    /// entries, children at `size ..`, padding leaves are the constant 1.
+    size: usize,
+    seg: Vec<Poly1>,
+}
+
+impl AndSeg {
+    fn new(children: &[Poly1], trunc: Truncation, scratch: &mut Vec<f64>) -> Self {
+        let size = children.len().next_power_of_two().max(1);
+        let mut seg = vec![Poly1::constant(1.0); 2 * size];
+        for (i, c) in children.iter().enumerate() {
+            seg[size + i] = c.clone();
+        }
+        let mut s = AndSeg { size, seg };
+        for idx in (1..size).rev() {
+            s.recompute(idx, trunc, scratch);
+        }
+        s
+    }
+
+    /// Recomputes one internal product from its two children.
+    fn recompute(&mut self, idx: usize, trunc: Truncation, scratch: &mut Vec<f64>) {
+        let mut prod = std::mem::take(&mut self.seg[idx]);
+        prod.copy_from(&self.seg[2 * idx]);
+        prod.mul_assign_truncated(&self.seg[2 * idx + 1], trunc, scratch);
+        self.seg[idx] = prod;
+    }
+
+    /// Replaces child `i`'s polynomial and refreshes the partial products on
+    /// its path to the root.
+    fn update(&mut self, i: usize, poly: &Poly1, trunc: Truncation, scratch: &mut Vec<f64>) {
+        self.seg[self.size + i].copy_from(poly);
+        let mut idx = (self.size + i) / 2;
+        while idx >= 1 {
+            self.recompute(idx, trunc, scratch);
+            idx /= 2;
+        }
+    }
+
+    /// The product of every child.
+    fn root(&self) -> &Poly1 {
+        &self.seg[1]
+    }
+
+    /// Multiplies the leave-one-out product `Π_{j ≠ i} A_j` into `acc`.
+    fn mul_excluding_into(
+        &self,
+        i: usize,
+        acc: &mut Poly1,
+        trunc: Truncation,
+        scratch: &mut Vec<f64>,
+    ) {
+        let mut idx = self.size + i;
+        while idx > 1 {
+            acc.mul_assign_truncated(&self.seg[idx ^ 1], trunc, scratch);
+            idx /= 2;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The chronological rank-PMF sweep.
+// ---------------------------------------------------------------------------
+
+/// One distinct target alternative: a `(key, score)` pair together with every
+/// leaf holding it.
+#[derive(Debug, Clone)]
+struct Target {
+    key: TupleKey,
+    leaves: Vec<usize>,
+}
+
+/// Immutable per-batch precomputation shared by every worker thread.
+struct SweepPlan<'a> {
+    tree: &'a AndXorTree,
+    /// `parents[v] = (parent node, index of v among its children)`.
+    parents: Vec<Option<(usize, usize)>>,
+    /// Distinct alternatives sorted by the out-rank order: decreasing score,
+    /// ties broken by increasing key (exactly [`outranks`]'s tie-break, so
+    /// when target `t` is queried, the activated set is precisely the set of
+    /// alternatives out-ranking `t`).
+    targets: Vec<Target>,
+    /// Initial (all leaves ↦ 1) polynomial of every node.
+    init_polys: Vec<Poly1>,
+    /// Initial product trees of the ∧ nodes.
+    init_segs: Vec<Option<AndSeg>>,
+    /// Truncation at x-degree `max_rank - 1` — coefficients past the last
+    /// requested rank are never read, so every product drops them.
+    trunc: Truncation,
+    max_rank: usize,
+    /// The activated-leaf polynomial `x`, pre-truncated.
+    x_poly: Poly1,
+    /// The constant polynomial 1 (query accumulator reset value).
+    one: Poly1,
+}
+
+/// Per-worker mutable sweep state. Each worker owns a clone and replays the
+/// global activation order up to its queries, so a target's answer does not
+/// depend on how targets were chunked across threads.
+struct SweepState {
+    polys: Vec<Poly1>,
+    segs: Vec<Option<AndSeg>>,
+    scratch: Vec<f64>,
+    acc: Poly1,
+    /// Next target (in global order) whose leaves still await activation.
+    next_activation: usize,
+}
+
+/// `outranks`-compatible ordering of targets: decreasing value, then
+/// increasing key (see [`crate::rank`]'s tie-break).
+fn target_order(a: &(TupleKey, f64), b: &(TupleKey, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+impl<'a> SweepPlan<'a> {
+    fn new(tree: &'a AndXorTree, max_rank: usize) -> Self {
+        debug_assert!(max_rank >= 1);
+        let trunc = Truncation::Degree(max_rank - 1);
+        let n = tree.nodes.len();
+
+        let mut parents = vec![None; n];
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if let Node::Inner { children, .. } = node {
+                for (ci, (c, _)) in children.iter().enumerate() {
+                    debug_assert!(c.0 < id, "builder ids are topological");
+                    parents[c.0] = Some((id, ci));
+                }
+            }
+        }
+
+        // Group leaves by distinct (key, value) alternative and sort.
+        let mut by_alt: HashMap<(TupleKey, u64), (TupleKey, f64, Vec<usize>)> = HashMap::new();
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if let Node::Leaf(a) = node {
+                by_alt
+                    .entry((a.key, a.value.0.to_bits()))
+                    .or_insert_with(|| (a.key, a.value.0, Vec::new()))
+                    .2
+                    .push(id);
+            }
+        }
+        // `target_order` is already total here: targets are distinct
+        // (key, value-bits) groups, and `total_cmp` returns `Equal` only for
+        // identical bit patterns, so equal-value groups differ by key.
+        let mut targets: Vec<(TupleKey, f64, Vec<usize>)> = by_alt.into_values().collect();
+        targets.sort_by(|a, b| target_order(&(a.0, a.1), &(b.0, b.1)));
+        let targets = targets
+            .into_iter()
+            .map(|(key, _, mut leaves)| {
+                leaves.sort_unstable();
+                Target { key, leaves }
+            })
+            .collect();
+
+        // Initial polynomials (every leaf assigned the constant 1), built
+        // bottom-up; builder node ids are topological so ascending order
+        // visits children first.
+        let mut scratch = Vec::new();
+        let mut init_polys: Vec<Poly1> = Vec::with_capacity(n);
+        let mut init_segs: Vec<Option<AndSeg>> = vec![None; n];
+        for (id, node) in tree.nodes.iter().enumerate() {
+            let poly = match node {
+                Node::Leaf(_) => Poly1::constant(1.0),
+                Node::Inner { kind, children } => match kind {
+                    NodeKind::Xor => {
+                        let evaluated: Vec<(f64, Poly1)> = children
+                            .iter()
+                            .map(|(c, p)| (*p, init_polys[c.0].clone()))
+                            .collect();
+                        Poly1::xor_combine(&evaluated)
+                    }
+                    NodeKind::And => {
+                        let child_polys: Vec<Poly1> = children
+                            .iter()
+                            .map(|(c, _)| init_polys[c.0].clone())
+                            .collect();
+                        let seg = AndSeg::new(&child_polys, trunc, &mut scratch);
+                        let root = seg.root().clone();
+                        init_segs[id] = Some(seg);
+                        root
+                    }
+                },
+            };
+            init_polys.push(poly);
+        }
+
+        let x_poly = if max_rank == 1 {
+            Poly1::from_coeffs(vec![0.0])
+        } else {
+            Poly1::x()
+        };
+        SweepPlan {
+            tree,
+            parents,
+            targets,
+            init_polys,
+            init_segs,
+            trunc,
+            max_rank,
+            x_poly,
+            one: Poly1::constant(1.0),
+        }
+    }
+
+    fn fresh_state(&self) -> SweepState {
+        SweepState {
+            polys: self.init_polys.clone(),
+            segs: self.init_segs.clone(),
+            scratch: Vec::new(),
+            acc: Poly1::constant(1.0),
+            next_activation: 0,
+        }
+    }
+
+    fn edge_probability(&self, parent: usize, child_index: usize) -> f64 {
+        match &self.tree.nodes[parent] {
+            Node::Inner { children, .. } => children[child_index].1,
+            Node::Leaf(_) => unreachable!("leaves have no children"),
+        }
+    }
+
+    fn kind(&self, id: usize) -> NodeKind {
+        match &self.tree.nodes[id] {
+            Node::Inner { kind, .. } => *kind,
+            Node::Leaf(_) => unreachable!("queried for inner nodes only"),
+        }
+    }
+
+    /// Replays activations so that exactly the targets preceding `t` in the
+    /// out-rank order have their leaves assigned `x`.
+    fn advance_to(&self, st: &mut SweepState, t: usize) {
+        while st.next_activation < t {
+            let target = &self.targets[st.next_activation];
+            for &leaf in &target.leaves {
+                self.activate_leaf(st, leaf);
+            }
+            st.next_activation += 1;
+        }
+    }
+
+    /// Flips one leaf from the constant 1 to `x` and refreshes the cached
+    /// polynomials on its root path: an `O(k)` mixture delta at ∨ parents, an
+    /// `O(log fanout)` product-tree refresh at ∧ parents.
+    fn activate_leaf(&self, st: &mut SweepState, leaf: usize) {
+        let mut old_child = std::mem::replace(&mut st.polys[leaf], self.x_poly.clone());
+        let mut child = leaf;
+        while let Some((parent, child_index)) = self.parents[child] {
+            let old_parent = st.polys[parent].clone();
+            match self.kind(parent) {
+                NodeKind::Xor => {
+                    let p = self.edge_probability(parent, child_index);
+                    // A_∨ = leftover + Σ p_i · A_i, so a child change is a
+                    // linear delta: A_∨ += p · (new − old). Builder node ids
+                    // are topological (child < parent), so the slice splits
+                    // cleanly into the child's and the parent's halves.
+                    let (lo, hi) = st.polys.split_at_mut(parent);
+                    let parent_poly = &mut hi[0];
+                    parent_poly.add_scaled_assign(&lo[child], p);
+                    parent_poly.add_scaled_assign(&old_child, -p);
+                }
+                NodeKind::And => {
+                    let seg = st.segs[parent].as_mut().expect("∧ nodes carry a seg");
+                    let (lo, hi) = st.polys.split_at_mut(parent);
+                    seg.update(child_index, &lo[child], self.trunc, &mut st.scratch);
+                    hi[0].copy_from(seg.root());
+                }
+            }
+            old_child = old_parent;
+            child = parent;
+        }
+    }
+
+    /// The rank polynomial of target `t` under the current activation state:
+    /// coefficient `i` is `Pr(r(t) = i + 1)` (the coefficient of `x^i y` in
+    /// the bivariate formulation of Example 3). Recovered without a tree
+    /// sweep: for each leaf of the target, the `y`-part propagates to the
+    /// root as (∨-edge probabilities along the path) × (leave-one-out sibling
+    /// products at ∧ ancestors); the contributions of several leaves add.
+    fn query(&self, st: &mut SweepState, t: usize) -> Vec<f64> {
+        self.advance_to(st, t);
+        let target = &self.targets[t];
+        let mut out = vec![0.0; self.max_rank];
+        for &leaf in &target.leaves {
+            let mut path_probability = 1.0;
+            st.acc.copy_from(&self.one);
+            let mut child = leaf;
+            while let Some((parent, child_index)) = self.parents[child] {
+                match self.kind(parent) {
+                    NodeKind::Xor => {
+                        path_probability *= self.edge_probability(parent, child_index);
+                    }
+                    NodeKind::And => {
+                        let seg = st.segs[parent].as_ref().expect("∧ nodes carry a seg");
+                        seg.mul_excluding_into(
+                            child_index,
+                            &mut st.acc,
+                            self.trunc,
+                            &mut st.scratch,
+                        );
+                    }
+                }
+                child = parent;
+            }
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot += path_probability * st.acc.coeff(i);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Co-presence primitive shared by the pairwise batch statistics.
+// ---------------------------------------------------------------------------
+
+/// One leaf's ∨-edge path from the root: `(xor node, child index, edge
+/// probability)` triples in root-to-leaf order, with cumulative prefix and
+/// suffix products.
+#[derive(Debug, Clone)]
+struct LeafPath {
+    /// `(node, child index)` pairs identifying each ∨ edge on the path.
+    edges: Vec<(usize, usize)>,
+    /// `prefix[d]` = product of the first `d` edge probabilities.
+    prefix: Vec<f64>,
+    /// `suffix[d]` = product of the edge probabilities from `d` to the end.
+    suffix: Vec<f64>,
+}
+
+/// One distinct alternative of a key, with its leaf (path) indices.
+#[derive(Debug, Clone)]
+struct AltGroup {
+    value: f64,
+    /// Indices into [`CopresencePlan::paths`].
+    leaves: Vec<usize>,
+    /// Marginal presence probability of the alternative (leaf presences sum;
+    /// same-key leaves are mutually exclusive).
+    presence: f64,
+}
+
+/// Root-to-leaf ∨-edge paths for every leaf, grouped per key — the shared
+/// precomputation behind [`AndXorTree::batch_pairwise_order`] and
+/// [`AndXorTree::batch_cocluster_weights`].
+struct CopresencePlan {
+    paths: Vec<LeafPath>,
+    /// Per key: distinct alternatives sorted by decreasing value.
+    groups: HashMap<TupleKey, Vec<AltGroup>>,
+    /// Per key: marginal presence probability (sum over its alternatives).
+    key_presence: HashMap<TupleKey, f64>,
+}
+
+impl CopresencePlan {
+    fn new(tree: &AndXorTree) -> Self {
+        let mut paths = Vec::new();
+        let mut grouped: HashMap<TupleKey, HashMap<u64, AltGroup>> = HashMap::new();
+
+        // Iterative DFS carrying the current ∨-edge stack; each stack frame
+        // is `(node, next child index to visit)`.
+        let mut stack: Vec<(usize, usize)> = vec![(tree.root.0, 0)];
+        let mut edge_stack: Vec<(usize, usize, f64)> = Vec::new();
+        while let Some(frame) = stack.last().copied() {
+            let (id, next) = frame;
+            match &tree.nodes[id] {
+                Node::Leaf(a) => {
+                    let edges: Vec<(usize, usize)> =
+                        edge_stack.iter().map(|&(n, c, _)| (n, c)).collect();
+                    let len = edges.len();
+                    let mut prefix = vec![1.0; len + 1];
+                    for d in 0..len {
+                        prefix[d + 1] = prefix[d] * edge_stack[d].2;
+                    }
+                    let mut suffix = vec![1.0; len + 1];
+                    for d in (0..len).rev() {
+                        suffix[d] = suffix[d + 1] * edge_stack[d].2;
+                    }
+                    let path_index = paths.len();
+                    let presence = suffix[0];
+                    paths.push(LeafPath {
+                        edges,
+                        prefix,
+                        suffix,
+                    });
+                    let group = grouped
+                        .entry(a.key)
+                        .or_default()
+                        .entry(a.value.0.to_bits())
+                        .or_insert_with(|| AltGroup {
+                            value: a.value.0,
+                            leaves: Vec::new(),
+                            presence: 0.0,
+                        });
+                    group.leaves.push(path_index);
+                    group.presence += presence;
+                    stack.pop();
+                }
+                Node::Inner { kind, children } => {
+                    // Returning from a previous ∨ child: drop its edge.
+                    if next > 0 && *kind == NodeKind::Xor {
+                        edge_stack.pop();
+                    }
+                    if next == children.len() {
+                        stack.pop();
+                        continue;
+                    }
+                    let (c, p) = children[next];
+                    if *kind == NodeKind::Xor {
+                        edge_stack.push((id, next, p));
+                    }
+                    stack.last_mut().expect("frame exists").1 += 1;
+                    stack.push((c.0, 0));
+                }
+            }
+        }
+
+        let mut groups: HashMap<TupleKey, Vec<AltGroup>> = HashMap::new();
+        let mut key_presence = HashMap::new();
+        for (key, by_value) in grouped {
+            let mut v: Vec<AltGroup> = by_value.into_values().collect();
+            v.sort_by(|a, b| b.value.total_cmp(&a.value));
+            key_presence.insert(key, v.iter().map(|g| g.presence).sum());
+            groups.insert(key, v);
+        }
+        CopresencePlan {
+            paths,
+            groups,
+            key_presence,
+        }
+    }
+
+    /// `Pr(leaf i present ∧ leaf j present)`: the product of the ∨-edge
+    /// probabilities on the union of the two root paths (shared prefix edges
+    /// counted once), or `0` when the paths take different children of a
+    /// common ∨ ancestor (mutual exclusion).
+    fn leaf_copresence(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.paths[i], &self.paths[j]);
+        let mut d = 0;
+        while d < a.edges.len() && d < b.edges.len() && a.edges[d] == b.edges[d] {
+            d += 1;
+        }
+        if d < a.edges.len() && d < b.edges.len() && a.edges[d].0 == b.edges[d].0 {
+            // Same ∨ node, different child: the leaves are mutually exclusive.
+            return 0.0;
+        }
+        a.prefix[d] * a.suffix[d] * b.suffix[d]
+    }
+
+    /// `Pr(α present ∧ β present)` for two alternative groups of *different*
+    /// keys (sums over their leaf pairs; at most one leaf per group is
+    /// present in any world).
+    fn group_copresence(&self, a: &AltGroup, b: &AltGroup) -> f64 {
+        let mut total = 0.0;
+        for &la in &a.leaves {
+            for &lb in &b.leaves {
+                total += self.leaf_copresence(la, lb);
+            }
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public batch API.
+// ---------------------------------------------------------------------------
+
+impl AndXorTree {
+    /// Rank distributions of every tuple up to `max_rank`, computed by a
+    /// single shared sweep instead of one generating-function sweep per key
+    /// (see the module docs for the algorithm). Returns the same map as
+    /// calling [`AndXorTree::rank_pmf`] per key, with every entry within
+    /// `1e-12` of the per-tuple path.
+    ///
+    /// `threads = 0` means "auto" (the `CPDB_THREADS` environment variable,
+    /// then the machine's parallelism); results are bit-identical at any
+    /// thread count. Parallelism here partitions the *queries*: each worker
+    /// clones the sweep state and replays the shared activation prefix up to
+    /// its own chunk, so activation work (cheap relative to queries, but not
+    /// free) is duplicated per worker and thread scaling is deliberately
+    /// sublinear — prefer modest thread counts for this build.
+    pub fn batch_rank_pmfs(&self, max_rank: usize, threads: usize) -> HashMap<TupleKey, Vec<f64>> {
+        let keys = self.keys();
+        let mut out: HashMap<TupleKey, Vec<f64>> =
+            keys.iter().map(|&k| (k, vec![0.0; max_rank])).collect();
+        if max_rank == 0 {
+            return out;
+        }
+        let plan = SweepPlan::new(self, max_rank);
+        let per_target = parallel_map_with(
+            threads,
+            plan.targets.len(),
+            || plan.fresh_state(),
+            |st, i| plan.query(st, i),
+        );
+        // Reduce per-key in the fixed sorted target order (deterministic and
+        // independent of the thread chunking above).
+        for (target, pmf) in plan.targets.iter().zip(per_target) {
+            let slot = out.get_mut(&target.key).expect("targets come from keys");
+            for (acc, v) in slot.iter_mut().zip(pmf) {
+                *acc += v;
+            }
+        }
+        for pmf in out.values_mut() {
+            for p in pmf.iter_mut() {
+                *p = clamp_probability(*p);
+            }
+        }
+        out
+    }
+
+    /// The full pairwise-order tournament `Pr(r(keys[i]) < r(keys[j]))` as a
+    /// row-major `keys.len() × keys.len()` matrix (diagonal `0`), computed
+    /// from one shared root-path extraction instead of `O(n²)` per-pair
+    /// generating-function sweeps. Every entry is within `1e-12` of
+    /// [`AndXorTree::pairwise_order_probability`].
+    ///
+    /// `threads = 0` means "auto"; results are bit-identical at any thread
+    /// count.
+    pub fn batch_pairwise_order(&self, keys: &[TupleKey], threads: usize) -> Vec<f64> {
+        let plan = CopresencePlan::new(self);
+        let n = keys.len();
+        parallel_map_indexed(threads, n * n, |idx| {
+            let (i, j) = (idx / n, idx % n);
+            if i == j {
+                return 0.0;
+            }
+            let (a, b) = (keys[i], keys[j]);
+            let (Some(ga), gb) = (plan.groups.get(&a), plan.groups.get(&b)) else {
+                return 0.0;
+            };
+            // Pr(r(a) < r(b)) = Σ_α Pr(α) − Σ_{α, β out-ranking α} Pr(α ∧ β):
+            // b's alternatives are mutually exclusive, so "some out-ranking
+            // alternative of b present" expands into disjoint co-presences.
+            let mut total: f64 = ga.iter().map(|g| g.presence).sum();
+            if let Some(gb) = gb {
+                for alt_a in ga {
+                    for alt_b in gb {
+                        let outranks =
+                            alt_b.value > alt_a.value || (alt_b.value == alt_a.value && b < a);
+                        if outranks {
+                            total -= plan.group_copresence(alt_a, alt_b);
+                        }
+                    }
+                }
+            }
+            clamp_probability(total)
+        })
+    }
+
+    /// The co-clustering weights `w_{ij} = Pr(i, j take the same value) +
+    /// Pr(i, j both absent)` (§6.2) as a row-major symmetric matrix over
+    /// `keys` (diagonal `1`), from the same shared root-path extraction as
+    /// [`AndXorTree::batch_pairwise_order`]. Off-diagonal entries are within
+    /// `1e-12` of `cluster_weight` + the per-pair absence sweep.
+    ///
+    /// `threads = 0` means "auto"; results are bit-identical at any thread
+    /// count.
+    pub fn batch_cocluster_weights(&self, keys: &[TupleKey], threads: usize) -> Vec<f64> {
+        let plan = CopresencePlan::new(self);
+        let n = keys.len();
+        // Upper-triangle pairs, mirrored afterwards.
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .collect();
+        let values = parallel_map_indexed(threads, pairs.len(), |idx| {
+            let (i, j) = pairs[idx];
+            let (a, b) = (keys[i], keys[j]);
+            let (Some(ga), Some(gb)) = (plan.groups.get(&a), plan.groups.get(&b)) else {
+                // A key with no leaves is never present; it co-clusters with
+                // another exactly when that other key is absent too.
+                let pa = plan.key_presence.get(&a).copied().unwrap_or(0.0);
+                let pb = plan.key_presence.get(&b).copied().unwrap_or(0.0);
+                return clamp_probability(1.0 - pa - pb);
+            };
+            let mut same_value = 0.0;
+            let mut both_present = 0.0;
+            for alt_a in ga {
+                for alt_b in gb {
+                    let c = plan.group_copresence(alt_a, alt_b);
+                    both_present += c;
+                    if alt_a.value == alt_b.value {
+                        same_value += clamp_probability(c);
+                    }
+                }
+            }
+            let same_value = clamp_probability(same_value);
+            let both_absent = clamp_probability(
+                1.0 - plan.key_presence[&a] - plan.key_presence[&b] + both_present,
+            );
+            (same_value + both_absent).clamp(0.0, 1.0)
+        });
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            out[i * n + i] = 1.0;
+        }
+        for ((i, j), w) in pairs.into_iter().zip(values) {
+            out[i * n + j] = w;
+            out[j * n + i] = w;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::AndXorTreeBuilder;
+    use cpdb_genfunc::Truncation as T;
+
+    fn independent_tree(specs: &[(u64, f64, f64)]) -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for &(key, score, p) in specs {
+            let leaf = b.leaf_parts(key, score);
+            xors.push(b.xor_node(vec![(leaf, p)]));
+        }
+        let root = b.and_node(xors);
+        b.build(root).unwrap()
+    }
+
+    fn bid_tree() -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for (key, alts) in [
+            (1u64, vec![(95.0, 0.3), (40.0, 0.5)]),
+            (2, vec![(80.0, 0.6), (55.0, 0.2)]),
+            (3, vec![(70.0, 0.9)]),
+            (4, vec![(60.0, 0.45), (50.0, 0.25)]),
+        ] {
+            let edges: Vec<_> = alts
+                .iter()
+                .map(|&(v, p)| (b.leaf_parts(key, v), p))
+                .collect();
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root).unwrap()
+    }
+
+    fn nested_tree() -> AndXorTree {
+        // ∧( ∨( ∧(k1, k2) : 0.5, k3 : 0.3 ), ∨(k4 : 0.6, k4' : 0.3), k5-block )
+        let mut b = AndXorTreeBuilder::new();
+        let l1 = b.leaf_parts(1, 9.0);
+        let l2 = b.leaf_parts(2, 7.0);
+        let bundle = b.and_node(vec![l1, l2]);
+        let l3 = b.leaf_parts(3, 8.0);
+        let x1 = b.xor_node(vec![(bundle, 0.5), (l3, 0.3)]);
+        let l4a = b.leaf_parts(4, 6.0);
+        let l4b = b.leaf_parts(4, 3.0);
+        let x2 = b.xor_node(vec![(l4a, 0.6), (l4b, 0.3)]);
+        let l5 = b.leaf_parts(5, 5.0);
+        let x3 = b.xor_node(vec![(l5, 0.7)]);
+        let root = b.and_node(vec![x1, x2, x3]);
+        b.build(root).unwrap()
+    }
+
+    fn assert_pmfs_match(tree: &AndXorTree, max_rank: usize) {
+        let batch = tree.batch_rank_pmfs(max_rank, 1);
+        for key in tree.keys() {
+            let reference = tree.rank_pmf(key, max_rank);
+            let got = &batch[&key];
+            for i in 0..max_rank {
+                assert!(
+                    (got[i] - reference[i]).abs() < 1e-12,
+                    "key {key:?} rank {}: batch {} vs per-tuple {}",
+                    i + 1,
+                    got[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rank_pmfs_match_per_tuple_on_independent_tree() {
+        let tree = independent_tree(&[
+            (1, 90.0, 0.3),
+            (2, 80.0, 0.9),
+            (3, 70.0, 0.5),
+            (4, 60.0, 0.7),
+        ]);
+        for k in 1..=4 {
+            assert_pmfs_match(&tree, k);
+        }
+    }
+
+    #[test]
+    fn batch_rank_pmfs_match_per_tuple_on_bid_and_nested_trees() {
+        for tree in [
+            bid_tree(),
+            nested_tree(),
+            crate::figure1::figure1_correlated_tree(),
+        ] {
+            let n = tree.keys().len();
+            for k in 1..=n {
+                assert_pmfs_match(&tree, k);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rank_pmfs_are_thread_count_invariant() {
+        let tree = bid_tree();
+        let one = tree.batch_rank_pmfs(3, 1);
+        for threads in [2, 3, 8] {
+            let many = tree.batch_rank_pmfs(3, threads);
+            for (key, pmf) in &one {
+                let other = &many[key];
+                for i in 0..pmf.len() {
+                    assert_eq!(
+                        pmf[i].to_bits(),
+                        other[i].to_bits(),
+                        "threads {threads}, key {key:?}, rank {}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rank_pmfs_zero_rank_and_single_leaf() {
+        let tree = independent_tree(&[(1, 9.0, 0.5)]);
+        let zero = tree.batch_rank_pmfs(0, 1);
+        assert_eq!(zero[&TupleKey(1)].len(), 0);
+        let one = tree.batch_rank_pmfs(1, 1);
+        assert!((one[&TupleKey(1)][0] - 0.5).abs() < 1e-12);
+
+        // A bare-leaf root (always present) is handled too.
+        let mut b = AndXorTreeBuilder::new();
+        let root = b.leaf_parts(7, 1.0);
+        let tree = b.build(root).unwrap();
+        let pmf = tree.batch_rank_pmfs(1, 1);
+        assert!((pmf[&TupleKey(7)][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_pairwise_order_matches_per_pair() {
+        for tree in [
+            bid_tree(),
+            nested_tree(),
+            crate::figure1::figure1_correlated_tree(),
+        ] {
+            let keys = tree.keys();
+            let n = keys.len();
+            let batch = tree.batch_pairwise_order(&keys, 1);
+            for (i, &a) in keys.iter().enumerate() {
+                for (j, &b) in keys.iter().enumerate() {
+                    let reference = tree.pairwise_order_probability(a, b);
+                    assert!(
+                        (batch[i * n + j] - reference).abs() < 1e-12,
+                        "Pr(r({a:?}) < r({b:?})): batch {} vs per-pair {reference}",
+                        batch[i * n + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cocluster_weights_match_per_pair() {
+        // Attribute-uncertainty tree: shared values across keys.
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for (key, options) in [
+            (1u64, vec![(10.0, 0.8), (20.0, 0.2)]),
+            (2, vec![(10.0, 0.7), (20.0, 0.3)]),
+            (3, vec![(10.0, 0.1), (20.0, 0.9)]),
+        ] {
+            let edges: Vec<_> = options
+                .iter()
+                .map(|&(v, p)| (b.leaf_parts(key, v), p))
+                .collect();
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        let tree = b.build(root).unwrap();
+        let keys = tree.keys();
+        let n = keys.len();
+        let batch = tree.batch_cocluster_weights(&keys, 1);
+        for (i, &a) in keys.iter().enumerate() {
+            for (j, &b) in keys.iter().enumerate() {
+                if i == j {
+                    assert_eq!(batch[i * n + j], 1.0);
+                    continue;
+                }
+                let same = tree.cluster_weight(a, b);
+                let absent = tree
+                    .genfunc1(T::Degree(0), |alt| alt.key == a || alt.key == b)
+                    .coeff(0);
+                let reference = (same + absent).clamp(0.0, 1.0);
+                assert!(
+                    (batch[i * n + j] - reference).abs() < 1e-12,
+                    "w({a:?},{b:?}): batch {} vs per-pair {reference}",
+                    batch[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_batch_is_thread_count_invariant() {
+        let tree = nested_tree();
+        let keys = tree.keys();
+        let one = tree.batch_pairwise_order(&keys, 1);
+        let eight = tree.batch_pairwise_order(&keys, 8);
+        for (x, y) in one.iter().zip(&eight) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_subsets_restrict_the_tournament() {
+        let tree = bid_tree();
+        let pool = vec![TupleKey(2), TupleKey(3)];
+        let m = tree.batch_pairwise_order(&pool, 1);
+        assert_eq!(m.len(), 4);
+        let direct = tree.pairwise_order_probability(TupleKey(2), TupleKey(3));
+        assert!((m[1] - direct).abs() < 1e-12);
+    }
+}

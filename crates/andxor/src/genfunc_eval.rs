@@ -121,10 +121,15 @@ impl AndXorTree {
                     Poly2::xor_combine(&evaluated)
                 }
                 NodeKind::And => {
+                    // Ping-pong the accumulator through one reusable scratch
+                    // polynomial so the ∧ fold allocates O(1) buffers instead
+                    // of one per child (bit-identical to the allocating path).
                     let mut acc = Poly2::constant(1.0);
+                    let mut scratch = Poly2::zero();
                     for (c, _) in children {
                         let child = self.genfunc2_node(*c, trunc_x, trunc_y, assign);
-                        acc = acc.mul_truncated(&child, trunc_x, trunc_y);
+                        acc.mul_truncated_into(&child, trunc_x, trunc_y, &mut scratch);
+                        std::mem::swap(&mut acc, &mut scratch);
                     }
                     acc
                 }

@@ -22,7 +22,10 @@
 //! computations the consensus algorithms need: world-size distributions,
 //! membership counts, rank distributions `Pr(r(t) = i)` / `Pr(r(t) ≤ k)`,
 //! pairwise order probabilities `Pr(r(t_i) < r(t_j))`, and attribute
-//! co-occurrence probabilities.
+//! co-occurrence probabilities. [`batch`] computes the same statistics for
+//! *all* tuples/pairs at once in shared sweeps (the fast path behind
+//! `TopKContext`, Kendall tournaments, and co-clustering weights), with
+//! optional `std::thread` parallelism via `cpdb_parallel`.
 //!
 //! [`figure1`] reconstructs the paper's Figure 1 examples exactly and is used
 //! by the `figure1` experiment to reproduce the published generating
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod convert;
 pub mod figure1;
 pub mod genfunc_eval;

@@ -50,8 +50,9 @@ impl AndXorTree {
         if max_rank == 0 {
             return pmf;
         }
-        // Distinct alternative values of this tuple.
-        let alt_probs = self.alternative_probabilities();
+        // Distinct alternative values of this tuple (the marginal table is
+        // computed once per tree and cached, not rebuilt per call).
+        let alt_probs = self.alternative_probabilities_cached();
         let values: Vec<f64> = alt_probs
             .keys()
             .filter(|a| a.key == key)
@@ -98,11 +99,14 @@ impl AndXorTree {
 
     /// Rank distributions of every tuple, computed up to `max_rank`.
     /// Returns a map key → pmf vector.
+    ///
+    /// Thin wrapper over [`AndXorTree::batch_rank_pmfs`] (one shared sweep,
+    /// single-threaded so library callers embedding their own parallelism
+    /// get no surprise thread spawns) — per-tuple results agree within
+    /// `1e-12`. Use [`AndXorTree::rank_pmf`] per key for the reference
+    /// per-tuple path, or `batch_rank_pmfs` directly to opt into threads.
     pub fn rank_pmf_all(&self, max_rank: usize) -> HashMap<TupleKey, Vec<f64>> {
-        self.keys()
-            .into_iter()
-            .map(|k| (k, self.rank_pmf(k, max_rank)))
-            .collect()
+        self.batch_rank_pmfs(max_rank, 1)
     }
 
     /// `Pr(r(t_a) < r(t_b))` — the probability that tuple `a` ranks strictly
@@ -115,7 +119,7 @@ impl AndXorTree {
         if a == b {
             return 0.0;
         }
-        let alt_probs = self.alternative_probabilities();
+        let alt_probs = self.alternative_probabilities_cached();
         let values: Vec<f64> = alt_probs
             .keys()
             .filter(|alt| alt.key == a)
@@ -159,7 +163,7 @@ impl AndXorTree {
         if i == j {
             return 0.0;
         }
-        let alt_probs = self.alternative_probabilities();
+        let alt_probs = self.alternative_probabilities_cached();
         let mut values: Vec<f64> = alt_probs
             .keys()
             .filter(|a| a.key == i)

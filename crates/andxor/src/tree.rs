@@ -18,6 +18,7 @@
 use cpdb_model::error::{validate_probability, ModelError};
 use cpdb_model::{Alternative, TupleKey};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::OnceLock;
 
 /// Identifier of a node inside one tree/builder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,6 +99,7 @@ impl AndXorTreeBuilder {
         let tree = AndXorTree {
             nodes: self.nodes,
             root,
+            alt_probs: OnceLock::new(),
         };
         tree.validate()?;
         Ok(tree)
@@ -105,10 +107,22 @@ impl AndXorTreeBuilder {
 }
 
 /// A validated probabilistic and/xor tree.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AndXorTree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
+    /// Lazily computed per-alternative marginal table, shared by every
+    /// statistic that needs the distinct alternatives of a key (rank PMFs,
+    /// pairwise order, cluster weights). Computed at most once per tree
+    /// instead of once per call.
+    alt_probs: OnceLock<HashMap<Alternative, f64>>,
+}
+
+impl PartialEq for AndXorTree {
+    fn eq(&self, other: &Self) -> bool {
+        // The marginal cache is a derived quantity; equality is structural.
+        self.nodes == other.nodes && self.root == other.root
+    }
 }
 
 impl AndXorTree {
@@ -360,6 +374,17 @@ impl AndXorTree {
         let mut out = HashMap::new();
         self.accumulate_alt(self.root, 1.0, &mut out);
         out
+    }
+
+    /// Cached variant of [`Self::alternative_probabilities`]: the table is
+    /// computed on first use and shared by every subsequent call (and across
+    /// threads — the cache is a [`OnceLock`]). All per-call statistic paths
+    /// (`rank_pmf`, `pairwise_order_probability`, `cluster_weight`) read this
+    /// accessor so repeated queries against one tree stop rebuilding the
+    /// marginal table from scratch.
+    pub fn alternative_probabilities_cached(&self) -> &HashMap<Alternative, f64> {
+        self.alt_probs
+            .get_or_init(|| self.alternative_probabilities())
     }
 
     fn accumulate_alt(&self, id: NodeId, weight: f64, out: &mut HashMap<Alternative, f64>) {

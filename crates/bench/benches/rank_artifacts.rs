@@ -1,0 +1,74 @@
+//! Cold-build cost of the engine's shared artifacts: the legacy per-tuple
+//! generating-function paths (one sweep per key / per pair) against the
+//! single-sweep batch evaluator, single-threaded and at the automatic thread
+//! count. The `rank_artifacts` binary emits the same comparisons as
+//! `BENCH_rank_artifacts.json` for the perf-smoke CI gate.
+
+use cpdb_bench::rank_artifacts::{
+    batch_cocluster, batch_rank_table, batch_tournament, clustering_workload, legacy_cocluster,
+    legacy_rank_table, legacy_tournament, rank_workload,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_rank_artifacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_artifacts");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+
+    for &(n, k) in &[(100usize, 10usize), (200, 20)] {
+        let tree = rank_workload(n, 7);
+        let keys = tree.keys();
+
+        group.bench_with_input(
+            BenchmarkId::new("rank_pmf_table_legacy", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| black_box(legacy_rank_table(tree, k))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rank_pmf_table_batch1", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| black_box(batch_rank_table(tree, k, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rank_pmf_table_batch_auto", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| black_box(batch_rank_table(tree, k, 0))),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("kendall_tournament_legacy", format!("n{n}")),
+            &(&tree, &keys),
+            |b, (tree, keys)| b.iter(|| black_box(legacy_tournament(tree, keys))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kendall_tournament_batch1", format!("n{n}")),
+            &(&tree, &keys),
+            |b, (tree, keys)| b.iter(|| black_box(batch_tournament(tree, keys, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kendall_tournament_batch_auto", format!("n{n}")),
+            &(&tree, &keys),
+            |b, (tree, keys)| b.iter(|| black_box(batch_tournament(tree, keys, 0))),
+        );
+    }
+
+    for &n in &[100usize, 200] {
+        let ctree = clustering_workload(n, 7);
+        group.bench_with_input(
+            BenchmarkId::new("coclustering_legacy", format!("n{n}")),
+            &ctree,
+            |b, tree| b.iter(|| black_box(legacy_cocluster(tree))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coclustering_batch1", format!("n{n}")),
+            &ctree,
+            |b, tree| b.iter(|| black_box(batch_cocluster(tree, 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_artifacts);
+criterion_main!(benches);

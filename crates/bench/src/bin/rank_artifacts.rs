@@ -1,0 +1,214 @@
+//! `BENCH_rank_artifacts.json` emitter: times the legacy per-tuple artifact
+//! builds against the single-sweep batch evaluator (cold builds of the
+//! rank-PMF table, the Kendall tournament, and the co-clustering weights),
+//! verifies the results agree, and writes the measurements as JSON.
+//!
+//! ```text
+//! cargo run --release -p cpdb_bench --bin rank_artifacts -- \
+//!     --n 200 --k 20 --out BENCH_rank_artifacts.json --check
+//! ```
+//!
+//! `--check` exits non-zero when any batch single-threaded cold build is
+//! slower than its legacy counterpart (the `perf-smoke` CI gate) or when the
+//! batch results diverge from the per-tuple paths by more than `1e-9`.
+
+use cpdb_bench::rank_artifacts::*;
+use cpdb_parallel::resolve_threads;
+
+struct Args {
+    n: usize,
+    k: usize,
+    seed: u64,
+    reps: usize,
+    threads: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 200,
+        k: 20,
+        seed: 7,
+        reps: 3,
+        threads: 0,
+        out: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value("--n").parse().expect("--n takes an integer"),
+            "--k" => args.k = value("--k").parse().expect("--k takes an integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse()
+                    .expect("--threads takes an integer");
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+struct Comparison {
+    name: &'static str,
+    legacy_ms: f64,
+    batch_single_ms: f64,
+    batch_parallel_ms: f64,
+    max_abs_diff: f64,
+}
+
+impl Comparison {
+    fn speedup_single(&self) -> f64 {
+        self.legacy_ms / self.batch_single_ms
+    }
+    fn speedup_parallel(&self) -> f64 {
+        self.legacy_ms / self.batch_parallel_ms
+    }
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"legacy_ms\": {:.3},\n",
+                "      \"batch_single_thread_ms\": {:.3},\n",
+                "      \"batch_parallel_ms\": {:.3},\n",
+                "      \"speedup_single_thread\": {:.2},\n",
+                "      \"speedup_parallel\": {:.2},\n",
+                "      \"max_abs_diff\": {:e}\n",
+                "    }}"
+            ),
+            self.name,
+            self.legacy_ms,
+            self.batch_single_ms,
+            self.batch_parallel_ms,
+            self.speedup_single(),
+            self.speedup_parallel(),
+            self.max_abs_diff,
+        )
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = resolve_threads(args.threads);
+    let tree = rank_workload(args.n, args.seed);
+    let keys = tree.keys();
+    let ctree = clustering_workload(args.n, args.seed);
+
+    // --- Rank-PMF table (TopKContext cold build). ---
+    let legacy_table = legacy_rank_table(&tree, args.k);
+    let batch_table = batch_rank_table(&tree, args.k, 1);
+    let rank = Comparison {
+        name: "rank_pmf_table",
+        legacy_ms: time_best_of_ms(args.reps, || legacy_rank_table(&tree, args.k)),
+        batch_single_ms: time_best_of_ms(args.reps, || batch_rank_table(&tree, args.k, 1)),
+        batch_parallel_ms: time_best_of_ms(args.reps, || batch_rank_table(&tree, args.k, threads)),
+        max_abs_diff: rank_table_max_diff(&legacy_table, &batch_table),
+    };
+
+    // --- Kendall tournament (preference-matrix cold build). ---
+    let legacy_t = legacy_tournament(&tree, &keys);
+    let batch_t = batch_tournament(&tree, &keys, 1);
+    let kendall = Comparison {
+        name: "kendall_tournament",
+        legacy_ms: time_best_of_ms(args.reps, || legacy_tournament(&tree, &keys)),
+        batch_single_ms: time_best_of_ms(args.reps, || batch_tournament(&tree, &keys, 1)),
+        batch_parallel_ms: time_best_of_ms(args.reps, || batch_tournament(&tree, &keys, threads)),
+        max_abs_diff: matrix_max_diff(&legacy_t, &batch_t),
+    };
+
+    // --- Co-clustering weights cold build. ---
+    let legacy_c = legacy_cocluster(&ctree);
+    let batch_c = batch_cocluster(&ctree, 1);
+    let cocluster = Comparison {
+        name: "coclustering_weights",
+        legacy_ms: time_best_of_ms(args.reps, || legacy_cocluster(&ctree)),
+        batch_single_ms: time_best_of_ms(args.reps, || batch_cocluster(&ctree, 1)),
+        batch_parallel_ms: time_best_of_ms(args.reps, || batch_cocluster(&ctree, threads)),
+        max_abs_diff: cocluster_max_diff(&legacy_c, &batch_c),
+    };
+
+    let comparisons = [rank, kendall, cocluster];
+    println!(
+        "rank_artifacts cold builds — n = {}, k = {}, seed = {}, best of {}, {} thread(s) for the parallel column",
+        args.n, args.k, args.seed, args.reps, threads
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>10} {:>10} {:>12}",
+        "artifact", "legacy ms", "batch(1) ms", "batch(T) ms", "x1", "xT", "max |Δ|"
+    );
+    for c in &comparisons {
+        println!(
+            "{:<22} {:>12.3} {:>14.3} {:>14.3} {:>9.1}x {:>9.1}x {:>12.2e}",
+            c.name,
+            c.legacy_ms,
+            c.batch_single_ms,
+            c.batch_parallel_ms,
+            c.speedup_single(),
+            c.speedup_parallel(),
+            c.max_abs_diff,
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"cpdb.rank_artifacts.v1\",\n",
+            "  \"workload\": {{ \"n\": {}, \"k\": {}, \"seed\": {}, \"reps\": {}, ",
+            "\"parallel_threads\": {} }},\n",
+            "  \"cold_builds\": {{\n",
+            "{}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        args.n,
+        args.k,
+        args.seed,
+        args.reps,
+        threads,
+        comparisons
+            .iter()
+            .map(Comparison::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+
+    if args.check {
+        let mut failed = false;
+        for c in &comparisons {
+            if c.max_abs_diff > 1e-9 {
+                eprintln!(
+                    "CHECK FAILED: {} batch diverges from the per-tuple path by {:.2e}",
+                    c.name, c.max_abs_diff
+                );
+                failed = true;
+            }
+            if c.speedup_single() < 1.0 {
+                eprintln!(
+                    "CHECK FAILED: {} batch cold build ({:.3} ms) is slower than legacy ({:.3} ms)",
+                    c.name, c.batch_single_ms, c.legacy_ms
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed: batch ≥ legacy on every artifact, results agree");
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod rank_artifacts;
 pub mod table;
 
 pub use experiments::*;

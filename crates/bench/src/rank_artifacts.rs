@@ -1,0 +1,154 @@
+//! Legacy-vs-batch artifact builds shared by the `rank_artifacts` Criterion
+//! bench and the `rank_artifacts` JSON emitter binary, so both report the
+//! same computation.
+//!
+//! "Legacy" is the pre-batch cold-build path: one generating-function sweep
+//! per key for the rank-PMF table, one per ordered pair for the Kendall
+//! tournament, one per pair for the co-clustering weights. "Batch" is the
+//! single-sweep evaluator of `cpdb_andxor::batch` the engine now routes
+//! through.
+
+use cpdb_andxor::AndXorTree;
+use cpdb_consensus::clustering::CoClusteringWeights;
+use cpdb_model::TupleKey;
+use cpdb_workloads::{random_clustering_tree, ClusteringConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The scored-BID workload both rank-table and tournament measurements run
+/// on (`n` blocks × 2 alternatives, the `scaling_tree` family).
+pub fn rank_workload(n: usize, seed: u64) -> AndXorTree {
+    crate::experiments::scaling_tree(n, seed)
+}
+
+/// The attribute-uncertainty workload the co-clustering measurement runs on
+/// (shared values across keys, so same-value co-occurrences actually occur).
+pub fn clustering_workload(n: usize, seed: u64) -> AndXorTree {
+    random_clustering_tree(&ClusteringConfig {
+        num_tuples: n,
+        num_values: 8,
+        cohesion: 0.7,
+        absence: 0.1,
+        seed,
+    })
+}
+
+/// Legacy rank-PMF table: one per-tuple generating-function sweep per key
+/// (what `TopKContext::new` did before the batch evaluator).
+pub fn legacy_rank_table(tree: &AndXorTree, k: usize) -> HashMap<TupleKey, Vec<f64>> {
+    tree.keys()
+        .into_iter()
+        .map(|key| (key, tree.rank_pmf(key, k)))
+        .collect()
+}
+
+/// Batch rank-PMF table ([`AndXorTree::batch_rank_pmfs`]).
+pub fn batch_rank_table(
+    tree: &AndXorTree,
+    k: usize,
+    threads: usize,
+) -> HashMap<TupleKey, Vec<f64>> {
+    tree.batch_rank_pmfs(k, threads)
+}
+
+/// Legacy Kendall tournament: two generating-function sweeps per ordered
+/// pair (what `preference_matrix` did before the batch evaluator). Row-major
+/// over `keys`.
+pub fn legacy_tournament(tree: &AndXorTree, keys: &[TupleKey]) -> Vec<f64> {
+    let n = keys.len();
+    let mut out = vec![0.0; n * n];
+    for (i, &a) in keys.iter().enumerate() {
+        for (j, &b) in keys.iter().enumerate() {
+            if i != j {
+                out[i * n + j] = tree.pairwise_order_probability(a, b);
+            }
+        }
+    }
+    out
+}
+
+/// Batch Kendall tournament ([`AndXorTree::batch_pairwise_order`]).
+pub fn batch_tournament(tree: &AndXorTree, keys: &[TupleKey], threads: usize) -> Vec<f64> {
+    tree.batch_pairwise_order(keys, threads)
+}
+
+/// Legacy co-clustering weights: one generating-function sweep per pair.
+pub fn legacy_cocluster(tree: &AndXorTree) -> CoClusteringWeights {
+    CoClusteringWeights::from_tree_per_pair(tree)
+}
+
+/// Batch co-clustering weights.
+pub fn batch_cocluster(tree: &AndXorTree, threads: usize) -> CoClusteringWeights {
+    CoClusteringWeights::from_tree_with_parallelism(tree, threads)
+}
+
+/// Largest absolute difference between two rank tables over all keys/ranks.
+pub fn rank_table_max_diff(
+    a: &HashMap<TupleKey, Vec<f64>>,
+    b: &HashMap<TupleKey, Vec<f64>>,
+) -> f64 {
+    let mut max = 0.0f64;
+    for (key, pa) in a {
+        let pb = &b[key];
+        for (x, y) in pa.iter().zip(pb) {
+            max = max.max((x - y).abs());
+        }
+    }
+    max
+}
+
+/// Largest absolute difference between two row-major matrices.
+pub fn matrix_max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Largest absolute difference between two co-clustering weight sets.
+pub fn cocluster_max_diff(a: &CoClusteringWeights, b: &CoClusteringWeights) -> f64 {
+    let keys = a.keys();
+    let mut max = 0.0f64;
+    for (idx, &i) in keys.iter().enumerate() {
+        for &j in keys.iter().skip(idx + 1) {
+            max = max.max((a.weight(i, j) - b.weight(i, j)).abs());
+        }
+    }
+    max
+}
+
+/// Wall-clock of the fastest of `reps` runs of `f`, in milliseconds (the
+/// minimum is the standard cold-build estimator: every run does the full
+/// build, so the minimum is the least-noisy sample).
+pub fn time_best_of_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_and_batch_artifacts_agree_on_a_small_workload() {
+        let tree = rank_workload(24, 11);
+        let keys = tree.keys();
+        assert!(
+            rank_table_max_diff(&legacy_rank_table(&tree, 5), &batch_rank_table(&tree, 5, 1))
+                < 1e-12
+        );
+        assert!(
+            matrix_max_diff(
+                &legacy_tournament(&tree, &keys),
+                &batch_tournament(&tree, &keys, 1)
+            ) < 1e-12
+        );
+        let ctree = clustering_workload(16, 11);
+        assert!(cocluster_max_diff(&legacy_cocluster(&ctree), &batch_cocluster(&ctree, 1)) < 1e-12);
+    }
+}

@@ -32,8 +32,37 @@ pub struct CoClusteringWeights {
 
 impl CoClusteringWeights {
     /// Computes the exact co-clustering probabilities from an and/xor tree,
-    /// including the "both absent" artificial cluster of the paper.
+    /// including the "both absent" artificial cluster of the paper. Uses the
+    /// batch evaluator ([`AndXorTree::batch_cocluster_weights`]) — one shared
+    /// root-path extraction instead of one generating-function sweep per pair
+    /// — with an automatic thread count (`CPDB_THREADS`, then machine
+    /// parallelism).
     pub fn from_tree(tree: &AndXorTree) -> Self {
+        Self::from_tree_with_parallelism(tree, 0)
+    }
+
+    /// [`CoClusteringWeights::from_tree`] with an explicit thread count
+    /// (`0` = auto). The batch evaluator is bit-identical at any thread
+    /// count.
+    pub fn from_tree_with_parallelism(tree: &AndXorTree, threads: usize) -> Self {
+        let keys = tree.keys();
+        let n = keys.len();
+        let matrix = tree.batch_cocluster_weights(&keys, threads);
+        let mut weights = HashMap::new();
+        for (idx, &i) in keys.iter().enumerate() {
+            for (jdx, &j) in keys.iter().enumerate().skip(idx + 1) {
+                let w = matrix[idx * n + jdx];
+                weights.insert((i, j), w);
+                weights.insert((j, i), w);
+            }
+        }
+        CoClusteringWeights { keys, weights }
+    }
+
+    /// The per-pair reference construction (one generating-function sweep per
+    /// pair), kept as the conformance baseline for the batch path and as the
+    /// legacy side of the `rank_artifacts` benchmark.
+    pub fn from_tree_per_pair(tree: &AndXorTree) -> Self {
         let keys = tree.keys();
         let mut weights = HashMap::new();
         for (idx, &i) in keys.iter().enumerate() {
@@ -261,6 +290,23 @@ mod tests {
             }
         }
         total
+    }
+
+    #[test]
+    fn batch_weights_match_the_per_pair_reference() {
+        let tree = attribute_tree();
+        let batch = CoClusteringWeights::from_tree(&tree);
+        let reference = CoClusteringWeights::from_tree_per_pair(&tree);
+        for (idx, &i) in batch.keys().iter().enumerate() {
+            for &j in batch.keys().iter().skip(idx + 1) {
+                assert!(
+                    (batch.weight(i, j) - reference.weight(i, j)).abs() < 1e-12,
+                    "w({i:?},{j:?}): batch {} vs per-pair {}",
+                    batch.weight(i, j),
+                    reference.weight(i, j)
+                );
+            }
+        }
     }
 
     #[test]

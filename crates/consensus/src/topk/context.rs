@@ -24,19 +24,29 @@ pub struct TopKContext {
 
 impl TopKContext {
     /// Builds the context for a Top-k query with the given `k`.
+    ///
+    /// The rank PMFs come from the single-sweep batch evaluator
+    /// ([`AndXorTree::batch_rank_pmfs`]) with an automatic thread count
+    /// (`CPDB_THREADS`, then the machine's parallelism) — one shared
+    /// generating-function sweep instead of one per key.
     pub fn new(tree: &AndXorTree, k: usize) -> Self {
+        Self::new_with_parallelism(tree, k, 0)
+    }
+
+    /// [`TopKContext::new`] with an explicit thread count (`0` = auto). The
+    /// batch evaluator is bit-identical at any thread count, so the context
+    /// does not depend on this knob — only the build time does.
+    pub fn new_with_parallelism(tree: &AndXorTree, k: usize, threads: usize) -> Self {
         let keys = tree.keys();
-        let mut pmf = HashMap::with_capacity(keys.len());
+        let pmf = tree.batch_rank_pmfs(k, threads);
         let mut cdf = HashMap::with_capacity(keys.len());
-        for &key in &keys {
-            let p = tree.rank_pmf(key, k);
+        for (&key, p) in &pmf {
             let mut c = Vec::with_capacity(k);
             let mut acc = 0.0;
-            for &v in &p {
+            for &v in p {
                 acc += v;
                 c.push(acc.min(1.0));
             }
-            pmf.insert(key, p);
             cdf.insert(key, c);
         }
         TopKContext { k, keys, pmf, cdf }

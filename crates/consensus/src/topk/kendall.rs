@@ -29,16 +29,30 @@ use cpdb_rankagg::TopKList;
 use rand::Rng;
 
 /// Builds the pairwise-preference tournament `w(i, j) = Pr(r(t_i) < r(t_j))`
-/// over the given keys, using exact generating-function computations.
+/// over the given keys, using exact generating-function computations via the
+/// batch evaluator ([`AndXorTree::batch_pairwise_order`]): one shared
+/// root-path extraction serves every pair instead of two tree sweeps per
+/// pair. Auto thread count (`CPDB_THREADS`, then machine parallelism).
 pub fn preference_matrix(tree: &AndXorTree, keys: &[TupleKey]) -> PreferenceMatrix {
+    preference_matrix_with_parallelism(tree, keys, 0)
+}
+
+/// [`preference_matrix`] with an explicit thread count (`0` = auto). The
+/// batch evaluator is bit-identical at any thread count.
+pub fn preference_matrix_with_parallelism(
+    tree: &AndXorTree,
+    keys: &[TupleKey],
+    threads: usize,
+) -> PreferenceMatrix {
     let items: Vec<u64> = keys.iter().map(|t| t.0).collect();
+    let weights = tree.batch_pairwise_order(keys, threads);
+    let n = keys.len();
     let mut m = PreferenceMatrix::new(&items);
-    for (idx, &a) in keys.iter().enumerate() {
-        for &b in keys.iter().skip(idx + 1) {
-            let pab = tree.pairwise_order_probability(a, b);
-            let pba = tree.pairwise_order_probability(b, a);
-            m.set_weight(a.0, b.0, pab);
-            m.set_weight(b.0, a.0, pba);
+    for (i, &a) in keys.iter().enumerate() {
+        for (j, &b) in keys.iter().enumerate() {
+            if i != j {
+                m.set_weight(a.0, b.0, weights[i * n + j]);
+            }
         }
     }
     m
@@ -47,11 +61,27 @@ pub fn preference_matrix(tree: &AndXorTree, keys: &[TupleKey]) -> PreferenceMatr
 /// The candidate pool the pivot aggregation works on: the `pool_size` (at
 /// least `k`) most promising tuples by `Pr(r(t) ≤ k)`, in that order.
 pub fn candidate_pool(ctx: &TopKContext, pool_size: usize) -> Vec<TupleKey> {
-    ctx.keys_by_topk_probability()
-        .into_iter()
-        .take(pool_size.max(ctx.k()))
-        .map(|(t, _)| t)
-        .collect()
+    candidate_pool_with_coverage(ctx, pool_size).0
+}
+
+/// [`candidate_pool`] together with the pool's **coverage**: the fraction of
+/// the total Top-k probability mass `Σ_t Pr(r(t) ≤ k)` retained by the pool.
+/// A truncated pool silently drops candidates; the coverage quantifies how
+/// much of the mass the aggregation can still see (`1.0` when nothing was
+/// clipped), so heuristic answers can report it instead of hiding the
+/// truncation.
+pub fn candidate_pool_with_coverage(ctx: &TopKContext, pool_size: usize) -> (Vec<TupleKey>, f64) {
+    let ranked = ctx.keys_by_topk_probability();
+    let total: f64 = ranked.iter().map(|(_, p)| *p).sum();
+    let take = pool_size.max(ctx.k());
+    let retained: f64 = ranked.iter().take(take).map(|(_, p)| *p).sum();
+    let pool = ranked.into_iter().take(take).map(|(t, _)| t).collect();
+    let coverage = if total > 0.0 {
+        (retained / total).min(1.0)
+    } else {
+        1.0
+    };
+    (pool, coverage)
 }
 
 /// Restricts a precomputed pairwise-order tournament to a candidate pool,
@@ -270,6 +300,26 @@ mod tests {
             mean_topk_kendall_pivot(&tree, &ctx, 4, 4, &mut direct_rng),
             mean_topk_kendall_pivot_from_prefs(&ctx, &sub, 4, &mut cached_rng)
         );
+    }
+
+    #[test]
+    fn pool_coverage_reports_retained_topk_mass() {
+        let tree = tree_small();
+        let ctx = TopKContext::new(&tree, 2);
+        // Full pool: nothing clipped.
+        let (pool, coverage) = candidate_pool_with_coverage(&ctx, 4);
+        assert_eq!(pool.len(), 4);
+        assert!((coverage - 1.0).abs() < 1e-12);
+        // Clipped pool: coverage is the retained fraction of Σ Pr(r(t) ≤ k).
+        let (pool, coverage) = candidate_pool_with_coverage(&ctx, 2);
+        assert_eq!(pool.len(), 2);
+        let ranked = ctx.keys_by_topk_probability();
+        let total: f64 = ranked.iter().map(|(_, p)| *p).sum();
+        let retained: f64 = ranked.iter().take(2).map(|(_, p)| *p).sum();
+        assert!((coverage - retained / total).abs() < 1e-12);
+        assert!(coverage < 1.0);
+        // The wrapper returns the same pool.
+        assert_eq!(candidate_pool(&ctx, 2), pool);
     }
 
     #[test]

@@ -63,13 +63,15 @@ pub struct ConsensusEngineBuilder {
     intersection: IntersectionStrategy,
     kendall_distance_samples: usize,
     groupby: Option<GroupByInstance>,
+    threads: usize,
 }
 
 impl ConsensusEngineBuilder {
     /// Starts a builder for the given and/xor tree with default knobs:
     /// seed 0, k-range `1..=n` (the number of distinct tuple keys), exact
     /// intersection assignment, Kendall pivot over the full pool with 8
-    /// trials, and 1024 samples for Kendall expected-distance estimates.
+    /// trials, 1024 samples for Kendall expected-distance estimates, and an
+    /// automatic thread count for artifact builds.
     pub fn new(tree: AndXorTree) -> Self {
         ConsensusEngineBuilder {
             tree,
@@ -79,6 +81,7 @@ impl ConsensusEngineBuilder {
             intersection: IntersectionStrategy::Assignment,
             kendall_distance_samples: 1024,
             groupby: None,
+            threads: 0,
         }
     }
 
@@ -125,6 +128,17 @@ impl ConsensusEngineBuilder {
         self
     }
 
+    /// Thread count used by the batch artifact builds (rank-PMF tables,
+    /// Kendall tournament, co-clustering weights). `0` (the default) means
+    /// "auto": the `CPDB_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism. Answers never depend on this knob —
+    /// the batch evaluators are bit-identical at any thread count; only the
+    /// cold-build latency changes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     pub fn build(self) -> Result<ConsensusEngine, EngineError> {
         let n = self.tree.keys().len();
@@ -154,6 +168,7 @@ impl ConsensusEngineBuilder {
             self.intersection,
             self.kendall_distance_samples,
             self.groupby,
+            self.threads,
         ))
     }
 }

@@ -85,12 +85,19 @@ pub struct ConsensusEngine {
     intersection: IntersectionStrategy,
     kendall_distance_samples: usize,
     groupby: Option<GroupByInstance>,
+    /// Thread count for batch artifact builds (`0` = auto); answers never
+    /// depend on it, only cold-build latency does.
+    threads: usize,
     contexts: HashMap<usize, TopKContext>,
     prefs: Option<PreferenceMatrix>,
     /// Per-`k` Kendall tournaments over the candidate pool (the pool knob is
     /// fixed, so `k` determines the pool contents) — carved from `prefs`
     /// when the full matrix exists, built pool-sized otherwise.
     pool_prefs: HashMap<usize, PreferenceMatrix>,
+    /// Per-`k` candidate-pool coverage (retained fraction of `Σ Pr(r(t) ≤ k)`
+    /// mass), memoised with the pool tournament so warm-cache Kendall queries
+    /// skip the pool recomputation.
+    pool_coverage: HashMap<usize, f64>,
     cocluster: Option<CoClusteringWeights>,
     marginals: Option<HashMap<Alternative, f64>>,
     jaccard_candidates: Option<Vec<(Alternative, f64)>>,
@@ -107,6 +114,7 @@ impl ConsensusEngine {
         intersection: IntersectionStrategy,
         kendall_distance_samples: usize,
         groupby: Option<GroupByInstance>,
+        threads: usize,
     ) -> Self {
         let shape = detect_shape(&tree);
         ConsensusEngine {
@@ -118,9 +126,11 @@ impl ConsensusEngine {
             intersection,
             kendall_distance_samples,
             groupby,
+            threads,
             contexts: HashMap::new(),
             prefs: None,
             pool_prefs: HashMap::new(),
+            pool_coverage: HashMap::new(),
             cocluster: None,
             marginals: None,
             jaccard_candidates: None,
@@ -232,11 +242,11 @@ impl ConsensusEngine {
                         }
                     }
                 };
-                Ok(Answer {
-                    value: Value::World(world),
+                Ok(Answer::new(
+                    Value::World(world),
                     expected_distance,
                     optimality,
-                })
+                ))
             }
             SetMetric::Jaccard => {
                 self.ensure_jaccard_candidates();
@@ -251,11 +261,11 @@ impl ConsensusEngine {
                     (Variant::Median, TreeShape::Bid) => Optimality::Exact,
                     _ => Optimality::Heuristic,
                 };
-                Ok(Answer {
-                    value: Value::World(consensus.world),
-                    expected_distance: consensus.expected_distance,
+                Ok(Answer::new(
+                    Value::World(consensus.world),
+                    consensus.expected_distance,
                     optimality,
-                })
+                ))
             }
         }
     }
@@ -297,19 +307,19 @@ impl ConsensusEngine {
             (TopKMetric::SymmetricDifference, Variant::Mean) => {
                 let answer = sym_diff::mean_topk_sym_diff(ctx);
                 let expected_distance = sym_diff::expected_sym_diff_distance(ctx, &answer);
-                Ok(Answer {
-                    value: Value::TopK(answer),
+                Ok(Answer::new(
+                    Value::TopK(answer),
                     expected_distance,
-                    optimality: Optimality::Exact,
-                })
+                    Optimality::Exact,
+                ))
             }
             (TopKMetric::SymmetricDifference, Variant::Median) => {
                 let median = median_dp::median_topk_sym_diff(&self.tree, ctx);
-                Ok(Answer {
-                    value: Value::TopK(median.answer),
-                    expected_distance: median.expected_distance,
-                    optimality: Optimality::Exact,
-                })
+                Ok(Answer::new(
+                    Value::TopK(median.answer),
+                    median.expected_distance,
+                    Optimality::Exact,
+                ))
             }
             (TopKMetric::Intersection, Variant::Mean) => {
                 let (answer, optimality) = match self.intersection {
@@ -324,46 +334,57 @@ impl ConsensusEngine {
                     ),
                 };
                 let expected_distance = intersection::expected_intersection_distance(ctx, &answer);
-                Ok(Answer {
-                    value: Value::TopK(answer),
+                Ok(Answer::new(
+                    Value::TopK(answer),
                     expected_distance,
                     optimality,
-                })
+                ))
             }
             (TopKMetric::Footrule, Variant::Mean) => {
                 let answer = footrule::mean_topk_footrule(ctx);
                 let expected_distance = footrule::expected_footrule_distance(ctx, &answer);
-                Ok(Answer {
-                    value: Value::TopK(answer),
+                Ok(Answer::new(
+                    Value::TopK(answer),
                     expected_distance,
-                    optimality: Optimality::Exact,
-                })
+                    Optimality::Exact,
+                ))
             }
             (TopKMetric::Kendall, Variant::Mean) => {
                 let mut rng = self.query_rng(query);
                 let n = self.tree.keys().len();
-                let (answer, optimality) = match self.kendall {
+                let (answer, optimality, pool_coverage) = match self.kendall {
                     KendallStrategy::Pivot { pool, trials } => {
                         let pool_size = if pool == 0 { n } else { pool };
-                        // The pool-restricted tournament is deterministic per
-                        // k (the pool knob is fixed), so memoise it: carved
-                        // out of the full matrix when that is cached,
+                        // The pool-restricted tournament — and the pool's
+                        // coverage, the fraction of Σ Pr(r(t) ≤ k) mass it
+                        // retains, reported with the answer so clipped-pool
+                        // heuristics are honest about what the truncation
+                        // discarded — is deterministic per k (the pool knob
+                        // is fixed), so both are memoised: the matrix carved
+                        // out of the full tournament when that is cached,
                         // pool-sized generating-function work otherwise.
                         if let std::collections::hash_map::Entry::Vacant(slot) =
                             self.pool_prefs.entry(k)
                         {
-                            let pool_keys = kendall::candidate_pool(ctx, pool_size);
+                            let (pool_keys, coverage) =
+                                kendall::candidate_pool_with_coverage(ctx, pool_size);
+                            self.pool_coverage.insert(k, coverage);
                             let built = match self.prefs.as_ref() {
                                 Some(full) => kendall::preference_submatrix(full, &pool_keys),
                                 None => {
                                     self.stats.preference_builds += 1;
-                                    kendall::preference_matrix(&self.tree, &pool_keys)
+                                    kendall::preference_matrix_with_parallelism(
+                                        &self.tree,
+                                        &pool_keys,
+                                        self.threads,
+                                    )
                                 }
                             };
                             slot.insert(built);
                         } else {
                             self.stats.preference_hits += 1;
                         }
+                        let coverage = self.pool_coverage[&k];
                         let prefs = &self.pool_prefs[&k];
                         let answer = kendall::mean_topk_kendall_pivot_from_prefs(
                             ctx, prefs, trials, &mut rng,
@@ -376,11 +397,12 @@ impl ConsensusEngine {
                         } else {
                             Optimality::Heuristic
                         };
-                        (answer, optimality)
+                        (answer, optimality, Some(coverage))
                     }
                     KendallStrategy::FootruleProxy => (
                         kendall::mean_topk_kendall_via_footrule(ctx),
                         Optimality::Approx { factor: 2.0 },
+                        None,
                     ),
                 };
                 // Evaluating E[d_K] exactly is exponential: report a seeded
@@ -392,11 +414,11 @@ impl ConsensusEngine {
                     self.kendall_distance_samples,
                     &mut rng,
                 );
-                Ok(Answer {
-                    value: Value::TopK(answer),
-                    expected_distance,
-                    optimality,
-                })
+                let mut answer = Answer::new(Value::TopK(answer), expected_distance, optimality);
+                if let Some(coverage) = pool_coverage {
+                    answer = answer.with_pool_coverage(coverage);
+                }
+                Ok(answer)
             }
             (_, Variant::Median) => unreachable!("rejected above"),
         }
@@ -410,21 +432,21 @@ impl ConsensusEngine {
             Variant::Mean => {
                 let mean = instance.mean_answer();
                 let expected_distance = instance.expected_squared_distance(&mean);
-                Ok(Answer {
-                    value: Value::Counts(mean),
+                Ok(Answer::new(
+                    Value::Counts(mean),
                     expected_distance,
-                    optimality: Optimality::Exact,
-                })
+                    Optimality::Exact,
+                ))
             }
             Variant::Median => {
                 let possible = instance.median_answer_4approx()?;
                 let as_f64: Vec<f64> = possible.counts.iter().map(|&c| c as f64).collect();
                 let expected_distance = instance.expected_squared_distance(&as_f64);
-                Ok(Answer {
-                    value: Value::PossibleCounts(possible),
+                Ok(Answer::new(
+                    Value::PossibleCounts(possible),
                     expected_distance,
-                    optimality: Optimality::Approx { factor: 4.0 },
-                })
+                    Optimality::Approx { factor: 4.0 },
+                ))
             }
         }
     }
@@ -434,11 +456,11 @@ impl ConsensusEngine {
         let weights = self.cocluster.as_ref().expect("ensured above");
         let mut rng = self.query_rng(query);
         let (best, cost) = clustering::pivot_clustering_best_of(weights, restarts, &mut rng);
-        Ok(Answer {
-            value: Value::Clustering(best),
-            expected_distance: cost,
-            optimality: Optimality::Approx { factor: 2.0 },
-        })
+        Ok(Answer::new(
+            Value::Clustering(best),
+            cost,
+            Optimality::Approx { factor: 2.0 },
+        ))
     }
 
     fn run_baseline(&mut self, query: &Query, kind: BaselineKind) -> Result<Answer, EngineError> {
@@ -487,11 +509,11 @@ impl ConsensusEngine {
         // Baselines are scored under d_Δ so they are directly comparable with
         // the consensus answer (which minimises it).
         let expected_distance = sym_diff::expected_sym_diff_distance(ctx, &answer);
-        Ok(Answer {
-            value: Value::TopK(answer),
+        Ok(Answer::new(
+            Value::TopK(answer),
             expected_distance,
-            optimality: Optimality::Heuristic,
-        })
+            Optimality::Heuristic,
+        ))
     }
 
     // ---- cache management --------------------------------------------------
@@ -508,7 +530,10 @@ impl ConsensusEngine {
         if self.contexts.contains_key(&k) {
             self.stats.rank_context_hits += 1;
         } else {
-            self.contexts.insert(k, TopKContext::new(&self.tree, k));
+            self.contexts.insert(
+                k,
+                TopKContext::new_with_parallelism(&self.tree, k, self.threads),
+            );
             self.stats.rank_context_builds += 1;
         }
     }
@@ -517,7 +542,11 @@ impl ConsensusEngine {
         if self.prefs.is_some() {
             self.stats.preference_hits += 1;
         } else {
-            self.prefs = Some(kendall::preference_matrix(&self.tree, &self.tree.keys()));
+            self.prefs = Some(kendall::preference_matrix_with_parallelism(
+                &self.tree,
+                &self.tree.keys(),
+                self.threads,
+            ));
             self.stats.preference_builds += 1;
         }
     }
@@ -526,7 +555,10 @@ impl ConsensusEngine {
         if self.cocluster.is_some() {
             self.stats.coclustering_hits += 1;
         } else {
-            self.cocluster = Some(CoClusteringWeights::from_tree(&self.tree));
+            self.cocluster = Some(CoClusteringWeights::from_tree_with_parallelism(
+                &self.tree,
+                self.threads,
+            ));
             self.stats.coclustering_builds += 1;
         }
     }
@@ -758,6 +790,8 @@ mod tests {
         let direct =
             kendall::mean_topk_kendall_pivot(engine.tree(), &ctx, ctx.keys().len(), 8, &mut rng);
         assert_eq!(a.value.as_topk().unwrap(), &direct);
+        // The full pool clips nothing: coverage 1.
+        assert_eq!(a.diagnostics.pool_coverage, Some(1.0));
         // Determinism: running the same query again gives the same answer.
         assert_eq!(engine.run(&q).unwrap(), a);
     }
@@ -983,8 +1017,14 @@ mod tests {
         let mut rng = engine.query_rng(&q);
         let direct = kendall::mean_topk_kendall_pivot(&tree, &ctx, 2, 4, &mut rng);
         assert_eq!(a.value.as_topk().unwrap(), &direct);
-        // A restricted pool can exclude the optimum, so no factor-2 claim.
+        // A restricted pool can exclude the optimum, so no factor-2 claim —
+        // and the answer reports how much Pr(r(t) ≤ k) mass the clipped pool
+        // retained.
         assert_eq!(a.optimality, Optimality::Heuristic);
+        let coverage = a.diagnostics.pool_coverage.expect("pivot reports coverage");
+        assert!(coverage < 1.0, "clipped pool must report partial coverage");
+        let (_, direct_coverage) = kendall::candidate_pool_with_coverage(&ctx, 2);
+        assert!((coverage - direct_coverage).abs() < 1e-12);
         // The full n² tournament was never built: only the pool-sized matrix
         // was paid for, and a repeated query is served from its cache.
         assert_eq!(engine.cache_stats().preference_builds, 1);

@@ -68,7 +68,7 @@ mod engine;
 mod error;
 mod query;
 
-pub use answer::{Answer, Optimality, Value};
+pub use answer::{Answer, Diagnostics, Optimality, Value};
 pub use builder::{ConsensusEngineBuilder, IntersectionStrategy, KendallStrategy};
 pub use engine::{CacheStats, ConsensusEngine};
 pub use error::EngineError;

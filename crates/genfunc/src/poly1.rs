@@ -50,11 +50,13 @@ impl Poly1 {
     /// Builds a polynomial from a coefficient vector (`coeffs[i]` is the
     /// coefficient of `x^i`). An empty vector yields the zero polynomial.
     pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
-        if coeffs.is_empty() {
+        let poly = if coeffs.is_empty() {
             Self::zero()
         } else {
             Poly1 { coeffs }
-        }
+        };
+        poly.debug_assert_invariants();
+        poly
     }
 
     /// The coefficient of `x^i` (zero when `i` exceeds the stored degree).
@@ -85,6 +87,13 @@ impl Poly1 {
     /// zero.
     pub fn is_empty(&self) -> bool {
         self.coeffs.iter().all(|&c| c == 0.0)
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the existing
+    /// coefficient buffer (no allocation once the buffer is large enough).
+    pub fn copy_from(&mut self, other: &Poly1) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(&other.coeffs);
     }
 
     /// Removes trailing exactly-zero coefficients (keeps at least one).
@@ -168,6 +177,53 @@ impl Poly1 {
         Poly1 { coeffs: out }
     }
 
+    /// In-place truncated product `self ← self · other` through a caller-
+    /// provided scratch buffer, so hot batch loops never allocate per
+    /// multiply: the product is written into `scratch` (cleared and resized
+    /// as needed) and swapped into `self`. The coefficient arithmetic and its
+    /// order are identical to [`Poly1::mul_truncated`], so the results are
+    /// bit-identical to the allocating path.
+    pub fn mul_assign_truncated(
+        &mut self,
+        other: &Poly1,
+        trunc: Truncation,
+        scratch: &mut Vec<f64>,
+    ) {
+        let natural = self.coeffs.len() + other.coeffs.len() - 2;
+        let cap = trunc.cap(natural);
+        scratch.clear();
+        scratch.resize(cap + 1, 0.0);
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if i > cap || a == 0.0 {
+                continue;
+            }
+            let jmax = (cap - i).min(other.coeffs.len() - 1);
+            for (j, &b) in other.coeffs.iter().enumerate().take(jmax + 1) {
+                scratch[i + j] += a * b;
+            }
+        }
+        std::mem::swap(&mut self.coeffs, scratch);
+        self.debug_assert_invariants();
+    }
+
+    /// Debug-build invariant check: the coefficient vector is never empty and
+    /// every coefficient is finite. Probability-valued generating functions
+    /// additionally keep coefficients in `[-ε, 1 + ε]`; that stronger check
+    /// lives at the call sites that know they hold probabilities (see
+    /// [`crate::clamp_probability`]).
+    #[inline]
+    pub fn debug_assert_invariants(&self) {
+        debug_assert!(
+            !self.coeffs.is_empty(),
+            "Poly1 invariant violated: empty coefficient vector"
+        );
+        debug_assert!(
+            self.coeffs.iter().all(|c| c.is_finite()),
+            "Poly1 invariant violated: non-finite coefficient in {:?}",
+            self.coeffs
+        );
+    }
+
     /// Multiplies by the Bernoulli leaf `q + p·x` in place, truncated.
     ///
     /// This is the hot path when evaluating a generating function over a tree
@@ -209,6 +265,7 @@ impl Poly1 {
         for (w, p) in children {
             out.add_scaled_assign(p, *w);
         }
+        out.debug_assert_invariants();
         out
     }
 }
@@ -329,6 +386,31 @@ mod tests {
         assert_eq!(b.len(), 3);
         for i in 0..3 {
             assert!(approx_eq(b.coeff(i), expected.coeff(i)), "i={i}");
+        }
+    }
+
+    #[test]
+    fn mul_assign_truncated_bit_matches_mul_truncated() {
+        let a = Poly1::from_coeffs(vec![0.1, 0.2, 0.3, 0.4]);
+        let b = Poly1::from_coeffs(vec![0.5, 0.25, 0.25]);
+        for trunc in [
+            Truncation::None,
+            Truncation::Degree(2),
+            Truncation::Degree(0),
+        ] {
+            let expected = a.mul_truncated(&b, trunc);
+            let mut got = a.clone();
+            let mut scratch = Vec::new();
+            got.mul_assign_truncated(&b, trunc, &mut scratch);
+            assert_eq!(got.len(), expected.len());
+            for i in 0..expected.len() {
+                assert_eq!(got.coeff(i).to_bits(), expected.coeff(i).to_bits(), "i={i}");
+            }
+            // The swapped-out buffer is reusable: a second product must not
+            // be polluted by stale coefficients.
+            let mut again = a.clone();
+            again.mul_assign_truncated(&b, trunc, &mut scratch);
+            assert_eq!(again, got);
         }
     }
 

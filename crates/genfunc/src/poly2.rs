@@ -222,13 +222,34 @@ impl Poly2 {
     /// Product keeping only coefficients with `x`-degree within `trunc_x` and
     /// `y`-degree within `trunc_y`.
     pub fn mul_truncated(&self, other: &Poly2, trunc_x: Truncation, trunc_y: Truncation) -> Self {
+        let mut out = Poly2::zero();
+        self.mul_truncated_into(other, trunc_x, trunc_y, &mut out);
+        out
+    }
+
+    /// Truncated product written into a reusable output polynomial: `out`'s
+    /// coefficient buffer is cleared and resized in place, so repeated
+    /// products (the ∧-node accumulation of a tree sweep) stop allocating
+    /// once the buffer has grown to its steady-state size. The coefficient
+    /// arithmetic and its order are identical to [`Poly2::mul_truncated`],
+    /// so results are bit-identical to the allocating path.
+    pub fn mul_truncated_into(
+        &self,
+        other: &Poly2,
+        trunc_x: Truncation,
+        trunc_y: Truncation,
+        out: &mut Poly2,
+    ) {
         let natural_x = self.rows + other.rows - 2;
         let natural_y = self.cols + other.cols - 2;
         let cap_x = trunc_x.cap(natural_x);
         let cap_y = trunc_y.cap(natural_y);
         let rows = cap_x + 1;
         let cols = cap_y + 1;
-        let mut data = vec![0.0; rows * cols];
+        out.rows = rows;
+        out.cols = cols;
+        out.data.clear();
+        out.data.resize(rows * cols, 0.0);
         for ai in 0..self.rows {
             if ai > cap_x {
                 break;
@@ -246,12 +267,33 @@ impl Poly2 {
                 for bi in 0..=bi_max {
                     let base = (ai + bi) * cols + aj;
                     for bj in 0..=bj_max {
-                        data[base + bj] += a * other.data[bi * other.cols + bj];
+                        out.data[base + bj] += a * other.data[bi * other.cols + bj];
                     }
                 }
             }
         }
-        Poly2 { rows, cols, data }
+        out.debug_assert_invariants();
+    }
+
+    /// Debug-build invariant check: the coefficient matrix is exactly
+    /// `rows × cols`, non-degenerate, and every coefficient is finite.
+    #[inline]
+    pub fn debug_assert_invariants(&self) {
+        debug_assert!(
+            self.rows >= 1 && self.cols >= 1,
+            "Poly2 invariant violated: degenerate shape {}×{}",
+            self.rows,
+            self.cols
+        );
+        debug_assert_eq!(
+            self.data.len(),
+            self.rows * self.cols,
+            "Poly2 invariant violated: buffer does not match shape"
+        );
+        debug_assert!(
+            self.data.iter().all(|c| c.is_finite()),
+            "Poly2 invariant violated: non-finite coefficient"
+        );
     }
 
     /// Multiplies in place by the linear leaf polynomial
@@ -402,6 +444,32 @@ mod tests {
         }
         assert_eq!(t.rows(), 2);
         assert_eq!(t.cols(), 2);
+    }
+
+    #[test]
+    fn mul_truncated_into_reuses_buffer_and_bit_matches() {
+        let a = Poly2::from_matrix(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let b = Poly2::from_matrix(vec![vec![0.5, 0.1], vec![0.2, 0.2]]);
+        let mut out = Poly2::from_matrix(vec![vec![9.0; 5]; 5]); // stale junk
+        for (tx, ty) in [
+            (Truncation::None, Truncation::None),
+            (Truncation::Degree(1), Truncation::Degree(1)),
+            (Truncation::Degree(0), Truncation::None),
+        ] {
+            let expected = a.mul_truncated(&b, tx, ty);
+            a.mul_truncated_into(&b, tx, ty, &mut out);
+            assert_eq!(out.rows(), expected.rows());
+            assert_eq!(out.cols(), expected.cols());
+            for i in 0..expected.rows() {
+                for j in 0..expected.cols() {
+                    assert_eq!(
+                        out.coeff(i, j).to_bits(),
+                        expected.coeff(i, j).to_bits(),
+                        "({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -350,6 +350,122 @@ pub fn check_clustering(tree: &AndXorTree, seed: u64) -> usize {
     checks + 2
 }
 
+/// Batch ↔ per-tuple generating-function equivalence: the single-sweep batch
+/// evaluator (`batch_rank_pmfs`, `batch_pairwise_order`,
+/// `batch_cocluster_weights`) must agree with the per-tuple reference paths
+/// within `1e-12`, with the brute-force possible-worlds oracle within
+/// [`TOL`], and must be **bit-identical at any thread count**.
+pub fn check_batch_genfunc(tree: &AndXorTree) -> usize {
+    const BATCH_TOL: f64 = 1e-12;
+    let ws = tree.enumerate_worlds();
+    let keys = tree.keys();
+    let n = keys.len();
+    let mut checks = 0;
+
+    // --- Rank PMFs: batch vs per-tuple vs enumeration, at k = 1 and k = n.
+    for k in [1usize, n] {
+        let batch = tree.batch_rank_pmfs(k, 1);
+        for &key in &keys {
+            let per_tuple = tree.rank_pmf(key, k);
+            for i in 0..k {
+                assert!(
+                    (batch[&key][i] - per_tuple[i]).abs() < BATCH_TOL,
+                    "batch rank pmf diverges from per-tuple: key {key:?} rank {} ({} vs {})",
+                    i + 1,
+                    batch[&key][i],
+                    per_tuple[i]
+                );
+                let brute: f64 = ws
+                    .worlds()
+                    .iter()
+                    .filter(|(w, _)| w.rank_of(key) == Some(i + 1))
+                    .map(|(_, p)| *p)
+                    .sum();
+                assert_close("batch rank pmf vs worlds oracle", batch[&key][i], brute);
+                checks += 2;
+            }
+        }
+        // Thread-count invariance is bit-exact, not just within tolerance.
+        let threaded = tree.batch_rank_pmfs(k, 3);
+        for &key in &keys {
+            for i in 0..k {
+                assert_eq!(
+                    batch[&key][i].to_bits(),
+                    threaded[&key][i].to_bits(),
+                    "batch rank pmf depends on the thread count (key {key:?}, rank {})",
+                    i + 1
+                );
+            }
+        }
+        checks += 1;
+    }
+
+    // --- Pairwise order: batch vs per-pair vs enumeration.
+    let batch = tree.batch_pairwise_order(&keys, 1);
+    let threaded = tree.batch_pairwise_order(&keys, 3);
+    for (x, y) in batch.iter().zip(&threaded) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "batch pairwise order depends on the thread count"
+        );
+    }
+    checks += 1;
+    for (i, &a) in keys.iter().enumerate() {
+        for (j, &b) in keys.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let got = batch[i * n + j];
+            let per_pair = tree.pairwise_order_probability(a, b);
+            assert!(
+                (got - per_pair).abs() < BATCH_TOL,
+                "batch pairwise order diverges from per-pair: Pr(r({a:?}) < r({b:?})) \
+                 {got} vs {per_pair}"
+            );
+            let brute = ws.expectation(|w| match (w.rank_of(a), w.rank_of(b)) {
+                (Some(ra), Some(rb)) => f64::from(ra < rb),
+                (Some(_), None) => 1.0,
+                _ => 0.0,
+            });
+            assert_close("batch pairwise order vs worlds oracle", got, brute);
+            checks += 2;
+        }
+    }
+
+    // --- Co-clustering weights: batch vs per-pair reference vs enumeration.
+    let batch = clustering::CoClusteringWeights::from_tree_with_parallelism(tree, 1);
+    let per_pair = clustering::CoClusteringWeights::from_tree_per_pair(tree);
+    let threaded = clustering::CoClusteringWeights::from_tree_with_parallelism(tree, 3);
+    for (idx, &i) in keys.iter().enumerate() {
+        for &j in keys.iter().skip(idx + 1) {
+            assert!(
+                (batch.weight(i, j) - per_pair.weight(i, j)).abs() < BATCH_TOL,
+                "batch cocluster weight diverges from per-pair: w({i:?},{j:?}) {} vs {}",
+                batch.weight(i, j),
+                per_pair.weight(i, j)
+            );
+            assert_eq!(
+                batch.weight(i, j).to_bits(),
+                threaded.weight(i, j).to_bits(),
+                "batch cocluster weight depends on the thread count"
+            );
+            let brute = ws.expectation(|w| match (w.value_of(i), w.value_of(j)) {
+                (Some(a), Some(b)) => f64::from(a == b),
+                (None, None) => 1.0,
+                _ => 0.0,
+            });
+            assert_close(
+                "batch cocluster weight vs worlds oracle",
+                batch.weight(i, j),
+                brute,
+            );
+            checks += 3;
+        }
+    }
+    checks
+}
+
 /// Engine ↔ direct equivalence: every [`Query`] variant executed through a
 /// [`cpdb_engine::ConsensusEngine`] must return **bit-identical** results to
 /// the free functions it unifies (replaying the engine's per-query RNG stream
@@ -631,8 +747,10 @@ pub struct ConformanceSummary {
 /// Runs every conformance check against the full fixture family for one
 /// seed: set consensus and Jaccard on tuple-independent instances, all Top-k
 /// algorithms on BID trees (k = 1..3) and tuple-independent trees, aggregates
-/// on group-by instances, clustering on attribute-uncertainty trees, and the
-/// engine ↔ free-function equivalence sweep on both tree families.
+/// on group-by instances, clustering on attribute-uncertainty trees, the
+/// batch ↔ per-tuple generating-function equivalence on all three tree
+/// families, and the engine ↔ free-function equivalence sweep on both ranked
+/// tree families.
 pub fn run_seed(seed: u64) -> ConformanceSummary {
     let ti_db = fixtures::small_tuple_independent(seed);
     let ti_tree = fixtures::small_tuple_independent_tree(seed);
@@ -652,6 +770,9 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_kendall(&ti_tree, 2, seed);
     checks += check_aggregate(&fixtures::small_groupby(seed));
     checks += check_clustering(&fixtures::small_clustering_tree(seed), seed);
+    checks += check_batch_genfunc(&ti_tree);
+    checks += check_batch_genfunc(&bid_tree);
+    checks += check_batch_genfunc(&fixtures::small_clustering_tree(seed));
     let groupby = fixtures::small_groupby(seed);
     checks += check_engine(&bid_tree, &groupby, seed);
     checks += check_engine(&ti_tree, &groupby, seed);

@@ -1,0 +1,63 @@
+//! Property-based conformance for the batch generating-function evaluator:
+//! on randomly generated and/xor trees (exercising nested ∧ bundles under ∨
+//! choices, multi-alternative blocks, and sub-unit block masses), the batch
+//! paths must agree with the per-tuple reference functions within `1e-12`
+//! and with the brute-force possible-worlds oracle via
+//! [`cpdb_testkit::conformance::check_batch_genfunc`].
+
+use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_testkit::conformance::check_batch_genfunc;
+use proptest::prelude::*;
+
+/// Strategy: a random two-level and/xor tree — a root ∧ node over blocks,
+/// where each block is an ∨ node over either plain leaves or small ∧ bundles
+/// of leaves, with scores drawn so that some collide across keys (equal-score
+/// tie-breaks are exercised too).
+fn random_tree() -> impl Strategy<Value = AndXorTree> {
+    prop::collection::vec(
+        prop::collection::vec((1usize..=2, 0.05f64..1.0, 0usize..6), 1..3),
+        1..5,
+    )
+    .prop_map(|blocks| {
+        let mut b = AndXorTreeBuilder::new();
+        let mut key = 0u64;
+        let mut xors = Vec::new();
+        for block in &blocks {
+            let total: f64 = block.iter().map(|(_, w, _)| *w).sum::<f64>() * 1.25;
+            let mut edges = Vec::new();
+            for (bundle, w, score_bucket) in block {
+                let leaves: Vec<_> = (0..*bundle)
+                    .map(|_| {
+                        key += 1;
+                        // A small score alphabet forces cross-key score
+                        // collisions, exercising the key tie-break.
+                        b.leaf_parts(key, *score_bucket as f64)
+                    })
+                    .collect();
+                let node = if leaves.len() == 1 {
+                    leaves[0]
+                } else {
+                    b.and_node(leaves)
+                };
+                edges.push((node, w / total));
+            }
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root)
+            .expect("construction keeps keys disjoint and mass ≤ 1")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch rank PMFs, pairwise order, and co-clustering weights match the
+    /// per-tuple paths, the worlds oracle, and thread-count bit-identity on
+    /// random trees.
+    #[test]
+    fn batch_genfunc_conforms_on_random_trees(tree in random_tree()) {
+        let checks = check_batch_genfunc(&tree);
+        prop_assert!(checks > 0, "conformance performed no assertions");
+    }
+}

@@ -16,7 +16,9 @@
 //!   query API with cached artifacts and batch execution;
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
-//! * [`andxor`] — the probabilistic and/xor tree;
+//! * [`andxor`] — the probabilistic and/xor tree (including the single-sweep
+//!   batch evaluator behind the engine's artifact builds);
+//! * [`parallel`] — minimal fork-join helpers (`CPDB_THREADS`);
 //! * [`assignment`] — Hungarian algorithm and min-cost flow;
 //! * [`rankagg`] — Top-k list types, distance metrics, rank aggregation;
 //! * [`consensus`] — the consensus-answer algorithms themselves;
@@ -70,6 +72,7 @@ pub use cpdb_consensus as consensus;
 pub use cpdb_engine as engine;
 pub use cpdb_genfunc as genfunc;
 pub use cpdb_model as model;
+pub use cpdb_parallel as parallel;
 pub use cpdb_rankagg as rankagg;
 pub use cpdb_workloads as workloads;
 

@@ -6,7 +6,7 @@
 //! suite certifies.
 
 use consensus_pdb::engine::{ConsensusEngineBuilder, EngineError, Query, TopKMetric, Variant};
-use cpdb_testkit::conformance::check_engine;
+use cpdb_testkit::conformance::{check_batch_genfunc, check_engine};
 use cpdb_testkit::fixtures;
 
 const SEEDS: std::ops::Range<u64> = 0..16;
@@ -26,6 +26,24 @@ fn engine_matches_direct_algorithms_on_the_seed_sweep() {
     assert!(
         total_checks >= 16 * 2 * 30,
         "engine equivalence sweep shrank to {total_checks} checks"
+    );
+}
+
+#[test]
+fn batch_genfunc_matches_per_tuple_paths_on_the_seed_sweep() {
+    // The engine's cached artifacts are now built by the single-sweep batch
+    // evaluator; this pins it to the per-tuple reference paths (within
+    // 1e-12), to the brute-force worlds oracle, and to thread-count
+    // bit-identity across the same fixture sweep the engine gate runs on.
+    let mut total_checks = 0;
+    for seed in SEEDS {
+        total_checks += check_batch_genfunc(&fixtures::small_bid_tree(seed));
+        total_checks += check_batch_genfunc(&fixtures::small_tuple_independent_tree(seed));
+        total_checks += check_batch_genfunc(&fixtures::small_clustering_tree(seed));
+    }
+    assert!(
+        total_checks >= 16 * 3 * 20,
+        "batch conformance sweep shrank to {total_checks} checks"
     );
 }
 
