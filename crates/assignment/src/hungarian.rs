@@ -33,6 +33,11 @@ pub struct Assignment {
 /// have the same length. When `rows ≤ cols`, every row is matched; otherwise
 /// every column is matched. Entries may be any finite `f64`.
 ///
+/// Convenience wrapper over [`min_cost_assignment_flat`] for callers that
+/// already hold a nested matrix; hot paths that build the matrix themselves
+/// should build it row-major and call the flat variant directly, skipping the
+/// per-row allocations.
+///
 /// # Panics
 ///
 /// Panics if the matrix is empty or ragged, or contains non-finite values.
@@ -42,19 +47,44 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Assignment {
     assert!(cols > 0, "cost matrix must have at least one column");
     for row in cost {
         assert_eq!(row.len(), cols, "cost matrix must be rectangular");
-        for &c in row {
-            assert!(c.is_finite(), "cost entries must be finite");
-        }
     }
-    let rows = cost.len();
+    let flat: Vec<f64> = cost.iter().flat_map(|row| row.iter().copied()).collect();
+    min_cost_assignment_flat(&flat, cost.len(), cols)
+}
+
+/// Minimum-cost assignment of a row-major flat cost matrix: `cost[i * cols +
+/// j]` is the cost of assigning row `i` to column `j`. Semantics are those of
+/// [`min_cost_assignment`]; the flat layout avoids the per-row allocations
+/// and pointer-chasing of `&[Vec<f64>]`, which matters when the caller builds
+/// a fresh n×k matrix per query (the footrule and intersection consensus
+/// solvers).
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0`, `cost.len() != rows * cols`, or any
+/// entry is non-finite.
+pub fn min_cost_assignment_flat(cost: &[f64], rows: usize, cols: usize) -> Assignment {
+    assert!(rows > 0, "cost matrix must have at least one row");
+    assert!(cols > 0, "cost matrix must have at least one column");
+    assert_eq!(
+        cost.len(),
+        rows * cols,
+        "flat cost matrix must hold exactly rows * cols entries"
+    );
+    for &c in cost {
+        assert!(c.is_finite(), "cost entries must be finite");
+    }
     if rows <= cols {
         solve(cost, rows, cols)
     } else {
         // Transpose so the smaller side drives the augmentation, then swap
         // the answer back.
-        let transposed: Vec<Vec<f64>> = (0..cols)
-            .map(|j| (0..rows).map(|i| cost[i][j]).collect())
-            .collect();
+        let mut transposed = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                transposed[j * rows + i] = cost[i * cols + j];
+            }
+        }
         let a = solve(&transposed, cols, rows);
         Assignment {
             row_to_col: a.col_to_row,
@@ -67,18 +97,28 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Assignment {
 /// Maximum-profit assignment (negates the matrix and calls
 /// [`min_cost_assignment`]).
 pub fn max_profit_assignment(profit: &[Vec<f64>]) -> Assignment {
-    let negated: Vec<Vec<f64>> = profit
-        .iter()
-        .map(|row| row.iter().map(|&p| -p).collect())
-        .collect();
-    let mut a = min_cost_assignment(&negated);
+    assert!(!profit.is_empty(), "cost matrix must have at least one row");
+    let cols = profit[0].len();
+    for row in profit {
+        assert_eq!(row.len(), cols, "cost matrix must be rectangular");
+    }
+    let flat: Vec<f64> = profit.iter().flat_map(|row| row.iter().copied()).collect();
+    max_profit_assignment_flat(&flat, profit.len(), cols)
+}
+
+/// Maximum-profit assignment on a row-major flat matrix (negates and calls
+/// [`min_cost_assignment_flat`]).
+pub fn max_profit_assignment_flat(profit: &[f64], rows: usize, cols: usize) -> Assignment {
+    let negated: Vec<f64> = profit.iter().map(|&p| -p).collect();
+    let mut a = min_cost_assignment_flat(&negated, rows, cols);
     a.objective = -a.objective;
     a
 }
 
-/// Core O(n²·m) Hungarian algorithm for `n ≤ m` (every row gets matched).
-/// Standard potentials formulation with 1-based internal indexing.
-fn solve(cost: &[Vec<f64>], n: usize, m: usize) -> Assignment {
+/// Core O(n²·m) Hungarian algorithm for `n ≤ m` (every row gets matched), on
+/// a row-major flat matrix. Standard potentials formulation with 1-based
+/// internal indexing.
+fn solve(cost: &[f64], n: usize, m: usize) -> Assignment {
     const INF: f64 = f64::INFINITY;
     // Potentials for rows (u) and columns (v); way[j] = the column preceding
     // j on the shortest augmenting path; p[j] = the row matched to column j.
@@ -101,7 +141,7 @@ fn solve(cost: &[Vec<f64>], n: usize, m: usize) -> Assignment {
                 if used[j] {
                     continue;
                 }
-                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                let cur = cost[(i0 - 1) * m + (j - 1)] - u[i0] - v[j];
                 if cur < minv[j] {
                     minv[j] = cur;
                     way[j] = j0;
@@ -143,7 +183,7 @@ fn solve(cost: &[Vec<f64>], n: usize, m: usize) -> Assignment {
             let i = p[j] - 1;
             row_to_col[i] = Some(j - 1);
             col_to_row[j - 1] = Some(i);
-            objective += cost[i][j - 1];
+            objective += cost[i * m + (j - 1)];
         }
     }
     Assignment {
@@ -280,6 +320,33 @@ mod tests {
                 a.objective
             );
         }
+    }
+
+    #[test]
+    fn flat_and_nested_variants_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..40 {
+            let rows = rng.gen_range(1..=7);
+            let cols = rng.gen_range(1..=7);
+            let nested: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let flat: Vec<f64> = nested.iter().flatten().copied().collect();
+            let a = min_cost_assignment(&nested);
+            let b = min_cost_assignment_flat(&flat, rows, cols);
+            assert_eq!(a, b, "trial {trial}: flat and nested solutions diverge");
+            let p = max_profit_assignment(&nested);
+            let q = max_profit_assignment_flat(&flat, rows, cols);
+            assert_eq!(p, q, "trial {trial}: flat and nested profit diverge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * cols")]
+    fn flat_length_mismatch_panics() {
+        min_cost_assignment_flat(&[1.0, 2.0, 3.0], 2, 2);
     }
 
     #[test]

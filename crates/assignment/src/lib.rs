@@ -14,7 +14,9 @@
 //! This crate provides both solvers, self-contained and dependency-free:
 //!
 //! * [`hungarian::min_cost_assignment`] / [`hungarian::max_profit_assignment`]
-//!   — the O(n³) Hungarian algorithm on rectangular matrices;
+//!   — the O(n³) Hungarian algorithm on rectangular matrices, with row-major
+//!   flat-buffer variants ([`hungarian::min_cost_assignment_flat`]) that skip
+//!   the per-row allocations on the hot n×k consensus matrices;
 //! * [`mincostflow::MinCostFlow`] — successive-shortest-path min-cost
 //!   max-flow with support for edge lower bounds and exact flow values.
 
@@ -24,5 +26,8 @@
 pub mod hungarian;
 pub mod mincostflow;
 
-pub use hungarian::{max_profit_assignment, min_cost_assignment, Assignment};
+pub use hungarian::{
+    max_profit_assignment, max_profit_assignment_flat, min_cost_assignment,
+    min_cost_assignment_flat, Assignment,
+};
 pub use mincostflow::{FlowError, MinCostFlow, MinCostFlowSolution};

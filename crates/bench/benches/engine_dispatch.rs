@@ -59,7 +59,7 @@ fn bench_engine_dispatch(c: &mut Criterion) {
                 &(&tree, &queries),
                 |b, (tree, queries)| {
                     b.iter(|| {
-                        let mut engine = ConsensusEngineBuilder::new((*tree).clone())
+                        let engine = ConsensusEngineBuilder::new((*tree).clone())
                             .seed(7)
                             .kendall_distance_samples(64)
                             .build()
@@ -100,7 +100,7 @@ fn bench_engine_dispatch(c: &mut Criterion) {
         for &k in &[5usize, 10] {
             let tree = scaling_tree(n, 7);
             let queries = full_metric_batch(k);
-            let mut warm = ConsensusEngineBuilder::new(tree)
+            let warm = ConsensusEngineBuilder::new(tree)
                 .seed(7)
                 .kendall_distance_samples(64)
                 .build()

@@ -181,7 +181,7 @@ pub fn set_distance_validation_table() -> Table {
         });
         let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
         let ws = db.enumerate_worlds();
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         let answer = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::SymmetricDifference,
@@ -245,7 +245,7 @@ pub fn jaccard_validation_table() -> Table {
         });
         let ws = db.enumerate_worlds();
         let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         let answer = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::Jaccard,
@@ -301,7 +301,7 @@ pub fn topk_sym_diff_validation_table() -> Table {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
             let answer = engine
                 .run(&Query::TopK {
@@ -357,7 +357,7 @@ pub fn topk_median_tables() -> Vec<Table> {
     for &seed in &VALIDATION_SEEDS {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
             let answer = engine
                 .run(&Query::TopK {
@@ -424,8 +424,8 @@ pub fn topk_intersection_tables() -> Vec<Table> {
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
         // Two engines over the same tree: the exact assignment solver and the
         // Υ_H shortcut, selected by the builder's approximation knob.
-        let mut exact_engine = validation_engine(tree.clone(), seed);
-        let mut upsilon_engine = ConsensusEngineBuilder::new(tree)
+        let exact_engine = validation_engine(tree.clone(), seed);
+        let upsilon_engine = ConsensusEngineBuilder::new(tree)
             .seed(seed)
             .intersection_strategy(IntersectionStrategy::Harmonic)
             .build()
@@ -492,7 +492,7 @@ pub fn topk_footrule_tables() -> Vec<Table> {
         let tree = small_tree(seed);
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         for k in [2usize, 3] {
             let answer = engine
                 .run(&Query::TopK {
@@ -550,8 +550,8 @@ pub fn topk_kendall_table() -> Table {
         let ws = tree.enumerate_worlds();
         let items: Vec<u64> = tree.keys().iter().map(|t| t.0).collect();
         // One engine per Kendall strategy knob.
-        let mut pivot_engine = validation_engine(tree.clone(), seed);
-        let mut proxy_engine = ConsensusEngineBuilder::new(tree)
+        let pivot_engine = validation_engine(tree.clone(), seed);
+        let proxy_engine = ConsensusEngineBuilder::new(tree)
             .seed(seed)
             .kendall_strategy(KendallStrategy::FootruleProxy)
             .build()
@@ -662,7 +662,7 @@ pub fn aggregate_tables() -> Vec<Table> {
             seed,
         });
         let inst = GroupByInstance::new(probs.clone()).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
+        let engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
             .seed(seed)
             .groupby(inst.clone())
             .build()
@@ -723,7 +723,7 @@ pub fn clustering_tables() -> Vec<Table> {
             absence: 0.1,
             seed,
         });
-        let mut engine = validation_engine(tree, seed);
+        let engine = validation_engine(tree, seed);
         let answer = engine
             .run(&Query::Clustering { restarts: 32 })
             .expect("supported");
@@ -749,7 +749,7 @@ pub fn clustering_tables() -> Vec<Table> {
             absence: 0.1,
             seed: 17,
         });
-        let mut engine = validation_engine(tree, 17);
+        let engine = validation_engine(tree, 17);
         let start = Instant::now();
         let _ = engine.coclustering_weights();
         let t_weights = start.elapsed().as_secs_f64();
@@ -779,7 +779,7 @@ pub fn baselines_table() -> Table {
     );
     let tree = scaling_tree(300, 21);
     let k = 10;
-    let mut engine = validation_engine(tree, 7);
+    let engine = validation_engine(tree, 7);
     // Consensus answers and baselines flow through one heterogeneous batch;
     // the rank-probability PMFs are computed once for all eight queries.
     let batch: Vec<(&str, Query)> = vec![
@@ -842,7 +842,7 @@ pub fn baselines_table() -> Table {
         })
         .collect();
     // The Υ_H shortcut comes from a second engine with the harmonic knob set.
-    let mut upsilon_engine = ConsensusEngineBuilder::new(engine.tree().clone())
+    let upsilon_engine = ConsensusEngineBuilder::new(engine.tree().clone())
         .seed(7)
         .intersection_strategy(IntersectionStrategy::Harmonic)
         .build()

@@ -19,12 +19,38 @@ use std::collections::HashMap;
 /// The expected symmetric-difference distance between a candidate world and
 /// the random world, computed in closed form from per-alternative marginals:
 /// `Σ_{t ∈ S} (1 − Pr(t)) + Σ_{t ∉ S} Pr(t)` (proof of Theorem 2).
+///
+/// The summation runs in sorted-alternative order, not `HashMap` iteration
+/// order, so the result is bit-identical across map instances — the engine's
+/// concurrent-vs-serial conformance gates compare answers from independently
+/// built engines down to the last bit.
 pub fn expected_symmetric_difference(
     candidate: &PossibleWorld,
     marginals: &HashMap<Alternative, f64>,
 ) -> f64 {
+    expected_symmetric_difference_sorted(candidate, &sorted_marginals(marginals), marginals)
+}
+
+/// The marginal table as a sorted slice, the form
+/// [`expected_symmetric_difference_sorted`] consumes. Callers that score many
+/// candidates against one table (the enumerated-median scan) sort once and
+/// reuse it.
+fn sorted_marginals(marginals: &HashMap<Alternative, f64>) -> Vec<(Alternative, f64)> {
+    let mut entries: Vec<(Alternative, f64)> = marginals.iter().map(|(a, p)| (*a, *p)).collect();
+    entries.sort_by_key(|(alt, _)| *alt);
+    entries
+}
+
+/// [`expected_symmetric_difference`] over a pre-sorted marginal slice (the
+/// map is still consulted for the membership test of candidate-only
+/// alternatives).
+fn expected_symmetric_difference_sorted(
+    candidate: &PossibleWorld,
+    entries: &[(Alternative, f64)],
+    marginals: &HashMap<Alternative, f64>,
+) -> f64 {
     let mut total = 0.0;
-    for (alt, p) in marginals {
+    for (alt, p) in entries {
         if candidate.contains(alt) {
             total += 1.0 - p;
         } else {
@@ -93,12 +119,13 @@ pub fn median_world_from_worldset(worlds: &WorldSet) -> (PossibleWorld, f64) {
             *marginals.entry(*alt).or_insert(0.0) += p;
         }
     }
+    let entries = sorted_marginals(&marginals);
     let mut best: Option<(PossibleWorld, f64)> = None;
     for (w, p) in worlds.worlds() {
         if *p <= 0.0 {
             continue;
         }
-        let cost = expected_symmetric_difference(w, &marginals);
+        let cost = expected_symmetric_difference_sorted(w, &entries, &marginals);
         if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             best = Some((w.clone(), cost));
         }

@@ -20,6 +20,16 @@ pub struct TopKContext {
     pmf: HashMap<TupleKey, Vec<f64>>,
     /// `cdf[t][i - 1] = Pr(r(t) ≤ i)` for `1 ≤ i ≤ k`.
     cdf: HashMap<TupleKey, Vec<f64>>,
+    /// Raw (unclamped) prefix sums `prefix_mass[t][i - 1] = Σ_{j ≤ i}
+    /// Pr(r(t) = j)`: the O(1) backbone of the footrule placement cost.
+    prefix_mass: HashMap<TupleKey, Vec<f64>>,
+    /// Rank-weighted prefix sums `prefix_weighted[t][i - 1] = Σ_{j ≤ i}
+    /// j·Pr(r(t) = j)`; the last entry is Υ₂(t).
+    prefix_weighted: HashMap<TupleKey, Vec<f64>>,
+    /// Harmonic suffix sums `profit_suffix[t][j - 1] = Σ_{i = j..k}
+    /// Pr(r(t) ≤ i)/i`: the intersection-metric position profit in O(1); the
+    /// first entry is Υ_H(t).
+    profit_suffix: HashMap<TupleKey, Vec<f64>>,
 }
 
 impl TopKContext {
@@ -39,17 +49,7 @@ impl TopKContext {
     pub fn new_with_parallelism(tree: &AndXorTree, k: usize, threads: usize) -> Self {
         let keys = tree.keys();
         let pmf = tree.batch_rank_pmfs(k, threads);
-        let mut cdf = HashMap::with_capacity(keys.len());
-        for (&key, p) in &pmf {
-            let mut c = Vec::with_capacity(k);
-            let mut acc = 0.0;
-            for &v in p {
-                acc += v;
-                c.push(acc.min(1.0));
-            }
-            cdf.insert(key, c);
-        }
-        TopKContext { k, keys, pmf, cdf }
+        Self::from_parts(k, keys, pmf)
     }
 
     /// Builds a context directly from per-tuple rank distributions (useful in
@@ -58,22 +58,49 @@ impl TopKContext {
     pub fn from_pmf(k: usize, pmf: HashMap<TupleKey, Vec<f64>>) -> Self {
         let mut keys: Vec<TupleKey> = pmf.keys().copied().collect();
         keys.sort();
-        let cdf = pmf
-            .iter()
-            .map(|(t, p)| {
-                let mut acc = 0.0;
-                (
-                    *t,
-                    p.iter()
-                        .map(|&v| {
-                            acc += v;
-                            acc.min(1.0)
-                        })
-                        .collect(),
-                )
-            })
-            .collect();
-        TopKContext { k, keys, pmf, cdf }
+        Self::from_parts(k, keys, pmf)
+    }
+
+    /// Derives every cached statistic (CDF, prefix sums, harmonic suffix
+    /// sums) from the rank PMFs. All derived tables are O(n·k) to build and
+    /// make the per-(tuple, position) queries of the assignment solvers O(1).
+    fn from_parts(k: usize, keys: Vec<TupleKey>, pmf: HashMap<TupleKey, Vec<f64>>) -> Self {
+        let mut cdf = HashMap::with_capacity(keys.len());
+        let mut prefix_mass = HashMap::with_capacity(keys.len());
+        let mut prefix_weighted = HashMap::with_capacity(keys.len());
+        let mut profit_suffix = HashMap::with_capacity(keys.len());
+        for (&key, p) in &pmf {
+            let mut c = Vec::with_capacity(k);
+            let mut mass = Vec::with_capacity(k);
+            let mut weighted = Vec::with_capacity(k);
+            let (mut acc, mut wacc) = (0.0, 0.0);
+            for (i, &v) in p.iter().enumerate() {
+                acc += v;
+                wacc += (i + 1) as f64 * v;
+                c.push(acc.min(1.0));
+                mass.push(acc);
+                weighted.push(wacc);
+            }
+            let mut suffix = vec![0.0; k];
+            let mut tail = 0.0;
+            for i in (1..=k).rev() {
+                tail += c[i - 1] / i as f64;
+                suffix[i - 1] = tail;
+            }
+            cdf.insert(key, c);
+            prefix_mass.insert(key, mass);
+            prefix_weighted.insert(key, weighted);
+            profit_suffix.insert(key, suffix);
+        }
+        TopKContext {
+            k,
+            keys,
+            pmf,
+            cdf,
+            prefix_mass,
+            prefix_weighted,
+            profit_suffix,
+        }
     }
 
     /// The query parameter `k`.
@@ -132,11 +159,57 @@ impl TopKContext {
         self.topk_probability(t)
     }
 
-    /// Υ₂(t) = `Σ_{i ≤ k} i · Pr(r(t) = i)` (§5.4).
+    /// Υ₂(t) = `Σ_{i ≤ k} i · Pr(r(t) = i)` (§5.4). Served from the
+    /// rank-weighted prefix sums in O(1).
     pub fn upsilon2(&self, t: TupleKey) -> f64 {
-        (1..=self.k)
-            .map(|i| i as f64 * self.rank_probability(t, i))
-            .sum()
+        self.prefix_weighted
+            .get(&t)
+            .and_then(|w| w.last())
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The misplacement mass `Σ_{j ≤ k} Pr(r(t) = j)·|i − j|` of placing `t`
+    /// at position `i`, in O(1) via the per-tuple prefix sums: with
+    /// `S₀(i) = Σ_{j ≤ i} Pr(r(t) = j)` and `S₁(i) = Σ_{j ≤ i} j·Pr(r(t) = j)`,
+    ///
+    /// ```text
+    /// Σ_{j ≤ k} Pr(r(t) = j)·|i − j| = 2(i·S₀(i) − S₁(i)) + S₁(k) − i·S₀(k)
+    /// ```
+    ///
+    /// (split the sum at `j ≤ i` / `j > i`). This is the footrule hot path:
+    /// it turns the assignment cost-matrix build from O(n·k²) into O(n·k).
+    /// [`crate::topk::footrule::placement_cost_direct`] keeps the direct
+    /// summation as the test reference.
+    pub fn misplacement_mass(&self, t: TupleKey, i: usize) -> f64 {
+        let Some(mass) = self.prefix_mass.get(&t) else {
+            return 0.0;
+        };
+        if self.k == 0 {
+            return 0.0;
+        }
+        let weighted = &self.prefix_weighted[&t];
+        let (s0_k, s1_k) = (mass[self.k - 1], weighted[self.k - 1]);
+        let i_f = i as f64;
+        if i == 0 {
+            s1_k
+        } else if i >= self.k {
+            i_f * s0_k - s1_k
+        } else {
+            2.0 * (i_f * mass[i - 1] - weighted[i - 1]) + s1_k - i_f * s0_k
+        }
+    }
+
+    /// The intersection-metric position profit `Σ_{i = j..k} Pr(r(t) ≤ i)/i`
+    /// of placing `t` at position `j` (§5.3), in O(1) via the per-tuple
+    /// harmonic suffix sums (`0` outside `1 ≤ j ≤ k` or for unknown tuples).
+    /// [`crate::topk::intersection::position_profit_direct`] keeps the direct
+    /// summation as the test reference.
+    pub fn profit_tail(&self, t: TupleKey, j: usize) -> f64 {
+        if j == 0 || j > self.k {
+            return 0.0;
+        }
+        self.profit_suffix.get(&t).map(|s| s[j - 1]).unwrap_or(0.0)
     }
 
     /// Υ₃(t, i) = `Σ_{j ≤ k} Pr(r(t) = j)·|i − j| + i·Pr(r(t) > k)` (§5.4).
@@ -149,9 +222,13 @@ impl TopKContext {
     }
 
     /// Υ_H(t) = `Σ_{i ≤ k} Pr(r(t) ≤ i)/i` — the harmonic ranking function of
-    /// §5.3 (a parameterised ranking function in the sense of \[29\]).
+    /// §5.3 (a parameterised ranking function in the sense of \[29\]). Served
+    /// from the harmonic suffix sums in O(1).
     pub fn upsilon_h(&self, t: TupleKey) -> f64 {
-        (1..=self.k).map(|i| self.rank_cdf(t, i) / i as f64).sum()
+        if self.k == 0 {
+            return 0.0;
+        }
+        self.profit_tail(t, 1)
     }
 
     /// The tuples sorted by decreasing `Pr(r(t) ≤ k)`, ties broken by key.
@@ -249,6 +326,38 @@ mod tests {
         let sorted = ctx.keys_by_topk_probability();
         for pair in sorted.windows(2) {
             assert!(pair[0].1 >= pair[1].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_sum_accessors_match_direct_summation() {
+        let tree = figure1_correlated_tree();
+        for k in 1..=4usize {
+            let ctx = TopKContext::new(&tree, k);
+            for &t in ctx.keys() {
+                let direct_u2: f64 = (1..=k).map(|i| i as f64 * ctx.rank_probability(t, i)).sum();
+                assert!((ctx.upsilon2(t) - direct_u2).abs() < 1e-12);
+                let direct_uh: f64 = (1..=k).map(|i| ctx.rank_cdf(t, i) / i as f64).sum();
+                assert!((ctx.upsilon_h(t) - direct_uh).abs() < 1e-12);
+                for i in 0..=k + 1 {
+                    let direct: f64 = (1..=k)
+                        .map(|j| ctx.rank_probability(t, j) * (i as f64 - j as f64).abs())
+                        .sum();
+                    assert!(
+                        (ctx.misplacement_mass(t, i) - direct).abs() < 1e-12,
+                        "k={k} t={t:?} i={i}"
+                    );
+                }
+                for j in 1..=k {
+                    let direct: f64 = (j..=k).map(|i| ctx.rank_cdf(t, i) / i as f64).sum();
+                    assert!((ctx.profit_tail(t, j) - direct).abs() < 1e-12);
+                }
+            }
+            // Unknown tuples and out-of-range positions stay zero.
+            assert_eq!(ctx.misplacement_mass(TupleKey(99), 1), 0.0);
+            assert_eq!(ctx.profit_tail(TupleKey(99), 1), 0.0);
+            assert_eq!(ctx.profit_tail(TupleKey(1), 0), 0.0);
+            assert_eq!(ctx.profit_tail(TupleKey(1), k + 1), 0.0);
         }
     }
 

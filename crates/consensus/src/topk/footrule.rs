@@ -16,7 +16,7 @@
 //! cost.
 
 use super::context::TopKContext;
-use cpdb_assignment::min_cost_assignment;
+use cpdb_assignment::min_cost_assignment_flat;
 use cpdb_model::TupleKey;
 use cpdb_rankagg::TopKList;
 
@@ -37,11 +37,27 @@ use cpdb_rankagg::TopKList;
 /// which double-counts it; the tests in this module validate the corrected
 /// expression against brute-force enumeration (they fail with the paper's
 /// literal sign).
+///
+/// Served in O(1) per `(t, i)` from the per-tuple prefix sums cached in
+/// [`TopKContext`] ([`TopKContext::misplacement_mass`]), so the full n×k
+/// assignment cost matrix costs O(n·k) instead of O(n·k²).
+/// [`placement_cost_direct`] keeps the direct O(k) summation as the test
+/// reference.
 pub fn placement_cost(ctx: &TopKContext, t: TupleKey, i: usize) -> f64 {
+    ctx.misplacement_mass(t, i) - i as f64 * ctx.beyond_topk_probability(t) + ctx.upsilon2(t)
+        - 2.0 * (ctx.k() as f64 + 1.0) * ctx.upsilon1(t)
+}
+
+/// [`placement_cost`] by direct O(k) summation over the rank PMF — the
+/// reference implementation the prefix-sum hot path is tested against.
+pub fn placement_cost_direct(ctx: &TopKContext, t: TupleKey, i: usize) -> f64 {
     let misplacement: f64 = (1..=ctx.k())
         .map(|j| ctx.rank_probability(t, j) * (i as f64 - j as f64).abs())
         .sum();
-    misplacement - i as f64 * ctx.beyond_topk_probability(t) + ctx.upsilon2(t)
+    let upsilon2: f64 = (1..=ctx.k())
+        .map(|j| j as f64 * ctx.rank_probability(t, j))
+        .sum();
+    misplacement - i as f64 * ctx.beyond_topk_probability(t) + upsilon2
         - 2.0 * (ctx.k() as f64 + 1.0) * ctx.upsilon1(t)
 }
 
@@ -77,11 +93,15 @@ pub fn mean_topk_footrule(ctx: &TopKContext) -> TopKList {
         return TopKList::empty();
     }
     let keys = ctx.keys();
-    let cost: Vec<Vec<f64>> = keys
-        .iter()
-        .map(|&t| (1..=k).map(|i| placement_cost(ctx, t, i)).collect())
-        .collect();
-    let assignment = min_cost_assignment(&cost);
+    // Row-major flat cost matrix: O(n·k) to fill (placement_cost is O(1))
+    // and one allocation instead of one per row.
+    let mut cost = Vec::with_capacity(keys.len() * k);
+    for &t in keys {
+        for i in 1..=k {
+            cost.push(placement_cost(ctx, t, i));
+        }
+    }
+    let assignment = min_cost_assignment_flat(&cost, keys.len(), k);
     let mut slots: Vec<Option<u64>> = vec![None; k];
     for (row, col) in assignment.row_to_col.iter().enumerate() {
         if let Some(c) = col {
@@ -197,6 +217,25 @@ mod tests {
                 (cost - brute_cost).abs() < 1e-9,
                 "k={k}: assignment {cost} vs brute force {brute_cost}"
             );
+        }
+    }
+
+    #[test]
+    fn prefix_sum_placement_cost_matches_direct_summation() {
+        for tree in [tree_small(), figure1_correlated_tree()] {
+            for k in 1..=4usize {
+                let ctx = TopKContext::new(&tree, k);
+                for &t in ctx.keys() {
+                    for i in 1..=k {
+                        let fast = placement_cost(&ctx, t, i);
+                        let direct = placement_cost_direct(&ctx, t, i);
+                        assert!(
+                            (fast - direct).abs() < 1e-12,
+                            "k={k} t={t:?} i={i}: prefix-sum {fast} vs direct {direct}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -21,13 +21,23 @@
 //! practice.
 
 use super::context::TopKContext;
-use cpdb_assignment::max_profit_assignment;
+use cpdb_assignment::max_profit_assignment_flat;
 use cpdb_model::TupleKey;
 use cpdb_rankagg::TopKList;
 
 /// The profit of placing tuple `t` at result position `j` (1-based):
-/// `Σ_{i=j..k} Pr(r(t) ≤ i)/i`.
+/// `Σ_{i=j..k} Pr(r(t) ≤ i)/i`. Served in O(1) from the harmonic suffix sums
+/// cached in [`TopKContext`] ([`TopKContext::profit_tail`]), so the full n×k
+/// assignment profit matrix costs O(n·k) instead of O(n·k²);
+/// [`position_profit_direct`] keeps the direct summation as the test
+/// reference.
 pub fn position_profit(ctx: &TopKContext, t: TupleKey, j: usize) -> f64 {
+    ctx.profit_tail(t, j)
+}
+
+/// [`position_profit`] by direct O(k) summation over the rank CDF — the
+/// reference implementation the suffix-sum hot path is tested against.
+pub fn position_profit_direct(ctx: &TopKContext, t: TupleKey, j: usize) -> f64 {
     (j..=ctx.k()).map(|i| ctx.rank_cdf(t, i) / i as f64).sum()
 }
 
@@ -72,11 +82,15 @@ pub fn mean_topk_intersection(ctx: &TopKContext) -> TopKList {
         return TopKList::empty();
     }
     let keys = ctx.keys();
-    let profit: Vec<Vec<f64>> = keys
-        .iter()
-        .map(|&t| (1..=k).map(|j| position_profit(ctx, t, j)).collect())
-        .collect();
-    let assignment = max_profit_assignment(&profit);
+    // Row-major flat profit matrix: O(n·k) to fill (position_profit is O(1))
+    // and one allocation instead of one per row.
+    let mut profit = Vec::with_capacity(keys.len() * k);
+    for &t in keys {
+        for j in 1..=k {
+            profit.push(position_profit(ctx, t, j));
+        }
+    }
+    let assignment = max_profit_assignment_flat(&profit, keys.len(), k);
     let mut slots: Vec<Option<u64>> = vec![None; k];
     for (row, col) in assignment.row_to_col.iter().enumerate() {
         if let Some(c) = col {
@@ -190,6 +204,25 @@ mod tests {
                 (cost - brute_cost).abs() < 1e-9,
                 "k={k}: assignment {cost} vs brute force {brute_cost}"
             );
+        }
+    }
+
+    #[test]
+    fn suffix_sum_position_profit_matches_direct_summation() {
+        for tree in [tree_small(), figure1_correlated_tree()] {
+            for k in 1..=4usize {
+                let ctx = TopKContext::new(&tree, k);
+                for &t in ctx.keys() {
+                    for j in 1..=k {
+                        let fast = position_profit(&ctx, t, j);
+                        let direct = position_profit_direct(&ctx, t, j);
+                        assert!(
+                            (fast - direct).abs() < 1e-12,
+                            "k={k} t={t:?} j={j}: suffix-sum {fast} vs direct {direct}"
+                        );
+                    }
+                }
+            }
         }
     }
 

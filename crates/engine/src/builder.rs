@@ -128,12 +128,16 @@ impl ConsensusEngineBuilder {
         self
     }
 
-    /// Thread count used by the batch artifact builds (rank-PMF tables,
-    /// Kendall tournament, co-clustering weights). `0` (the default) means
-    /// "auto": the `CPDB_THREADS` environment variable if set, otherwise the
-    /// machine's available parallelism. Answers never depend on this knob —
-    /// the batch evaluators are bit-identical at any thread count; only the
-    /// cold-build latency changes.
+    /// Thread count used both by the batch artifact *builds* (rank-PMF
+    /// tables, Kendall tournament, co-clustering weights — each a
+    /// `cpdb_parallel` fork-join over targets/pairs) and by
+    /// [`crate::ConsensusEngine::run_batch`]'s query *dispatch* (phase 1
+    /// builds the batch's distinct artifacts concurrently, phase 2 fans the
+    /// deduplicated queries out across worker threads). `0` (the default)
+    /// means "auto": the `CPDB_THREADS` environment variable if set,
+    /// otherwise the machine's available parallelism. Answers never depend on
+    /// this knob — the batch evaluators and per-query RNG streams are
+    /// bit-identical at any thread count; only latency changes.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self

@@ -1,5 +1,6 @@
 //! The [`ConsensusEngine`]: one typed entry point over every consensus
-//! algorithm, with memoised shared artifacts and batch execution.
+//! algorithm, with memoised shared artifacts, concurrent execution, and
+//! parallel batch dispatch.
 
 use crate::answer::{Answer, Optimality, Value};
 use crate::builder::{IntersectionStrategy, KendallStrategy};
@@ -11,16 +12,21 @@ use cpdb_consensus::clustering::{self, CoClusteringWeights};
 use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
 use cpdb_consensus::{baselines, jaccard, set_distance, TopKContext};
 use cpdb_model::Alternative;
+use cpdb_parallel::parallel_map_indexed;
 use cpdb_rankagg::pivot::PreferenceMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::RangeInclusive;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Cache instrumentation: how many times each shared artifact was built from
 /// scratch vs. served from memory. `run_batch` amortisation shows up here —
 /// a batch of Top-k queries at the same `k` builds the rank-probability PMFs
-/// once and hits the cache thereafter.
+/// once and hits the cache thereafter. Builds are counted inside the
+/// artifact's `OnceLock` initialiser, so even under concurrent query traffic
+/// every artifact's build is counted exactly once.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// [`TopKContext`] constructions (one set of rank PMFs per distinct `k`).
@@ -40,6 +46,155 @@ pub struct CacheStats {
     pub marginal_builds: usize,
     /// Queries served from cached marginals / Jaccard candidate lists.
     pub marginal_hits: usize,
+    /// Duplicate queries inside one [`ConsensusEngine::run_batch`] call that
+    /// were answered by cloning the answer of their first occurrence instead
+    /// of being executed again.
+    pub batch_dedup_hits: usize,
+}
+
+/// The atomic counters behind [`CacheStats`]: plain relaxed counters, safe to
+/// bump from any thread holding `&ConsensusEngine`.
+#[derive(Debug, Default)]
+struct AtomicCacheStats {
+    rank_context_builds: AtomicUsize,
+    rank_context_hits: AtomicUsize,
+    preference_builds: AtomicUsize,
+    preference_hits: AtomicUsize,
+    coclustering_builds: AtomicUsize,
+    coclustering_hits: AtomicUsize,
+    marginal_builds: AtomicUsize,
+    marginal_hits: AtomicUsize,
+    batch_dedup_hits: AtomicUsize,
+}
+
+impl AtomicCacheStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            rank_context_builds: self.rank_context_builds.load(Relaxed),
+            rank_context_hits: self.rank_context_hits.load(Relaxed),
+            preference_builds: self.preference_builds.load(Relaxed),
+            preference_hits: self.preference_hits.load(Relaxed),
+            coclustering_builds: self.coclustering_builds.load(Relaxed),
+            coclustering_hits: self.coclustering_hits.load(Relaxed),
+            marginal_builds: self.marginal_builds.load(Relaxed),
+            marginal_hits: self.marginal_hits.load(Relaxed),
+            batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
+        }
+    }
+
+    fn from_snapshot(s: CacheStats) -> Self {
+        AtomicCacheStats {
+            rank_context_builds: AtomicUsize::new(s.rank_context_builds),
+            rank_context_hits: AtomicUsize::new(s.rank_context_hits),
+            preference_builds: AtomicUsize::new(s.preference_builds),
+            preference_hits: AtomicUsize::new(s.preference_hits),
+            coclustering_builds: AtomicUsize::new(s.coclustering_builds),
+            coclustering_hits: AtomicUsize::new(s.coclustering_hits),
+            marginal_builds: AtomicUsize::new(s.marginal_builds),
+            marginal_hits: AtomicUsize::new(s.marginal_hits),
+            batch_dedup_hits: AtomicUsize::new(s.batch_dedup_hits),
+        }
+    }
+}
+
+/// A memoised artifact slot: the `Arc` lets engine clones share the built
+/// value (a cloned engine starts warm), the `OnceLock` makes concurrent
+/// builders race safely — many threads may reach an empty slot, exactly one
+/// runs the initialiser, the rest block and then read the same value.
+type Slot<T> = Arc<OnceLock<T>>;
+
+/// Clone policy for [`Slot`]s: share the cell only when its artifact is
+/// already built. Sharing an *empty* cell would let builds that happen after
+/// the clone leak across engines, violating the documented "built artifacts
+/// only, in neither direction afterwards" contract (and misattributing the
+/// clone's build/hit counters).
+fn clone_built_slot<T>(slot: &Slot<T>) -> Slot<T> {
+    if slot.get().is_some() {
+        Arc::clone(slot)
+    } else {
+        Slot::default()
+    }
+}
+
+/// Clone policy for the sharded artifact maps: keep only the entries whose
+/// cell is built (empty cells are recreated on demand, unshared).
+fn clone_built_map<K, T>(map: &RwLock<HashMap<K, Slot<T>>>) -> RwLock<HashMap<K, Slot<T>>>
+where
+    K: Copy + Eq + std::hash::Hash,
+{
+    RwLock::new(
+        map.read()
+            .expect("artifact map lock poisoned")
+            .iter()
+            .filter(|(_, cell)| cell.get().is_some())
+            .map(|(&k, cell)| (k, Arc::clone(cell)))
+            .collect(),
+    )
+}
+
+/// Fetches (or inserts) the slot for `key` in a sharded per-key artifact map.
+/// The map lock is only held to look up / insert the `Arc` cell — never
+/// across an artifact build — so queries at different `k` build their
+/// artifacts concurrently.
+fn shard<K, T>(map: &RwLock<HashMap<K, Slot<T>>>, key: K) -> Slot<T>
+where
+    K: Copy + Eq + std::hash::Hash,
+{
+    if let Some(cell) = map.read().expect("artifact map lock poisoned").get(&key) {
+        return cell.clone();
+    }
+    map.write()
+        .expect("artifact map lock poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+/// Initialises a slot (exactly once, even under races) and keeps the
+/// build/hit counters truthful: the build counter is bumped by the one thread
+/// whose closure ran; every other access bumps `hits` — unless `hits` is
+/// `None`, the prefetch mode used by the batch planner, where an
+/// already-built artifact is simply left alone (a prefetch is not a query).
+fn slot_get_or_build<'a, T>(
+    slot: &'a OnceLock<T>,
+    builds: &AtomicUsize,
+    hits: Option<&AtomicUsize>,
+    build: impl FnOnce() -> T,
+) -> &'a T {
+    let mut built = false;
+    let value = slot.get_or_init(|| {
+        built = true;
+        build()
+    });
+    if built {
+        builds.fetch_add(1, Relaxed);
+    } else if let Some(hits) = hits {
+        hits.fetch_add(1, Relaxed);
+    }
+    value
+}
+
+/// The per-`k` Kendall pool artifact: the pool-restricted pairwise-order
+/// tournament plus the pool's retained `Σ Pr(r(t) ≤ k)` coverage (the pool
+/// knob is fixed, so `k` determines both).
+#[derive(Debug)]
+struct PoolTournament {
+    prefs: PreferenceMatrix,
+    coverage: f64,
+}
+
+/// Leaf-count ceiling for exhaustive U-Top-k world enumeration. Shared by the
+/// run path (which rejects over-budget queries) and the batch planner (which
+/// must skip exactly the queries the run path rejects, so the build counters
+/// match a serial run).
+const UTOPK_EXACT_LEAF_BUDGET: usize = 20;
+
+/// Whether a Top-k `(metric, variant)` combination is rejected before any
+/// artifact is touched — only the symmetric-difference metric has a
+/// polynomial median algorithm (Theorem 4). Shared by the run path and the
+/// batch planner for the same reason as [`UTOPK_EXACT_LEAF_BUDGET`].
+fn topk_median_unsupported(metric: TopKMetric, variant: Variant) -> bool {
+    variant == Variant::Median && metric != TopKMetric::SymmetricDifference
 }
 
 /// Which model class the engine's tree belongs to — decides whether the
@@ -74,8 +229,27 @@ enum TreeShape {
 /// Randomised paths (Kendall pivot, clustering restarts, sampled baselines)
 /// draw from an owned seeded RNG: each query's stream is derived from the
 /// engine seed and the query's [`rng_tag`](Query::rng_tag), so results are
-/// deterministic and independent of batch order.
-#[derive(Debug, Clone)]
+/// deterministic and independent of batch order — *and* of which thread
+/// answers the query.
+///
+/// # Thread safety
+///
+/// The engine is `Sync`: every entry point takes `&self`, so one warm engine
+/// can be shared across threads (`&ConsensusEngine`, or an
+/// `Arc<ConsensusEngine>`) and answer queries concurrently. The memoised
+/// artifacts live in interior-mutable slots — per-`k` sharded maps of
+/// [`std::sync::OnceLock`] cells behind a briefly-held [`std::sync::RwLock`]
+/// (never held across a build), atomic [`CacheStats`] counters — so
+/// concurrent queries that need the same artifact build it exactly once
+/// (the losers of the race block on the `OnceLock` and then read the winner's
+/// value), while queries needing *different* artifacts build them in
+/// parallel. Answers are bit-identical to a serial [`run`](Self::run) loop at
+/// any thread count and under any interleaving.
+///
+/// [`Clone`] is cheap and shares the built artifacts (`Arc` per slot): a
+/// cloned engine starts warm, with its own independent [`CacheStats`]
+/// starting from a snapshot of the source's counters.
+#[derive(Debug)]
 pub struct ConsensusEngine {
     tree: AndXorTree,
     shape: TreeShape,
@@ -85,23 +259,48 @@ pub struct ConsensusEngine {
     intersection: IntersectionStrategy,
     kendall_distance_samples: usize,
     groupby: Option<GroupByInstance>,
-    /// Thread count for batch artifact builds (`0` = auto); answers never
-    /// depend on it, only cold-build latency does.
+    /// Thread count for batch artifact builds and [`Self::run_batch`] query
+    /// dispatch (`0` = auto); answers never depend on it, only latency does.
     threads: usize,
-    contexts: HashMap<usize, TopKContext>,
-    prefs: Option<PreferenceMatrix>,
-    /// Per-`k` Kendall tournaments over the candidate pool (the pool knob is
-    /// fixed, so `k` determines the pool contents) — carved from `prefs`
-    /// when the full matrix exists, built pool-sized otherwise.
-    pool_prefs: HashMap<usize, PreferenceMatrix>,
-    /// Per-`k` candidate-pool coverage (retained fraction of `Σ Pr(r(t) ≤ k)`
-    /// mass), memoised with the pool tournament so warm-cache Kendall queries
-    /// skip the pool recomputation.
-    pool_coverage: HashMap<usize, f64>,
-    cocluster: Option<CoClusteringWeights>,
-    marginals: Option<HashMap<Alternative, f64>>,
-    jaccard_candidates: Option<Vec<(Alternative, f64)>>,
-    stats: CacheStats,
+    /// Per-`k` rank-PMF contexts, sharded so distinct `k`s build in parallel.
+    contexts: RwLock<HashMap<usize, Slot<Arc<TopKContext>>>>,
+    /// The full n² pairwise-order tournament.
+    prefs: Slot<PreferenceMatrix>,
+    /// Per-`k` Kendall tournaments over the candidate pool, with the pool's
+    /// coverage — carved from `prefs` when the full matrix exists, built
+    /// pool-sized otherwise.
+    pool_prefs: RwLock<HashMap<usize, Slot<Arc<PoolTournament>>>>,
+    cocluster: Slot<CoClusteringWeights>,
+    marginals: Slot<HashMap<Alternative, f64>>,
+    jaccard_candidates: Slot<Vec<(Alternative, f64)>>,
+    stats: AtomicCacheStats,
+}
+
+impl Clone for ConsensusEngine {
+    /// Cheap clone that `Arc`-shares every *built* artifact: the clone starts
+    /// warm, but artifacts built after the clone are not shared in either
+    /// direction. The clone's [`CacheStats`] continue from a snapshot of the
+    /// source's counters.
+    fn clone(&self) -> Self {
+        ConsensusEngine {
+            tree: self.tree.clone(),
+            shape: self.shape,
+            seed: self.seed,
+            k_range: self.k_range,
+            kendall: self.kendall,
+            intersection: self.intersection,
+            kendall_distance_samples: self.kendall_distance_samples,
+            groupby: self.groupby.clone(),
+            threads: self.threads,
+            contexts: clone_built_map(&self.contexts),
+            prefs: clone_built_slot(&self.prefs),
+            pool_prefs: clone_built_map(&self.pool_prefs),
+            cocluster: clone_built_slot(&self.cocluster),
+            marginals: clone_built_slot(&self.marginals),
+            jaccard_candidates: clone_built_slot(&self.jaccard_candidates),
+            stats: AtomicCacheStats::from_snapshot(self.stats.snapshot()),
+        }
+    }
 }
 
 impl ConsensusEngine {
@@ -127,14 +326,13 @@ impl ConsensusEngine {
             kendall_distance_samples,
             groupby,
             threads,
-            contexts: HashMap::new(),
-            prefs: None,
-            pool_prefs: HashMap::new(),
-            pool_coverage: HashMap::new(),
-            cocluster: None,
-            marginals: None,
-            jaccard_candidates: None,
-            stats: CacheStats::default(),
+            contexts: RwLock::new(HashMap::new()),
+            prefs: Slot::default(),
+            pool_prefs: RwLock::new(HashMap::new()),
+            cocluster: Slot::default(),
+            marginals: Slot::default(),
+            jaccard_candidates: Slot::default(),
+            stats: AtomicCacheStats::default(),
         }
     }
 
@@ -158,9 +356,10 @@ impl ConsensusEngine {
         self.k_range.0..=self.k_range.1
     }
 
-    /// Cache build/hit counters since construction.
+    /// Cache build/hit counters since construction (a consistent snapshot of
+    /// the atomic counters).
     pub fn cache_stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// The deterministic RNG stream for the randomised parts of `query`,
@@ -170,30 +369,47 @@ impl ConsensusEngine {
         StdRng::seed_from_u64(splitmix64(self.seed ^ query.rng_tag()))
     }
 
-    /// The memoised [`TopKContext`] for `k`, building it on first use.
-    pub fn context(&mut self, k: usize) -> Result<&TopKContext, EngineError> {
+    /// The memoised [`TopKContext`] for `k`, building it on first use. The
+    /// returned `Arc` is a shared handle into the engine's cache, valid
+    /// independently of the engine's lifetime.
+    pub fn context(&self, k: usize) -> Result<Arc<TopKContext>, EngineError> {
         self.check_k(k)?;
-        self.ensure_context(k);
-        Ok(&self.contexts[&k])
+        Ok(self.context_arc(k))
     }
 
     /// The memoised full pairwise-order tournament `Pr(r(t_i) < r(t_j))`,
     /// building it on first use (n² generating-function evaluations).
-    pub fn preference_matrix(&mut self) -> &PreferenceMatrix {
-        self.ensure_prefs();
-        self.prefs.as_ref().expect("ensured above")
+    pub fn preference_matrix(&self) -> &PreferenceMatrix {
+        slot_get_or_build(
+            &self.prefs,
+            &self.stats.preference_builds,
+            Some(&self.stats.preference_hits),
+            || {
+                kendall::preference_matrix_with_parallelism(
+                    &self.tree,
+                    &self.tree.keys(),
+                    self.threads,
+                )
+            },
+        )
     }
 
     /// The memoised co-clustering weight matrix `w_ij`, building it on first
     /// use.
-    pub fn coclustering_weights(&mut self) -> &CoClusteringWeights {
-        self.ensure_cocluster();
-        self.cocluster.as_ref().expect("ensured above")
+    pub fn coclustering_weights(&self) -> &CoClusteringWeights {
+        slot_get_or_build(
+            &self.cocluster,
+            &self.stats.coclustering_builds,
+            Some(&self.stats.coclustering_hits),
+            || CoClusteringWeights::from_tree_with_parallelism(&self.tree, self.threads),
+        )
     }
 
-    /// Answers one query. Cached artifacts are reused across calls; see the
-    /// type-level docs for the determinism contract.
-    pub fn run(&mut self, query: &Query) -> Result<Answer, EngineError> {
+    /// Answers one query. Cached artifacts are reused across calls — and
+    /// across threads: `run` takes `&self`, so any number of threads may call
+    /// it on one shared engine; see the type-level docs for the determinism
+    /// contract.
+    pub fn run(&self, query: &Query) -> Result<Answer, EngineError> {
         match query {
             Query::SetConsensus { metric, variant } => self.run_set(query, *metric, *variant),
             Query::TopK { k, metric, variant } => self.run_topk(query, *k, *metric, *variant),
@@ -203,25 +419,72 @@ impl ConsensusEngine {
         }
     }
 
-    /// Answers a batch of queries, sharing every cached artifact across them.
-    /// Each query's result is exactly what [`run`](Self::run) would return
-    /// for it in isolation (modulo cache warm-up, which only affects timing).
-    pub fn run_batch(&mut self, queries: &[Query]) -> Vec<Result<Answer, EngineError>> {
+    /// Answers a batch of queries with a two-phase parallel executor, sharing
+    /// every cached artifact across them.
+    ///
+    /// **Phase 1 (plan + build):** the distinct artifacts the batch needs —
+    /// the [`TopKContext`] per distinct `k`, the Kendall tournament(s), the
+    /// co-clustering weights, the marginal tables — are identified up front
+    /// and built concurrently on the engine's thread pool (the
+    /// [`threads`](crate::ConsensusEngineBuilder::threads) knob), each via
+    /// the single-sweep batch evaluators.
+    ///
+    /// **Phase 2 (dispatch):** query execution fans out across the same
+    /// thread pool. Duplicate queries are answered once and their [`Answer`]
+    /// cloned for the other occurrences
+    /// ([`CacheStats::batch_dedup_hits`] counts them).
+    ///
+    /// Every query's result is **bit-identical** to what the serial loop
+    /// [`run_batch_serial`](Self::run_batch_serial) returns, at any thread
+    /// count: the per-query seeded RNG streams are order-independent, and the
+    /// cached artifacts do not depend on which thread built them.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Answer, EngineError>> {
+        // Dedup: answer each distinct query once, clone for repeats. Queries
+        // are small enums, so the quadratic scan is cheap at realistic batch
+        // sizes (and `Query` is only `PartialEq`, so no hashing).
+        let mut uniques: Vec<&Query> = Vec::new();
+        let mut canonical = Vec::with_capacity(queries.len());
+        for query in queries {
+            match uniques.iter().position(|u| **u == *query) {
+                Some(at) => {
+                    canonical.push(at);
+                    self.stats.batch_dedup_hits.fetch_add(1, Relaxed);
+                }
+                None => {
+                    uniques.push(query);
+                    canonical.push(uniques.len() - 1);
+                }
+            }
+        }
+        self.prime_artifacts(&uniques);
+        let answers = parallel_map_indexed(self.threads, uniques.len(), |i| self.run(uniques[i]));
+        canonical
+            .into_iter()
+            .map(|at| answers[at].clone())
+            .collect()
+    }
+
+    /// The serial reference executor: answers the batch with a plain
+    /// `for` loop over [`run`](Self::run) on the calling thread — no artifact
+    /// prefetch, no dispatch parallelism, no dedup.
+    /// [`run_batch`](Self::run_batch) is required
+    /// (and tested) to return bit-identical results; this loop exists as the
+    /// baseline for that contract and for throughput comparisons.
+    pub fn run_batch_serial(&self, queries: &[Query]) -> Vec<Result<Answer, EngineError>> {
         queries.iter().map(|q| self.run(q)).collect()
     }
 
     // ---- dispatch arms -----------------------------------------------------
 
     fn run_set(
-        &mut self,
+        &self,
         _query: &Query,
         metric: SetMetric,
         variant: Variant,
     ) -> Result<Answer, EngineError> {
         match metric {
             SetMetric::SymmetricDifference => {
-                self.ensure_marginals();
-                let marginals = self.marginals.as_ref().expect("ensured above");
+                let marginals = self.marginals_ref(true);
                 // Theorem 2 (mean) and Corollary 1 (median coincides with the
                 // mean for and/xor trees): one algorithm serves both variants.
                 let world = set_distance::mean_world_from_marginals(marginals);
@@ -249,8 +512,7 @@ impl ConsensusEngine {
                 ))
             }
             SetMetric::Jaccard => {
-                self.ensure_jaccard_candidates();
-                let candidates = self.jaccard_candidates.as_ref().expect("ensured above");
+                let candidates = self.jaccard_candidates_ref(true);
                 let consensus = jaccard::best_prefix_world(&self.tree, candidates);
                 // Lemma 2 proves the prefix structure for tuple-independent
                 // mean worlds; the §4.2 scan over block-best alternatives is
@@ -271,14 +533,14 @@ impl ConsensusEngine {
     }
 
     fn run_topk(
-        &mut self,
+        &self,
         query: &Query,
         k: usize,
         metric: TopKMetric,
         variant: Variant,
     ) -> Result<Answer, EngineError> {
         self.check_k(k)?;
-        if variant == Variant::Median && metric != TopKMetric::SymmetricDifference {
+        if topk_median_unsupported(metric, variant) {
             return Err(EngineError::Unsupported {
                 query: format!("{query:?}"),
                 reason: "only the symmetric-difference metric has a polynomial median \
@@ -286,23 +548,8 @@ impl ConsensusEngine {
                     .to_string(),
             });
         }
-        self.ensure_context(k);
-        if metric == TopKMetric::Kendall {
-            if let KendallStrategy::Pivot { pool, .. } = self.kendall {
-                // Only pay for (and cache) the full n² tournament when the
-                // pool covers every key; a small pool gets its own cheap
-                // pool-sized matrix below, exactly like the free function.
-                // Once the pool matrix for this k is memoised, neither is
-                // needed again.
-                let n = self.tree.keys().len();
-                if !self.pool_prefs.contains_key(&k)
-                    && (pool == 0 || pool.max(k) >= n || self.prefs.is_some())
-                {
-                    self.ensure_prefs();
-                }
-            }
-        }
-        let ctx = &self.contexts[&k];
+        let ctx = self.context_arc(k);
+        let ctx = &*ctx;
         match (metric, variant) {
             (TopKMetric::SymmetricDifference, Variant::Mean) => {
                 let answer = sym_diff::mean_topk_sym_diff(ctx);
@@ -363,31 +610,14 @@ impl ConsensusEngine {
                         // is fixed), so both are memoised: the matrix carved
                         // out of the full tournament when that is cached,
                         // pool-sized generating-function work otherwise.
-                        if let std::collections::hash_map::Entry::Vacant(slot) =
-                            self.pool_prefs.entry(k)
-                        {
-                            let (pool_keys, coverage) =
-                                kendall::candidate_pool_with_coverage(ctx, pool_size);
-                            self.pool_coverage.insert(k, coverage);
-                            let built = match self.prefs.as_ref() {
-                                Some(full) => kendall::preference_submatrix(full, &pool_keys),
-                                None => {
-                                    self.stats.preference_builds += 1;
-                                    kendall::preference_matrix_with_parallelism(
-                                        &self.tree,
-                                        &pool_keys,
-                                        self.threads,
-                                    )
-                                }
-                            };
-                            slot.insert(built);
-                        } else {
-                            self.stats.preference_hits += 1;
-                        }
-                        let coverage = self.pool_coverage[&k];
-                        let prefs = &self.pool_prefs[&k];
+                        let tournament =
+                            self.pool_tournament(k, ctx, pool, pool_size, true, self.threads);
+                        let coverage = tournament.coverage;
                         let answer = kendall::mean_topk_kendall_pivot_from_prefs(
-                            ctx, prefs, trials, &mut rng,
+                            ctx,
+                            &tournament.prefs,
+                            trials,
+                            &mut rng,
                         );
                         // The factor-2 guarantee holds when every tuple can
                         // be considered; a restricted pool can exclude the
@@ -424,7 +654,7 @@ impl ConsensusEngine {
         }
     }
 
-    fn run_aggregate(&mut self, variant: Variant) -> Result<Answer, EngineError> {
+    fn run_aggregate(&self, variant: Variant) -> Result<Answer, EngineError> {
         let instance = self.groupby.as_ref().ok_or(EngineError::MissingInput {
             input: "group-by instance (attach one with ConsensusEngineBuilder::groupby)",
         })?;
@@ -451,9 +681,8 @@ impl ConsensusEngine {
         }
     }
 
-    fn run_clustering(&mut self, query: &Query, restarts: usize) -> Result<Answer, EngineError> {
-        self.ensure_cocluster();
-        let weights = self.cocluster.as_ref().expect("ensured above");
+    fn run_clustering(&self, query: &Query, restarts: usize) -> Result<Answer, EngineError> {
+        let weights = self.coclustering_weights();
         let mut rng = self.query_rng(query);
         let (best, cost) = clustering::pivot_clustering_best_of(weights, restarts, &mut rng);
         Ok(Answer::new(
@@ -463,15 +692,8 @@ impl ConsensusEngine {
         ))
     }
 
-    fn run_baseline(&mut self, query: &Query, kind: BaselineKind) -> Result<Answer, EngineError> {
-        let k = match kind {
-            BaselineKind::ExpectedScore { k }
-            | BaselineKind::ExpectedRank { k, .. }
-            | BaselineKind::UTopK { k, .. }
-            | BaselineKind::UTopKExact { k }
-            | BaselineKind::GlobalTopK { k }
-            | BaselineKind::ProbabilisticThreshold { k, .. } => k,
-        };
+    fn run_baseline(&self, query: &Query, kind: BaselineKind) -> Result<Answer, EngineError> {
+        let k = kind.k();
         self.check_k(k)?;
         if let BaselineKind::UTopKExact { .. } = kind {
             // World count is bounded by 2^leaves (each ∨ block of m leaves
@@ -479,19 +701,20 @@ impl ConsensusEngine {
             // would let multi-alternative BID blocks through to an
             // exponential enumeration far past the stated budget.
             let leaves = self.tree.leaf_count();
-            if leaves > 20 {
+            if leaves > UTOPK_EXACT_LEAF_BUDGET {
                 return Err(EngineError::Unsupported {
                     query: format!("{query:?}"),
                     reason: format!(
                         "exact U-Top-k enumerates every possible world; {leaves} leaf \
-                         alternatives is past the enumeration budget (20)"
+                         alternatives is past the enumeration budget \
+                         ({UTOPK_EXACT_LEAF_BUDGET})"
                     ),
                 });
             }
         }
         let mut rng = self.query_rng(query);
-        self.ensure_context(k);
-        let ctx = &self.contexts[&k];
+        let ctx = self.context_arc(k);
+        let ctx = &*ctx;
         let answer = match kind {
             BaselineKind::ExpectedScore { k } => baselines::expected_score_topk(&self.tree, k),
             BaselineKind::ExpectedRank { k, samples } => {
@@ -526,63 +749,241 @@ impl ConsensusEngine {
         Ok(())
     }
 
-    fn ensure_context(&mut self, k: usize) {
-        if self.contexts.contains_key(&k) {
-            self.stats.rank_context_hits += 1;
-        } else {
-            self.contexts.insert(
-                k,
-                TopKContext::new_with_parallelism(&self.tree, k, self.threads),
-            );
-            self.stats.rank_context_builds += 1;
-        }
+    /// The shared handle to the memoised [`TopKContext`] for `k`, building it
+    /// (exactly once, even under concurrent callers) on first use.
+    fn context_arc(&self, k: usize) -> Arc<TopKContext> {
+        let cell = shard(&self.contexts, k);
+        slot_get_or_build(
+            &cell,
+            &self.stats.rank_context_builds,
+            Some(&self.stats.rank_context_hits),
+            || {
+                Arc::new(TopKContext::new_with_parallelism(
+                    &self.tree,
+                    k,
+                    self.threads,
+                ))
+            },
+        )
+        .clone()
     }
 
-    fn ensure_prefs(&mut self) {
-        if self.prefs.is_some() {
-            self.stats.preference_hits += 1;
-        } else {
-            self.prefs = Some(kendall::preference_matrix_with_parallelism(
+    /// The memoised marginal-probability table. `count_hit` distinguishes a
+    /// query access (counts a cache hit) from a batch-planner prefetch.
+    fn marginals_ref(&self, count_hit: bool) -> &HashMap<Alternative, f64> {
+        slot_get_or_build(
+            &self.marginals,
+            &self.stats.marginal_builds,
+            count_hit.then_some(&self.stats.marginal_hits),
+            || self.tree.alternative_probabilities(),
+        )
+    }
+
+    /// The memoised Jaccard candidate list — a cheap derivation of the
+    /// marginal table, so it shares that table with the symmetric-difference
+    /// set queries instead of walking the tree a second time.
+    fn jaccard_candidates_ref(&self, count_hit: bool) -> &[(Alternative, f64)] {
+        let mut built = false;
+        let candidates = self.jaccard_candidates.get_or_init(|| {
+            built = true;
+            let marginals = self.marginals_ref(count_hit);
+            jaccard::prefix_candidates_from_marginals(marginals)
+        });
+        if !built && count_hit {
+            self.stats.marginal_hits.fetch_add(1, Relaxed);
+        }
+        candidates
+    }
+
+    /// The memoised per-`k` Kendall pool tournament (pool-restricted
+    /// preference matrix + pool coverage). Mirrors the serial caching policy:
+    /// the full n² tournament is only paid for when the pool covers every key
+    /// (or already exists, in which case the pool matrix is carved out of
+    /// it); a clipped pool gets its own cheap pool-sized matrix.
+    fn pool_tournament(
+        &self,
+        k: usize,
+        ctx: &TopKContext,
+        pool: usize,
+        pool_size: usize,
+        count_hit: bool,
+        build_threads: usize,
+    ) -> Arc<PoolTournament> {
+        let n = self.tree.keys().len();
+        let cell = shard(&self.pool_prefs, k);
+        if cell.get().is_none() && (pool == 0 || pool.max(k) >= n || self.prefs.get().is_some()) {
+            if count_hit {
+                let _ = self.preference_matrix();
+            } else {
+                self.prime_prefs(build_threads);
+            }
+        }
+        let mut built = false;
+        let tournament = cell
+            .get_or_init(|| {
+                built = true;
+                let (pool_keys, coverage) = kendall::candidate_pool_with_coverage(ctx, pool_size);
+                let prefs = match self.prefs.get() {
+                    Some(full) => kendall::preference_submatrix(full, &pool_keys),
+                    None => {
+                        self.stats.preference_builds.fetch_add(1, Relaxed);
+                        kendall::preference_matrix_with_parallelism(
+                            &self.tree,
+                            &pool_keys,
+                            build_threads,
+                        )
+                    }
+                };
+                Arc::new(PoolTournament { prefs, coverage })
+            })
+            .clone();
+        if !built && count_hit {
+            self.stats.preference_hits.fetch_add(1, Relaxed);
+        }
+        tournament
+    }
+
+    // ---- batch planning (run_batch phase 1) --------------------------------
+
+    /// Prefetch variants: build the artifact if missing (counting the build),
+    /// but do not count cache hits — a prefetch is planning, not a query.
+    /// `build_threads` is the planner's per-build share of the thread budget
+    /// (the run path passes the full `self.threads`), so a wave of concurrent
+    /// prefetches does not oversubscribe the machine with nested fork-joins.
+    fn prime_context(&self, k: usize, build_threads: usize) -> Arc<TopKContext> {
+        let cell = shard(&self.contexts, k);
+        slot_get_or_build(&cell, &self.stats.rank_context_builds, None, || {
+            Arc::new(TopKContext::new_with_parallelism(
+                &self.tree,
+                k,
+                build_threads,
+            ))
+        })
+        .clone()
+    }
+
+    fn prime_prefs(&self, build_threads: usize) {
+        slot_get_or_build(&self.prefs, &self.stats.preference_builds, None, || {
+            kendall::preference_matrix_with_parallelism(
                 &self.tree,
                 &self.tree.keys(),
-                self.threads,
-            ));
-            self.stats.preference_builds += 1;
-        }
+                build_threads,
+            )
+        });
     }
 
-    fn ensure_cocluster(&mut self) {
-        if self.cocluster.is_some() {
-            self.stats.coclustering_hits += 1;
-        } else {
-            self.cocluster = Some(CoClusteringWeights::from_tree_with_parallelism(
-                &self.tree,
-                self.threads,
-            ));
-            self.stats.coclustering_builds += 1;
-        }
+    fn prime_cocluster(&self, build_threads: usize) {
+        slot_get_or_build(
+            &self.cocluster,
+            &self.stats.coclustering_builds,
+            None,
+            || CoClusteringWeights::from_tree_with_parallelism(&self.tree, build_threads),
+        );
     }
 
-    fn ensure_marginals(&mut self) {
-        if self.marginals.is_some() {
-            self.stats.marginal_hits += 1;
-        } else {
-            self.marginals = Some(self.tree.alternative_probabilities());
-            self.stats.marginal_builds += 1;
-        }
-    }
-
-    fn ensure_jaccard_candidates(&mut self) {
-        if self.jaccard_candidates.is_some() {
-            self.stats.marginal_hits += 1;
+    fn prime_kendall_pool(&self, k: usize, build_threads: usize) {
+        let KendallStrategy::Pivot { pool, .. } = self.kendall else {
             return;
+        };
+        let ctx = self.prime_context(k, build_threads);
+        let n = self.tree.keys().len();
+        let pool_size = if pool == 0 { n } else { pool };
+        let _ = self.pool_tournament(k, &ctx, pool, pool_size, false, build_threads);
+    }
+
+    /// Phase 1 of [`Self::run_batch`]: walk the (deduplicated) batch, collect
+    /// the distinct artifacts it will need, and build them concurrently on
+    /// the engine's thread pool. Queries the serial path would reject before
+    /// touching any artifact (bad `k`, unsupported variants, over-budget
+    /// exact U-Top-k) are skipped, so the build counters end up exactly where
+    /// a serial run of the same batch would put them.
+    fn prime_artifacts(&self, queries: &[&Query]) {
+        let mut context_ks = BTreeSet::new();
+        let mut kendall_ks = BTreeSet::new();
+        let mut need_prefs = false;
+        let mut need_cocluster = false;
+        let mut need_marginals = false;
+        let mut need_jaccard = false;
+        let n = self.tree.keys().len();
+        for query in queries {
+            match query {
+                Query::SetConsensus { metric, .. } => match metric {
+                    SetMetric::SymmetricDifference => need_marginals = true,
+                    SetMetric::Jaccard => need_jaccard = true,
+                },
+                Query::TopK { k, metric, variant } => {
+                    if self.check_k(*k).is_err() || topk_median_unsupported(*metric, *variant) {
+                        continue;
+                    }
+                    context_ks.insert(*k);
+                    if *metric == TopKMetric::Kendall {
+                        if let KendallStrategy::Pivot { pool, .. } = self.kendall {
+                            kendall_ks.insert(*k);
+                            if pool == 0 || pool.max(*k) >= n {
+                                need_prefs = true;
+                            }
+                        }
+                    }
+                }
+                Query::Aggregate { .. } => {}
+                Query::Clustering { .. } => need_cocluster = true,
+                Query::Baseline { kind } => {
+                    if self.check_k(kind.k()).is_err() {
+                        continue;
+                    }
+                    if matches!(kind, BaselineKind::UTopKExact { .. })
+                        && self.tree.leaf_count() > UTOPK_EXACT_LEAF_BUDGET
+                    {
+                        continue;
+                    }
+                    context_ks.insert(kind.k());
+                }
+            }
         }
-        // The candidate list is a cheap derivation of the marginal table, so
-        // share that table with the symmetric-difference set queries instead
-        // of walking the tree a second time.
-        self.ensure_marginals();
-        let marginals = self.marginals.as_ref().expect("ensured above");
-        self.jaccard_candidates = Some(jaccard::prefix_candidates_from_marginals(marginals));
+        // Wave 1: independent artifacts, built concurrently. (The Jaccard
+        // candidate list derives from the marginal table; both primes may run
+        // at once — the OnceLock makes the shared table build exactly once.)
+        // The thread budget is split between the wave's fan-out and each
+        // build's internal fork-join, so a cold batch never oversubscribes
+        // the machine with outer × inner worker threads.
+        let total_threads = cpdb_parallel::resolve_threads(self.threads);
+        let split_budget = |wave_len: usize| {
+            let outer = total_threads.min(wave_len.max(1));
+            (outer, (total_threads / outer).max(1))
+        };
+        let mut builds: Vec<Box<dyn Fn(usize) + Sync>> = Vec::new();
+        for &k in &context_ks {
+            builds.push(Box::new(move |build_threads| {
+                self.prime_context(k, build_threads);
+            }));
+        }
+        if need_prefs {
+            builds.push(Box::new(|build_threads| self.prime_prefs(build_threads)));
+        }
+        if need_cocluster {
+            builds.push(Box::new(|build_threads| {
+                self.prime_cocluster(build_threads)
+            }));
+        }
+        if need_marginals {
+            builds.push(Box::new(|_| {
+                self.marginals_ref(false);
+            }));
+        }
+        if need_jaccard {
+            builds.push(Box::new(|_| {
+                self.jaccard_candidates_ref(false);
+            }));
+        }
+        let (outer, inner) = split_budget(builds.len());
+        parallel_map_indexed(outer, builds.len(), |i| builds[i](inner));
+        // Wave 2: the per-k pool tournaments, which read the contexts (and
+        // possibly the full tournament) produced by wave 1.
+        let kendall_ks: Vec<usize> = kendall_ks.into_iter().collect();
+        let (outer, inner) = split_budget(kendall_ks.len());
+        parallel_map_indexed(outer, kendall_ks.len(), |i| {
+            self.prime_kendall_pool(kendall_ks[i], inner)
+        });
     }
 }
 
@@ -719,7 +1120,7 @@ mod tests {
 
     #[test]
     fn batch_of_four_metrics_builds_one_context() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let queries: Vec<Query> = [
             TopKMetric::SymmetricDifference,
             TopKMetric::Intersection,
@@ -737,12 +1138,219 @@ mod tests {
         assert!(results.iter().all(|r| r.is_ok()));
         let stats = engine.cache_stats();
         assert_eq!(stats.rank_context_builds, 1, "{stats:?}");
-        assert_eq!(stats.rank_context_hits, 3, "{stats:?}");
+        // The batch planner prefetches the context, so all four queries are
+        // cache hits (a prefetch is planning, not a query).
+        assert_eq!(stats.rank_context_hits, 4, "{stats:?}");
+        assert_eq!(stats.batch_dedup_hits, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn serial_run_batch_counts_the_builder_query_as_a_build() {
+        let engine = small_engine();
+        let queries: Vec<Query> = [TopKMetric::SymmetricDifference, TopKMetric::Footrule]
+            .into_iter()
+            .map(|metric| Query::TopK {
+                k: 2,
+                metric,
+                variant: Variant::Mean,
+            })
+            .collect();
+        let results = engine.run_batch_serial(&queries);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.rank_context_builds, 1, "{stats:?}");
+        assert_eq!(stats.rank_context_hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn parallel_run_batch_is_bit_identical_to_the_serial_loop() {
+        let mut queries: Vec<Query> = Vec::new();
+        for k in [1usize, 2, 3] {
+            for metric in [
+                TopKMetric::SymmetricDifference,
+                TopKMetric::Intersection,
+                TopKMetric::Footrule,
+                TopKMetric::Kendall,
+            ] {
+                queries.push(Query::TopK {
+                    k,
+                    metric,
+                    variant: Variant::Mean,
+                });
+            }
+        }
+        queries.push(Query::TopK {
+            k: 2,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Median,
+        });
+        queries.push(Query::TopK {
+            k: 2,
+            metric: TopKMetric::Footrule,
+            variant: Variant::Median, // unsupported: errors must round-trip too
+        });
+        queries.push(Query::TopK {
+            k: 9,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Mean, // out of range
+        });
+        queries.push(Query::SetConsensus {
+            metric: SetMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        });
+        queries.push(Query::SetConsensus {
+            metric: SetMetric::Jaccard,
+            variant: Variant::Mean,
+        });
+        queries.push(Query::Clustering { restarts: 8 });
+        queries.push(Query::Baseline {
+            kind: BaselineKind::GlobalTopK { k: 2 },
+        });
+        let serial = small_engine().run_batch_serial(&queries);
+        for threads in [1usize, 2, 4, 8] {
+            let tree = independent_tree(&[
+                (1, 90.0, 0.3),
+                (2, 80.0, 0.9),
+                (3, 70.0, 0.6),
+                (4, 60.0, 0.7),
+            ]);
+            let engine = ConsensusEngineBuilder::new(tree)
+                .seed(7)
+                .threads(threads)
+                .build()
+                .unwrap();
+            let parallel = engine.run_batch(&queries);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_queries_are_answered_once_and_cloned() {
+        let engine = small_engine();
+        let q = Query::TopK {
+            k: 2,
+            metric: TopKMetric::Footrule,
+            variant: Variant::Mean,
+        };
+        let other = Query::TopK {
+            k: 2,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        };
+        let batch = vec![q.clone(), other.clone(), q.clone(), q.clone(), other];
+        let answers = engine.run_batch(&batch);
+        assert_eq!(answers[0], answers[2]);
+        assert_eq!(answers[0], answers[3]);
+        assert_eq!(answers[1], answers[4]);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.batch_dedup_hits, 3, "{stats:?}");
+        // Only the two distinct queries executed: one build + two hits.
+        assert_eq!(stats.rank_context_builds, 1, "{stats:?}");
+        assert_eq!(stats.rank_context_hits, 2, "{stats:?}");
+        // The dedup answers are bit-identical to the serial loop's.
+        let serial = small_engine().run_batch_serial(&batch);
+        assert_eq!(answers, serial);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConsensusEngine>();
+    }
+
+    #[test]
+    fn clones_share_built_artifacts_and_start_warm() {
+        let engine = small_engine();
+        let q = Query::TopK {
+            k: 2,
+            metric: TopKMetric::Footrule,
+            variant: Variant::Mean,
+        };
+        let answer = engine.run(&q).unwrap();
+        let warm = engine.clone();
+        // The clone's counters continue from the source's snapshot…
+        assert_eq!(warm.cache_stats(), engine.cache_stats());
+        // …and its first query is a cache hit, not a rebuild.
+        assert_eq!(warm.run(&q).unwrap(), answer);
+        let stats = warm.cache_stats();
+        assert_eq!(stats.rank_context_builds, 1, "{stats:?}");
+        assert_eq!(stats.rank_context_hits, 1, "{stats:?}");
+        // Artifacts built after the clone are not shared back: the source
+        // still builds k = 3 itself.
+        let _ = warm.context(3).unwrap();
+        assert_eq!(engine.cache_stats().rank_context_builds, 1);
+    }
+
+    #[test]
+    fn artifacts_built_after_the_clone_are_not_shared_forward() {
+        // Clone while every slot is still empty, then build on the source:
+        // the clone must do its own builds (empty cells are never shared).
+        let engine = small_engine();
+        let cold_clone = engine.clone();
+        let _ = engine.preference_matrix();
+        let _ = engine.coclustering_weights();
+        let _ = engine.context(2).unwrap();
+        assert_eq!(cold_clone.cache_stats(), CacheStats::default());
+        let _ = cold_clone.preference_matrix();
+        let _ = cold_clone.context(2).unwrap();
+        let stats = cold_clone.cache_stats();
+        assert_eq!(stats.preference_builds, 1, "{stats:?}");
+        assert_eq!(stats.preference_hits, 0, "{stats:?}");
+        assert_eq!(stats.rank_context_builds, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn threads_sharing_one_engine_agree_with_the_serial_loop() {
+        let queries: Vec<Query> = vec![
+            Query::TopK {
+                k: 2,
+                metric: TopKMetric::Kendall,
+                variant: Variant::Mean,
+            },
+            Query::TopK {
+                k: 3,
+                metric: TopKMetric::Intersection,
+                variant: Variant::Mean,
+            },
+            Query::Clustering { restarts: 8 },
+            Query::SetConsensus {
+                metric: SetMetric::Jaccard,
+                variant: Variant::Mean,
+            },
+        ];
+        let serial = small_engine().run_batch_serial(&queries);
+        let engine = small_engine();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let engine = &engine;
+                    let queries = &queries;
+                    let serial = &serial;
+                    scope.spawn(move || {
+                        // Each thread walks the shared engine in a different
+                        // order; every answer must match the serial loop.
+                        for i in 0..queries.len() {
+                            let at = (i + t) % queries.len();
+                            assert_eq!(engine.run(&queries[at]), serial[at], "thread {t}");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // Concurrent traffic built each artifact exactly once.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.rank_context_builds, 2, "{stats:?}");
+        assert_eq!(stats.coclustering_builds, 1, "{stats:?}");
+        assert_eq!(stats.preference_builds, 1, "{stats:?}");
+        assert_eq!(stats.marginal_builds, 1, "{stats:?}");
     }
 
     #[test]
     fn answers_match_the_direct_free_functions() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let ctx = TopKContext::new(engine.tree(), 2);
 
         let q = Query::TopK {
@@ -777,7 +1385,7 @@ mod tests {
 
     #[test]
     fn kendall_pivot_replays_through_query_rng() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let q = Query::TopK {
             k: 2,
             metric: TopKMetric::Kendall,
@@ -798,7 +1406,7 @@ mod tests {
 
     #[test]
     fn median_variants_are_gated_by_metric() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let ok = engine.run(&Query::TopK {
             k: 2,
             metric: TopKMetric::SymmetricDifference,
@@ -815,7 +1423,7 @@ mod tests {
 
     #[test]
     fn k_range_is_enforced() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let err = engine.run(&Query::TopK {
             k: 9,
             metric: TopKMetric::SymmetricDifference,
@@ -829,7 +1437,7 @@ mod tests {
 
     #[test]
     fn aggregate_queries_need_an_instance() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         let err = engine.run(&Query::Aggregate {
             variant: Variant::Mean,
         });
@@ -838,7 +1446,7 @@ mod tests {
         let inst =
             GroupByInstance::new(vec![vec![0.6, 0.4], vec![0.2, 0.8], vec![0.5, 0.5]]).unwrap();
         let tree = independent_tree(&[(1, 1.0, 0.5)]);
-        let mut engine = ConsensusEngineBuilder::new(tree)
+        let engine = ConsensusEngineBuilder::new(tree)
             .groupby(inst.clone())
             .build()
             .unwrap();
@@ -861,7 +1469,7 @@ mod tests {
     #[test]
     fn shape_detection_tags_jaccard_guarantees() {
         // Tuple-independent: exact.
-        let mut engine = small_engine();
+        let engine = small_engine();
         let a = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::Jaccard,
@@ -880,7 +1488,7 @@ mod tests {
         let x2 = b.xor_node(vec![(l2, 0.8)]);
         let root = b.and_node(vec![x1, x2]);
         let tree = b.build(root).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+        let engine = ConsensusEngineBuilder::new(tree).build().unwrap();
         let median = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::Jaccard,
@@ -899,7 +1507,7 @@ mod tests {
 
     #[test]
     fn baselines_run_through_the_engine() {
-        let mut engine = small_engine();
+        let engine = small_engine();
         for kind in [
             BaselineKind::ExpectedScore { k: 2 },
             BaselineKind::ExpectedRank { k: 2, samples: 500 },
@@ -935,7 +1543,7 @@ mod tests {
     fn set_median_tag_reflects_attainability() {
         // Every block can yield "nothing": the majority set is a possible
         // world and Corollary 1 applies.
-        let mut engine = small_engine();
+        let engine = small_engine();
         let a = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::SymmetricDifference,
@@ -953,7 +1561,7 @@ mod tests {
         let l3 = b.leaf_parts(3, 30.0);
         let root = b.xor_node(vec![(l1, 0.4), (l2, 0.3), (l3, 0.3)]);
         let tree = b.build(root).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+        let engine = ConsensusEngineBuilder::new(tree).build().unwrap();
         let a = engine
             .run(&Query::SetConsensus {
                 metric: SetMetric::SymmetricDifference,
@@ -986,7 +1594,7 @@ mod tests {
         }
         let root = b.and_node(xors);
         let tree = b.build(root).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+        let engine = ConsensusEngineBuilder::new(tree).build().unwrap();
         let err = engine.run(&Query::Baseline {
             kind: BaselineKind::UTopKExact { k: 2 },
         });
@@ -1001,7 +1609,7 @@ mod tests {
             (3, 70.0, 0.6),
             (4, 60.0, 0.7),
         ]);
-        let mut engine = ConsensusEngineBuilder::new(tree.clone())
+        let engine = ConsensusEngineBuilder::new(tree.clone())
             .seed(7)
             .kendall_strategy(KendallStrategy::Pivot { pool: 2, trials: 4 })
             .build()
@@ -1052,7 +1660,7 @@ mod tests {
         }
         let root = b.and_node(xors);
         let tree = b.build(root).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(tree).seed(3).build().unwrap();
+        let engine = ConsensusEngineBuilder::new(tree).seed(3).build().unwrap();
         let a = engine.run(&Query::Clustering { restarts: 16 }).unwrap();
         let b = engine.run(&Query::Clustering { restarts: 32 }).unwrap();
         assert!(a.value.as_clustering().is_some());

@@ -17,10 +17,16 @@
 //!
 //! The engine memoises the expensive shared artifacts — rank-probability PMFs
 //! per `k`, the Kendall pairwise-order tournament, co-clustering weights,
-//! marginal tables — so [`ConsensusEngine::run_batch`] amortises the
-//! generating-function work across queries. Randomised paths draw from an
+//! marginal tables — in concurrency-safe interior-mutable slots, so every
+//! entry point takes `&self`: one warm engine can be shared across threads
+//! and serve queries concurrently, each artifact built exactly once.
+//! [`ConsensusEngine::run_batch`] amortises the generating-function work
+//! across queries with a two-phase parallel executor (plan + build the
+//! distinct artifacts concurrently, then fan query execution out across
+//! threads, answering duplicate queries once). Randomised paths draw from an
 //! owned seeded RNG with per-query stream derivation, so results are
-//! deterministic and independent of batch order.
+//! deterministic and independent of batch order, thread count, and
+//! interleaving — parallel batches are bit-identical to a serial loop.
 //!
 //! ## Quickstart
 //!
@@ -37,7 +43,7 @@
 //! ]).unwrap();
 //! let tree = cpdb_andxor::convert::from_tuple_independent(&db).unwrap();
 //!
-//! let mut engine = ConsensusEngineBuilder::new(tree).seed(2009).build().unwrap();
+//! let engine = ConsensusEngineBuilder::new(tree).seed(2009).build().unwrap();
 //!
 //! // One entry point for every consensus notion; a batch shares the cached
 //! // rank-probability PMFs across all four metrics.

@@ -139,6 +139,22 @@ fn mix(h: u64, v: u64) -> u64 {
     splitmix64(h.rotate_left(17) ^ v)
 }
 
+impl BaselineKind {
+    /// The result size `k` of the baseline — every baseline has one, and both
+    /// the engine's run path and its batch planner need it, so it lives here
+    /// rather than being pattern-matched in two places.
+    pub fn k(&self) -> usize {
+        match self {
+            BaselineKind::ExpectedScore { k }
+            | BaselineKind::ExpectedRank { k, .. }
+            | BaselineKind::UTopK { k, .. }
+            | BaselineKind::UTopKExact { k }
+            | BaselineKind::GlobalTopK { k }
+            | BaselineKind::ProbabilisticThreshold { k, .. } => *k,
+        }
+    }
+}
+
 impl Query {
     /// A stable 64-bit tag of the query's kind and parameters, used (together
     /// with the engine seed) to derive the RNG stream for its randomised

@@ -476,7 +476,7 @@ pub fn check_batch_genfunc(tree: &AndXorTree) -> usize {
 pub fn check_engine(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> usize {
     const KENDALL_SAMPLES: usize = 256;
     const BASELINE_SAMPLES: usize = 500;
-    let mut engine = ConsensusEngineBuilder::new(tree.clone())
+    let engine = ConsensusEngineBuilder::new(tree.clone())
         .seed(seed)
         .kendall_distance_samples(KENDALL_SAMPLES)
         .groupby(groupby.clone())
@@ -596,7 +596,7 @@ pub fn check_engine(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> 
     // --- Approximation-knob strategies. ---
     let k = n.clamp(1, 2);
     let ctx = TopKContext::new(tree, k);
-    let mut harmonic_engine = ConsensusEngineBuilder::new(tree.clone())
+    let harmonic_engine = ConsensusEngineBuilder::new(tree.clone())
         .seed(seed)
         .intersection_strategy(IntersectionStrategy::Harmonic)
         .build()
@@ -613,7 +613,7 @@ pub fn check_engine(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> 
         &intersection::mean_topk_upsilon_h(&ctx),
         "engine Υ_H strategy diverges"
     );
-    let mut proxy_engine = ConsensusEngineBuilder::new(tree.clone())
+    let proxy_engine = ConsensusEngineBuilder::new(tree.clone())
         .seed(seed)
         .kendall_strategy(KendallStrategy::FootruleProxy)
         .kendall_distance_samples(KENDALL_SAMPLES)
@@ -735,6 +735,125 @@ pub fn check_engine(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> 
     checks
 }
 
+/// Concurrent ↔ serial engine equivalence: a mixed batch covering every
+/// query family, executed through the parallel two-phase
+/// [`cpdb_engine::ConsensusEngine::run_batch`] at several thread counts and
+/// through a shared-engine multi-thread `run` loop, must be **bit-identical**
+/// to the serial reference loop — including the errors — and the concurrent
+/// traffic must build each shared artifact exactly once.
+pub fn check_engine_concurrency(tree: &AndXorTree, groupby: &GroupByInstance, seed: u64) -> usize {
+    const KENDALL_SAMPLES: usize = 128;
+    let n = tree.keys().len();
+    let build = |threads: usize| {
+        ConsensusEngineBuilder::new(tree.clone())
+            .seed(seed)
+            .kendall_distance_samples(KENDALL_SAMPLES)
+            .groupby(groupby.clone())
+            .threads(threads)
+            .build()
+            .expect("default engine configuration is valid")
+    };
+    let mut queries = Vec::new();
+    for k in 1..=n.min(3) {
+        for metric in [
+            TopKMetric::SymmetricDifference,
+            TopKMetric::Intersection,
+            TopKMetric::Footrule,
+            TopKMetric::Kendall,
+        ] {
+            queries.push(Query::TopK {
+                k,
+                metric,
+                variant: Variant::Mean,
+            });
+        }
+        queries.push(Query::TopK {
+            k,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Median,
+        });
+    }
+    queries.push(Query::SetConsensus {
+        metric: SetMetric::SymmetricDifference,
+        variant: Variant::Mean,
+    });
+    queries.push(Query::SetConsensus {
+        metric: SetMetric::Jaccard,
+        variant: Variant::Mean,
+    });
+    queries.push(Query::Clustering { restarts: 8 });
+    queries.push(Query::Aggregate {
+        variant: Variant::Mean,
+    });
+    queries.push(Query::Baseline {
+        kind: BaselineKind::GlobalTopK { k: 1 },
+    });
+    queries.push(Query::TopK {
+        k: n + 5,
+        metric: TopKMetric::Footrule,
+        variant: Variant::Mean, // out of range: errors must round-trip too
+    });
+
+    let serial = build(1).run_batch_serial(&queries);
+    let mut checks = 0;
+
+    // Parallel run_batch at several thread counts, fresh engine each time.
+    for threads in [1usize, 2, 3, 8] {
+        let engine = build(threads);
+        let parallel = engine.run_batch(&queries);
+        assert_eq!(
+            serial, parallel,
+            "parallel run_batch diverges from the serial loop at {threads} threads"
+        );
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.rank_context_builds,
+            n.min(3),
+            "run_batch rebuilt a rank context at {threads} threads: {stats:?}"
+        );
+        assert_eq!(
+            stats.preference_builds, 1,
+            "run_batch rebuilt the tournament at {threads} threads: {stats:?}"
+        );
+        assert_eq!(stats.coclustering_builds, 1, "{stats:?}");
+        assert_eq!(stats.marginal_builds, 1, "{stats:?}");
+        checks += 5;
+    }
+
+    // A shared engine hammered by raw `run` calls from several threads, each
+    // walking the query list in a different rotation.
+    let engine = build(2);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let (engine, queries, serial) = (&engine, &queries, &serial);
+                scope.spawn(move || {
+                    for i in 0..queries.len() {
+                        let at = (i + t * 7) % queries.len();
+                        assert_eq!(
+                            engine.run(&queries[at]),
+                            serial[at],
+                            "shared-engine thread {t} diverges on {:?}",
+                            queries[at]
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("hammer thread panicked");
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.rank_context_builds,
+        n.min(3),
+        "shared-engine traffic rebuilt a rank context: {stats:?}"
+    );
+    assert_eq!(stats.preference_builds, 1, "{stats:?}");
+    checks + 2
+}
+
 /// Outcome of a full conformance sweep for one seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConformanceSummary {
@@ -749,8 +868,10 @@ pub struct ConformanceSummary {
 /// algorithms on BID trees (k = 1..3) and tuple-independent trees, aggregates
 /// on group-by instances, clustering on attribute-uncertainty trees, the
 /// batch ↔ per-tuple generating-function equivalence on all three tree
-/// families, and the engine ↔ free-function equivalence sweep on both ranked
-/// tree families.
+/// families, the engine ↔ free-function equivalence sweep on both ranked
+/// tree families, and the concurrent ↔ serial engine equivalence check
+/// (parallel `run_batch` and multi-thread shared-engine traffic bit-identical
+/// to the serial loop).
 pub fn run_seed(seed: u64) -> ConformanceSummary {
     let ti_db = fixtures::small_tuple_independent(seed);
     let ti_tree = fixtures::small_tuple_independent_tree(seed);
@@ -776,6 +897,7 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     let groupby = fixtures::small_groupby(seed);
     checks += check_engine(&bid_tree, &groupby, seed);
     checks += check_engine(&ti_tree, &groupby, seed);
+    checks += check_engine_concurrency(&bid_tree, &groupby, seed);
     ConformanceSummary { seed, checks }
 }
 

@@ -41,7 +41,7 @@ fn main() {
     let root = builder.and_node(xors);
     let tree = builder.build(root).expect("valid dedup tree");
 
-    let mut engine = ConsensusEngineBuilder::new(tree)
+    let engine = ConsensusEngineBuilder::new(tree)
         .seed(17)
         .build()
         .expect("valid engine configuration");

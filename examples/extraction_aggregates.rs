@@ -25,7 +25,7 @@ fn main() {
         seed: 2009,
     });
     let instance = GroupByInstance::new(probs.clone()).expect("generated rows are distributions");
-    let mut engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
+    let engine = ConsensusEngineBuilder::new(groupby_tree(&probs))
         .seed(2009)
         .groupby(instance.clone())
         .build()

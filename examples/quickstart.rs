@@ -32,7 +32,7 @@ fn main() {
     let size_dist = tree.world_size_distribution();
     println!("world-size generating function: {size_dist}");
 
-    let mut engine = ConsensusEngineBuilder::new(tree)
+    let engine = ConsensusEngineBuilder::new(tree)
         .seed(2009)
         .build()
         .expect("valid engine configuration");

@@ -31,7 +31,7 @@ fn main() {
     let tree = consensus_pdb::andxor::convert::from_bid(&db).unwrap();
 
     let k = 3;
-    let mut engine = ConsensusEngineBuilder::new(tree)
+    let engine = ConsensusEngineBuilder::new(tree)
         .seed(7)
         .build()
         .expect("valid engine configuration");

@@ -42,7 +42,7 @@
 //! ]).unwrap();
 //! let tree = consensus_pdb::andxor::convert::from_tuple_independent(&db).unwrap();
 //!
-//! let mut engine = ConsensusEngineBuilder::new(tree).seed(2009).build().unwrap();
+//! let engine = ConsensusEngineBuilder::new(tree).seed(2009).build().unwrap();
 //!
 //! // Consensus Top-2 answer under the symmetric-difference metric.
 //! let answer = engine.run(&Query::TopK {
@@ -111,7 +111,7 @@ mod tests {
     fn engine_is_reachable_through_the_prelude() {
         let db = TupleIndependentDb::from_triples(&[(1, 10.0, 0.9), (2, 5.0, 0.4)]).unwrap();
         let tree = crate::andxor::convert::from_tuple_independent(&db).unwrap();
-        let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+        let engine = ConsensusEngineBuilder::new(tree).build().unwrap();
         let answer = engine
             .run(&Query::TopK {
                 k: 1,

@@ -65,7 +65,7 @@ fn engine_batches_are_order_independent() {
         variant: Variant::Mean,
     })
     .collect();
-    let mut forward_engine = ConsensusEngineBuilder::new(tree.clone())
+    let forward_engine = ConsensusEngineBuilder::new(tree.clone())
         .seed(11)
         .build()
         .unwrap();
@@ -75,7 +75,7 @@ fn engine_batches_are_order_independent() {
         .map(|r| r.unwrap())
         .collect();
     let reversed_queries: Vec<Query> = queries.iter().rev().cloned().collect();
-    let mut reversed_engine = ConsensusEngineBuilder::new(tree).seed(11).build().unwrap();
+    let reversed_engine = ConsensusEngineBuilder::new(tree).seed(11).build().unwrap();
     let reversed: Vec<_> = reversed_engine
         .run_batch(&reversed_queries)
         .into_iter()
@@ -89,7 +89,7 @@ fn engine_batches_are_order_independent() {
 #[test]
 fn unsupported_queries_fail_with_typed_errors() {
     let tree = fixtures::small_bid_tree(0);
-    let mut engine = ConsensusEngineBuilder::new(tree).build().unwrap();
+    let engine = ConsensusEngineBuilder::new(tree).build().unwrap();
     for metric in [
         TopKMetric::Intersection,
         TopKMetric::Footrule,
