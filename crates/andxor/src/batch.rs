@@ -309,9 +309,7 @@ impl<'a> SweepPlan<'a> {
                     // are topological (child < parent), so the slice splits
                     // cleanly into the child's and the parent's halves.
                     let (lo, hi) = st.polys.split_at_mut(parent);
-                    let parent_poly = &mut hi[0];
-                    parent_poly.add_scaled_assign(&lo[child], p);
-                    parent_poly.add_scaled_assign(&old_child, -p);
+                    hi[0].mixture_delta_assign(&lo[child], &old_child, p);
                 }
                 NodeKind::And => {
                     let seg = st.segs[parent].as_mut().expect("∧ nodes carry a seg");
@@ -512,6 +510,58 @@ impl CopresencePlan {
     }
 }
 
+/// One entry of the pairwise-order tournament:
+/// `Pr(r(a) < r(b)) = Σ_α Pr(α) − Σ_{α, β out-ranking α} Pr(α ∧ β)` — `b`'s
+/// alternatives are mutually exclusive, so "some out-ranking alternative of
+/// `b` present" expands into disjoint co-presences. Shared by the full batch
+/// build and the partial (live-update) patch path so both produce
+/// bit-identical values for the same tree.
+fn pairwise_entry(plan: &CopresencePlan, a: TupleKey, b: TupleKey) -> f64 {
+    let (Some(ga), gb) = (plan.groups.get(&a), plan.groups.get(&b)) else {
+        return 0.0;
+    };
+    let mut total: f64 = ga.iter().map(|g| g.presence).sum();
+    if let Some(gb) = gb {
+        for alt_a in ga {
+            for alt_b in gb {
+                let outranks = alt_b.value > alt_a.value || (alt_b.value == alt_a.value && b < a);
+                if outranks {
+                    total -= plan.group_copresence(alt_a, alt_b);
+                }
+            }
+        }
+    }
+    clamp_probability(total)
+}
+
+/// One entry of the co-clustering weight matrix:
+/// `w_{ab} = Pr(a, b take the same value) + Pr(a, b both absent)`. Shared by
+/// the full batch build and the partial patch path (see [`pairwise_entry`]).
+fn cocluster_entry(plan: &CopresencePlan, a: TupleKey, b: TupleKey) -> f64 {
+    let (Some(ga), Some(gb)) = (plan.groups.get(&a), plan.groups.get(&b)) else {
+        // A key with no leaves is never present; it co-clusters with
+        // another exactly when that other key is absent too.
+        let pa = plan.key_presence.get(&a).copied().unwrap_or(0.0);
+        let pb = plan.key_presence.get(&b).copied().unwrap_or(0.0);
+        return clamp_probability(1.0 - pa - pb);
+    };
+    let mut same_value = 0.0;
+    let mut both_present = 0.0;
+    for alt_a in ga {
+        for alt_b in gb {
+            let c = plan.group_copresence(alt_a, alt_b);
+            both_present += c;
+            if alt_a.value == alt_b.value {
+                same_value += clamp_probability(c);
+            }
+        }
+    }
+    let same_value = clamp_probability(same_value);
+    let both_absent =
+        clamp_probability(1.0 - plan.key_presence[&a] - plan.key_presence[&b] + both_present);
+    (same_value + both_absent).clamp(0.0, 1.0)
+}
+
 // ---------------------------------------------------------------------------
 // Public batch API.
 // ---------------------------------------------------------------------------
@@ -569,6 +619,38 @@ impl AndXorTree {
     /// `threads = 0` means "auto"; results are bit-identical at any thread
     /// count.
     pub fn batch_pairwise_order(&self, keys: &[TupleKey], threads: usize) -> Vec<f64> {
+        // The full build is the patch path with every entry recomputed, so
+        // "patched ≡ rebuilt" holds by construction.
+        let recompute = vec![true; keys.len()];
+        self.batch_pairwise_order_partial(
+            keys,
+            &recompute,
+            |_, _| unreachable!("every entry is recomputed"),
+            threads,
+        )
+    }
+
+    /// The **patch path** of [`AndXorTree::batch_pairwise_order`] for live
+    /// updates: recomputes only the entries whose row *or* column key is
+    /// flagged in `recompute` (per `keys` index) and takes every other
+    /// off-diagonal entry from `old_entry(i, j)`. Recomputed entries use the
+    /// identical per-pair closed form as the full batch build, and entries
+    /// whose keys' ∨-edge paths the mutation did not touch are unchanged
+    /// inputs to that closed form — so when `old_entry` serves values from a
+    /// pre-mutation tournament over untouched keys, the patched matrix is
+    /// **bit-identical** to a from-scratch rebuild on the mutated tree, at
+    /// `O(|affected|·n)` pair evaluations instead of `O(n²)`.
+    pub fn batch_pairwise_order_partial<F>(
+        &self,
+        keys: &[TupleKey],
+        recompute: &[bool],
+        old_entry: F,
+        threads: usize,
+    ) -> Vec<f64>
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        assert_eq!(keys.len(), recompute.len(), "one recompute flag per key");
         let plan = CopresencePlan::new(self);
         let n = keys.len();
         parallel_map_indexed(threads, n * n, |idx| {
@@ -576,26 +658,11 @@ impl AndXorTree {
             if i == j {
                 return 0.0;
             }
-            let (a, b) = (keys[i], keys[j]);
-            let (Some(ga), gb) = (plan.groups.get(&a), plan.groups.get(&b)) else {
-                return 0.0;
-            };
-            // Pr(r(a) < r(b)) = Σ_α Pr(α) − Σ_{α, β out-ranking α} Pr(α ∧ β):
-            // b's alternatives are mutually exclusive, so "some out-ranking
-            // alternative of b present" expands into disjoint co-presences.
-            let mut total: f64 = ga.iter().map(|g| g.presence).sum();
-            if let Some(gb) = gb {
-                for alt_a in ga {
-                    for alt_b in gb {
-                        let outranks =
-                            alt_b.value > alt_a.value || (alt_b.value == alt_a.value && b < a);
-                        if outranks {
-                            total -= plan.group_copresence(alt_a, alt_b);
-                        }
-                    }
-                }
+            if recompute[i] || recompute[j] {
+                pairwise_entry(&plan, keys[i], keys[j])
+            } else {
+                old_entry(i, j)
             }
-            clamp_probability(total)
         })
     }
 
@@ -608,38 +675,46 @@ impl AndXorTree {
     /// `threads = 0` means "auto"; results are bit-identical at any thread
     /// count.
     pub fn batch_cocluster_weights(&self, keys: &[TupleKey], threads: usize) -> Vec<f64> {
+        // The full build is the patch path with every pair recomputed, so
+        // "patched ≡ rebuilt" holds by construction.
+        let recompute = vec![true; keys.len()];
+        self.batch_cocluster_weights_partial(
+            keys,
+            &recompute,
+            |_, _| unreachable!("every pair is recomputed"),
+            threads,
+        )
+    }
+
+    /// The **patch path** of [`AndXorTree::batch_cocluster_weights`]: like
+    /// [`AndXorTree::batch_pairwise_order_partial`], recomputes only the
+    /// upper-triangle pairs with a flagged key (identical per-pair closed
+    /// form, so the patched matrix is bit-identical to a from-scratch
+    /// rebuild when `old_entry` serves pre-mutation values for untouched
+    /// pairs) and mirrors the result.
+    pub fn batch_cocluster_weights_partial<F>(
+        &self,
+        keys: &[TupleKey],
+        recompute: &[bool],
+        old_entry: F,
+        threads: usize,
+    ) -> Vec<f64>
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        assert_eq!(keys.len(), recompute.len(), "one recompute flag per key");
         let plan = CopresencePlan::new(self);
         let n = keys.len();
-        // Upper-triangle pairs, mirrored afterwards.
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
             .collect();
         let values = parallel_map_indexed(threads, pairs.len(), |idx| {
             let (i, j) = pairs[idx];
-            let (a, b) = (keys[i], keys[j]);
-            let (Some(ga), Some(gb)) = (plan.groups.get(&a), plan.groups.get(&b)) else {
-                // A key with no leaves is never present; it co-clusters with
-                // another exactly when that other key is absent too.
-                let pa = plan.key_presence.get(&a).copied().unwrap_or(0.0);
-                let pb = plan.key_presence.get(&b).copied().unwrap_or(0.0);
-                return clamp_probability(1.0 - pa - pb);
-            };
-            let mut same_value = 0.0;
-            let mut both_present = 0.0;
-            for alt_a in ga {
-                for alt_b in gb {
-                    let c = plan.group_copresence(alt_a, alt_b);
-                    both_present += c;
-                    if alt_a.value == alt_b.value {
-                        same_value += clamp_probability(c);
-                    }
-                }
+            if recompute[i] || recompute[j] {
+                cocluster_entry(&plan, keys[i], keys[j])
+            } else {
+                old_entry(i, j)
             }
-            let same_value = clamp_probability(same_value);
-            let both_absent = clamp_probability(
-                1.0 - plan.key_presence[&a] - plan.key_presence[&b] + both_present,
-            );
-            (same_value + both_absent).clamp(0.0, 1.0)
         });
         let mut out = vec![0.0; n * n];
         for i in 0..n {

@@ -38,9 +38,11 @@ pub mod batch;
 pub mod convert;
 pub mod figure1;
 pub mod genfunc_eval;
+pub mod mutate;
 pub mod rank;
 pub mod tree;
 pub mod worlds;
 
 pub use genfunc_eval::VarAssignment;
+pub use mutate::{DeltaImpact, TreeDelta};
 pub use tree::{AndXorTree, AndXorTreeBuilder, NodeId, NodeKind};

@@ -1,0 +1,902 @@
+//! Live mutation of probabilistic and/xor trees: [`TreeDelta`] application
+//! and dependency extraction.
+//!
+//! Everything in this crate so far treats an [`AndXorTree`] as frozen. The
+//! paper's motivating applications (sensor feeds, dedup pipelines,
+//! information extraction) are *live*: probabilities drift as new evidence
+//! arrives, readings are corrected, tuples appear and disappear. This module
+//! is the bottom layer of the `cpdb_live` subsystem:
+//!
+//! * [`TreeDelta`] — the supported mutations: update an ∨-edge probability,
+//!   update a leaf's score/value, insert or remove an alternative under an
+//!   ∨ node, and add a whole new tuple-key ∨ block under an ∧ node.
+//! * [`TreeDelta::apply`] / [`AndXorTree::apply_delta`] — validates the
+//!   delta against the Definition-1 constraints (via [`ModelError`], never a
+//!   panic) and produces a **new** tree; the input tree is never modified,
+//!   so readers holding the old tree keep a consistent snapshot.
+//! * [`DeltaImpact`] — the dependency extract consumed by `cpdb_engine`'s
+//!   artifact maintenance: which tuple keys' joint presence/value
+//!   distributions the mutation can touch, and which artifact-relevant
+//!   aspects (probabilities, values, membership, the global rank order)
+//!   changed. The tree structure localises dependencies: an ∨-edge
+//!   probability change only reaches the keys with a leaf below that edge —
+//!   every other key's root-to-leaf ∨-edge paths (and hence its marginals
+//!   and its pairwise co-presence statistics) are unchanged.
+//!
+//! Structural deltas (insert/remove) renumber node ids into a canonical
+//! children-before-parents order — the topological invariant the batch
+//! sweep relies on — so **node ids are only stable across non-structural
+//! deltas**; look targets up again (e.g. via [`AndXorTree::leaves_of_key`])
+//! after an insert or remove.
+
+use crate::tree::{AndXorTree, Node, NodeId, NodeKind};
+use cpdb_model::error::{validate_probability, ModelError};
+use cpdb_model::{Alternative, TupleKey};
+use std::collections::BTreeSet;
+
+/// Probability-mass tolerance at ∨ nodes, matching tree validation.
+const MASS_TOL: f64 = 1e-9;
+
+/// One supported mutation of an [`AndXorTree`]. Applying a delta never
+/// mutates the input tree: [`TreeDelta::apply`] returns a fresh, validated
+/// tree plus the [`DeltaImpact`] dependency extract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeDelta {
+    /// Set the probability of the `xor → child` edge to `probability`
+    /// (e.g. new evidence re-weights one alternative of a tuple).
+    XorEdgeProbability {
+        /// The ∨ node owning the edge.
+        xor: NodeId,
+        /// The child whose edge probability changes.
+        child: NodeId,
+        /// The new edge probability (validated against the block's mass).
+        probability: f64,
+    },
+    /// Replace the score/value stored at a leaf (e.g. a corrected reading).
+    LeafValue {
+        /// The leaf to update.
+        leaf: NodeId,
+        /// The new attribute value.
+        value: f64,
+    },
+    /// Insert a new leaf alternative under an existing ∨ node.
+    InsertAlternative {
+        /// The ∨ node gaining an alternative (appended after its children).
+        xor: NodeId,
+        /// Tuple key of the new alternative.
+        key: u64,
+        /// Attribute value of the new alternative.
+        value: f64,
+        /// Edge probability of the new alternative.
+        probability: f64,
+    },
+    /// Remove a leaf alternative (and its edge) from an ∨ node. Removing the
+    /// last child of an ∨ node is rejected ([`ModelError::Empty`]).
+    RemoveAlternative {
+        /// The ∨ node losing an alternative.
+        xor: NodeId,
+        /// The leaf child to remove.
+        leaf: NodeId,
+    },
+    /// Add a whole new tuple: an ∨ block of leaf alternatives, attached
+    /// under an existing ∧ node (appended after its children).
+    InsertTupleBlock {
+        /// The ∧ node gaining the block (typically the root).
+        under: NodeId,
+        /// Tuple key of the new block's alternatives.
+        key: u64,
+        /// `(value, probability)` per alternative; total mass ≤ 1.
+        alternatives: Vec<(f64, f64)>,
+    },
+}
+
+/// Dependency extract of one applied [`TreeDelta`] — what `cpdb_engine`'s
+/// delta-aware artifact maintenance plans against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaImpact {
+    /// The tuple keys whose joint presence/value distribution the delta can
+    /// touch. Pairwise artifacts (order tournaments, co-clustering weights)
+    /// and per-alternative tables (marginals) are unchanged outside this
+    /// set; global-rank artifacts (rank PMFs) are governed by
+    /// [`Self::rank_order_preserved`] instead.
+    pub affected_keys: BTreeSet<TupleKey>,
+    /// Whether any edge probability (including ∨ leftover mass) changed.
+    pub probabilities_changed: bool,
+    /// Whether any leaf value changed.
+    pub values_changed: bool,
+    /// Whether a leaf or block was inserted or removed.
+    pub membership_changed: bool,
+    /// Whether the rank-PMF inputs are untouched: the chronological sweep
+    /// (decreasing value, key tie-break) visits the same targets with the
+    /// same leaf sets and the same probabilities, so every rank PMF — and
+    /// every [`cpdb_genfunc`]-derived per-`k` context — on the new tree is
+    /// bit-identical to the old one. Only value updates that preserve the
+    /// global score order qualify.
+    pub rank_order_preserved: bool,
+}
+
+impl AndXorTree {
+    /// Applies a [`TreeDelta`], returning the mutated tree and its
+    /// [`DeltaImpact`]. See [`TreeDelta::apply`].
+    pub fn apply_delta(&self, delta: &TreeDelta) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+        delta.apply(self)
+    }
+
+    /// The parent of a node (`None` for the root). Linear scan — intended
+    /// for delta authoring, not hot paths.
+    pub fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes.iter().enumerate().find_map(|(pid, node)| {
+            let Node::Inner { children, .. } = node else {
+                return None;
+            };
+            children
+                .iter()
+                .any(|(c, _)| *c == id)
+                .then_some(NodeId(pid))
+        })
+    }
+
+    /// All leaves holding alternatives of `key`, in node-id order. Handy for
+    /// addressing [`TreeDelta`] targets by content instead of by id
+    /// (structural deltas renumber ids).
+    pub fn leaves_of_key(&self, key: u64) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, node)| match node {
+                Node::Leaf(a) if a.key == TupleKey(key) => Some(NodeId(id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All ∨ node ids, in node-id order. Like [`AndXorTree::leaves_of_key`],
+    /// a content-addressed way to pick [`TreeDelta`] targets.
+    pub fn xor_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, node)| match node {
+                Node::Inner {
+                    kind: NodeKind::Xor,
+                    ..
+                } => Some(NodeId(id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All leaf node ids, in node-id order.
+    pub fn leaf_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, node)| match node {
+                Node::Leaf(_) => Some(NodeId(id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The set of tuple keys with a leaf in the subtree rooted at `id`.
+    pub fn subtree_keys(&self, id: NodeId) -> BTreeSet<TupleKey> {
+        let mut out = BTreeSet::new();
+        self.collect_subtree_keys(id, &mut out);
+        out
+    }
+
+    fn collect_subtree_keys(&self, id: NodeId, out: &mut BTreeSet<TupleKey>) {
+        match &self.nodes[id.0] {
+            Node::Leaf(a) => {
+                out.insert(a.key);
+            }
+            Node::Inner { children, .. } => {
+                for (c, _) in children {
+                    self.collect_subtree_keys(*c, out);
+                }
+            }
+        }
+    }
+}
+
+/// The rank-sweep signature: the distinct `(key, value)` alternatives in the
+/// chronological activation order (decreasing value, key tie-break — exactly
+/// the batch sweep's target order) with their sorted leaf ids, values
+/// erased. Two trees with equal signatures and equal edge probabilities
+/// produce bit-identical rank PMFs.
+fn rank_signature(tree: &AndXorTree) -> Vec<(TupleKey, Vec<usize>)> {
+    let mut groups: std::collections::HashMap<(TupleKey, u64), (f64, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for (id, node) in tree.nodes.iter().enumerate() {
+        if let Node::Leaf(a) = node {
+            groups
+                .entry((a.key, a.value.0.to_bits()))
+                .or_insert_with(|| (a.value.0, Vec::new()))
+                .1
+                .push(id);
+        }
+    }
+    let mut targets: Vec<(TupleKey, f64, Vec<usize>)> = groups
+        .into_iter()
+        .map(|((key, _), (value, mut leaves))| {
+            leaves.sort_unstable();
+            (key, value, leaves)
+        })
+        .collect();
+    targets.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    targets.into_iter().map(|(k, _, l)| (k, l)).collect()
+}
+
+impl TreeDelta {
+    /// Validates the delta against the tree and the Definition-1 constraints
+    /// and applies it, returning the new tree and the [`DeltaImpact`]
+    /// dependency extract. The input tree is untouched.
+    pub fn apply(&self, tree: &AndXorTree) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+        match self {
+            TreeDelta::XorEdgeProbability {
+                xor,
+                child,
+                probability,
+            } => apply_xor_probability(tree, *xor, *child, *probability),
+            TreeDelta::LeafValue { leaf, value } => apply_leaf_value(tree, *leaf, *value),
+            TreeDelta::InsertAlternative {
+                xor,
+                key,
+                value,
+                probability,
+            } => apply_insert_alternative(tree, *xor, *key, *value, *probability),
+            TreeDelta::RemoveAlternative { xor, leaf } => {
+                apply_remove_alternative(tree, *xor, *leaf)
+            }
+            TreeDelta::InsertTupleBlock {
+                under,
+                key,
+                alternatives,
+            } => apply_insert_block(tree, *under, *key, alternatives),
+        }
+    }
+}
+
+/// Looks up an inner node of the expected kind.
+fn expect_inner<'t>(
+    tree: &'t AndXorTree,
+    id: NodeId,
+    kind: NodeKind,
+    what: &str,
+) -> Result<&'t Vec<(NodeId, f64)>, ModelError> {
+    match tree.nodes.get(id.0) {
+        Some(Node::Inner {
+            kind: k, children, ..
+        }) if *k == kind => Ok(children),
+        Some(_) => Err(ModelError::Invalid {
+            context: format!("node {} is not {what}", id.0),
+        }),
+        None => Err(ModelError::NotFound {
+            context: format!("{what} {}", id.0),
+        }),
+    }
+}
+
+fn validate_value(value: f64, context: &str) -> Result<(), ModelError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(ModelError::Invalid {
+            context: format!("{context}: value {value} is not finite"),
+        })
+    }
+}
+
+fn apply_xor_probability(
+    tree: &AndXorTree,
+    xor: NodeId,
+    child: NodeId,
+    probability: f64,
+) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+    let children = expect_inner(tree, xor, NodeKind::Xor, "an ∨ node")?;
+    let idx = children
+        .iter()
+        .position(|(c, _)| *c == child)
+        .ok_or_else(|| ModelError::NotFound {
+            context: format!("edge {} → {}", xor.0, child.0),
+        })?;
+    validate_probability(probability, &format!("edge of xor node {}", xor.0))?;
+    let total: f64 = children
+        .iter()
+        .enumerate()
+        .map(|(i, (_, p))| if i == idx { probability } else { *p })
+        .sum();
+    if total > 1.0 + MASS_TOL {
+        return Err(ModelError::ProbabilityMassExceeded {
+            total,
+            context: format!("xor node {}", xor.0),
+        });
+    }
+    let mut nodes = tree.nodes.clone();
+    if let Node::Inner { children, .. } = &mut nodes[xor.0] {
+        children[idx].1 = probability;
+    }
+    let new_tree = AndXorTree::from_raw_parts(nodes, tree.root());
+    let impact = DeltaImpact {
+        affected_keys: tree.subtree_keys(child),
+        probabilities_changed: true,
+        values_changed: false,
+        membership_changed: false,
+        rank_order_preserved: false,
+    };
+    Ok((new_tree, impact))
+}
+
+fn apply_leaf_value(
+    tree: &AndXorTree,
+    leaf: NodeId,
+    value: f64,
+) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+    let old = match tree.nodes.get(leaf.0) {
+        Some(Node::Leaf(a)) => *a,
+        Some(_) => {
+            return Err(ModelError::Invalid {
+                context: format!("node {} is not a leaf", leaf.0),
+            })
+        }
+        None => {
+            return Err(ModelError::NotFound {
+                context: format!("leaf {}", leaf.0),
+            })
+        }
+    };
+    validate_value(value, &format!("leaf {}", leaf.0))?;
+    let mut nodes = tree.nodes.clone();
+    nodes[leaf.0] = Node::Leaf(Alternative::new(old.key.0, value));
+    let new_tree = AndXorTree::from_raw_parts(nodes, tree.root());
+    let rank_order_preserved = rank_signature(tree) == rank_signature(&new_tree);
+    let mut affected_keys = BTreeSet::new();
+    affected_keys.insert(old.key);
+    let impact = DeltaImpact {
+        affected_keys,
+        probabilities_changed: false,
+        values_changed: true,
+        membership_changed: false,
+        rank_order_preserved,
+    };
+    Ok((new_tree, impact))
+}
+
+fn apply_insert_alternative(
+    tree: &AndXorTree,
+    xor: NodeId,
+    key: u64,
+    value: f64,
+    probability: f64,
+) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+    let children = expect_inner(tree, xor, NodeKind::Xor, "an ∨ node")?;
+    validate_probability(probability, &format!("edge of xor node {}", xor.0))?;
+    validate_value(value, &format!("new alternative of key {key}"))?;
+    let total: f64 = children.iter().map(|(_, p)| *p).sum::<f64>() + probability;
+    if total > 1.0 + MASS_TOL {
+        return Err(ModelError::ProbabilityMassExceeded {
+            total,
+            context: format!("xor node {}", xor.0),
+        });
+    }
+    let mut nodes = tree.nodes.clone();
+    let leaf = NodeId(nodes.len());
+    nodes.push(Node::Leaf(Alternative::new(key, value)));
+    if let Node::Inner { children, .. } = &mut nodes[xor.0] {
+        children.push((leaf, probability));
+    }
+    let new_tree = finish_structural(nodes, tree.root())?;
+    let mut affected_keys = BTreeSet::new();
+    affected_keys.insert(TupleKey(key));
+    let impact = DeltaImpact {
+        affected_keys,
+        probabilities_changed: true,
+        values_changed: false,
+        membership_changed: true,
+        rank_order_preserved: false,
+    };
+    Ok((new_tree, impact))
+}
+
+fn apply_remove_alternative(
+    tree: &AndXorTree,
+    xor: NodeId,
+    leaf: NodeId,
+) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+    let children = expect_inner(tree, xor, NodeKind::Xor, "an ∨ node")?;
+    let idx = children
+        .iter()
+        .position(|(c, _)| *c == leaf)
+        .ok_or_else(|| ModelError::NotFound {
+            context: format!("edge {} → {}", xor.0, leaf.0),
+        })?;
+    let removed = match tree.nodes.get(leaf.0) {
+        Some(Node::Leaf(a)) => *a,
+        _ => {
+            return Err(ModelError::Invalid {
+                context: format!(
+                    "node {} is not a leaf; only leaf alternatives can be removed",
+                    leaf.0
+                ),
+            })
+        }
+    };
+    if children.len() == 1 {
+        return Err(ModelError::Empty {
+            context: format!(
+                "removing the last alternative would leave xor node {} childless",
+                xor.0
+            ),
+        });
+    }
+    let mut nodes = tree.nodes.clone();
+    if let Node::Inner { children, .. } = &mut nodes[xor.0] {
+        children.remove(idx);
+    }
+    // Renumbering is reachability-driven, so the detached leaf drops out.
+    let new_tree = finish_structural(nodes, tree.root())?;
+    let mut affected_keys = BTreeSet::new();
+    affected_keys.insert(removed.key);
+    let impact = DeltaImpact {
+        affected_keys,
+        probabilities_changed: true,
+        values_changed: false,
+        membership_changed: true,
+        rank_order_preserved: false,
+    };
+    Ok((new_tree, impact))
+}
+
+fn apply_insert_block(
+    tree: &AndXorTree,
+    under: NodeId,
+    key: u64,
+    alternatives: &[(f64, f64)],
+) -> Result<(AndXorTree, DeltaImpact), ModelError> {
+    expect_inner(tree, under, NodeKind::And, "an ∧ node")?;
+    if alternatives.is_empty() {
+        return Err(ModelError::Empty {
+            context: format!("new tuple block for key {key} has no alternatives"),
+        });
+    }
+    let mut total = 0.0;
+    for &(value, p) in alternatives {
+        validate_probability(p, &format!("alternative of new tuple block {key}"))?;
+        validate_value(value, &format!("alternative of new tuple block {key}"))?;
+        total += p;
+    }
+    if total > 1.0 + MASS_TOL {
+        return Err(ModelError::ProbabilityMassExceeded {
+            total,
+            context: format!("new tuple block for key {key}"),
+        });
+    }
+    let mut nodes = tree.nodes.clone();
+    let edges: Vec<(NodeId, f64)> = alternatives
+        .iter()
+        .map(|&(value, p)| {
+            let leaf = NodeId(nodes.len());
+            nodes.push(Node::Leaf(Alternative::new(key, value)));
+            (leaf, p)
+        })
+        .collect();
+    let xor = NodeId(nodes.len());
+    nodes.push(Node::Inner {
+        kind: NodeKind::Xor,
+        children: edges,
+    });
+    if let Node::Inner { children, .. } = &mut nodes[under.0] {
+        children.push((xor, 1.0));
+    }
+    let new_tree = finish_structural(nodes, tree.root())?;
+    let mut affected_keys = BTreeSet::new();
+    affected_keys.insert(TupleKey(key));
+    let impact = DeltaImpact {
+        affected_keys,
+        probabilities_changed: true,
+        values_changed: false,
+        membership_changed: true,
+        rank_order_preserved: false,
+    };
+    Ok((new_tree, impact))
+}
+
+/// Renumbers a structurally mutated node vector into the canonical
+/// children-before-parents (post-order DFS) id order the batch sweep
+/// requires, drops unreachable nodes, and runs full tree validation.
+fn finish_structural(nodes: Vec<Node>, root: NodeId) -> Result<AndXorTree, ModelError> {
+    let mut map: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut out: Vec<Node> = Vec::with_capacity(nodes.len());
+    renumber_visit(&nodes, root.0, &mut map, &mut out)?;
+    let new_root = NodeId(map[root.0].expect("root is visited first"));
+    let tree = AndXorTree::from_raw_parts(out, new_root);
+    tree.validate()?;
+    Ok(tree)
+}
+
+fn renumber_visit(
+    nodes: &[Node],
+    id: usize,
+    map: &mut Vec<Option<usize>>,
+    out: &mut Vec<Node>,
+) -> Result<(), ModelError> {
+    if map[id].is_some() {
+        // A node reached twice means the structure is not a tree; full
+        // validation would reject it too, but catch it here to keep the
+        // renumbering well-defined.
+        return Err(ModelError::Invalid {
+            context: format!("node {id} has two parents; the structure must be a tree"),
+        });
+    }
+    let new_node = match &nodes[id] {
+        Node::Leaf(a) => Node::Leaf(*a),
+        Node::Inner { kind, children } => {
+            let mut remapped = Vec::with_capacity(children.len());
+            for (c, p) in children {
+                renumber_visit(nodes, c.0, map, out)?;
+                remapped.push((NodeId(map[c.0].expect("child just visited")), *p));
+            }
+            Node::Inner {
+                kind: *kind,
+                children: remapped,
+            }
+        }
+    };
+    map[id] = Some(out.len());
+    out.push(new_node);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::AndXorTreeBuilder;
+    use cpdb_genfunc::Poly1;
+
+    /// BID-shaped tree: root ∧ over one ∨ block per key.
+    fn bid_tree() -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for (key, alts) in [
+            (1u64, vec![(95.0, 0.3), (40.0, 0.5)]),
+            (2, vec![(80.0, 0.6), (55.0, 0.2)]),
+            (3, vec![(70.0, 0.9)]),
+            (4, vec![(60.0, 0.45), (50.0, 0.25)]),
+        ] {
+            let edges: Vec<_> = alts
+                .iter()
+                .map(|&(v, p)| (b.leaf_parts(key, v), p))
+                .collect();
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root).unwrap()
+    }
+
+    fn first_block(tree: &AndXorTree, key: u64) -> (NodeId, NodeId) {
+        let leaf = tree.leaves_of_key(key)[0];
+        let xor = tree.parent_of(leaf).unwrap();
+        (xor, leaf)
+    }
+
+    #[test]
+    fn xor_probability_update_localises_dependencies() {
+        let tree = bid_tree();
+        let (xor, leaf) = first_block(&tree, 2);
+        let delta = TreeDelta::XorEdgeProbability {
+            xor,
+            child: leaf,
+            probability: 0.7,
+        };
+        let (new_tree, impact) = tree.apply_delta(&delta).unwrap();
+        assert_eq!(
+            impact.affected_keys.iter().collect::<Vec<_>>(),
+            vec![&TupleKey(2)]
+        );
+        assert!(impact.probabilities_changed && !impact.membership_changed);
+        assert!(!impact.rank_order_preserved);
+        // Node ids are stable for non-structural deltas.
+        assert_eq!(new_tree.node_count(), tree.node_count());
+        let probs = new_tree.alternative_probabilities();
+        assert!((probs[&Alternative::new(2, 80.0)] - 0.7).abs() < 1e-12);
+        // Untouched keys keep bit-identical marginals.
+        let old_probs = tree.alternative_probabilities();
+        for (alt, p) in &old_probs {
+            if alt.key != TupleKey(2) {
+                assert_eq!(p.to_bits(), probs[alt].to_bits(), "{alt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_probability_update_validates_mass_and_range() {
+        let tree = bid_tree();
+        let (xor, leaf) = first_block(&tree, 1);
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.6, // 0.6 + sibling 0.5 > 1
+            }),
+            Err(ModelError::ProbabilityMassExceeded { .. })
+        ));
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 1.3,
+            }),
+            Err(ModelError::InvalidProbability { .. })
+        ));
+        assert!(tree
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: xor, // not an edge of this node
+                probability: 0.1,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn leaf_value_update_tracks_rank_order() {
+        let tree = bid_tree();
+        let leaf = tree.leaves_of_key(3)[0]; // value 70.0, between 80 and 60
+                                             // Order-preserving nudge: PMFs must be reusable.
+        let (_, impact) = tree
+            .apply_delta(&TreeDelta::LeafValue { leaf, value: 72.5 })
+            .unwrap();
+        assert!(impact.rank_order_preserved);
+        assert!(impact.values_changed && !impact.probabilities_changed);
+        // Order-changing move: 70 → 99 out-ranks everything.
+        let (new_tree, impact) = tree
+            .apply_delta(&TreeDelta::LeafValue { leaf, value: 99.0 })
+            .unwrap();
+        assert!(!impact.rank_order_preserved);
+        assert_eq!(
+            new_tree.leaf_alternative(leaf),
+            Some(Alternative::new(3, 99.0))
+        );
+        assert!(tree
+            .apply_delta(&TreeDelta::LeafValue {
+                leaf,
+                value: f64::NAN,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rank_order_preservation_is_bit_exact_for_pmfs() {
+        let tree = bid_tree();
+        let leaf = tree.leaves_of_key(3)[0];
+        let (new_tree, impact) = tree
+            .apply_delta(&TreeDelta::LeafValue { leaf, value: 72.5 })
+            .unwrap();
+        assert!(impact.rank_order_preserved);
+        let old = tree.batch_rank_pmfs(3, 1);
+        let new = new_tree.batch_rank_pmfs(3, 1);
+        for (key, pmf) in &old {
+            for (a, b) in pmf.iter().zip(&new[key]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_alternative_round_trip() {
+        let tree = bid_tree();
+        let (xor, _) = first_block(&tree, 3); // block mass 0.9, room for 0.05
+        let (grown, impact) = tree
+            .apply_delta(&TreeDelta::InsertAlternative {
+                xor,
+                key: 3,
+                value: 65.0,
+                probability: 0.05,
+            })
+            .unwrap();
+        assert!(impact.membership_changed);
+        assert_eq!(grown.leaf_count(), tree.leaf_count() + 1);
+        let probs = grown.alternative_probabilities();
+        assert!((probs[&Alternative::new(3, 65.0)] - 0.05).abs() < 1e-12);
+        // Remove it again (ids were renumbered — look the leaf up by content).
+        let new_leaf = grown
+            .leaves_of_key(3)
+            .into_iter()
+            .find(|&l| grown.leaf_alternative(l) == Some(Alternative::new(3, 65.0)))
+            .unwrap();
+        let new_xor = grown.parent_of(new_leaf).unwrap();
+        let (back, impact) = grown
+            .apply_delta(&TreeDelta::RemoveAlternative {
+                xor: new_xor,
+                leaf: new_leaf,
+            })
+            .unwrap();
+        assert!(impact.membership_changed);
+        assert_eq!(back.leaf_count(), tree.leaf_count());
+        assert_eq!(back.alternatives(), tree.alternatives());
+    }
+
+    #[test]
+    fn insert_validates_mass_and_remove_protects_last_child() {
+        let tree = bid_tree();
+        let (xor, leaf) = first_block(&tree, 1); // block mass 0.8
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::InsertAlternative {
+                xor,
+                key: 1,
+                value: 10.0,
+                probability: 0.3,
+            }),
+            Err(ModelError::ProbabilityMassExceeded { .. })
+        ));
+        // Key constraint: inserting key 2 under key 1's block is fine per se
+        // (∨ LCA with key 2's own block? No — their LCA is the root ∧), so
+        // full validation must reject it.
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::InsertAlternative {
+                xor,
+                key: 2,
+                value: 10.0,
+                probability: 0.1,
+            }),
+            Err(ModelError::DuplicateKey { .. })
+        ));
+        let _ = leaf;
+        let (xor3, leaf3) = first_block(&tree, 3); // single-alternative block
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::RemoveAlternative {
+                xor: xor3,
+                leaf: leaf3,
+            }),
+            Err(ModelError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_tuple_block_appends_a_new_key() {
+        let tree = bid_tree();
+        let root = tree.root();
+        let (grown, impact) = tree
+            .apply_delta(&TreeDelta::InsertTupleBlock {
+                under: root,
+                key: 9,
+                alternatives: vec![(77.0, 0.4), (52.0, 0.35)],
+            })
+            .unwrap();
+        assert_eq!(impact.affected_keys.len(), 1);
+        assert!(grown.keys().contains(&TupleKey(9)));
+        assert_eq!(grown.leaf_count(), tree.leaf_count() + 2);
+        // Duplicate keys and overfull blocks are rejected.
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::InsertTupleBlock {
+                under: root,
+                key: 2,
+                alternatives: vec![(1.0, 0.1)],
+            }),
+            Err(ModelError::DuplicateKey { .. })
+        ));
+        assert!(tree
+            .apply_delta(&TreeDelta::InsertTupleBlock {
+                under: root,
+                key: 9,
+                alternatives: vec![],
+            })
+            .is_err());
+        assert!(matches!(
+            tree.apply_delta(&TreeDelta::InsertTupleBlock {
+                under: root,
+                key: 9,
+                alternatives: vec![(1.0, 0.7), (2.0, 0.7)],
+            }),
+            Err(ModelError::ProbabilityMassExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_deltas_keep_ids_topological() {
+        // The batch sweep requires children-before-parents ids; inserting
+        // under the root must renumber, and the mutated tree must still run
+        // the sweep (debug asserts check the invariant).
+        let tree = bid_tree();
+        let (grown, _) = tree
+            .apply_delta(&TreeDelta::InsertTupleBlock {
+                under: tree.root(),
+                key: 9,
+                alternatives: vec![(77.0, 0.4)],
+            })
+            .unwrap();
+        let pmfs = grown.batch_rank_pmfs(2, 1);
+        assert_eq!(pmfs.len(), 5);
+        let reference = grown.rank_pmf(TupleKey(9), 2);
+        for i in 0..2 {
+            assert!((pmfs[&TupleKey(9)][i] - reference[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_pairwise_patch_is_bit_identical_to_full_rebuild() {
+        let tree = bid_tree();
+        let keys = tree.keys();
+        let n = keys.len();
+        let old = tree.batch_pairwise_order(&keys, 1);
+        let (xor, leaf) = first_block(&tree, 2);
+        let (new_tree, impact) = tree
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.7,
+            })
+            .unwrap();
+        let recompute: Vec<bool> = keys
+            .iter()
+            .map(|k| impact.affected_keys.contains(k))
+            .collect();
+        let patched =
+            new_tree.batch_pairwise_order_partial(&keys, &recompute, |i, j| old[i * n + j], 1);
+        let full = new_tree.batch_pairwise_order(&keys, 1);
+        for (idx, (a, b)) in patched.iter().zip(&full).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {idx}");
+        }
+    }
+
+    #[test]
+    fn partial_cocluster_patch_is_bit_identical_to_full_rebuild() {
+        let tree = bid_tree();
+        let keys = tree.keys();
+        let n = keys.len();
+        let old = tree.batch_cocluster_weights(&keys, 1);
+        let leaf = tree.leaves_of_key(4)[0];
+        let (new_tree, impact) = tree
+            .apply_delta(&TreeDelta::LeafValue { leaf, value: 58.5 })
+            .unwrap();
+        let recompute: Vec<bool> = keys
+            .iter()
+            .map(|k| impact.affected_keys.contains(k))
+            .collect();
+        let patched =
+            new_tree.batch_cocluster_weights_partial(&keys, &recompute, |i, j| old[i * n + j], 1);
+        let full = new_tree.batch_cocluster_weights(&keys, 1);
+        for (idx, (a, b)) in patched.iter().zip(&full).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {idx}");
+        }
+    }
+
+    #[test]
+    fn filtered_marginals_patch_matches_full_table() {
+        let tree = bid_tree();
+        let (xor, leaf) = first_block(&tree, 2);
+        let old = tree.alternative_probabilities();
+        let (new_tree, impact) = tree
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.7,
+            })
+            .unwrap();
+        // Patch: keep untouched keys' entries, recompute affected ones.
+        let mut patched: std::collections::HashMap<Alternative, f64> = old
+            .iter()
+            .filter(|(alt, _)| !impact.affected_keys.contains(&alt.key))
+            .map(|(a, p)| (*a, *p))
+            .collect();
+        patched.extend(new_tree.alternative_probabilities_for_keys(&impact.affected_keys));
+        let full = new_tree.alternative_probabilities();
+        assert_eq!(patched.len(), full.len());
+        for (alt, p) in &full {
+            assert_eq!(patched[alt].to_bits(), p.to_bits(), "{alt:?}");
+        }
+    }
+
+    #[test]
+    fn xor_edge_patch_matches_the_mutated_xor_polynomial() {
+        // The Poly1 ∨-edge patch identity must agree (within rounding) with
+        // evaluating the ∨ mixture on the post-delta edge weights.
+        let c1 = Poly1::from_coeffs(vec![0.3, 0.7]);
+        let c2 = Poly1::from_coeffs(vec![0.6, 0.4]);
+        let mut patched = Poly1::xor_combine(&[(0.5, c1.clone()), (0.2, c2.clone())]);
+        patched.xor_edge_patch(&c1, 0.5, 0.35);
+        let fresh = Poly1::xor_combine(&[(0.35, c1), (0.2, c2)]);
+        for i in 0..2 {
+            assert!((patched.coeff(i) - fresh.coeff(i)).abs() < 1e-15);
+        }
+    }
+}

@@ -126,6 +126,18 @@ impl PartialEq for AndXorTree {
 }
 
 impl AndXorTree {
+    /// Assembles a tree from raw parts with a fresh (empty) marginal cache.
+    /// Crate-visible for the mutation layer ([`crate::mutate`]), which
+    /// validates separately; every public construction path still goes
+    /// through [`AndXorTreeBuilder::build`].
+    pub(crate) fn from_raw_parts(nodes: Vec<Node>, root: NodeId) -> Self {
+        AndXorTree {
+            nodes,
+            root,
+            alt_probs: OnceLock::new(),
+        }
+    }
+
     /// The root node id.
     #[inline]
     pub fn root(&self) -> NodeId {
@@ -235,8 +247,9 @@ impl AndXorTree {
     }
 
     /// Validates the probability constraint, the key constraint, and the
-    /// tree-shape constraints.
-    fn validate(&self) -> Result<(), ModelError> {
+    /// tree-shape constraints. Crate-visible so the mutation layer
+    /// ([`crate::mutate`]) can revalidate structurally mutated trees.
+    pub(crate) fn validate(&self) -> Result<(), ModelError> {
         // Tree shape: every node has at most one parent; root has none; all
         // nodes reachable from the root.
         let mut parent_count = vec![0usize; self.nodes.len()];
@@ -385,6 +398,50 @@ impl AndXorTree {
     pub fn alternative_probabilities_cached(&self) -> &HashMap<Alternative, f64> {
         self.alt_probs
             .get_or_init(|| self.alternative_probabilities())
+    }
+
+    /// The restriction of [`Self::alternative_probabilities`] to alternatives
+    /// of the given keys — the marginal-table **patch path** for live
+    /// updates. The walk visits every leaf in the same depth-first order with
+    /// the same cumulative edge-probability products as the full
+    /// accumulation and merely skips inserting other keys' entries, so each
+    /// returned entry is **bit-identical** to the corresponding entry of a
+    /// full [`Self::alternative_probabilities`] call on the same tree.
+    pub fn alternative_probabilities_for_keys(
+        &self,
+        keys: &BTreeSet<TupleKey>,
+    ) -> HashMap<Alternative, f64> {
+        let mut out = HashMap::new();
+        self.accumulate_alt_filtered(self.root, 1.0, keys, &mut out);
+        out
+    }
+
+    fn accumulate_alt_filtered(
+        &self,
+        id: NodeId,
+        weight: f64,
+        keys: &BTreeSet<TupleKey>,
+        out: &mut HashMap<Alternative, f64>,
+    ) {
+        match &self.nodes[id.0] {
+            Node::Leaf(a) => {
+                if keys.contains(&a.key) {
+                    *out.entry(*a).or_insert(0.0) += weight;
+                }
+            }
+            Node::Inner { kind, children } => match kind {
+                NodeKind::And => {
+                    for (c, _) in children {
+                        self.accumulate_alt_filtered(*c, weight, keys, out);
+                    }
+                }
+                NodeKind::Xor => {
+                    for (c, p) in children {
+                        self.accumulate_alt_filtered(*c, weight * p, keys, out);
+                    }
+                }
+            },
+        }
     }
 
     fn accumulate_alt(&self, id: NodeId, weight: f64, out: &mut HashMap<Alternative, f64>) {

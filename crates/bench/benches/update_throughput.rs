@@ -1,0 +1,38 @@
+//! Criterion benchmark for live-update maintenance: `apply_delta` (the
+//! delta-aware keep/patch/invalidate path) vs a full rebuild of the same
+//! warm artifact families, per delta kind. The `update_throughput` binary
+//! emits the committed JSON report from the same workload module.
+
+use cpdb_bench::update_throughput::{
+    delta_suite, live_engine, live_tree, warm_maintained_artifacts,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let seed = 7;
+    for n in [40usize, 120] {
+        let tree = live_tree(n, seed);
+        let warm = live_engine(tree.clone(), seed);
+        warm_maintained_artifacts(&warm);
+        let mut group = c.benchmark_group(format!("update_throughput/n{n}"));
+        for (kind, delta) in delta_suite(&tree) {
+            group.bench_function(format!("patch_{kind}"), |b| {
+                b.iter(|| warm.apply_delta(&delta).expect("suite deltas are valid"))
+            });
+        }
+        let (probability_epoch, _) = warm
+            .apply_delta(&delta_suite(&tree)[0].1)
+            .expect("suite deltas are valid");
+        group.bench_function("full_rebuild", |b| {
+            b.iter(|| {
+                let fresh = live_engine(probability_epoch.tree().clone(), seed);
+                warm_maintained_artifacts(&fresh);
+                fresh
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod query_throughput;
 pub mod rank_artifacts;
 pub mod table;
+pub mod update_throughput;
 
 pub use experiments::*;
 pub use table::Table;

@@ -46,8 +46,15 @@ impl CoClusteringWeights {
     /// count.
     pub fn from_tree_with_parallelism(tree: &AndXorTree, threads: usize) -> Self {
         let keys = tree.keys();
-        let n = keys.len();
         let matrix = tree.batch_cocluster_weights(&keys, threads);
+        Self::from_matrix(keys, &matrix)
+    }
+
+    /// Assembles the symmetric weight map from a row-major matrix over
+    /// `keys` — the shared back end of the batch build and the live-update
+    /// patch path.
+    fn from_matrix(keys: Vec<TupleKey>, matrix: &[f64]) -> Self {
+        let n = keys.len();
         let mut weights = HashMap::new();
         for (idx, &i) in keys.iter().enumerate() {
             for (jdx, &j) in keys.iter().enumerate().skip(idx + 1) {
@@ -79,6 +86,32 @@ impl CoClusteringWeights {
             }
         }
         CoClusteringWeights { keys, weights }
+    }
+
+    /// The **patch path** of [`CoClusteringWeights::from_tree`] for live
+    /// updates: rebuilds only the pairs with an `affected` key on the
+    /// mutated tree (via [`AndXorTree::batch_cocluster_weights_partial`],
+    /// the same per-pair closed form as the full batch build) and copies
+    /// every other pair's weight from `self`, the pre-mutation matrix. When
+    /// the mutation's [`cpdb_andxor::DeltaImpact`] certifies that only
+    /// `affected` keys were touched, the result is **bit-identical** to a
+    /// from-scratch build on the mutated tree, at `O(|affected|·n)` pair
+    /// evaluations instead of `O(n²)`.
+    pub fn patched(
+        &self,
+        tree: &AndXorTree,
+        affected: &std::collections::BTreeSet<TupleKey>,
+        threads: usize,
+    ) -> Self {
+        let keys = tree.keys();
+        let recompute: Vec<bool> = keys.iter().map(|k| affected.contains(k)).collect();
+        let matrix = tree.batch_cocluster_weights_partial(
+            &keys,
+            &recompute,
+            |i, j| self.weight(keys[i], keys[j]),
+            threads,
+        );
+        Self::from_matrix(keys, &matrix)
     }
 
     /// Builds weights directly from a map (for tests and other models). Only

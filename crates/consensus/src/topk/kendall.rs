@@ -44,8 +44,15 @@ pub fn preference_matrix_with_parallelism(
     keys: &[TupleKey],
     threads: usize,
 ) -> PreferenceMatrix {
-    let items: Vec<u64> = keys.iter().map(|t| t.0).collect();
     let weights = tree.batch_pairwise_order(keys, threads);
+    matrix_from_weights(keys, &weights)
+}
+
+/// Assembles a [`PreferenceMatrix`] from a row-major weight matrix over
+/// `keys` — the shared back end of the batch build and the live-update
+/// patch path.
+fn matrix_from_weights(keys: &[TupleKey], weights: &[f64]) -> PreferenceMatrix {
+    let items: Vec<u64> = keys.iter().map(|t| t.0).collect();
     let n = keys.len();
     let mut m = PreferenceMatrix::new(&items);
     for (i, &a) in keys.iter().enumerate() {
@@ -56,6 +63,32 @@ pub fn preference_matrix_with_parallelism(
         }
     }
     m
+}
+
+/// The **patch path** of [`preference_matrix`] for live updates: rebuilds
+/// only the rows/columns of the `affected` keys on the mutated tree (via
+/// [`AndXorTree::batch_pairwise_order_partial`], the same per-pair closed
+/// form as the full batch build) and copies every other entry from the
+/// pre-mutation tournament `old`. When the mutation's
+/// [`cpdb_andxor::DeltaImpact`] certifies that only `affected` keys were
+/// touched, the result is **bit-identical** to a from-scratch
+/// [`preference_matrix_with_parallelism`] on the mutated tree, at
+/// `O(|affected|·n)` pair evaluations instead of `O(n²)`.
+pub fn preference_matrix_patched(
+    tree: &AndXorTree,
+    keys: &[TupleKey],
+    affected: &std::collections::BTreeSet<TupleKey>,
+    old: &PreferenceMatrix,
+    threads: usize,
+) -> PreferenceMatrix {
+    let recompute: Vec<bool> = keys.iter().map(|k| affected.contains(k)).collect();
+    let weights = tree.batch_pairwise_order_partial(
+        keys,
+        &recompute,
+        |i, j| old.weight(keys[i].0, keys[j].0),
+        threads,
+    );
+    matrix_from_weights(keys, &weights)
 }
 
 /// The candidate pool the pivot aggregation works on: the `pool_size` (at

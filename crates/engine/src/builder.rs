@@ -72,6 +72,7 @@ impl ConsensusEngineBuilder {
     /// intersection assignment, Kendall pivot over the full pool with 8
     /// trials, 1024 samples for Kendall expected-distance estimates, and an
     /// automatic thread count for artifact builds.
+    #[must_use = "builder methods return the updated builder"]
     pub fn new(tree: AndXorTree) -> Self {
         ConsensusEngineBuilder {
             tree,
@@ -89,6 +90,7 @@ impl ConsensusEngineBuilder {
     /// sampled baselines, Monte-Carlo distance estimates). Each query derives
     /// its own deterministic RNG stream from this seed and its
     /// [`crate::Query::rng_tag`], so answers do not depend on batch order.
+    #[must_use = "builder methods return the updated builder"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -97,18 +99,21 @@ impl ConsensusEngineBuilder {
     /// Admissible `k` values for Top-k and baseline queries. Defaults to
     /// `1..=n`. Queries outside the range fail with
     /// [`EngineError::KOutOfRange`] instead of silently clamping.
+    #[must_use = "builder methods return the updated builder"]
     pub fn k_range(mut self, range: RangeInclusive<usize>) -> Self {
         self.k_range = Some((*range.start(), *range.end()));
         self
     }
 
     /// Approximation strategy for Kendall-tau Top-k queries.
+    #[must_use = "builder methods return the updated builder"]
     pub fn kendall_strategy(mut self, strategy: KendallStrategy) -> Self {
         self.kendall = strategy;
         self
     }
 
     /// Solver for intersection-metric Top-k queries.
+    #[must_use = "builder methods return the updated builder"]
     pub fn intersection_strategy(mut self, strategy: IntersectionStrategy) -> Self {
         self.intersection = strategy;
         self
@@ -116,6 +121,7 @@ impl ConsensusEngineBuilder {
 
     /// Sample count for the Monte-Carlo estimate of `E[d_K]` reported with
     /// Kendall answers (evaluating it exactly is exponential).
+    #[must_use = "builder methods return the updated builder"]
     pub fn kendall_distance_samples(mut self, samples: usize) -> Self {
         self.kendall_distance_samples = samples;
         self
@@ -123,6 +129,7 @@ impl ConsensusEngineBuilder {
 
     /// Attaches a group-by instance so [`crate::Query::Aggregate`] queries
     /// can be served (§6.1 works on the probability matrix, not the tree).
+    #[must_use = "builder methods return the updated builder"]
     pub fn groupby(mut self, instance: GroupByInstance) -> Self {
         self.groupby = Some(instance);
         self
@@ -138,18 +145,29 @@ impl ConsensusEngineBuilder {
     /// otherwise the machine's available parallelism. Answers never depend on
     /// this knob — the batch evaluators and per-query RNG streams are
     /// bit-identical at any thread count; only latency changes.
+    #[must_use = "builder methods return the updated builder"]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
-    /// Validates the configuration and builds the engine.
+    /// Validates the configuration and builds the engine. Every knob
+    /// violation is a typed [`EngineError::InvalidConfig`] — construction
+    /// never panics on bad configuration.
     pub fn build(self) -> Result<ConsensusEngine, EngineError> {
         let n = self.tree.keys().len();
         let (lo, hi) = self.k_range.unwrap_or((1, n.max(1)));
         if lo == 0 || lo > hi {
             return Err(EngineError::InvalidConfig {
                 context: format!("k-range [{lo}, {hi}] must satisfy 1 <= lo <= hi"),
+            });
+        }
+        if lo > n {
+            return Err(EngineError::InvalidConfig {
+                context: format!(
+                    "k-range [{lo}, {hi}] lies entirely above the {n} tuple keys; \
+                     no Top-k query could ever be served"
+                ),
             });
         }
         if self.kendall_distance_samples == 0 {
@@ -196,6 +214,16 @@ mod tests {
     fn default_k_range_covers_the_tree() {
         let engine = ConsensusEngineBuilder::new(tiny_tree()).build().unwrap();
         assert_eq!(engine.k_range(), 1..=2);
+    }
+
+    #[test]
+    fn k_range_above_the_tree_is_rejected() {
+        assert!(matches!(
+            ConsensusEngineBuilder::new(tiny_tree())
+                .k_range(5..=9)
+                .build(),
+            Err(EngineError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 use crate::answer::{Answer, Optimality, Value};
 use crate::builder::{IntersectionStrategy, KendallStrategy};
+use crate::delta::DeltaReport;
 use crate::error::EngineError;
 use crate::query::{splitmix64, BaselineKind, Query, SetMetric, TopKMetric, Variant};
-use cpdb_andxor::{AndXorTree, NodeKind};
+use cpdb_andxor::{AndXorTree, NodeKind, TreeDelta};
 use cpdb_consensus::aggregate::GroupByInstance;
 use cpdb_consensus::clustering::{self, CoClusteringWeights};
 use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
@@ -50,6 +51,21 @@ pub struct CacheStats {
     /// were answered by cloning the answer of their first occurrence instead
     /// of being executed again.
     pub batch_dedup_hits: usize,
+    /// Key-index constructions (the sorted tuple-key table the query paths
+    /// share instead of re-sorting `tree.keys()` per query).
+    pub key_index_builds: usize,
+    /// Queries served from the cached key index.
+    pub key_index_hits: usize,
+    /// Built artifacts `Arc`-shared unchanged into a delta-built next-epoch
+    /// engine ([`ConsensusEngine::apply_delta`]): their dependencies were
+    /// untouched by the mutation.
+    pub delta_kept: usize,
+    /// Built artifacts selectively patched (affected keys only, bit-identical
+    /// to a full rebuild) across delta applications.
+    pub delta_patched: usize,
+    /// Built artifacts invalidated (dropped for lazy rebuild) across delta
+    /// applications.
+    pub delta_invalidated: usize,
 }
 
 /// The atomic counters behind [`CacheStats`]: plain relaxed counters, safe to
@@ -65,6 +81,11 @@ struct AtomicCacheStats {
     marginal_builds: AtomicUsize,
     marginal_hits: AtomicUsize,
     batch_dedup_hits: AtomicUsize,
+    key_index_builds: AtomicUsize,
+    key_index_hits: AtomicUsize,
+    delta_kept: AtomicUsize,
+    delta_patched: AtomicUsize,
+    delta_invalidated: AtomicUsize,
 }
 
 impl AtomicCacheStats {
@@ -79,6 +100,11 @@ impl AtomicCacheStats {
             marginal_builds: self.marginal_builds.load(Relaxed),
             marginal_hits: self.marginal_hits.load(Relaxed),
             batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
+            key_index_builds: self.key_index_builds.load(Relaxed),
+            key_index_hits: self.key_index_hits.load(Relaxed),
+            delta_kept: self.delta_kept.load(Relaxed),
+            delta_patched: self.delta_patched.load(Relaxed),
+            delta_invalidated: self.delta_invalidated.load(Relaxed),
         }
     }
 
@@ -93,6 +119,11 @@ impl AtomicCacheStats {
             marginal_builds: AtomicUsize::new(s.marginal_builds),
             marginal_hits: AtomicUsize::new(s.marginal_hits),
             batch_dedup_hits: AtomicUsize::new(s.batch_dedup_hits),
+            key_index_builds: AtomicUsize::new(s.key_index_builds),
+            key_index_hits: AtomicUsize::new(s.key_index_hits),
+            delta_kept: AtomicUsize::new(s.delta_kept),
+            delta_patched: AtomicUsize::new(s.delta_patched),
+            delta_invalidated: AtomicUsize::new(s.delta_invalidated),
         }
     }
 }
@@ -273,6 +304,12 @@ pub struct ConsensusEngine {
     cocluster: Slot<CoClusteringWeights>,
     marginals: Slot<HashMap<Alternative, f64>>,
     jaccard_candidates: Slot<Vec<(Alternative, f64)>>,
+    /// The sorted tuple-key table. Every ranked query path needs it (pool
+    /// sizing, tournament building); caching it replaces an `O(n log n)`
+    /// re-sort per query with a shared read. It depends only on tuple
+    /// *membership* — not on probabilities or values — so it is the artifact
+    /// live updates keep across probability-only epochs.
+    key_index: Slot<Arc<Vec<cpdb_model::TupleKey>>>,
     stats: AtomicCacheStats,
 }
 
@@ -298,6 +335,7 @@ impl Clone for ConsensusEngine {
             cocluster: clone_built_slot(&self.cocluster),
             marginals: clone_built_slot(&self.marginals),
             jaccard_candidates: clone_built_slot(&self.jaccard_candidates),
+            key_index: clone_built_slot(&self.key_index),
             stats: AtomicCacheStats::from_snapshot(self.stats.snapshot()),
         }
     }
@@ -332,6 +370,7 @@ impl ConsensusEngine {
             cocluster: Slot::default(),
             marginals: Slot::default(),
             jaccard_candidates: Slot::default(),
+            key_index: Slot::default(),
             stats: AtomicCacheStats::default(),
         }
     }
@@ -377,6 +416,19 @@ impl ConsensusEngine {
         Ok(self.context_arc(k))
     }
 
+    /// The memoised sorted tuple-key table shared by the ranked query paths
+    /// (`count_hit = false` is the batch-planner / delta-maintenance prefetch
+    /// mode).
+    fn key_index_arc(&self, count_hit: bool) -> Arc<Vec<cpdb_model::TupleKey>> {
+        slot_get_or_build(
+            &self.key_index,
+            &self.stats.key_index_builds,
+            count_hit.then_some(&self.stats.key_index_hits),
+            || Arc::new(self.tree.keys()),
+        )
+        .clone()
+    }
+
     /// The memoised full pairwise-order tournament `Pr(r(t_i) < r(t_j))`,
     /// building it on first use (n² generating-function evaluations).
     pub fn preference_matrix(&self) -> &PreferenceMatrix {
@@ -387,7 +439,7 @@ impl ConsensusEngine {
             || {
                 kendall::preference_matrix_with_parallelism(
                     &self.tree,
-                    &self.tree.keys(),
+                    &self.key_index_arc(false),
                     self.threads,
                 )
             },
@@ -598,7 +650,7 @@ impl ConsensusEngine {
             }
             (TopKMetric::Kendall, Variant::Mean) => {
                 let mut rng = self.query_rng(query);
-                let n = self.tree.keys().len();
+                let n = self.key_index_arc(true).len();
                 let (answer, optimality, pool_coverage) = match self.kendall {
                     KendallStrategy::Pivot { pool, trials } => {
                         let pool_size = if pool == 0 { n } else { pool };
@@ -611,7 +663,7 @@ impl ConsensusEngine {
                         // out of the full tournament when that is cached,
                         // pool-sized generating-function work otherwise.
                         let tournament =
-                            self.pool_tournament(k, ctx, pool, pool_size, true, self.threads);
+                            self.pool_tournament(k, ctx, pool, pool_size, n, true, self.threads);
                         let coverage = tournament.coverage;
                         let answer = kendall::mean_topk_kendall_pivot_from_prefs(
                             ctx,
@@ -800,16 +852,17 @@ impl ConsensusEngine {
     /// the full n² tournament is only paid for when the pool covers every key
     /// (or already exists, in which case the pool matrix is carved out of
     /// it); a clipped pool gets its own cheap pool-sized matrix.
+    #[allow(clippy::too_many_arguments)]
     fn pool_tournament(
         &self,
         k: usize,
         ctx: &TopKContext,
         pool: usize,
         pool_size: usize,
+        n: usize,
         count_hit: bool,
         build_threads: usize,
     ) -> Arc<PoolTournament> {
-        let n = self.tree.keys().len();
         let cell = shard(&self.pool_prefs, k);
         if cell.get().is_none() && (pool == 0 || pool.max(k) >= n || self.prefs.get().is_some()) {
             if count_hit {
@@ -866,7 +919,7 @@ impl ConsensusEngine {
         slot_get_or_build(&self.prefs, &self.stats.preference_builds, None, || {
             kendall::preference_matrix_with_parallelism(
                 &self.tree,
-                &self.tree.keys(),
+                &self.key_index_arc(false),
                 build_threads,
             )
         });
@@ -886,9 +939,9 @@ impl ConsensusEngine {
             return;
         };
         let ctx = self.prime_context(k, build_threads);
-        let n = self.tree.keys().len();
+        let n = self.key_index_arc(false).len();
         let pool_size = if pool == 0 { n } else { pool };
-        let _ = self.pool_tournament(k, &ctx, pool, pool_size, false, build_threads);
+        let _ = self.pool_tournament(k, &ctx, pool, pool_size, n, false, build_threads);
     }
 
     /// Phase 1 of [`Self::run_batch`]: walk the (deduplicated) batch, collect
@@ -904,7 +957,7 @@ impl ConsensusEngine {
         let mut need_cocluster = false;
         let mut need_marginals = false;
         let mut need_jaccard = false;
-        let n = self.tree.keys().len();
+        let n = self.key_index_arc(false).len();
         for query in queries {
             match query {
                 Query::SetConsensus { metric, .. } => match metric {
@@ -985,6 +1038,216 @@ impl ConsensusEngine {
             self.prime_kendall_pool(kendall_ks[i], inner)
         });
     }
+
+    // ---- delta-aware artifact maintenance (live-update epoch builds) -------
+
+    /// Builds the **next-epoch engine** after a [`TreeDelta`]: applies the
+    /// mutation to the tree (validated, via typed errors) and carries every
+    /// *built* artifact across according to the delta's dependency extract —
+    /// [`Kept`](crate::ArtifactDecision::Kept) (`Arc`-shared, untouched
+    /// dependencies), [`Patched`](crate::ArtifactDecision::Patched) (only the
+    /// affected keys' slice recomputed; **bit-identical** to a from-scratch
+    /// rebuild), or [`Invalidated`](crate::ArtifactDecision::Invalidated)
+    /// (dropped, rebuilt lazily). `self` is untouched: in-flight readers of
+    /// the current epoch keep serving its snapshot.
+    ///
+    /// The per-artifact decisions come back as a [`DeltaReport`]; the running
+    /// totals accumulate in [`CacheStats::delta_kept`] /
+    /// [`CacheStats::delta_patched`] / [`CacheStats::delta_invalidated`] on
+    /// the returned engine. Configuration (seed, k-range, strategies,
+    /// threads, group-by) is inherited unchanged — in particular a k-range
+    /// defaulted at build time does not widen when tuples are inserted.
+    pub fn apply_delta(
+        &self,
+        delta: &TreeDelta,
+    ) -> Result<(ConsensusEngine, DeltaReport), EngineError> {
+        use crate::delta::ArtifactDecision::{Invalidated, Kept, Patched};
+
+        let (tree, impact) = self.tree.apply_delta(delta)?;
+        let mut report = DeltaReport::new(impact);
+        let impact = report.impact.clone();
+        let affected = &impact.affected_keys;
+        let new_keys = tree.keys();
+        // When the delta touches (essentially) every key, selective
+        // maintenance degenerates into a disguised full rebuild — drop the
+        // pairwise artifacts instead so the counters stay honest.
+        let all_touched = affected.len() >= new_keys.len();
+
+        // Key index: depends on tuple membership only.
+        let key_index = match self.key_index.get() {
+            None => Slot::default(),
+            Some(_) if !impact.membership_changed => {
+                report.record("key_index", Kept);
+                Arc::clone(&self.key_index)
+            }
+            Some(_) => {
+                report.record("key_index", Patched);
+                prebuilt_slot(Arc::new(new_keys.clone()))
+            }
+        };
+
+        // Marginal table: recompute the affected keys' entries with the same
+        // filtered depth-first accumulation the full walk performs.
+        let marginals = match self.marginals.get() {
+            None => Slot::default(),
+            Some(_) if all_touched => {
+                report.record("marginals", Invalidated);
+                Slot::default()
+            }
+            Some(old) => {
+                let mut table: HashMap<Alternative, f64> = old
+                    .iter()
+                    .filter(|(alt, _)| !affected.contains(&alt.key))
+                    .map(|(alt, p)| (*alt, *p))
+                    .collect();
+                table.extend(tree.alternative_probabilities_for_keys(affected));
+                report.record("marginals", Patched);
+                prebuilt_slot(table)
+            }
+        };
+
+        // Jaccard candidates derive from the marginal table.
+        let jaccard_candidates = match self.jaccard_candidates.get() {
+            None => Slot::default(),
+            Some(_) => match marginals.get() {
+                Some(table) => {
+                    report.record("jaccard_candidates", Patched);
+                    prebuilt_slot(jaccard::prefix_candidates_from_marginals(table))
+                }
+                None => {
+                    report.record("jaccard_candidates", Invalidated);
+                    Slot::default()
+                }
+            },
+        };
+
+        // Full pairwise-order tournament: rebuild affected rows/columns only.
+        let prefs = match self.prefs.get() {
+            None => Slot::default(),
+            Some(_) if all_touched => {
+                report.record("preference_matrix", Invalidated);
+                Slot::default()
+            }
+            Some(old) => {
+                report.record("preference_matrix", Patched);
+                prebuilt_slot(kendall::preference_matrix_patched(
+                    &tree,
+                    &new_keys,
+                    affected,
+                    old,
+                    self.threads,
+                ))
+            }
+        };
+
+        // Co-clustering weights: same row/column patch.
+        let cocluster = match self.cocluster.get() {
+            None => Slot::default(),
+            Some(_) if all_touched => {
+                report.record("coclustering_weights", Invalidated);
+                Slot::default()
+            }
+            Some(old) => {
+                report.record("coclustering_weights", Patched);
+                prebuilt_slot(old.patched(&tree, affected, self.threads))
+            }
+        };
+
+        // Rank contexts hold global rank PMFs: every tuple's PMF reads every
+        // other tuple's presence, so they survive only the deltas whose
+        // rank-sweep inputs are untouched (order-preserving value updates).
+        let contexts = {
+            let built: Vec<usize> = self
+                .contexts
+                .read()
+                .expect("artifact map lock poisoned")
+                .iter()
+                .filter(|(_, cell)| cell.get().is_some())
+                .map(|(&k, _)| k)
+                .collect();
+            for &k in &built {
+                report.record(
+                    format!("rank_context[k={k}]"),
+                    if impact.rank_order_preserved {
+                        Kept
+                    } else {
+                        Invalidated
+                    },
+                );
+            }
+            if impact.rank_order_preserved {
+                clone_built_map(&self.contexts)
+            } else {
+                RwLock::new(HashMap::new())
+            }
+        };
+
+        // Per-k Kendall pool tournaments: kept only when their rank context
+        // survived *and* the pool's keys are untouched (their coverage reads
+        // the context, their matrix the pool's pairwise entries).
+        let pool_prefs = {
+            let mut kept_pools: HashMap<usize, Slot<Arc<PoolTournament>>> = HashMap::new();
+            for (&k, cell) in self
+                .pool_prefs
+                .read()
+                .expect("artifact map lock poisoned")
+                .iter()
+            {
+                let Some(tournament) = cell.get() else {
+                    continue;
+                };
+                let pool_untouched = tournament
+                    .prefs
+                    .items()
+                    .iter()
+                    .all(|&item| !affected.contains(&cpdb_model::TupleKey(item)));
+                if impact.rank_order_preserved && pool_untouched {
+                    report.record(format!("kendall_pool[k={k}]"), Kept);
+                    kept_pools.insert(k, Arc::clone(cell));
+                } else {
+                    report.record(format!("kendall_pool[k={k}]"), Invalidated);
+                }
+            }
+            RwLock::new(kept_pools)
+        };
+
+        let stats = AtomicCacheStats::from_snapshot(self.stats.snapshot());
+        stats.delta_kept.fetch_add(report.kept(), Relaxed);
+        stats.delta_patched.fetch_add(report.patched(), Relaxed);
+        stats
+            .delta_invalidated
+            .fetch_add(report.invalidated(), Relaxed);
+
+        let shape = detect_shape(&tree);
+        let next = ConsensusEngine {
+            tree,
+            shape,
+            seed: self.seed,
+            k_range: self.k_range,
+            kendall: self.kendall,
+            intersection: self.intersection,
+            kendall_distance_samples: self.kendall_distance_samples,
+            groupby: self.groupby.clone(),
+            threads: self.threads,
+            contexts,
+            prefs,
+            pool_prefs,
+            cocluster,
+            marginals,
+            jaccard_candidates,
+            key_index,
+            stats,
+        };
+        Ok((next, report))
+    }
+}
+
+/// A slot whose artifact is already built (the delta-maintenance patch
+/// paths construct these eagerly on the writer's clock).
+fn prebuilt_slot<T>(value: T) -> Slot<T> {
+    let cell = OnceLock::new();
+    let _ = cell.set(value);
+    Arc::new(cell)
 }
 
 /// Whether `world` is a possible world of `tree` (some outcome of the ∨
@@ -1673,5 +1936,213 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.coclustering_builds, 1);
         assert_eq!(stats.coclustering_hits, 2);
+    }
+
+    /// BID tree for the delta tests: two alternatives per key so there is a
+    /// real ∨ block to mutate.
+    fn bid_tree() -> AndXorTree {
+        let mut b = AndXorTreeBuilder::new();
+        let mut xors = Vec::new();
+        for (key, alts) in [
+            (1u64, vec![(95.0, 0.3), (40.0, 0.5)]),
+            (2, vec![(80.0, 0.6), (55.0, 0.2)]),
+            (3, vec![(70.0, 0.9)]),
+            (4, vec![(60.0, 0.45), (50.0, 0.25)]),
+        ] {
+            let edges: Vec<_> = alts
+                .iter()
+                .map(|&(v, p)| (b.leaf_parts(key, v), p))
+                .collect();
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root).unwrap()
+    }
+
+    /// A batch warming every artifact family the delta planner maintains.
+    fn warming_batch() -> Vec<Query> {
+        vec![
+            Query::TopK {
+                k: 2,
+                metric: TopKMetric::Kendall,
+                variant: Variant::Mean,
+            },
+            Query::TopK {
+                k: 3,
+                metric: TopKMetric::Footrule,
+                variant: Variant::Mean,
+            },
+            Query::SetConsensus {
+                metric: SetMetric::SymmetricDifference,
+                variant: Variant::Mean,
+            },
+            Query::SetConsensus {
+                metric: SetMetric::Jaccard,
+                variant: Variant::Mean,
+            },
+            Query::Clustering { restarts: 8 },
+        ]
+    }
+
+    fn delta_engine(tree: AndXorTree) -> ConsensusEngine {
+        ConsensusEngineBuilder::new(tree)
+            .seed(11)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn probability_delta_keeps_and_patches_selectively() {
+        let engine = delta_engine(bid_tree());
+        for r in engine.run_batch_serial(&warming_batch()) {
+            r.unwrap();
+        }
+        let leaf = engine.tree().leaves_of_key(2)[0];
+        let xor = engine.tree().parent_of(leaf).unwrap();
+        let (next, report) = engine
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.7,
+            })
+            .unwrap();
+        // No blanket rebuild: the key index survives untouched, the pairwise
+        // artifacts are patched, only the global-rank artifacts drop.
+        assert!(report.kept() >= 1, "{report:?}");
+        assert!(report.patched() >= 3, "{report:?}");
+        let kept: Vec<&str> = report
+            .decisions
+            .iter()
+            .filter(|(_, d)| *d == crate::ArtifactDecision::Kept)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(kept.contains(&"key_index"), "{report:?}");
+        for name in [
+            "marginals",
+            "jaccard_candidates",
+            "preference_matrix",
+            "coclustering_weights",
+        ] {
+            assert!(
+                report
+                    .decisions
+                    .iter()
+                    .any(|(n, d)| n == name && *d == crate::ArtifactDecision::Patched),
+                "{name} not patched: {report:?}"
+            );
+        }
+        let stats = next.cache_stats();
+        assert_eq!(stats.delta_kept, report.kept(), "{stats:?}");
+        assert_eq!(stats.delta_patched, report.patched(), "{stats:?}");
+        assert_eq!(stats.delta_invalidated, report.invalidated(), "{stats:?}");
+        // Every answer on the next epoch is bit-identical to a from-scratch
+        // engine on the mutated tree.
+        let fresh = delta_engine(next.tree().clone());
+        assert_eq!(
+            next.run_batch_serial(&warming_batch()),
+            fresh.run_batch_serial(&warming_batch())
+        );
+        // The patched epoch did not rebuild the patched artifacts.
+        let after = next.cache_stats();
+        assert_eq!(after.preference_builds, stats.preference_builds);
+        assert_eq!(after.coclustering_builds, stats.coclustering_builds);
+        assert_eq!(after.marginal_builds, stats.marginal_builds);
+    }
+
+    #[test]
+    fn order_preserving_value_delta_keeps_rank_contexts() {
+        let engine = delta_engine(bid_tree());
+        for r in engine.run_batch_serial(&warming_batch()) {
+            r.unwrap();
+        }
+        let builds_before = engine.cache_stats().rank_context_builds;
+        let leaf = engine.tree().leaves_of_key(3)[0]; // 70.0 → 72.5 keeps order
+        let (next, report) = engine
+            .apply_delta(&TreeDelta::LeafValue { leaf, value: 72.5 })
+            .unwrap();
+        assert!(report.impact.rank_order_preserved, "{report:?}");
+        assert!(
+            report
+                .decisions
+                .iter()
+                .any(|(n, d)| n.starts_with("rank_context") && *d == crate::ArtifactDecision::Kept),
+            "{report:?}"
+        );
+        let fresh = delta_engine(next.tree().clone());
+        assert_eq!(
+            next.run_batch_serial(&warming_batch()),
+            fresh.run_batch_serial(&warming_batch())
+        );
+        // The kept contexts served the re-run without a single rebuild.
+        assert_eq!(next.cache_stats().rank_context_builds, builds_before);
+    }
+
+    #[test]
+    fn membership_deltas_produce_consistent_next_epochs() {
+        let engine = delta_engine(bid_tree());
+        for r in engine.run_batch_serial(&warming_batch()) {
+            r.unwrap();
+        }
+        let (next, report) = engine
+            .apply_delta(&TreeDelta::InsertTupleBlock {
+                under: engine.tree().root(),
+                key: 9,
+                alternatives: vec![(77.0, 0.4), (52.0, 0.35)],
+            })
+            .unwrap();
+        // The key index must follow the membership change…
+        assert!(
+            report
+                .decisions
+                .iter()
+                .any(|(n, d)| n == "key_index" && *d == crate::ArtifactDecision::Patched),
+            "{report:?}"
+        );
+        // …and the k-range stays as configured (it does not silently widen).
+        assert_eq!(next.k_range(), engine.k_range());
+        let fresh = delta_engine(next.tree().clone());
+        // Compare on the old k-range (the fresh engine defaults to 1..=5).
+        assert_eq!(
+            next.run_batch_serial(&warming_batch()),
+            fresh.run_batch_serial(&warming_batch())
+        );
+    }
+
+    #[test]
+    fn delta_application_errors_are_typed_and_leave_self_untouched() {
+        let engine = delta_engine(bid_tree());
+        let leaf = engine.tree().leaves_of_key(1)[0];
+        let xor = engine.tree().parent_of(leaf).unwrap();
+        let err = engine
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.9, // 0.9 + 0.5 > 1
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Model(_)), "{err:?}");
+        // The source engine still serves the original tree.
+        assert_eq!(engine.tree(), &bid_tree());
+    }
+
+    #[test]
+    fn cold_engines_apply_deltas_with_nothing_to_maintain() {
+        let engine = delta_engine(bid_tree());
+        let leaf = engine.tree().leaves_of_key(2)[0];
+        let xor = engine.tree().parent_of(leaf).unwrap();
+        let (next, report) = engine
+            .apply_delta(&TreeDelta::XorEdgeProbability {
+                xor,
+                child: leaf,
+                probability: 0.7,
+            })
+            .unwrap();
+        assert!(report.decisions.is_empty(), "{report:?}");
+        let fresh = delta_engine(next.tree().clone());
+        assert_eq!(
+            next.run_batch_serial(&warming_batch()),
+            fresh.run_batch_serial(&warming_batch())
+        );
     }
 }

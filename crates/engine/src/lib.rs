@@ -70,12 +70,18 @@
 
 mod answer;
 mod builder;
+mod delta;
 mod engine;
 mod error;
 mod query;
 
 pub use answer::{Answer, Diagnostics, Optimality, Value};
 pub use builder::{ConsensusEngineBuilder, IntersectionStrategy, KendallStrategy};
+pub use delta::{ArtifactDecision, DeltaReport};
 pub use engine::{CacheStats, ConsensusEngine};
 pub use error::EngineError;
 pub use query::{BaselineKind, Query, SetMetric, TopKMetric, Variant};
+
+// Re-exported so delta authors work against one crate: the mutation API is
+// defined next to the tree it mutates.
+pub use cpdb_andxor::{DeltaImpact, TreeDelta};

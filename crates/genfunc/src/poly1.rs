@@ -255,6 +255,36 @@ impl Poly1 {
         }
     }
 
+    /// In-place ∨-node **mixture delta** for a changed child polynomial:
+    /// with `A_∨ = leftover + Σ w_i·A_i`, replacing child `j`'s polynomial is
+    /// the linear update `A_∨ += w_j·(A_j' − A_j)`. Performs exactly the two
+    /// [`Poly1::add_scaled_assign`] calls (new child first), so callers that
+    /// previously inlined them (the batch rank-PMF sweep) stay bit-identical.
+    pub fn mixture_delta_assign(&mut self, new_child: &Poly1, old_child: &Poly1, w: f64) {
+        self.add_scaled_assign(new_child, w);
+        self.add_scaled_assign(old_child, -w);
+    }
+
+    /// In-place ∨-node **edge-probability patch**: with
+    /// `A_∨ = (1 − Σ w_i) + Σ w_i·A_i`, changing one edge's probability
+    /// `w_j → w_j'` is the linear update `A_∨ += (w_j' − w_j)·(A_j − 1)` —
+    /// the child's polynomial gains weight and the leftover ("nothing
+    /// materialises") constant loses exactly that weight. This is the
+    /// polynomial-level statement of what a `cpdb_live` single-∨
+    /// probability delta does to a node's generating function, pinned by
+    /// the mutation tests against a from-scratch [`Poly1::xor_combine`] on
+    /// the patched weights. Note the serving engine does **not** patch
+    /// cached rank polynomials through it (patched summation orders would
+    /// break the bit-identity contract with fresh builds); it rebuilds rank
+    /// contexts and keeps this identity as the documented, tested algebra
+    /// for callers maintaining their own ∨ mixtures incrementally.
+    pub fn xor_edge_patch(&mut self, child: &Poly1, old_w: f64, new_w: f64) {
+        let dw = new_w - old_w;
+        self.add_scaled_assign(child, dw);
+        self.add_constant_assign(-dw);
+        self.debug_assert_invariants();
+    }
+
     /// Returns the probability-weighted mixture `Σ w_i·p_i + (1 - Σ w_i)·1`
     /// used at ∨ (xor) nodes: each child polynomial `p_i` is taken with
     /// probability `w_i`, and with the leftover probability the node
@@ -481,5 +511,36 @@ mod tests {
         p.truncate_degree(1);
         assert_eq!(p.len(), 2);
         assert!(approx_eq(p.coeff(1), 0.2));
+    }
+
+    #[test]
+    fn mixture_delta_matches_inlined_add_scaled_pair() {
+        let old_child = Poly1::from_coeffs(vec![0.2, 0.8]);
+        let new_child = Poly1::from_coeffs(vec![0.0, 0.5, 0.5]);
+        let mut via_helper = Poly1::from_coeffs(vec![0.4, 0.6]);
+        let mut inlined = via_helper.clone();
+        via_helper.mixture_delta_assign(&new_child, &old_child, 0.3);
+        inlined.add_scaled_assign(&new_child, 0.3);
+        inlined.add_scaled_assign(&old_child, -0.3);
+        assert_eq!(via_helper.coeffs(), inlined.coeffs());
+    }
+
+    #[test]
+    fn xor_edge_patch_matches_recombined_mixture() {
+        // A_∨ over two children; patching the second edge 0.3 → 0.45 must
+        // agree with rebuilding the mixture from the patched weights.
+        let c1 = Poly1::from_coeffs(vec![0.1, 0.9]);
+        let c2 = Poly1::from_coeffs(vec![0.5, 0.25, 0.25]);
+        let mut patched = Poly1::xor_combine(&[(0.2, c1.clone()), (0.3, c2.clone())]);
+        patched.xor_edge_patch(&c2, 0.3, 0.45);
+        let fresh = Poly1::xor_combine(&[(0.2, c1), (0.45, c2)]);
+        for i in 0..3 {
+            assert!(
+                (patched.coeff(i) - fresh.coeff(i)).abs() < 1e-15,
+                "coefficient {i}: patched {} vs fresh {}",
+                patched.coeff(i),
+                fresh.coeff(i)
+            );
+        }
     }
 }

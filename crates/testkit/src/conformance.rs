@@ -854,6 +854,249 @@ pub fn check_engine_concurrency(tree: &AndXorTree, groupby: &GroupByInstance, se
     checks + 2
 }
 
+/// The probe batch for the live-update checks: every query family the
+/// engine can serve without a group-by instance, at the given `k`s.
+fn live_probe(ks: &[usize]) -> Vec<Query> {
+    let mut probe = Vec::new();
+    for &k in ks {
+        for metric in [
+            TopKMetric::SymmetricDifference,
+            TopKMetric::Intersection,
+            TopKMetric::Footrule,
+            TopKMetric::Kendall,
+        ] {
+            probe.push(Query::TopK {
+                k,
+                metric,
+                variant: Variant::Mean,
+            });
+        }
+        probe.push(Query::TopK {
+            k,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Median,
+        });
+        probe.push(Query::Baseline {
+            kind: BaselineKind::GlobalTopK { k },
+        });
+    }
+    probe.push(Query::SetConsensus {
+        metric: SetMetric::SymmetricDifference,
+        variant: Variant::Mean,
+    });
+    probe.push(Query::SetConsensus {
+        metric: SetMetric::Jaccard,
+        variant: Variant::Mean,
+    });
+    probe.push(Query::Clustering { restarts: 8 });
+    probe
+}
+
+/// A single-∨-edge probability update whose dependency footprint is a
+/// *strict* subset of the keys (`None` when every ∨ edge covers all keys —
+/// e.g. a one-block tree — and selective maintenance cannot be observed).
+fn selective_probability_delta<R: rand::Rng + ?Sized>(
+    tree: &AndXorTree,
+    rng: &mut R,
+) -> Option<cpdb_live::TreeDelta> {
+    let n = tree.keys().len();
+    tree.xor_nodes().into_iter().find_map(|xor| {
+        let children = tree.children(xor);
+        children.iter().find_map(|&(child, p)| {
+            if tree.subtree_keys(child).len() >= n {
+                return None;
+            }
+            let others: f64 = children.iter().map(|(_, w)| *w).sum::<f64>() - p;
+            let available = (1.0 - others).max(0.0);
+            Some(cpdb_live::TreeDelta::XorEdgeProbability {
+                xor,
+                child,
+                probability: available * rng.gen_range(0.05..0.95),
+            })
+        })
+    })
+}
+
+/// A valid single-∨-edge probability update drawn at random: the new
+/// probability is scaled into the block's available mass.
+fn random_probability_delta<R: rand::Rng + ?Sized>(
+    tree: &AndXorTree,
+    rng: &mut R,
+) -> cpdb_live::TreeDelta {
+    let xors = tree.xor_nodes();
+    let xor = xors[rng.gen_range(0..xors.len())];
+    let children = tree.children(xor);
+    let (child, p) = children[rng.gen_range(0..children.len())];
+    let others: f64 = children.iter().map(|(_, w)| *w).sum::<f64>() - p;
+    let available = (1.0 - others).max(0.0);
+    cpdb_live::TreeDelta::XorEdgeProbability {
+        xor,
+        child,
+        probability: available * rng.gen_range(0.05..0.95),
+    }
+}
+
+/// A valid random delta of the kind selected by `step` (falling back to a
+/// probability update when the tree offers no target of that kind).
+fn random_live_delta<R: rand::Rng + ?Sized>(
+    tree: &AndXorTree,
+    step: usize,
+    rng: &mut R,
+) -> cpdb_live::TreeDelta {
+    use cpdb_live::TreeDelta;
+    match step % 5 {
+        // A leaf value update (roughly half of them order-preserving).
+        1 => {
+            let leaves = tree.leaf_nodes();
+            let leaf = leaves[rng.gen_range(0..leaves.len())];
+            TreeDelta::LeafValue {
+                leaf,
+                value: rng.gen_range(0.0..100.0),
+            }
+        }
+        // Insert an alternative next to an existing leaf of some block.
+        2 => {
+            let candidate = tree.xor_nodes().into_iter().find_map(|xor| {
+                let children = tree.children(xor);
+                let leaf_key = children
+                    .iter()
+                    .find_map(|&(c, _)| tree.leaf_alternative(c))?
+                    .key;
+                let available = 1.0 - children.iter().map(|(_, w)| *w).sum::<f64>();
+                (available > 0.02).then_some((xor, leaf_key, available))
+            });
+            match candidate {
+                Some((xor, key, available)) => TreeDelta::InsertAlternative {
+                    xor,
+                    key: key.0,
+                    value: rng.gen_range(0.0..100.0),
+                    probability: available * 0.5,
+                },
+                None => random_probability_delta(tree, rng),
+            }
+        }
+        // Remove a leaf alternative from a multi-child block.
+        3 => {
+            let candidate = tree.xor_nodes().into_iter().find_map(|xor| {
+                let children = tree.children(xor);
+                if children.len() < 2 {
+                    return None;
+                }
+                children
+                    .iter()
+                    .find(|&&(c, _)| tree.leaf_alternative(c).is_some())
+                    .map(|&(leaf, _)| (xor, leaf))
+            });
+            match candidate {
+                Some((xor, leaf)) => TreeDelta::RemoveAlternative { xor, leaf },
+                None => random_probability_delta(tree, rng),
+            }
+        }
+        // Add a whole new tuple block under the root ∧.
+        4 => {
+            let root = tree.root();
+            if tree.node_kind(root) == Some(cpdb_andxor::NodeKind::And) {
+                let key = tree.keys().iter().map(|k| k.0).max().unwrap_or(0) + 7;
+                TreeDelta::InsertTupleBlock {
+                    under: root,
+                    key,
+                    alternatives: vec![
+                        (rng.gen_range(0.0..100.0), rng.gen_range(0.05..0.5)),
+                        (rng.gen_range(0.0..100.0), rng.gen_range(0.05..0.4)),
+                    ],
+                }
+            } else {
+                random_probability_delta(tree, rng)
+            }
+        }
+        // Probability updates (also the fallback above).
+        _ => random_probability_delta(tree, rng),
+    }
+}
+
+/// `cpdb_live` end-to-end conformance: a [`cpdb_live::LiveEngine`] absorbs a
+/// seeded random delta sequence covering every [`cpdb_live::TreeDelta`]
+/// kind; after **every** delta, the patched engine's answers over a probe
+/// batch spanning every query family must equal — bit for bit, including
+/// the expected distances — those of a **from-scratch engine** built from
+/// the mutated tree with the same knobs. Additionally pins the selective-
+/// invalidation contract: a single-∨ probability update against a warm
+/// engine must *keep* at least one artifact and *patch* at least one (no
+/// blanket full rebuild), and pinned pre-delta snapshots keep answering
+/// from their own epoch.
+pub fn check_live_updates(tree: &AndXorTree, seed: u64) -> usize {
+    use cpdb_live::LiveEngine;
+    const KENDALL_SAMPLES: usize = 64;
+    const STEPS: usize = 6;
+    let n = tree.keys().len();
+    let k_range = 1..=n.max(1);
+    let build = |t: &AndXorTree| {
+        ConsensusEngineBuilder::new(t.clone())
+            .seed(seed)
+            .kendall_distance_samples(KENDALL_SAMPLES)
+            .k_range(k_range.clone())
+            .build()
+            .expect("live conformance configuration is valid")
+    };
+    let probe = live_probe(&[1, 2.min(n.max(1))]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11FE_C0DE);
+    let live = LiveEngine::new(build(tree));
+    let mut checks = 0;
+
+    // Selective invalidation on a warm engine (the acceptance criterion).
+    // Only observable when some ∨ edge covers a strict subset of the keys;
+    // a delta touching every key legitimately invalidates everything.
+    for answer in live.snapshot().run_batch_serial(&probe) {
+        answer.expect("probe queries are all supported");
+    }
+    let pinned = live.snapshot();
+    let pinned_answers = pinned.run_batch_serial(&probe);
+    if let Some(delta) = selective_probability_delta(pinned.tree(), &mut rng) {
+        let outcome = live.apply(&delta).expect("generated delta is valid");
+        assert!(
+            outcome.report.kept() >= 1,
+            "single-∨ probability update kept no artifact: {:?}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.patched() >= 1,
+            "single-∨ probability update patched no artifact: {:?}",
+            outcome.report
+        );
+        checks += 2;
+    }
+    // Snapshot isolation: the pinned pre-delta epoch still answers as before.
+    assert_eq!(
+        pinned.run_batch_serial(&probe),
+        pinned_answers,
+        "pinned snapshot changed answers after an epoch swap"
+    );
+    checks += 1;
+
+    // Random delta sequence: every kind, fresh-engine equality after each.
+    for step in 0..STEPS {
+        let snap = live.snapshot();
+        // Warm the current epoch so the maintenance has artifacts to manage.
+        for answer in snap.run_batch_serial(&probe) {
+            answer.expect("probe queries are all supported");
+        }
+        let delta = random_live_delta(snap.tree(), step, &mut rng);
+        live.apply(&delta).expect("generated deltas are valid");
+        let now = live.snapshot();
+        let fresh = build(now.tree());
+        let live_answers = now.run_batch_serial(&probe);
+        let fresh_answers = fresh.run_batch_serial(&probe);
+        assert_eq!(
+            live_answers,
+            fresh_answers,
+            "live epoch {} diverges from a from-scratch engine after {delta:?}",
+            now.epoch()
+        );
+        checks += probe.len();
+    }
+    checks
+}
+
 /// Outcome of a full conformance sweep for one seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConformanceSummary {
@@ -869,9 +1112,11 @@ pub struct ConformanceSummary {
 /// on group-by instances, clustering on attribute-uncertainty trees, the
 /// batch ↔ per-tuple generating-function equivalence on all three tree
 /// families, the engine ↔ free-function equivalence sweep on both ranked
-/// tree families, and the concurrent ↔ serial engine equivalence check
+/// tree families, the concurrent ↔ serial engine equivalence check
 /// (parallel `run_batch` and multi-thread shared-engine traffic bit-identical
-/// to the serial loop).
+/// to the serial loop), and the live-update conformance (delta-patched
+/// epochs ≡ from-scratch engines after every mutation, with selective
+/// artifact invalidation).
 pub fn run_seed(seed: u64) -> ConformanceSummary {
     let ti_db = fixtures::small_tuple_independent(seed);
     let ti_tree = fixtures::small_tuple_independent_tree(seed);
@@ -898,6 +1143,8 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_engine(&bid_tree, &groupby, seed);
     checks += check_engine(&ti_tree, &groupby, seed);
     checks += check_engine_concurrency(&bid_tree, &groupby, seed);
+    checks += check_live_updates(&bid_tree, seed);
+    checks += check_live_updates(&ti_tree, seed);
     ConformanceSummary { seed, checks }
 }
 

@@ -1,0 +1,61 @@
+//! Property-based conformance for the live-update subsystem: on randomly
+//! generated and/xor trees (nested ∧ bundles, multi-alternative blocks,
+//! sub-unit block masses, score collisions), a seeded random delta sequence
+//! applied through `cpdb_live::LiveEngine` must leave every epoch's answers
+//! bit-identical to a from-scratch engine on the mutated tree, via
+//! [`cpdb_testkit::conformance::check_live_updates`].
+
+use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_testkit::conformance::check_live_updates;
+use proptest::prelude::*;
+
+/// Strategy: a random two-level and/xor tree — a root ∧ node over blocks,
+/// where each block is an ∨ node over either plain leaves or small ∧ bundles
+/// of leaves (the same family the batch-genfunc proptest sweeps), plus a
+/// seed for the delta sequence.
+fn random_tree() -> impl Strategy<Value = AndXorTree> {
+    prop::collection::vec(
+        prop::collection::vec((1usize..=2, 0.05f64..1.0, 0usize..6), 1..3),
+        1..4,
+    )
+    .prop_map(|blocks| {
+        let mut b = AndXorTreeBuilder::new();
+        let mut key = 0u64;
+        let mut xors = Vec::new();
+        for block in &blocks {
+            let total: f64 = block.iter().map(|(_, w, _)| *w).sum::<f64>() * 1.25;
+            let mut edges = Vec::new();
+            for (bundle, w, score_bucket) in block {
+                let leaves: Vec<_> = (0..*bundle)
+                    .map(|_| {
+                        key += 1;
+                        b.leaf_parts(key, *score_bucket as f64)
+                    })
+                    .collect();
+                let node = if leaves.len() == 1 {
+                    leaves[0]
+                } else {
+                    b.and_node(leaves)
+                };
+                edges.push((node, w / total));
+            }
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root)
+            .expect("construction keeps keys disjoint and mass ≤ 1")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Live epochs stay bit-identical to from-scratch engines across random
+    /// trees × random delta sequences (all five delta kinds), and the
+    /// single-∨ probability update keeps/patches artifacts selectively.
+    #[test]
+    fn live_updates_conform_on_random_trees(tree in random_tree(), seed in 0u64..1024) {
+        let checks = check_live_updates(&tree, seed);
+        prop_assert!(checks > 0, "conformance performed no assertions");
+    }
+}

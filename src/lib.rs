@@ -14,6 +14,10 @@
 //!
 //! * [`engine`] — the unified [`ConsensusEngine`](engine::ConsensusEngine)
 //!   query API with cached artifacts and batch execution;
+//! * [`live`] — incremental updates with snapshot-isolated serving: an
+//!   epoch-stamped [`LiveEngine`](live::LiveEngine) applies
+//!   [`TreeDelta`](live::TreeDelta)s with delta-aware artifact maintenance
+//!   while readers keep answering from their pinned epoch;
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
 //! * [`andxor`] — the probabilistic and/xor tree (including the single-sweep
@@ -71,6 +75,7 @@ pub use cpdb_assignment as assignment;
 pub use cpdb_consensus as consensus;
 pub use cpdb_engine as engine;
 pub use cpdb_genfunc as genfunc;
+pub use cpdb_live as live;
 pub use cpdb_model as model;
 pub use cpdb_parallel as parallel;
 pub use cpdb_rankagg as rankagg;
@@ -88,6 +93,7 @@ pub mod prelude {
         Variant,
     };
     pub use cpdb_genfunc::{Poly1, Poly2, Truncation};
+    pub use cpdb_live::{AppliedDelta, LiveEngine, Snapshot, TreeDelta};
     pub use cpdb_model::{
         Alternative, AttrValue, BidBlock, BidDb, PossibleWorld, TupleIndependentDb, TupleKey,
         WorldModel, WorldSet, XTuple, XTupleDb,
