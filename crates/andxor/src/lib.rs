@@ -40,9 +40,11 @@ pub mod figure1;
 pub mod genfunc_eval;
 pub mod mutate;
 pub mod rank;
+pub mod serial;
 pub mod tree;
 pub mod worlds;
 
 pub use genfunc_eval::VarAssignment;
 pub use mutate::{DeltaImpact, TreeDelta};
+pub use serial::{RawDelta, RawNode, RawTree};
 pub use tree::{AndXorTree, AndXorTreeBuilder, NodeId, NodeKind};

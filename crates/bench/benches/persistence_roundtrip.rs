@@ -1,0 +1,47 @@
+//! Persistence round-trip: warm start (snapshot decode + WAL replay) vs the
+//! cold rebuild it replaces, plus the snapshot write itself.
+
+use cpdb_bench::persistence::scratch_engine;
+use cpdb_bench::update_throughput::{live_engine, warm_maintained_artifacts};
+use cpdb_live::LiveEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[30usize, 60] {
+        // A durable engine with a WAL tail of one delta per kind.
+        let (dir, deltas_applied) = scratch_engine(n, 7);
+        group.bench_with_input(BenchmarkId::new("warm_open", n), &dir, |b, dir| {
+            b.iter(|| {
+                let reopened = LiveEngine::open(dir).expect("warm reopen");
+                assert_eq!(reopened.epoch(), deltas_applied as u64);
+                black_box(reopened)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot_write", n), &dir, |b, dir| {
+            let live = LiveEngine::open(dir).expect("warm reopen");
+            b.iter(|| black_box(live.persist_snapshot().expect("snapshot write")))
+        });
+        let final_tree = LiveEngine::open(&dir)
+            .expect("warm reopen")
+            .snapshot()
+            .tree()
+            .clone();
+        group.bench_with_input(BenchmarkId::new("cold_build", n), &final_tree, |b, tree| {
+            b.iter(|| {
+                let cold = live_engine(tree.clone(), 7);
+                warm_maintained_artifacts(&cold);
+                black_box(cold)
+            })
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod persistence;
 pub mod query_throughput;
 pub mod rank_artifacts;
 pub mod table;

@@ -168,7 +168,7 @@ pub fn mean_topk_kendall_pivot_from_prefs<R: Rng + ?Sized>(
     if ctx.k() == 0 || prefs.items().is_empty() {
         return TopKList::empty();
     }
-    let ranking = pivot_best_of(prefs, trials, rng);
+    let ranking = pivot_best_of(prefs, trials, rng).expect("tournament is non-empty");
     ranking.top_k(ctx.k())
 }
 

@@ -6,6 +6,7 @@ use crate::answer::{Answer, Optimality, Value};
 use crate::builder::{IntersectionStrategy, KendallStrategy};
 use crate::delta::DeltaReport;
 use crate::error::EngineError;
+use crate::export::{CoClusterExport, EngineExport, PreferenceExport, RankContextExport};
 use crate::query::{splitmix64, BaselineKind, Query, SetMetric, TopKMetric, Variant};
 use cpdb_andxor::{AndXorTree, NodeKind, TreeDelta};
 use cpdb_consensus::aggregate::GroupByInstance;
@@ -1250,6 +1251,190 @@ fn prebuilt_slot<T>(value: T) -> Slot<T> {
     Arc::new(cell)
 }
 
+impl ConsensusEngine {
+    /// Exports the engine's configuration plus every artifact it has *built*
+    /// as plain data ([`EngineExport`]) — the image the `cpdb_store` snapshot
+    /// format persists. Unbuilt artifacts are absent from the export (there
+    /// is nothing to save); [`ConsensusEngine::from_export`] rebuilds them
+    /// lazily. All `f64`s are exported bit-exactly.
+    pub fn export(&self) -> EngineExport {
+        let mut contexts: Vec<RankContextExport> = self
+            .contexts
+            .read()
+            .expect("artifact map lock poisoned")
+            .iter()
+            .filter_map(|(&k, cell)| cell.get().map(|ctx| (k, Arc::clone(ctx))))
+            .map(|(k, ctx)| {
+                let pmf = ctx
+                    .keys()
+                    .iter()
+                    .map(|&t| (t.0, (1..=k).map(|i| ctx.rank_probability(t, i)).collect()))
+                    .collect();
+                RankContextExport { k, pmf }
+            })
+            .collect();
+        contexts.sort_by_key(|c| c.k);
+
+        let prefs = self.prefs.get().map(|m| {
+            let items = m.items().to_vec();
+            let weights = items
+                .iter()
+                .flat_map(|&i| items.iter().map(move |&j| (i, j)))
+                .map(|(i, j)| m.weight(i, j))
+                .collect();
+            PreferenceExport { items, weights }
+        });
+
+        let cocluster = self.cocluster.get().map(|w| {
+            let keys: Vec<u64> = w.keys().iter().map(|k| k.0).collect();
+            let mut pairs = Vec::new();
+            for (idx, &i) in w.keys().iter().enumerate() {
+                for &j in w.keys().iter().skip(idx + 1) {
+                    pairs.push((i.0, j.0, w.weight(i, j)));
+                }
+            }
+            CoClusterExport { keys, pairs }
+        });
+
+        let marginals = self.marginals.get().map(|m| {
+            let mut rows: Vec<(u64, f64, f64)> = m
+                .iter()
+                .map(|(alt, &p)| (alt.key.0, alt.value.value(), p))
+                .collect();
+            rows.sort_by_key(|a| (a.0, a.1.to_bits()));
+            rows
+        });
+
+        let jaccard_candidates = self.jaccard_candidates.get().map(|c| {
+            c.iter()
+                .map(|(alt, p)| (alt.key.0, alt.value.value(), *p))
+                .collect()
+        });
+
+        let key_index = self
+            .key_index
+            .get()
+            .map(|idx| idx.iter().map(|k| k.0).collect());
+
+        EngineExport {
+            tree: self.tree.to_raw(),
+            seed: self.seed,
+            k_range: self.k_range,
+            kendall: self.kendall,
+            intersection: self.intersection,
+            kendall_distance_samples: self.kendall_distance_samples,
+            threads: self.threads,
+            groupby: self.groupby.as_ref().map(|g| g.probabilities().to_vec()),
+            contexts,
+            prefs,
+            cocluster,
+            marginals,
+            jaccard_candidates,
+            key_index,
+        }
+    }
+
+    /// Reconstructs an engine from an [`EngineExport`] **without rebuilding**
+    /// the exported artifacts: the tree is re-validated
+    /// ([`AndXorTree::from_raw`]), the configuration goes through the
+    /// ordinary builder validation, and every exported artifact is injected
+    /// pre-built. The result answers bit-identically to the engine that
+    /// produced the export (its cache counters start from zero).
+    ///
+    /// Malformed exports — an invalid tree, a bad configuration, artifact
+    /// tables whose shapes do not match — surface as typed [`EngineError`]s.
+    pub fn from_export(export: &EngineExport) -> Result<ConsensusEngine, EngineError> {
+        let tree = AndXorTree::from_raw(&export.tree)?;
+        let mut builder = crate::builder::ConsensusEngineBuilder::new(tree)
+            .seed(export.seed)
+            .k_range(export.k_range.0..=export.k_range.1)
+            .kendall_strategy(export.kendall)
+            .intersection_strategy(export.intersection)
+            .kendall_distance_samples(export.kendall_distance_samples)
+            .threads(export.threads);
+        if let Some(probs) = &export.groupby {
+            builder = builder.groupby(GroupByInstance::new(probs.clone())?);
+        }
+        let mut engine = builder.build()?;
+
+        let mut contexts = HashMap::with_capacity(export.contexts.len());
+        for rce in &export.contexts {
+            let mut pmf = HashMap::with_capacity(rce.pmf.len());
+            for (key, row) in &rce.pmf {
+                if row.len() != rce.k {
+                    return Err(EngineError::InvalidConfig {
+                        context: format!(
+                            "rank-context export at k={} has a row of length {}",
+                            rce.k,
+                            row.len()
+                        ),
+                    });
+                }
+                pmf.insert(cpdb_model::TupleKey(*key), row.clone());
+            }
+            contexts.insert(
+                rce.k,
+                prebuilt_slot(Arc::new(TopKContext::from_pmf(rce.k, pmf))),
+            );
+        }
+        engine.contexts = RwLock::new(contexts);
+
+        if let Some(pe) = &export.prefs {
+            let n = pe.items.len();
+            if pe.weights.len() != n * n {
+                return Err(EngineError::InvalidConfig {
+                    context: format!(
+                        "preference export has {} weights for {n} items",
+                        pe.weights.len()
+                    ),
+                });
+            }
+            let mut m = PreferenceMatrix::new(&pe.items);
+            for (a, &i) in pe.items.iter().enumerate() {
+                for (b, &j) in pe.items.iter().enumerate() {
+                    m.set_weight(i, j, pe.weights[a * n + b]);
+                }
+            }
+            engine.prefs = prebuilt_slot(m);
+        }
+
+        if let Some(ce) = &export.cocluster {
+            let keys: Vec<cpdb_model::TupleKey> =
+                ce.keys.iter().map(|&k| cpdb_model::TupleKey(k)).collect();
+            let weights = ce
+                .pairs
+                .iter()
+                .map(|&(i, j, w)| ((cpdb_model::TupleKey(i), cpdb_model::TupleKey(j)), w))
+                .collect();
+            engine.cocluster = prebuilt_slot(CoClusteringWeights::from_map(keys, weights));
+        }
+
+        if let Some(rows) = &export.marginals {
+            let map = rows
+                .iter()
+                .map(|&(key, value, p)| (Alternative::new(key, value), p))
+                .collect::<HashMap<_, _>>();
+            engine.marginals = prebuilt_slot(map);
+        }
+
+        if let Some(rows) = &export.jaccard_candidates {
+            let list = rows
+                .iter()
+                .map(|&(key, value, p)| (Alternative::new(key, value), p))
+                .collect::<Vec<_>>();
+            engine.jaccard_candidates = prebuilt_slot(list);
+        }
+
+        if let Some(keys) = &export.key_index {
+            let idx: Vec<cpdb_model::TupleKey> =
+                keys.iter().map(|&k| cpdb_model::TupleKey(k)).collect();
+            engine.key_index = prebuilt_slot(Arc::new(idx));
+        }
+
+        Ok(engine)
+    }
+}
+
 /// Whether `world` is a possible world of `tree` (some outcome of the ∨
 /// choices generates exactly it). Linear in tree size × world size: each
 /// subtree checks that it can generate precisely the restriction of `world`
@@ -2144,5 +2329,81 @@ mod tests {
             next.run_batch_serial(&warming_batch()),
             fresh.run_batch_serial(&warming_batch())
         );
+    }
+
+    #[test]
+    fn export_round_trips_warm_engines_bit_identically() {
+        let engine = delta_engine(bid_tree());
+        let answers: Vec<_> = engine.run_batch_serial(&warming_batch());
+        let export = engine.export();
+        // The warming batch built every artifact family.
+        assert!(!export.contexts.is_empty());
+        assert!(export.prefs.is_some());
+        assert!(export.cocluster.is_some());
+        assert!(export.marginals.is_some());
+        assert!(export.key_index.is_some());
+
+        let imported = ConsensusEngine::from_export(&export).unwrap();
+        // The import injected the artifacts pre-built: answering the same
+        // batch performs zero builds and byte-identical answers.
+        assert_eq!(imported.run_batch_serial(&warming_batch()), answers);
+        let stats = imported.cache_stats();
+        assert_eq!(stats.rank_context_builds, 0, "{stats:?}");
+        assert_eq!(stats.preference_builds, 0, "{stats:?}");
+        assert_eq!(stats.coclustering_builds, 0, "{stats:?}");
+        assert_eq!(stats.key_index_builds, 0, "{stats:?}");
+        // The export itself is reproducible from the imported engine.
+        assert_eq!(imported.export(), export);
+    }
+
+    #[test]
+    fn export_of_cold_engines_carries_no_artifacts() {
+        let engine = delta_engine(bid_tree());
+        let export = engine.export();
+        assert!(export.contexts.is_empty());
+        assert!(export.prefs.is_none());
+        assert!(export.cocluster.is_none());
+        assert!(export.marginals.is_none());
+        assert!(export.jaccard_candidates.is_none());
+        assert!(export.key_index.is_none());
+        // A cold import still answers identically (ordinary lazy builds).
+        let imported = ConsensusEngine::from_export(&export).unwrap();
+        assert_eq!(
+            imported.run_batch_serial(&warming_batch()),
+            engine.run_batch_serial(&warming_batch())
+        );
+    }
+
+    #[test]
+    fn malformed_exports_are_typed_errors() {
+        let engine = delta_engine(bid_tree());
+        for r in engine.run_batch_serial(&warming_batch()) {
+            r.unwrap();
+        }
+        let mut export = engine.export();
+        export.contexts[0].pmf[0].1.pop();
+        assert!(matches!(
+            ConsensusEngine::from_export(&export),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+
+        let mut export = engine.export();
+        if let Some(pe) = &mut export.prefs {
+            pe.weights.pop();
+        }
+        assert!(matches!(
+            ConsensusEngine::from_export(&export),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+
+        // A corrupted tree (mass overflow) is caught by re-validation.
+        let mut export = engine.export();
+        if let cpdb_andxor::RawNode::Inner { children, .. } = &mut export.tree.nodes[2] {
+            children[0].1 = 0.9;
+        }
+        assert!(matches!(
+            ConsensusEngine::from_export(&export),
+            Err(EngineError::Model(_))
+        ));
     }
 }

@@ -1,0 +1,93 @@
+//! Plain-data export/import of an engine's configuration and built
+//! artifacts — the seam the `cpdb_store` snapshot format encodes.
+//!
+//! [`EngineExport`] captures everything needed to reconstruct a
+//! [`crate::ConsensusEngine`] that answers **bit-identically** to the
+//! exporting engine without rebuilding its expensive artifacts:
+//!
+//! * the flattened and/xor tree ([`cpdb_andxor::RawTree`]);
+//! * every configuration knob (seed, k-range, strategies, sample counts,
+//!   thread count, the optional group-by matrix);
+//! * every artifact the engine had actually *built* at export time: the
+//!   per-`k` rank-PMF contexts, the Kendall preference matrix, the
+//!   co-clustering weights, the marginal and Jaccard candidate tables, and
+//!   the sorted key index. Unbuilt artifacts are simply absent and rebuilt
+//!   lazily after import — the ordinary cold path, still bit-identical
+//!   because every builder is deterministic.
+//!
+//! All `f64`s round-trip exactly (the export holds the same bits; encoders
+//! preserve them via [`f64::to_bits`]). Import re-validates the tree and the
+//! configuration through the ordinary constructors, so corrupt data surfaces
+//! as typed errors rather than invalid engines.
+
+use crate::builder::{IntersectionStrategy, KendallStrategy};
+use cpdb_andxor::RawTree;
+
+/// One exported per-`k` rank-PMF context: the raw `Pr(r(t) = i)` table the
+/// context was built from (everything else it caches derives from it
+/// deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankContextExport {
+    /// The query parameter `k`.
+    pub k: usize,
+    /// `(tuple key, pmf row)` pairs, sorted by key; each row has length `k`
+    /// with `row[i - 1] = Pr(r(t) = i)`.
+    pub pmf: Vec<(u64, Vec<f64>)>,
+}
+
+/// The exported full pairwise-order tournament.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferenceExport {
+    /// The tournament items (tuple keys), in tournament order.
+    pub items: Vec<u64>,
+    /// Row-major `items.len() × items.len()` weight matrix.
+    pub weights: Vec<f64>,
+}
+
+/// The exported co-clustering weight matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoClusterExport {
+    /// The clustered tuple keys, in matrix order.
+    pub keys: Vec<u64>,
+    /// Upper-triangle `(i, j, w_ij)` entries with `i < j` in key order (the
+    /// matrix is symmetric; the diagonal is implicitly 1).
+    pub pairs: Vec<(u64, u64, f64)>,
+}
+
+/// A complete, plain-data image of a [`crate::ConsensusEngine`]:
+/// configuration plus built artifacts. Produced by
+/// [`crate::ConsensusEngine::export`], consumed by
+/// [`crate::ConsensusEngine::from_export`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineExport {
+    /// The flattened and/xor tree.
+    pub tree: RawTree,
+    /// Engine seed for every randomised path.
+    pub seed: u64,
+    /// Admissible `(lo, hi)` Top-k range.
+    pub k_range: (usize, usize),
+    /// Kendall Top-k strategy.
+    pub kendall: KendallStrategy,
+    /// Intersection-metric strategy.
+    pub intersection: IntersectionStrategy,
+    /// Monte-Carlo sample count for Kendall `E[d_K]` estimates.
+    pub kendall_distance_samples: usize,
+    /// Thread count for artifact builds and batch dispatch (`0` = auto).
+    pub threads: usize,
+    /// The group-by probability matrix, if an instance is attached.
+    pub groupby: Option<Vec<Vec<f64>>>,
+    /// Built per-`k` rank contexts, sorted by `k`.
+    pub contexts: Vec<RankContextExport>,
+    /// The built full Kendall preference matrix, if any.
+    pub prefs: Option<PreferenceExport>,
+    /// The built co-clustering weights, if any.
+    pub cocluster: Option<CoClusterExport>,
+    /// The built marginal table as `(key, value, probability)` rows, sorted
+    /// by `(key, value)`.
+    pub marginals: Option<Vec<(u64, f64, f64)>>,
+    /// The built Jaccard candidate list as `(key, value, probability)` rows,
+    /// in candidate order (the order is part of the artifact).
+    pub jaccard_candidates: Option<Vec<(u64, f64, f64)>>,
+    /// The built sorted tuple-key index, if any.
+    pub key_index: Option<Vec<u64>>,
+}

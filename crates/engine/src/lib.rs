@@ -73,6 +73,7 @@ mod builder;
 mod delta;
 mod engine;
 mod error;
+mod export;
 mod query;
 
 pub use answer::{Answer, Diagnostics, Optimality, Value};
@@ -80,6 +81,7 @@ pub use builder::{ConsensusEngineBuilder, IntersectionStrategy, KendallStrategy}
 pub use delta::{ArtifactDecision, DeltaReport};
 pub use engine::{CacheStats, ConsensusEngine};
 pub use error::EngineError;
+pub use export::{CoClusterExport, EngineExport, PreferenceExport, RankContextExport};
 pub use query::{BaselineKind, Query, SetMetric, TopKMetric, Variant};
 
 // Re-exported so delta authors work against one crate: the mutation API is

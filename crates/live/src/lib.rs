@@ -73,15 +73,102 @@
 //! #     metric: SetMetric::SymmetricDifference, variant: Variant::Mean }).unwrap();
 //! ```
 
+//!
+//! ## Durability
+//!
+//! An in-memory [`LiveEngine`] loses everything on process exit and pays the
+//! full `O(n²)` artifact rebuild on the next start. The durable constructors
+//! ([`LiveEngine::new_durable`], [`LiveEngine::open`]) put a `cpdb_store`
+//! directory behind the engine: every delta is appended to a checksummed
+//! write-ahead log and fsync'd *before* its epoch is published (logged =
+//! committed), and snapshots of the full engine — tree plus built artifacts —
+//! are written atomically in the background every
+//! [`snapshot_every`](LiveEngine::set_snapshot_every) deltas (compacting the
+//! log). [`LiveEngine::open`] warm-starts from the newest valid snapshot,
+//! replays the WAL suffix (truncating a torn tail record), and answers
+//! **bit-identically** to the engine that wrote the files — the conformance
+//! suite pins this on every seed, including simulated crashes.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use cpdb_engine::{ConsensusEngine, EngineError};
+use cpdb_store::Store;
+use std::fmt;
 use std::ops::Deref;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 pub use cpdb_andxor::{DeltaImpact, TreeDelta};
 pub use cpdb_engine::{ArtifactDecision, DeltaReport};
+pub use cpdb_store::StoreError;
+
+/// Typed failures of a live engine: delta/model validation from the engine
+/// layer, or durability failures from the persistence layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LiveError {
+    /// The delta failed validation or the engine rejected the operation.
+    Engine(EngineError),
+    /// The write-ahead log or snapshot store failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Engine(e) => write!(f, "engine error: {e}"),
+            LiveError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Engine(e) => Some(e),
+            LiveError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for LiveError {
+    fn from(e: EngineError) -> Self {
+        LiveError::Engine(e)
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> Self {
+        LiveError::Store(e)
+    }
+}
+
+/// Deltas between background snapshots, by default.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
+
+/// The durability attachment of a [`LiveEngine`]: the store directory, the
+/// background-compaction cadence, and the running compactor (if any).
+struct Durability {
+    store: Arc<Store>,
+    snapshot_every: AtomicU64,
+    deltas_since_snapshot: AtomicU64,
+    compactor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Durability")
+            .field("dir", &self.store.dir())
+            .field(
+                "snapshot_every",
+                &self.snapshot_every.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
 
 /// One epoch of the live database: an epoch counter plus the engine serving
 /// that version of the tree.
@@ -155,15 +242,86 @@ pub struct LiveEngine {
     /// Serialises writers: the next-epoch build happens outside the
     /// `current` lock, so readers keep snapshotting while it runs.
     writer: Mutex<()>,
+    /// WAL + snapshot store; `None` for a purely in-memory engine.
+    durability: Option<Durability>,
 }
 
 impl LiveEngine {
-    /// Starts serving the given engine as epoch 0.
+    /// Starts serving the given engine as epoch 0, in memory only.
     pub fn new(engine: ConsensusEngine) -> Self {
         LiveEngine {
             current: RwLock::new(Arc::new(Epoch { epoch: 0, engine })),
             writer: Mutex::new(()),
+            durability: None,
         }
+    }
+
+    /// Starts serving the given engine as epoch 0 with durability in `dir`:
+    /// writes the epoch-0 snapshot immediately, then WAL-logs every delta
+    /// before publishing its epoch.
+    ///
+    /// Fails with [`StoreError::AlreadyExists`] if `dir` already holds a
+    /// store — use [`LiveEngine::open`] to resume one.
+    pub fn new_durable(engine: ConsensusEngine, dir: &Path) -> Result<Self, LiveError> {
+        let store = Store::create(dir)?;
+        store.write_snapshot(0, &engine.export())?;
+        Ok(LiveEngine {
+            current: RwLock::new(Arc::new(Epoch { epoch: 0, engine })),
+            writer: Mutex::new(()),
+            durability: Some(Durability {
+                store: Arc::new(store),
+                snapshot_every: AtomicU64::new(DEFAULT_SNAPSHOT_EVERY),
+                deltas_since_snapshot: AtomicU64::new(0),
+                compactor: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// Warm-starts from the store in `dir`: loads the newest valid snapshot
+    /// (tree + built artifacts, no rebuild), replays the WAL suffix on top
+    /// (truncating a torn tail record), and serves the exact pre-crash
+    /// epoch. Answers are bit-identical to the engine that wrote the store.
+    pub fn open(dir: &Path) -> Result<Self, LiveError> {
+        let (store, recovered) = Store::open(dir)?;
+        let (snap_epoch, export) = recovered.snapshot.ok_or(StoreError::NoSnapshot)?;
+        let mut engine = ConsensusEngine::from_export(&export)?;
+        let mut epoch = snap_epoch;
+        for (record_epoch, delta) in &recovered.wal {
+            engine = engine.apply_delta(delta)?.0;
+            epoch = *record_epoch;
+        }
+        Ok(LiveEngine {
+            current: RwLock::new(Arc::new(Epoch { epoch, engine })),
+            writer: Mutex::new(()),
+            durability: Some(Durability {
+                store: Arc::new(store),
+                snapshot_every: AtomicU64::new(DEFAULT_SNAPSHOT_EVERY),
+                deltas_since_snapshot: AtomicU64::new(recovered.wal.len() as u64),
+                compactor: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// Sets how many deltas may accumulate before a background snapshot
+    /// compacts the WAL (durable engines only; default 32).
+    pub fn set_snapshot_every(&self, every: u64) {
+        if let Some(d) = &self.durability {
+            d.snapshot_every.store(every.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Synchronously snapshots the current epoch to the store, compacting
+    /// the WAL. Returns the epoch persisted, or `None` for an in-memory
+    /// engine.
+    pub fn persist_snapshot(&self) -> Result<Option<u64>, LiveError> {
+        let Some(d) = &self.durability else {
+            return Ok(None);
+        };
+        let current = self.current_arc();
+        d.store
+            .write_snapshot(current.epoch, &current.engine.export())?;
+        d.deltas_since_snapshot.store(0, Ordering::Relaxed);
+        Ok(Some(current.epoch))
     }
 
     /// The current epoch number.
@@ -188,26 +346,114 @@ impl LiveEngine {
 
     /// Applies one delta: validates it against the current epoch's tree,
     /// builds the next-epoch engine (kept artifacts shared, affected ones
-    /// patched or dropped — see [`DeltaReport`]), and publishes it. On error
-    /// nothing is published and the current epoch keeps serving.
-    pub fn apply(&self, delta: &TreeDelta) -> Result<AppliedDelta, EngineError> {
+    /// patched or dropped — see [`DeltaReport`]), WAL-logs it (durable
+    /// engines fsync before the publish), and publishes it. On error nothing
+    /// is published and the current epoch keeps serving.
+    pub fn apply(&self, delta: &TreeDelta) -> Result<AppliedDelta, LiveError> {
         let _writer = self.writer.lock().expect("live writer lock poisoned");
         let current = self.current_arc();
         let (engine, report) = current.engine.apply_delta(delta)?;
-        let next = Arc::new(Epoch {
-            epoch: current.epoch + 1,
-            engine,
-        });
-        let epoch = next.epoch;
-        *self.current.write().expect("live epoch lock poisoned") = next;
+        let epoch = current.epoch + 1;
+        if let Some(d) = &self.durability {
+            d.store.append(epoch, delta)?;
+        }
+        let next = Arc::new(Epoch { epoch, engine });
+        *self.current.write().expect("live epoch lock poisoned") = next.clone();
+        self.after_publish(1, next);
         Ok(AppliedDelta { epoch, report })
     }
 
-    /// Applies a sequence of deltas in order, publishing one epoch per
-    /// delta. Stops at the first invalid delta: the earlier epochs stay
-    /// published, the failing delta publishes nothing.
-    pub fn apply_all(&self, deltas: &[TreeDelta]) -> Result<Vec<AppliedDelta>, EngineError> {
-        deltas.iter().map(|d| self.apply(d)).collect()
+    /// Applies a sequence of deltas **atomically**: every delta is staged
+    /// against its predecessor first, then the whole batch is WAL-logged
+    /// under a single fsync (durable engines), then the final epoch is
+    /// published with one pointer store. If *any* delta fails, nothing is
+    /// published, no epoch advances, and no WAL record is written — readers
+    /// never observe a partially-applied batch.
+    ///
+    /// On success the returned outcomes number the intermediate epochs
+    /// `current + 1 ..= current + deltas.len()`; only the last is ever
+    /// served, the others exist as maintenance records.
+    pub fn apply_all(&self, deltas: &[TreeDelta]) -> Result<Vec<AppliedDelta>, LiveError> {
+        let _writer = self.writer.lock().expect("live writer lock poisoned");
+        let base = self.current_arc();
+
+        let mut staged: Vec<(ConsensusEngine, DeltaReport)> = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            let source = staged.last().map(|(e, _)| e).unwrap_or(&base.engine);
+            staged.push(source.apply_delta(delta)?);
+        }
+        if staged.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(d) = &self.durability {
+            d.store.append_all(
+                deltas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, delta)| (base.epoch + 1 + i as u64, delta)),
+            )?;
+        }
+
+        let count = staged.len();
+        let mut outcomes = Vec::with_capacity(count);
+        let mut last_engine = None;
+        for (i, (engine, report)) in staged.into_iter().enumerate() {
+            outcomes.push(AppliedDelta {
+                epoch: base.epoch + 1 + i as u64,
+                report,
+            });
+            if i + 1 == count {
+                last_engine = Some(engine);
+            }
+        }
+        let next = Arc::new(Epoch {
+            epoch: base.epoch + count as u64,
+            engine: last_engine.expect("staged batch is non-empty"),
+        });
+        *self.current.write().expect("live epoch lock poisoned") = next.clone();
+        self.after_publish(count as u64, next);
+        Ok(outcomes)
+    }
+
+    /// Bumps the durability delta counter and, when the snapshot cadence is
+    /// reached, hands the freshly-published epoch to a background thread
+    /// that exports it and writes a compacting snapshot. Failures in the
+    /// background are dropped — [`persist_snapshot`](Self::persist_snapshot)
+    /// is the synchronous, error-reporting path.
+    fn after_publish(&self, applied: u64, published: Arc<Epoch>) {
+        let Some(d) = &self.durability else { return };
+        let since = d
+            .deltas_since_snapshot
+            .fetch_add(applied, Ordering::Relaxed)
+            + applied;
+        if since < d.snapshot_every.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut compactor = d.compactor.lock().expect("compactor lock poisoned");
+        if let Some(handle) = compactor.take() {
+            if !handle.is_finished() {
+                // Still compacting a previous epoch: keep the counter and
+                // retry after the next publish.
+                *compactor = Some(handle);
+                return;
+            }
+            let _ = handle.join();
+        }
+        d.deltas_since_snapshot.store(0, Ordering::Relaxed);
+        let store = Arc::clone(&d.store);
+        *compactor = Some(std::thread::spawn(move || {
+            let _ = store.write_snapshot(published.epoch, &published.engine.export());
+        }));
+    }
+}
+
+impl Drop for LiveEngine {
+    fn drop(&mut self) {
+        if let Some(d) = &self.durability {
+            if let Some(handle) = d.compactor.lock().expect("compactor lock poisoned").take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -290,7 +536,10 @@ mod tests {
         let snap = live.snapshot();
         // 0.9 + sibling 0.5 overflows block 1's mass.
         let err = live.apply(&reweight(&snap, 1, 0.9)).unwrap_err();
-        assert!(matches!(err, EngineError::Model(_)), "{err:?}");
+        assert!(
+            matches!(err, LiveError::Engine(EngineError::Model(_))),
+            "{err:?}"
+        );
         assert_eq!(live.epoch(), 0);
     }
 
@@ -334,6 +583,135 @@ mod tests {
             writer.join().unwrap();
         });
         assert_eq!(live.epoch(), 20);
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdb_live_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn apply_all_is_atomic_for_any_failure_position() {
+        let good = |snap: &Snapshot| reweight(snap, 2, 0.65);
+        // 0.9 + sibling 0.5 overflows block 1's mass: always invalid.
+        let bad = |snap: &Snapshot| reweight(snap, 1, 0.9);
+        for fail_at in 0..3 {
+            let live = live();
+            let snap = live.snapshot();
+            let before = snap.run(&topk(2)).unwrap();
+            let deltas: Vec<TreeDelta> = (0..3)
+                .map(|i| {
+                    if i == fail_at {
+                        bad(&snap)
+                    } else {
+                        good(&snap)
+                    }
+                })
+                .collect();
+            let err = live.apply_all(&deltas).unwrap_err();
+            assert!(
+                matches!(err, LiveError::Engine(EngineError::Model(_))),
+                "position {fail_at}: {err:?}"
+            );
+            // Nothing published: epoch unchanged, answers unchanged.
+            assert_eq!(live.epoch(), 0, "position {fail_at}");
+            assert_eq!(live.snapshot().run(&topk(2)).unwrap(), before);
+        }
+    }
+
+    #[test]
+    fn failed_batches_leave_no_orphan_wal_records() {
+        let dir = temp_store_dir("atomic");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        {
+            let live = LiveEngine::new_durable(engine, &dir).unwrap();
+            let snap = live.snapshot();
+            let deltas = vec![
+                reweight(&snap, 2, 0.65),
+                reweight(&snap, 1, 0.9), // invalid: overflows block 1
+            ];
+            live.apply_all(&deltas).unwrap_err();
+            assert_eq!(live.epoch(), 0);
+            // A later, valid batch still commits at the right epochs.
+            let ok = live.apply_all(&[reweight(&snap, 2, 0.7)]).unwrap();
+            assert_eq!(ok[0].epoch, 1);
+        }
+        // Reopening proves the failed batch wrote nothing to the WAL: the
+        // recovered epoch counts only the committed delta.
+        let reopened = LiveEngine::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_engines_reopen_bit_identically() {
+        let dir = temp_store_dir("roundtrip");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        let expected = {
+            let live = LiveEngine::new_durable(engine, &dir).unwrap();
+            // Warm artifacts so the mid-way snapshot carries them.
+            let _ = live.snapshot().run(&topk(2)).unwrap();
+            let s = live.snapshot();
+            live.apply(&reweight(&s, 1, 0.25)).unwrap();
+            live.persist_snapshot().unwrap();
+            let s = live.snapshot();
+            live.apply(&reweight(&s, 2, 0.65)).unwrap();
+            live.snapshot().run(&topk(2)).unwrap()
+        };
+        let reopened = LiveEngine::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 2);
+        assert_eq!(reopened.snapshot().run(&topk(2)).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn opening_an_empty_directory_reports_no_snapshot() {
+        let dir = temp_store_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            LiveEngine::open(&dir),
+            Err(LiveError::Store(StoreError::NoSnapshot))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compaction_truncates_the_wal() {
+        let dir = temp_store_dir("compaction");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        {
+            let live = LiveEngine::new_durable(engine, &dir).unwrap();
+            live.set_snapshot_every(2);
+            for i in 0..4 {
+                let p = 0.3 + (i as f64) * 0.05;
+                let s = live.snapshot();
+                live.apply(&reweight(&s, 2, p)).unwrap();
+            }
+            // Drop joins the background compactor.
+        }
+        let reopened = LiveEngine::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 4);
+        // At least one background snapshot beyond epoch 0 landed.
+        let snap_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| n.starts_with("snapshot-") && *n != "snapshot-0.cpdb")
+            .collect();
+        assert!(!snap_files.is_empty(), "{snap_files:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

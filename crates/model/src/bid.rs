@@ -69,6 +69,11 @@ impl BidBlock {
 
     /// The highest-probability alternative of this block (used by the
     /// BID Jaccard-median heuristic of §4.2).
+    ///
+    /// Never panics: both constructors ([`BidBlock::new`] and
+    /// [`BidBlock::from_pairs`]) reject empty alternative lists with
+    /// [`ModelError::Empty`], so a `BidBlock` always has at least one
+    /// alternative.
     pub fn best_alternative(&self) -> (Alternative, f64) {
         let (v, p) = self
             .alternatives
@@ -301,6 +306,35 @@ mod tests {
         let (alt, p) = b.best_alternative();
         assert_eq!(alt, Alternative::new(5, 2.0));
         assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_block_is_a_typed_error_never_a_panic() {
+        // best_alternative's non-empty invariant is enforced at construction:
+        // an empty alternative list is a typed ModelError, so no BidBlock can
+        // reach the expect in best_alternative.
+        let err = BidBlock::new(TupleKey(7), vec![]).unwrap_err();
+        assert!(matches!(err, ModelError::Empty { .. }));
+        let err = BidBlock::from_pairs(7, &[]).unwrap_err();
+        assert!(matches!(err, ModelError::Empty { .. }));
+        // Degenerate but valid: a single zero-probability alternative still
+        // has a best alternative.
+        let b = BidBlock::from_pairs(7, &[(4.0, 0.0)]).unwrap();
+        let (alt, p) = b.best_alternative();
+        assert_eq!(alt, Alternative::new(7, 4.0));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn empty_relation_enumerates_the_single_empty_world() {
+        let db = BidDb::new(vec![]).unwrap();
+        assert!(db.is_empty());
+        let ws = db.enumerate_worlds();
+        assert_eq!(ws.len(), 1);
+        assert!(ws.worlds()[0].0.is_empty());
+        assert!((ws.worlds()[0].1 - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(db.sample_world(&mut rng).is_empty());
     }
 
     #[test]

@@ -407,6 +407,22 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_world_sets_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Sampling an empty unchecked set falls back to the empty world.
+        let empty = WorldSet::new_unchecked(vec![]);
+        assert!(empty.sample(&mut rng).is_empty());
+        assert!(empty.normalize().is_empty());
+        assert_eq!(empty.support_size(), 0);
+        // All-zero mass: sampling returns the last stored world instead of
+        // dividing by the zero total.
+        let w = PossibleWorld::new(vec![alt(1, 1.0)]).unwrap();
+        let zero = WorldSet::new_unchecked(vec![(w.clone(), 0.0)]);
+        assert_eq!(zero.sample(&mut rng), w);
+        assert!(zero.normalize().is_empty());
+    }
+
+    #[test]
     fn sampling_respects_probabilities() {
         let w1 = PossibleWorld::new(vec![alt(1, 1.0)]).unwrap();
         let w2 = PossibleWorld::empty();

@@ -112,6 +112,11 @@ impl XTupleDb {
     }
 
     /// Lossless conversion to the equivalent BID relation.
+    ///
+    /// Never panics: every `XTuple` is built through [`BidBlock`] validation
+    /// (non-empty alternatives, valid probabilities, mass ≤ 1) and
+    /// [`XTupleDb::new`] rejects duplicate keys, so both conversions below
+    /// are infallible by construction.
     pub fn to_bid(&self) -> BidDb {
         BidDb::new(
             self.xtuples
@@ -175,6 +180,26 @@ mod tests {
         assert_eq!(ws_x.len(), 4);
         assert!((ws_x.marginal_key(TupleKey(1)) - 1.0).abs() < 1e-12);
         assert!((ws_x.marginal_key(TupleKey(2)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_alternative_lists_are_typed_errors_never_panics() {
+        // to_bid's expects are unreachable because construction already
+        // rejects anything that would violate the BID invariants.
+        assert!(XTuple::maybe(1, &[]).is_err());
+        assert!(XTuple::certain(1, &[]).is_err());
+        assert!(XTuple::maybe(1, &[(1.0, 1.5)]).is_err());
+    }
+
+    #[test]
+    fn empty_relation_converts_and_enumerates() {
+        let db = XTupleDb::new(vec![]).unwrap();
+        assert!(db.is_empty());
+        let bid = db.to_bid();
+        assert!(bid.is_empty());
+        let ws = db.enumerate_worlds();
+        assert_eq!(ws.len(), 1);
+        assert!(ws.worlds()[0].0.is_empty());
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! case but often much better in practice — used in the experiments as a
 //! comparison point for the consensus Top-k answers.
 
-use crate::lists::{FullRanking, TopKList};
+use crate::lists::{FullRanking, RankError, TopKList};
 use std::collections::HashMap;
 
 /// Aggregates weighted full rankings by Borda count. Items missing from a
 /// ranking contribute no score for that ranking. Ties are broken by item id
-/// so the result is deterministic.
-pub fn borda_aggregate(items: &[u64], rankings: &[(FullRanking, f64)]) -> FullRanking {
+/// so the result is deterministic. Returns [`RankError::Empty`] when `items`
+/// is empty (a full ranking cannot be empty).
+pub fn borda_aggregate(
+    items: &[u64],
+    rankings: &[(FullRanking, f64)],
+) -> Result<FullRanking, RankError> {
     let mut scores: HashMap<u64, f64> = items.iter().map(|&i| (i, 0.0)).collect();
     for (r, w) in rankings {
         let n = r.len();
@@ -30,7 +34,6 @@ pub fn borda_aggregate(items: &[u64], rankings: &[(FullRanking, f64)]) -> FullRa
             .then_with(|| ia.cmp(ib))
     });
     FullRanking::new(ordered.into_iter().map(|(i, _)| i).collect())
-        .expect("items are distinct and non-empty")
 }
 
 /// Aggregates weighted Top-k lists by Borda count (items outside a list get
@@ -63,7 +66,7 @@ mod tests {
     fn unanimous_rankings_are_reproduced() {
         let items = [1u64, 2, 3];
         let r = FullRanking::new(vec![2, 3, 1]).unwrap();
-        let agg = borda_aggregate(&items, &[(r.clone(), 1.0)]);
+        let agg = borda_aggregate(&items, &[(r.clone(), 1.0)]).unwrap();
         assert_eq!(agg, r);
     }
 
@@ -74,7 +77,7 @@ mod tests {
             (FullRanking::new(vec![1, 2]).unwrap(), 1.0),
             (FullRanking::new(vec![2, 1]).unwrap(), 3.0),
         ];
-        let agg = borda_aggregate(&items, &rankings);
+        let agg = borda_aggregate(&items, &rankings).unwrap();
         assert_eq!(agg.items()[0], 2);
     }
 
@@ -99,5 +102,24 @@ mod tests {
         assert_eq!(agg.item_at(1), Some(2));
         // Remaining items tie at zero and are ordered by id.
         assert_eq!(agg.items()[1..], [1, 3]);
+    }
+
+    #[test]
+    fn empty_item_set_is_a_typed_error() {
+        let r = FullRanking::new(vec![1]).unwrap();
+        assert_eq!(
+            borda_aggregate(&[], &[(r, 1.0)]).unwrap_err(),
+            crate::lists::RankError::Empty
+        );
+        assert_eq!(
+            borda_aggregate(&[], &[]).unwrap_err(),
+            crate::lists::RankError::Empty
+        );
+    }
+
+    #[test]
+    fn empty_topk_inputs_yield_empty_lists() {
+        assert_eq!(borda_aggregate_topk(&[], &[], 3).len(), 0);
+        assert_eq!(borda_aggregate_topk(&[1, 2], &[], 0).len(), 0);
     }
 }

@@ -13,13 +13,27 @@
 //! §5.4 consensus answer instantiates with probabilities from the and/xor
 //! tree.
 
-use crate::lists::{FullRanking, TopKList};
+use crate::lists::{FullRanking, RankError, TopKList};
 use cpdb_assignment::min_cost_assignment;
 
 /// Optimal footrule aggregation of weighted full rankings over `items`.
-/// Every input ranking must rank every item.
-pub fn footrule_aggregate(items: &[u64], rankings: &[(FullRanking, f64)]) -> FullRanking {
-    assert!(!items.is_empty(), "need at least one item");
+/// Returns [`RankError::Empty`] when `items` is empty and
+/// [`RankError::MissingItem`] when an input ranking does not rank one of the
+/// `items`.
+pub fn footrule_aggregate(
+    items: &[u64],
+    rankings: &[(FullRanking, f64)],
+) -> Result<FullRanking, RankError> {
+    if items.is_empty() {
+        return Err(RankError::Empty);
+    }
+    for (r, _) in rankings {
+        for &item in items {
+            if r.position_of(item).is_none() {
+                return Err(RankError::MissingItem { item });
+            }
+        }
+    }
     let n = items.len();
     // cost[i][p] = Σ_r w_r |σ_r(item_i) - (p+1)|
     let cost: Vec<Vec<f64>> = items
@@ -46,7 +60,7 @@ pub fn footrule_aggregate(items: &[u64], rankings: &[(FullRanking, f64)]) -> Ful
     for (i, col) in assignment.row_to_col.iter().enumerate() {
         slots[col.expect("square assignment matches every row")] = items[i];
     }
-    FullRanking::new(slots).expect("permutation of distinct items")
+    FullRanking::new(slots)
 }
 
 /// Optimal footrule aggregation of weighted Top-k lists: chooses `k` of the
@@ -108,7 +122,7 @@ mod tests {
     fn unanimous_input_is_reproduced() {
         let items = [1u64, 2, 3, 4];
         let r = FullRanking::new(vec![4, 2, 1, 3]).unwrap();
-        let agg = footrule_aggregate(&items, &[(r.clone(), 1.0)]);
+        let agg = footrule_aggregate(&items, &[(r.clone(), 1.0)]).unwrap();
         assert_eq!(agg, r);
     }
 
@@ -120,7 +134,7 @@ mod tests {
             (FullRanking::new(vec![2, 1, 3]).unwrap(), 1.0),
             (FullRanking::new(vec![1, 3, 2]).unwrap(), 1.0),
         ];
-        let agg = footrule_aggregate(&items, &rankings);
+        let agg = footrule_aggregate(&items, &rankings).unwrap();
         let total = |candidate: &FullRanking| -> f64 {
             rankings
                 .iter()
@@ -189,5 +203,26 @@ mod tests {
         let items = [1u64, 2];
         let lists = [(TopKList::new(vec![1]).unwrap(), 1.0)];
         assert!(footrule_aggregate_topk(&items, &lists, 0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        use crate::lists::RankError;
+        let r = FullRanking::new(vec![1, 2]).unwrap();
+        assert_eq!(
+            footrule_aggregate(&[], &[(r.clone(), 1.0)]).unwrap_err(),
+            RankError::Empty
+        );
+        // Item 3 is not ranked by the input ranking.
+        assert_eq!(
+            footrule_aggregate(&[1, 2, 3], &[(r, 1.0)]).unwrap_err(),
+            RankError::MissingItem { item: 3 }
+        );
+    }
+
+    #[test]
+    fn empty_topk_inputs_yield_empty_lists() {
+        assert_eq!(footrule_aggregate_topk(&[], &[], 2).len(), 0);
+        assert_eq!(footrule_aggregate_topk(&[1, 2], &[], 0).len(), 0);
     }
 }

@@ -7,7 +7,7 @@
 //! throughout the repository as the ground-truth oracle that approximation
 //! algorithms (pivot, footrule, Borda) are measured against.
 
-use crate::lists::{FullRanking, TopKList};
+use crate::lists::{FullRanking, RankError, TopKList};
 use crate::metrics::kendall_tau_topk;
 use crate::pivot::PreferenceMatrix;
 
@@ -17,15 +17,23 @@ use crate::pivot::PreferenceMatrix;
 /// — which equals the weighted Kendall distance to the input rankings when
 /// `w` is built from them.
 ///
+/// Returns [`RankError::Empty`] when `items` is empty (a full ranking
+/// cannot be empty).
+///
 /// # Panics
 ///
 /// Panics when more than 10 items are supplied (10! permutations ≈ 3.6M).
-pub fn kemeny_optimal(items: &[u64], prefs: &PreferenceMatrix) -> (FullRanking, f64) {
+pub fn kemeny_optimal(
+    items: &[u64],
+    prefs: &PreferenceMatrix,
+) -> Result<(FullRanking, f64), RankError> {
     assert!(
         items.len() <= 10,
         "brute-force Kemeny aggregation limited to 10 items"
     );
-    assert!(!items.is_empty(), "need at least one item");
+    if items.is_empty() {
+        return Err(RankError::Empty);
+    }
     let mut order: Vec<usize> = (0..items.len()).collect();
     let mut best_cost = f64::INFINITY;
     let mut best_order = order.clone();
@@ -45,7 +53,7 @@ pub fn kemeny_optimal(items: &[u64], prefs: &PreferenceMatrix) -> (FullRanking, 
     });
     let ranking = FullRanking::new(best_order.iter().map(|&i| items[i]).collect())
         .expect("permutation of distinct items");
-    (ranking, best_cost)
+    Ok((ranking, best_cost))
 }
 
 /// Exhaustively finds the Top-k list (over `items`, any subset of size `k`,
@@ -135,7 +143,7 @@ mod tests {
         let items = [1u64, 2, 3, 4];
         let r = FullRanking::new(vec![3, 1, 4, 2]).unwrap();
         let prefs = PreferenceMatrix::from_rankings(&items, &[(r.clone(), 1.0)]);
-        let (best, cost) = kemeny_optimal(&items, &prefs);
+        let (best, cost) = kemeny_optimal(&items, &prefs).unwrap();
         assert_eq!(best, r);
         assert_eq!(cost, 0.0);
     }
@@ -148,7 +156,7 @@ mod tests {
             (FullRanking::new(vec![2, 1, 3]).unwrap(), 1.0),
         ];
         let prefs = PreferenceMatrix::from_rankings(&items, &rankings);
-        let (best, cost) = kemeny_optimal(&items, &prefs);
+        let (best, cost) = kemeny_optimal(&items, &prefs).unwrap();
         assert_eq!(best.items(), &[1, 2, 3]);
         // Only the minority voter's (2 ≻ 1) preference is violated; the
         // preference matrix normalises weights, so the cost is 1/3.
@@ -181,6 +189,19 @@ mod tests {
     fn kemeny_rejects_large_instances() {
         let items: Vec<u64> = (0..11).collect();
         let prefs = PreferenceMatrix::new(&items);
-        kemeny_optimal(&items, &prefs);
+        let _ = kemeny_optimal(&items, &prefs);
+    }
+
+    #[test]
+    fn empty_item_set_is_a_typed_error() {
+        let prefs = PreferenceMatrix::new(&[]);
+        assert_eq!(kemeny_optimal(&[], &prefs).unwrap_err(), RankError::Empty);
+    }
+
+    #[test]
+    fn topk_with_empty_items_yields_the_empty_list() {
+        let (best, cost) = kemeny_optimal_topk(&[], 2, &[]);
+        assert_eq!(best.len(), 0);
+        assert_eq!(cost, 0.0);
     }
 }

@@ -18,6 +18,11 @@ pub enum RankError {
     },
     /// The list was empty where a non-empty list is required.
     Empty,
+    /// An item expected in a ranking was not ranked by it.
+    MissingItem {
+        /// The item that was not ranked.
+        item: u64,
+    },
 }
 
 impl fmt::Display for RankError {
@@ -25,6 +30,9 @@ impl fmt::Display for RankError {
         match self {
             RankError::DuplicateItem { item } => write!(f, "item {item} appears more than once"),
             RankError::Empty => write!(f, "ranking must contain at least one item"),
+            RankError::MissingItem { item } => {
+                write!(f, "item {item} is not ranked by the other ranking")
+            }
         }
     }
 }
@@ -184,15 +192,28 @@ impl FullRanking {
 
     /// Spearman footrule distance to another full ranking over the same item
     /// set: `Σ_t |σ₁(t) − σ₂(t)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` does not rank every item of `self`. Use
+    /// [`FullRanking::try_footrule_distance`] to get a typed error instead.
     pub fn footrule_distance(&self, other: &FullRanking) -> usize {
+        self.try_footrule_distance(other)
+            .expect("rankings must be over the same item set")
+    }
+
+    /// Fallible Spearman footrule distance: returns
+    /// [`RankError::MissingItem`] when `other` does not rank every item of
+    /// `self` instead of panicking.
+    pub fn try_footrule_distance(&self, other: &FullRanking) -> Result<usize, RankError> {
         self.items
             .iter()
             .map(|&t| {
                 let p1 = self.position_of(t).expect("item in self");
                 let p2 = other
                     .position_of(t)
-                    .expect("rankings must be over the same item set");
-                p1.abs_diff(p2)
+                    .ok_or(RankError::MissingItem { item: t })?;
+                Ok(p1.abs_diff(p2))
             })
             .sum()
     }

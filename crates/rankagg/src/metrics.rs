@@ -131,6 +131,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_lists_yield_zero_distance_without_panicking() {
+        let e = TopKList::empty();
+        let a = list(&[1, 2]);
+        assert_eq!(symmetric_difference_topk(&e, &e), 0.0);
+        assert_eq!(intersection_metric(&e, &e), 0.0);
+        assert_eq!(footrule_distance(&e, &e), 0.0);
+        assert_eq!(kendall_tau_topk(&e, &e), 0.0);
+        // One-sided emptiness is maximal membership disagreement, not a panic.
+        assert_eq!(symmetric_difference_topk(&e, &a), 0.5);
+        assert_eq!(footrule_distance(&e, &a), 3.0);
+    }
+
+    #[test]
     fn symmetric_difference_extremes() {
         let a = list(&[1, 2, 3]);
         assert_eq!(symmetric_difference_topk(&a, &a), 0.0);

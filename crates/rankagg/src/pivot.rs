@@ -14,7 +14,7 @@
 //! seeded runs (plus the deterministic Borda order) under the weighted
 //! disagreement objective.
 
-use crate::lists::FullRanking;
+use crate::lists::{FullRanking, RankError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
@@ -114,8 +114,9 @@ impl PreferenceMatrix {
 
     /// The Borda-style order: items sorted by total outgoing preference
     /// weight (descending). A deterministic, cheap aggregation used as one of
-    /// the candidates in [`pivot_best_of`].
-    pub fn borda_order(&self) -> FullRanking {
+    /// the candidates in [`pivot_best_of`]. Returns [`RankError::Empty`] for
+    /// an empty tournament (a full ranking cannot be empty).
+    pub fn borda_order(&self) -> Result<FullRanking, RankError> {
         let mut scored: Vec<(u64, f64)> = self
             .items
             .iter()
@@ -130,7 +131,6 @@ impl PreferenceMatrix {
                 .then_with(|| ia.cmp(ib))
         });
         FullRanking::new(scored.into_iter().map(|(i, _)| i).collect())
-            .expect("tournament items are distinct and non-empty")
     }
 }
 
@@ -138,11 +138,15 @@ impl PreferenceMatrix {
 /// place each remaining item before or after it according to the majority
 /// preference, recurse. Expected constant-factor approximation of the
 /// Kemeny-optimal aggregation when the weights come from actual rankings.
-pub fn pivot_order<R: Rng + ?Sized>(prefs: &PreferenceMatrix, rng: &mut R) -> FullRanking {
+/// Returns [`RankError::Empty`] for an empty tournament.
+pub fn pivot_order<R: Rng + ?Sized>(
+    prefs: &PreferenceMatrix,
+    rng: &mut R,
+) -> Result<FullRanking, RankError> {
     let mut items = prefs.items().to_vec();
     items.shuffle(rng);
     let ordered = kwiksort(&items, prefs, rng);
-    FullRanking::new(ordered).expect("tournament items are distinct and non-empty")
+    FullRanking::new(ordered)
 }
 
 fn kwiksort<R: Rng + ?Sized>(items: &[u64], prefs: &PreferenceMatrix, rng: &mut R) -> Vec<u64> {
@@ -170,23 +174,24 @@ fn kwiksort<R: Rng + ?Sized>(items: &[u64], prefs: &PreferenceMatrix, rng: &mut 
 }
 
 /// Runs [`pivot_order`] `trials` times plus the deterministic Borda order and
-/// returns the candidate with the smallest weighted disagreement.
+/// returns the candidate with the smallest weighted disagreement. Returns
+/// [`RankError::Empty`] for an empty tournament.
 pub fn pivot_best_of<R: Rng + ?Sized>(
     prefs: &PreferenceMatrix,
     trials: usize,
     rng: &mut R,
-) -> FullRanking {
-    let mut best = prefs.borda_order();
+) -> Result<FullRanking, RankError> {
+    let mut best = prefs.borda_order()?;
     let mut best_cost = prefs.disagreement(&best);
     for _ in 0..trials {
-        let candidate = pivot_order(prefs, rng);
+        let candidate = pivot_order(prefs, rng)?;
         let cost = prefs.disagreement(&candidate);
         if cost < best_cost {
             best_cost = cost;
             best = candidate;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -220,7 +225,7 @@ mod tests {
         let (_, prefs) = unanimous_prefs();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            let r = pivot_order(&prefs, &mut rng);
+            let r = pivot_order(&prefs, &mut rng).unwrap();
             assert_eq!(r.items(), &[1, 2, 3, 4, 5]);
         }
     }
@@ -228,7 +233,7 @@ mod tests {
     #[test]
     fn borda_recovers_unanimous_order() {
         let (_, prefs) = unanimous_prefs();
-        assert_eq!(prefs.borda_order().items(), &[1, 2, 3, 4, 5]);
+        assert_eq!(prefs.borda_order().unwrap().items(), &[1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -254,14 +259,26 @@ mod tests {
                     prefs.set_weight(items[j], items[i], 1.0 - w);
                 }
             }
-            let (_, opt_cost) = kemeny_optimal(&items, &prefs);
-            let approx = pivot_best_of(&prefs, 8, &mut rng);
+            let (_, opt_cost) = kemeny_optimal(&items, &prefs).unwrap();
+            let approx = pivot_best_of(&prefs, 8, &mut rng).unwrap();
             let approx_cost = prefs.disagreement(&approx);
             assert!(
                 approx_cost <= 2.0 * opt_cost + 1e-9,
                 "pivot {approx_cost} vs optimal {opt_cost}"
             );
         }
+    }
+
+    #[test]
+    fn empty_tournament_is_a_typed_error() {
+        let prefs = PreferenceMatrix::new(&[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(prefs.borda_order().unwrap_err(), RankError::Empty);
+        assert_eq!(pivot_order(&prefs, &mut rng).unwrap_err(), RankError::Empty);
+        assert_eq!(
+            pivot_best_of(&prefs, 4, &mut rng).unwrap_err(),
+            RankError::Empty
+        );
     }
 
     #[test]

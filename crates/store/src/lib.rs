@@ -1,0 +1,127 @@
+//! # cpdb-store — snapshot persistence and WAL crash recovery
+//!
+//! The consensus answers of Li & Deshpande (PODS 2009) are a pure function
+//! of the probabilistic and/xor tree, yet rebuilding the engine's shared
+//! artifacts — the per-`k` rank-PMF contexts, the `n²` Kendall tournament,
+//! the co-clustering weights — costs `O(n²)` generating-function sweeps on
+//! every process start. This crate makes a `cpdb_live` database **durable**
+//! so restarts warm-start instead:
+//!
+//! * [`snapshot`] — a compact, versioned binary image of one engine epoch:
+//!   the flattened tree plus every *built* artifact
+//!   ([`cpdb_engine::EngineExport`]), laid out as checksummed sections
+//!   behind a magic/version header and an epoch stamp, written atomically
+//!   (tmp file + rename + directory fsync). A torn or bit-flipped snapshot
+//!   never loads: each section carries a CRC-32, and the tree re-validates
+//!   the paper's structural constraints on decode.
+//! * [`wal`] — a write-ahead log of [`cpdb_andxor::TreeDelta`]s. Each record
+//!   is length-prefixed, CRC-checksummed, and fsync'd *before* the epoch it
+//!   produces is published, so a crash between publishes loses nothing.
+//!   Replay stops at (and truncates) a torn tail record, reconstructing the
+//!   exact pre-crash epoch.
+//! * [`store`] — the directory layout tying both together: the latest valid
+//!   snapshot plus the WAL suffix with later epochs. Writing a snapshot at
+//!   epoch `E` compacts the WAL (drops records with epoch ≤ `E`) and prunes
+//!   superseded snapshot files.
+//!
+//! `cpdb_live::LiveEngine::open` builds on these to answer bit-identically
+//! to the engine that wrote the files — conformance-gated against
+//! from-scratch engines on every testkit seed, including torn-tail crash
+//! simulations.
+//!
+//! ## File formats (version 1)
+//!
+//! Snapshot (`snapshot-<epoch>.cpdb`):
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | magic | 8 | `CPDBSNP1` |
+//! | version | 4 | format version (1), little-endian `u32` |
+//! | epoch | 8 | the epoch this image serves |
+//! | sections | 4 | section count |
+//! | per section: tag | 1 | config / tree / artifact kind |
+//! | len | 8 | payload length |
+//! | crc32 | 4 | CRC-32 (IEEE) of tag ‖ len ‖ payload |
+//! | payload | len | section body (fixed-width little-endian; `f64` as bits) |
+//!
+//! WAL (`wal.cpdb`):
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | magic | 8 | `CPDBWAL1` |
+//! | version | 4 | format version (1) |
+//! | per record: len | 4 | payload length |
+//! | crc32 | 4 | CRC-32 (IEEE) of the payload |
+//! | payload | len | epoch (`u64`) + encoded delta |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checksum;
+mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use store::{Recovered, Store};
+pub use wal::Wal;
+
+use std::fmt;
+
+/// Typed failures of the persistence layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// A file failed integrity or format validation (bad magic, checksum
+    /// mismatch away from the tail, impossible lengths, undecodable
+    /// payloads, non-contiguous epochs).
+    Corrupt {
+        /// What was being decoded and what went wrong.
+        context: String,
+    },
+    /// The file was written by an unsupported format version.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// Recovery was requested from a directory holding no valid snapshot.
+    NoSnapshot,
+    /// A fresh store was requested in a directory that already holds one.
+    AlreadyExists {
+        /// The offending path.
+        path: std::path::PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt { context } => write!(f, "corrupt store data: {context}"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+            StoreError::NoSnapshot => write!(f, "no valid snapshot to recover from"),
+            StoreError::AlreadyExists { path } => {
+                write!(f, "store already exists at {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,402 @@
+//! The on-disk store: a directory holding epoch-stamped snapshot files plus
+//! one write-ahead log, with the recovery protocol that stitches them back
+//! into the exact pre-crash epoch.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/snapshot-<epoch>.cpdb   zero or more, latest-valid wins
+//! <dir>/wal.cpdb                deltas for epochs after the snapshots
+//! ```
+//!
+//! Recovery ([`Store::open`]) loads the newest snapshot that passes
+//! integrity checks (corrupt newer ones are skipped — the atomic snapshot
+//! writer makes that window tiny, but bit-rot happens), then selects the
+//! WAL suffix with epochs strictly above the snapshot and verifies it is
+//! contiguous from `snapshot_epoch + 1`. Every crash window is covered:
+//! a WAL record fsync'd but never published simply replays, and a snapshot
+//! written but not yet compacted leaves overlapping WAL records that the
+//! suffix filter drops.
+
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::Wal;
+use crate::StoreError;
+use cpdb_andxor::TreeDelta;
+use cpdb_engine::EngineExport;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const WAL_FILE: &str = "wal.cpdb";
+const SNAPSHOT_PREFIX: &str = "snapshot-";
+const SNAPSHOT_SUFFIX: &str = ".cpdb";
+/// Superseded snapshots kept around as fallbacks for bit-rot in the newest.
+const SNAPSHOTS_RETAINED: usize = 2;
+
+/// Everything [`Store::open`] recovered from disk: the newest valid
+/// snapshot (if any) and the WAL records to replay on top of it.
+#[derive(Debug)]
+pub struct Recovered {
+    /// `(epoch, export)` of the newest snapshot that passed integrity
+    /// checks, or `None` if the directory holds no readable snapshot.
+    pub snapshot: Option<(u64, EngineExport)>,
+    /// WAL records with epochs after the snapshot, contiguous from
+    /// `snapshot_epoch + 1`, in replay order.
+    pub wal: Vec<(u64, TreeDelta)>,
+}
+
+/// A durable store directory. Appends serialise through an internal mutex;
+/// snapshot writes compact the WAL and prune superseded snapshot files.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{epoch}{SNAPSHOT_SUFFIX}"))
+}
+
+/// Epochs of the snapshot files present in `dir`, descending (newest
+/// first). Files that merely look like snapshots but have unparsable
+/// epochs are ignored.
+fn snapshot_epochs_in(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let mut epochs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|s| s.strip_suffix(SNAPSHOT_SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            epochs.push(epoch);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(epochs)
+}
+
+impl Store {
+    /// Creates a fresh store in `dir` (creating the directory if needed).
+    ///
+    /// Fails with [`StoreError::AlreadyExists`] if the directory already
+    /// holds store files — a fresh database must not silently shadow a
+    /// durable one.
+    pub fn create(dir: &Path) -> Result<Store, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        if !snapshot_epochs_in(dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+            return Err(StoreError::AlreadyExists {
+                path: dir.to_path_buf(),
+            });
+        }
+        let (wal, _) = Wal::open(&dir.join(WAL_FILE))?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(wal),
+        })
+    }
+
+    /// Opens an existing store and runs recovery.
+    ///
+    /// Snapshots are tried newest-first; a corrupt one is skipped in favour
+    /// of the next. The WAL is replayed (torn tail truncated), filtered to
+    /// epochs strictly above the chosen snapshot, and checked for
+    /// contiguity — a gap means the log and snapshots disagree and recovery
+    /// refuses rather than serve a wrong epoch.
+    pub fn open(dir: &Path) -> Result<(Store, Recovered), StoreError> {
+        let mut snapshot = None;
+        for epoch in snapshot_epochs_in(dir)? {
+            match read_snapshot(&snapshot_path(dir, epoch)) {
+                Ok((stamped, export)) => {
+                    if stamped != epoch {
+                        return Err(StoreError::Corrupt {
+                            context: format!(
+                                "snapshot file named for epoch {epoch} is stamped {stamped}"
+                            ),
+                        });
+                    }
+                    snapshot = Some((epoch, export));
+                    break;
+                }
+                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(_) => continue, // corrupt or unreadable image: fall back
+            }
+        }
+
+        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        let snap_epoch = snapshot.as_ref().map(|(e, _)| *e).unwrap_or(0);
+        let mut suffix = Vec::new();
+        for (epoch, delta) in records {
+            if epoch <= snap_epoch {
+                continue; // compaction hadn't run yet; the snapshot covers it
+            }
+            let expected = snap_epoch + suffix.len() as u64 + 1;
+            if epoch != expected {
+                return Err(StoreError::Corrupt {
+                    context: format!(
+                        "wal epoch {epoch} is not contiguous (expected {expected} \
+                         after snapshot epoch {snap_epoch})"
+                    ),
+                });
+            }
+            suffix.push((epoch, delta));
+        }
+
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                wal: Mutex::new(wal),
+            },
+            Recovered {
+                snapshot,
+                wal: suffix,
+            },
+        ))
+    }
+
+    /// Appends one WAL record; durable once this returns.
+    pub fn append(&self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
+        self.wal
+            .lock()
+            .expect("wal mutex poisoned")
+            .append(epoch, delta)
+    }
+
+    /// Appends a batch of WAL records under one fsync (group commit).
+    pub fn append_all<'a>(
+        &self,
+        records: impl IntoIterator<Item = (u64, &'a TreeDelta)>,
+    ) -> Result<(), StoreError> {
+        self.wal
+            .lock()
+            .expect("wal mutex poisoned")
+            .append_all(records)
+    }
+
+    /// Writes the snapshot for `epoch` atomically, then compacts the WAL
+    /// (drops records with epoch `<= epoch`) and prunes superseded snapshot
+    /// files down to the retention limit.
+    ///
+    /// Ordering is crash-safe: the snapshot lands (rename) before any WAL
+    /// record is dropped, so every intermediate state still recovers.
+    pub fn write_snapshot(&self, epoch: u64, export: &EngineExport) -> Result<(), StoreError> {
+        // Hold the WAL lock across the whole operation so a concurrent
+        // append cannot interleave with the compaction rewrite.
+        let mut wal = self.wal.lock().expect("wal mutex poisoned");
+        write_snapshot(&snapshot_path(&self.dir, epoch), epoch, export)?;
+        wal.truncate_through(epoch)?;
+        for old in snapshot_epochs_in(&self.dir)?
+            .into_iter()
+            .skip(SNAPSHOTS_RETAINED)
+        {
+            let _ = std::fs::remove_file(snapshot_path(&self.dir, old));
+        }
+        Ok(())
+    }
+
+    /// Epochs of the snapshot files currently on disk, newest first.
+    pub fn snapshot_epochs(&self) -> Result<Vec<u64>, StoreError> {
+        snapshot_epochs_in(&self.dir)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The WAL file path (exposed for crash-injection tests).
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_andxor::{AndXorTreeBuilder, RawDelta};
+    use cpdb_engine::ConsensusEngineBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cpdb_store_test_{}_{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn export_for_seed(seed: u64) -> EngineExport {
+        let mut b = AndXorTreeBuilder::new();
+        let l1 = b.leaf_parts(1, 90.0);
+        let l2 = b.leaf_parts(2, 80.0);
+        let x1 = b.xor_node(vec![(l1, 0.6)]);
+        let x2 = b.xor_node(vec![(l2, 0.5)]);
+        let root = b.and_node(vec![x1, x2]);
+        let tree = b.build(root).unwrap();
+        ConsensusEngineBuilder::new(tree)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .export()
+    }
+
+    fn delta(epoch: u64) -> TreeDelta {
+        TreeDelta::from_raw(&RawDelta::LeafValue {
+            leaf: 0,
+            value: epoch as f64,
+        })
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = temp_dir();
+        Store::create(&dir).unwrap();
+        assert!(matches!(
+            Store::create(&dir),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_recovers_snapshot_plus_wal_suffix() {
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        {
+            let store = Store::create(&dir).unwrap();
+            store.append(1, &delta(1)).unwrap();
+            store.append(2, &delta(2)).unwrap();
+            store.write_snapshot(2, &export).unwrap();
+            store.append(3, &delta(3)).unwrap();
+            store.append(4, &delta(4)).unwrap();
+        }
+        let (_store, recovered) = Store::open(&dir).unwrap();
+        let (snap_epoch, snap_export) = recovered.snapshot.unwrap();
+        assert_eq!(snap_epoch, 2);
+        assert_eq!(snap_export, export);
+        assert_eq!(
+            recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncompacted_wal_overlap_is_filtered() {
+        // Crash window: snapshot written, compaction never ran. The WAL
+        // still holds epochs <= snapshot; recovery must drop them.
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        {
+            let store = Store::create(&dir).unwrap();
+            store.append(1, &delta(1)).unwrap();
+            store.append(2, &delta(2)).unwrap();
+            crate::snapshot::write_snapshot(&snapshot_path(&dir, 2), 2, &export).unwrap();
+            store.append(3, &delta(3)).unwrap();
+        }
+        let (_store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().0, 2);
+        assert_eq!(
+            recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![3]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_when_wal_bridges() {
+        // Crash window: snapshot 2 landed (rename) but was later bit-rotted
+        // and compaction never ran — the WAL still bridges from snapshot 1.
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        {
+            let store = Store::create(&dir).unwrap();
+            store.append(1, &delta(1)).unwrap();
+            store.write_snapshot(1, &export).unwrap();
+            store.append(2, &delta(2)).unwrap();
+            crate::snapshot::write_snapshot(&snapshot_path(&dir, 2), 2, &export).unwrap();
+            store.append(3, &delta(3)).unwrap();
+        }
+        // Rot the newest snapshot's final byte (inside a checksummed
+        // section payload).
+        let newest = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (_store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().0, 1);
+        assert_eq!(
+            recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_after_compaction_is_refused() {
+        // Once the WAL has been compacted through epoch 2, a rotted
+        // snapshot 2 is unrecoverable: the fallback snapshot 1 cannot
+        // bridge to the surviving suffix, and recovery must refuse rather
+        // than silently skip an acknowledged epoch.
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        {
+            let store = Store::create(&dir).unwrap();
+            store.append(1, &delta(1)).unwrap();
+            store.write_snapshot(1, &export).unwrap();
+            store.append(2, &delta(2)).unwrap();
+            store.write_snapshot(2, &export).unwrap();
+            store.append(3, &delta(3)).unwrap();
+        }
+        let newest = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gap_in_wal_suffix_is_refused() {
+        let dir = temp_dir();
+        {
+            let store = Store::create(&dir).unwrap();
+            store.append(1, &delta(1)).unwrap();
+            store.append(3, &delta(3)).unwrap(); // epoch 2 missing
+        }
+        assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_retention_prunes_old_files() {
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        let store = Store::create(&dir).unwrap();
+        for epoch in 1..=5u64 {
+            store.append(epoch, &delta(epoch)).unwrap();
+            store.write_snapshot(epoch, &export).unwrap();
+        }
+        assert_eq!(store.snapshot_epochs().unwrap(), vec![5, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_nothing() {
+        let dir = temp_dir();
+        let (_store, recovered) = Store::open(&dir).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert!(recovered.wal.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,418 @@
+//! The write-ahead log: every [`TreeDelta`] a live engine applies is
+//! length-prefixed, checksummed, and fsync'd here *before* the epoch it
+//! produces is published.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "CPDBWAL1" · version u32
+//! then per record: len u32 · crc32 u32 · payload [len]
+//! payload = epoch u64 · encoded delta
+//! ```
+//!
+//! Recovery semantics: [`Wal::open`] replays every intact record and
+//! truncates the file at the first torn or checksum-failing one — a crash
+//! mid-append loses only the record that was never acknowledged. A record
+//! whose checksum passes but whose payload does not decode is *not* a torn
+//! write (the checksum covered it); that is real corruption and surfaces as
+//! a hard [`StoreError::Corrupt`].
+
+use crate::checksum::crc32;
+use crate::codec::{decode_delta, encode_delta, ByteReader, ByteWriter};
+use crate::StoreError;
+use cpdb_andxor::TreeDelta;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CPDBWAL1";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4;
+const RECORD_HEADER_LEN: usize = 4 + 4;
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// An open write-ahead log. Appends go straight to disk (`fdatasync` before
+/// returning); replay happens once, in [`Wal::open`].
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Length of the acknowledged prefix. A failed append rolls the file
+    /// back to this, so later appends can never land after a torn region.
+    len: u64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish()
+    }
+}
+
+/// Scans `bytes` (starting after the file header) into intact records.
+/// Returns the records and the byte offset of the end of the last intact
+/// record — anything past it is a torn tail to truncate.
+fn scan_records(bytes: &[u8]) -> Result<(Vec<(u64, TreeDelta)>, usize), StoreError> {
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut valid_end = pos;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_HEADER_LEN {
+            break; // torn record header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if bytes.len() - pos - RECORD_HEADER_LEN < len {
+            break; // torn payload
+        }
+        let payload = &bytes[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            break; // the tail record was torn mid-write
+        }
+        let mut r = ByteReader::new(payload, "wal record");
+        let epoch = r.get_u64()?;
+        let delta = decode_delta(&mut r)?;
+        r.expect_end()?;
+        records.push((epoch, TreeDelta::from_raw(&delta)));
+        pos += RECORD_HEADER_LEN + len;
+        valid_end = pos;
+    }
+    Ok((records, valid_end))
+}
+
+fn frame(epoch: u64, delta: &TreeDelta) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(epoch);
+    encode_delta(&mut w, &delta.to_raw());
+    let payload = w.into_bytes();
+    debug_assert!(payload.len() <= u32::MAX as usize);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying every intact record.
+    ///
+    /// A torn tail — a record whose frame is incomplete or whose checksum
+    /// fails — is truncated away so the file ends on the last acknowledged
+    /// record. Returns the log handle positioned for appending plus the
+    /// replayed `(epoch, delta)` records in append order.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, TreeDelta)>), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.len() < HEADER_LEN {
+            // Fresh file, or a crash tore the header itself before any
+            // record could have been acknowledged: (re)write the header.
+            if !header_bytes().starts_with(&bytes) {
+                return Err(StoreError::Corrupt {
+                    context: format!("wal at {} has a malformed header", path.display()),
+                });
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes())?;
+            file.sync_all()?;
+            return Ok((
+                Wal {
+                    path: path.to_path_buf(),
+                    file,
+                    len: HEADER_LEN as u64,
+                },
+                Vec::new(),
+            ));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(StoreError::Corrupt {
+                context: format!("bad wal magic in {}", path.display()),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != WAL_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+
+        let (records, valid_end) = scan_records(&bytes)?;
+        if valid_end < bytes.len() {
+            file.set_len(valid_end as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                file,
+                len: valid_end as u64,
+            },
+            records,
+        ))
+    }
+
+    /// Writes `buf` at the end of the acknowledged prefix and fsyncs. On
+    /// failure the file is rolled back to the prefix so a partially-written
+    /// frame cannot poison later appends.
+    fn append_bytes(&mut self, buf: &[u8]) -> Result<(), StoreError> {
+        let attempt = self
+            .file
+            .write_all(buf)
+            .and_then(|()| self.file.sync_data());
+        if let Err(e) = attempt {
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.seek(SeekFrom::End(0));
+            return Err(e.into());
+        }
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one record and fsyncs before returning: once this returns
+    /// `Ok`, the record survives a crash.
+    pub fn append(&mut self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
+        self.append_bytes(&frame(epoch, delta))
+    }
+
+    /// Appends a batch of records with a single write and a single fsync —
+    /// the group commit used by atomic multi-delta publishes. Either the
+    /// whole batch is durable or (on a crash mid-write) recovery truncates
+    /// back to the last record boundary.
+    pub fn append_all<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = (u64, &'a TreeDelta)>,
+    ) -> Result<(), StoreError> {
+        let mut buf = Vec::new();
+        for (epoch, delta) in records {
+            buf.extend_from_slice(&frame(epoch, delta));
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.append_bytes(&buf)
+    }
+
+    /// Compacts the log: drops every record with epoch `<= epoch`, keeping
+    /// the rest in order. Runs as an atomic rewrite (tmp file + rename), so
+    /// a crash mid-compaction leaves the old log intact.
+    pub fn truncate_through(&mut self, epoch: u64) -> Result<(), StoreError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        let (records, _) = scan_records(&bytes)?;
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&header_bytes());
+        for (record_epoch, delta) in &records {
+            if *record_epoch > epoch {
+                out.extend_from_slice(&frame(*record_epoch, delta));
+            }
+        }
+
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The old handle points at the unlinked inode; reopen the new file.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.len = out.len() as u64;
+        Ok(())
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_andxor::RawDelta;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdb_wal_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.cpdb")
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    fn sample_deltas() -> Vec<TreeDelta> {
+        vec![
+            TreeDelta::from_raw(&RawDelta::LeafValue {
+                leaf: 1,
+                value: 42.5,
+            }),
+            TreeDelta::from_raw(&RawDelta::XorEdgeProbability {
+                xor: 3,
+                child: 1,
+                probability: 0.25,
+            }),
+            TreeDelta::from_raw(&RawDelta::InsertTupleBlock {
+                under: 6,
+                key: 9,
+                alternatives: vec![(10.0, 0.5), (20.0, 0.25)],
+            }),
+        ]
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let path = temp_path("replay");
+        let deltas = sample_deltas();
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+        }
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), deltas.len());
+        for (i, (epoch, delta)) in replayed.iter().enumerate() {
+            assert_eq!(*epoch, i as u64 + 1);
+            assert_eq!(delta, &deltas[i]);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_boundary_recovers_prefix() {
+        let path = temp_path("torn");
+        let deltas = sample_deltas();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        let last_len = frame(3, &deltas[2]).len();
+        let prefix_end = full.len() - last_len;
+        // Tear the final record at every byte boundary: recovery must yield
+        // exactly the first two records and truncate the file to them.
+        for cut in prefix_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 2, "cut at {cut}");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), prefix_end as u64);
+            // The log stays appendable after truncation.
+            wal.append(3, &deltas[2]).unwrap();
+            drop(wal);
+            let (_w, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 3);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checksum_flip_in_tail_record_drops_it() {
+        let path = temp_path("crcflip");
+        let deltas = sample_deltas();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn valid_checksum_but_undecodable_payload_is_hard_corruption() {
+        let path = temp_path("hardcorrupt");
+        {
+            let (_wal, _) = Wal::open(&path).unwrap();
+        }
+        // Hand-craft a record whose payload is garbage but whose checksum
+        // matches: that cannot be a torn write, so it must not be silently
+        // truncated.
+        let payload = b"definitely not a delta".to_vec();
+        let mut record = Vec::new();
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&record);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt { .. })));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncate_through_compacts_prefix_epochs() {
+        let path = temp_path("compact");
+        let deltas = sample_deltas();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                wal.append(i as u64 + 1, d).unwrap();
+            }
+            wal.truncate_through(2).unwrap();
+            // The handle stays appendable on the rewritten file.
+            wal.append(4, &deltas[0]).unwrap();
+        }
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(replayed[0].1, deltas[2]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wrong_magic_is_refused() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAWAL1\x01\x00\x00\x00").unwrap();
+        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt { .. })));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let path = temp_path("version");
+        let mut bytes = header_bytes().to_vec();
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StoreError::UnsupportedVersion { found: 9 })
+        ));
+        cleanup(&path);
+    }
+}

@@ -1097,6 +1097,202 @@ pub fn check_live_updates(tree: &AndXorTree, seed: u64) -> usize {
     checks
 }
 
+/// `cpdb_store` end-to-end conformance: a durable
+/// [`cpdb_live::LiveEngine`] absorbs a seeded random delta sequence (with a
+/// compacting snapshot mid-way), is dropped, and is **warm-started** from
+/// its store directory. The recovered engine must report the exact
+/// pre-shutdown epoch and answer a probe batch spanning every query family
+/// bit-for-bit like (a) the engine that wrote the store and (b) a
+/// from-scratch engine built from the final tree. A crash is then simulated
+/// by tearing the final WAL record (truncating the file mid-record):
+/// recovery must come back at the last acknowledged epoch with unchanged
+/// answers.
+pub fn check_persistence(tree: &AndXorTree, seed: u64) -> usize {
+    use cpdb_live::LiveEngine;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    const KENDALL_SAMPLES: usize = 64;
+    const STEPS: usize = 6;
+
+    let n = tree.keys().len();
+    let k_range = 1..=n.max(1);
+    let build = |t: &AndXorTree| {
+        ConsensusEngineBuilder::new(t.clone())
+            .seed(seed)
+            .kendall_distance_samples(KENDALL_SAMPLES)
+            .k_range(k_range.clone())
+            .build()
+            .expect("persistence conformance configuration is valid")
+    };
+    let probe = live_probe(&[1, 2.min(n.max(1))]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5707_ED0A);
+    let dir = std::env::temp_dir().join(format!(
+        "cpdb_persistence_conformance_{}_{}_{}",
+        std::process::id(),
+        seed,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut checks = 0;
+
+    let live =
+        LiveEngine::new_durable(build(tree), &dir).expect("fresh store directory is creatable");
+    for step in 0..STEPS {
+        let snap = live.snapshot();
+        // Warm the epoch so snapshots carry built artifacts.
+        for answer in snap.run_batch_serial(&probe) {
+            answer.expect("probe queries are all supported");
+        }
+        let delta = random_live_delta(snap.tree(), step, &mut rng);
+        live.apply(&delta).expect("generated deltas are valid");
+        if step == STEPS / 2 {
+            // Mid-sequence compacting snapshot: recovery below exercises
+            // snapshot + WAL-suffix replay, not WAL-only replay.
+            live.persist_snapshot().expect("snapshot write succeeds");
+        }
+    }
+    let final_epoch = live.epoch();
+    let expected = live.snapshot().run_batch_serial(&probe);
+    let final_tree = live.snapshot().tree().clone();
+    drop(live);
+
+    // Clean warm start: exact epoch, bit-identical to the writer and to a
+    // from-scratch engine over the same tree.
+    let reopened = LiveEngine::open(&dir).expect("store recovers after clean shutdown");
+    assert_eq!(reopened.epoch(), final_epoch, "recovered epoch diverged");
+    let warm_answers = reopened.snapshot().run_batch_serial(&probe);
+    assert_eq!(
+        warm_answers, expected,
+        "warm start diverged from the engine that wrote the store"
+    );
+    assert_eq!(
+        warm_answers,
+        build(&final_tree).run_batch_serial(&probe),
+        "warm start diverged from a from-scratch engine"
+    );
+    checks += 2 * probe.len() + 1;
+
+    // Crash simulation: apply one more delta, then tear its WAL record by
+    // truncating the file one byte short. Recovery must drop the torn
+    // record and come back at the last acknowledged epoch.
+    let snap = reopened.snapshot();
+    let extra = random_live_delta(snap.tree(), 0, &mut rng);
+    reopened.apply(&extra).expect("generated deltas are valid");
+    drop(reopened);
+    let wal = dir.join("wal.cpdb");
+    let bytes = std::fs::read(&wal).expect("wal file exists");
+    std::fs::write(&wal, &bytes[..bytes.len() - 1]).expect("wal is truncatable");
+    let recovered = LiveEngine::open(&dir).expect("store recovers from a torn tail");
+    assert_eq!(
+        recovered.epoch(),
+        final_epoch,
+        "torn-tail recovery did not return to the last acknowledged epoch"
+    );
+    assert_eq!(
+        recovered.snapshot().run_batch_serial(&probe),
+        expected,
+        "torn-tail recovery changed answers"
+    );
+    checks += probe.len() + 1;
+
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    checks
+}
+
+/// Exhaustive crash-point sweep: a durable [`cpdb_live::LiveEngine`]
+/// absorbs a seeded random delta sequence, then the WAL is truncated at
+/// **every byte boundary of the final record** — simulating a crash at each
+/// instant of the final append — and recovered. Every cut must yield a
+/// valid engine at the last fully-acknowledged epoch (the full length
+/// recovers the final epoch; every shorter cut recovers the previous one),
+/// answering bit-for-bit like the engine that wrote the store and like a
+/// from-scratch engine on the same tree.
+pub fn check_crash_recovery(tree: &AndXorTree, seed: u64) -> usize {
+    use cpdb_live::LiveEngine;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    const KENDALL_SAMPLES: usize = 64;
+    const STEPS: usize = 3;
+
+    let n = tree.keys().len();
+    let k_range = 1..=n.max(1);
+    let build = |t: &AndXorTree| {
+        ConsensusEngineBuilder::new(t.clone())
+            .seed(seed)
+            .kendall_distance_samples(KENDALL_SAMPLES)
+            .k_range(k_range.clone())
+            .build()
+            .expect("crash-recovery conformance configuration is valid")
+    };
+    let probe = live_probe(&[1, 2.min(n.max(1))]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_11ED);
+    let dir = std::env::temp_dir().join(format!(
+        "cpdb_crash_recovery_{}_{}_{}",
+        std::process::id(),
+        seed,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_path = dir.join("wal.cpdb");
+
+    let live =
+        LiveEngine::new_durable(build(tree), &dir).expect("fresh store directory is creatable");
+    let mut final_record_start = 0;
+    let mut expected_prev = Vec::new();
+    let mut prev_tree = tree.clone();
+    for step in 0..STEPS {
+        let snap = live.snapshot();
+        if step == STEPS - 1 {
+            // The crash window under test: everything from here on is the
+            // final record's bytes.
+            final_record_start =
+                std::fs::metadata(&wal_path).expect("wal file exists").len() as usize;
+            expected_prev = snap.run_batch_serial(&probe);
+            prev_tree = snap.tree().clone();
+        }
+        let delta = random_live_delta(snap.tree(), step, &mut rng);
+        live.apply(&delta).expect("generated deltas are valid");
+    }
+    let expected_full = live.snapshot().run_batch_serial(&probe);
+    let final_tree = live.snapshot().tree().clone();
+    drop(live);
+
+    // The writer's answers must themselves match from-scratch engines —
+    // anchors the bit-for-bit comparisons below to an independent oracle.
+    assert_eq!(expected_prev, build(&prev_tree).run_batch_serial(&probe));
+    assert_eq!(expected_full, build(&final_tree).run_batch_serial(&probe));
+    let mut checks = 2;
+
+    let full = std::fs::read(&wal_path).expect("wal file exists");
+    assert!(final_record_start < full.len());
+    for cut in final_record_start..=full.len() {
+        std::fs::write(&wal_path, &full[..cut]).expect("wal is rewritable");
+        let recovered =
+            LiveEngine::open(&dir).unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let (want_epoch, want_answers) = if cut == full.len() {
+            (STEPS as u64, &expected_full)
+        } else {
+            (STEPS as u64 - 1, &expected_prev)
+        };
+        assert_eq!(
+            recovered.epoch(),
+            want_epoch,
+            "cut at byte {cut} of {} recovered the wrong epoch",
+            full.len()
+        );
+        assert_eq!(
+            &recovered.snapshot().run_batch_serial(&probe),
+            want_answers,
+            "cut at byte {cut} changed answers"
+        );
+        checks += 2;
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    checks
+}
+
 /// Outcome of a full conformance sweep for one seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConformanceSummary {
@@ -1145,6 +1341,8 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_engine_concurrency(&bid_tree, &groupby, seed);
     checks += check_live_updates(&bid_tree, seed);
     checks += check_live_updates(&ti_tree, seed);
+    checks += check_persistence(&bid_tree, seed);
+    checks += check_persistence(&ti_tree, seed);
     ConformanceSummary { seed, checks }
 }
 
