@@ -1,0 +1,484 @@
+//! # cpdb-check — deterministic interleaving explorer for the engine stack
+//!
+//! A stateless model checker over the [`cpdb_sync`] shims: a scenario is an
+//! ordinary closure using the shim primitives (directly, or through crates
+//! compiled with `--cfg cpdb_check`); the [`Checker`] runs it under the
+//! cooperative scheduler again and again, depth-first enumerating every
+//! branch-point choice within a bounded number of *preemptions* (switching
+//! away from a still-runnable thread), the bound that makes exhaustive
+//! exploration tractable and — per the CHESS observation — still catches
+//! almost all real concurrency bugs at 2–3 preemptions.
+//!
+//! Every execution gets a replayable **schedule ID** (the dot-joined task
+//! choices at its branch points). A failing execution's ID is printed and
+//! can be handed to [`Checker::replay`] to reproduce exactly that
+//! interleaving under a debugger. After each execution a vector-clock
+//! [race detector](race) scans the recorded shim events for unsynchronized
+//! conflicting accesses to [`cpdb_sync::RaceCell`]s.
+//!
+//! ```
+//! use cpdb_check::Checker;
+//! use cpdb_sync::checked::Mutex;
+//! use cpdb_sync::Arc;
+//!
+//! let exploration = Checker::new("counter").explore(|| {
+//!     let n = Arc::new(Mutex::new(0u32));
+//!     let n2 = Arc::clone(&n);
+//!     let h = cpdb_sync::checked::thread::spawn(move || {
+//!         *n2.lock().unwrap() += 1;
+//!     });
+//!     *n.lock().unwrap() += 1;
+//!     h.join().unwrap();
+//!     assert_eq!(*n.lock().unwrap(), 2);
+//! });
+//! exploration.assert_ok();
+//! assert!(exploration.schedules >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod race;
+
+use std::sync::Arc;
+
+use cpdb_sync::runtime::{self, BranchRecord, RunResult, TaskId};
+
+/// One failing execution: its replayable schedule and what went wrong.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The schedule ID — pass to [`Checker::replay`] to reproduce.
+    pub schedule: String,
+    /// The panic message, deadlock report, or step-budget report.
+    pub message: String,
+    /// Whether the failure was a deadlock.
+    pub deadlock: bool,
+}
+
+/// A data race found by the detector, with the schedule that exhibited it.
+#[derive(Debug, Clone)]
+pub struct RaceFinding {
+    /// The schedule ID of the first execution exhibiting the race.
+    pub schedule: String,
+    /// Human-readable description of the two unordered accesses.
+    pub description: String,
+}
+
+/// The result of exploring a scenario's schedule space.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The scenario name (for reports).
+    pub name: String,
+    /// How many distinct schedules were executed.
+    pub schedules: usize,
+    /// Whether the whole space (within the preemption bound) was explored,
+    /// as opposed to stopping at the schedule cap.
+    pub exhausted: bool,
+    /// Executions that panicked, deadlocked, or blew the step budget.
+    pub failures: Vec<Failure>,
+    /// Distinct data races found across all executions.
+    pub races: Vec<RaceFinding>,
+}
+
+impl Exploration {
+    /// A one-line human-readable summary.
+    pub fn report(&self) -> String {
+        format!(
+            "[cpdb_check] {}: explored {} schedules{}, {} failure(s), {} race(s)",
+            self.name,
+            self.schedules,
+            if self.exhausted {
+                " (exhausted)"
+            } else {
+                " (capped)"
+            },
+            self.failures.len(),
+            self.races.len(),
+        )
+    }
+
+    /// Panics with a replay-ready report if any execution failed or raced.
+    pub fn assert_ok(&self) {
+        if self.failures.is_empty() && self.races.is_empty() {
+            return;
+        }
+        let mut msg = format!("{}\n", self.report());
+        for f in &self.failures {
+            msg.push_str(&format!(
+                "  failure on schedule [{}]{}: {}\n  replay with: Checker::new({:?}).replay(\"{}\", scenario)\n",
+                f.schedule,
+                if f.deadlock { " (deadlock)" } else { "" },
+                f.message,
+                self.name,
+                f.schedule,
+            ));
+        }
+        for r in &self.races {
+            msg.push_str(&format!(
+                "  race on schedule [{}]: {}\n",
+                r.schedule, r.description
+            ));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// A bounded depth-first schedule explorer for one scenario.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    name: String,
+    max_schedules: usize,
+    preemption_budget: usize,
+    max_steps: usize,
+}
+
+impl Checker {
+    /// A checker with the default bounds: up to 4096 schedules, 2
+    /// preemptions, 100 000 scheduler steps per execution.
+    pub fn new(name: &str) -> Self {
+        Checker {
+            name: name.to_string(),
+            max_schedules: 4096,
+            preemption_budget: 2,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Caps how many schedules one [`explore`](Checker::explore) runs.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Sets the preemption bound (0 = cooperative-only schedules).
+    pub fn preemptions(mut self, n: usize) -> Self {
+        self.preemption_budget = n;
+        self
+    }
+
+    /// Sets the per-execution scheduler-step budget (livelock backstop).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Depth-first explores the scenario's schedule space within the
+    /// preemption bound, running the race detector over every execution.
+    pub fn explore<F>(&self, scenario: F) -> Exploration
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let scenario = Arc::new(scenario);
+        let mut stack: Vec<Vec<TaskId>> = vec![Vec::new()];
+        let mut schedules = 0usize;
+        let mut failures = Vec::new();
+        let mut race_keys: Vec<String> = Vec::new();
+        let mut races = Vec::new();
+
+        while let Some(prefix) = stack.pop() {
+            if schedules >= self.max_schedules {
+                return Exploration {
+                    name: self.name.clone(),
+                    schedules,
+                    exhausted: false,
+                    failures,
+                    races,
+                };
+            }
+            let result = self.run_once(&prefix, &scenario);
+            schedules += 1;
+            let id = schedule_id(&result.history);
+            if let Some(message) = &result.failure {
+                failures.push(Failure {
+                    schedule: id.clone(),
+                    message: message.clone(),
+                    deadlock: result.deadlock,
+                });
+            }
+            for race in race::detect(&result.events) {
+                let description = race.to_string();
+                if !race_keys.contains(&description) {
+                    race_keys.push(description.clone());
+                    races.push(RaceFinding {
+                        schedule: id.clone(),
+                        description,
+                    });
+                }
+            }
+            // Branch: at every decision point the default policy filled in
+            // (at or beyond the prescribed prefix), try the alternatives
+            // that stay within the preemption budget. Each extended prefix
+            // is a distinct choice string, so no schedule repeats.
+            let mut spent = prefix_preemptions(&result.history, prefix.len());
+            for i in prefix.len()..result.history.len() {
+                let rec = &result.history[i];
+                for &alt in rec.enabled.iter().rev() {
+                    if alt == rec.chosen {
+                        continue;
+                    }
+                    let extra = usize::from(rec.preempts(alt));
+                    if spent + extra > self.preemption_budget {
+                        continue;
+                    }
+                    let mut next: Vec<TaskId> =
+                        result.history[..i].iter().map(|r| r.chosen).collect();
+                    next.push(alt);
+                    stack.push(next);
+                }
+                spent += usize::from(rec.preempts(rec.chosen));
+                if spent > self.preemption_budget {
+                    break;
+                }
+            }
+        }
+
+        Exploration {
+            name: self.name.clone(),
+            schedules,
+            exhausted: true,
+            failures,
+            races,
+        }
+    }
+
+    /// Re-executes the scenario under exactly the schedule `id` (as printed
+    /// by a failure report), returning that execution's result.
+    pub fn replay<F>(&self, id: &str, scenario: F) -> ReplayOutcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let prefix = parse_schedule(id);
+        let result = self.run_once(&prefix, &Arc::new(scenario));
+        ReplayOutcome {
+            schedule: schedule_id(&result.history),
+            failure: result.failure,
+            deadlock: result.deadlock,
+            races: race::detect(&result.events)
+                .into_iter()
+                .map(|r| r.to_string())
+                .collect(),
+        }
+    }
+
+    fn run_once<F>(&self, prefix: &[TaskId], scenario: &Arc<F>) -> RunResult
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let scenario = Arc::clone(scenario);
+        runtime::run_controlled(prefix, self.max_steps, move || scenario())
+    }
+}
+
+/// What one replayed execution did.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The full schedule ID the replay actually took.
+    pub schedule: String,
+    /// The failure message, if the execution failed again.
+    pub failure: Option<String>,
+    /// Whether the failure was a deadlock.
+    pub deadlock: bool,
+    /// Races detected in the replayed execution.
+    pub races: Vec<String>,
+}
+
+/// Encodes a branch history as its replayable schedule ID.
+fn schedule_id(history: &[BranchRecord]) -> String {
+    let parts: Vec<String> = history.iter().map(|r| r.chosen.to_string()).collect();
+    parts.join(".")
+}
+
+/// Parses a schedule ID back into a choice prefix.
+fn parse_schedule(id: &str) -> Vec<TaskId> {
+    id.split('.')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("schedule IDs are dot-joined task ids"))
+        .collect()
+}
+
+/// Preemptions already spent by the first `upto` branch decisions.
+fn prefix_preemptions(history: &[BranchRecord], upto: usize) -> usize {
+    history
+        .iter()
+        .take(upto)
+        .filter(|r| r.preempts(r.chosen))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_sync::checked::{thread, Mutex, OnceLock};
+    use cpdb_sync::RaceCell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_scenario_has_one_schedule() {
+        let ex = Checker::new("single").explore(|| {
+            let m = Mutex::new(1);
+            *m.lock().unwrap() += 1;
+        });
+        ex.assert_ok();
+        assert_eq!(ex.schedules, 1);
+        assert!(ex.exhausted);
+    }
+
+    #[test]
+    fn two_increments_explore_multiple_interleavings_and_stay_atomic() {
+        let ex = Checker::new("two-inc").explore(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                let mut g = n2.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = n.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            }
+            h.join().unwrap();
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+        ex.assert_ok();
+        assert!(ex.schedules >= 2, "explored {}", ex.schedules);
+        assert!(ex.exhausted);
+    }
+
+    #[test]
+    fn finds_the_lost_update_in_an_unlocked_counter() {
+        // Read-modify-write through a RaceCell with an interleaving window:
+        // some schedule loses an update, and the detector flags the race.
+        let ex = Checker::new("lost-update").preemptions(3).explore(|| {
+            let n = Arc::new(RaceCell::new(0u32));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                let v = n2.read();
+                n2.write(v + 1);
+            });
+            let v = n.read();
+            n.write(v + 1);
+            h.join().unwrap();
+            assert_eq!(n.read(), 2, "lost update");
+        });
+        assert!(
+            ex.failures
+                .iter()
+                .any(|f| f.message.contains("lost update")),
+            "no lost update found: {}",
+            ex.report()
+        );
+        assert!(!ex.races.is_empty(), "race not detected: {}", ex.report());
+    }
+
+    #[test]
+    fn failing_schedules_replay_to_the_same_failure() {
+        let scenario = || {
+            let n = Arc::new(RaceCell::new(0u32));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                let v = n2.read();
+                n2.write(v + 1);
+            });
+            let v = n.read();
+            n.write(v + 1);
+            h.join().unwrap();
+            assert_eq!(n.read(), 2, "lost update");
+        };
+        let ex = Checker::new("replay").preemptions(3).explore(scenario);
+        let failing = ex.failures.first().expect("a failure to replay");
+        let outcome = Checker::new("replay").replay(&failing.schedule, scenario);
+        assert_eq!(
+            outcome
+                .failure
+                .as_deref()
+                .map(|m| m.contains("lost update")),
+            Some(true),
+            "replay did not reproduce: {outcome:?}"
+        );
+        assert_eq!(outcome.schedule, failing.schedule);
+    }
+
+    #[test]
+    fn mutex_protected_counter_never_races_or_fails() {
+        let ex = Checker::new("locked").preemptions(3).explore(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let cell = Arc::new(RaceCell::new(0u32));
+            let (n2, c2) = (Arc::clone(&n), Arc::clone(&cell));
+            let h = thread::spawn(move || {
+                let _g = n2.lock().unwrap();
+                let v = c2.read();
+                c2.write(v + 1);
+            });
+            {
+                let _g = n.lock().unwrap();
+                let v = cell.read();
+                cell.write(v + 1);
+            }
+            h.join().unwrap();
+            assert_eq!(cell.read(), 2);
+        });
+        ex.assert_ok();
+        assert!(ex.schedules >= 2);
+    }
+
+    #[test]
+    fn once_lock_initialises_exactly_once_on_every_schedule() {
+        let ex = Checker::new("once").preemptions(2).explore(|| {
+            let cell = Arc::new(OnceLock::new());
+            let builds = Arc::new(AtomicUsize::new(0));
+            let (cell2, builds2) = (Arc::clone(&cell), Arc::clone(&builds));
+            let h = thread::spawn(move || {
+                *cell2.get_or_init(|| {
+                    builds2.fetch_add(1, Ordering::Relaxed);
+                    21
+                })
+            });
+            let a = *cell.get_or_init(|| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                21
+            });
+            let b = h.join().unwrap();
+            assert_eq!((a, b), (21, 21));
+            assert_eq!(builds.load(Ordering::Relaxed), 1, "initialiser ran twice");
+        });
+        ex.assert_ok();
+        assert!(ex.schedules >= 2, "explored {}", ex.schedules);
+    }
+
+    #[test]
+    fn deadlocks_are_reported_with_a_schedule() {
+        let ex = Checker::new("deadlock").preemptions(2).explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_ga, _gb));
+            h.join().unwrap();
+        });
+        assert!(
+            ex.failures.iter().any(|f| f.deadlock),
+            "expected a deadlock: {}",
+            ex.report()
+        );
+    }
+
+    #[test]
+    fn scoped_threads_join_through_the_scheduler() {
+        let ex = Checker::new("scope").explore(|| {
+            let total: u32 = thread::scope(|s| {
+                let h1 = s.spawn(|| 1u32);
+                let h2 = s.spawn(|| 2u32);
+                h1.join().unwrap() + h2.join().unwrap()
+            });
+            assert_eq!(total, 3);
+        });
+        ex.assert_ok();
+        assert!(ex.schedules >= 2);
+    }
+}

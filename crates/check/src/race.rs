@@ -1,0 +1,194 @@
+//! Vector-clock data-race detection over a recorded shim-event trace.
+//!
+//! A FastTrack-style pass: each managed thread carries a vector clock;
+//! lock releases / once publishes / releasing atomic stores copy the
+//! clock into the object, and acquires / observes / acquiring loads join
+//! it back — `Relaxed` atomics contribute **no** edge. Spawn and join
+//! order parent/child. `RaceCell` accesses (`DataRead`/`DataWrite`) are
+//! plain accesses: two conflicting ones not ordered by the
+//! happens-before relation built from everything else are a race.
+
+use std::collections::HashMap;
+
+use cpdb_sync::runtime::{Event, EventKind, TaskId};
+use std::sync::atomic::Ordering;
+
+/// One detected race: the two unordered conflicting accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The shim object (a `RaceCell`) the accesses collided on.
+    pub object: u64,
+    /// The earlier access.
+    pub first: (TaskId, EventKind),
+    /// The later access it is unordered with.
+    pub second: (TaskId, EventKind),
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data race on object {}: task {} {:?} unordered with task {} {:?}",
+            self.object, self.first.0, self.first.1, self.second.0, self.second.1
+        )
+    }
+}
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Clock(HashMap<TaskId, u64>);
+
+impl Clock {
+    fn join(&mut self, other: &Clock) {
+        for (&t, &v) in &other.0 {
+            let e = self.0.entry(t).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+    fn tick(&mut self, t: TaskId) {
+        *self.0.entry(t).or_insert(0) += 1;
+    }
+    fn own(&self, t: TaskId) -> u64 {
+        self.0.get(&t).copied().unwrap_or(0)
+    }
+    /// Whether this clock has seen component `c` of task `t`.
+    fn covers(&self, t: TaskId, c: u64) -> bool {
+        self.own(t) >= c
+    }
+}
+
+/// The last accesses of one `RaceCell`, as (task, that task's own clock
+/// component at access time) pairs.
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<(TaskId, u64, EventKind)>,
+    /// Latest read per task since the last write.
+    reads: HashMap<TaskId, u64>,
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Runs the detector over one execution's event trace, returning every
+/// race found (deduplicated by object and task pair).
+pub fn detect(events: &[Event]) -> Vec<Race> {
+    let mut clocks: HashMap<TaskId, Clock> = HashMap::new();
+    let mut ended: HashMap<TaskId, Clock> = HashMap::new();
+    let mut sync_objects: HashMap<u64, Clock> = HashMap::new();
+    let mut cells: HashMap<u64, CellState> = HashMap::new();
+    let mut races: Vec<Race> = Vec::new();
+
+    let vc = |clocks: &mut HashMap<TaskId, Clock>, t: TaskId| -> Clock {
+        clocks
+            .entry(t)
+            .or_insert_with(|| {
+                let mut c = Clock::default();
+                c.tick(t);
+                c
+            })
+            .clone()
+    };
+
+    for ev in events {
+        let t = ev.thread;
+        let mut me = vc(&mut clocks, t);
+        match ev.kind {
+            EventKind::Acquire | EventKind::AcquireShared | EventKind::OnceObserve => {
+                if let Some(obj) = sync_objects.get(&ev.object) {
+                    me.join(obj);
+                }
+            }
+            EventKind::Release | EventKind::ReleaseShared | EventKind::OncePublish => {
+                sync_objects.entry(ev.object).or_default().join(&me);
+                me.tick(t);
+            }
+            EventKind::AtomicLoad(o) => {
+                if is_acquire(o) {
+                    if let Some(obj) = sync_objects.get(&ev.object) {
+                        me.join(obj);
+                    }
+                }
+            }
+            EventKind::AtomicStore(o) => {
+                if is_release(o) {
+                    sync_objects.entry(ev.object).or_default().join(&me);
+                    me.tick(t);
+                }
+            }
+            EventKind::AtomicRmw(o) => {
+                // An RMW both reads and writes the location; for edge
+                // purposes treat it as acquire+release per its ordering.
+                if is_acquire(o) {
+                    if let Some(obj) = sync_objects.get(&ev.object) {
+                        me.join(obj);
+                    }
+                }
+                if is_release(o) {
+                    sync_objects.entry(ev.object).or_default().join(&me);
+                    me.tick(t);
+                }
+            }
+            EventKind::Spawn(child) => {
+                me.tick(t);
+                let mut child_clock = me.clone();
+                child_clock.tick(child);
+                clocks.insert(child, child_clock);
+            }
+            EventKind::TaskEnd => {
+                ended.insert(t, me.clone());
+            }
+            EventKind::Join(other) => {
+                if let Some(fin) = ended.get(&other) {
+                    me.join(fin);
+                }
+            }
+            EventKind::DataRead => {
+                let cell = cells.entry(ev.object).or_default();
+                if let Some((wt, wc, wk)) = cell.last_write {
+                    if wt != t && !me.covers(wt, wc) {
+                        races.push(Race {
+                            object: ev.object,
+                            first: (wt, wk),
+                            second: (t, ev.kind),
+                        });
+                    }
+                }
+                cell.reads.insert(t, me.own(t));
+                me.tick(t);
+            }
+            EventKind::DataWrite => {
+                let cell = cells.entry(ev.object).or_default();
+                if let Some((wt, wc, wk)) = cell.last_write {
+                    if wt != t && !me.covers(wt, wc) {
+                        races.push(Race {
+                            object: ev.object,
+                            first: (wt, wk),
+                            second: (t, ev.kind),
+                        });
+                    }
+                }
+                for (&rt, &rc) in &cell.reads {
+                    if rt != t && !me.covers(rt, rc) {
+                        races.push(Race {
+                            object: ev.object,
+                            first: (rt, EventKind::DataRead),
+                            second: (t, ev.kind),
+                        });
+                    }
+                }
+                cell.reads.clear();
+                cell.last_write = Some((t, me.own(t), ev.kind));
+                me.tick(t);
+            }
+        }
+        clocks.insert(t, me);
+    }
+
+    races.sort_by_key(|r| (r.object, r.first.0, r.second.0));
+    races.dedup_by_key(|r| (r.object, r.first.0, r.second.0));
+    races
+}

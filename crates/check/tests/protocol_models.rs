@@ -1,0 +1,133 @@
+//! Tier-1-visible models of the five live-engine concurrency protocols.
+//!
+//! The full suite in `tests/interleavings.rs` drives the *real*
+//! `LiveEngine`/`ConsensusEngine` and needs `--cfg cpdb_check` to flip
+//! the facades. These models capture the same five protocols with the
+//! always-instrumented `cpdb_sync::checked` primitives, so a plain
+//! `cargo test` still model-checks the protocol *shapes* on every run:
+//! epoch publish, log-before-publish, group commit, once-only builds,
+//! and worker shutdown.
+
+use cpdb_check::Checker;
+use cpdb_sync::checked::{thread, ArcCell, Mutex, OnceLock};
+use cpdb_sync::Arc;
+
+/// Epoch publish: a reader pins an `ArcCell` snapshot while a writer
+/// swaps in the next epoch. The pinned clone must never change, and the
+/// final value must be the writer's.
+#[test]
+fn model_epoch_publish_keeps_pinned_snapshots_stable() {
+    let ex = Checker::new("model-epoch-publish").explore(|| {
+        let current: Arc<ArcCell<u64>> = Arc::new(ArcCell::new(Arc::new(0)));
+        let current2 = Arc::clone(&current);
+        let writer = thread::spawn(move || {
+            current2.store(Arc::new(1));
+        });
+        let pinned = current.load();
+        let first = *pinned;
+        assert_eq!(*pinned, first, "pinned snapshot moved");
+        writer.join().expect("writer");
+        assert_eq!(*pinned, first, "pinned snapshot moved after publish");
+        assert_eq!(*current.load(), 1, "publish lost");
+    });
+    println!("{}", ex.report());
+    ex.assert_ok();
+}
+
+/// Log-before-publish: the writer appends to the log *under a lock*
+/// before swapping the published epoch. Any reader that observes epoch
+/// `n` must find at least `n` entries in the log — on every interleaving.
+#[test]
+fn model_log_append_precedes_epoch_publish() {
+    let ex = Checker::new("model-log-before-publish").explore(|| {
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let epoch: Arc<ArcCell<u64>> = Arc::new(ArcCell::new(Arc::new(0)));
+        let (log2, epoch2) = (Arc::clone(&log), Arc::clone(&epoch));
+        let writer = thread::spawn(move || {
+            log2.lock().expect("log lock").push(1); // durable first
+            epoch2.store(Arc::new(1)); // then acknowledge
+        });
+        let observed = *epoch.load();
+        let logged = log.lock().expect("log lock").len() as u64;
+        assert!(
+            logged >= observed,
+            "epoch {observed} acknowledged with only {logged} log entries"
+        );
+        writer.join().expect("writer");
+    });
+    println!("{}", ex.report());
+    ex.assert_ok();
+}
+
+/// Group commit: a two-delta batch is staged privately and published in
+/// one swap. Readers may see epoch 0 or 2 — never 1.
+#[test]
+fn model_group_commit_is_all_or_nothing() {
+    let ex = Checker::new("model-group-commit").explore(|| {
+        let epoch: Arc<ArcCell<u64>> = Arc::new(ArcCell::new(Arc::new(0)));
+        let epoch2 = Arc::clone(&epoch);
+        let writer = thread::spawn(move || {
+            let mut staged = *epoch2.load();
+            staged += 1; // first delta, staged privately
+            staged += 1; // second delta, staged privately
+            epoch2.store(Arc::new(staged)); // single publish
+        });
+        let seen = *epoch.load();
+        assert!(seen == 0 || seen == 2, "intermediate epoch {seen} escaped");
+        writer.join().expect("writer");
+        assert_eq!(*epoch.load(), 2, "batch publish lost");
+    });
+    println!("{}", ex.report());
+    ex.assert_ok();
+}
+
+/// Exactly-once builds: three tasks race `get_or_init` on one slot. The
+/// build counter must end at 1 and every task must see the same value.
+#[test]
+fn model_shared_artifact_builds_exactly_once() {
+    let ex = Checker::new("model-exactly-once").explore(|| {
+        let slot: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+        let builds: Arc<Mutex<u32>> = Arc::new(Mutex::new(0));
+        let build = |slot: &OnceLock<u64>, builds: &Mutex<u32>| {
+            *slot.get_or_init(|| {
+                *builds.lock().expect("builds lock") += 1;
+                42
+            })
+        };
+        let (s1, b1) = (Arc::clone(&slot), Arc::clone(&builds));
+        let (s2, b2) = (Arc::clone(&slot), Arc::clone(&builds));
+        let h1 = thread::spawn(move || build(&s1, &b1));
+        let h2 = thread::spawn(move || build(&s2, &b2));
+        let v0 = build(&slot, &builds);
+        let v1 = h1.join().expect("t1");
+        let v2 = h2.join().expect("t2");
+        assert_eq!((v0, v1, v2), (42, 42, 42), "tasks saw different artifacts");
+        assert_eq!(*builds.lock().expect("builds lock"), 1, "artifact rebuilt");
+    });
+    println!("{}", ex.report());
+    ex.assert_ok();
+}
+
+/// Worker shutdown: a background worker handed out through a shared slot
+/// is joined before the owner finishes — no schedule leaks the thread.
+#[test]
+fn model_background_worker_joins_before_shutdown() {
+    let ex = Checker::new("model-worker-shutdown").explore(|| {
+        let result: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+        let result2 = Arc::clone(&result);
+        let worker = thread::spawn(move || {
+            *result2.lock().expect("result lock") = Some(7);
+        });
+        worker.join().expect("worker"); // shutdown joins the worker…
+        let done = result.lock().expect("result lock").take();
+        assert_eq!(done, Some(7), "worker result lost at shutdown");
+        // …so no other task can still be live.
+        assert_eq!(
+            cpdb_sync::runtime::other_live_tasks(),
+            0,
+            "worker leaked past shutdown"
+        );
+    });
+    println!("{}", ex.report());
+    ex.assert_ok();
+}

@@ -16,12 +16,13 @@ use cpdb_consensus::{baselines, jaccard, set_distance, TopKContext};
 use cpdb_model::Alternative;
 use cpdb_parallel::parallel_map_indexed;
 use cpdb_rankagg::pivot::PreferenceMatrix;
+use cpdb_sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use cpdb_sync::{OnceLock, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::RangeInclusive;
-use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::Arc;
 
 /// Cache instrumentation: how many times each shared artifact was built from
 /// scratch vs. served from memory. `run_batch` amortisation shows up here —

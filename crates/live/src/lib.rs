@@ -90,6 +90,7 @@
 //! suite pins this on every seed, including simulated crashes.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 use cpdb_engine::{ConsensusEngine, EngineError};
@@ -97,9 +98,11 @@ use cpdb_store::Store;
 use std::fmt;
 use std::ops::Deref;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, PoisonError};
+
+use cpdb_sync::atomic::{AtomicU64, Ordering};
+use cpdb_sync::thread::JoinHandle;
+use cpdb_sync::{ArcCell, Mutex};
 
 pub use cpdb_andxor::{DeltaImpact, TreeDelta};
 pub use cpdb_engine::{ArtifactDecision, DeltaReport};
@@ -114,6 +117,9 @@ pub enum LiveError {
     Engine(EngineError),
     /// The write-ahead log or snapshot store failed.
     Store(StoreError),
+    /// An internal lock was poisoned by a panicking writer; the named
+    /// structure may be stale and the operation was refused.
+    Poisoned(&'static str),
 }
 
 impl fmt::Display for LiveError {
@@ -121,6 +127,7 @@ impl fmt::Display for LiveError {
         match self {
             LiveError::Engine(e) => write!(f, "engine error: {e}"),
             LiveError::Store(e) => write!(f, "store error: {e}"),
+            LiveError::Poisoned(what) => write!(f, "{what} lock poisoned"),
         }
     }
 }
@@ -130,6 +137,7 @@ impl std::error::Error for LiveError {
         match self {
             LiveError::Engine(e) => Some(e),
             LiveError::Store(e) => Some(e),
+            LiveError::Poisoned(_) => None,
         }
     }
 }
@@ -156,6 +164,22 @@ struct Durability {
     snapshot_every: AtomicU64,
     deltas_since_snapshot: AtomicU64,
     compactor: Mutex<Option<JoinHandle<()>>>,
+    /// The most recent background-compaction failure, kept until read via
+    /// [`LiveEngine::take_compaction_error`] or logged on drop. `Arc`d so
+    /// the compactor thread can write it without borrowing the engine.
+    last_compaction_error: Arc<Mutex<Option<StoreError>>>,
+}
+
+impl Durability {
+    fn new(store: Store, replayed: u64) -> Self {
+        Durability {
+            store: Arc::new(store),
+            snapshot_every: AtomicU64::new(DEFAULT_SNAPSHOT_EVERY),
+            deltas_since_snapshot: AtomicU64::new(replayed),
+            compactor: Mutex::new(None),
+            last_compaction_error: Arc::new(Mutex::new(None)),
+        }
+    }
 }
 
 impl fmt::Debug for Durability {
@@ -236,9 +260,10 @@ pub struct AppliedDelta {
 /// kept ones stay alive through the sharing `Arc`s of later epochs).
 #[derive(Debug)]
 pub struct LiveEngine {
-    /// The published epoch. The lock is held only to clone (readers) or
-    /// store (writers) the `Arc` — never across queries or artifact work.
-    current: RwLock<Arc<Epoch>>,
+    /// The published epoch: a swappable `Arc` slot — readers clone it,
+    /// writers publish into it with a single pointer store, never across
+    /// queries or artifact work.
+    current: ArcCell<Epoch>,
     /// Serialises writers: the next-epoch build happens outside the
     /// `current` lock, so readers keep snapshotting while it runs.
     writer: Mutex<()>,
@@ -250,7 +275,7 @@ impl LiveEngine {
     /// Starts serving the given engine as epoch 0, in memory only.
     pub fn new(engine: ConsensusEngine) -> Self {
         LiveEngine {
-            current: RwLock::new(Arc::new(Epoch { epoch: 0, engine })),
+            current: ArcCell::new(Arc::new(Epoch { epoch: 0, engine })),
             writer: Mutex::new(()),
             durability: None,
         }
@@ -266,14 +291,9 @@ impl LiveEngine {
         let store = Store::create(dir)?;
         store.write_snapshot(0, &engine.export())?;
         Ok(LiveEngine {
-            current: RwLock::new(Arc::new(Epoch { epoch: 0, engine })),
+            current: ArcCell::new(Arc::new(Epoch { epoch: 0, engine })),
             writer: Mutex::new(()),
-            durability: Some(Durability {
-                store: Arc::new(store),
-                snapshot_every: AtomicU64::new(DEFAULT_SNAPSHOT_EVERY),
-                deltas_since_snapshot: AtomicU64::new(0),
-                compactor: Mutex::new(None),
-            }),
+            durability: Some(Durability::new(store, 0)),
         })
     }
 
@@ -291,14 +311,9 @@ impl LiveEngine {
             epoch = *record_epoch;
         }
         Ok(LiveEngine {
-            current: RwLock::new(Arc::new(Epoch { epoch, engine })),
+            current: ArcCell::new(Arc::new(Epoch { epoch, engine })),
             writer: Mutex::new(()),
-            durability: Some(Durability {
-                store: Arc::new(store),
-                snapshot_every: AtomicU64::new(DEFAULT_SNAPSHOT_EVERY),
-                deltas_since_snapshot: AtomicU64::new(recovered.wal.len() as u64),
-                compactor: Mutex::new(None),
-            }),
+            durability: Some(Durability::new(store, recovered.wal.len() as u64)),
         })
     }
 
@@ -338,10 +353,7 @@ impl LiveEngine {
     }
 
     fn current_arc(&self) -> Arc<Epoch> {
-        self.current
-            .read()
-            .expect("live epoch lock poisoned")
-            .clone()
+        self.current.load()
     }
 
     /// Applies one delta: validates it against the current epoch's tree,
@@ -350,7 +362,10 @@ impl LiveEngine {
     /// engines fsync before the publish), and publishes it. On error nothing
     /// is published and the current epoch keeps serving.
     pub fn apply(&self, delta: &TreeDelta) -> Result<AppliedDelta, LiveError> {
-        let _writer = self.writer.lock().expect("live writer lock poisoned");
+        let _writer = self
+            .writer
+            .lock()
+            .map_err(|_| LiveError::Poisoned("live writer"))?;
         let current = self.current_arc();
         let (engine, report) = current.engine.apply_delta(delta)?;
         let epoch = current.epoch + 1;
@@ -358,7 +373,7 @@ impl LiveEngine {
             d.store.append(epoch, delta)?;
         }
         let next = Arc::new(Epoch { epoch, engine });
-        *self.current.write().expect("live epoch lock poisoned") = next.clone();
+        self.current.store(next.clone());
         self.after_publish(1, next);
         Ok(AppliedDelta { epoch, report })
     }
@@ -374,7 +389,10 @@ impl LiveEngine {
     /// `current + 1 ..= current + deltas.len()`; only the last is ever
     /// served, the others exist as maintenance records.
     pub fn apply_all(&self, deltas: &[TreeDelta]) -> Result<Vec<AppliedDelta>, LiveError> {
-        let _writer = self.writer.lock().expect("live writer lock poisoned");
+        let _writer = self
+            .writer
+            .lock()
+            .map_err(|_| LiveError::Poisoned("live writer"))?;
         let base = self.current_arc();
 
         let mut staged: Vec<(ConsensusEngine, DeltaReport)> = Vec::with_capacity(deltas.len());
@@ -406,20 +424,26 @@ impl LiveEngine {
                 last_engine = Some(engine);
             }
         }
+        let Some(engine) = last_engine else {
+            // Unreachable: the batch was checked non-empty above.
+            return Ok(outcomes);
+        };
         let next = Arc::new(Epoch {
             epoch: base.epoch + count as u64,
-            engine: last_engine.expect("staged batch is non-empty"),
+            engine,
         });
-        *self.current.write().expect("live epoch lock poisoned") = next.clone();
+        self.current.store(next.clone());
         self.after_publish(count as u64, next);
         Ok(outcomes)
     }
 
     /// Bumps the durability delta counter and, when the snapshot cadence is
     /// reached, hands the freshly-published epoch to a background thread
-    /// that exports it and writes a compacting snapshot. Failures in the
-    /// background are dropped — [`persist_snapshot`](Self::persist_snapshot)
-    /// is the synchronous, error-reporting path.
+    /// that exports it and writes a compacting snapshot. A background
+    /// failure is parked in the last-compaction-error slot — read it with
+    /// [`take_compaction_error`](Self::take_compaction_error); it is also
+    /// logged when the engine drops. [`persist_snapshot`](Self::persist_snapshot)
+    /// is the synchronous, error-returning path.
     fn after_publish(&self, applied: u64, published: Arc<Epoch>) {
         let Some(d) = &self.durability else { return };
         let since = d
@@ -429,7 +453,10 @@ impl LiveEngine {
         if since < d.snapshot_every.load(Ordering::Relaxed) {
             return;
         }
-        let mut compactor = d.compactor.lock().expect("compactor lock poisoned");
+        // Poisoning is recoverable here: the slot only ever holds a fully
+        // formed Option<JoinHandle>, so a panicked writer can't have left
+        // it torn.
+        let mut compactor = d.compactor.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(handle) = compactor.take() {
             if !handle.is_finished() {
                 // Still compacting a previous epoch: keep the counter and
@@ -441,17 +468,75 @@ impl LiveEngine {
         }
         d.deltas_since_snapshot.store(0, Ordering::Relaxed);
         let store = Arc::clone(&d.store);
-        *compactor = Some(std::thread::spawn(move || {
-            let _ = store.write_snapshot(published.epoch, &published.engine.export());
+        let error_slot = Arc::clone(&d.last_compaction_error);
+        *compactor = Some(cpdb_sync::thread::spawn(move || {
+            if let Err(e) = store.write_snapshot(published.epoch, &published.engine.export()) {
+                *error_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+            }
         }));
+    }
+
+    /// Takes (and clears) the most recent background-compaction failure.
+    /// `None` means every background snapshot so far succeeded — or the
+    /// engine is in-memory. The WAL keeps every delta regardless, so a
+    /// failed compaction never loses data, only rebuild speed.
+    pub fn take_compaction_error(&self) -> Option<StoreError> {
+        let d = self.durability.as_ref()?;
+        d.last_compaction_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    /// Whether a background compaction has failed since the last
+    /// [`take_compaction_error`](Self::take_compaction_error) (message
+    /// form, without consuming the error).
+    pub fn last_compaction_error(&self) -> Option<String> {
+        let d = self.durability.as_ref()?;
+        d.last_compaction_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|e| e.to_string())
+    }
+
+    /// Waits for any in-flight background compaction to finish (durable
+    /// engines; no-op otherwise). After this returns, a failure of that
+    /// compaction is visible via
+    /// [`take_compaction_error`](Self::take_compaction_error).
+    pub fn await_compaction(&self) {
+        let Some(d) = &self.durability else { return };
+        let handle = d
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
     }
 }
 
 impl Drop for LiveEngine {
     fn drop(&mut self) {
         if let Some(d) = &self.durability {
-            if let Some(handle) = d.compactor.lock().expect("compactor lock poisoned").take() {
+            let handle = d
+                .compactor
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(handle) = handle {
                 let _ = handle.join();
+            }
+            // A never-collected background failure would otherwise vanish
+            // with the engine; make it visible on the way out.
+            if let Some(e) = d
+                .last_compaction_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                eprintln!("cpdb_live: background snapshot compaction failed: {e}");
             }
         }
     }
@@ -712,6 +797,39 @@ mod tests {
             .collect();
         assert!(!snap_files.is_empty(), "{snap_files:?}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compaction_failures_surface_instead_of_vanishing() {
+        let dir = temp_store_dir("compaction_error");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        let live = LiveEngine::new_durable(engine, &dir).unwrap();
+        live.set_snapshot_every(1);
+        assert!(live.last_compaction_error().is_none());
+
+        // Pull the directory out from under the background compactor: the
+        // WAL's already-open descriptor keeps appends working, but the
+        // snapshot rewrite needs to create a file in the (now gone)
+        // directory and must fail.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let s = live.snapshot();
+        live.apply(&reweight(&s, 2, 0.7)).unwrap();
+        live.await_compaction();
+
+        // Regression: this failure used to be dropped on the floor. It must
+        // be visible (peek), collectable (take), and cleared by the take.
+        assert!(
+            live.last_compaction_error().is_some(),
+            "background compaction failure was swallowed"
+        );
+        let err = live.take_compaction_error();
+        assert!(matches!(err, Some(StoreError::Io(_))), "{err:?}");
+        assert!(live.take_compaction_error().is_none(), "error not cleared");
+        assert_eq!(live.epoch(), 1, "failed compaction must not block serving");
     }
 
     #[test]

@@ -92,7 +92,7 @@ where
     }
     let (init, f) = (&init, &f);
     let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
+    cpdb_sync::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .windows(2)
             .map(|w| {

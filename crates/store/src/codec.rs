@@ -53,6 +53,20 @@ pub struct ByteReader<'a> {
     what: &'a str,
 }
 
+/// Little-endian `u32` from an exactly-4-byte slice (caller-checked).
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(bytes);
+    u32::from_le_bytes(b)
+}
+
+/// Little-endian `u64` from an exactly-8-byte slice (caller-checked).
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    u64::from_le_bytes(b)
+}
+
 impl<'a> ByteReader<'a> {
     pub fn new(buf: &'a [u8], what: &'a str) -> Self {
         ByteReader { buf, pos: 0, what }
@@ -81,15 +95,11 @@ impl<'a> ByteReader<'a> {
     }
 
     pub fn get_u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(le_u32(self.take(4)?))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_u64(self.take(8)?))
     }
 
     /// A `u64` length/count field, sanity-bounded so corrupt data cannot

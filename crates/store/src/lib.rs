@@ -56,6 +56,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod checksum;
 mod codec;
@@ -93,6 +94,9 @@ pub enum StoreError {
         /// The offending path.
         path: std::path::PathBuf,
     },
+    /// The WAL lock was poisoned by a thread that panicked mid-write; the
+    /// in-memory WAL state may be stale, so the operation was refused.
+    Poisoned,
 }
 
 impl fmt::Display for StoreError {
@@ -107,6 +111,7 @@ impl fmt::Display for StoreError {
             StoreError::AlreadyExists { path } => {
                 write!(f, "store already exists at {}", path.display())
             }
+            StoreError::Poisoned => write!(f, "wal lock poisoned"),
         }
     }
 }

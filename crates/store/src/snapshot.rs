@@ -152,8 +152,8 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, EngineExport), StoreError> 
             return Err(header_err("truncated"));
         }
         let tag = bytes[pos];
-        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().expect("4 bytes"));
+        let len = crate::codec::le_u64(&bytes[pos + 1..pos + 9]) as usize;
+        let crc = crate::codec::le_u32(&bytes[pos + 9..pos + 13]);
         pos += 13;
         if bytes.len() - pos < len {
             return Err(header_err(&format!(

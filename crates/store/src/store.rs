@@ -23,8 +23,8 @@ use crate::wal::Wal;
 use crate::StoreError;
 use cpdb_andxor::TreeDelta;
 use cpdb_engine::EngineExport;
+use cpdb_sync::Mutex;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 const WAL_FILE: &str = "wal.cpdb";
 const SNAPSHOT_PREFIX: &str = "snapshot-";
@@ -160,7 +160,7 @@ impl Store {
     pub fn append(&self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
         self.wal
             .lock()
-            .expect("wal mutex poisoned")
+            .map_err(|_| StoreError::Poisoned)?
             .append(epoch, delta)
     }
 
@@ -171,7 +171,7 @@ impl Store {
     ) -> Result<(), StoreError> {
         self.wal
             .lock()
-            .expect("wal mutex poisoned")
+            .map_err(|_| StoreError::Poisoned)?
             .append_all(records)
     }
 
@@ -184,7 +184,7 @@ impl Store {
     pub fn write_snapshot(&self, epoch: u64, export: &EngineExport) -> Result<(), StoreError> {
         // Hold the WAL lock across the whole operation so a concurrent
         // append cannot interleave with the compaction rewrite.
-        let mut wal = self.wal.lock().expect("wal mutex poisoned");
+        let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
         write_snapshot(&snapshot_path(&self.dir, epoch), epoch, export)?;
         wal.truncate_through(epoch)?;
         for old in snapshot_epochs_in(&self.dir)?

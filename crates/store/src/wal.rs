@@ -65,8 +65,8 @@ fn scan_records(bytes: &[u8]) -> Result<(Vec<(u64, TreeDelta)>, usize), StoreErr
         if bytes.len() - pos < RECORD_HEADER_LEN {
             break; // torn record header
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len = crate::codec::le_u32(&bytes[pos..pos + 4]) as usize;
+        let crc = crate::codec::le_u32(&bytes[pos + 4..pos + 8]);
         if bytes.len() - pos - RECORD_HEADER_LEN < len {
             break; // torn payload
         }
@@ -141,7 +141,7 @@ impl Wal {
                 context: format!("bad wal magic in {}", path.display()),
             });
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let version = crate::codec::le_u32(&bytes[8..12]);
         if version != WAL_VERSION {
             return Err(StoreError::UnsupportedVersion { found: version });
         }

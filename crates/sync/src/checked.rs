@@ -1,0 +1,641 @@
+//! Instrumented counterparts of the `std::sync` primitives the engine
+//! stack uses.
+//!
+//! Each type keeps its data inside the matching `std` primitive (so the
+//! compiler's safety story is untouched) and layers the *logical* protocol
+//! on the [`runtime`] scheduler: acquires block through the
+//! scheduler, releases wake scheduler-blocked waiters, and every operation
+//! is a yield point plus a trace event. Outside an exploration the runtime
+//! hooks are inert and these types behave exactly like their `std`
+//! counterparts (modulo a thread-local read per operation), which is why
+//! they are always compiled — the `cpdb_check` cfg only decides whether the
+//! crate-root facades alias `std` or this module.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+use crate::runtime::{self, AtomicKind, OnceRole};
+
+/// A mutual-exclusion lock with scheduler-visible acquire/release.
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard of a [`Mutex`]; releases the logical lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: runtime::new_object_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking through the scheduler while another
+    /// managed thread holds it.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        runtime::mutex_acquire(self.id);
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                id: self.id,
+                inner: g,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                id: self.id,
+                inner: p.into_inner(),
+            })),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::mutex_release(self.id);
+    }
+}
+
+/// A reader–writer lock with scheduler-visible acquire/release.
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard of a [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write RAII guard of a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: runtime::new_object_id(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        runtime::rw_acquire(self.id, false);
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                id: self.id,
+                inner: g,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                id: self.id,
+                inner: p.into_inner(),
+            })),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        runtime::rw_acquire(self.id, true);
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                id: self.id,
+                inner: g,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                id: self.id,
+                inner: p.into_inner(),
+            })),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").field("id", &self.id).finish()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::rw_release(self.id, false);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::rw_release(self.id, true);
+    }
+}
+
+/// A write-once cell whose build/observe protocol the scheduler can
+/// interleave: losers of an init race block through the scheduler until the
+/// winner publishes.
+pub struct OnceLock<T> {
+    id: u64,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        OnceLock {
+            id: runtime::new_object_id(),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Returns the value if it has been set.
+    pub fn get(&self) -> Option<&T> {
+        match self.inner.get() {
+            Some(v) => {
+                runtime::once_observe(self.id);
+                Some(v)
+            }
+            None => {
+                runtime::yield_point();
+                self.inner.get()
+            }
+        }
+    }
+
+    /// Sets the value if the cell was empty; returns it back otherwise.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match runtime::once_begin(self.id) {
+            OnceRole::Builder => {
+                let outcome = self.inner.set(value);
+                runtime::once_publish(self.id);
+                outcome
+            }
+            OnceRole::Built => Err(value),
+        }
+    }
+
+    /// Returns the value, initialising it with `f` exactly once across all
+    /// managed threads.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        match runtime::once_begin(self.id) {
+            OnceRole::Builder => {
+                let value = self.inner.get_or_init(f);
+                runtime::once_publish(self.id);
+                value
+            }
+            OnceRole::Built => self
+                .inner
+                .get()
+                .expect("once cell observed as built but empty"),
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OnceLock")
+            .field("id", &self.id)
+            .field("value", &self.inner.get())
+            .finish()
+    }
+}
+
+macro_rules! atomic_int_shim {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            id: u64,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub fn new(value: $ty) -> Self {
+                $name {
+                    id: runtime::new_object_id(),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            /// Loads the value (a scheduling point).
+            pub fn load(&self, order: Ordering) -> $ty {
+                runtime::atomic_op(self.id, AtomicKind::Load, order);
+                self.inner.load(order)
+            }
+
+            /// Stores a value (a scheduling point).
+            pub fn store(&self, value: $ty, order: Ordering) {
+                runtime::atomic_op(self.id, AtomicKind::Store, order);
+                self.inner.store(value, order);
+            }
+
+            /// Atomically swaps in a value, returning the previous one.
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                runtime::atomic_op(self.id, AtomicKind::Rmw, order);
+                self.inner.swap(value, order)
+            }
+
+            /// Atomically adds, returning the previous value.
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                runtime::atomic_op(self.id, AtomicKind::Rmw, order);
+                self.inner.fetch_add(value, order)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+atomic_int_shim!(
+    /// Scheduler-visible counterpart of [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+atomic_int_shim!(
+    /// Scheduler-visible counterpart of [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+/// Scheduler-visible counterpart of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    id: u64,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag.
+    pub fn new(value: bool) -> Self {
+        AtomicBool {
+            id: runtime::new_object_id(),
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the flag (a scheduling point).
+    pub fn load(&self, order: Ordering) -> bool {
+        runtime::atomic_op(self.id, AtomicKind::Load, order);
+        self.inner.load(order)
+    }
+
+    /// Stores the flag (a scheduling point).
+    pub fn store(&self, value: bool, order: Ordering) {
+        runtime::atomic_op(self.id, AtomicKind::Store, order);
+        self.inner.store(value, order);
+    }
+
+    /// Atomically swaps the flag, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        runtime::atomic_op(self.id, AtomicKind::Rmw, order);
+        self.inner.swap(value, order)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A swappable `Arc` slot — the "publish by single pointer store" primitive
+/// `LiveEngine` uses for its current epoch. [`load`](ArcCell::load) and
+/// [`store`](ArcCell::store) appear to the race detector as `SeqCst` atomic
+/// operations on one location.
+pub struct ArcCell<T> {
+    id: u64,
+    inner: std::sync::Mutex<std::sync::Arc<T>>,
+}
+
+impl<T> ArcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: std::sync::Arc<T>) -> Self {
+        ArcCell {
+            id: runtime::new_object_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Returns a clone of the current `Arc` (a scheduling point).
+    pub fn load(&self) -> std::sync::Arc<T> {
+        runtime::atomic_op(self.id, AtomicKind::Load, Ordering::SeqCst);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes a new `Arc` (a scheduling point).
+    pub fn store(&self, value: std::sync::Arc<T>) {
+        runtime::atomic_op(self.id, AtomicKind::Store, Ordering::SeqCst);
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcCell").field("id", &self.id).finish()
+    }
+}
+
+/// A deliberately-unsynchronized shared cell for *writing checker
+/// scenarios*: accesses are plain [`DataRead`](crate::runtime::EventKind)/
+/// [`DataWrite`](crate::runtime::EventKind) events carrying no
+/// happens-before edge, so two conflicting accesses not ordered by other
+/// synchronization are reported as a data race by `cpdb_check`'s detector.
+/// (Memory safety is preserved by an internal lock; only the *logical*
+/// model treats accesses as unsynchronized.)
+pub struct RaceCell<T> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        RaceCell {
+            id: runtime::new_object_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Reads the value (a plain data read).
+    pub fn read(&self) -> T
+    where
+        T: Clone,
+    {
+        runtime::data_access(self.id, false);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Overwrites the value (a plain data write).
+    pub fn write(&self, value: T) {
+        runtime::data_access(self.id, true);
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+
+    /// Mutates the value in place (a plain data write).
+    pub fn update(&self, f: impl FnOnce(&mut T)) {
+        runtime::data_access(self.id, true);
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner));
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RaceCell").field("id", &self.id).finish()
+    }
+}
+
+/// Scheduler-aware replacements for the `std::thread` spawn/join/scope
+/// surface. Spawns from managed threads become managed tasks; spawns from
+/// unmanaged threads fall straight through to `std`.
+pub mod thread {
+    use super::*;
+    use crate::runtime::TaskId;
+
+    fn managed_body<T>(task: TaskId, f: impl FnOnce() -> T) -> T {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            runtime::task_started(task);
+            f()
+        }));
+        let failure = result.as_ref().err().map(|e| runtime::panic_message(&**e));
+        runtime::task_finished(task, failure);
+        match result {
+            Ok(v) => v,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+
+    /// Handle to a spawned thread; joining goes through the scheduler for
+    /// managed tasks.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        task: Option<TaskId>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(task) = self.task {
+                runtime::join_task(task);
+            }
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished.
+        pub fn is_finished(&self) -> bool {
+            match self.task {
+                Some(task) if runtime::is_managed() => runtime::task_is_finished(task),
+                _ => self.inner.is_finished(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle")
+                .field("task", &self.task)
+                .finish()
+        }
+    }
+
+    /// Spawns a thread; if the caller is a managed task of an active
+    /// exploration, the child becomes a managed task too.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match runtime::register_task() {
+            Some(task) => JoinHandle {
+                inner: std::thread::spawn(move || managed_body(task, f)),
+                task: Some(task),
+            },
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                task: None,
+            },
+        }
+    }
+
+    /// Scheduler-aware counterpart of [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        children: std::sync::Mutex<Vec<TaskId>>,
+    }
+
+    /// Handle to a scoped thread; joining goes through the scheduler for
+    /// managed tasks.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        task: Option<TaskId>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread (managed when the caller is managed).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            match runtime::register_task() {
+                Some(task) => {
+                    self.children
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(task);
+                    ScopedJoinHandle {
+                        inner: self.inner.spawn(move || managed_body(task, f)),
+                        task: Some(task),
+                    }
+                }
+                None => ScopedJoinHandle {
+                    inner: self.inner.spawn(f),
+                    task: None,
+                },
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(task) = self.task {
+                runtime::join_task(task);
+            }
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished.
+        pub fn is_finished(&self) -> bool {
+            match self.task {
+                Some(task) if runtime::is_managed() => runtime::task_is_finished(task),
+                _ => self.inner.is_finished(),
+            }
+        }
+    }
+
+    /// Scheduler-aware counterpart of [`std::thread::scope`]: before the
+    /// scope's implicit OS-level join, every managed child is joined
+    /// *through the scheduler* so parked children get the steps they need
+    /// to finish.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(|s| {
+            let wrapper = Scope {
+                inner: s,
+                children: std::sync::Mutex::new(Vec::new()),
+            };
+            let result = f(&wrapper);
+            let children = wrapper
+                .children
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            for task in children {
+                runtime::join_task(task);
+            }
+            result
+        })
+    }
+
+    /// Yields: a scheduling point for managed threads, `std` yield
+    /// otherwise.
+    pub fn yield_now() {
+        if runtime::is_managed() {
+            runtime::yield_point();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! # cpdb-sync — synchronization facades with a model-checking mode
+//!
+//! The concurrent core of this workspace (`cpdb_engine`'s exactly-once
+//! artifact slots, `cpdb_live`'s epoch publish and WAL ordering,
+//! `cpdb_store`'s group commit, `cpdb_parallel`'s fork-join pool) rests on
+//! a handful of `std::sync` primitives. This crate re-exports exactly that
+//! handful — `Mutex`, `RwLock`, `OnceLock`, the `CacheStats` atomics, an
+//! [`ArcCell`] pointer-swap slot, and the `thread` spawn/scope surface —
+//! behind one switch:
+//!
+//! * **Normal builds**: the aliases *are* the `std` types (plain
+//!   re-exports), so routing a crate through `cpdb_sync` costs nothing.
+//!   `cpdb_testkit`'s conformance suite pins that answers are bit-identical
+//!   either way.
+//! * **`RUSTFLAGS="--cfg cpdb_check"`**: the aliases become the
+//!   [`checked`] shims, where every acquire/release/load/store/swap is a
+//!   yield point of a cooperative scheduler ([`runtime`]) that runs exactly
+//!   one thread at a time. The `cpdb_check` crate drives that scheduler
+//!   through every interleaving (DFS with bounded preemptions) and runs a
+//!   vector-clock race detector over the recorded shim events.
+//!
+//! The [`checked`] module and the [`runtime`] are compiled in both modes
+//! (inert outside an exploration), so the model checker's own machinery is
+//! unit-tested by ordinary `cargo test`.
+
+#![forbid(unsafe_code)]
+
+pub mod checked;
+pub mod runtime;
+
+#[cfg(not(cpdb_check))]
+pub use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(cpdb_check)]
+pub use checked::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use checked::RaceCell;
+pub use std::sync::Arc;
+
+/// The atomic types the engine stack counts and publishes with, plus
+/// `Ordering` (always `std`'s).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(cpdb_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(cpdb_check)]
+    pub use crate::checked::{AtomicBool, AtomicU64, AtomicUsize};
+}
+
+/// Thread spawn/join/scope, scheduler-managed under `--cfg cpdb_check`.
+pub mod thread {
+    #[cfg(not(cpdb_check))]
+    pub use std::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+
+    #[cfg(cpdb_check)]
+    pub use crate::checked::thread::{
+        scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+    };
+}
+
+/// A swappable [`Arc`] slot: the "publish is one pointer store" primitive
+/// behind `LiveEngine`'s epoch slot. Readers [`load`](ArcCell::load) a
+/// clone of the current `Arc` and can hold it arbitrarily long; a writer
+/// [`store`](ArcCell::store)s the next one without ever blocking readers
+/// on anything longer than the swap itself.
+#[cfg(not(cpdb_check))]
+pub struct ArcCell<T> {
+    inner: std::sync::RwLock<Arc<T>>,
+}
+
+#[cfg(not(cpdb_check))]
+impl<T> ArcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcCell {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Returns a clone of the current `Arc`.
+    ///
+    /// Poisoning is unrecoverable-free here: the critical section is a
+    /// single `Arc` clone/store which cannot leave the slot torn, so a
+    /// poisoned lock is safely bypassed.
+    pub fn load(&self) -> Arc<T> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes a new `Arc`.
+    pub fn store(&self, value: Arc<T>) {
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = value;
+    }
+}
+
+#[cfg(not(cpdb_check))]
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcCell").finish_non_exhaustive()
+    }
+}
+
+#[cfg(cpdb_check)]
+pub use checked::ArcCell;
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicUsize, Ordering};
+    use super::*;
+
+    #[test]
+    fn facades_behave_like_std_outside_exploration() {
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+
+        let rw = RwLock::new(vec![1, 2]);
+        rw.write().unwrap().push(3);
+        assert_eq!(rw.read().unwrap().len(), 3);
+
+        let once: OnceLock<u32> = OnceLock::new();
+        assert!(once.get().is_none());
+        assert_eq!(*once.get_or_init(|| 7), 7);
+        assert!(once.set(9).is_err());
+
+        let n = AtomicUsize::new(0);
+        n.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn arc_cell_swaps_and_serves_pinned_clones() {
+        let cell = ArcCell::new(Arc::new(10));
+        let pinned = cell.load();
+        cell.store(Arc::new(20));
+        assert_eq!(*pinned, 10);
+        assert_eq!(*cell.load(), 20);
+    }
+
+    #[test]
+    fn checked_primitives_are_inert_without_a_scheduler() {
+        let m = checked::Mutex::new(0u32);
+        *m.lock().unwrap() = 5;
+        assert_eq!(*m.lock().unwrap(), 5);
+
+        let once = checked::OnceLock::new();
+        assert_eq!(*once.get_or_init(|| 11), 11);
+        assert_eq!(once.get(), Some(&11));
+
+        let cell = checked::RaceCell::new(1);
+        cell.update(|v| *v += 1);
+        assert_eq!(cell.read(), 2);
+
+        let h = checked::thread::spawn(|| 42);
+        assert_eq!(h.join().unwrap(), 42);
+
+        let total = checked::thread::scope(|s| {
+            let a = s.spawn(|| 1);
+            let b = s.spawn(|| 2);
+            a.join().unwrap() + b.join().unwrap()
+        });
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,797 @@
+//! The cooperative scheduler behind the [`checked`](crate::checked)
+//! primitives.
+//!
+//! During an *exploration* (started by [`run_controlled`]) every managed
+//! thread parks at each instrumented operation and the controller decides,
+//! one step at a time, which thread may proceed — exactly one managed thread
+//! runs at any instant, so a whole execution is reduced to a sequence of
+//! scheduling choices. Points where more than one thread could proceed are
+//! *branch points*; the record of branch points ([`BranchRecord`]) is what a
+//! schedule explorer (see the `cpdb_check` crate) enumerates, and a replayed
+//! prefix of choices deterministically reproduces an execution.
+//!
+//! Outside an exploration every hook is inert: threads that were never
+//! registered with the scheduler pass straight through to the underlying
+//! `std` primitive. That keeps the instrumented types usable (and fast
+//! enough) in ordinary test binaries.
+//!
+//! The runtime never runs user code while holding its own lock, and it uses
+//! only safe `std` synchronization internally: logical lock/once states are
+//! tracked here, while the actual data of each shim stays inside a real
+//! `std` primitive that — thanks to the one-thread-at-a-time discipline —
+//! is never contended during an exploration.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
+
+/// Identifier of a managed thread inside one controlled execution. The root
+/// scenario thread is task `0`; spawned threads get consecutive ids in
+/// spawn order, which is deterministic under a fixed schedule.
+pub type TaskId = usize;
+
+/// Panic payload used to unwind parked threads when an execution aborts
+/// (after a failure elsewhere, a deadlock, or a step-budget blowout).
+pub const ABORT_PANIC: &str = "cpdb_check: execution aborted";
+
+/// What an instrumented operation did — the alphabet of the event trace the
+/// data-race detector consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A mutex or write-lock acquisition (a full acquire edge).
+    Acquire,
+    /// A mutex or write-lock release (a full release edge).
+    Release,
+    /// A shared (read) lock acquisition.
+    AcquireShared,
+    /// A shared (read) lock release.
+    ReleaseShared,
+    /// A once-cell value was published by its builder (release edge).
+    OncePublish,
+    /// A built once-cell value was observed (acquire edge).
+    OnceObserve,
+    /// An atomic load with the given ordering.
+    AtomicLoad(Ordering),
+    /// An atomic store with the given ordering.
+    AtomicStore(Ordering),
+    /// An atomic read-modify-write with the given ordering.
+    AtomicRmw(Ordering),
+    /// A plain (unsynchronized-by-design) data read of a `RaceCell`.
+    DataRead,
+    /// A plain data write of a `RaceCell`.
+    DataWrite,
+    /// This thread spawned the given task (release edge into the child).
+    Spawn(TaskId),
+    /// This thread finished (its final clock becomes joinable).
+    TaskEnd,
+    /// This thread joined the given finished task (acquire edge from it).
+    Join(TaskId),
+}
+
+/// One entry of the event trace: which managed thread performed which
+/// operation on which shim object. Object ids are assigned at shim
+/// construction and are unique within the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The managed thread that performed the operation.
+    pub thread: TaskId,
+    /// The shim object operated on (`0` for thread lifecycle events).
+    pub object: u64,
+    /// What was done.
+    pub kind: EventKind,
+}
+
+/// One branch point of an execution: a controller step at which more than
+/// one thread could have proceeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// The runnable threads, ascending.
+    pub enabled: Vec<TaskId>,
+    /// The thread the controller picked.
+    pub chosen: TaskId,
+    /// The thread that was running before this step, if any — picking a
+    /// different thread while this one is still enabled is a *preemption*.
+    pub running_before: Option<TaskId>,
+}
+
+impl BranchRecord {
+    /// Whether picking `choice` at this branch point preempts the thread
+    /// that was running.
+    pub fn preempts(&self, choice: TaskId) -> bool {
+        self.running_before
+            .is_some_and(|r| r != choice && self.enabled.contains(&r))
+    }
+}
+
+/// The outcome of one controlled execution.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Every branch point of the execution, in order. The full choice
+    /// sequence (`history.iter().map(|r| r.chosen)`) is the execution's
+    /// replayable schedule.
+    pub history: Vec<BranchRecord>,
+    /// The shim-event trace, in execution order.
+    pub events: Vec<Event>,
+    /// The first failure observed (a panic message, a deadlock report, or a
+    /// step-budget blowout), if any.
+    pub failure: Option<String>,
+    /// Whether the failure was a deadlock (every live thread blocked).
+    pub deadlock: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Wait {
+    Lock(u64),
+    OnceBuilt(u64),
+    TaskExit(TaskId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Registered; its OS thread has not parked yet.
+    Launching,
+    /// Granted the run token; currently executing.
+    Running,
+    /// Parked at a yield point; eligible to be granted.
+    Paused,
+    /// Parked waiting for a resource; woken (to `Paused`) by the event.
+    Blocked(Wait),
+    Finished,
+}
+
+#[derive(Debug, Default)]
+enum OnceState {
+    #[default]
+    Empty,
+    Building,
+    Built,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    writer: bool,
+    readers: usize,
+}
+
+#[derive(Debug, Default)]
+struct Resources {
+    mutexes: HashMap<u64, bool>,
+    rwlocks: HashMap<u64, RwState>,
+    onces: HashMap<u64, OnceState>,
+}
+
+#[derive(Debug, Default)]
+struct ExpState {
+    active: bool,
+    res: Resources,
+    abort: bool,
+    tasks: Vec<Status>,
+    current: Option<TaskId>,
+    last_running: Option<TaskId>,
+    schedule: Vec<TaskId>,
+    branch_idx: usize,
+    history: Vec<BranchRecord>,
+    events: Vec<Event>,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    deadlock: bool,
+}
+
+struct Shared {
+    state: Mutex<ExpState>,
+    cv: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        state: Mutex::new(ExpState::default()),
+        cv: Condvar::new(),
+    })
+}
+
+/// Serialises explorations: only one controlled execution runs per process
+/// at a time (test binaries run tests concurrently).
+fn explore_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+static NEXT_OBJECT: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh shim-object id (unique within the process).
+pub fn new_object_id() -> u64 {
+    NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static TASK: std::cell::Cell<Option<TaskId>> = const { std::cell::Cell::new(None) };
+}
+
+fn me() -> Option<TaskId> {
+    TASK.with(|t| t.get())
+}
+
+type StateGuard<'a> = std::sync::MutexGuard<'a, ExpState>;
+
+fn lock_state() -> StateGuard<'static> {
+    shared()
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parks the calling managed thread until the controller grants it the run
+/// token again. Precondition: the caller holds the state lock and has
+/// already set its own status to something non-`Running` and notified.
+fn wait_for_grant(mut st: StateGuard<'static>, id: TaskId) {
+    loop {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ABORT_PANIC);
+        }
+        if st.tasks[id] == Status::Running {
+            return;
+        }
+        st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The scheduling point every instrumented operation passes through: parks
+/// the calling thread and returns once the controller grants it the next
+/// step. No-op for unmanaged threads or outside an exploration.
+pub fn yield_point() {
+    let Some(id) = me() else { return };
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    st.tasks[id] = Status::Paused;
+    if st.current == Some(id) {
+        st.current = None;
+    }
+    shared().cv.notify_all();
+    wait_for_grant(st, id);
+}
+
+/// Records `kind` on `object` in the event trace (while the caller holds
+/// the run token). Unmanaged callers are ignored.
+fn record(st: &mut ExpState, id: TaskId, object: u64, kind: EventKind) {
+    st.events.push(Event {
+        thread: id,
+        object,
+        kind,
+    });
+}
+
+/// Blocks the calling managed thread on `wait`, releasing the run token,
+/// until some other thread's event wakes it *and* the controller grants it
+/// a step again. Returns with the state lock re-acquired.
+fn block_on(mut st: StateGuard<'static>, id: TaskId, wait: Wait) -> StateGuard<'static> {
+    st.tasks[id] = Status::Blocked(wait);
+    if st.current == Some(id) {
+        st.current = None;
+    }
+    shared().cv.notify_all();
+    loop {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ABORT_PANIC);
+        }
+        if st.tasks[id] == Status::Running {
+            return st;
+        }
+        st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn wake_waiters(st: &mut ExpState, pred: impl Fn(&Wait) -> bool) {
+    for status in st.tasks.iter_mut() {
+        if let Status::Blocked(w) = status {
+            if pred(w) {
+                *status = Status::Paused;
+            }
+        }
+    }
+    shared().cv.notify_all();
+}
+
+/// Acquires the logical mutex `obj` (blocking through the scheduler while
+/// another managed thread holds it). Inert when unmanaged.
+pub fn mutex_acquire(obj: u64) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    loop {
+        let held = st.resources_mutex_entry(obj);
+        if !*held {
+            *held = true;
+            record(&mut st, id, obj, EventKind::Acquire);
+            return;
+        }
+        st = block_on(st, id, Wait::Lock(obj));
+        if !st.active {
+            return;
+        }
+    }
+}
+
+/// Releases the logical mutex `obj`, waking scheduler-blocked waiters.
+pub fn mutex_release(obj: u64) {
+    let Some(id) = me() else { return };
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    *st.resources_mutex_entry(obj) = false;
+    record(&mut st, id, obj, EventKind::Release);
+    wake_waiters(&mut st, |w| *w == Wait::Lock(obj));
+}
+
+/// Acquires the logical rwlock `obj` for writing (`write = true`) or
+/// reading.
+pub fn rw_acquire(obj: u64, write: bool) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    loop {
+        let rw = st.resources_rw_entry(obj);
+        let free = if write {
+            !rw.writer && rw.readers == 0
+        } else {
+            !rw.writer
+        };
+        if free {
+            if write {
+                rw.writer = true;
+                record(&mut st, id, obj, EventKind::Acquire);
+            } else {
+                rw.readers += 1;
+                record(&mut st, id, obj, EventKind::AcquireShared);
+            }
+            return;
+        }
+        st = block_on(st, id, Wait::Lock(obj));
+        if !st.active {
+            return;
+        }
+    }
+}
+
+/// Releases the logical rwlock `obj`.
+pub fn rw_release(obj: u64, write: bool) {
+    let Some(id) = me() else { return };
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    let rw = st.resources_rw_entry(obj);
+    if write {
+        rw.writer = false;
+    } else {
+        rw.readers = rw.readers.saturating_sub(1);
+    }
+    let kind = if write {
+        EventKind::Release
+    } else {
+        EventKind::ReleaseShared
+    };
+    record(&mut st, id, obj, kind);
+    wake_waiters(&mut st, |w| *w == Wait::Lock(obj));
+}
+
+/// The role [`once_begin`] assigns the caller for once-cell `obj`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnceRole {
+    /// The caller must run the initialiser, then call [`once_publish`].
+    Builder,
+    /// The value is (now) built; the caller just reads it.
+    Built,
+}
+
+/// Enters the once-cell protocol for `obj`: the first caller becomes the
+/// [`OnceRole::Builder`]; later callers block (through the scheduler) until
+/// the builder publishes, then observe. Unmanaged callers are reported as
+/// builders — the underlying `std::sync::OnceLock` makes that safe.
+pub fn once_begin(obj: u64) -> OnceRole {
+    let Some(id) = me() else {
+        return OnceRole::Builder;
+    };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return OnceRole::Builder;
+    }
+    loop {
+        match st.resources_once_entry(obj) {
+            OnceState::Empty => {
+                *st.resources_once_entry(obj) = OnceState::Building;
+                return OnceRole::Builder;
+            }
+            OnceState::Built => {
+                record(&mut st, id, obj, EventKind::OnceObserve);
+                return OnceRole::Built;
+            }
+            OnceState::Building => {
+                st = block_on(st, id, Wait::OnceBuilt(obj));
+                if !st.active {
+                    return OnceRole::Built;
+                }
+            }
+        }
+    }
+}
+
+/// Publishes once-cell `obj` (builder side), waking scheduler-blocked
+/// waiters.
+pub fn once_publish(obj: u64) {
+    let Some(id) = me() else { return };
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    *st.resources_once_entry(obj) = OnceState::Built;
+    record(&mut st, id, obj, EventKind::OncePublish);
+    wake_waiters(&mut st, |w| *w == Wait::OnceBuilt(obj));
+}
+
+/// Records that a built once-cell value was observed without going through
+/// [`once_begin`] (the fast path when the value already exists).
+pub fn once_observe(obj: u64) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    // The cell may have been built before the exploration started; make the
+    // logical state agree so later `once_begin` calls see `Built`.
+    *st.resources_once_entry(obj) = OnceState::Built;
+    record(&mut st, id, obj, EventKind::OnceObserve);
+}
+
+/// The shape of an atomic shim operation, for [`atomic_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// A pure load.
+    Load,
+    /// A pure store.
+    Store,
+    /// A read-modify-write (`fetch_add`, `swap`, …).
+    Rmw,
+}
+
+/// The scheduling point + trace event for an atomic shim operation; the
+/// caller performs the real operation immediately after (while still
+/// holding the run token, so it is atomic with respect to every other
+/// managed thread).
+pub fn atomic_op(obj: u64, kind: AtomicKind, ordering: Ordering) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    let kind = match kind {
+        AtomicKind::Load => EventKind::AtomicLoad(ordering),
+        AtomicKind::Store => EventKind::AtomicStore(ordering),
+        AtomicKind::Rmw => EventKind::AtomicRmw(ordering),
+    };
+    record(&mut st, id, obj, kind);
+}
+
+/// The scheduling point + trace event for a plain data access of a
+/// `RaceCell` — deliberately contributes no happens-before edge, so the
+/// race detector can flag unsynchronized conflicting accesses.
+pub fn data_access(obj: u64, write: bool) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    let kind = if write {
+        EventKind::DataWrite
+    } else {
+        EventKind::DataRead
+    };
+    record(&mut st, id, obj, kind);
+}
+
+/// Registers a child task for the calling managed thread. Returns `None`
+/// when the caller is unmanaged (the child should then be spawned plainly).
+pub fn register_task() -> Option<TaskId> {
+    let id = me()?;
+    let mut st = lock_state();
+    if !st.active {
+        return None;
+    }
+    let child = st.tasks.len();
+    st.tasks.push(Status::Launching);
+    record(&mut st, id, 0, EventKind::Spawn(child));
+    shared().cv.notify_all();
+    Some(child)
+}
+
+/// Entry hook of a spawned managed thread: binds the task id to the OS
+/// thread and parks until the controller grants the first step.
+pub fn task_started(id: TaskId) {
+    TASK.with(|t| t.set(Some(id)));
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    st.tasks[id] = Status::Paused;
+    shared().cv.notify_all();
+    wait_for_grant(st, id);
+}
+
+/// Exit hook of a managed thread (including the root): records the failure
+/// (first one wins), marks the task finished, wakes joiners, and — on a
+/// real failure — aborts the rest of the execution.
+pub fn task_finished(id: TaskId, failure: Option<String>) {
+    TASK.with(|t| t.set(None));
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    if let Some(msg) = failure {
+        if !msg.contains(ABORT_PANIC) && st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+    }
+    st.tasks[id] = Status::Finished;
+    if st.current == Some(id) {
+        st.current = None;
+    }
+    record(&mut st, id, 0, EventKind::TaskEnd);
+    wake_waiters(&mut st, |w| *w == Wait::TaskExit(id));
+}
+
+/// Blocks (through the scheduler) until task `target` finishes. No-op when
+/// unmanaged.
+pub fn join_task(target: TaskId) {
+    let Some(id) = me() else { return };
+    yield_point();
+    let mut st = lock_state();
+    if !st.active {
+        return;
+    }
+    while st.tasks[target] != Status::Finished {
+        st = block_on(st, id, Wait::TaskExit(target));
+        if !st.active {
+            return;
+        }
+    }
+    record(&mut st, id, 0, EventKind::Join(target));
+}
+
+/// Whether task `target` has finished, as a scheduled observation.
+pub fn task_is_finished(target: TaskId) -> bool {
+    let Some(_id) = me() else { return false };
+    yield_point();
+    let st = lock_state();
+    if !st.active {
+        return false;
+    }
+    st.tasks[target] == Status::Finished
+}
+
+/// How many managed threads other than the caller are still live (not
+/// finished). `0` outside an exploration. Used by shutdown scenarios to
+/// assert that background threads were joined.
+pub fn other_live_tasks() -> usize {
+    let Some(id) = me() else { return 0 };
+    let st = lock_state();
+    if !st.active {
+        return 0;
+    }
+    st.tasks
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| i != id && *s != Status::Finished)
+        .count()
+}
+
+/// Whether the calling thread is a managed thread of an active exploration.
+pub fn is_managed() -> bool {
+    me().is_some()
+}
+
+impl ExpState {
+    fn resources_mutex_entry(&mut self, obj: u64) -> &mut bool {
+        self.resources().mutexes.entry(obj).or_default()
+    }
+    fn resources_rw_entry(&mut self, obj: u64) -> &mut RwState {
+        self.resources().rwlocks.entry(obj).or_default()
+    }
+    fn resources_once_entry(&mut self, obj: u64) -> &mut OnceState {
+        self.resources().onces.entry(obj).or_default()
+    }
+    fn resources(&mut self) -> &mut Resources {
+        &mut self.res
+    }
+}
+
+/// Runs `f` as the root of a controlled execution, prescribing the first
+/// branch-point choices from `prefix` and letting the default policy
+/// (continue the running thread, else lowest id) fill the rest. Returns the
+/// execution's branch history, event trace, and failure, if any.
+///
+/// Executions are serialised process-wide; `max_steps` bounds the number of
+/// controller grants (a livelock backstop).
+pub fn run_controlled<F>(prefix: &[TaskId], max_steps: usize, f: F) -> RunResult
+where
+    F: FnOnce() + Send + 'static,
+{
+    let _serial = explore_lock()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    install_quiet_abort_hook();
+
+    {
+        let mut st = lock_state();
+        assert!(!st.active, "nested cpdb_check explorations are not allowed");
+        *st = ExpState {
+            active: true,
+            tasks: vec![Status::Launching],
+            schedule: prefix.to_vec(),
+            max_steps,
+            ..ExpState::default()
+        };
+    }
+
+    let root = std::thread::spawn(move || {
+        task_started(0);
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let failure = result.err().map(|e| panic_message(&*e));
+        task_finished(0, failure);
+    });
+
+    // Controller loop: wait for quiescence, pick, grant, repeat.
+    let mut st = lock_state();
+    loop {
+        while st
+            .tasks
+            .iter()
+            .any(|s| matches!(s, Status::Running | Status::Launching))
+        {
+            st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.tasks.iter().all(|s| *s == Status::Finished) {
+            break;
+        }
+        if st.abort {
+            // Unwinding: every parked thread observes the abort flag on
+            // wake and panics out. Release the lock while waiting so they
+            // can actually do so.
+            shared().cv.notify_all();
+            st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        }
+        let enabled: Vec<TaskId> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Paused)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<_> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Blocked(w) => Some(format!("task {i} blocked on {w:?}")),
+                    _ => None,
+                })
+                .collect();
+            st.failure = Some(format!("deadlock: {}", blocked.join("; ")));
+            st.deadlock = true;
+            st.abort = true;
+            continue;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.failure = Some(format!(
+                "step budget of {} exceeded (livelock?)",
+                st.max_steps
+            ));
+            st.abort = true;
+            continue;
+        }
+        let chosen = if enabled.len() > 1 {
+            let choice = if st.branch_idx < st.schedule.len() {
+                let want = st.schedule[st.branch_idx];
+                if enabled.contains(&want) {
+                    want
+                } else {
+                    if st.failure.is_none() {
+                        st.failure = Some(format!(
+                            "schedule diverged: prescribed task {want} not enabled \
+                             at branch {} (enabled: {enabled:?})",
+                            st.branch_idx
+                        ));
+                    }
+                    default_choice(&enabled, st.last_running)
+                }
+            } else {
+                default_choice(&enabled, st.last_running)
+            };
+            st.branch_idx += 1;
+            let running_before = st.last_running;
+            st.history.push(BranchRecord {
+                enabled,
+                chosen: choice,
+                running_before,
+            });
+            choice
+        } else {
+            enabled[0]
+        };
+        st.last_running = Some(chosen);
+        st.current = Some(chosen);
+        st.tasks[chosen] = Status::Running;
+        shared().cv.notify_all();
+    }
+
+    let result = RunResult {
+        history: std::mem::take(&mut st.history),
+        events: std::mem::take(&mut st.events),
+        failure: st.failure.take(),
+        deadlock: st.deadlock,
+    };
+    *st = ExpState::default();
+    drop(st);
+    let _ = root.join();
+    result
+}
+
+fn default_choice(enabled: &[TaskId], last: Option<TaskId>) -> TaskId {
+    match last {
+        Some(l) if enabled.contains(&l) => l,
+        _ => enabled[0],
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Installs (once) a panic hook that suppresses the backtrace spam of the
+/// deliberate abort panics used to unwind parked threads, delegating every
+/// other panic to the previously-installed hook.
+fn install_quiet_abort_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains(ABORT_PANIC));
+            // Panics inside managed scenario threads are expected traffic
+            // for a model checker (they become recorded failures); keep
+            // them quiet too so negative tests don't spam stderr.
+            if !quiet && !is_managed() {
+                previous(info);
+            }
+        }));
+    });
+}

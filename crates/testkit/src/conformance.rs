@@ -1293,6 +1293,121 @@ pub fn check_crash_recovery(tree: &AndXorTree, seed: u64) -> usize {
     checks
 }
 
+/// `cpdb_sync` facade transparency: on a normal (non-`cpdb_check`) build
+/// the synchronization facades must be invisible — the always-compiled
+/// instrumented primitives behave exactly like their `std` counterparts
+/// outside an exploration, and the facade-routed engine/live paths answer
+/// **bit-identically** whether driven serially, through concurrent
+/// `cpdb_sync::thread` traffic, or compared against a from-scratch engine
+/// after an `ArcCell` epoch swap.
+pub fn check_sync_shims(tree: &AndXorTree, seed: u64) -> usize {
+    use cpdb_live::LiveEngine;
+    use cpdb_sync::atomic::Ordering;
+    use cpdb_sync::{checked, Arc, ArcCell};
+    let mut checks = 0;
+
+    // The instrumented primitives are plain std wrappers when no
+    // exploration is active (exactly the state tier-1 tests run in).
+    let m = checked::Mutex::new(1u32);
+    *m.lock().expect("fresh mutex") += 1;
+    assert_eq!(*m.lock().expect("fresh mutex"), 2, "checked Mutex diverged");
+    let rw = checked::RwLock::new(3u32);
+    *rw.write().expect("fresh rwlock") += 1;
+    assert_eq!(
+        *rw.read().expect("fresh rwlock"),
+        4,
+        "checked RwLock diverged"
+    );
+    let once = checked::OnceLock::new();
+    assert_eq!(*once.get_or_init(|| 5u32), 5, "checked OnceLock diverged");
+    assert_eq!(once.get(), Some(&5), "checked OnceLock lost its value");
+    let counter = checked::AtomicUsize::new(6);
+    assert_eq!(counter.fetch_add(1, Ordering::Relaxed), 6);
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        7,
+        "checked atomic diverged"
+    );
+    let cell = ArcCell::new(Arc::new(8u64));
+    let pinned = cell.load();
+    cell.store(Arc::new(9));
+    assert_eq!(
+        (*pinned, *cell.load()),
+        (8, 9),
+        "ArcCell swap disturbed a pinned clone"
+    );
+    checks += 6;
+
+    // The facade-routed engine under concurrent `cpdb_sync::thread`
+    // traffic answers bit-identically to its own serial loop.
+    let n = tree.keys().len();
+    let engine = ConsensusEngineBuilder::new(tree.clone())
+        .seed(seed)
+        .kendall_distance_samples(64)
+        .k_range(1..=n.max(1))
+        .build()
+        .expect("sync-shim conformance configuration is valid");
+    let probe = live_probe(&[1, 2.min(n.max(1))]);
+    let serial = engine.run_batch_serial(&probe);
+    cpdb_sync::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let (engine, probe, serial) = (&engine, &probe, &serial);
+                scope.spawn(move || {
+                    for i in 0..probe.len() {
+                        let at = (i + t * 5) % probe.len();
+                        assert_eq!(
+                            engine.run(&probe[at]),
+                            serial[at],
+                            "facade-routed engine diverges on {:?}",
+                            probe[at]
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("shim conformance thread panicked");
+        }
+    });
+    checks += 2 * probe.len();
+
+    // An epoch published through the facade `ArcCell` swap and read from a
+    // facade-spawned thread matches a from-scratch engine on the new tree.
+    let live = Arc::new(LiveEngine::new(
+        ConsensusEngineBuilder::new(tree.clone())
+            .seed(seed)
+            .kendall_distance_samples(64)
+            .k_range(1..=n.max(1))
+            .build()
+            .expect("sync-shim conformance configuration is valid"),
+    ));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51AC_517F);
+    let delta = random_probability_delta(live.snapshot().tree(), &mut rng);
+    live.apply(&delta).expect("generated delta is valid");
+    let live2 = Arc::clone(&live);
+    let probe2 = probe.clone();
+    let published = cpdb_sync::thread::spawn(move || {
+        let snap = live2.snapshot();
+        (snap.epoch(), snap.run_batch_serial(&probe2))
+    })
+    .join()
+    .expect("facade reader thread panicked");
+    let fresh = ConsensusEngineBuilder::new(live.snapshot().tree().clone())
+        .seed(seed)
+        .kendall_distance_samples(64)
+        .k_range(1..=n.max(1))
+        .build()
+        .expect("sync-shim conformance configuration is valid");
+    assert_eq!(published.0, 1, "facade reader missed the published epoch");
+    assert_eq!(
+        published.1,
+        fresh.run_batch_serial(&probe),
+        "facade-published epoch diverges from a from-scratch engine"
+    );
+    checks + probe.len() + 1
+}
+
 /// Outcome of a full conformance sweep for one seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConformanceSummary {
@@ -1310,9 +1425,10 @@ pub struct ConformanceSummary {
 /// families, the engine ↔ free-function equivalence sweep on both ranked
 /// tree families, the concurrent ↔ serial engine equivalence check
 /// (parallel `run_batch` and multi-thread shared-engine traffic bit-identical
-/// to the serial loop), and the live-update conformance (delta-patched
+/// to the serial loop), the live-update conformance (delta-patched
 /// epochs ≡ from-scratch engines after every mutation, with selective
-/// artifact invalidation).
+/// artifact invalidation), and the `cpdb_sync` facade-transparency check
+/// (the synchronization shims are bit-invisible on normal builds).
 pub fn run_seed(seed: u64) -> ConformanceSummary {
     let ti_db = fixtures::small_tuple_independent(seed);
     let ti_tree = fixtures::small_tuple_independent_tree(seed);
@@ -1343,6 +1459,7 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_live_updates(&ti_tree, seed);
     checks += check_persistence(&bid_tree, seed);
     checks += check_persistence(&ti_tree, seed);
+    checks += check_sync_shims(&bid_tree, seed);
     ConformanceSummary { seed, checks }
 }
 

@@ -1,0 +1,57 @@
+//! Repo-wide source invariants, enforced as tests so a drive-by change
+//! can't silently weaken them.
+
+use std::path::PathBuf;
+
+fn crates_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("crates")
+}
+
+/// Every crate in the workspace must carry `#![forbid(unsafe_code)]` at the
+/// top of its library root: the whole reproduction — including the
+/// cooperative model-checking scheduler in `cpdb_sync` — is safe Rust, and
+/// a new crate must opt in to that standard before it can land.
+#[test]
+fn every_crate_forbids_unsafe_code() {
+    let mut roots: Vec<PathBuf> = std::fs::read_dir(crates_dir())
+        .expect("workspace crates directory exists")
+        .filter_map(|entry| {
+            let lib = entry.expect("readable dir entry").path().join("src/lib.rs");
+            lib.exists().then_some(lib)
+        })
+        .collect();
+    roots.sort();
+    assert!(
+        roots.len() >= 15,
+        "expected the full workspace, found only {} crate roots",
+        roots.len()
+    );
+    let mut missing = Vec::new();
+    for lib in &roots {
+        let src = std::fs::read_to_string(lib).expect("crate root is readable");
+        if !src.contains("#![forbid(unsafe_code)]") {
+            missing.push(lib.display().to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crate roots without #![forbid(unsafe_code)]: {missing:?}"
+    );
+}
+
+/// The panic-freedom burn-down of the storage and serving layers is gated
+/// by clippy lints; this pin keeps the gates themselves from regressing.
+#[test]
+fn store_and_live_keep_their_unwrap_gates() {
+    for crate_name in ["store", "live"] {
+        let lib = crates_dir().join(crate_name).join("src/lib.rs");
+        let src = std::fs::read_to_string(&lib).expect("crate root is readable");
+        assert!(
+            src.contains("deny(clippy::unwrap_used, clippy::expect_used)"),
+            "{} lost its unwrap/expect lint gate",
+            lib.display()
+        );
+    }
+}
