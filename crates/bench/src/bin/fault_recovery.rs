@@ -1,0 +1,175 @@
+//! `BENCH_fault_recovery.json` emitter: measures recovery latency as a
+//! function of WAL length — the store-level scan, the full warm start, and
+//! the degraded-mode [`try_recover`](cpdb_live::LiveEngine::try_recover)
+//! round-trip after an injected append failure — plus the cost of the
+//! [`cpdb_store::Vfs`] indirection on the durable-apply hot path
+//! (`write_all` + `sync_data` through the production
+//! [`cpdb_store::StdVfs`] vs `std::fs::File` directly).
+//!
+//! ```text
+//! cargo run --release -p cpdb_bench --bin fault_recovery -- \
+//!     --n 80 --lens 8,64,256 --reps 3 --out BENCH_fault_recovery.json --check
+//! ```
+//!
+//! `--check` exits non-zero when the VFS indirection costs more than 2% of
+//! one durable append (the dispatch delta resolved on the buffered write
+//! path, divided by the durable-append floor — see
+//! [`cpdb_bench::fault_recovery::VfsOverheadResult::overhead_pct`]) — the
+//! abstraction the fault injection hangs off must be free in production —
+//! or when any recovery misses an epoch (asserted inside the workload).
+
+use cpdb_bench::fault_recovery::{measure_recovery, measure_vfs_overhead, RecoveryResult};
+
+struct Args {
+    n: usize,
+    seed: u64,
+    reps: usize,
+    lens: Vec<usize>,
+    appends: usize,
+    buf_bytes: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 80,
+        seed: 7,
+        reps: 3,
+        lens: vec![8, 64, 256],
+        appends: 256,
+        buf_bytes: 4096,
+        out: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value("--n").parse().expect("--n takes an integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--lens" => {
+                args.lens = value("--lens")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--lens takes integers"))
+                    .collect();
+            }
+            "--appends" => {
+                args.appends = value("--appends")
+                    .parse()
+                    .expect("--appends takes an integer");
+            }
+            "--buf" => {
+                args.buf_bytes = value("--buf").parse().expect("--buf takes an integer");
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+fn len_json(r: &RecoveryResult) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"wal_bytes\": {},\n",
+            "      \"store_scan_ms\": {:.3},\n",
+            "      \"warm_open_ms\": {:.3},\n",
+            "      \"try_recover_ms\": {:.3}\n",
+            "    }}"
+        ),
+        r.wal_records, r.wal_bytes, r.store_scan_ms, r.warm_open_ms, r.try_recover_ms,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let results = measure_recovery(args.n, args.seed, args.reps, &args.lens);
+    let overhead = measure_vfs_overhead(args.appends, args.buf_bytes, args.reps);
+
+    println!(
+        "fault_recovery — n = {}, seed = {}, best of {}",
+        args.n, args.seed, args.reps
+    );
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>16}",
+        "wal records", "wal bytes", "store scan ms", "warm open ms", "try_recover ms"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>12} {:>14.3} {:>14.3} {:>16.3}",
+            r.wal_records, r.wal_bytes, r.store_scan_ms, r.warm_open_ms, r.try_recover_ms
+        );
+    }
+    println!(
+        "vfs indirection — {} buffered writes × {} B: direct {:.4} µs/op, via vfs {:.4} µs/op (delta {:+.4} µs)",
+        overhead.writes,
+        overhead.buf_bytes,
+        overhead.direct_write_us,
+        overhead.via_vfs_write_us,
+        overhead.indirection_us()
+    );
+    println!(
+        "durable floor — {} appends: direct {:.1} µs, via vfs {:.1} µs; indirection = {:+.3}% of one durable append",
+        overhead.durable_appends,
+        overhead.direct_durable_us,
+        overhead.via_vfs_durable_us,
+        overhead.overhead_pct()
+    );
+
+    if let Some(path) = &args.out {
+        let lens: Vec<String> = results.iter().map(len_json).collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"fault_recovery\",\n",
+                "  \"n\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"reps\": {},\n",
+                "  \"wal_lengths\": {{\n{}\n  }},\n",
+                "  \"vfs_overhead\": {{\n",
+                "    \"writes\": {},\n",
+                "    \"buf_bytes\": {},\n",
+                "    \"direct_write_us\": {:.4},\n",
+                "    \"via_vfs_write_us\": {:.4},\n",
+                "    \"indirection_us\": {:.4},\n",
+                "    \"durable_appends\": {},\n",
+                "    \"direct_durable_us\": {:.1},\n",
+                "    \"via_vfs_durable_us\": {:.1},\n",
+                "    \"overhead_pct\": {:.3}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            args.n,
+            args.seed,
+            args.reps,
+            lens.join(",\n"),
+            overhead.writes,
+            overhead.buf_bytes,
+            overhead.direct_write_us,
+            overhead.via_vfs_write_us,
+            overhead.indirection_us(),
+            overhead.durable_appends,
+            overhead.direct_durable_us,
+            overhead.via_vfs_durable_us,
+            overhead.overhead_pct(),
+        );
+        std::fs::write(path, json).expect("bench JSON is writable");
+        println!("wrote {path}");
+    }
+
+    if args.check {
+        let pct = overhead.overhead_pct();
+        assert!(
+            pct <= 2.0,
+            "VFS indirection costs {pct:.3}% of a durable append (budget: 2%)"
+        );
+        println!("check passed: VFS indirection {pct:+.3}% of a durable append (≤ 2% budget)");
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fault_recovery;
 pub mod persistence;
 pub mod query_throughput;
 pub mod rank_artifacts;

@@ -88,6 +88,31 @@
 //! replays the WAL suffix (truncating a torn tail record), and answers
 //! **bit-identically** to the engine that wrote the files — the conformance
 //! suite pins this on every seed, including simulated crashes.
+//!
+//! ## Fault tolerance & degraded mode
+//!
+//! The store retries transient I/O failures itself (bounded deterministic
+//! backoff, see [`cpdb_store::RetryPolicy`]); the live layer handles what
+//! remains. A *permanent* durability failure — `ENOSPC`, a failed fsync, a
+//! WAL that could not roll back a torn append — moves the engine into
+//! **degraded mode**: a typed health state machine
+//! (`Healthy → Degraded(reason) → recovered`) in which
+//!
+//! * **readers are untouched** — snapshots keep serving the last published
+//!   epoch, whose every delta was acknowledged durable before publish;
+//! * **writers are refused** — [`LiveEngine::apply`]/
+//!   [`LiveEngine::apply_all`] return [`LiveError::Degraded`] without
+//!   touching the disk;
+//! * [`LiveEngine::health`] reports writer, background compactor, and
+//!   store status in one coherent [`Health`] value;
+//! * [`LiveEngine::try_recover`] re-probes the store (reopening the WAL,
+//!   truncating torn tails) and resumes writes once the disk again
+//!   reconstructs exactly the served epoch.
+//!
+//! The chaos suite in `cpdb_testkit` sweeps injected fault schedules over
+//! every I/O operation of a live run and asserts the contract: no answer
+//! ever differs from the pre-fault epoch's, and recovery is bit-identical
+//! to a never-faulted engine.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -106,7 +131,46 @@ use cpdb_sync::{ArcCell, Mutex};
 
 pub use cpdb_andxor::{DeltaImpact, TreeDelta};
 pub use cpdb_engine::{ArtifactDecision, DeltaReport};
-pub use cpdb_store::StoreError;
+pub use cpdb_store::{StoreError, StoreOptions};
+
+/// Why a durable engine stopped accepting writes. Readers are never
+/// affected: the last published epoch keeps serving while writers receive
+/// [`LiveError::Degraded`] carrying one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradedReason {
+    /// A WAL append failed permanently (retries exhausted or the failure
+    /// was never retryable — `ENOSPC`, a failed fsync, …). The record was
+    /// rolled back; no epoch was published for it.
+    WalAppend {
+        /// The store failure, rendered.
+        error: String,
+    },
+    /// A failed append could not even be rolled back: the WAL's on-disk
+    /// tail position is unknown and the log refuses all writes until
+    /// recovery reopens it.
+    WalUnusable {
+        /// The rollback failure, rendered.
+        error: String,
+    },
+    /// A [`LiveEngine::try_recover`] probe failed: either the store could
+    /// not be re-read, or what it holds no longer matches the published
+    /// epoch (which would mean serving unacknowledged state).
+    RecoveryFailed {
+        /// What the probe found, rendered.
+        error: String,
+    },
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedReason::WalAppend { error } => write!(f, "wal append failed: {error}"),
+            DegradedReason::WalUnusable { error } => write!(f, "wal unusable: {error}"),
+            DegradedReason::RecoveryFailed { error } => write!(f, "recovery failed: {error}"),
+        }
+    }
+}
 
 /// Typed failures of a live engine: delta/model validation from the engine
 /// layer, or durability failures from the persistence layer.
@@ -117,6 +181,9 @@ pub enum LiveError {
     Engine(EngineError),
     /// The write-ahead log or snapshot store failed.
     Store(StoreError),
+    /// The engine is serving reads from its last published epoch but
+    /// refusing writes until [`LiveEngine::try_recover`] succeeds.
+    Degraded(DegradedReason),
     /// An internal lock was poisoned by a panicking writer; the named
     /// structure may be stale and the operation was refused.
     Poisoned(&'static str),
@@ -127,6 +194,9 @@ impl fmt::Display for LiveError {
         match self {
             LiveError::Engine(e) => write!(f, "engine error: {e}"),
             LiveError::Store(e) => write!(f, "store error: {e}"),
+            LiveError::Degraded(reason) => {
+                write!(f, "engine degraded (reads still served): {reason}")
+            }
             LiveError::Poisoned(what) => write!(f, "{what} lock poisoned"),
         }
     }
@@ -137,8 +207,60 @@ impl std::error::Error for LiveError {
         match self {
             LiveError::Engine(e) => Some(e),
             LiveError::Store(e) => Some(e),
+            LiveError::Degraded(_) => None,
             LiveError::Poisoned(_) => None,
         }
+    }
+}
+
+/// The status of one component in a [`Health`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentHealth {
+    /// Operating normally.
+    Healthy,
+    /// Failed; the carried reason explains what happened.
+    Degraded {
+        /// What went wrong, rendered.
+        reason: String,
+    },
+}
+
+impl ComponentHealth {
+    /// Whether this component is [`ComponentHealth::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, ComponentHealth::Healthy)
+    }
+}
+
+/// One coherent health report over a [`LiveEngine`] — writer, background
+/// compactor, and store status in a single call (see
+/// [`LiveEngine::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// The currently served (published) epoch.
+    pub epoch: u64,
+    /// Whether the engine has a durability attachment at all. In-memory
+    /// engines report `false` and every component healthy.
+    pub durable: bool,
+    /// The write path: `Degraded` means [`LiveEngine::apply`] and
+    /// [`LiveEngine::apply_all`] currently refuse with
+    /// [`LiveError::Degraded`]; reads are unaffected.
+    pub writer: ComponentHealth,
+    /// The background snapshot compactor: `Degraded` carries the parked
+    /// failure of the most recent background (or synchronous
+    /// [`LiveEngine::persist_snapshot`]) snapshot write. The WAL keeps
+    /// every delta regardless, so this costs rebuild speed, not data.
+    pub compactor: ComponentHealth,
+    /// The underlying store medium: `Degraded` when the WAL itself is
+    /// unusable or a recovery probe found the disk inconsistent with the
+    /// served epoch — the strongest of the three signals.
+    pub store: ComponentHealth,
+}
+
+impl Health {
+    /// Whether every component is healthy.
+    pub fn is_healthy(&self) -> bool {
+        self.writer.is_healthy() && self.compactor.is_healthy() && self.store.is_healthy()
     }
 }
 
@@ -157,6 +279,30 @@ impl From<StoreError> for LiveError {
 /// Deltas between background snapshots, by default.
 const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
 
+/// `StoreError` is deliberately not `Clone` (it wraps `io::Error`); when a
+/// failure must be both returned to the caller and parked in a health
+/// slot, duplicate it preserving variant and message.
+fn duplicate_store_error(e: &StoreError) -> StoreError {
+    match e {
+        StoreError::Io(io) => StoreError::Io(std::io::Error::new(io.kind(), io.to_string())),
+        StoreError::Corrupt { context } => StoreError::Corrupt {
+            context: context.clone(),
+        },
+        StoreError::UnsupportedVersion { found } => {
+            StoreError::UnsupportedVersion { found: *found }
+        }
+        StoreError::NoSnapshot => StoreError::NoSnapshot,
+        StoreError::AlreadyExists { path } => StoreError::AlreadyExists { path: path.clone() },
+        StoreError::Poisoned => StoreError::Poisoned,
+        StoreError::WalUnusable { context } => StoreError::WalUnusable {
+            context: context.clone(),
+        },
+        other => StoreError::Corrupt {
+            context: other.to_string(),
+        },
+    }
+}
+
 /// The durability attachment of a [`LiveEngine`]: the store directory, the
 /// background-compaction cadence, and the running compactor (if any).
 struct Durability {
@@ -168,6 +314,10 @@ struct Durability {
     /// [`LiveEngine::take_compaction_error`] or logged on drop. `Arc`d so
     /// the compactor thread can write it without borrowing the engine.
     last_compaction_error: Arc<Mutex<Option<StoreError>>>,
+    /// `Some` while the write path is refusing deltas after a permanent
+    /// durability failure; cleared by a successful
+    /// [`LiveEngine::try_recover`]. Only mutated under the writer lock.
+    degraded: Mutex<Option<DegradedReason>>,
 }
 
 impl Durability {
@@ -178,7 +328,32 @@ impl Durability {
             deltas_since_snapshot: AtomicU64::new(replayed),
             compactor: Mutex::new(None),
             last_compaction_error: Arc::new(Mutex::new(None)),
+            degraded: Mutex::new(None),
         }
+    }
+
+    /// The degraded reason, if any (poison-tolerant peek).
+    fn degraded_reason(&self) -> Option<DegradedReason> {
+        self.degraded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Classifies a failed append and parks the reason so later writes are
+    /// refused without touching the disk. Returns the error to hand the
+    /// caller.
+    fn enter_degraded(&self, e: StoreError) -> LiveError {
+        let reason = match &e {
+            StoreError::WalUnusable { context } => DegradedReason::WalUnusable {
+                error: context.clone(),
+            },
+            other => DegradedReason::WalAppend {
+                error: other.to_string(),
+            },
+        };
+        *self.degraded.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.clone());
+        LiveError::Degraded(reason)
     }
 }
 
@@ -288,7 +463,19 @@ impl LiveEngine {
     /// Fails with [`StoreError::AlreadyExists`] if `dir` already holds a
     /// store — use [`LiveEngine::open`] to resume one.
     pub fn new_durable(engine: ConsensusEngine, dir: &Path) -> Result<Self, LiveError> {
-        let store = Store::create(dir)?;
+        LiveEngine::new_durable_with(engine, dir, StoreOptions::default())
+    }
+
+    /// [`LiveEngine::new_durable`] with an explicit store configuration
+    /// (filesystem implementation and retry schedule) — how the fault-
+    /// injection suites run a live engine over a
+    /// [`FaultVfs`](cpdb_store::FaultVfs).
+    pub fn new_durable_with(
+        engine: ConsensusEngine,
+        dir: &Path,
+        options: StoreOptions,
+    ) -> Result<Self, LiveError> {
+        let store = Store::create_with(dir, options)?;
         store.write_snapshot(0, &engine.export())?;
         Ok(LiveEngine {
             current: ArcCell::new(Arc::new(Epoch { epoch: 0, engine })),
@@ -302,7 +489,12 @@ impl LiveEngine {
     /// (truncating a torn tail record), and serves the exact pre-crash
     /// epoch. Answers are bit-identical to the engine that wrote the store.
     pub fn open(dir: &Path) -> Result<Self, LiveError> {
-        let (store, recovered) = Store::open(dir)?;
+        LiveEngine::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`LiveEngine::open`] with an explicit store configuration.
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<Self, LiveError> {
+        let (store, recovered) = Store::open_with(dir, options)?;
         let (snap_epoch, export) = recovered.snapshot.ok_or(StoreError::NoSnapshot)?;
         let mut engine = ConsensusEngine::from_export(&export)?;
         let mut epoch = snap_epoch;
@@ -328,13 +520,25 @@ impl LiveEngine {
     /// Synchronously snapshots the current epoch to the store, compacting
     /// the WAL. Returns the epoch persisted, or `None` for an in-memory
     /// engine.
+    ///
+    /// A failure is returned *and* parked in the compactor-health slot
+    /// (visible via [`health`](Self::health) /
+    /// [`take_compaction_error`](Self::take_compaction_error)); the write
+    /// path is unaffected — the WAL still holds every delta.
     pub fn persist_snapshot(&self) -> Result<Option<u64>, LiveError> {
         let Some(d) = &self.durability else {
             return Ok(None);
         };
         let current = self.current_arc();
-        d.store
-            .write_snapshot(current.epoch, &current.engine.export())?;
+        if let Err(e) = d
+            .store
+            .write_snapshot(current.epoch, &current.engine.export())
+        {
+            *d.last_compaction_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(duplicate_store_error(&e));
+            return Err(LiveError::Store(e));
+        }
         d.deltas_since_snapshot.store(0, Ordering::Relaxed);
         Ok(Some(current.epoch))
     }
@@ -366,11 +570,24 @@ impl LiveEngine {
             .writer
             .lock()
             .map_err(|_| LiveError::Poisoned("live writer"))?;
+        if let Some(d) = &self.durability {
+            // A degraded engine refuses writes outright (reads are
+            // unaffected) — no disk is touched until try_recover succeeds.
+            if let Some(reason) = d.degraded_reason() {
+                return Err(LiveError::Degraded(reason));
+            }
+        }
         let current = self.current_arc();
         let (engine, report) = current.engine.apply_delta(delta)?;
         let epoch = current.epoch + 1;
         if let Some(d) = &self.durability {
-            d.store.append(epoch, delta)?;
+            if let Err(e) = d.store.append(epoch, delta) {
+                // The store layer already retried what was transient: this
+                // failure is permanent. The append was rolled back (or the
+                // WAL marked unusable), so the published epoch still equals
+                // the durable one — park the reason and refuse writes.
+                return Err(d.enter_degraded(e));
+            }
         }
         let next = Arc::new(Epoch { epoch, engine });
         self.current.store(next.clone());
@@ -393,6 +610,11 @@ impl LiveEngine {
             .writer
             .lock()
             .map_err(|_| LiveError::Poisoned("live writer"))?;
+        if let Some(d) = &self.durability {
+            if let Some(reason) = d.degraded_reason() {
+                return Err(LiveError::Degraded(reason));
+            }
+        }
         let base = self.current_arc();
 
         let mut staged: Vec<(ConsensusEngine, DeltaReport)> = Vec::with_capacity(deltas.len());
@@ -404,12 +626,17 @@ impl LiveEngine {
             return Ok(Vec::new());
         }
         if let Some(d) = &self.durability {
-            d.store.append_all(
+            let appended = d.store.append_all(
                 deltas
                     .iter()
                     .enumerate()
                     .map(|(i, delta)| (base.epoch + 1 + i as u64, delta)),
-            )?;
+            );
+            if let Err(e) = appended {
+                // Group commit: either the whole batch became durable or
+                // none of it did — no epoch advances, writes are refused.
+                return Err(d.enter_degraded(e));
+            }
         }
 
         let count = staged.len();
@@ -514,6 +741,138 @@ impl LiveEngine {
         if let Some(handle) = handle {
             let _ = handle.join();
         }
+    }
+
+    /// One coherent health report: the served epoch plus writer, background
+    /// compactor, and store status (see [`Health`]). Non-consuming — the
+    /// parked compaction error, if any, stays collectable via
+    /// [`take_compaction_error`](Self::take_compaction_error).
+    ///
+    /// The state machine: a durable engine is `Healthy` until a permanent
+    /// durability failure degrades the writer (reads keep serving the last
+    /// published epoch), and returns to `Healthy` when
+    /// [`try_recover`](Self::try_recover) verifies the disk again matches
+    /// the served epoch.
+    pub fn health(&self) -> Health {
+        let epoch = self.epoch();
+        let Some(d) = &self.durability else {
+            return Health {
+                epoch,
+                durable: false,
+                writer: ComponentHealth::Healthy,
+                compactor: ComponentHealth::Healthy,
+                store: ComponentHealth::Healthy,
+            };
+        };
+        let degraded = d.degraded_reason();
+        let writer = match &degraded {
+            Some(reason) => ComponentHealth::Degraded {
+                reason: reason.to_string(),
+            },
+            None => ComponentHealth::Healthy,
+        };
+        // The store medium itself is implicated only when the WAL cannot
+        // even roll back or a recovery probe contradicted the served epoch;
+        // a plain failed append leaves the on-disk state consistent.
+        let store = match &degraded {
+            Some(
+                reason @ (DegradedReason::WalUnusable { .. }
+                | DegradedReason::RecoveryFailed { .. }),
+            ) => ComponentHealth::Degraded {
+                reason: reason.to_string(),
+            },
+            _ => ComponentHealth::Healthy,
+        };
+        let compactor = match self.last_compaction_error() {
+            Some(reason) => ComponentHealth::Degraded { reason },
+            None => ComponentHealth::Healthy,
+        };
+        Health {
+            epoch,
+            durable: true,
+            writer,
+            compactor,
+            store,
+        }
+    }
+
+    /// Attempts to leave degraded mode: re-runs store recovery in place
+    /// (reopening the WAL, truncating any torn tail) and verifies that what
+    /// the disk reconstructs is exactly the epoch readers are being served.
+    /// On success the writer resumes accepting deltas and the returned
+    /// [`Health`] reflects it.
+    ///
+    /// The verification leans on the WAL-before-publish invariant: an epoch
+    /// is only ever published after its record's fsync was acknowledged, so
+    /// at the moment of degradation `durable epoch == published epoch`. One
+    /// ambiguity is resolved here: a failed append whose frame nonetheless
+    /// reached the log (the fsync — or the rollback after it — failed)
+    /// leaves a valid-looking suffix the writer never acknowledged; the
+    /// publish pointer is the commit point, so recovery discards that
+    /// suffix like a torn frame. Any *other* disagreement means something
+    /// else happened to the directory and resuming writes would fork
+    /// history, so the engine stays degraded with
+    /// [`DegradedReason::RecoveryFailed`].
+    ///
+    /// Calling this on a healthy (or in-memory) engine is a no-op returning
+    /// the current health.
+    pub fn try_recover(&self) -> Result<Health, LiveError> {
+        let _writer = self
+            .writer
+            .lock()
+            .map_err(|_| LiveError::Poisoned("live writer"))?;
+        let Some(d) = &self.durability else {
+            return Ok(self.health());
+        };
+        if d.degraded_reason().is_none() {
+            return Ok(self.health());
+        }
+        let recovered = match d.store.reprobe() {
+            Ok(recovered) => recovered,
+            Err(e) => {
+                let reason = DegradedReason::RecoveryFailed {
+                    error: e.to_string(),
+                };
+                *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.clone());
+                return Err(LiveError::Degraded(reason));
+            }
+        };
+        let served = self.epoch();
+        let mut durable = recovered.epoch();
+        if durable > served {
+            // A failed append whose frame nonetheless reached the log (the
+            // fsync — or the rollback after it — failed) strands a
+            // valid-looking suffix the writer never acknowledged. The
+            // publish pointer is the commit point: cut the log back to it,
+            // exactly like a torn frame, and re-probe.
+            match d
+                .store
+                .discard_after(served)
+                .and_then(|()| d.store.reprobe())
+            {
+                Ok(trimmed) => durable = trimmed.epoch(),
+                Err(e) => {
+                    let reason = DegradedReason::RecoveryFailed {
+                        error: format!("discarding un-acknowledged wal suffix failed: {e}"),
+                    };
+                    *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(reason.clone());
+                    return Err(LiveError::Degraded(reason));
+                }
+            }
+        }
+        if durable != served {
+            let reason = DegradedReason::RecoveryFailed {
+                error: format!(
+                    "store reconstructs epoch {durable} but readers are being \
+                     served epoch {served}"
+                ),
+            };
+            *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.clone());
+            return Err(LiveError::Degraded(reason));
+        }
+        *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        Ok(self.health())
     }
 }
 
@@ -830,6 +1189,152 @@ mod tests {
         assert!(matches!(err, Some(StoreError::Io(_))), "{err:?}");
         assert!(live.take_compaction_error().is_none(), "error not cleared");
         assert_eq!(live.epoch(), 1, "failed compaction must not block serving");
+    }
+
+    fn fault_live(vfs: &cpdb_store::FaultVfs, dir: &std::path::Path) -> LiveEngine {
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        LiveEngine::new_durable_with(
+            engine,
+            dir,
+            StoreOptions {
+                vfs: Arc::new(vfs.clone()),
+                retry: cpdb_store::RetryPolicy::no_delay(3),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn permanent_append_failure_degrades_writes_but_not_reads() {
+        let vfs = cpdb_store::FaultVfs::new();
+        let dir = std::path::PathBuf::from("/mem/live");
+        let live = fault_live(&vfs, &dir);
+        let snap = live.snapshot();
+        let before = snap.run(&topk(2)).unwrap();
+        live.apply(&reweight(&snap, 2, 0.7)).unwrap();
+        assert!(live.health().is_healthy());
+
+        // Disk full on the next append: the writer degrades...
+        vfs.fail_at(vfs.op_count(), std::io::ErrorKind::StorageFull, false);
+        let s = live.snapshot();
+        let err = live.apply(&reweight(&s, 2, 0.75)).unwrap_err();
+        assert!(matches!(
+            err,
+            LiveError::Degraded(DegradedReason::WalAppend { .. })
+        ));
+        // ...readers keep serving the last published epoch...
+        assert_eq!(live.epoch(), 1);
+        let pinned = live.snapshot();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(snap.run(&topk(2)).unwrap(), before);
+        // ...further writes are refused without touching the disk...
+        let ops = vfs.op_count();
+        assert!(matches!(
+            live.apply(&reweight(&s, 2, 0.75)),
+            Err(LiveError::Degraded(_))
+        ));
+        assert!(matches!(
+            live.apply_all(&[reweight(&s, 2, 0.75)]),
+            Err(LiveError::Degraded(_))
+        ));
+        assert_eq!(vfs.op_count(), ops, "degraded writes must not touch disk");
+        // ...and health reports it coherently.
+        let health = live.health();
+        assert!(!health.is_healthy());
+        assert!(!health.writer.is_healthy());
+        assert!(
+            health.store.is_healthy(),
+            "a rolled-back append leaves the medium consistent"
+        );
+
+        // Space freed: recovery re-probes, verifies the epoch, resumes.
+        vfs.clear_faults();
+        let health = live.try_recover().unwrap();
+        assert!(health.is_healthy(), "{health:?}");
+        let s = live.snapshot();
+        let outcome = live.apply(&reweight(&s, 2, 0.75)).unwrap();
+        assert_eq!(outcome.epoch, 2);
+    }
+
+    #[test]
+    fn wal_unusable_failure_reports_store_degraded_and_recovers() {
+        let vfs = cpdb_store::FaultVfs::new();
+        let dir = std::path::PathBuf::from("/mem/live");
+        let live = fault_live(&vfs, &dir);
+        let snap = live.snapshot();
+        live.apply(&reweight(&snap, 2, 0.7)).unwrap();
+
+        // Persistent outage: the append fails AND its rollback fails.
+        vfs.fail_at(vfs.op_count(), std::io::ErrorKind::Other, true);
+        let s = live.snapshot();
+        let err = live.apply(&reweight(&s, 2, 0.75)).unwrap_err();
+        assert!(matches!(
+            err,
+            LiveError::Degraded(DegradedReason::WalUnusable { .. })
+        ));
+        let health = live.health();
+        assert!(!health.writer.is_healthy());
+        assert!(
+            !health.store.is_healthy(),
+            "an unusable wal implicates the store medium: {health:?}"
+        );
+
+        // While the outage persists, recovery itself fails and the engine
+        // stays degraded.
+        assert!(matches!(
+            live.try_recover(),
+            Err(LiveError::Degraded(DegradedReason::RecoveryFailed { .. }))
+        ));
+        assert!(!live.health().is_healthy());
+
+        // Outage over: the reprobe reopens the WAL (truncating any torn
+        // frame) and writes resume at the served epoch.
+        vfs.clear_faults();
+        let health = live.try_recover().unwrap();
+        assert!(health.is_healthy(), "{health:?}");
+        let s = live.snapshot();
+        assert_eq!(live.apply(&reweight(&s, 2, 0.75)).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn health_folds_compaction_errors_in_one_call() {
+        let dir = temp_store_dir("health_compaction");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        let live = LiveEngine::new_durable(engine, &dir).unwrap();
+        assert!(live.health().is_healthy());
+
+        // Make the synchronous snapshot path fail (directory gone): the
+        // compactor component degrades, the writer stays healthy.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(live.persist_snapshot().is_err());
+        let health = live.health();
+        assert!(!health.is_healthy());
+        assert!(health.writer.is_healthy(), "{health:?}");
+        assert!(!health.compactor.is_healthy(), "{health:?}");
+        // health() peeks without consuming: the error is still collectable,
+        // and collecting it returns the compactor to healthy.
+        assert!(!live.health().compactor.is_healthy());
+        assert!(live.take_compaction_error().is_some());
+        assert!(live.health().is_healthy());
+    }
+
+    #[test]
+    fn in_memory_engines_are_always_healthy() {
+        let live = live();
+        let health = live.health();
+        assert!(health.is_healthy());
+        assert!(!health.durable);
+        assert_eq!(health.epoch, 0);
+        // try_recover on a healthy in-memory engine is a no-op.
+        assert!(live.try_recover().unwrap().is_healthy());
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! [`FaultVfs`] — a deterministic, in-memory [`Vfs`] that injects disk
+//! faults and simulates power loss.
+//!
+//! The filesystem model keeps **two byte images per file**: the *current*
+//! contents (what the process sees through the page cache) and the
+//! *durable* contents (what survives a power cut — updated only by
+//! `sync_data`/`sync_all`). Renames and removals are likewise staged: they
+//! take effect immediately in the current namespace but become durable only
+//! when the containing directory is fsynced (`sync_dir`) — until then a
+//! [`crash`](FaultVfs::crash) rolls them back, modelling a torn rename. A
+//! file that was created but never fsynced vanishes entirely at a crash.
+//!
+//! Every [`Vfs`]/[`VfsFile`] call increments a global **operation
+//! counter**; fault schedules are expressed against it, which makes fault
+//! sweeps exhaustive and reproducible: run a workload once fault-free to
+//! learn its operation trace, then re-run it once per operation index with
+//! a fault armed at that index. Supported faults:
+//!
+//! * [`fail_at`](FaultVfs::fail_at) — the operation at (or, persistently,
+//!   at and after) a chosen index fails with a chosen [`io::ErrorKind`]
+//!   (use [`io::ErrorKind::Interrupted`] for a transient fault the store's
+//!   retry layer may absorb, [`io::ErrorKind::StorageFull`] for `ENOSPC`,
+//!   …). Reads, writes, fsyncs, renames, and truncations are all eligible,
+//!   so the same schedule mechanism covers short reads, failed fsyncs, and
+//!   torn renames.
+//! * [`short_write_at`](FaultVfs::short_write_at) — a write persists only a
+//!   prefix of its buffer into the current image, then fails: a torn
+//!   in-page write.
+//! * [`halt_at`](FaultVfs::halt_at) — simulated power loss: every
+//!   operation from a chosen index on fails, until
+//!   [`crash`](FaultVfs::crash) discards unsynced state and the store is
+//!   reopened.
+//!
+//! [`crash`](FaultVfs::crash) is the power-cut boundary: pending (un-synced)
+//! renames/removals are rolled back, every file reverts to its durable
+//! image, never-synced files disappear, all open handles are invalidated,
+//! and the fault schedule is cleared so recovery itself runs fault-free
+//! (unless the test arms new faults).
+
+use crate::vfs::{Vfs, VfsFile};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One file in the in-memory filesystem: the process-visible bytes and the
+/// bytes that survive a power cut.
+#[derive(Debug, Clone, Default)]
+struct FileEntry {
+    current: Vec<u8>,
+    /// `None` until the first fsync: the file's *data* has never been made
+    /// durable, so a crash removes it entirely.
+    durable: Option<Vec<u8>>,
+}
+
+/// A namespace operation staged in the current view but not yet made
+/// durable by a directory fsync; undone (in reverse order) by a crash.
+#[derive(Debug)]
+enum PendingOp {
+    Rename {
+        from: PathBuf,
+        to: PathBuf,
+        /// The durable entry the rename displaced at `to`, if any.
+        displaced: Option<FileEntry>,
+    },
+    Remove {
+        path: PathBuf,
+        entry: FileEntry,
+    },
+}
+
+impl PendingOp {
+    fn dir(&self) -> Option<&Path> {
+        match self {
+            PendingOp::Rename { to, .. } => to.parent(),
+            PendingOp::Remove { path, .. } => path.parent(),
+        }
+    }
+}
+
+/// One armed fault in a schedule.
+#[derive(Debug, Clone)]
+struct Fault {
+    at_op: u64,
+    kind: io::ErrorKind,
+    /// Keep failing every operation from `at_op` on (a persistent outage)
+    /// instead of failing exactly once.
+    persistent: bool,
+    /// For write operations: persist the first half of the buffer before
+    /// failing (a torn in-page write). Other operations just fail.
+    short_write: bool,
+    /// Whether the one-shot form has already fired.
+    fired: bool,
+}
+
+#[derive(Debug, Default)]
+struct FsState {
+    files: BTreeMap<PathBuf, FileEntry>,
+    dirs: Vec<PathBuf>,
+    pending: Vec<PendingOp>,
+    ops: u64,
+    faults: Vec<Fault>,
+    halt_at: Option<u64>,
+    /// Bumped by `crash()`; handles opened before a crash refuse further
+    /// operations, like file descriptors of a machine that lost power.
+    generation: u64,
+}
+
+impl FsState {
+    /// Counts one operation and returns the fault to inject for it, if any.
+    /// `write_len` is `Some(buffer length)` for write operations, enabling
+    /// short writes.
+    fn tick(&mut self, write_len: Option<usize>) -> Result<(), (io::Error, Option<usize>)> {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(halt) = self.halt_at {
+            if op >= halt {
+                return Err((io::Error::other("simulated power loss"), None));
+            }
+        }
+        for fault in &mut self.faults {
+            let fires = if fault.persistent {
+                op >= fault.at_op
+            } else {
+                op == fault.at_op && !fault.fired
+            };
+            if fires {
+                fault.fired = true;
+                let short =
+                    (fault.short_write && write_len.is_some()).then(|| write_len.unwrap_or(0) / 2);
+                return Err((
+                    io::Error::new(fault.kind, format!("injected fault at op {op}")),
+                    short,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_file(&mut self, path: &Path) {
+        if let Some(entry) = self.files.get_mut(path) {
+            entry.durable = Some(entry.current.clone());
+        }
+    }
+}
+
+/// A deterministic in-memory [`Vfs`] with fault injection and simulated
+/// power loss. Cloning shares the underlying filesystem and schedule; pass
+/// `Arc::new(fault_vfs.clone())` wherever an `Arc<dyn Vfs>` is needed while
+/// keeping a handle for arming faults and asserting on state.
+#[derive(Clone, Default)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FsState>>,
+}
+
+impl fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.lock();
+        f.debug_struct("FaultVfs")
+            .field("files", &state.files.keys().collect::<Vec<_>>())
+            .field("ops", &state.ops)
+            .field("faults", &state.faults.len())
+            .field("halt_at", &state.halt_at)
+            .finish()
+    }
+}
+
+impl FaultVfs {
+    /// A fresh, empty in-memory filesystem with no faults armed.
+    pub fn new() -> Self {
+        FaultVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FsState> {
+        // The state is never left torn: every mutation completes before the
+        // guard drops, so a panicking test thread cannot corrupt it.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total [`Vfs`]/[`VfsFile`] operations performed so far. Run a
+    /// workload fault-free first to learn its trace length, then sweep
+    /// faults over every index.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Arms a fault: the operation with index `at_op` fails with `kind`
+    /// (and, if `persistent`, so does every later operation until the
+    /// schedule is cleared). `io::ErrorKind::Interrupted` models a
+    /// transient fault; `io::ErrorKind::StorageFull` models `ENOSPC`.
+    pub fn fail_at(&self, at_op: u64, kind: io::ErrorKind, persistent: bool) {
+        self.lock().faults.push(Fault {
+            at_op,
+            kind,
+            persistent,
+            short_write: false,
+            fired: false,
+        });
+    }
+
+    /// Arms a persistent fault whose first firing, if it lands on a write,
+    /// persists half the buffer before failing — a torn in-page write
+    /// followed by an outage.
+    pub fn short_write_at(&self, at_op: u64, kind: io::ErrorKind) {
+        self.lock().faults.push(Fault {
+            at_op,
+            kind,
+            persistent: true,
+            short_write: true,
+            fired: false,
+        });
+    }
+
+    /// Arms simulated power loss: every operation with index `>= at_op`
+    /// fails until [`crash`](Self::crash) is called.
+    pub fn halt_at(&self, at_op: u64) {
+        self.lock().halt_at = Some(at_op);
+    }
+
+    /// Clears the fault schedule (armed faults and any halt) without
+    /// touching file contents — "the outage ended".
+    pub fn clear_faults(&self) {
+        let mut state = self.lock();
+        state.faults.clear();
+        state.halt_at = None;
+    }
+
+    /// Simulates power loss and restart: rolls back renames/removals never
+    /// made durable by a directory fsync, reverts every file to its durable
+    /// image (dropping files never fsynced), invalidates all open handles,
+    /// and clears the fault schedule so recovery runs fault-free.
+    pub fn crash(&self) {
+        let mut state = self.lock();
+        while let Some(op) = state.pending.pop() {
+            match op {
+                PendingOp::Rename {
+                    from,
+                    to,
+                    displaced,
+                } => {
+                    if let Some(moved) = state.files.remove(&to) {
+                        state.files.insert(from, moved);
+                    }
+                    if let Some(entry) = displaced {
+                        state.files.insert(to, entry);
+                    }
+                }
+                PendingOp::Remove { path, entry } => {
+                    state.files.insert(path, entry);
+                }
+            }
+        }
+        state.files.retain(|_, entry| entry.durable.is_some());
+        for entry in state.files.values_mut() {
+            entry.current = entry.durable.clone().unwrap_or_default();
+        }
+        state.faults.clear();
+        state.halt_at = None;
+        state.generation += 1;
+    }
+
+    /// The current (process-visible) contents of `path`, if present — for
+    /// test assertions.
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().files.get(path).map(|e| e.current.clone())
+    }
+
+    /// The durable (crash-surviving) contents of `path`, if any — for test
+    /// assertions.
+    pub fn durable_contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().files.get(path).and_then(|e| e.durable.clone())
+    }
+}
+
+/// An open handle into a [`FaultVfs`] file.
+struct FaultFile {
+    vfs: FaultVfs,
+    path: PathBuf,
+    generation: u64,
+    cursor: u64,
+}
+
+impl FaultFile {
+    /// Validates the handle against crashes, charges one operation, and
+    /// runs `f` on the file entry. (Write faults, including short writes,
+    /// are handled inline in `write_all`, which needs the buffer.)
+    fn entry_op<T>(
+        &mut self,
+        f: impl FnOnce(&mut FileEntry, &mut u64) -> io::Result<T>,
+    ) -> io::Result<(T, PathBuf)> {
+        let mut state = self.vfs.lock();
+        if state.generation != self.generation {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "handle invalidated by simulated power loss",
+            ));
+        }
+        state.tick(None).map_err(|(e, _)| e)?;
+        let path = self.path.clone();
+        let entry = state.files.entry(path.clone()).or_default();
+        let result = f(entry, &mut self.cursor)?;
+        Ok((result, path))
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        // Short-write handling needs the buffer, so inline the fault check.
+        let mut state = self.vfs.lock();
+        if state.generation != self.generation {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "handle invalidated by simulated power loss",
+            ));
+        }
+        match state.tick(Some(buf.len())) {
+            Ok(()) => {}
+            Err((e, short)) => {
+                if let Some(prefix_len) = short {
+                    let entry = state.files.entry(self.path.clone()).or_default();
+                    let at = self.cursor as usize;
+                    if entry.current.len() < at + prefix_len {
+                        entry.current.resize(at + prefix_len, 0);
+                    }
+                    entry.current[at..at + prefix_len].copy_from_slice(&buf[..prefix_len]);
+                    // The cursor is NOT advanced: the write failed.
+                }
+                return Err(e);
+            }
+        }
+        let entry = state.files.entry(self.path.clone()).or_default();
+        let at = self.cursor as usize;
+        if entry.current.len() < at + buf.len() {
+            entry.current.resize(at + buf.len(), 0);
+        }
+        entry.current[at..at + buf.len()].copy_from_slice(buf);
+        self.cursor += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let (_, path) = self.entry_op(|_, _| Ok(()))?;
+        self.vfs.lock().sync_file(&path);
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let (_, path) = self.entry_op(|_, _| Ok(()))?;
+        self.vfs.lock().sync_file(&path);
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.entry_op(|entry, _| {
+            entry.current.resize(len as usize, 0);
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.entry_op(|entry, cursor| {
+            *cursor = entry.current.len() as u64;
+            Ok(*cursor)
+        })
+        .map(|(len, _)| len)
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.entry_op(|entry, cursor| {
+            *cursor = entry.current.len() as u64;
+            Ok(entry.current.clone())
+        })
+        .map(|(bytes, _)| bytes)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let generation = {
+            let mut state = self.lock();
+            state.tick(None).map_err(|(e, _)| e)?;
+            state.files.entry(path.to_path_buf()).or_default();
+            state.generation
+        };
+        Ok(Box::new(FaultFile {
+            vfs: self.clone(),
+            path: path.to_path_buf(),
+            generation,
+            cursor: 0,
+        }))
+    }
+
+    fn create_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let generation = {
+            let mut state = self.lock();
+            state.tick(None).map_err(|(e, _)| e)?;
+            let entry = state.files.entry(path.to_path_buf()).or_default();
+            entry.current.clear();
+            state.generation
+        };
+        Ok(Box::new(FaultFile {
+            vfs: self.clone(),
+            path: path.to_path_buf(),
+            generation,
+            cursor: 0,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        state
+            .files
+            .get(path)
+            .map(|e| e.current.clone())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file: {}", path.display()),
+                )
+            })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        let Some(entry) = state.files.remove(from) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", from.display()),
+            ));
+        };
+        let displaced = state.files.insert(to.to_path_buf(), entry);
+        // The rename is visible immediately but durable only after the
+        // directory fsync; record what a crash must restore.
+        state.pending.push(PendingOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+            displaced: displaced.filter(|e| e.durable.is_some()),
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        let Some(entry) = state.files.remove(path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            ));
+        };
+        if entry.durable.is_some() {
+            state.pending.push(PendingOp::Remove {
+                path: path.to_path_buf(),
+                entry,
+            });
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        // Directory entries are durable now: drop the pending rollbacks for
+        // this directory.
+        state
+            .pending
+            .retain(|op| op.dir().is_some_and(|d| d != dir));
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        if !state.dirs.iter().any(|d| d == dir) {
+            state.dirs.push(dir.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut state = self.lock();
+        state.tick(None).map_err(|(e, _)| e)?;
+        let mut names = Vec::new();
+        for path in state.files.keys() {
+            if path.parent() == Some(dir) {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence probes don't tick the counter: they map to cheap
+        // metadata lookups and injecting faults into them would only make
+        // schedules harder to read.
+        self.lock().files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(format!("/mem/{s}"))
+    }
+
+    #[test]
+    fn unsynced_writes_vanish_at_a_crash() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b" lost").unwrap();
+        drop(f);
+        assert_eq!(vfs.contents(&p("wal")).unwrap(), b"durable lost");
+        vfs.crash();
+        assert_eq!(vfs.contents(&p("wal")).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn never_synced_files_vanish_entirely() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("tmp")).unwrap();
+        f.write_all(b"staged").unwrap();
+        drop(f);
+        vfs.crash();
+        assert!(vfs.contents(&p("tmp")).is_none());
+    }
+
+    #[test]
+    fn unsynced_renames_roll_back_at_a_crash() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create_truncated(&p("file.tmp")).unwrap();
+        f.write_all(b"new").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        vfs.rename(&p("file.tmp"), &p("file")).unwrap();
+        assert_eq!(vfs.contents(&p("file")).unwrap(), b"new");
+        // No sync_dir: the rename is torn away by the crash.
+        vfs.crash();
+        assert!(vfs.contents(&p("file")).is_none());
+        assert_eq!(vfs.contents(&p("file.tmp")).unwrap(), b"new");
+    }
+
+    #[test]
+    fn synced_renames_survive_a_crash_and_restore_nothing() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create_truncated(&p("file.tmp")).unwrap();
+        f.write_all(b"new").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        vfs.rename(&p("file.tmp"), &p("file")).unwrap();
+        vfs.sync_dir(Path::new("/mem")).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.contents(&p("file")).unwrap(), b"new");
+        assert!(vfs.contents(&p("file.tmp")).is_none());
+    }
+
+    #[test]
+    fn rename_over_durable_file_restores_it_when_torn() {
+        let vfs = FaultVfs::new();
+        let mut old = vfs.open_rw(&p("file")).unwrap();
+        old.write_all(b"old").unwrap();
+        old.sync_all().unwrap();
+        drop(old);
+        vfs.sync_dir(Path::new("/mem")).unwrap();
+        let mut new = vfs.create_truncated(&p("file.tmp")).unwrap();
+        new.write_all(b"new").unwrap();
+        new.sync_all().unwrap();
+        drop(new);
+        vfs.rename(&p("file.tmp"), &p("file")).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.contents(&p("file")).unwrap(), b"old");
+    }
+
+    #[test]
+    fn one_shot_faults_fire_once() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap(); // op 0
+        vfs.fail_at(1, io::ErrorKind::Interrupted, false);
+        let err = f.write_all(b"x").unwrap_err(); // op 1: fails
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        f.write_all(b"x").unwrap(); // op 2: fine
+        assert_eq!(vfs.op_count(), 3);
+    }
+
+    #[test]
+    fn persistent_faults_fire_until_cleared() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap();
+        vfs.fail_at(1, io::ErrorKind::StorageFull, true);
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.sync_data().is_err());
+        vfs.clear_faults();
+        f.write_all(b"x").unwrap();
+    }
+
+    #[test]
+    fn short_writes_persist_a_prefix_in_the_current_image_only() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap();
+        f.write_all(b"ok").unwrap();
+        f.sync_data().unwrap();
+        vfs.short_write_at(vfs.op_count(), io::ErrorKind::Other);
+        assert!(f.write_all(b"12345678").is_err());
+        // Half the buffer landed in the current image...
+        assert_eq!(vfs.contents(&p("wal")).unwrap(), b"ok1234");
+        // ...but the durable image is untouched.
+        assert_eq!(vfs.durable_contents(&p("wal")).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn halt_fails_everything_until_crash() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync_data().unwrap();
+        vfs.halt_at(vfs.op_count());
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.sync_data().is_err());
+        assert!(vfs.read(&p("wal")).is_err());
+        vfs.crash();
+        // Power restored: the old handle is dead, the durable image intact.
+        assert_eq!(
+            f.write_all(b"x").unwrap_err().kind(),
+            io::ErrorKind::NotConnected
+        );
+        assert_eq!(vfs.read(&p("wal")).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn set_len_rolls_back_the_current_image() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_rw(&p("wal")).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        f.set_len(4).unwrap();
+        assert_eq!(f.seek_end().unwrap(), 4);
+        assert_eq!(f.read_all().unwrap(), b"0123");
+    }
+
+    #[test]
+    fn read_dir_names_lists_current_namespace() {
+        let vfs = FaultVfs::new();
+        drop(vfs.open_rw(&p("a")).unwrap());
+        drop(vfs.open_rw(&p("b")).unwrap());
+        let mut names = vfs.read_dir_names(Path::new("/mem")).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -60,11 +60,17 @@
 
 mod checksum;
 mod codec;
+pub mod fault;
+mod retry;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
-pub use store::{Recovered, Store};
+pub use fault::FaultVfs;
+pub use retry::RetryPolicy;
+pub use store::{Recovered, Store, StoreOptions};
+pub use vfs::{std_vfs, StdVfs, Vfs, VfsFile};
 pub use wal::Wal;
 
 use std::fmt;
@@ -97,6 +103,14 @@ pub enum StoreError {
     /// The WAL lock was poisoned by a thread that panicked mid-write; the
     /// in-memory WAL state may be stale, so the operation was refused.
     Poisoned,
+    /// A failed append could not be rolled back (the `set_len` undoing a
+    /// torn write itself erred), so the on-disk tail position is unknown.
+    /// The WAL refuses all further appends until it is reopened (which
+    /// re-scans and truncates any torn region).
+    WalUnusable {
+        /// The rollback failure that stranded the log.
+        context: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -112,6 +126,31 @@ impl fmt::Display for StoreError {
                 write!(f, "store already exists at {}", path.display())
             }
             StoreError::Poisoned => write!(f, "wal lock poisoned"),
+            StoreError::WalUnusable { context } => {
+                write!(f, "wal unusable after failed rollback: {context}")
+            }
+        }
+    }
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation may succeed without any
+    /// external intervention.
+    ///
+    /// Only scheduling-flavoured I/O failures qualify (`EINTR`-style
+    /// interruptions, timeouts, would-block). Everything else — `ENOSPC`,
+    /// failed fsyncs, corruption, version mismatches, an unusable WAL — is
+    /// permanent: retrying cannot help, and durability code must degrade
+    /// instead of spinning.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
         }
     }
 }

@@ -1,0 +1,144 @@
+//! Bounded deterministic retry for transient I/O failures.
+//!
+//! The durability hot paths (WAL appends, snapshot writes) wrap their I/O
+//! in [`with_retry`]: failures that [`StoreError::is_transient`] classifies
+//! as retryable (`EINTR`-style interruptions, timeouts, would-block) are
+//! retried up to a bounded number of attempts with deterministic
+//! exponential backoff; everything else — `ENOSPC`, failed fsyncs,
+//! corruption — surfaces immediately so the caller can degrade instead of
+//! spinning against a broken disk.
+
+use crate::StoreError;
+use std::time::Duration;
+
+/// A bounded deterministic retry schedule: attempt `max_attempts` times,
+/// sleeping `base_delay · 2^i` (capped at `max_delay`) between attempts.
+/// No jitter — runs are reproducible, which the fault-sweep tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and zero backoff — used by
+    /// tests and fault sweeps, where sleeping only slows the suite down.
+    pub const fn no_delay(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff to sleep after attempt `i` (0-based) fails.
+    fn delay_after(&self, attempt: u32) -> Duration {
+        let scaled = self
+            .base_delay
+            .checked_mul(1u32 << attempt.min(16))
+            .unwrap_or(self.max_delay);
+        scaled.min(self.max_delay)
+    }
+}
+
+/// Runs `op`, retrying transient failures per `policy`. The first
+/// non-transient error, or the last error once attempts are exhausted, is
+/// returned as-is.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                let delay = policy.delay_after(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    fn transient() -> StoreError {
+        StoreError::Io(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+    }
+
+    fn permanent() -> StoreError {
+        StoreError::Io(io::Error::new(io::ErrorKind::StorageFull, "enospc"))
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let mut calls = 0;
+        let result = with_retry(&RetryPolicy::no_delay(4), || {
+            calls += 1;
+            if calls < 3 {
+                Err(transient())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut calls = 0;
+        let result: Result<(), _> = with_retry(&RetryPolicy::no_delay(4), || {
+            calls += 1;
+            Err(permanent())
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0;
+        let result: Result<(), _> = with_retry(&RetryPolicy::no_delay(3), || {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(matches!(result, Err(e) if e.is_transient()));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(policy.delay_after(0), Duration::from_millis(2));
+        assert_eq!(policy.delay_after(1), Duration::from_millis(4));
+        assert_eq!(policy.delay_after(2), Duration::from_millis(8));
+        assert_eq!(policy.delay_after(3), Duration::from_millis(10));
+        assert_eq!(policy.delay_after(30), Duration::from_millis(10));
+    }
+}

@@ -22,11 +22,11 @@ use crate::codec::{
     decode_triples, encode_cocluster, encode_config, encode_contexts, encode_key_index,
     encode_prefs, encode_tree, encode_triples, ByteReader, ByteWriter,
 };
+use crate::vfs::{std_vfs, Vfs};
 use crate::StoreError;
 use cpdb_engine::EngineExport;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"CPDBSNP1";
 /// Current snapshot format version.
@@ -242,32 +242,45 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, EngineExport), StoreError> 
 /// fsync'd, renamed over `path`, and the parent directory is fsync'd so the
 /// rename itself is durable. Returns the encoded size in bytes.
 pub fn write_snapshot(path: &Path, epoch: u64, export: &EngineExport) -> Result<u64, StoreError> {
+    write_snapshot_with(&std_vfs(), path, epoch, export)
+}
+
+/// [`write_snapshot`] routed through an explicit [`Vfs`] — the form the
+/// store uses, so fault injection covers the staging write, the fsync, the
+/// rename, and the directory fsync.
+pub fn write_snapshot_with(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+    epoch: u64,
+    export: &EngineExport,
+) -> Result<u64, StoreError> {
     let bytes = encode_snapshot(epoch, export);
     let tmp = path.with_extension("tmp");
     {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)?;
+        let mut file = vfs.create_truncated(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
     }
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        // Persist the rename: fsync the directory entry on platforms that
-        // support opening directories (ignore failure elsewhere).
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        // Persist the rename: fsync the directory entry (best-effort on
+        // platforms that cannot open directories).
+        vfs.sync_dir(dir)?;
     }
     Ok(bytes.len() as u64)
 }
 
 /// Reads and validates a snapshot file.
 pub fn read_snapshot(path: &Path) -> Result<(u64, EngineExport), StoreError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    read_snapshot_with(&std_vfs(), path)
+}
+
+/// [`read_snapshot`] routed through an explicit [`Vfs`].
+pub fn read_snapshot_with(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<(u64, EngineExport), StoreError> {
+    let bytes = vfs.read(path)?;
     decode_snapshot(&bytes)
 }
 

@@ -17,14 +17,24 @@
 //! a WAL record fsync'd but never published simply replays, and a snapshot
 //! written but not yet compacted leaves overlapping WAL records that the
 //! suffix filter drops.
+//!
+//! Every file operation routes through the store's [`Vfs`]
+//! ([`StoreOptions::vfs`]), and every durable write is wrapped in the
+//! bounded [`RetryPolicy`] ([`StoreOptions::retry`]): transient I/O
+//! failures (`EINTR`-style) are absorbed invisibly, permanent ones surface
+//! to the caller — who can later call [`Store::reprobe`] to re-run
+//! recovery on the same directory and resume service.
 
-use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::retry::with_retry;
+use crate::snapshot::{read_snapshot_with, write_snapshot_with};
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::Wal;
-use crate::StoreError;
+use crate::{RetryPolicy, StoreError};
 use cpdb_andxor::TreeDelta;
 use cpdb_engine::EngineExport;
 use cpdb_sync::Mutex;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const WAL_FILE: &str = "wal.cpdb";
 const SNAPSHOT_PREFIX: &str = "snapshot-";
@@ -44,12 +54,48 @@ pub struct Recovered {
     pub wal: Vec<(u64, TreeDelta)>,
 }
 
+impl Recovered {
+    /// The epoch this recovery state reconstructs: the last WAL epoch, or
+    /// the snapshot's, or 0 for an empty store.
+    pub fn epoch(&self) -> u64 {
+        self.wal
+            .last()
+            .map(|(e, _)| *e)
+            .or_else(|| self.snapshot.as_ref().map(|(e, _)| *e))
+            .unwrap_or(0)
+    }
+}
+
+/// How a [`Store`] talks to the disk: which [`Vfs`] carries its file
+/// operations and which [`RetryPolicy`] bounds retries of transient
+/// failures. `Default` is production: the real filesystem, four attempts
+/// with millisecond exponential backoff.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// The filesystem implementation (production [`crate::StdVfs`] or a
+    /// test [`crate::FaultVfs`]).
+    pub vfs: Arc<dyn Vfs>,
+    /// Retry schedule for transient I/O failures on durable writes.
+    pub retry: RetryPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            vfs: std_vfs(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
 /// A durable store directory. Appends serialise through an internal mutex;
 /// snapshot writes compact the WAL and prune superseded snapshot files.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
     wal: Mutex<Wal>,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
 }
 
 fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
@@ -59,11 +105,9 @@ fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
 /// Epochs of the snapshot files present in `dir`, descending (newest
 /// first). Files that merely look like snapshots but have unparsable
 /// epochs are ignored.
-fn snapshot_epochs_in(dir: &Path) -> Result<Vec<u64>, StoreError> {
+fn snapshot_epochs_in(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<Vec<u64>, StoreError> {
     let mut epochs = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let name = entry?.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in vfs.read_dir_names(dir)? {
         let Some(stem) = name
             .strip_prefix(SNAPSHOT_PREFIX)
             .and_then(|s| s.strip_suffix(SNAPSHOT_SUFFIX))
@@ -78,27 +122,94 @@ fn snapshot_epochs_in(dir: &Path) -> Result<Vec<u64>, StoreError> {
     Ok(epochs)
 }
 
+/// The shared recovery routine behind [`Store::open`] and
+/// [`Store::reprobe`]: pick the newest valid snapshot, open + replay the
+/// WAL (truncating any torn tail), and filter/validate the epoch suffix.
+fn recover(
+    vfs: &Arc<dyn Vfs>,
+    retry: &RetryPolicy,
+    dir: &Path,
+) -> Result<(Wal, Recovered), StoreError> {
+    let mut snapshot = None;
+    for epoch in snapshot_epochs_in(vfs, dir)? {
+        match with_retry(retry, || {
+            read_snapshot_with(vfs, &snapshot_path(dir, epoch))
+        }) {
+            Ok((stamped, export)) => {
+                if stamped != epoch {
+                    return Err(StoreError::Corrupt {
+                        context: format!(
+                            "snapshot file named for epoch {epoch} is stamped {stamped}"
+                        ),
+                    });
+                }
+                snapshot = Some((epoch, export));
+                break;
+            }
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(_) => continue, // corrupt or unreadable image: fall back
+        }
+    }
+
+    let (wal, records) = with_retry(retry, || Wal::open_with(vfs.clone(), &dir.join(WAL_FILE)))?;
+    let snap_epoch = snapshot.as_ref().map(|(e, _)| *e).unwrap_or(0);
+    let mut suffix = Vec::new();
+    for (epoch, delta) in records {
+        if epoch <= snap_epoch {
+            continue; // compaction hadn't run yet; the snapshot covers it
+        }
+        let expected = snap_epoch + suffix.len() as u64 + 1;
+        if epoch != expected {
+            return Err(StoreError::Corrupt {
+                context: format!(
+                    "wal epoch {epoch} is not contiguous (expected {expected} \
+                     after snapshot epoch {snap_epoch})"
+                ),
+            });
+        }
+        suffix.push((epoch, delta));
+    }
+
+    Ok((
+        wal,
+        Recovered {
+            snapshot,
+            wal: suffix,
+        },
+    ))
+}
+
 impl Store {
-    /// Creates a fresh store in `dir` (creating the directory if needed).
+    /// Creates a fresh store in `dir` (creating the directory if needed) on
+    /// the production filesystem with default retries.
     ///
     /// Fails with [`StoreError::AlreadyExists`] if the directory already
     /// holds store files — a fresh database must not silently shadow a
     /// durable one.
     pub fn create(dir: &Path) -> Result<Store, StoreError> {
-        std::fs::create_dir_all(dir)?;
-        if !snapshot_epochs_in(dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+        Store::create_with(dir, StoreOptions::default())
+    }
+
+    /// [`Store::create`] with an explicit [`Vfs`] and retry schedule.
+    pub fn create_with(dir: &Path, options: StoreOptions) -> Result<Store, StoreError> {
+        let StoreOptions { vfs, retry } = options;
+        vfs.create_dir_all(dir)?;
+        if !snapshot_epochs_in(&vfs, dir)?.is_empty() || vfs.exists(&dir.join(WAL_FILE)) {
             return Err(StoreError::AlreadyExists {
                 path: dir.to_path_buf(),
             });
         }
-        let (wal, _) = Wal::open(&dir.join(WAL_FILE))?;
+        let (wal, _) = with_retry(&retry, || Wal::open_with(vfs.clone(), &dir.join(WAL_FILE)))?;
         Ok(Store {
             dir: dir.to_path_buf(),
             wal: Mutex::new(wal),
+            vfs,
+            retry,
         })
     }
 
-    /// Opens an existing store and runs recovery.
+    /// Opens an existing store on the production filesystem and runs
+    /// recovery.
     ///
     /// Snapshots are tried newest-first; a corrupt one is skipped in favour
     /// of the next. The WAL is replayed (torn tail truncated), filtered to
@@ -106,73 +217,62 @@ impl Store {
     /// contiguity — a gap means the log and snapshots disagree and recovery
     /// refuses rather than serve a wrong epoch.
     pub fn open(dir: &Path) -> Result<(Store, Recovered), StoreError> {
-        let mut snapshot = None;
-        for epoch in snapshot_epochs_in(dir)? {
-            match read_snapshot(&snapshot_path(dir, epoch)) {
-                Ok((stamped, export)) => {
-                    if stamped != epoch {
-                        return Err(StoreError::Corrupt {
-                            context: format!(
-                                "snapshot file named for epoch {epoch} is stamped {stamped}"
-                            ),
-                        });
-                    }
-                    snapshot = Some((epoch, export));
-                    break;
-                }
-                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
-                Err(_) => continue, // corrupt or unreadable image: fall back
-            }
-        }
+        Store::open_with(dir, StoreOptions::default())
+    }
 
-        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
-        let snap_epoch = snapshot.as_ref().map(|(e, _)| *e).unwrap_or(0);
-        let mut suffix = Vec::new();
-        for (epoch, delta) in records {
-            if epoch <= snap_epoch {
-                continue; // compaction hadn't run yet; the snapshot covers it
-            }
-            let expected = snap_epoch + suffix.len() as u64 + 1;
-            if epoch != expected {
-                return Err(StoreError::Corrupt {
-                    context: format!(
-                        "wal epoch {epoch} is not contiguous (expected {expected} \
-                         after snapshot epoch {snap_epoch})"
-                    ),
-                });
-            }
-            suffix.push((epoch, delta));
-        }
-
+    /// [`Store::open`] with an explicit [`Vfs`] and retry schedule.
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<(Store, Recovered), StoreError> {
+        let StoreOptions { vfs, retry } = options;
+        let (wal, recovered) = recover(&vfs, &retry, dir)?;
         Ok((
             Store {
                 dir: dir.to_path_buf(),
                 wal: Mutex::new(wal),
+                vfs,
+                retry,
             },
-            Recovered {
-                snapshot,
-                wal: suffix,
-            },
+            recovered,
         ))
     }
 
-    /// Appends one WAL record; durable once this returns.
-    pub fn append(&self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
-        self.wal
-            .lock()
-            .map_err(|_| StoreError::Poisoned)?
-            .append(epoch, delta)
+    /// Re-runs recovery on the store directory **in place**, replacing the
+    /// WAL handle (and clearing any unusable mark) with a freshly opened,
+    /// torn-tail-truncated one. Returns what the disk actually holds — the
+    /// degraded-mode recovery probe `cpdb_live::LiveEngine::try_recover`
+    /// builds on.
+    pub fn reprobe(&self) -> Result<Recovered, StoreError> {
+        let mut wal_guard = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        let (wal, recovered) = recover(&self.vfs, &self.retry, &self.dir)?;
+        *wal_guard = wal;
+        Ok(recovered)
     }
 
-    /// Appends a batch of WAL records under one fsync (group commit).
+    /// Appends one WAL record; durable once this returns. Transient I/O
+    /// failures are retried per the store's [`RetryPolicy`].
+    pub fn append(&self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
+        let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        with_retry(&self.retry, || wal.append(epoch, delta))
+    }
+
+    /// Appends a batch of WAL records under one fsync (group commit), with
+    /// transient failures retried as a whole batch.
     pub fn append_all<'a>(
         &self,
         records: impl IntoIterator<Item = (u64, &'a TreeDelta)>,
     ) -> Result<(), StoreError> {
-        self.wal
-            .lock()
-            .map_err(|_| StoreError::Poisoned)?
-            .append_all(records)
+        let records: Vec<(u64, &TreeDelta)> = records.into_iter().collect();
+        let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        with_retry(&self.retry, || wal.append_all(records.iter().copied()))
+    }
+
+    /// Cuts the WAL back so no record with epoch `> epoch` remains,
+    /// dropping the un-acknowledged suffix a failed append can strand when
+    /// its frame reached the log but the fsync (or the rollback after it)
+    /// failed. Degraded-mode recovery calls this with the published epoch
+    /// — the commit point — before resuming writes.
+    pub fn discard_after(&self, epoch: u64) -> Result<(), StoreError> {
+        let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        with_retry(&self.retry, || wal.discard_after(epoch))
     }
 
     /// Writes the snapshot for `epoch` atomically, then compacts the WAL
@@ -185,20 +285,22 @@ impl Store {
         // Hold the WAL lock across the whole operation so a concurrent
         // append cannot interleave with the compaction rewrite.
         let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
-        write_snapshot(&snapshot_path(&self.dir, epoch), epoch, export)?;
-        wal.truncate_through(epoch)?;
-        for old in snapshot_epochs_in(&self.dir)?
+        with_retry(&self.retry, || {
+            write_snapshot_with(&self.vfs, &snapshot_path(&self.dir, epoch), epoch, export)
+        })?;
+        with_retry(&self.retry, || wal.truncate_through(epoch))?;
+        for old in snapshot_epochs_in(&self.vfs, &self.dir)?
             .into_iter()
             .skip(SNAPSHOTS_RETAINED)
         {
-            let _ = std::fs::remove_file(snapshot_path(&self.dir, old));
+            let _ = self.vfs.remove_file(&snapshot_path(&self.dir, old));
         }
         Ok(())
     }
 
     /// Epochs of the snapshot files currently on disk, newest first.
     pub fn snapshot_epochs(&self) -> Result<Vec<u64>, StoreError> {
-        snapshot_epochs_in(&self.dir)
+        snapshot_epochs_in(&self.vfs, &self.dir)
     }
 
     /// The store directory.
@@ -215,8 +317,10 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultVfs;
     use cpdb_andxor::{AndXorTreeBuilder, RawDelta};
     use cpdb_engine::ConsensusEngineBuilder;
+    use std::io;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -251,6 +355,13 @@ mod tests {
             leaf: 0,
             value: epoch as f64,
         })
+    }
+
+    fn fault_options(vfs: &FaultVfs) -> StoreOptions {
+        StoreOptions {
+            vfs: Arc::new(vfs.clone()),
+            retry: RetryPolicy::no_delay(3),
+        }
     }
 
     #[test]
@@ -398,5 +509,78 @@ mod tests {
         assert!(recovered.snapshot.is_none());
         assert!(recovered.wal.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_append_faults_are_retried_invisibly() {
+        let vfs = FaultVfs::new();
+        let dir = PathBuf::from("/mem/store");
+        let store = Store::create_with(&dir, fault_options(&vfs)).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        // One transient write failure: the retry layer absorbs it.
+        vfs.fail_at(vfs.op_count(), io::ErrorKind::Interrupted, false);
+        store.append(2, &delta(2)).unwrap();
+        drop(store);
+        let (_store, recovered) = Store::open_with(&dir, fault_options(&vfs)).unwrap();
+        assert_eq!(
+            recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn permanent_append_faults_fail_fast_and_reprobe_restores_service() {
+        let vfs = FaultVfs::new();
+        let dir = PathBuf::from("/mem/store");
+        let store = Store::create_with(&dir, fault_options(&vfs)).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        // ENOSPC on the record write: permanent, no retry (the rollback
+        // truncate itself still succeeds — shrinking needs no space).
+        vfs.fail_at(vfs.op_count(), io::ErrorKind::StorageFull, false);
+        assert!(matches!(
+            store.append(2, &delta(2)),
+            Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::StorageFull
+        ));
+        // Space freed: reprobe reopens the WAL and appends resume.
+        vfs.clear_faults();
+        let recovered = store.reprobe().unwrap();
+        assert_eq!(recovered.epoch(), 1);
+        store.append(2, &delta(2)).unwrap();
+        drop(store);
+        let (_store, recovered) = Store::open_with(&dir, fault_options(&vfs)).unwrap();
+        assert_eq!(
+            recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn power_loss_mid_snapshot_write_leaves_old_state_recoverable() {
+        let vfs = FaultVfs::new();
+        let dir = PathBuf::from("/mem/store");
+        let export = export_for_seed(3);
+        let store = Store::create_with(&dir, fault_options(&vfs)).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        store.append(2, &delta(2)).unwrap();
+        // Power dies somewhere inside write_snapshot (tmp write / fsync /
+        // rename / dir fsync / compaction): whatever the cut point, reopen
+        // must still reconstruct epoch 2.
+        let start = vfs.op_count();
+        store.write_snapshot(2, &export).unwrap();
+        let end = vfs.op_count();
+        drop(store);
+        for cut in start..end {
+            let replay = FaultVfs::new();
+            let opts = fault_options(&replay);
+            let s = Store::create_with(&dir, opts.clone()).unwrap();
+            s.append(1, &delta(1)).unwrap();
+            s.append(2, &delta(2)).unwrap();
+            replay.halt_at(cut);
+            let _ = s.write_snapshot(2, &export);
+            drop(s);
+            replay.crash();
+            let (_s, recovered) = Store::open_with(&dir, opts).unwrap();
+            assert_eq!(recovered.epoch(), 2, "power cut at op {cut}");
+        }
     }
 }

@@ -16,14 +16,23 @@
 //! whose checksum passes but whose payload does not decode is *not* a torn
 //! write (the checksum covered it); that is real corruption and surfaces as
 //! a hard [`StoreError::Corrupt`].
+//!
+//! All file I/O goes through a [`Vfs`], so tests drive every append,
+//! fsync, rollback, and compaction rename through injected disk faults.
+//! If a failed append cannot be rolled back (the `set_len` restoring the
+//! acknowledged prefix itself errors), the on-disk tail position is
+//! unknown; the log then marks itself **unusable** and refuses every
+//! further append with [`StoreError::WalUnusable`] rather than risking a
+//! record landing after a torn region. Reopening the file re-scans and
+//! truncates the tail, restoring a usable log.
 
 use crate::checksum::crc32;
 use crate::codec::{decode_delta, encode_delta, ByteReader, ByteWriter};
+use crate::vfs::{std_vfs, Vfs, VfsFile};
 use crate::StoreError;
 use cpdb_andxor::TreeDelta;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"CPDBWAL1";
 /// Current WAL format version.
@@ -41,16 +50,22 @@ fn header_bytes() -> [u8; HEADER_LEN] {
 /// An open write-ahead log. Appends go straight to disk (`fdatasync` before
 /// returning); replay happens once, in [`Wal::open`].
 pub struct Wal {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Length of the acknowledged prefix. A failed append rolls the file
     /// back to this, so later appends can never land after a torn region.
     len: u64,
+    /// Set when a rollback failed and the on-disk tail position is unknown.
+    unusable: Option<String>,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wal").field("path", &self.path).finish()
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("unusable", &self.unusable)
+            .finish()
     }
 }
 
@@ -99,21 +114,25 @@ fn frame(epoch: u64, delta: &TreeDelta) -> Vec<u8> {
 }
 
 impl Wal {
-    /// Opens (or creates) the log at `path`, replaying every intact record.
+    /// Opens (or creates) the log at `path` on the production filesystem,
+    /// replaying every intact record. See [`Wal::open_with`].
+    pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, TreeDelta)>), StoreError> {
+        Wal::open_with(std_vfs(), path)
+    }
+
+    /// Opens (or creates) the log at `path` through `vfs`, replaying every
+    /// intact record.
     ///
     /// A torn tail — a record whose frame is incomplete or whose checksum
     /// fails — is truncated away so the file ends on the last acknowledged
     /// record. Returns the log handle positioned for appending plus the
     /// replayed `(epoch, delta)` records in append order.
-    pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, TreeDelta)>), StoreError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+    ) -> Result<(Wal, Vec<(u64, TreeDelta)>), StoreError> {
+        let mut file = vfs.open_rw(path)?;
+        let bytes = file.read_all()?;
 
         if bytes.len() < HEADER_LEN {
             // Fresh file, or a crash tore the header itself before any
@@ -124,14 +143,16 @@ impl Wal {
                 });
             }
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
+            file.seek_end()?;
             file.write_all(&header_bytes())?;
             file.sync_all()?;
             return Ok((
                 Wal {
+                    vfs,
                     path: path.to_path_buf(),
                     file,
                     len: HEADER_LEN as u64,
+                    unusable: None,
                 },
                 Vec::new(),
             ));
@@ -151,12 +172,14 @@ impl Wal {
             file.set_len(valid_end as u64)?;
             file.sync_all()?;
         }
-        file.seek(SeekFrom::End(0))?;
+        file.seek_end()?;
         Ok((
             Wal {
+                vfs,
                 path: path.to_path_buf(),
                 file,
                 len: valid_end as u64,
+                unusable: None,
             },
             records,
         ))
@@ -164,15 +187,31 @@ impl Wal {
 
     /// Writes `buf` at the end of the acknowledged prefix and fsyncs. On
     /// failure the file is rolled back to the prefix so a partially-written
-    /// frame cannot poison later appends.
+    /// frame cannot poison later appends; if the rollback itself fails the
+    /// log becomes unusable (see [`StoreError::WalUnusable`]).
     fn append_bytes(&mut self, buf: &[u8]) -> Result<(), StoreError> {
+        if let Some(context) = &self.unusable {
+            return Err(StoreError::WalUnusable {
+                context: context.clone(),
+            });
+        }
         let attempt = self
             .file
             .write_all(buf)
             .and_then(|()| self.file.sync_data());
         if let Err(e) = attempt {
-            let _ = self.file.set_len(self.len);
-            let _ = self.file.seek(SeekFrom::End(0));
+            let rollback = self
+                .file
+                .set_len(self.len)
+                .and_then(|()| self.file.seek_end().map(|_| ()));
+            if let Err(rb) = rollback {
+                // The tail may hold a torn frame we could not cut away:
+                // every further append is refused until a reopen re-scans
+                // and truncates the file.
+                let context = format!("append failed ({e}); rollback failed ({rb})");
+                self.unusable = Some(context.clone());
+                return Err(StoreError::WalUnusable { context });
+            }
             return Err(e.into());
         }
         self.len += buf.len() as u64;
@@ -207,9 +246,12 @@ impl Wal {
     /// the rest in order. Runs as an atomic rewrite (tmp file + rename), so
     /// a crash mid-compaction leaves the old log intact.
     pub fn truncate_through(&mut self, epoch: u64) -> Result<(), StoreError> {
-        self.file.seek(SeekFrom::Start(0))?;
-        let mut bytes = Vec::new();
-        self.file.read_to_end(&mut bytes)?;
+        if let Some(context) = &self.unusable {
+            return Err(StoreError::WalUnusable {
+                context: context.clone(),
+            });
+        }
+        let bytes = self.vfs.read(&self.path)?;
         let (records, _) = scan_records(&bytes)?;
 
         let mut out = Vec::new();
@@ -222,26 +264,62 @@ impl Wal {
 
         let tmp = self.path.with_extension("tmp");
         {
-            let mut f = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp)?;
+            let mut f = self.vfs.create_truncated(&tmp)?;
             f.write_all(&out)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
+        self.vfs.rename(&tmp, &self.path)?;
         if let Some(dir) = self.path.parent() {
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
+            self.vfs.sync_dir(dir)?;
         }
         // The old handle points at the unlinked inode; reopen the new file.
-        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(0))?;
+        let mut file = self.vfs.open_rw(&self.path)?;
+        file.seek_end()?;
         self.file = file;
         self.len = out.len() as u64;
         Ok(())
+    }
+
+    /// Cuts the log back so no record with epoch `> epoch` remains — the
+    /// inverse of [`truncate_through`](Self::truncate_through), used on
+    /// the **tail**. A failed append whose frame nonetheless reached the
+    /// file (the fsync — or the rollback after it — failed) strands a
+    /// valid-looking but never-acknowledged suffix; recovery treats the
+    /// caller's publish pointer as the commit point and discards that
+    /// suffix exactly like a torn frame.
+    pub fn discard_after(&mut self, epoch: u64) -> Result<(), StoreError> {
+        if let Some(context) = &self.unusable {
+            return Err(StoreError::WalUnusable {
+                context: context.clone(),
+            });
+        }
+        let bytes = self.vfs.read(&self.path)?;
+        let (records, _) = scan_records(&bytes)?;
+        let mut end = HEADER_LEN;
+        let mut pos = HEADER_LEN;
+        for (record_epoch, _) in &records {
+            // scan_records validated these frames, so the length fields
+            // are intact and in bounds.
+            let len = crate::codec::le_u32(&bytes[pos..pos + 4]) as usize;
+            pos += RECORD_HEADER_LEN + len;
+            if *record_epoch <= epoch {
+                end = pos;
+            } else {
+                break;
+            }
+        }
+        self.file.set_len(end as u64)?;
+        self.file.sync_all()?;
+        self.file.seek_end()?;
+        self.len = end as u64;
+        Ok(())
+    }
+
+    /// If a failed rollback stranded the log, the failure that did it.
+    /// An unusable log refuses all appends and compactions; reopen the
+    /// file to restore service.
+    pub fn unusable(&self) -> Option<&str> {
+        self.unusable.as_deref()
     }
 
     /// The log's path on disk.
@@ -253,6 +331,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultVfs;
     use cpdb_andxor::RawDelta;
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -330,6 +409,28 @@ mod tests {
             let (_w, replayed) = Wal::open(&path).unwrap();
             assert_eq!(replayed.len(), 3);
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn discard_after_cuts_the_unacknowledged_suffix() {
+        let path = temp_path("discard");
+        let deltas = sample_deltas();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for (i, d) in deltas.iter().enumerate() {
+            wal.append(i as u64 + 1, d).unwrap();
+        }
+        wal.discard_after(1).unwrap();
+        // The log stays appendable at the cut point.
+        wal.append(2, &deltas[1]).unwrap();
+        drop(wal);
+        let (_w, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(replayed[0].1, deltas[0]);
+        assert_eq!(replayed[1].1, deltas[1]);
         cleanup(&path);
     }
 
@@ -414,5 +515,66 @@ mod tests {
             Err(StoreError::UnsupportedVersion { found: 9 })
         ));
         cleanup(&path);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_stays_usable() {
+        let vfs = FaultVfs::new();
+        let path = PathBuf::from("/mem/wal.cpdb");
+        let deltas = sample_deltas();
+        let (mut wal, _) = Wal::open_with(Arc::new(vfs.clone()), &path).unwrap();
+        wal.append(1, &deltas[0]).unwrap();
+        // One-shot write failure: rollback succeeds, the log stays usable.
+        vfs.fail_at(vfs.op_count(), std::io::ErrorKind::Interrupted, false);
+        assert!(matches!(wal.append(2, &deltas[1]), Err(StoreError::Io(_))));
+        assert!(wal.unusable().is_none());
+        wal.append(2, &deltas[1]).unwrap();
+        drop(wal);
+        let (_w, replayed) = Wal::open_with(Arc::new(vfs.clone()), &path).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    /// Regression: a failed append whose rollback (`set_len`) also fails
+    /// used to leave the WAL in an unstated condition — appends continued
+    /// against an unknown tail. It must instead become unusable and refuse
+    /// every further append until reopened.
+    #[test]
+    fn failed_rollback_marks_the_wal_unusable() {
+        let vfs = FaultVfs::new();
+        let path = PathBuf::from("/mem/wal.cpdb");
+        let deltas = sample_deltas();
+        let (mut wal, _) = Wal::open_with(Arc::new(vfs.clone()), &path).unwrap();
+        wal.append(1, &deltas[0]).unwrap();
+        // Persistent outage: the append's write fails AND the rollback's
+        // set_len fails right after it.
+        vfs.fail_at(vfs.op_count(), std::io::ErrorKind::Other, true);
+        assert!(matches!(
+            wal.append(2, &deltas[1]),
+            Err(StoreError::WalUnusable { .. })
+        ));
+        assert!(wal.unusable().is_some());
+        vfs.clear_faults();
+        // The disk is healthy again, but the tail position is unknown:
+        // appends and compactions stay refused with the typed error...
+        let before = vfs.op_count();
+        assert!(matches!(
+            wal.append(2, &deltas[1]),
+            Err(StoreError::WalUnusable { .. })
+        ));
+        assert!(matches!(
+            wal.truncate_through(1),
+            Err(StoreError::WalUnusable { .. })
+        ));
+        // ...without touching the disk at all.
+        assert_eq!(vfs.op_count(), before);
+        drop(wal);
+        // Reopening re-scans, truncates the torn region, and restores
+        // service with only the acknowledged record.
+        let (mut wal, replayed) = Wal::open_with(Arc::new(vfs.clone()), &path).unwrap();
+        assert_eq!(replayed.iter().map(|(e, _)| *e).collect::<Vec<_>>(), [1]);
+        wal.append(2, &deltas[1]).unwrap();
     }
 }

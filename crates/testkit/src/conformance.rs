@@ -856,7 +856,7 @@ pub fn check_engine_concurrency(tree: &AndXorTree, groupby: &GroupByInstance, se
 
 /// The probe batch for the live-update checks: every query family the
 /// engine can serve without a group-by instance, at the given `k`s.
-fn live_probe(ks: &[usize]) -> Vec<Query> {
+pub(crate) fn live_probe(ks: &[usize]) -> Vec<Query> {
     let mut probe = Vec::new();
     for &k in ks {
         for metric in [
@@ -938,7 +938,7 @@ fn random_probability_delta<R: rand::Rng + ?Sized>(
 
 /// A valid random delta of the kind selected by `step` (falling back to a
 /// probability update when the tree offers no target of that kind).
-fn random_live_delta<R: rand::Rng + ?Sized>(
+pub(crate) fn random_live_delta<R: rand::Rng + ?Sized>(
     tree: &AndXorTree,
     step: usize,
     rng: &mut R,

@@ -1,0 +1,40 @@
+//! The chaos suite: seeded single-fault schedules swept over every I/O
+//! call site of a durable live engine (see [`cpdb_testkit::chaos`]).
+//!
+//! Each schedule replays an identical recorded workload with one fault
+//! armed — a transient `EINTR`, a persistent `ENOSPC`, a torn write, or a
+//! power cut — at one operation index, and asserts that no corrupt answer
+//! is ever served, refused writes touch no disk, recovery resumes exactly
+//! where the engine left off, and the completed run is bit-identical to
+//! the never-faulted reference.
+//!
+//! By default the sweep is strided so tier-1 `cargo test` stays fast; the
+//! CI chaos job sets `CPDB_CHAOS_FULL=1` to run every operation index of
+//! all 16 conformance seeds exhaustively.
+
+use cpdb_testkit::chaos::check_fault_sweep;
+use cpdb_testkit::fixtures;
+
+fn full_sweep() -> bool {
+    std::env::var("CPDB_CHAOS_FULL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn fault_sweep_over_conformance_seeds() {
+    let (seeds, stride) = if full_sweep() { (0..16, 1) } else { (0..2, 3) };
+    let mut total_checks = 0;
+    for seed in seeds {
+        let mut checks = 0;
+        checks += check_fault_sweep(&fixtures::small_bid_tree(seed), seed, stride);
+        checks += check_fault_sweep(&fixtures::small_tuple_independent_tree(seed), seed, stride);
+        assert!(
+            checks >= 100,
+            "seed {seed} performed only {checks} chaos checks — a sweep degenerated"
+        );
+        total_checks += checks;
+    }
+    assert!(
+        total_checks >= 200,
+        "chaos sweep shrank to {total_checks} total checks"
+    );
+}

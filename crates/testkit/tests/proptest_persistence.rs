@@ -7,8 +7,18 @@
 //! epoch whose answers are bit-identical to the engine that wrote the store
 //! and to a from-scratch engine on the same tree, via
 //! [`cpdb_testkit::conformance::check_crash_recovery`].
+//!
+//! A second property extends the sweep to **random fault schedules**: the
+//! same random trees × random delta sequences, but with a randomly drawn
+//! single-fault schedule (operation index × fault mode — transient,
+//! persistent `ENOSPC`, torn write, or power cut) injected through the
+//! store's [`cpdb_store::FaultVfs`], via
+//! [`cpdb_testkit::chaos::check_fault_recovery`]: degraded engines must
+//! keep serving the pre-fault epoch and recovery must land bit-identical
+//! to the never-faulted reference run.
 
 use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_testkit::chaos::check_fault_recovery;
 use cpdb_testkit::conformance::check_crash_recovery;
 use proptest::prelude::*;
 
@@ -59,5 +69,19 @@ proptest! {
     fn crash_recovery_conforms_on_random_trees(tree in random_tree(), seed in 0u64..1024) {
         let checks = check_crash_recovery(&tree, seed);
         prop_assert!(checks > 2, "crash sweep performed no cut assertions");
+    }
+
+    /// A randomly drawn single-fault schedule (operation index × mode) on
+    /// a random tree and delta sequence: the engine degrades cleanly,
+    /// keeps serving the pre-fault epoch, and recovers bit-identical to
+    /// the never-faulted reference run.
+    #[test]
+    fn fault_recovery_conforms_on_random_trees(
+        tree in random_tree(),
+        seed in 0u64..1024,
+        schedule in 0u64..4096,
+    ) {
+        let checks = check_fault_recovery(&tree, seed, schedule);
+        prop_assert!(checks > 3, "fault schedule performed no assertions");
     }
 }

@@ -18,6 +18,10 @@
 //!   epoch-stamped [`LiveEngine`](live::LiveEngine) applies
 //!   [`TreeDelta`](live::TreeDelta)s with delta-aware artifact maintenance
 //!   while readers keep answering from their pinned epoch;
+//! * [`store`] — the durability layer behind [`live`]: write-ahead log and
+//!   checksummed snapshots routed through a pluggable [`Vfs`](store::Vfs),
+//!   with deterministic fault injection ([`FaultVfs`](store::FaultVfs)) and
+//!   bounded retries ([`RetryPolicy`](store::RetryPolicy));
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
 //! * [`andxor`] — the probabilistic and/xor tree (including the single-sweep
@@ -79,6 +83,7 @@ pub use cpdb_live as live;
 pub use cpdb_model as model;
 pub use cpdb_parallel as parallel;
 pub use cpdb_rankagg as rankagg;
+pub use cpdb_store as store;
 pub use cpdb_workloads as workloads;
 
 /// The most commonly used types and functions, re-exported for convenience.
