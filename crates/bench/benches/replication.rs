@@ -1,0 +1,110 @@
+//! Replication micro-benchmarks: the one-shot segment ship and the cold
+//! follower catch-up (anchor bootstrap + segment replay), per shipped-WAL
+//! length. The JSON emitter `src/bin/replication.rs` measures the same
+//! pipeline end-to-end with divergence gates; this harness tracks the two
+//! hot stages under criterion's statistics.
+
+use cpdb_bench::update_throughput::{live_engine, live_tree};
+use cpdb_live::{LiveEngine, TreeDelta};
+use cpdb_replica::{Follower, Primary, Transport};
+use cpdb_store::{std_vfs, StoreOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "cpdb_bench_replication_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn leaf_deltas(tree: &cpdb_andxor::AndXorTree, count: usize) -> Vec<TreeDelta> {
+    let leaves = tree.leaf_nodes();
+    (0..count)
+        .map(|i| TreeDelta::LeafValue {
+            leaf: leaves[i % leaves.len()],
+            value: 40.0 + (i % 53) as f64,
+        })
+        .collect()
+}
+
+/// A primary with `records` unshipped WAL records and an anchored outbox.
+fn loaded_primary(n: usize, records: usize) -> (Primary, PathBuf, PathBuf) {
+    let store_dir = temp_dir("pstore");
+    let outbox = temp_dir("outbox");
+    let live = LiveEngine::new_durable(live_engine(live_tree(n, 7), 7), &store_dir)
+        .expect("fresh store directory is creatable");
+    live.set_snapshot_every(u64::MAX);
+    let primary = Primary::attach(live, std_vfs(), &outbox).expect("fresh outbox is claimable");
+    primary.ship().expect("anchor ship succeeds");
+    for delta in leaf_deltas(primary.snapshot().tree(), records) {
+        primary.apply(&delta).expect("leaf updates are valid");
+    }
+    (primary, store_dir, outbox)
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    const N: usize = 40;
+    for &records in &[8usize, 64] {
+        // One replication batch on a long-lived primary: apply `records`
+        // deltas, cut one segment (WAL filter + CRC framing + atomic
+        // write + manifest commit), then rotate the anchor so the chain
+        // and outbox stay bounded across iterations.
+        let (primary, store_dir, outbox) = loaded_primary(N, 0);
+        // Periodic snapshots let compaction drop rotated-past WAL records,
+        // keeping the scanned WAL bounded across iterations.
+        primary.live().set_snapshot_every(records.max(1) as u64 * 4);
+        let deltas = leaf_deltas(primary.snapshot().tree(), records);
+        group.bench_with_input(BenchmarkId::new("ship", records), &deltas, |b, deltas| {
+            b.iter(|| {
+                for delta in deltas {
+                    primary.apply(delta).expect("leaf updates are valid");
+                }
+                black_box(primary.ship().expect("segment ship succeeds"));
+                primary.rotate_anchor().expect("anchor rotation succeeds");
+            })
+        });
+        drop(primary);
+        std::fs::remove_dir_all(&store_dir).ok();
+        std::fs::remove_dir_all(&outbox).ok();
+
+        // The cold catch-up: anchor bootstrap + verified segment replay.
+        let (primary, store_dir, outbox) = loaded_primary(N, records);
+        primary.ship().expect("segment ship succeeds");
+        let target = primary.epoch();
+        group.bench_with_input(
+            BenchmarkId::new("catch_up", records),
+            &outbox,
+            |b, outbox| {
+                b.iter(|| {
+                    let inbox = temp_dir("inbox");
+                    let fstore = temp_dir("fstore");
+                    let transport = Transport::new(std_vfs(), outbox, std_vfs(), &inbox)
+                        .expect("inbox directory is creatable");
+                    let mut follower = Follower::open(transport, &fstore, StoreOptions::default())
+                        .expect("follower bootstraps");
+                    follower.sync().expect("catch-up sync succeeds");
+                    assert_eq!(follower.applied_epoch(), target);
+                    drop(follower);
+                    std::fs::remove_dir_all(&inbox).ok();
+                    std::fs::remove_dir_all(&fstore).ok();
+                })
+            },
+        );
+        drop(primary);
+        std::fs::remove_dir_all(&store_dir).ok();
+        std::fs::remove_dir_all(&outbox).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ pub mod fault_recovery;
 pub mod persistence;
 pub mod query_throughput;
 pub mod rank_artifacts;
+pub mod replication;
 pub mod table;
 pub mod update_throughput;
 

@@ -1,0 +1,226 @@
+//! Replication workload behind the `replication` JSON emitter binary.
+//!
+//! Three questions the read-replica layer must answer with numbers:
+//!
+//! * **How fast does a fresh follower catch up, as a function of shipped
+//!   WAL length?** Per segment length the workload ships one anchor plus
+//!   one segment of that many records, then times a cold
+//!   [`Follower`] bootstrap-and-replay
+//!   (`open` + `sync`, best of `reps`). Every measurement asserts the
+//!   caught-up follower passes the full divergence check against the
+//!   primary — digest and probe answers bit-identical.
+//!
+//! * **What is the ship throughput?** The one-shot segment cut
+//!   ([`Primary::ship`]: WAL filter, CRC
+//!   framing, atomic write, manifest commit) is timed and divided by the
+//!   shipped segment bytes.
+//!
+//! * **How stale does a steady-state replica run?** With the primary
+//!   applying and shipping every delta and the follower syncing every
+//!   `sync_every` deltas, the epoch lag is sampled before every sync;
+//!   the mean and maximum quantify the staleness a read replica serves at
+//!   a given sync cadence.
+
+use cpdb_engine::{Query, TopKMetric, Variant};
+use cpdb_live::{LiveEngine, TreeDelta};
+use cpdb_replica::{check_divergence, Follower, Primary, Transport};
+use cpdb_store::{std_vfs, StoreOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Catch-up and ship-throughput numbers at one shipped-segment length.
+pub struct CatchUpResult {
+    /// Records in the shipped segment.
+    pub shipped_records: usize,
+    /// Total shipped bytes (anchor + segment + manifest).
+    pub shipped_bytes: u64,
+    /// Milliseconds for the one-shot segment cut and manifest commit.
+    pub ship_ms: f64,
+    /// Ship throughput in MB/s (`shipped_bytes / ship_ms`).
+    pub ship_mb_per_s: f64,
+    /// Milliseconds for a cold follower to bootstrap from the anchor and
+    /// replay the segment (`Follower::open` + `sync`, best of `reps`).
+    pub catch_up_ms: f64,
+}
+
+/// Steady-state staleness at one sync cadence.
+pub struct StalenessResult {
+    /// Deltas between follower syncs.
+    pub sync_every: usize,
+    /// Mean epoch lag sampled before every sync.
+    pub mean_lag: f64,
+    /// Maximum epoch lag observed.
+    pub max_lag: u64,
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "cpdb_replication_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The conformance probe asserted on every measured catch-up.
+fn probe() -> Vec<Query> {
+    [1usize, 2]
+        .into_iter()
+        .map(|k| Query::TopK {
+            k,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        })
+        .collect()
+}
+
+/// A WAL-growing delta sequence: leaf-value updates cycling over the
+/// tree's leaves.
+fn leaf_deltas(tree: &cpdb_andxor::AndXorTree, count: usize) -> Vec<TreeDelta> {
+    let leaves = tree.leaf_nodes();
+    (0..count)
+        .map(|i| TreeDelta::LeafValue {
+            leaf: leaves[i % leaves.len()],
+            value: 40.0 + (i % 53) as f64,
+        })
+        .collect()
+}
+
+/// A primary over `n` blocks with its store and outbox on fresh on-disk
+/// temp directories, anchor already shipped. Returns the primary and the
+/// two directories (store, outbox).
+fn on_disk_primary(n: usize, seed: u64) -> (Primary, PathBuf, PathBuf) {
+    let store_dir = temp_dir("pstore");
+    let outbox = temp_dir("outbox");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&outbox);
+    let live = LiveEngine::new_durable(
+        crate::update_throughput::live_engine(crate::update_throughput::live_tree(n, seed), seed),
+        &store_dir,
+    )
+    .expect("fresh store directory is creatable");
+    live.set_snapshot_every(u64::MAX); // hold compaction off: pure WAL shipping
+    let primary = Primary::attach(live, std_vfs(), &outbox).expect("fresh outbox is claimable");
+    primary.ship().expect("anchor ship succeeds");
+    (primary, store_dir, outbox)
+}
+
+/// Total size of the shipped files in `outbox`.
+fn shipped_bytes(outbox: &std::path::Path) -> u64 {
+    std::fs::read_dir(outbox)
+        .expect("outbox is readable")
+        .map(|e| e.expect("outbox entry is readable"))
+        .map(|e| e.metadata().expect("outbox entry has metadata").len())
+        .sum()
+}
+
+/// A cold follower catch-up over fresh inbox and local-store directories;
+/// returns the elapsed milliseconds and asserts full divergence parity
+/// with `primary`.
+fn cold_catch_up(primary: &Primary, outbox: &std::path::Path, probe: &[Query]) -> f64 {
+    let inbox = temp_dir("inbox");
+    let fstore = temp_dir("fstore");
+    let start = Instant::now();
+    let transport =
+        Transport::new(std_vfs(), outbox, std_vfs(), &inbox).expect("inbox directory is creatable");
+    let mut follower = Follower::open(transport, &fstore, StoreOptions::default())
+        .expect("follower bootstraps from the shipped anchor");
+    follower.sync().expect("catch-up sync succeeds");
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        follower.applied_epoch(),
+        primary.epoch(),
+        "catch-up stopped short of the primary"
+    );
+    check_divergence(&primary.snapshot(), &follower.snapshot(), probe)
+        .expect("caught-up follower diverged from the primary");
+    drop(follower);
+    let _ = std::fs::remove_dir_all(&inbox);
+    let _ = std::fs::remove_dir_all(&fstore);
+    elapsed
+}
+
+/// Measures ship throughput and cold-follower catch-up latency at each
+/// shipped-segment length in `lens` for an `n`-block fleet.
+pub fn measure_catch_up(n: usize, seed: u64, reps: usize, lens: &[usize]) -> Vec<CatchUpResult> {
+    let probe = probe();
+    lens.iter()
+        .map(|&records| {
+            let (primary, store_dir, outbox) = on_disk_primary(n, seed);
+            let deltas = leaf_deltas(primary.snapshot().tree(), records);
+            for delta in &deltas {
+                primary.apply(delta).expect("leaf updates are valid");
+            }
+            let before = shipped_bytes(&outbox);
+            let start = Instant::now();
+            primary.ship().expect("segment ship succeeds");
+            let ship_ms = start.elapsed().as_secs_f64() * 1e3;
+            let bytes = shipped_bytes(&outbox);
+            let segment_bytes = bytes.saturating_sub(before);
+            let mut catch_up_ms = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                catch_up_ms = catch_up_ms.min(cold_catch_up(&primary, &outbox, &probe));
+            }
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let _ = std::fs::remove_dir_all(&outbox);
+            CatchUpResult {
+                shipped_records: records,
+                shipped_bytes: bytes,
+                ship_ms,
+                ship_mb_per_s: segment_bytes as f64 / 1e6 / (ship_ms / 1e3),
+                catch_up_ms,
+            }
+        })
+        .collect()
+}
+
+/// Measures steady-state staleness over `total` deltas at each sync
+/// cadence in `cadences`: the primary ships every delta, the follower
+/// syncs every `sync_every`-th, and the epoch lag is sampled before every
+/// sync.
+pub fn measure_staleness(
+    n: usize,
+    seed: u64,
+    total: usize,
+    cadences: &[usize],
+) -> Vec<StalenessResult> {
+    let probe = probe();
+    cadences
+        .iter()
+        .map(|&sync_every| {
+            let (primary, store_dir, outbox) = on_disk_primary(n, seed);
+            let inbox = temp_dir("inbox");
+            let fstore = temp_dir("fstore");
+            let transport = Transport::new(std_vfs(), &outbox, std_vfs(), &inbox)
+                .expect("inbox directory is creatable");
+            let mut follower = Follower::open(transport, &fstore, StoreOptions::default())
+                .expect("follower bootstraps");
+            follower.sync().expect("initial sync succeeds");
+
+            let deltas = leaf_deltas(primary.snapshot().tree(), total);
+            let mut lags = Vec::with_capacity(total);
+            for (i, delta) in deltas.iter().enumerate() {
+                primary.apply(delta).expect("leaf updates are valid");
+                primary.ship().expect("per-delta ship succeeds");
+                lags.push(primary.epoch() - follower.applied_epoch());
+                if (i + 1) % sync_every.max(1) == 0 {
+                    follower.sync().expect("steady-state sync succeeds");
+                }
+            }
+            follower.sync().expect("final sync succeeds");
+            check_divergence(&primary.snapshot(), &follower.snapshot(), &probe)
+                .expect("steady-state follower diverged from the primary");
+
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let _ = std::fs::remove_dir_all(&outbox);
+            let _ = std::fs::remove_dir_all(&inbox);
+            let _ = std::fs::remove_dir_all(&fstore);
+            StalenessResult {
+                sync_every,
+                mean_lag: lags.iter().sum::<u64>() as f64 / lags.len().max(1) as f64,
+                max_lag: lags.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect()
+}

@@ -232,6 +232,35 @@ impl ComponentHealth {
     }
 }
 
+/// Which side of a replication pair an engine serves on (see
+/// [`ReplicationStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// The single writer: cuts WAL segments and ships them.
+    Primary,
+    /// A read replica: applies verified shipped segments.
+    Follower,
+}
+
+/// Replication progress folded into a [`Health`] report by the
+/// `cpdb_replica` layer (via [`LiveEngine::set_replication`]). Engines not
+/// participating in replication report `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationStatus {
+    /// Which side of the pair this engine is.
+    pub role: ReplicaRole,
+    /// Highest epoch shipped (primary) or verified-and-applied (follower).
+    pub epoch: u64,
+    /// How many epochs the follower trails the last manifest it fetched
+    /// (always 0 on a primary).
+    pub lag: u64,
+    /// The replication link itself: `Degraded` after a failed ship or a
+    /// quarantined fetch, until the next successful round. Readers are
+    /// unaffected either way — a follower keeps serving its last verified
+    /// epoch.
+    pub link: ComponentHealth,
+}
+
 /// One coherent health report over a [`LiveEngine`] — writer, background
 /// compactor, and store status in a single call (see
 /// [`LiveEngine::health`]).
@@ -255,12 +284,22 @@ pub struct Health {
     /// unusable or a recovery probe found the disk inconsistent with the
     /// served epoch — the strongest of the three signals.
     pub store: ComponentHealth,
+    /// Replication progress (role, shipped/applied epoch, lag, link
+    /// health), when this engine is a replication primary or follower.
+    pub replication: Option<ReplicationStatus>,
 }
 
 impl Health {
-    /// Whether every component is healthy.
+    /// Whether every component — including the replication link, when
+    /// present — is healthy.
     pub fn is_healthy(&self) -> bool {
-        self.writer.is_healthy() && self.compactor.is_healthy() && self.store.is_healthy()
+        self.writer.is_healthy()
+            && self.compactor.is_healthy()
+            && self.store.is_healthy()
+            && self
+                .replication
+                .as_ref()
+                .is_none_or(|r| r.link.is_healthy())
     }
 }
 
@@ -296,6 +335,10 @@ fn duplicate_store_error(e: &StoreError) -> StoreError {
         StoreError::Poisoned => StoreError::Poisoned,
         StoreError::WalUnusable { context } => StoreError::WalUnusable {
             context: context.clone(),
+        },
+        StoreError::RetainedForReplica { epoch, watermark } => StoreError::RetainedForReplica {
+            epoch: *epoch,
+            watermark: *watermark,
         },
         other => StoreError::Corrupt {
             context: other.to_string(),
@@ -444,6 +487,9 @@ pub struct LiveEngine {
     writer: Mutex<()>,
     /// WAL + snapshot store; `None` for a purely in-memory engine.
     durability: Option<Durability>,
+    /// Replication progress published by the `cpdb_replica` layer, folded
+    /// into [`Health`] reports. `None` when not replicating.
+    replication: Mutex<Option<ReplicationStatus>>,
 }
 
 impl LiveEngine {
@@ -453,6 +499,7 @@ impl LiveEngine {
             current: ArcCell::new(Arc::new(Epoch { epoch: 0, engine })),
             writer: Mutex::new(()),
             durability: None,
+            replication: Mutex::new(None),
         }
     }
 
@@ -481,6 +528,7 @@ impl LiveEngine {
             current: ArcCell::new(Arc::new(Epoch { epoch: 0, engine })),
             writer: Mutex::new(()),
             durability: Some(Durability::new(store, 0)),
+            replication: Mutex::new(None),
         })
     }
 
@@ -506,6 +554,7 @@ impl LiveEngine {
             current: ArcCell::new(Arc::new(Epoch { epoch, engine })),
             writer: Mutex::new(()),
             durability: Some(Durability::new(store, recovered.wal.len() as u64)),
+            replication: Mutex::new(None),
         })
     }
 
@@ -755,6 +804,7 @@ impl LiveEngine {
     /// the served epoch.
     pub fn health(&self) -> Health {
         let epoch = self.epoch();
+        let replication = self.replication_status();
         let Some(d) = &self.durability else {
             return Health {
                 epoch,
@@ -762,6 +812,7 @@ impl LiveEngine {
                 writer: ComponentHealth::Healthy,
                 compactor: ComponentHealth::Healthy,
                 store: ComponentHealth::Healthy,
+                replication,
             };
         };
         let degraded = d.degraded_reason();
@@ -793,7 +844,33 @@ impl LiveEngine {
             writer,
             compactor,
             store,
+            replication,
         }
+    }
+
+    /// Publishes replication progress into this engine's [`Health`]
+    /// reports — called by the `cpdb_replica` layer after every ship/sync
+    /// round; `None` detaches the engine from replication reporting.
+    pub fn set_replication(&self, status: Option<ReplicationStatus>) {
+        *self
+            .replication
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = status;
+    }
+
+    /// The replication progress last published via
+    /// [`set_replication`](Self::set_replication), if any.
+    pub fn replication_status(&self) -> Option<ReplicationStatus> {
+        self.replication
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The durable store behind this engine, when one is attached — the
+    /// replication layer ships segments straight from it.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.durability.as_ref().map(|d| &d.store)
     }
 
     /// Attempts to leave degraded mode: re-runs store recovery in place

@@ -1,0 +1,59 @@
+//! Divergence detection: proving a replica serves the primary's state.
+//!
+//! Replication ships deltas, so a follower's engine is *rebuilt*, not
+//! copied — a replay bug, a torn-but-undetected ship, or version skew
+//! would make it drift silently. [`check_divergence`] compares two
+//! snapshots at the same epoch on two levels: a CRC digest of the
+//! canonical exported state (epoch, configuration, and tree — caches are
+//! excluded, they are derived data and legitimately differ), and the
+//! answers to a caller-chosen list of conformance probe queries.
+
+use crate::ReplicaError;
+use cpdb_engine::Query;
+use cpdb_live::Snapshot;
+use cpdb_store::ship::export_digest;
+
+/// The divergence digest of a snapshot: a CRC-32 over its epoch and
+/// canonical exported state. Equal digests at equal epochs mean the
+/// replica's tree and configuration are bit-identical to the primary's.
+pub fn epoch_digest(snapshot: &Snapshot) -> u32 {
+    export_digest(snapshot.epoch(), &snapshot.engine().export())
+}
+
+/// Checks that `replica` serves exactly the state `primary` does.
+///
+/// Both snapshots must be pinned at the same epoch (pin the primary
+/// first, sync the follower to that epoch, then pin the follower);
+/// otherwise the check fails with [`ReplicaError::EpochMismatch`] rather
+/// than comparing incomparable states. A digest mismatch reports
+/// [`ReplicaError::Diverged`]; if the digests agree, every probe query in
+/// `queries` is run on both sides and the first differing answer (or
+/// differing error) reports [`ReplicaError::AnswerMismatch`].
+pub fn check_divergence(
+    primary: &Snapshot,
+    replica: &Snapshot,
+    queries: &[Query],
+) -> Result<(), ReplicaError> {
+    let epoch = primary.epoch();
+    if epoch != replica.epoch() {
+        return Err(ReplicaError::EpochMismatch {
+            primary: epoch,
+            replica: replica.epoch(),
+        });
+    }
+    let primary_digest = epoch_digest(primary);
+    let replica_digest = epoch_digest(replica);
+    if primary_digest != replica_digest {
+        return Err(ReplicaError::Diverged {
+            epoch,
+            primary_digest,
+            replica_digest,
+        });
+    }
+    for (index, query) in queries.iter().enumerate() {
+        if primary.engine().run(query) != replica.engine().run(query) {
+            return Err(ReplicaError::AnswerMismatch { epoch, index });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,323 @@
+//! The replay side: a read-only engine that tails the shipped chain.
+
+use crate::{Primary, ReplicaError, Transport, FETCH_ATTEMPTS};
+use cpdb_live::{
+    ComponentHealth, Health, LiveEngine, LiveError, ReplicaRole, ReplicationStatus, Snapshot,
+    TreeDelta,
+};
+use cpdb_store::ship::{
+    decode_manifest, read_manifest_with, verify_anchor_bytes, verify_segment_bytes,
+    write_anchor_with, write_fence_with, write_manifest_with, Manifest, SegmentMeta, MANIFEST_FILE,
+};
+use cpdb_store::store::StoreOptions;
+use cpdb_store::{Store, StoreError};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A read replica: bootstraps from the shipped anchor, replays verified
+/// segments into a local durable [`LiveEngine`], and serves snapshots at
+/// its applied epoch.
+///
+/// Every fetched byte is verified against the manifest before replay;
+/// damaged ships are quarantined and re-fetched, and on persistent damage
+/// [`sync`](Follower::sync) fails **without** touching the served state —
+/// readers keep answering from the last verified epoch.
+pub struct Follower {
+    transport: Transport,
+    live: LiveEngine,
+    store_dir: PathBuf,
+    options: StoreOptions,
+    manifest: Manifest,
+}
+
+/// Fetches the manifest, quarantining and re-fetching damaged copies.
+fn fetch_manifest(transport: &Transport) -> Result<Manifest, ReplicaError> {
+    let mut last: Option<StoreError> = None;
+    for _ in 0..FETCH_ATTEMPTS {
+        match transport.fetch(MANIFEST_FILE) {
+            Ok(bytes) => match decode_manifest(&bytes) {
+                Ok(manifest) => {
+                    manifest.validate()?;
+                    return Ok(manifest);
+                }
+                Err(e) => {
+                    let _ = transport.quarantine(MANIFEST_FILE);
+                    last = Some(e);
+                }
+            },
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ReplicaError::SegmentUnavailable {
+        name: MANIFEST_FILE.to_string(),
+        context: last.map(|e| e.to_string()).unwrap_or_default(),
+    })
+}
+
+/// Fetches and verifies the manifest's anchor image.
+fn fetch_anchor(
+    transport: &Transport,
+    manifest: &Manifest,
+) -> Result<(u64, cpdb_engine::EngineExport), ReplicaError> {
+    let Some(entry) = manifest.anchor else {
+        return Err(ReplicaError::SegmentUnavailable {
+            name: MANIFEST_FILE.to_string(),
+            context: "manifest has no anchor to bootstrap from".to_string(),
+        });
+    };
+    let name = cpdb_store::ship::anchor_file_name(entry.0);
+    let mut last: Option<StoreError> = None;
+    for _ in 0..FETCH_ATTEMPTS {
+        match transport.fetch(&name) {
+            Ok(bytes) => match verify_anchor_bytes(&bytes, entry) {
+                Ok(export) => return Ok((entry.0, export)),
+                Err(e) => {
+                    let _ = transport.quarantine(&name);
+                    last = Some(e);
+                }
+            },
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ReplicaError::SegmentUnavailable {
+        name,
+        context: last.map(|e| e.to_string()).unwrap_or_default(),
+    })
+}
+
+/// Creates a fresh local store seeded from the shipped anchor and opens a
+/// durable engine on it.
+fn bootstrap(
+    transport: &Transport,
+    manifest: &Manifest,
+    store_dir: &Path,
+    options: StoreOptions,
+) -> Result<LiveEngine, ReplicaError> {
+    let (epoch, export) = fetch_anchor(transport, manifest)?;
+    // Probing for local state leaves an empty WAL behind, and a
+    // re-bootstrap abandons whatever is there: start from a clean
+    // directory either way.
+    let vfs = options.vfs.clone();
+    vfs.create_dir_all(store_dir).map_err(StoreError::from)?;
+    for name in vfs.read_dir_names(store_dir).map_err(StoreError::from)? {
+        vfs.remove_file(&store_dir.join(&name))
+            .map_err(StoreError::from)?;
+    }
+    vfs.sync_dir(store_dir).map_err(StoreError::from)?;
+    let store = Store::create_with(store_dir, options.clone())?;
+    store.write_snapshot(epoch, &export)?;
+    drop(store);
+    Ok(LiveEngine::open_with(store_dir, options)?)
+}
+
+impl Follower {
+    /// Opens a follower: reuses the local store at `store_dir` if one
+    /// exists (a restarted follower resumes from its own durable state),
+    /// otherwise bootstraps from the shipped anchor.
+    pub fn open(
+        transport: Transport,
+        store_dir: &Path,
+        options: StoreOptions,
+    ) -> Result<Follower, ReplicaError> {
+        let manifest = fetch_manifest(&transport)?;
+        let live = match LiveEngine::open_with(store_dir, options.clone()) {
+            Ok(live) => live,
+            Err(LiveError::Store(StoreError::NoSnapshot)) => {
+                bootstrap(&transport, &manifest, store_dir, options.clone())?
+            }
+            Err(LiveError::Store(StoreError::Io(e))) if e.kind() == io::ErrorKind::NotFound => {
+                bootstrap(&transport, &manifest, store_dir, options.clone())?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let follower = Follower {
+            transport,
+            live,
+            store_dir: store_dir.to_path_buf(),
+            options,
+            manifest,
+        };
+        follower.publish_status(ComponentHealth::Healthy);
+        Ok(follower)
+    }
+
+    /// Fetches the latest manifest and replays every verified segment past
+    /// the applied epoch. Returns the new applied epoch. On failure the
+    /// served state is untouched and the replication link is marked
+    /// degraded; readers keep answering from the last verified epoch.
+    pub fn sync(&mut self) -> Result<u64, ReplicaError> {
+        match self.sync_inner() {
+            Ok(epoch) => {
+                self.publish_status(ComponentHealth::Healthy);
+                Ok(epoch)
+            }
+            Err(e) => {
+                self.publish_status(ComponentHealth::Degraded {
+                    reason: e.to_string(),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_inner(&mut self) -> Result<u64, ReplicaError> {
+        let manifest = fetch_manifest(&self.transport)?;
+        self.manifest = manifest.clone();
+        // The chain may have been rebased on a newer anchor (rotation, or
+        // a promotion elsewhere): if it no longer reaches our applied
+        // epoch, rebuild the local store from the shipped anchor.
+        let applied = self.live.epoch();
+        let chain_start = manifest
+            .segments
+            .first()
+            .map_or(manifest.anchor_epoch() + 1, |s| s.first_epoch);
+        if applied + 1 < chain_start {
+            if manifest.anchor_epoch() <= applied {
+                return Err(ReplicaError::ChainBroken {
+                    expected: applied + 1,
+                    found: chain_start,
+                });
+            }
+            self.rebootstrap(&manifest)?;
+        }
+        for meta in &manifest.segments {
+            let applied = self.live.epoch();
+            if meta.last_epoch <= applied {
+                continue;
+            }
+            let records = self.fetch_segment(meta)?;
+            let deltas: Vec<TreeDelta> = records
+                .iter()
+                .filter(|(e, _)| *e > applied)
+                .map(|(_, d)| d.clone())
+                .collect();
+            if let Some((first, _)) = records.iter().find(|(e, _)| *e > applied) {
+                if *first != applied + 1 {
+                    return Err(ReplicaError::ChainBroken {
+                        expected: applied + 1,
+                        found: *first,
+                    });
+                }
+            }
+            self.live.apply_all(&deltas)?;
+        }
+        Ok(self.live.epoch())
+    }
+
+    /// Fetches one segment, quarantining and re-fetching damaged copies.
+    fn fetch_segment(&self, meta: &SegmentMeta) -> Result<Vec<(u64, TreeDelta)>, ReplicaError> {
+        let name = meta.file_name();
+        let mut last: Option<StoreError> = None;
+        for _ in 0..FETCH_ATTEMPTS {
+            match self.transport.fetch(&name) {
+                Ok(bytes) => match verify_segment_bytes(&bytes, meta) {
+                    Ok(records) => return Ok(records),
+                    Err(e) => {
+                        let _ = self.transport.quarantine(&name);
+                        last = Some(e);
+                    }
+                },
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ReplicaError::SegmentUnavailable {
+            name,
+            context: last.map(|e| e.to_string()).unwrap_or_default(),
+        })
+    }
+
+    /// Wipes the local store and re-bootstraps from the shipped anchor.
+    fn rebootstrap(&mut self, manifest: &Manifest) -> Result<(), ReplicaError> {
+        self.live = bootstrap(
+            &self.transport,
+            manifest,
+            &self.store_dir,
+            self.options.clone(),
+        )?;
+        Ok(())
+    }
+
+    fn publish_status(&self, link: ComponentHealth) {
+        let applied = self.live.epoch();
+        self.live.set_replication(Some(ReplicationStatus {
+            role: ReplicaRole::Follower,
+            epoch: applied,
+            lag: self.manifest.shipped_epoch().saturating_sub(applied),
+            link,
+        }));
+    }
+
+    /// The last epoch whose state this follower has verified and applied.
+    pub fn applied_epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// How many shipped epochs this follower still has to replay (as of
+    /// the last fetched manifest).
+    pub fn lag(&self) -> u64 {
+        self.manifest
+            .shipped_epoch()
+            .saturating_sub(self.live.epoch())
+    }
+
+    /// A read snapshot at the applied epoch.
+    pub fn snapshot(&self) -> Snapshot {
+        self.live.snapshot()
+    }
+
+    /// Engine health, including replication role, applied epoch, lag, and
+    /// link state.
+    pub fn health(&self) -> Health {
+        self.live.health()
+    }
+
+    /// Runs local crash recovery on the replica's own store (after the
+    /// inbox filesystem faulted mid-replay, for example).
+    pub fn try_recover(&self) -> Result<Health, ReplicaError> {
+        Ok(self.live.try_recover()?)
+    }
+
+    /// Promotes this follower to the new writer.
+    ///
+    /// Recovery first settles the local engine on its published epoch
+    /// (discarding any unacknowledged WAL suffix — the publish pointer is
+    /// the commit point). The promotion then rebases the shipped chain on
+    /// this replica's state: it durably records a fencing token newer than
+    /// the outbox's, ships a fresh anchor at the applied epoch, and
+    /// commits a manifest carrying the new token, the new anchor, and no
+    /// old segments. From that commit on, the old primary's next fenced
+    /// operation fails with [`ReplicaError::Fenced`], and other followers
+    /// re-anchor onto the new chain at their next sync.
+    pub fn promote(self) -> Result<Primary, ReplicaError> {
+        self.live.try_recover()?;
+        let snapshot = self.live.snapshot();
+        let epoch = snapshot.epoch();
+        let src_vfs = self.transport.src_vfs();
+        let src_dir = self.transport.src_dir().to_path_buf();
+        let current = match read_manifest_with(&src_vfs, &src_dir) {
+            Ok(manifest) => manifest,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.manifest.clone()
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let token = current.fencing_token.max(self.manifest.fencing_token) + 1;
+        let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
+        // Fence first: if we crash between here and the manifest commit,
+        // we hold a token newer than the manifest's — attach() accepts
+        // that and the next ship republishes it. The reverse order would
+        // fence *ourselves* out of the chain we just took over.
+        write_fence_with(&store.vfs(), store.dir(), token)?;
+        let entry = write_anchor_with(&src_vfs, &src_dir, epoch, &snapshot.engine().export())?;
+        let manifest = Manifest {
+            fencing_token: token,
+            anchor: Some(entry),
+            segments: Vec::new(),
+        };
+        write_manifest_with(&src_vfs, &src_dir, &manifest)?;
+        store.set_ship_watermark(epoch);
+        Ok(Primary::assume(
+            self.live, src_vfs, src_dir, token, &manifest,
+        ))
+    }
+}

@@ -1,0 +1,275 @@
+//! The shipping side: a writer engine that publishes its WAL as a
+//! verified segment chain.
+
+use crate::ReplicaError;
+use cpdb_live::{
+    AppliedDelta, ComponentHealth, Health, LiveEngine, ReplicaRole, ReplicationStatus, Snapshot,
+    TreeDelta,
+};
+use cpdb_store::ship::{
+    read_fence_with, read_manifest_with, write_anchor_with, write_fence_with, write_manifest_with,
+    write_segment_with, Manifest,
+};
+use cpdb_store::{Store, StoreError, Vfs};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A writer engine attached to an outbox directory it ships WAL segments
+/// into.
+///
+/// Every write-path operation first re-reads the outbox manifest and
+/// compares its fencing token to the token this primary durably holds in
+/// its own store directory; a newer token means another node was promoted
+/// and the operation fails with [`ReplicaError::Fenced`] instead of
+/// splitting the brain.
+pub struct Primary {
+    live: LiveEngine,
+    outbox_vfs: Arc<dyn Vfs>,
+    outbox: PathBuf,
+    held_token: u64,
+}
+
+impl Primary {
+    /// Attaches a durable engine to `outbox`.
+    ///
+    /// A fresh outbox is claimed by writing a manifest with fencing token 1
+    /// (or the token already held in the store directory, if larger) and
+    /// recording that token durably next to the engine's own WAL. An
+    /// existing outbox is only accepted if its manifest token is not newer
+    /// than the held one — a revived old primary finds the promoted
+    /// follower's token and is refused.
+    pub fn attach(
+        live: LiveEngine,
+        outbox_vfs: Arc<dyn Vfs>,
+        outbox: &Path,
+    ) -> Result<Primary, ReplicaError> {
+        let store = live.store().ok_or(ReplicaError::NotDurable)?;
+        let store_vfs = store.vfs();
+        let store_dir = store.dir().to_path_buf();
+        outbox_vfs
+            .create_dir_all(outbox)
+            .map_err(StoreError::from)?;
+        let held = read_fence_with(&store_vfs, &store_dir)?;
+        let (manifest, held_token) = match read_manifest_with(&outbox_vfs, outbox) {
+            Ok(manifest) => {
+                let held = held.unwrap_or(0);
+                if manifest.fencing_token > held {
+                    return Err(ReplicaError::Fenced {
+                        held,
+                        manifest: manifest.fencing_token,
+                    });
+                }
+                (manifest, held)
+            }
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                let token = held.unwrap_or(0).max(1);
+                let manifest = Manifest {
+                    fencing_token: token,
+                    ..Manifest::default()
+                };
+                write_fence_with(&store_vfs, &store_dir, token)?;
+                write_manifest_with(&outbox_vfs, outbox, &manifest)?;
+                (manifest, token)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if held.is_none() {
+            write_fence_with(&store_vfs, &store_dir, held_token)?;
+        }
+        store.set_ship_watermark(manifest.shipped_epoch());
+        let primary = Primary {
+            live,
+            outbox_vfs,
+            outbox: outbox.to_path_buf(),
+            held_token,
+        };
+        primary.publish_status(&manifest);
+        Ok(primary)
+    }
+
+    /// Reassembles a primary after a promotion already wrote the fence and
+    /// manifest; the invariants [`attach`](Primary::attach) checks are
+    /// established by the caller.
+    pub(crate) fn assume(
+        live: LiveEngine,
+        outbox_vfs: Arc<dyn Vfs>,
+        outbox: PathBuf,
+        held_token: u64,
+        manifest: &Manifest,
+    ) -> Primary {
+        let primary = Primary {
+            live,
+            outbox_vfs,
+            outbox,
+            held_token,
+        };
+        primary.publish_status(manifest);
+        primary
+    }
+
+    /// Re-reads the outbox manifest and refuses the operation if a newer
+    /// fencing token has been published. Returns the manifest (with a
+    /// stale-but-ours token bumped back to the held one, which the next
+    /// manifest write persists).
+    fn check_fence(&self) -> Result<Manifest, ReplicaError> {
+        let mut manifest = read_manifest_with(&self.outbox_vfs, &self.outbox)?;
+        if manifest.fencing_token > self.held_token {
+            self.live.set_replication(Some(ReplicationStatus {
+                role: ReplicaRole::Primary,
+                epoch: manifest.shipped_epoch(),
+                lag: 0,
+                link: ComponentHealth::Degraded {
+                    reason: format!(
+                        "fenced: manifest token {} is newer than held token {}",
+                        manifest.fencing_token, self.held_token
+                    ),
+                },
+            }));
+            return Err(ReplicaError::Fenced {
+                held: self.held_token,
+                manifest: manifest.fencing_token,
+            });
+        }
+        manifest.fencing_token = self.held_token;
+        Ok(manifest)
+    }
+
+    /// Applies one delta after confirming this node still owns the chain.
+    pub fn apply(&self, delta: &TreeDelta) -> Result<AppliedDelta, ReplicaError> {
+        self.check_fence()?;
+        Ok(self.live.apply(delta)?)
+    }
+
+    /// Applies a batch atomically after confirming chain ownership.
+    pub fn apply_all(&self, deltas: &[TreeDelta]) -> Result<Vec<AppliedDelta>, ReplicaError> {
+        self.check_fence()?;
+        Ok(self.live.apply_all(deltas)?)
+    }
+
+    /// Ships everything applied so far: cuts the WAL run since the last
+    /// shipped epoch into one immutable segment, appends it to the
+    /// manifest, and commits by rewriting the manifest. The first ship
+    /// (and any ship whose WAL run was already compacted away) ships a
+    /// full snapshot anchor instead. Returns the shipped epoch.
+    pub fn ship(&self) -> Result<u64, ReplicaError> {
+        let mut manifest = self.check_fence()?;
+        let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
+        let snapshot = self.live.snapshot();
+        let epoch = snapshot.epoch();
+        if manifest.anchor.is_none() {
+            return self.reanchor(&mut manifest, &snapshot, store);
+        }
+        let shipped = manifest.shipped_epoch();
+        if epoch <= shipped {
+            self.publish_status(&manifest);
+            return Ok(shipped);
+        }
+        let records: Vec<(u64, TreeDelta)> = store
+            .wal_records()?
+            .into_iter()
+            .filter(|(e, _)| *e > shipped && *e <= epoch)
+            .collect();
+        let covers_run = records.first().is_some_and(|(e, _)| *e == shipped + 1)
+            && records.last().is_some_and(|(e, _)| *e == epoch)
+            && records.len() as u64 == epoch - shipped;
+        if !covers_run {
+            // The WAL no longer holds the full run (compacted before the
+            // watermark was set): rebase the chain on a fresh anchor.
+            return self.reanchor(&mut manifest, &snapshot, store);
+        }
+        let meta = write_segment_with(&self.outbox_vfs, &self.outbox, &records)?;
+        manifest.segments.push(meta);
+        write_manifest_with(&self.outbox_vfs, &self.outbox, &manifest)?;
+        store.set_ship_watermark(epoch);
+        self.publish_status(&manifest);
+        Ok(epoch)
+    }
+
+    /// Ships a fresh snapshot anchor at the current epoch and drops the
+    /// segment chain behind it, bounding follower catch-up work and
+    /// letting the outbox forget old segments. Returns the anchor epoch.
+    pub fn rotate_anchor(&self) -> Result<u64, ReplicaError> {
+        let mut manifest = self.check_fence()?;
+        let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
+        let snapshot = self.live.snapshot();
+        self.reanchor(&mut manifest, &snapshot, store)
+    }
+
+    /// Writes an anchor at `snapshot`'s epoch and commits a manifest whose
+    /// chain restarts there. Superseded files are removed only after the
+    /// manifest commit, so a crash mid-rotation never orphans the chain.
+    fn reanchor(
+        &self,
+        manifest: &mut Manifest,
+        snapshot: &Snapshot,
+        store: &Arc<Store>,
+    ) -> Result<u64, ReplicaError> {
+        let epoch = snapshot.epoch();
+        let entry = write_anchor_with(
+            &self.outbox_vfs,
+            &self.outbox,
+            epoch,
+            &snapshot.engine().export(),
+        )?;
+        let old_anchor = manifest.anchor.replace(entry);
+        let old_segments = std::mem::take(&mut manifest.segments);
+        write_manifest_with(&self.outbox_vfs, &self.outbox, manifest)?;
+        store.set_ship_watermark(epoch);
+        for meta in &old_segments {
+            let _ = self
+                .outbox_vfs
+                .remove_file(&self.outbox.join(meta.file_name()));
+        }
+        if let Some((old_epoch, _, _)) = old_anchor {
+            if old_epoch != epoch {
+                let _ = self.outbox_vfs.remove_file(
+                    &self
+                        .outbox
+                        .join(cpdb_store::ship::anchor_file_name(old_epoch)),
+                );
+            }
+        }
+        self.publish_status(manifest);
+        Ok(epoch)
+    }
+
+    fn publish_status(&self, manifest: &Manifest) {
+        self.live.set_replication(Some(ReplicationStatus {
+            role: ReplicaRole::Primary,
+            epoch: manifest.shipped_epoch(),
+            lag: self.live.epoch().saturating_sub(manifest.shipped_epoch()),
+            link: ComponentHealth::Healthy,
+        }));
+    }
+
+    /// A read snapshot of the wrapped engine.
+    pub fn snapshot(&self) -> Snapshot {
+        self.live.snapshot()
+    }
+
+    /// The current served epoch.
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// The fencing token this primary durably holds.
+    pub fn held_token(&self) -> u64 {
+        self.held_token
+    }
+
+    /// Engine health, including the replication link.
+    pub fn health(&self) -> Health {
+        self.live.health()
+    }
+
+    /// The wrapped live engine (reads and maintenance; writes should go
+    /// through [`apply`](Primary::apply) so they stay behind the fence).
+    pub fn live(&self) -> &LiveEngine {
+        &self.live
+    }
+
+    /// Detaches and returns the wrapped engine.
+    pub fn into_live(self) -> LiveEngine {
+        self.live
+    }
+}

@@ -1,0 +1,88 @@
+//! The byte channel between an outbox and a follower's inbox.
+//!
+//! A [`Transport`] copies shipped files from a source directory (the
+//! primary's outbox, possibly on remote or unreliable storage) into a
+//! local inbox directory, then serves the *inbox* copy to the follower.
+//! The copy is deliberately **not** atomic — no tmp-and-rename — so a
+//! fault mid-ship leaves a torn file in the inbox, exactly the damage the
+//! manifest checksums exist to catch. Verification, not the channel, is
+//! the integrity boundary.
+
+use cpdb_store::ship::QUARANTINE_SUFFIX;
+use cpdb_store::{StoreError, Vfs};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Copies shipped files from a source directory into a local inbox and
+/// hands the (re-read, so fault-injectable) inbox bytes to the caller.
+pub struct Transport {
+    src_vfs: Arc<dyn Vfs>,
+    src_dir: PathBuf,
+    dst_vfs: Arc<dyn Vfs>,
+    dst_dir: PathBuf,
+}
+
+impl Transport {
+    /// Builds a transport from `src_dir` (read through `src_vfs`) into the
+    /// inbox `dst_dir` (written and re-read through `dst_vfs`), creating
+    /// the inbox directory.
+    pub fn new(
+        src_vfs: Arc<dyn Vfs>,
+        src_dir: &Path,
+        dst_vfs: Arc<dyn Vfs>,
+        dst_dir: &Path,
+    ) -> Result<Transport, StoreError> {
+        dst_vfs.create_dir_all(dst_dir)?;
+        Ok(Transport {
+            src_vfs,
+            src_dir: src_dir.to_path_buf(),
+            dst_vfs,
+            dst_dir: dst_dir.to_path_buf(),
+        })
+    }
+
+    /// Fetches `name` from the source into the inbox and returns the inbox
+    /// copy's bytes. The returned bytes are re-read from the inbox so that
+    /// every fault the inbox filesystem can inject is visible to the
+    /// caller's verification.
+    pub fn fetch(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.src_vfs.read(&self.src_dir.join(name))?;
+        let dst = self.dst_dir.join(name);
+        let mut file = self.dst_vfs.create_truncated(&dst)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        Ok(self.dst_vfs.read(&dst)?)
+    }
+
+    /// Moves the inbox copy of `name` aside as `<name>.quarantine` so a
+    /// damaged ship is preserved for forensics and never mistaken for a
+    /// verified file.
+    pub fn quarantine(&self, name: &str) -> Result<(), StoreError> {
+        let from = self.dst_dir.join(name);
+        let to = self.dst_dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+        self.dst_vfs.rename(&from, &to)?;
+        self.dst_vfs.sync_dir(&self.dst_dir)?;
+        Ok(())
+    }
+
+    /// The source (outbox) filesystem.
+    pub fn src_vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.src_vfs)
+    }
+
+    /// The source (outbox) directory.
+    pub fn src_dir(&self) -> &Path {
+        &self.src_dir
+    }
+
+    /// The inbox filesystem.
+    pub fn dst_vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.dst_vfs)
+    }
+
+    /// The inbox directory.
+    pub fn dst_dir(&self) -> &Path {
+        &self.dst_dir
+    }
+}

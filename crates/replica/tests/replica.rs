@@ -1,0 +1,436 @@
+//! End-to-end replication protocol tests over the in-memory fault VFS:
+//! ship/replay round-trips, quarantine of damaged ships, WAL retention
+//! for lagging followers, anchor rotation, promotion, and fencing.
+
+use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_engine::{ConsensusEngine, ConsensusEngineBuilder, Query, TopKMetric, Variant};
+use cpdb_live::{ComponentHealth, LiveEngine, ReplicaRole, TreeDelta};
+use cpdb_replica::{check_divergence, Follower, Primary, ReplicaError, Transport};
+use cpdb_store::fault::FaultVfs;
+use cpdb_store::ship::read_manifest_with;
+use cpdb_store::store::StoreOptions;
+use cpdb_store::{RetryPolicy, Vfs};
+use std::path::Path;
+use std::sync::Arc;
+
+fn bid_tree() -> AndXorTree {
+    let mut b = AndXorTreeBuilder::new();
+    let mut xors = Vec::new();
+    for (key, alts) in [
+        (1u64, vec![(95.0, 0.3), (40.0, 0.5)]),
+        (2, vec![(80.0, 0.6), (55.0, 0.2)]),
+        (3, vec![(70.0, 0.9)]),
+        (4, vec![(60.0, 0.4), (50.0, 0.4)]),
+    ] {
+        let edges: Vec<_> = alts
+            .iter()
+            .map(|&(v, p)| (b.leaf_parts(key, v), p))
+            .collect();
+        xors.push(b.xor_node(edges));
+    }
+    let root = b.and_node(xors);
+    b.build(root).unwrap()
+}
+
+fn engine() -> ConsensusEngine {
+    ConsensusEngineBuilder::new(bid_tree())
+        .seed(5)
+        .kendall_distance_samples(64)
+        .build()
+        .unwrap()
+}
+
+fn options(vfs: &FaultVfs) -> StoreOptions {
+    StoreOptions {
+        vfs: Arc::new(vfs.clone()),
+        retry: RetryPolicy::no_delay(3),
+    }
+}
+
+fn arc(vfs: &FaultVfs) -> Arc<dyn Vfs> {
+    Arc::new(vfs.clone())
+}
+
+fn topk(k: usize) -> Query {
+    Query::TopK {
+        k,
+        metric: TopKMetric::SymmetricDifference,
+        variant: Variant::Mean,
+    }
+}
+
+fn probes() -> Vec<Query> {
+    vec![topk(1), topk(2), topk(3)]
+}
+
+/// Always-valid write stream: leaf-value updates cycling over the leaves.
+fn leaf_deltas(tree: &AndXorTree, count: usize) -> Vec<TreeDelta> {
+    let leaves = tree.leaf_nodes();
+    (0..count)
+        .map(|i| TreeDelta::LeafValue {
+            leaf: leaves[i % leaves.len()],
+            value: 40.0 + (i % 53) as f64,
+        })
+        .collect()
+}
+
+/// A primary over `pvfs` with its store at `/p/store` and outbox at
+/// `/p/outbox`.
+fn primary(pvfs: &FaultVfs) -> Primary {
+    let live =
+        LiveEngine::new_durable_with(engine(), Path::new("/p/store"), options(pvfs)).unwrap();
+    Primary::attach(live, arc(pvfs), Path::new("/p/outbox")).unwrap()
+}
+
+/// A follower over `fvfs` pulling from `/p/outbox` on `pvfs` into
+/// `/f/inbox`, with its local store at `/f/store`.
+fn follower(pvfs: &FaultVfs, fvfs: &FaultVfs) -> Follower {
+    let transport = Transport::new(
+        arc(pvfs),
+        Path::new("/p/outbox"),
+        arc(fvfs),
+        Path::new("/f/inbox"),
+    )
+    .unwrap();
+    Follower::open(transport, Path::new("/f/store"), options(fvfs)).unwrap()
+}
+
+#[test]
+fn follower_replays_shipped_segments_bit_identically() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap(); // anchor at epoch 0
+
+    let deltas = leaf_deltas(primary.snapshot().tree(), 6);
+    for delta in &deltas[..4] {
+        primary.apply(delta).unwrap();
+    }
+    assert_eq!(primary.ship().unwrap(), 4);
+
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 4);
+    assert_eq!(follower.applied_epoch(), 4);
+    assert_eq!(follower.lag(), 0);
+    check_divergence(&primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+
+    // A second round through the incremental segment path.
+    for delta in &deltas[4..] {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    assert_eq!(follower.sync().unwrap(), 6);
+    check_divergence(&primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+
+    let status = follower.health().replication.unwrap();
+    assert_eq!(status.role, ReplicaRole::Follower);
+    assert_eq!(status.epoch, 6);
+    assert_eq!(status.lag, 0);
+    assert!(status.link.is_healthy());
+    let pstatus = primary.health().replication.unwrap();
+    assert_eq!(pstatus.role, ReplicaRole::Primary);
+    assert_eq!(pstatus.epoch, 6);
+}
+
+#[test]
+fn outbox_passes_the_deep_scan() {
+    let pvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 3);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+
+    let outcome = cpdb_store::verify::verify_dir_with(&arc(&pvfs), Path::new("/p/outbox")).unwrap();
+    assert!(outcome.clean(), "outbox not clean: {:?}", outcome.problems);
+    let manifest = read_manifest_with(&arc(&pvfs), Path::new("/p/outbox")).unwrap();
+    assert_eq!(manifest.anchor.map(|(e, _, _)| e), Some(0));
+    assert_eq!(manifest.segments.len(), 1);
+    assert_eq!(
+        (
+            manifest.segments[0].first_epoch,
+            manifest.segments[0].last_epoch
+        ),
+        (1, 3)
+    );
+}
+
+#[test]
+fn corrupt_ship_is_quarantined_and_never_served() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 4);
+    for delta in &deltas[..2] {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 2);
+    let before = follower.snapshot().run(&topk(2)).unwrap();
+
+    // Flip one byte in the next shipped segment at the source.
+    for delta in &deltas[2..] {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let seg_path = Path::new("/p/outbox").join(cpdb_store::ship::segment_file_name(3, 4));
+    let mut bytes = pvfs.contents(&seg_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let pv = arc(&pvfs);
+    let mut file = pv.create_truncated(&seg_path).unwrap();
+    file.write_all(&bytes).unwrap();
+    file.sync_all().unwrap();
+    drop(file);
+
+    // Every refetch sees the damaged source: sync fails, the follower
+    // keeps serving epoch 2, and the damaged copies are quarantined.
+    let err = follower.sync().unwrap_err();
+    assert!(
+        matches!(err, ReplicaError::SegmentUnavailable { .. }),
+        "{err}"
+    );
+    assert_eq!(follower.applied_epoch(), 2);
+    assert_eq!(follower.snapshot().run(&topk(2)).unwrap(), before);
+    let status = follower.health().replication.unwrap();
+    assert!(matches!(status.link, ComponentHealth::Degraded { .. }));
+    let inbox = arc(&fvfs).read_dir_names(Path::new("/f/inbox")).unwrap();
+    assert!(
+        inbox.iter().any(|n| n.ends_with(".quarantine")),
+        "no quarantined copy in {inbox:?}"
+    );
+
+    // Repair the source (re-ship the same bytes): the follower recovers.
+    bytes[mid] ^= 0x40;
+    let mut file = pv.create_truncated(&seg_path).unwrap();
+    file.write_all(&bytes).unwrap();
+    file.sync_all().unwrap();
+    drop(file);
+    assert_eq!(follower.sync().unwrap(), 4);
+    check_divergence(&primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn follower_keeps_serving_while_the_link_is_down() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 2);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 2);
+    let before = follower.snapshot().run(&topk(2)).unwrap();
+
+    // Outbox storage goes dark: every fetch fails.
+    pvfs.fail_at(pvfs.op_count(), std::io::ErrorKind::Other, true);
+    assert!(follower.sync().is_err());
+    assert_eq!(follower.applied_epoch(), 2);
+    assert_eq!(follower.snapshot().run(&topk(2)).unwrap(), before);
+
+    pvfs.clear_faults();
+    assert_eq!(follower.sync().unwrap(), 2);
+    assert!(follower.health().replication.unwrap().link.is_healthy());
+}
+
+#[test]
+fn watermark_retains_wal_for_a_lagging_follower() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap(); // anchor at 0; ship watermark pinned at 0
+    primary.live().set_snapshot_every(2);
+
+    // Aggressive compaction between ships: without the ship watermark the
+    // store would truncate the WAL past the shipped epoch and force a
+    // re-anchor instead of an incremental segment.
+    let deltas = leaf_deltas(primary.snapshot().tree(), 10);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+        primary.live().await_compaction();
+    }
+    assert_eq!(primary.ship().unwrap(), 10);
+    let manifest = read_manifest_with(&arc(&pvfs), Path::new("/p/outbox")).unwrap();
+    assert_eq!(
+        manifest
+            .segments
+            .iter()
+            .map(|s| (s.first_epoch, s.last_epoch))
+            .collect::<Vec<_>>(),
+        vec![(1, 10)],
+        "lagging follower's run was compacted away instead of retained"
+    );
+
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 10);
+    check_divergence(&primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn rotation_reanchors_followers_past_the_dropped_chain() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 3);
+    for delta in &deltas[..2] {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 2);
+
+    primary.apply(&deltas[2]).unwrap();
+    assert_eq!(primary.rotate_anchor().unwrap(), 3);
+    let outbox = arc(&pvfs).read_dir_names(Path::new("/p/outbox")).unwrap();
+    assert!(
+        !outbox.iter().any(|n| n.starts_with("segment-")),
+        "rotation left old segments behind: {outbox:?}"
+    );
+
+    // The follower's position predates the rebased chain: it rebuilds
+    // from the new anchor.
+    assert_eq!(follower.sync().unwrap(), 3);
+    check_divergence(&primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn follower_restart_resumes_from_its_local_store() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 3);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 3);
+    drop(follower);
+
+    // Reopen: the local store already holds epoch 3; no re-bootstrap.
+    let reopened = crate::follower(&pvfs, &fvfs);
+    assert_eq!(reopened.applied_epoch(), 3);
+    check_divergence(&primary.snapshot(), &reopened.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn promotion_fences_the_old_primary() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let old_primary = primary(&pvfs);
+    old_primary.ship().unwrap();
+    let deltas = leaf_deltas(old_primary.snapshot().tree(), 6);
+    for delta in &deltas[..3] {
+        old_primary.apply(delta).unwrap();
+    }
+    old_primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 3);
+    let reference = old_primary.snapshot();
+
+    // The primary host dies; the follower takes over the chain.
+    let new_primary = follower.promote().unwrap();
+    assert_eq!(new_primary.held_token(), 2);
+    assert_eq!(new_primary.epoch(), 3);
+    check_divergence(&reference, &new_primary.snapshot(), &probes()).unwrap();
+
+    // The old primary's next fenced operation is refused with the typed
+    // error — even though its process is still alive.
+    let err = old_primary.apply(&deltas[3]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReplicaError::Fenced {
+                held: 1,
+                manifest: 2
+            }
+        ),
+        "{err}"
+    );
+    let err = old_primary.ship().unwrap_err();
+    assert!(matches!(err, ReplicaError::Fenced { .. }), "{err}");
+
+    // A revived old primary (fresh process over the same store) is refused
+    // at attach.
+    let live = old_primary.into_live();
+    drop(live);
+    let revived = LiveEngine::open_with(Path::new("/p/store"), options(&pvfs)).unwrap();
+    let err = match Primary::attach(revived, arc(&pvfs), Path::new("/p/outbox")) {
+        Ok(_) => panic!("revived old primary was allowed to reattach"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            err,
+            ReplicaError::Fenced {
+                held: 1,
+                manifest: 2
+            }
+        ),
+        "{err}"
+    );
+
+    // The new primary owns the chain: writes and ships proceed, and a
+    // fresh follower of the rebased chain converges on it.
+    for delta in &deltas[3..] {
+        new_primary.apply(delta).unwrap();
+    }
+    new_primary.ship().unwrap();
+    let gvfs = FaultVfs::new();
+    let transport = Transport::new(
+        arc(&pvfs),
+        Path::new("/p/outbox"),
+        arc(&gvfs),
+        Path::new("/g/inbox"),
+    )
+    .unwrap();
+    let mut second = Follower::open(transport, Path::new("/g/store"), options(&gvfs)).unwrap();
+    assert_eq!(second.sync().unwrap(), 6);
+    check_divergence(&new_primary.snapshot(), &second.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn divergence_checks_catch_drift_and_epoch_skew() {
+    let pvfs = FaultVfs::new();
+    let qvfs = FaultVfs::new();
+    let a = LiveEngine::new_durable_with(engine(), Path::new("/a/store"), options(&pvfs)).unwrap();
+    let b = LiveEngine::new_durable_with(engine(), Path::new("/b/store"), options(&qvfs)).unwrap();
+    let deltas = leaf_deltas(a.snapshot().tree(), 2);
+
+    // Same epoch, different state: the digest catches it.
+    a.apply(&deltas[0]).unwrap();
+    b.apply(&deltas[1]).unwrap();
+    let err = check_divergence(&a.snapshot(), &b.snapshot(), &probes()).unwrap_err();
+    assert!(
+        matches!(err, ReplicaError::Diverged { epoch: 1, .. }),
+        "{err}"
+    );
+
+    // Different epochs are refused outright.
+    a.apply(&deltas[1]).unwrap();
+    let err = check_divergence(&a.snapshot(), &b.snapshot(), &probes()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReplicaError::EpochMismatch {
+                primary: 2,
+                replica: 1
+            }
+        ),
+        "{err}"
+    );
+
+    // Converged state (same deltas, either order — they touch distinct
+    // leaves) passes both the digest and the probes.
+    b.apply(&deltas[0]).unwrap();
+    check_divergence(&a.snapshot(), &b.snapshot(), &probes()).unwrap();
+}

@@ -62,14 +62,18 @@ mod checksum;
 mod codec;
 pub mod fault;
 mod retry;
+pub mod ship;
 pub mod snapshot;
 pub mod store;
+pub mod verify;
 pub mod vfs;
 pub mod wal;
 
 pub use fault::FaultVfs;
 pub use retry::RetryPolicy;
+pub use ship::{Manifest, SegmentMeta};
 pub use store::{Recovered, Store, StoreOptions};
+pub use verify::{VerifyOutcome, VerifyReport};
 pub use vfs::{std_vfs, StdVfs, Vfs, VfsFile};
 pub use wal::Wal;
 
@@ -111,6 +115,16 @@ pub enum StoreError {
         /// The rollback failure that stranded the log.
         context: String,
     },
+    /// A compaction would have dropped WAL records that replication has
+    /// not shipped yet (see [`Store::set_ship_watermark`]). Honouring the
+    /// request would strand every lagging follower, so it is refused.
+    RetainedForReplica {
+        /// The epoch compaction was requested through.
+        epoch: u64,
+        /// The highest epoch shipped to replicas so far; records above it
+        /// must be retained.
+        watermark: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -128,6 +142,14 @@ impl fmt::Display for StoreError {
             StoreError::Poisoned => write!(f, "wal lock poisoned"),
             StoreError::WalUnusable { context } => {
                 write!(f, "wal unusable after failed rollback: {context}")
+            }
+            StoreError::RetainedForReplica { epoch, watermark } => {
+                write!(
+                    f,
+                    "wal compaction through epoch {epoch} refused: replication has \
+                     shipped only through epoch {watermark} and followers still \
+                     need the records above it"
+                )
             }
         }
     }

@@ -32,6 +32,7 @@ use crate::wal::Wal;
 use crate::{RetryPolicy, StoreError};
 use cpdb_andxor::TreeDelta;
 use cpdb_engine::EngineExport;
+use cpdb_sync::atomic::{AtomicU64, Ordering};
 use cpdb_sync::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -41,6 +42,8 @@ const SNAPSHOT_PREFIX: &str = "snapshot-";
 const SNAPSHOT_SUFFIX: &str = ".cpdb";
 /// Superseded snapshots kept around as fallbacks for bit-rot in the newest.
 const SNAPSHOTS_RETAINED: usize = 2;
+/// Sentinel for "no ship watermark set" in [`Store::ship_watermark`].
+const NO_WATERMARK: u64 = u64::MAX;
 
 /// Everything [`Store::open`] recovered from disk: the newest valid
 /// snapshot (if any) and the WAL records to replay on top of it.
@@ -96,6 +99,10 @@ pub struct Store {
     wal: Mutex<Wal>,
     vfs: Arc<dyn Vfs>,
     retry: RetryPolicy,
+    /// Highest epoch shipped to replicas; WAL records above it must stay.
+    /// `NO_WATERMARK` (`u64::MAX`) means replication is not active and
+    /// compaction is unconstrained.
+    ship_watermark: AtomicU64,
 }
 
 fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
@@ -205,6 +212,7 @@ impl Store {
             wal: Mutex::new(wal),
             vfs,
             retry,
+            ship_watermark: AtomicU64::new(NO_WATERMARK),
         })
     }
 
@@ -230,6 +238,7 @@ impl Store {
                 wal: Mutex::new(wal),
                 vfs,
                 retry,
+                ship_watermark: AtomicU64::new(NO_WATERMARK),
             },
             recovered,
         ))
@@ -281,6 +290,13 @@ impl Store {
     ///
     /// Ordering is crash-safe: the snapshot lands (rename) before any WAL
     /// record is dropped, so every intermediate state still recovers.
+    ///
+    /// When a ship watermark is set ([`Store::set_ship_watermark`]),
+    /// compaction is silently clamped to it: WAL records replication has
+    /// not shipped yet survive the snapshot (recovery filters the overlap,
+    /// so the clamp is invisible to the local reopen path), and snapshot
+    /// files above the watermark are kept so the records they bridge stay
+    /// re-shippable.
     pub fn write_snapshot(&self, epoch: u64, export: &EngineExport) -> Result<(), StoreError> {
         // Hold the WAL lock across the whole operation so a concurrent
         // append cannot interleave with the compaction rewrite.
@@ -288,14 +304,110 @@ impl Store {
         with_retry(&self.retry, || {
             write_snapshot_with(&self.vfs, &snapshot_path(&self.dir, epoch), epoch, export)
         })?;
-        with_retry(&self.retry, || wal.truncate_through(epoch))?;
+        let watermark = self.ship_watermark();
+        let through = watermark.map_or(epoch, |w| epoch.min(w));
+        with_retry(&self.retry, || wal.truncate_through(through))?;
         for old in snapshot_epochs_in(&self.vfs, &self.dir)?
             .into_iter()
             .skip(SNAPSHOTS_RETAINED)
         {
+            if watermark.is_some_and(|w| old > w) {
+                continue;
+            }
             let _ = self.vfs.remove_file(&snapshot_path(&self.dir, old));
         }
         Ok(())
+    }
+
+    /// Explicitly compacts the WAL through `epoch` (drops records with
+    /// epoch `<= epoch`). Unlike the clamp inside [`Store::write_snapshot`]
+    /// this is loud: if a ship watermark below `epoch` is set, the request
+    /// is refused with [`StoreError::RetainedForReplica`] — honouring it
+    /// would strand every follower that has not fetched those records yet.
+    pub fn compact_wal_through(&self, epoch: u64) -> Result<(), StoreError> {
+        if let Some(watermark) = self.ship_watermark() {
+            if epoch > watermark {
+                return Err(StoreError::RetainedForReplica { epoch, watermark });
+            }
+        }
+        let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        with_retry(&self.retry, || wal.truncate_through(epoch))
+    }
+
+    /// Marks every epoch `<= epoch` as shipped to replicas. Compaction
+    /// (snapshot-triggered or explicit) will retain WAL records above the
+    /// watermark so lagging followers can always catch up. The watermark
+    /// only moves forward; calls with a lower epoch are no-ops. (Shipping
+    /// is single-writer — the one `Primary` attached to this store — so a
+    /// load/store pair suffices here.)
+    pub fn set_ship_watermark(&self, epoch: u64) {
+        let current = self.ship_watermark.load(Ordering::SeqCst);
+        let next = if current == NO_WATERMARK {
+            epoch
+        } else {
+            current.max(epoch)
+        };
+        self.ship_watermark.store(next, Ordering::SeqCst);
+    }
+
+    /// Clears the ship watermark: compaction becomes unconstrained again
+    /// (replication torn down, or every follower decommissioned).
+    pub fn clear_ship_watermark(&self) {
+        self.ship_watermark.store(NO_WATERMARK, Ordering::SeqCst);
+    }
+
+    /// The current ship watermark, or `None` when replication has never
+    /// shipped (compaction unconstrained).
+    pub fn ship_watermark(&self) -> Option<u64> {
+        match self.ship_watermark.load(Ordering::SeqCst) {
+            NO_WATERMARK => None,
+            epoch => Some(epoch),
+        }
+    }
+
+    /// Every intact WAL record currently on disk, in epoch order — a
+    /// read-only scan under the WAL lock (no truncation). The segment
+    /// shipper cuts shipped segments from this.
+    pub fn wal_records(&self) -> Result<Vec<(u64, TreeDelta)>, StoreError> {
+        let _wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
+        let bytes = with_retry(&self.retry, || {
+            Ok(self.vfs.read(&self.dir.join(WAL_FILE))?)
+        })?;
+        let (records, _) = crate::wal::scan_wal_bytes(&bytes)?;
+        Ok(records)
+    }
+
+    /// Reads the snapshot file stamped `epoch` back from disk — the segment
+    /// shipper uses this to ship an anchor image without holding an engine
+    /// export in memory.
+    pub fn read_snapshot(&self, epoch: u64) -> Result<EngineExport, StoreError> {
+        let (stamped, export) = with_retry(&self.retry, || {
+            read_snapshot_with(&self.vfs, &snapshot_path(&self.dir, epoch))
+        })?;
+        if stamped != epoch {
+            return Err(StoreError::Corrupt {
+                context: format!("snapshot file named for epoch {epoch} is stamped {stamped}"),
+            });
+        }
+        Ok(export)
+    }
+
+    /// Deep-scans the store directory: every snapshot, WAL record, shipped
+    /// segment, anchor, and manifest re-checked (all CRCs, epoch
+    /// contiguity, manifest cross-references). See [`crate::verify`].
+    pub fn verify(&self) -> Result<crate::verify::VerifyOutcome, StoreError> {
+        crate::verify::verify_dir_with(&self.vfs, &self.dir)
+    }
+
+    /// The [`Vfs`] this store's file operations route through — shared with
+    /// the replication transport so chaos injection covers shipping too.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone()
+    }
+
+    /// The store's retry schedule for durable writes.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Epochs of the snapshot files currently on disk, newest first.
@@ -552,6 +664,52 @@ mod tests {
             recovered.wal.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn ship_watermark_clamps_compaction_until_shipping_catches_up() {
+        let dir = temp_dir();
+        let export = export_for_seed(3);
+        let store = Store::create(&dir).unwrap();
+        for epoch in 1..=4u64 {
+            store.append(epoch, &delta(epoch)).unwrap();
+        }
+        store.set_ship_watermark(2);
+        store.write_snapshot(4, &export).unwrap();
+        // Epochs 3 and 4 were never shipped: the snapshot's compaction is
+        // clamped and they survive for the shipper.
+        assert_eq!(
+            store
+                .wal_records()
+                .unwrap()
+                .iter()
+                .map(|(e, _)| *e)
+                .collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // An explicit compaction past the watermark is refused loudly.
+        assert!(matches!(
+            store.compact_wal_through(4),
+            Err(StoreError::RetainedForReplica {
+                epoch: 4,
+                watermark: 2
+            })
+        ));
+        // The clamp is invisible to recovery: the snapshot covers the
+        // retained overlap.
+        let (_s, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.epoch(), 4);
+        assert!(recovered.wal.is_empty());
+        // Once shipping catches up, compaction goes through.
+        store.set_ship_watermark(4);
+        store.compact_wal_through(4).unwrap();
+        assert!(store.wal_records().unwrap().is_empty());
+        // The watermark never moves backwards, and clearing lifts it.
+        store.set_ship_watermark(1);
+        assert_eq!(store.ship_watermark(), Some(4));
+        store.clear_ship_watermark();
+        assert_eq!(store.ship_watermark(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Deep integrity scan over a store or replication directory — the engine
+//! behind [`Store::verify`](crate::Store::verify) and the `cpdb_fsck`
+//! binary.
+//!
+//! [`verify_dir_with`] walks every file in a directory, classifies it by
+//! name (snapshot, WAL, shipped segment, anchor, manifest, quarantined,
+//! leftover tmp), re-checks **every** checksum and epoch-contiguity
+//! invariant the formats promise, and returns one typed
+//! [`VerifyReport`] per file plus directory-level cross-check problems
+//! (manifest entries without matching files, broken segment chains,
+//! non-contiguous WAL epochs).
+//!
+//! A torn WAL tail is reported as [`FileStatus::TornTail`] but does **not**
+//! make the outcome unclean: recovery truncates torn tails by design. Hard
+//! corruption — a checksum that fails away from a tail, an undecodable
+//! payload, a broken chain — does.
+
+use crate::codec::le_u32;
+use crate::ship::{
+    self, decode_manifest, decode_segment, parse_anchor_file_name, parse_segment_file_name,
+    Manifest, MANIFEST_FILE, QUARANTINE_SUFFIX,
+};
+use crate::snapshot::decode_snapshot;
+use crate::vfs::Vfs;
+use crate::StoreError;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What kind of store file a [`VerifyReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `snapshot-<epoch>.cpdb`.
+    Snapshot,
+    /// `wal.cpdb`.
+    Wal,
+    /// `segment-<first>-<last>.cpdb`.
+    Segment,
+    /// `anchor-<epoch>.cpdb`.
+    Anchor,
+    /// `manifest.cpdb`.
+    Manifest,
+    /// `fence.cpdb`.
+    Fence,
+    /// A file a follower quarantined after a failed verification.
+    Quarantined,
+    /// Anything else (leftover `.tmp` files from interrupted atomic
+    /// writes, unrelated files) — not integrity-checked.
+    Other,
+}
+
+/// The verified integrity state of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Every checksum and structural invariant passed. The epoch range is
+    /// what the file covers (`0-0` for an empty WAL or files without
+    /// epochs, like the fence).
+    Valid {
+        /// First epoch covered.
+        first_epoch: u64,
+        /// Last epoch covered (inclusive).
+        last_epoch: u64,
+    },
+    /// The WAL ends in a torn record — recoverable by design (reopening
+    /// truncates it); the intact prefix verified clean.
+    TornTail {
+        /// Intact records before the tear.
+        intact_records: usize,
+    },
+    /// Hard integrity failure: a checksum mismatch away from a tail, an
+    /// undecodable payload, a broken invariant.
+    Corrupt {
+        /// What failed.
+        context: String,
+    },
+    /// Not integrity-checked (quarantined, tmp, or unknown files).
+    Skipped,
+}
+
+/// One file's verification result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The file name inside the scanned directory.
+    pub name: String,
+    /// What the file is.
+    pub kind: FileKind,
+    /// What the deep scan found.
+    pub status: FileStatus,
+}
+
+/// The full outcome of a directory scan: per-file reports plus
+/// directory-level cross-check problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// One report per file found, sorted by name.
+    pub reports: Vec<VerifyReport>,
+    /// Cross-file problems: broken segment chains, manifest entries whose
+    /// files are missing or mismatched, non-contiguous WAL epochs.
+    pub problems: Vec<String>,
+}
+
+impl VerifyOutcome {
+    /// Whether the directory is fully intact: no corrupt file and no
+    /// cross-file problem. A torn WAL tail still counts as clean —
+    /// recovery truncates it by design.
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty()
+            && self
+                .reports
+                .iter()
+                .all(|r| !matches!(r.status, FileStatus::Corrupt { .. }))
+    }
+
+    /// The corrupt files, for quick triage.
+    pub fn corrupt(&self) -> impl Iterator<Item = &VerifyReport> {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.status, FileStatus::Corrupt { .. }))
+    }
+}
+
+fn classify(name: &str) -> FileKind {
+    if name.ends_with(QUARANTINE_SUFFIX) {
+        FileKind::Quarantined
+    } else if name == "wal.cpdb" {
+        FileKind::Wal
+    } else if name == MANIFEST_FILE {
+        FileKind::Manifest
+    } else if name == ship::FENCE_FILE {
+        FileKind::Fence
+    } else if name.starts_with("snapshot-") && name.ends_with(".cpdb") {
+        FileKind::Snapshot
+    } else if parse_segment_file_name(name).is_some() {
+        FileKind::Segment
+    } else if parse_anchor_file_name(name).is_some() {
+        FileKind::Anchor
+    } else {
+        FileKind::Other
+    }
+}
+
+fn snapshot_named_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(".cpdb")?
+        .parse()
+        .ok()
+}
+
+fn verify_snapshot_like(bytes: &[u8], named_epoch: Option<u64>) -> FileStatus {
+    match decode_snapshot(bytes) {
+        Ok((epoch, _)) => {
+            if let Some(named) = named_epoch {
+                if named != epoch {
+                    return FileStatus::Corrupt {
+                        context: format!("file named for epoch {named} is stamped {epoch}"),
+                    };
+                }
+            }
+            FileStatus::Valid {
+                first_epoch: epoch,
+                last_epoch: epoch,
+            }
+        }
+        Err(e) => FileStatus::Corrupt {
+            context: e.to_string(),
+        },
+    }
+}
+
+/// Re-checks the WAL like recovery would, plus full epoch bookkeeping.
+/// Returns the status and the intact epochs (for cross-checks).
+fn verify_wal(bytes: &[u8]) -> (FileStatus, Vec<u64>) {
+    match crate::wal::scan_wal_bytes(bytes) {
+        Ok((records, valid_end)) => {
+            let epochs: Vec<u64> = records.iter().map(|(e, _)| *e).collect();
+            let status = if valid_end < bytes.len() {
+                FileStatus::TornTail {
+                    intact_records: records.len(),
+                }
+            } else {
+                FileStatus::Valid {
+                    first_epoch: epochs.first().copied().unwrap_or(0),
+                    last_epoch: epochs.last().copied().unwrap_or(0),
+                }
+            };
+            (status, epochs)
+        }
+        Err(e) => (
+            FileStatus::Corrupt {
+                context: e.to_string(),
+            },
+            Vec::new(),
+        ),
+    }
+}
+
+fn verify_segment_file(name: &str, bytes: &[u8]) -> FileStatus {
+    match decode_segment(bytes) {
+        Ok(records) => {
+            let (first, last) = (records[0].0, records[records.len() - 1].0);
+            match parse_segment_file_name(name) {
+                Some((nf, nl)) if nf == first && nl == last => FileStatus::Valid {
+                    first_epoch: first,
+                    last_epoch: last,
+                },
+                _ => FileStatus::Corrupt {
+                    context: format!("file named {name} covers epochs {first}-{last}"),
+                },
+            }
+        }
+        Err(e) => FileStatus::Corrupt {
+            context: e.to_string(),
+        },
+    }
+}
+
+fn verify_manifest_file(bytes: &[u8]) -> (FileStatus, Option<Manifest>) {
+    match decode_manifest(bytes) {
+        Ok(manifest) => (
+            FileStatus::Valid {
+                first_epoch: manifest.anchor_epoch(),
+                last_epoch: manifest.shipped_epoch(),
+            },
+            Some(manifest),
+        ),
+        Err(e) => (
+            FileStatus::Corrupt {
+                context: e.to_string(),
+            },
+            None,
+        ),
+    }
+}
+
+fn verify_fence_file(bytes: &[u8]) -> FileStatus {
+    // Re-parse through the public reader path by checking the frame
+    // directly: magic/version/len/crc are covered by decode.
+    if bytes.len() >= 20 && &bytes[..8] == b"CPDBFEN1" {
+        let len = le_u32(&bytes[12..16]) as usize;
+        let crc = le_u32(&bytes[16..20]);
+        let body = &bytes[20..];
+        if body.len() == len && crate::checksum::crc32(body) == crc && len == 8 {
+            return FileStatus::Valid {
+                first_epoch: 0,
+                last_epoch: 0,
+            };
+        }
+    }
+    FileStatus::Corrupt {
+        context: "fence file fails its framing checks".to_string(),
+    }
+}
+
+/// Deep-scans `dir` through `vfs`: every file re-checked (all CRCs, epoch
+/// ranges, decodability), then the directory-level invariants cross-checked
+/// against the manifest, the segments, and the WAL.
+pub fn verify_dir_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<VerifyOutcome, StoreError> {
+    let mut names = vfs.read_dir_names(dir)?;
+    names.sort();
+    let mut reports = Vec::with_capacity(names.len());
+    let mut problems = Vec::new();
+    let mut manifest: Option<Manifest> = None;
+    let mut wal_epochs: Vec<u64> = Vec::new();
+    let mut snapshot_epochs: Vec<u64> = Vec::new();
+
+    for name in &names {
+        let kind = classify(name);
+        let status = match kind {
+            FileKind::Quarantined | FileKind::Other => FileStatus::Skipped,
+            _ => {
+                let bytes = vfs.read(&dir.join(name))?;
+                match kind {
+                    FileKind::Snapshot => {
+                        let status = verify_snapshot_like(&bytes, snapshot_named_epoch(name));
+                        if let FileStatus::Valid { first_epoch, .. } = status {
+                            snapshot_epochs.push(first_epoch);
+                        }
+                        status
+                    }
+                    FileKind::Anchor => verify_snapshot_like(&bytes, parse_anchor_file_name(name)),
+                    FileKind::Wal => {
+                        let (status, epochs) = verify_wal(&bytes);
+                        wal_epochs = epochs;
+                        status
+                    }
+                    FileKind::Segment => verify_segment_file(name, &bytes),
+                    FileKind::Manifest => {
+                        let (status, decoded) = verify_manifest_file(&bytes);
+                        manifest = decoded;
+                        status
+                    }
+                    FileKind::Fence => verify_fence_file(&bytes),
+                    FileKind::Quarantined | FileKind::Other => FileStatus::Skipped,
+                }
+            }
+        };
+        reports.push(VerifyReport {
+            name: name.clone(),
+            kind,
+            status,
+        });
+    }
+
+    // WAL epochs must be strictly contiguous among themselves.
+    for pair in wal_epochs.windows(2) {
+        if pair[1] != pair[0] + 1 {
+            problems.push(format!(
+                "wal epochs jump from {} to {} (non-contiguous)",
+                pair[0], pair[1]
+            ));
+        }
+    }
+    // The newest snapshot (or some snapshot) must bridge to the WAL
+    // suffix: some on-disk snapshot epoch `s` with `wal_first <= s + 1`.
+    if let Some(&wal_first) = wal_epochs.first() {
+        if wal_first > 1 && !snapshot_epochs.is_empty() {
+            let bridged = snapshot_epochs.iter().any(|&s| wal_first <= s + 1);
+            if !bridged {
+                problems.push(format!(
+                    "no snapshot bridges to the wal suffix starting at epoch {wal_first}"
+                ));
+            }
+        }
+    }
+    // Every manifest entry must have a matching, verified file.
+    if let Some(manifest) = &manifest {
+        if let Some((epoch, _, _)) = manifest.anchor {
+            let anchor_name = ship::anchor_file_name(epoch);
+            let present = reports
+                .iter()
+                .any(|r| r.name == anchor_name && matches!(r.status, FileStatus::Valid { .. }));
+            if !present {
+                problems.push(format!(
+                    "manifest anchor {anchor_name} is missing or failed verification"
+                ));
+            }
+        }
+        for seg in &manifest.segments {
+            let seg_name = seg.file_name();
+            let Some(report) = reports.iter().find(|r| r.name == seg_name) else {
+                problems.push(format!("manifest lists {seg_name} but the file is missing"));
+                continue;
+            };
+            if !matches!(report.status, FileStatus::Valid { .. }) {
+                problems.push(format!(
+                    "manifest lists {seg_name} but it failed verification"
+                ));
+                continue;
+            }
+            let bytes = vfs.read(&dir.join(&seg_name))?;
+            if bytes.len() as u64 != seg.len || crate::checksum::crc32(&bytes) != seg.crc {
+                problems.push(format!(
+                    "{seg_name} does not match its manifest checksum/length"
+                ));
+            }
+        }
+    }
+
+    Ok(VerifyOutcome { reports, problems })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ship::{write_manifest_with, write_segment_with, SegmentMeta};
+    use crate::store::{Store, StoreOptions};
+    use crate::vfs::std_vfs;
+    use cpdb_andxor::{AndXorTreeBuilder, RawDelta, TreeDelta};
+    use cpdb_engine::{ConsensusEngineBuilder, EngineExport};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cpdb_verify_test_{}_{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn export() -> EngineExport {
+        let mut b = AndXorTreeBuilder::new();
+        let l1 = b.leaf_parts(1, 90.0);
+        let x1 = b.xor_node(vec![(l1, 0.6)]);
+        let root = b.and_node(vec![x1]);
+        let tree = b.build(root).unwrap();
+        ConsensusEngineBuilder::new(tree)
+            .seed(7)
+            .build()
+            .unwrap()
+            .export()
+    }
+
+    fn delta(epoch: u64) -> TreeDelta {
+        TreeDelta::from_raw(&RawDelta::LeafValue {
+            leaf: 0,
+            value: epoch as f64,
+        })
+    }
+
+    #[test]
+    fn clean_store_directory_verifies_clean() {
+        let dir = temp_dir();
+        let store = Store::create(&dir).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        store.write_snapshot(1, &export()).unwrap();
+        store.append(2, &delta(2)).unwrap();
+        let outcome = store.verify().unwrap();
+        assert!(outcome.clean(), "problems: {:?}", outcome.problems);
+        assert!(outcome.reports.iter().any(|r| r.kind == FileKind::Snapshot
+            && r.status
+                == FileStatus::Valid {
+                    first_epoch: 1,
+                    last_epoch: 1
+                }));
+        assert!(outcome.reports.iter().any(|r| r.kind == FileKind::Wal
+            && r.status
+                == FileStatus::Valid {
+                    first_epoch: 2,
+                    last_epoch: 2
+                }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_and_torn_wal_are_distinguished() {
+        let dir = temp_dir();
+        let store = Store::create(&dir).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        store.write_snapshot(1, &export()).unwrap();
+        store.append(2, &delta(2)).unwrap();
+        drop(store);
+
+        // Flip a payload byte inside the snapshot: hard corruption.
+        let snap = dir.join("snapshot-1.cpdb");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        // Tear the WAL's final record: recoverable.
+        let wal = dir.join("wal.cpdb");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+        let vfs = std_vfs();
+        let outcome = verify_dir_with(&vfs, &dir).unwrap();
+        assert!(!outcome.clean());
+        let snap_report = outcome
+            .reports
+            .iter()
+            .find(|r| r.kind == FileKind::Snapshot)
+            .unwrap();
+        assert!(matches!(snap_report.status, FileStatus::Corrupt { .. }));
+        let wal_report = outcome
+            .reports
+            .iter()
+            .find(|r| r.kind == FileKind::Wal)
+            .unwrap();
+        assert_eq!(
+            wal_report.status,
+            FileStatus::TornTail { intact_records: 0 }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_alone_is_still_clean() {
+        let dir = temp_dir();
+        let store = Store::create(&dir).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        store.append(2, &delta(2)).unwrap();
+        drop(store);
+        let wal = dir.join("wal.cpdb");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 2]).unwrap();
+        let vfs = std_vfs();
+        let outcome = verify_dir_with(&vfs, &dir).unwrap();
+        assert!(outcome.clean(), "problems: {:?}", outcome.problems);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_cross_checks_catch_missing_and_mismatched_segments() {
+        let dir = temp_dir();
+        let vfs = std_vfs();
+        let records: Vec<(u64, TreeDelta)> = (1..=2).map(|e| (e, delta(e))).collect();
+        let meta = write_segment_with(&vfs, &dir, &records).unwrap();
+        let ghost = SegmentMeta {
+            first_epoch: 3,
+            last_epoch: 4,
+            crc: 9,
+            len: 9,
+        };
+        write_manifest_with(
+            &vfs,
+            &dir,
+            &Manifest {
+                fencing_token: 1,
+                anchor: None,
+                segments: vec![meta, ghost],
+            },
+        )
+        .unwrap();
+        let outcome = verify_dir_with(&vfs, &dir).unwrap();
+        assert!(!outcome.clean());
+        assert!(outcome
+            .problems
+            .iter()
+            .any(|p| p.contains("segment-3-4.cpdb") && p.contains("missing")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_and_tmp_files_are_skipped() {
+        let dir = temp_dir();
+        std::fs::write(dir.join("segment-1-2.cpdb.quarantine"), b"garbage").unwrap();
+        std::fs::write(dir.join("wal.tmp"), b"half a rewrite").unwrap();
+        let vfs = std_vfs();
+        let outcome = verify_dir_with(&vfs, &dir).unwrap();
+        assert!(outcome.clean());
+        assert!(outcome
+            .reports
+            .iter()
+            .all(|r| r.status == FileStatus::Skipped));
+        assert_eq!(
+            outcome.reports.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![FileKind::Quarantined, FileKind::Other]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_contiguous_wal_epochs_are_a_problem() {
+        let dir = temp_dir();
+        let store = Store::create(&dir).unwrap();
+        store.append(1, &delta(1)).unwrap();
+        store.append(3, &delta(3)).unwrap();
+        drop(store);
+        let vfs = std_vfs();
+        let outcome = verify_dir_with(&vfs, &dir).unwrap();
+        assert!(!outcome.clean());
+        assert!(outcome
+            .problems
+            .iter()
+            .any(|p| p.contains("non-contiguous")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_vfs_directories_verify_too() {
+        let vfs = crate::fault::FaultVfs::new();
+        let dir = PathBuf::from("/mem/verify");
+        let store = Store::create_with(
+            &dir,
+            StoreOptions {
+                vfs: std::sync::Arc::new(vfs.clone()),
+                retry: crate::RetryPolicy::no_delay(2),
+            },
+        )
+        .unwrap();
+        store.append(1, &delta(1)).unwrap();
+        let outcome = store.verify().unwrap();
+        assert!(outcome.clean());
+    }
+}

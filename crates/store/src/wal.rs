@@ -100,6 +100,37 @@ fn scan_records(bytes: &[u8]) -> Result<(Vec<(u64, TreeDelta)>, usize), StoreErr
     Ok((records, valid_end))
 }
 
+/// Read-only scan of a whole WAL image (header included): validates the
+/// header, then returns the intact records plus the byte offset where the
+/// intact prefix ends (anything past it is a torn tail). Unlike
+/// [`Wal::open_with`] this never touches the file — it is the basis for
+/// segment shipping ([`crate::ship`]) and the deep scan ([`crate::verify`]),
+/// both of which must observe the log without truncating it.
+///
+/// A file shorter than the header is the fresh-file crash window
+/// [`Wal::open_with`] repairs, so it scans as zero records with no torn
+/// tail.
+pub fn scan_wal_bytes(bytes: &[u8]) -> Result<(Vec<(u64, TreeDelta)>, usize), StoreError> {
+    if bytes.len() < HEADER_LEN {
+        if header_bytes().starts_with(bytes) {
+            return Ok((Vec::new(), bytes.len()));
+        }
+        return Err(StoreError::Corrupt {
+            context: "wal has a malformed header".to_string(),
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(StoreError::Corrupt {
+            context: "bad wal magic".to_string(),
+        });
+    }
+    let version = crate::codec::le_u32(&bytes[8..12]);
+    if version != WAL_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    scan_records(bytes)
+}
+
 fn frame(epoch: u64, delta: &TreeDelta) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(epoch);

@@ -1,0 +1,63 @@
+//! Property-based replication conformance: on randomly generated and/xor
+//! trees, a seeded random delta sequence shipped to a follower under a
+//! random single-fault schedule must leave the follower bit-identical to
+//! the never-faulted primary at every verified epoch, via
+//! [`cpdb_testkit::replication::check_replication_recovery`].
+
+use cpdb_andxor::{AndXorTree, AndXorTreeBuilder};
+use cpdb_testkit::replication::check_replication_recovery;
+use proptest::prelude::*;
+
+/// Strategy: a random two-level and/xor tree — a root ∧ node over blocks,
+/// where each block is an ∨ node over either plain leaves or small ∧
+/// bundles (the family the live-update proptest sweeps).
+fn random_tree() -> impl Strategy<Value = AndXorTree> {
+    prop::collection::vec(
+        prop::collection::vec((1usize..=2, 0.05f64..1.0, 0usize..6), 1..3),
+        1..4,
+    )
+    .prop_map(|blocks| {
+        let mut b = AndXorTreeBuilder::new();
+        let mut key = 0u64;
+        let mut xors = Vec::new();
+        for block in &blocks {
+            let total: f64 = block.iter().map(|(_, w, _)| *w).sum::<f64>() * 1.25;
+            let mut edges = Vec::new();
+            for (bundle, w, score_bucket) in block {
+                let leaves: Vec<_> = (0..*bundle)
+                    .map(|_| {
+                        key += 1;
+                        b.leaf_parts(key, *score_bucket as f64)
+                    })
+                    .collect();
+                let node = if leaves.len() == 1 {
+                    leaves[0]
+                } else {
+                    b.and_node(leaves)
+                };
+                edges.push((node, w / total));
+            }
+            xors.push(b.xor_node(edges));
+        }
+        let root = b.and_node(xors);
+        b.build(root)
+            .expect("construction keeps keys disjoint and mass ≤ 1")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random trees × random delta sequences × random fault schedules:
+    /// the follower never serves an unverified epoch, recovers once the
+    /// outage ends, and converges bit-identically on the primary.
+    #[test]
+    fn replication_recovers_on_random_trees(
+        tree in random_tree(),
+        seed in 0u64..1024,
+        schedule in 0u64..4096,
+    ) {
+        let checks = check_replication_recovery(&tree, seed, schedule);
+        prop_assert!(checks > 0, "replication conformance performed no assertions");
+    }
+}

@@ -1,0 +1,63 @@
+//! The replication chaos suite: seeded single-fault schedules swept over
+//! every I/O call site of a read replica's ship-fetch-verify-replay
+//! pipeline, plus primary power cuts at every operation of a final ship
+//! followed by follower promotion (see [`cpdb_testkit::replication`]).
+//!
+//! Each schedule replays an identical recorded primary/follower workload
+//! with one fault armed — a transient `EINTR`, a persistent `ENOSPC`, a
+//! torn write, or a power cut — on the follower's filesystem, and asserts
+//! that the follower never serves an unverified epoch, recovers to the
+//! shipped epoch once the outage ends, and passes the full divergence
+//! check against the primary. The promotion sweep power-cuts the primary
+//! mid-ship and asserts the promoted writer matches the never-faulted
+//! reference while the revived old primary is fenced.
+//!
+//! By default the sweep is strided so tier-1 `cargo test` stays fast; the
+//! CI chaos job sets `CPDB_CHAOS_FULL=1` to run every operation index of
+//! all 16 conformance seeds exhaustively.
+
+use cpdb_testkit::fixtures;
+use cpdb_testkit::replication::{check_promotion_sweep, check_replication_sweep};
+
+fn full_sweep() -> bool {
+    std::env::var("CPDB_CHAOS_FULL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn replication_fault_sweep_over_conformance_seeds() {
+    let (seeds, stride) = if full_sweep() { (0..16, 1) } else { (0..2, 17) };
+    let mut total_checks = 0;
+    for seed in seeds {
+        let mut checks = 0;
+        checks += check_replication_sweep(&fixtures::small_bid_tree(seed), seed, stride);
+        checks +=
+            check_replication_sweep(&fixtures::small_tuple_independent_tree(seed), seed, stride);
+        assert!(
+            checks >= 100,
+            "seed {seed} performed only {checks} replication chaos checks — a sweep degenerated"
+        );
+        total_checks += checks;
+    }
+    assert!(
+        total_checks >= 200,
+        "replication chaos sweep shrank to {total_checks} total checks"
+    );
+}
+
+#[test]
+fn promotion_sweep_over_conformance_seeds() {
+    let (seeds, stride) = if full_sweep() { (0..16, 1) } else { (0..2, 5) };
+    let mut total_checks = 0;
+    for seed in seeds {
+        let checks = check_promotion_sweep(&fixtures::small_bid_tree(seed), seed, stride);
+        assert!(
+            checks >= 10,
+            "seed {seed} performed only {checks} promotion checks — the sweep degenerated"
+        );
+        total_checks += checks;
+    }
+    assert!(
+        total_checks >= 20,
+        "promotion sweep shrank to {total_checks} total checks"
+    );
+}

@@ -22,6 +22,10 @@
 //!   checksummed snapshots routed through a pluggable [`Vfs`](store::Vfs),
 //!   with deterministic fault injection ([`FaultVfs`](store::FaultVfs)) and
 //!   bounded retries ([`RetryPolicy`](store::RetryPolicy));
+//! * [`replica`] — read replicas on top of [`store`]: WAL segment shipping
+//!   behind a checksummed manifest, verified [`Follower`](replica::Follower)
+//!   replay, divergence detection, and fenced primary failover via
+//!   [`promote`](replica::Follower::promote);
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
 //! * [`andxor`] — the probabilistic and/xor tree (including the single-sweep
@@ -83,6 +87,7 @@ pub use cpdb_live as live;
 pub use cpdb_model as model;
 pub use cpdb_parallel as parallel;
 pub use cpdb_rankagg as rankagg;
+pub use cpdb_replica as replica;
 pub use cpdb_store as store;
 pub use cpdb_workloads as workloads;
 
