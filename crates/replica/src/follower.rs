@@ -6,8 +6,9 @@ use cpdb_live::{
     TreeDelta,
 };
 use cpdb_store::ship::{
-    decode_manifest, read_manifest_with, verify_anchor_bytes, verify_segment_bytes,
-    write_anchor_with, write_fence_with, write_manifest_with, Manifest, SegmentMeta, MANIFEST_FILE,
+    decode_manifest, read_fence_with, read_manifest_with, read_replica_manifest_with,
+    verify_anchor_bytes, verify_segment_bytes, write_anchor_with, write_fence_with,
+    write_manifest_with, write_replica_manifest_with, Manifest, SegmentMeta, MANIFEST_FILE,
 };
 use cpdb_store::store::StoreOptions;
 use cpdb_store::{Store, StoreError};
@@ -22,6 +23,15 @@ use std::path::{Path, PathBuf};
 /// damaged ships are quarantined and re-fetched, and on persistent damage
 /// [`sync`](Follower::sync) fails **without** touching the served state —
 /// readers keep answering from the last verified epoch.
+///
+/// The manifest this follower last adopted is recorded durably next to its
+/// local store, so a restart knows which writer's fencing token its state
+/// was replayed under. When a fetched manifest carries a *newer* token and
+/// the local applied epoch is ahead of the new writer's anchor, the local
+/// suffix belongs to a dead history: the follower discards it and
+/// rebootstraps instead of splicing two chains. A manifest carrying an
+/// *older* token (a fenced writer's lost-race commit) is refused with
+/// [`ReplicaError::StaleManifest`].
 pub struct Follower {
     transport: Transport,
     live: LiveEngine,
@@ -85,8 +95,8 @@ fn fetch_anchor(
     })
 }
 
-/// Creates a fresh local store seeded from the shipped anchor and opens a
-/// durable engine on it.
+/// Creates a fresh local store seeded from the shipped anchor, records the
+/// manifest the state was built from, and opens a durable engine on it.
 fn bootstrap(
     transport: &Transport,
     manifest: &Manifest,
@@ -106,30 +116,67 @@ fn bootstrap(
     vfs.sync_dir(store_dir).map_err(StoreError::from)?;
     let store = Store::create_with(store_dir, options.clone())?;
     store.write_snapshot(epoch, &export)?;
+    write_replica_manifest_with(&vfs, store_dir, manifest)?;
     drop(store);
     Ok(LiveEngine::open_with(store_dir, options)?)
 }
 
 impl Follower {
     /// Opens a follower: reuses the local store at `store_dir` if one
-    /// exists (a restarted follower resumes from its own durable state),
-    /// otherwise bootstraps from the shipped anchor.
+    /// exists (a restarted follower resumes from its own durable state and
+    /// keeps serving even while the outbox is unreachable, with the link
+    /// marked degraded), otherwise bootstraps from the shipped anchor.
     pub fn open(
         transport: Transport,
         store_dir: &Path,
         options: StoreOptions,
     ) -> Result<Follower, ReplicaError> {
-        let manifest = fetch_manifest(&transport)?;
-        let live = match LiveEngine::open_with(store_dir, options.clone()) {
-            Ok(live) => live,
+        match LiveEngine::open_with(store_dir, options.clone()) {
+            Ok(live) => {
+                // Local durable state exists: serve it immediately. A
+                // missing or unreadable record of the followed chain
+                // degrades to token 0, which any fetched manifest
+                // supersedes.
+                let manifest = read_replica_manifest_with(&options.vfs, store_dir)
+                    .ok()
+                    .flatten()
+                    .unwrap_or_default();
+                let mut follower = Follower {
+                    transport,
+                    live,
+                    store_dir: store_dir.to_path_buf(),
+                    options,
+                    manifest,
+                };
+                let adopted = fetch_manifest(&follower.transport)
+                    .and_then(|fetched| follower.adopt_manifest(&fetched));
+                match adopted {
+                    Ok(()) => follower.publish_status(ComponentHealth::Healthy),
+                    Err(e) => follower.publish_status(ComponentHealth::Degraded {
+                        reason: e.to_string(),
+                    }),
+                }
+                Ok(follower)
+            }
             Err(LiveError::Store(StoreError::NoSnapshot)) => {
-                bootstrap(&transport, &manifest, store_dir, options.clone())?
+                Follower::bootstrap_fresh(transport, store_dir, options)
             }
             Err(LiveError::Store(StoreError::Io(e))) if e.kind() == io::ErrorKind::NotFound => {
-                bootstrap(&transport, &manifest, store_dir, options.clone())?
+                Follower::bootstrap_fresh(transport, store_dir, options)
             }
-            Err(e) => return Err(e.into()),
-        };
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Opens a follower with no usable local state: the shipped anchor is
+    /// the only source, so the manifest fetch must succeed.
+    fn bootstrap_fresh(
+        transport: Transport,
+        store_dir: &Path,
+        options: StoreOptions,
+    ) -> Result<Follower, ReplicaError> {
+        let manifest = fetch_manifest(&transport)?;
+        let live = bootstrap(&transport, &manifest, store_dir, options.clone())?;
         let follower = Follower {
             transport,
             live,
@@ -162,24 +209,7 @@ impl Follower {
 
     fn sync_inner(&mut self) -> Result<u64, ReplicaError> {
         let manifest = fetch_manifest(&self.transport)?;
-        self.manifest = manifest.clone();
-        // The chain may have been rebased on a newer anchor (rotation, or
-        // a promotion elsewhere): if it no longer reaches our applied
-        // epoch, rebuild the local store from the shipped anchor.
-        let applied = self.live.epoch();
-        let chain_start = manifest
-            .segments
-            .first()
-            .map_or(manifest.anchor_epoch() + 1, |s| s.first_epoch);
-        if applied + 1 < chain_start {
-            if manifest.anchor_epoch() <= applied {
-                return Err(ReplicaError::ChainBroken {
-                    expected: applied + 1,
-                    found: chain_start,
-                });
-            }
-            self.rebootstrap(&manifest)?;
-        }
+        self.adopt_manifest(&manifest)?;
         for meta in &manifest.segments {
             let applied = self.live.epoch();
             if meta.last_epoch <= applied {
@@ -202,6 +232,40 @@ impl Follower {
             self.live.apply_all(&deltas)?;
         }
         Ok(self.live.epoch())
+    }
+
+    /// Decides whether a fetched manifest continues the followed chain,
+    /// rebases it, or must be refused.
+    ///
+    /// * An *older* fencing token is a fenced writer's lost-race commit:
+    ///   refuse it ([`ReplicaError::StaleManifest`]) — the winner's next
+    ///   ship rewrites the manifest and the next sync proceeds.
+    /// * An anchor past the applied epoch (rotation or promotion) means
+    ///   the chain no longer reaches this replica: rebootstrap from the
+    ///   anchor.
+    /// * A *newer* token whose anchor is **behind** the applied epoch
+    ///   means a writer forked the chain before our position; the local
+    ///   suffix belongs to the old history, so splicing the new writer's
+    ///   segments onto it would silently mix two histories. Rebootstrap.
+    /// * Otherwise the chain continues ours: durably record it (so a
+    ///   restart knows which token the local state was replayed under) and
+    ///   adopt it.
+    fn adopt_manifest(&mut self, manifest: &Manifest) -> Result<(), ReplicaError> {
+        if manifest.fencing_token < self.manifest.fencing_token {
+            return Err(ReplicaError::StaleManifest {
+                followed: self.manifest.fencing_token,
+                fetched: manifest.fencing_token,
+            });
+        }
+        let applied = self.live.epoch();
+        let new_writer = manifest.fencing_token != self.manifest.fencing_token;
+        if manifest.anchor_epoch() > applied || (new_writer && applied > manifest.anchor_epoch()) {
+            self.rebootstrap(manifest)?;
+        } else if *manifest != self.manifest {
+            write_replica_manifest_with(&self.options.vfs, &self.store_dir, manifest)?;
+        }
+        self.manifest = manifest.clone();
+        Ok(())
     }
 
     /// Fetches one segment, quarantining and re-fetching damaged copies.
@@ -281,13 +345,19 @@ impl Follower {
     ///
     /// Recovery first settles the local engine on its published epoch
     /// (discarding any unacknowledged WAL suffix — the publish pointer is
-    /// the commit point). The promotion then rebases the shipped chain on
-    /// this replica's state: it durably records a fencing token newer than
-    /// the outbox's, ships a fresh anchor at the applied epoch, and
-    /// commits a manifest carrying the new token, the new anchor, and no
-    /// old segments. From that commit on, the old primary's next fenced
-    /// operation fails with [`ReplicaError::Fenced`], and other followers
-    /// re-anchor onto the new chain at their next sync.
+    /// the commit point). The promotion then takes over the chain: it
+    /// durably records a fencing token newer than any it can observe,
+    /// publishes that token in the **outbox fence file** (the arbitration
+    /// point ships never rewrite), ships a fresh anchor at the applied
+    /// epoch, and commits a manifest carrying the new token, the new
+    /// anchor, and no old segments. From the fence rename on, the old
+    /// primary's next fenced operation fails with [`ReplicaError::Fenced`];
+    /// at worst one in-flight commit of its clobbers the manifest, which
+    /// the new primary's next ship rewrites and followers refuse as stale.
+    /// Two promotions racing each other are arbitrated by a post-commit
+    /// fence re-read (the loser fails with [`ReplicaError::Fenced`]);
+    /// promotions that compute the *same* token remain unarbitrated, as
+    /// with any file-rename-based fence.
     pub fn promote(self) -> Result<Primary, ReplicaError> {
         self.live.try_recover()?;
         let snapshot = self.live.snapshot();
@@ -295,19 +365,22 @@ impl Follower {
         let src_vfs = self.transport.src_vfs();
         let src_dir = self.transport.src_dir().to_path_buf();
         let current = match read_manifest_with(&src_vfs, &src_dir) {
-            Ok(manifest) => manifest,
-            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                self.manifest.clone()
-            }
+            Ok(manifest) => manifest.fencing_token,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => 0,
             Err(e) => return Err(e.into()),
         };
-        let token = current.fencing_token.max(self.manifest.fencing_token) + 1;
+        let outbox_token = read_fence_with(&src_vfs, &src_dir)?.unwrap_or(0);
+        let token = current.max(outbox_token).max(self.manifest.fencing_token) + 1;
         let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
-        // Fence first: if we crash between here and the manifest commit,
-        // we hold a token newer than the manifest's — attach() accepts
-        // that and the next ship republishes it. The reverse order would
-        // fence *ourselves* out of the chain we just took over.
+        // Own fence first: if we crash between here and the manifest
+        // commit, we hold a token newer than the manifest's — attach()
+        // accepts that and rebases the chain on our own state. The reverse
+        // order would fence *ourselves* out of the chain we just took
+        // over.
         write_fence_with(&store.vfs(), store.dir(), token)?;
+        // Then the outbox fence: from this rename on, the old primary's
+        // next fence check stands it down.
+        write_fence_with(&src_vfs, &src_dir, token)?;
         let entry = write_anchor_with(&src_vfs, &src_dir, epoch, &snapshot.engine().export())?;
         let manifest = Manifest {
             fencing_token: token,
@@ -315,9 +388,19 @@ impl Follower {
             segments: Vec::new(),
         };
         write_manifest_with(&src_vfs, &src_dir, &manifest)?;
+        let fence_now = read_fence_with(&src_vfs, &src_dir)?.unwrap_or(0);
+        if fence_now > token {
+            // A concurrent promotion claimed a newer token while we were
+            // committing: stand down; its next ship rewrites the manifest.
+            return Err(ReplicaError::Fenced {
+                held: token,
+                manifest: fence_now,
+            });
+        }
+        write_replica_manifest_with(&store.vfs(), store.dir(), &manifest)?;
         store.set_ship_watermark(epoch);
         Ok(Primary::assume(
-            self.live, src_vfs, src_dir, token, &manifest,
+            self.live, src_vfs, src_dir, token, manifest,
         ))
     }
 }

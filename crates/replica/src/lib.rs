@@ -20,9 +20,20 @@
 //!   bit-identical to the primary's at the same epoch: an epoch-stamped
 //!   digest of the canonical export plus conformance probes.
 //! * [`Follower::promote`] turns a follower into the new writer. Promotion
-//!   bumps the manifest's **fencing token**; a revived old primary finds a
-//!   token newer than the one it holds and refuses to write with
-//!   [`ReplicaError::Fenced`].
+//!   bumps the **fencing token** in the outbox's fence file — which ships
+//!   never rewrite — before committing its manifest; a revived old primary
+//!   finds a token newer than the one it holds and refuses to write with
+//!   [`ReplicaError::Fenced`]. Because file renames are not
+//!   compare-and-swap, a fenced writer racing the promotion can still
+//!   clobber the *manifest*; every writer therefore re-checks the fence
+//!   after each manifest commit (standing down with [`ReplicaError::Fenced`]
+//!   if it lost), rewrites the chain from its own in-memory copy on the
+//!   next ship rather than re-adopting disk contents, and followers refuse
+//!   to adopt a manifest whose token is older than the chain they already
+//!   follow ([`ReplicaError::StaleManifest`]). Each follower records the
+//!   manifest it last adopted next to its local store, so a replica whose
+//!   applied epoch is ahead of a new writer's anchor discards its
+//!   dead-history suffix and rebootstraps instead of splicing chains.
 //!
 //! All I/O goes through the store's [`Vfs`](cpdb_store::Vfs) trait, so the
 //! whole protocol — shipping, verification, quarantine, promotion — runs
@@ -71,6 +82,15 @@ pub enum ReplicaError {
         held: u64,
         /// The newer token found in the manifest.
         manifest: u64,
+    },
+    /// The fetched manifest carries a fencing token older than the chain
+    /// this follower already adopted: it was written by a fenced writer
+    /// that lost a promotion race, and must not be replayed.
+    StaleManifest {
+        /// The fencing token of the chain the follower currently follows.
+        followed: u64,
+        /// The older token carried by the fetched manifest.
+        fetched: u64,
     },
     /// A shipped file could not be fetched and verified within
     /// [`FETCH_ATTEMPTS`]; the damaged copies were quarantined and the
@@ -134,6 +154,11 @@ impl std::fmt::Display for ReplicaError {
                 f,
                 "fenced: this primary holds token {held} but the manifest carries {manifest}; \
                  another node was promoted and this writer must stand down"
+            ),
+            ReplicaError::StaleManifest { followed, fetched } => write!(
+                f,
+                "stale manifest: fetched fencing token {fetched} is older than the followed \
+                 chain's token {followed}; refusing to adopt a fenced writer's manifest"
             ),
             ReplicaError::SegmentUnavailable { name, context } => write!(
                 f,

@@ -12,32 +12,47 @@ use cpdb_store::ship::{
 };
 use cpdb_store::{Store, StoreError, Vfs};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A writer engine attached to an outbox directory it ships WAL segments
 /// into.
 ///
-/// Every write-path operation first re-reads the outbox manifest and
-/// compares its fencing token to the token this primary durably holds in
-/// its own store directory; a newer token means another node was promoted
-/// and the operation fails with [`ReplicaError::Fenced`] instead of
-/// splitting the brain.
+/// Ownership of the outbox is arbitrated by the outbox's **fence file**,
+/// which only promotions (and the initial claim) write — shipping never
+/// rewrites it. Every write-path operation reads that file and compares it
+/// to the token this primary durably holds in its own store directory; a
+/// newer token means another node was promoted and the operation fails
+/// with [`ReplicaError::Fenced`] instead of splitting the brain.
+///
+/// Because file renames are not compare-and-swap, a fenced writer racing a
+/// promotion can still clobber the *manifest* with one last commit. Two
+/// rules bound that race to a single superseded manifest:
+///
+/// * after every manifest commit the writer re-reads the fence and stands
+///   down (without adopting the commit) if it lost, and
+/// * the manifest a primary evolves lives **in memory** — disk contents
+///   are never re-adopted, so the next ship rewrites the full chain and
+///   heals any clobber instead of splicing a foreign chain onto its own.
 pub struct Primary {
     live: LiveEngine,
     outbox_vfs: Arc<dyn Vfs>,
     outbox: PathBuf,
     held_token: u64,
+    manifest: Mutex<Manifest>,
 }
 
 impl Primary {
     /// Attaches a durable engine to `outbox`.
     ///
-    /// A fresh outbox is claimed by writing a manifest with fencing token 1
-    /// (or the token already held in the store directory, if larger) and
-    /// recording that token durably next to the engine's own WAL. An
-    /// existing outbox is only accepted if its manifest token is not newer
-    /// than the held one — a revived old primary finds the promoted
-    /// follower's token and is refused.
+    /// A fresh outbox is claimed by writing fencing token 1 (or the token
+    /// already held in the store directory, if larger) into both fence
+    /// files and committing an empty manifest. An existing outbox is only
+    /// accepted if neither its fence file nor its manifest carries a token
+    /// newer than the held one — a revived old primary finds the promoted
+    /// follower's token and is refused. A chain written under an *older*
+    /// token (a fenced writer's lost-race manifest, or this node's own
+    /// interrupted claim) is discarded and rebased on an anchor cut from
+    /// this engine's own state.
     pub fn attach(
         live: LiveEngine,
         outbox_vfs: Arc<dyn Vfs>,
@@ -49,89 +64,137 @@ impl Primary {
         outbox_vfs
             .create_dir_all(outbox)
             .map_err(StoreError::from)?;
-        let held = read_fence_with(&store_vfs, &store_dir)?;
-        let (manifest, held_token) = match read_manifest_with(&outbox_vfs, outbox) {
-            Ok(manifest) => {
-                let held = held.unwrap_or(0);
-                if manifest.fencing_token > held {
-                    return Err(ReplicaError::Fenced {
-                        held,
-                        manifest: manifest.fencing_token,
-                    });
-                }
-                (manifest, held)
-            }
-            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                let token = held.unwrap_or(0).max(1);
-                let manifest = Manifest {
-                    fencing_token: token,
-                    ..Manifest::default()
-                };
-                write_fence_with(&store_vfs, &store_dir, token)?;
-                write_manifest_with(&outbox_vfs, outbox, &manifest)?;
-                (manifest, token)
-            }
+        let held_opt = read_fence_with(&store_vfs, &store_dir)?;
+        let held = held_opt.unwrap_or(0);
+        let outbox_token = read_fence_with(&outbox_vfs, outbox)?.unwrap_or(0);
+        let disk = match read_manifest_with(&outbox_vfs, outbox) {
+            Ok(manifest) => Some(manifest),
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
         };
-        if held.is_none() {
+        let chain_token = outbox_token.max(disk.as_ref().map_or(0, |m| m.fencing_token));
+        let (held_token, manifest, needs_commit) = if disk.is_none() && outbox_token == 0 {
+            // Fresh outbox: claim it.
+            let token = held.max(1);
+            (
+                token,
+                Manifest {
+                    fencing_token: token,
+                    ..Manifest::default()
+                },
+                true,
+            )
+        } else if chain_token > held {
+            return Err(ReplicaError::Fenced {
+                held,
+                manifest: chain_token,
+            });
+        } else if let Some(manifest) = disk.filter(|m| m.fencing_token == held) {
+            (held, manifest, false)
+        } else {
+            // The on-disk chain was written under an older token; rebase
+            // it on this engine's own durable state.
+            let token = held.max(1);
+            let snapshot = live.snapshot();
+            let entry = write_anchor_with(
+                &outbox_vfs,
+                outbox,
+                snapshot.epoch(),
+                &snapshot.engine().export(),
+            )?;
+            (
+                token,
+                Manifest {
+                    fencing_token: token,
+                    anchor: Some(entry),
+                    ..Manifest::default()
+                },
+                true,
+            )
+        };
+        if held_opt != Some(held_token) {
             write_fence_with(&store_vfs, &store_dir, held_token)?;
         }
+        if outbox_token < held_token {
+            write_fence_with(&outbox_vfs, outbox, held_token)?;
+        }
+        if needs_commit {
+            write_manifest_with(&outbox_vfs, outbox, &manifest)?;
+        }
+        let fence_now = read_fence_with(&outbox_vfs, outbox)?.unwrap_or(0);
+        if fence_now > held_token {
+            return Err(ReplicaError::Fenced {
+                held: held_token,
+                manifest: fence_now,
+            });
+        }
         store.set_ship_watermark(manifest.shipped_epoch());
+        let shipped = manifest.shipped_epoch();
         let primary = Primary {
             live,
             outbox_vfs,
             outbox: outbox.to_path_buf(),
             held_token,
+            manifest: Mutex::new(manifest),
         };
-        primary.publish_status(&manifest);
+        primary.publish_status(shipped);
         Ok(primary)
     }
 
-    /// Reassembles a primary after a promotion already wrote the fence and
-    /// manifest; the invariants [`attach`](Primary::attach) checks are
+    /// Reassembles a primary after a promotion already wrote the fences
+    /// and manifest; the invariants [`attach`](Primary::attach) checks are
     /// established by the caller.
     pub(crate) fn assume(
         live: LiveEngine,
         outbox_vfs: Arc<dyn Vfs>,
         outbox: PathBuf,
         held_token: u64,
-        manifest: &Manifest,
+        manifest: Manifest,
     ) -> Primary {
+        let shipped = manifest.shipped_epoch();
         let primary = Primary {
             live,
             outbox_vfs,
             outbox,
             held_token,
+            manifest: Mutex::new(manifest),
         };
-        primary.publish_status(manifest);
+        primary.publish_status(shipped);
         primary
     }
 
-    /// Re-reads the outbox manifest and refuses the operation if a newer
-    /// fencing token has been published. Returns the manifest (with a
-    /// stale-but-ours token bumped back to the held one, which the next
-    /// manifest write persists).
-    fn check_fence(&self) -> Result<Manifest, ReplicaError> {
-        let mut manifest = read_manifest_with(&self.outbox_vfs, &self.outbox)?;
-        if manifest.fencing_token > self.held_token {
+    /// The manifest this primary evolves, independent of disk contents.
+    fn lock_manifest(&self) -> Result<MutexGuard<'_, Manifest>, ReplicaError> {
+        self.manifest
+            .lock()
+            .map_err(|_| ReplicaError::Store(StoreError::Poisoned))
+    }
+
+    /// Reads the outbox fence file and refuses the operation if a newer
+    /// fencing token has been published there. Called both *before* an
+    /// operation (fail fast) and *after* every manifest commit: a fenced
+    /// writer racing a promotion can clobber the manifest once, but the
+    /// fence file — which ships never rewrite — always names the winner.
+    fn check_fence(&self) -> Result<(), ReplicaError> {
+        let token = read_fence_with(&self.outbox_vfs, &self.outbox)?.unwrap_or(0);
+        if token > self.held_token {
             self.live.set_replication(Some(ReplicationStatus {
                 role: ReplicaRole::Primary,
-                epoch: manifest.shipped_epoch(),
+                epoch: self.live.epoch(),
                 lag: 0,
                 link: ComponentHealth::Degraded {
                     reason: format!(
-                        "fenced: manifest token {} is newer than held token {}",
-                        manifest.fencing_token, self.held_token
+                        "fenced: outbox fence token {token} is newer than held token {}",
+                        self.held_token
                     ),
                 },
             }));
             return Err(ReplicaError::Fenced {
                 held: self.held_token,
-                manifest: manifest.fencing_token,
+                manifest: token,
             });
         }
-        manifest.fencing_token = self.held_token;
-        Ok(manifest)
+        Ok(())
     }
 
     /// Applies one delta after confirming this node still owns the chain.
@@ -152,16 +215,20 @@ impl Primary {
     /// (and any ship whose WAL run was already compacted away) ships a
     /// full snapshot anchor instead. Returns the shipped epoch.
     pub fn ship(&self) -> Result<u64, ReplicaError> {
-        let mut manifest = self.check_fence()?;
+        self.check_fence()?;
         let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
         let snapshot = self.live.snapshot();
         let epoch = snapshot.epoch();
+        let mut manifest = self.lock_manifest()?;
         if manifest.anchor.is_none() {
             return self.reanchor(&mut manifest, &snapshot, store);
         }
         let shipped = manifest.shipped_epoch();
         if epoch <= shipped {
-            self.publish_status(&manifest);
+            // Nothing new to ship — but if a fenced writer's lost-race
+            // commit clobbered the on-disk manifest, rewrite our copy.
+            self.repair_manifest(&manifest)?;
+            self.publish_status(shipped);
             return Ok(shipped);
         }
         let records: Vec<(u64, TreeDelta)> = store
@@ -178,26 +245,49 @@ impl Primary {
             return self.reanchor(&mut manifest, &snapshot, store);
         }
         let meta = write_segment_with(&self.outbox_vfs, &self.outbox, &records)?;
-        manifest.segments.push(meta);
-        write_manifest_with(&self.outbox_vfs, &self.outbox, &manifest)?;
+        let mut next = manifest.clone();
+        next.fencing_token = self.held_token;
+        next.segments.push(meta);
+        write_manifest_with(&self.outbox_vfs, &self.outbox, &next)?;
+        self.check_fence()?;
+        *manifest = next;
         store.set_ship_watermark(epoch);
-        self.publish_status(&manifest);
+        self.publish_status(epoch);
         Ok(epoch)
+    }
+
+    /// Rewrites the on-disk manifest from the in-memory copy if they
+    /// differ. This heals the one manifest clobber a fenced writer can
+    /// land before its post-commit fence check stands it down, without
+    /// shipping anything new.
+    fn repair_manifest(&self, manifest: &Manifest) -> Result<(), ReplicaError> {
+        let matches = match read_manifest_with(&self.outbox_vfs, &self.outbox) {
+            Ok(disk) => disk == *manifest,
+            // Missing or unreadable: rewrite it either way.
+            Err(_) => false,
+        };
+        if !matches {
+            write_manifest_with(&self.outbox_vfs, &self.outbox, manifest)?;
+            self.check_fence()?;
+        }
+        Ok(())
     }
 
     /// Ships a fresh snapshot anchor at the current epoch and drops the
     /// segment chain behind it, bounding follower catch-up work and
     /// letting the outbox forget old segments. Returns the anchor epoch.
     pub fn rotate_anchor(&self) -> Result<u64, ReplicaError> {
-        let mut manifest = self.check_fence()?;
+        self.check_fence()?;
         let store = self.live.store().ok_or(ReplicaError::NotDurable)?;
         let snapshot = self.live.snapshot();
+        let mut manifest = self.lock_manifest()?;
         self.reanchor(&mut manifest, &snapshot, store)
     }
 
     /// Writes an anchor at `snapshot`'s epoch and commits a manifest whose
     /// chain restarts there. Superseded files are removed only after the
-    /// manifest commit, so a crash mid-rotation never orphans the chain.
+    /// manifest commit (and its fence re-check), so a crash mid-rotation
+    /// never orphans the chain.
     fn reanchor(
         &self,
         manifest: &mut Manifest,
@@ -211,9 +301,13 @@ impl Primary {
             epoch,
             &snapshot.engine().export(),
         )?;
-        let old_anchor = manifest.anchor.replace(entry);
-        let old_segments = std::mem::take(&mut manifest.segments);
-        write_manifest_with(&self.outbox_vfs, &self.outbox, manifest)?;
+        let mut next = manifest.clone();
+        next.fencing_token = self.held_token;
+        let old_anchor = next.anchor.replace(entry);
+        let old_segments = std::mem::take(&mut next.segments);
+        write_manifest_with(&self.outbox_vfs, &self.outbox, &next)?;
+        self.check_fence()?;
+        *manifest = next;
         store.set_ship_watermark(epoch);
         for meta in &old_segments {
             let _ = self
@@ -229,15 +323,15 @@ impl Primary {
                 );
             }
         }
-        self.publish_status(manifest);
+        self.publish_status(epoch);
         Ok(epoch)
     }
 
-    fn publish_status(&self, manifest: &Manifest) {
+    fn publish_status(&self, shipped: u64) {
         self.live.set_replication(Some(ReplicationStatus {
             role: ReplicaRole::Primary,
-            epoch: manifest.shipped_epoch(),
-            lag: self.live.epoch().saturating_sub(manifest.shipped_epoch()),
+            epoch: shipped,
+            lag: self.live.epoch().saturating_sub(shipped),
             link: ComponentHealth::Healthy,
         }));
     }

@@ -7,10 +7,12 @@ use cpdb_engine::{ConsensusEngine, ConsensusEngineBuilder, Query, TopKMetric, Va
 use cpdb_live::{ComponentHealth, LiveEngine, ReplicaRole, TreeDelta};
 use cpdb_replica::{check_divergence, Follower, Primary, ReplicaError, Transport};
 use cpdb_store::fault::FaultVfs;
-use cpdb_store::ship::read_manifest_with;
+use cpdb_store::ship::{read_manifest_with, write_fence_with, write_manifest_with, MANIFEST_FILE};
 use cpdb_store::store::StoreOptions;
-use cpdb_store::{RetryPolicy, Vfs};
+use cpdb_store::{RetryPolicy, Vfs, VfsFile};
+use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn bid_tree() -> AndXorTree {
@@ -82,17 +84,23 @@ fn primary(pvfs: &FaultVfs) -> Primary {
     Primary::attach(live, arc(pvfs), Path::new("/p/outbox")).unwrap()
 }
 
-/// A follower over `fvfs` pulling from `/p/outbox` on `pvfs` into
-/// `/f/inbox`, with its local store at `/f/store`.
-fn follower(pvfs: &FaultVfs, fvfs: &FaultVfs) -> Follower {
+/// A follower over `fvfs` pulling from `/p/outbox` on `pvfs` into `inbox`,
+/// with its local store at `store`.
+fn follower_at(pvfs: &FaultVfs, fvfs: &FaultVfs, inbox: &str, store: &str) -> Follower {
     let transport = Transport::new(
         arc(pvfs),
         Path::new("/p/outbox"),
         arc(fvfs),
-        Path::new("/f/inbox"),
+        Path::new(inbox),
     )
     .unwrap();
-    Follower::open(transport, Path::new("/f/store"), options(fvfs)).unwrap()
+    Follower::open(transport, Path::new(store), options(fvfs)).unwrap()
+}
+
+/// A follower over `fvfs` pulling from `/p/outbox` on `pvfs` into
+/// `/f/inbox`, with its local store at `/f/store`.
+fn follower(pvfs: &FaultVfs, fvfs: &FaultVfs) -> Follower {
+    follower_at(pvfs, fvfs, "/f/inbox", "/f/store")
 }
 
 #[test]
@@ -433,4 +441,231 @@ fn divergence_checks_catch_drift_and_epoch_skew() {
     // leaves) passes both the digest and the probes.
     b.apply(&deltas[0]).unwrap();
     check_divergence(&a.snapshot(), &b.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn promotion_reanchors_a_follower_ahead_of_the_new_anchor() {
+    let pvfs = FaultVfs::new();
+    let avfs = FaultVfs::new();
+    let bvfs = FaultVfs::new();
+    let old_primary = primary(&pvfs);
+    old_primary.ship().unwrap();
+    let deltas = leaf_deltas(old_primary.snapshot().tree(), 5);
+
+    // Follower B stops syncing at epoch 2; follower A reaches epoch 5.
+    for delta in &deltas[..2] {
+        old_primary.apply(delta).unwrap();
+    }
+    old_primary.ship().unwrap();
+    let mut b = follower_at(&pvfs, &bvfs, "/b/inbox", "/b/store");
+    assert_eq!(b.sync().unwrap(), 2);
+    for delta in &deltas[2..] {
+        old_primary.apply(delta).unwrap();
+    }
+    old_primary.ship().unwrap();
+    let mut a = follower_at(&pvfs, &avfs, "/a/inbox", "/a/store");
+    assert_eq!(a.sync().unwrap(), 5);
+    drop(old_primary);
+
+    // B takes over at epoch 2: epochs 3-5 of the old chain are dead
+    // history. The new chain then grows past A's applied epoch with
+    // *different* deltas.
+    let new_primary = b.promote().unwrap();
+    let alt: Vec<TreeDelta> = leaf_deltas(new_primary.snapshot().tree(), 4)
+        .into_iter()
+        .map(|d| match d {
+            TreeDelta::LeafValue { leaf, value } => TreeDelta::LeafValue {
+                leaf,
+                value: value + 7.0,
+            },
+            other => other,
+        })
+        .collect();
+    for delta in &alt {
+        new_primary.apply(delta).unwrap();
+    }
+    new_primary.ship().unwrap();
+    assert_eq!(new_primary.epoch(), 6);
+
+    // A is at epoch 5 on the dead history; splicing the new chain's
+    // epoch-6 segment on top would silently mix the two. It must instead
+    // discard its suffix and rebootstrap from the new anchor.
+    assert_eq!(a.sync().unwrap(), 6);
+    check_divergence(&new_primary.snapshot(), &a.snapshot(), &probes()).unwrap();
+}
+
+/// Delegating VFS that simulates a promotion landing in the middle of a
+/// ship: the first rename that commits a manifest first writes fencing
+/// token 2 into the outbox's fence file — after the shipping primary's
+/// pre-flight fence check, before its commit lands.
+#[derive(Debug)]
+struct RaceVfs {
+    inner: Arc<dyn Vfs>,
+    armed: AtomicBool,
+}
+
+impl Vfs for RaceVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.inner.open_rw(path)
+    }
+    fn create_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.inner.create_truncated(path)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if to.file_name().and_then(|n| n.to_str()) == Some(MANIFEST_FILE)
+            && self.armed.swap(false, Ordering::SeqCst)
+        {
+            write_fence_with(&self.inner, Path::new("/p/outbox"), 2)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        self.inner.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[test]
+fn a_promotion_racing_a_ship_fences_the_loser() {
+    let pvfs = FaultVfs::new();
+    let live =
+        LiveEngine::new_durable_with(engine(), Path::new("/p/store"), options(&pvfs)).unwrap();
+    let race = Arc::new(RaceVfs {
+        inner: arc(&pvfs),
+        armed: AtomicBool::new(false),
+    });
+    let primary =
+        Primary::attach(live, race.clone() as Arc<dyn Vfs>, Path::new("/p/outbox")).unwrap();
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 2);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+    }
+
+    // The promotion's fence lands between this ship's pre-flight check
+    // and its manifest commit. The commit still clobbers the manifest
+    // (renames are not compare-and-swap), but the post-commit fence
+    // re-check catches it: the ship fails instead of silently keeping the
+    // chain, and every later write is fenced too.
+    race.armed.store(true, Ordering::SeqCst);
+    let err = primary.ship().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReplicaError::Fenced {
+                held: 1,
+                manifest: 2
+            }
+        ),
+        "{err}"
+    );
+    let err = primary.apply(&deltas[0]).unwrap_err();
+    assert!(matches!(err, ReplicaError::Fenced { .. }), "{err}");
+}
+
+#[test]
+fn follower_reopens_and_serves_while_the_outbox_is_dark() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let primary = primary(&pvfs);
+    primary.ship().unwrap();
+    let deltas = leaf_deltas(primary.snapshot().tree(), 2);
+    for delta in &deltas {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 2);
+    let before = follower.snapshot().run(&topk(2)).unwrap();
+    drop(follower);
+
+    // The outbox goes dark, then the follower restarts: it must come
+    // back up on its intact local store and keep serving, link degraded.
+    pvfs.fail_at(pvfs.op_count(), std::io::ErrorKind::Other, true);
+    let transport = Transport::new(
+        arc(&pvfs),
+        Path::new("/p/outbox"),
+        arc(&fvfs),
+        Path::new("/f/inbox"),
+    )
+    .unwrap();
+    let mut reopened = Follower::open(transport, Path::new("/f/store"), options(&fvfs)).unwrap();
+    assert_eq!(reopened.applied_epoch(), 2);
+    assert_eq!(reopened.snapshot().run(&topk(2)).unwrap(), before);
+    let status = reopened.health().replication.unwrap();
+    assert!(
+        matches!(status.link, ComponentHealth::Degraded { .. }),
+        "link should be degraded while the outbox is unreachable"
+    );
+
+    pvfs.clear_faults();
+    assert_eq!(reopened.sync().unwrap(), 2);
+    assert!(reopened.health().replication.unwrap().link.is_healthy());
+    check_divergence(&primary.snapshot(), &reopened.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn follower_refuses_a_fenced_writers_manifest() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let gvfs = FaultVfs::new();
+    let old_primary = primary(&pvfs);
+    old_primary.ship().unwrap();
+    let deltas = leaf_deltas(old_primary.snapshot().tree(), 5);
+    for delta in &deltas[..3] {
+        old_primary.apply(delta).unwrap();
+    }
+    old_primary.ship().unwrap();
+    let mut follower = follower(&pvfs, &fvfs);
+    assert_eq!(follower.sync().unwrap(), 3);
+    let stale = read_manifest_with(&arc(&pvfs), Path::new("/p/outbox")).unwrap();
+    drop(old_primary);
+
+    // Promote a second replica, grow the new chain, and let the follower
+    // adopt it.
+    let mut g = follower_at(&pvfs, &gvfs, "/g/inbox", "/g/store");
+    assert_eq!(g.sync().unwrap(), 3);
+    let new_primary = g.promote().unwrap();
+    for delta in &deltas[3..] {
+        new_primary.apply(delta).unwrap();
+    }
+    new_primary.ship().unwrap();
+    assert_eq!(follower.sync().unwrap(), 5);
+
+    // A fenced writer's lost-race commit rewrites the manifest with the
+    // old token. The follower must refuse it and keep its state.
+    write_manifest_with(&arc(&pvfs), Path::new("/p/outbox"), &stale).unwrap();
+    let err = follower.sync().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReplicaError::StaleManifest {
+                followed: 2,
+                fetched: 1
+            }
+        ),
+        "{err}"
+    );
+    assert_eq!(follower.applied_epoch(), 5);
+
+    // The rightful writer's next ship heals the clobber without shipping
+    // anything new, and the follower recovers.
+    new_primary.ship().unwrap();
+    assert_eq!(follower.sync().unwrap(), 5);
+    check_divergence(&new_primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
 }

@@ -19,10 +19,20 @@
 //!   ship is committed only when the manifest naming it lands; followers
 //!   verify every fetched file against the manifest entry before use.
 //!
-//! The **fencing token** implements single-writer failover: promotion
-//! bumps the manifest token, while each primary durably remembers the
-//! token it held (`fence.cpdb` in its own store directory). A revived old
-//! primary sees a manifest token above its own and must refuse writes.
+//! The **fencing token** implements single-writer failover. The
+//! authoritative copy lives in a fence file (`fence.cpdb`) in the
+//! *outbox*: promotion bumps it there before committing its manifest, and
+//! shipping never rewrites it — so a fenced writer racing a promotion can
+//! clobber the manifest (file renames are not compare-and-swap) but never
+//! the token, and re-checking the fence after every manifest commit
+//! bounds the race to one superseded (and later rewritten) manifest. Each
+//! primary also durably remembers the token it holds in a fence file in
+//! its own store directory, and the manifest carries the committing
+//! writer's token so followers can tell a new writer's chain from the old
+//! one. A revived old primary sees a fence token above its own and must
+//! refuse writes. Followers record the manifest they last adopted in
+//! their own store directory ([`REPLICA_MANIFEST_FILE`]) so a restarted
+//! follower knows which writer's chain its local state belongs to.
 //!
 //! [`export_digest`] is the divergence probe: a checksum over the
 //! *canonical* state of an epoch (epoch stamp + engine configuration +
@@ -51,8 +61,16 @@ pub const ANCHOR_PREFIX: &str = "anchor-";
 pub const SHIPPED_SUFFIX: &str = ".cpdb";
 /// The manifest file name inside an outbox or inbox directory.
 pub const MANIFEST_FILE: &str = "manifest.cpdb";
-/// The per-primary fencing-token file inside a primary's store directory.
+/// The fencing-token file name. In an **outbox** it is the arbitration
+/// point of the chain: only promotions (and the initial claim) write it,
+/// shipping never does. In a primary's **store directory** it records the
+/// token that node durably holds.
 pub const FENCE_FILE: &str = "fence.cpdb";
+/// A follower's durable record (in its own store directory) of the
+/// manifest it last adopted — the chain its local state was replayed
+/// from. Same image format as [`MANIFEST_FILE`], different name so store
+/// scans do not cross-check it against files that live in the outbox.
+pub const REPLICA_MANIFEST_FILE: &str = "replica.cpdb";
 /// Suffix a follower renames a corrupt shipped file to before re-fetching.
 pub const QUARANTINE_SUFFIX: &str = ".quarantine";
 
@@ -439,7 +457,36 @@ pub fn read_manifest_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<Manifest, St
     decode_manifest(&vfs.read(&dir.join(MANIFEST_FILE))?)
 }
 
-/// Writes a primary's held fencing token durably into its store directory.
+/// Durably records the manifest a follower last adopted
+/// ([`REPLICA_MANIFEST_FILE`]) in its store directory.
+pub fn write_replica_manifest_with(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(), StoreError> {
+    manifest.validate()?;
+    write_atomic(
+        vfs,
+        &dir.join(REPLICA_MANIFEST_FILE),
+        &encode_manifest(manifest),
+    )
+}
+
+/// Reads the manifest a follower last adopted; `None` if the file does
+/// not exist (a store that never followed a chain).
+pub fn read_replica_manifest_with(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<Option<Manifest>, StoreError> {
+    let path = dir.join(REPLICA_MANIFEST_FILE);
+    if !vfs.exists(&path) {
+        return Ok(None);
+    }
+    Ok(Some(decode_manifest(&vfs.read(&path)?)?))
+}
+
+/// Writes a fencing token durably into `dir` (an outbox or a primary's
+/// store directory).
 pub fn write_fence_with(vfs: &Arc<dyn Vfs>, dir: &Path, token: u64) -> Result<(), StoreError> {
     let mut w = ByteWriter::new();
     w.put_u64(token);
@@ -450,8 +497,8 @@ pub fn write_fence_with(vfs: &Arc<dyn Vfs>, dir: &Path, token: u64) -> Result<()
     )
 }
 
-/// Reads a primary's held fencing token; `None` if the file does not exist
-/// (a store that never initialised replication).
+/// Reads the fencing token from `dir`; `None` if the file does not exist
+/// (a directory that never initialised replication).
 pub fn read_fence_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<Option<u64>, StoreError> {
     let path = dir.join(FENCE_FILE);
     if !vfs.exists(&path) {
@@ -750,6 +797,29 @@ mod tests {
                 "manifest bit flip at byte {i} went undetected"
             );
         }
+    }
+
+    #[test]
+    fn replica_manifest_roundtrips() {
+        let vfs = std_vfs();
+        let dir = temp_dir();
+        assert_eq!(read_replica_manifest_with(&vfs, &dir).unwrap(), None);
+        let manifest = Manifest {
+            fencing_token: 2,
+            anchor: Some((4, 77, 20)),
+            segments: vec![SegmentMeta {
+                first_epoch: 5,
+                last_epoch: 6,
+                crc: 3,
+                len: 30,
+            }],
+        };
+        write_replica_manifest_with(&vfs, &dir, &manifest).unwrap();
+        assert_eq!(
+            read_replica_manifest_with(&vfs, &dir).unwrap(),
+            Some(manifest)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub enum FileKind {
     Anchor,
     /// `manifest.cpdb`.
     Manifest,
+    /// `replica.cpdb` — a follower's durable record of the manifest it
+    /// last adopted. Validated like a manifest but not cross-checked:
+    /// the files it names live in the primary's outbox, not here.
+    ReplicaManifest,
     /// `fence.cpdb`.
     Fence,
     /// A file a follower quarantined after a failed verification.
@@ -125,6 +129,8 @@ fn classify(name: &str) -> FileKind {
         FileKind::Wal
     } else if name == MANIFEST_FILE {
         FileKind::Manifest
+    } else if name == ship::REPLICA_MANIFEST_FILE {
+        FileKind::ReplicaManifest
     } else if name == ship::FENCE_FILE {
         FileKind::Fence
     } else if name.starts_with("snapshot-") && name.ends_with(".cpdb") {
@@ -288,6 +294,7 @@ pub fn verify_dir_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<VerifyOutcome, 
                         manifest = decoded;
                         status
                     }
+                    FileKind::ReplicaManifest => verify_manifest_file(&bytes).0,
                     FileKind::Fence => verify_fence_file(&bytes),
                     FileKind::Quarantined | FileKind::Other => FileStatus::Skipped,
                 }
