@@ -1,0 +1,81 @@
+//! Observability micro-benchmarks under criterion's statistics: the hot
+//! query path with the sink attached vs detached, the per-query span
+//! bundle, the flight-recorder event record, and the snapshot/JSON
+//! introspection path. The JSON emitter `src/bin/observability.rs`
+//! measures the same costs with the 2% overhead gate.
+
+use cpdb_bench::update_throughput::live_tree;
+use cpdb_engine::{ConsensusEngine, ConsensusEngineBuilder, Query, TopKMetric, Variant};
+use cpdb_obs::{EventKind, Obs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 40;
+
+fn engine(obs: Obs) -> ConsensusEngine {
+    ConsensusEngineBuilder::new(live_tree(N, 7))
+        .seed(7)
+        .kendall_distance_samples(64)
+        .obs(obs)
+        .build()
+        .expect("valid bench configuration")
+}
+
+fn bench_observability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let query = Query::TopK {
+        k: 10,
+        metric: TopKMetric::SymmetricDifference,
+        variant: Variant::Mean,
+    };
+
+    // The hot query path, sink detached vs attached: the two distributions
+    // must be indistinguishable (the emitter gates the delta at 2%).
+    let plain = engine(Obs::disabled());
+    let _ = plain.run(&query).expect("bench query is valid");
+    group.bench_function("query_sink_detached", |b| {
+        b.iter(|| black_box(plain.run(&query).expect("bench query is valid")));
+    });
+    let obs = Obs::enabled();
+    let instrumented = engine(obs.clone());
+    let _ = instrumented.run(&query).expect("bench query is valid");
+    group.bench_function("query_sink_attached", |b| {
+        b.iter(|| black_box(instrumented.run(&query).expect("bench query is valid")));
+    });
+
+    // What one query pays the sink: the full span bundle (two clock
+    // reads, one histogram record, a start/finish event pair).
+    let hist = obs.histogram("bench.obs.span");
+    group.bench_function("per_query_span_bundle", |b| {
+        b.iter(|| {
+            black_box(obs.span_with_events(
+                &hist,
+                EventKind::QueryStart,
+                EventKind::QueryFinish,
+                || "bench".to_string(),
+            ))
+        });
+    });
+
+    // One flight-recorder event with the ring at capacity (eviction
+    // included), and the introspection path cpdb_stat runs.
+    group.bench_function("flight_recorder_event", |b| {
+        b.iter(|| obs.event_with(EventKind::WalAppend, || "bench event".to_string()));
+    });
+    let snapshot = instrumented.metrics_snapshot();
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(obs.snapshot()));
+    });
+    group.bench_function("snapshot_to_json", |b| {
+        b.iter(|| black_box(snapshot.to_json()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

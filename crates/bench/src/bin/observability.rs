@@ -1,0 +1,205 @@
+//! `BENCH_observability.json` emitter: measures what an attached
+//! [`cpdb_obs::Obs`] sink costs on the hot query path — each recording
+//! primitive, the full per-query span bundle enabled vs disabled, and an
+//! op-interleaved end-to-end query comparison — plus the introspection
+//! path (`snapshot`, `to_json`, full-ring `recent_events`) against a
+//! populated registry.
+//!
+//! ```text
+//! cargo run --release -p cpdb_bench --bin observability -- \
+//!     --n 80 --reps 3 --out BENCH_observability.json --check
+//! ```
+//!
+//! `--check` exits non-zero when the sink's per-query cost exceeds 2% of
+//! one uninstrumented query of the standard probe mix (the span-bundle
+//! delta divided by the mix's per-query floor — see
+//! [`cpdb_bench::observability::ObsOverheadResult::overhead_pct`]): the
+//! sink must be attachable in production without moving any number the
+//! other benches report. The worst-case ratio against the mix's cheapest
+//! kind is reported alongside but never gated.
+
+use cpdb_bench::observability::{measure_obs_overhead, measure_snapshot_cost};
+
+struct Args {
+    n: usize,
+    seed: u64,
+    reps: usize,
+    ops: usize,
+    series: usize,
+    events: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 80,
+        seed: 7,
+        reps: 3,
+        ops: 200_000,
+        series: 48,
+        events: 1024,
+        out: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value("--n").parse().expect("--n takes an integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--ops" => args.ops = value("--ops").parse().expect("--ops takes an integer"),
+            "--series" => {
+                args.series = value("--series")
+                    .parse()
+                    .expect("--series takes an integer");
+            }
+            "--events" => {
+                args.events = value("--events")
+                    .parse()
+                    .expect("--events takes an integer");
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let overhead = measure_obs_overhead(args.n, args.seed, args.reps, args.ops);
+    let introspection = measure_snapshot_cost(args.series, args.events, args.reps);
+
+    println!(
+        "observability — n = {}, seed = {}, {} interleaved queries/side/kind, {} ops/primitive",
+        args.n, args.seed, overhead.queries, overhead.ops
+    );
+    println!(
+        "{:<16} {:>14} {:>18}",
+        "mix kind", "plain µs", "instrumented µs"
+    );
+    for m in &overhead.mix {
+        println!(
+            "{:<16} {:>14.2} {:>18.2}",
+            m.kind, m.plain_us, m.instrumented_us
+        );
+    }
+    println!(
+        "mix mean — plain {:.2} µs, instrumented {:.2} µs (end-to-end, context only)",
+        overhead.plain_query_us(),
+        overhead.instrumented_query_us()
+    );
+    println!(
+        "primitives — counter {:.1} ns, histogram record {:.1} ns, event {:.1} ns ({:.1} Mevents/s)",
+        overhead.counter_ns,
+        overhead.histogram_ns,
+        overhead.event_ns,
+        overhead.events_per_us()
+    );
+    println!(
+        "per-query bundle — enabled {:.1} ns, disabled {:.1} ns; sink adds {:.1} ns = {:+.4}% of one mix query ({:+.2}% of the cheapest kind, not gated)",
+        overhead.enabled_span_ns,
+        overhead.disabled_span_ns,
+        overhead.per_query_obs_ns(),
+        overhead.overhead_pct(),
+        overhead.worst_case_pct()
+    );
+    println!(
+        "introspection — {} series, {} events: snapshot {:.2} µs, to_json {:.2} µs, recent_events {:.2} µs",
+        introspection.series,
+        introspection.events,
+        introspection.snapshot_us,
+        introspection.to_json_us,
+        introspection.recent_events_us
+    );
+
+    if let Some(path) = &args.out {
+        let mix: Vec<String> = overhead
+            .mix
+            .iter()
+            .map(|m| {
+                format!(
+                    concat!(
+                        "      \"{}\": {{\n",
+                        "        \"plain_us\": {:.3},\n",
+                        "        \"instrumented_us\": {:.3}\n",
+                        "      }}"
+                    ),
+                    m.kind, m.plain_us, m.instrumented_us,
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"observability\",\n",
+                "  \"n\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"reps\": {},\n",
+                "  \"hot_path\": {{\n",
+                "    \"queries_per_kind\": {},\n",
+                "    \"mix\": {{\n{}\n    }},\n",
+                "    \"plain_query_us\": {:.3},\n",
+                "    \"instrumented_query_us\": {:.3},\n",
+                "    \"min_plain_query_us\": {:.3},\n",
+                "    \"ops\": {},\n",
+                "    \"counter_ns\": {:.2},\n",
+                "    \"histogram_ns\": {:.2},\n",
+                "    \"event_ns\": {:.2},\n",
+                "    \"enabled_span_ns\": {:.2},\n",
+                "    \"disabled_span_ns\": {:.2},\n",
+                "    \"per_query_obs_ns\": {:.2},\n",
+                "    \"overhead_pct\": {:.4},\n",
+                "    \"worst_case_pct\": {:.4}\n",
+                "  }},\n",
+                "  \"introspection\": {{\n",
+                "    \"series\": {},\n",
+                "    \"events\": {},\n",
+                "    \"snapshot_us\": {:.3},\n",
+                "    \"to_json_us\": {:.3},\n",
+                "    \"recent_events_us\": {:.3}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            args.n,
+            args.seed,
+            args.reps,
+            overhead.queries,
+            mix.join(",\n"),
+            overhead.plain_query_us(),
+            overhead.instrumented_query_us(),
+            overhead.min_plain_query_us(),
+            overhead.ops,
+            overhead.counter_ns,
+            overhead.histogram_ns,
+            overhead.event_ns,
+            overhead.enabled_span_ns,
+            overhead.disabled_span_ns,
+            overhead.per_query_obs_ns(),
+            overhead.overhead_pct(),
+            overhead.worst_case_pct(),
+            introspection.series,
+            introspection.events,
+            introspection.snapshot_us,
+            introspection.to_json_us,
+            introspection.recent_events_us,
+        );
+        std::fs::write(path, json).expect("bench JSON is writable");
+        println!("wrote {path}");
+    }
+
+    if args.check {
+        let pct = overhead.overhead_pct();
+        assert!(
+            pct <= 2.0,
+            "observability sink costs {pct:.4}% of a mix query (budget: 2%)"
+        );
+        println!("check passed: observability sink {pct:+.4}% of a mix query (≤ 2% budget)");
+    }
+}

@@ -201,6 +201,7 @@ pub fn measure_recovery(
             let options = || StoreOptions {
                 vfs: Arc::new(vfs.clone()),
                 retry: RetryPolicy::no_delay(1),
+                ..StoreOptions::default()
             };
             let fault_dir = PathBuf::from("/bench/fault");
             let live = LiveEngine::new_durable_with(

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod fault_recovery;
+pub mod observability;
 pub mod persistence;
 pub mod query_throughput;
 pub mod rank_artifacts;

@@ -4,6 +4,7 @@ use crate::engine::ConsensusEngine;
 use crate::error::EngineError;
 use cpdb_andxor::AndXorTree;
 use cpdb_consensus::aggregate::GroupByInstance;
+use cpdb_obs::Obs;
 use std::ops::RangeInclusive;
 
 /// How Kendall-tau Top-k queries are approximated (the problem is NP-hard
@@ -64,6 +65,7 @@ pub struct ConsensusEngineBuilder {
     kendall_distance_samples: usize,
     groupby: Option<GroupByInstance>,
     threads: usize,
+    obs: Obs,
 }
 
 impl ConsensusEngineBuilder {
@@ -83,6 +85,7 @@ impl ConsensusEngineBuilder {
             kendall_distance_samples: 1024,
             groupby: None,
             threads: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -151,6 +154,16 @@ impl ConsensusEngineBuilder {
         self
     }
 
+    /// Attaches an observability sink: per-query-kind and per-artifact
+    /// latency histograms plus query/artifact flight-recorder events. The
+    /// default is a disabled sink, which costs one branch per record site.
+    /// Purely additive — answers are bit-identical with any sink attached.
+    #[must_use = "builder methods return the updated builder"]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Validates the configuration and builds the engine. Every knob
     /// violation is a typed [`EngineError::InvalidConfig`] — construction
     /// never panics on bad configuration.
@@ -191,6 +204,7 @@ impl ConsensusEngineBuilder {
             self.kendall_distance_samples,
             self.groupby,
             self.threads,
+            self.obs,
         ))
     }
 }

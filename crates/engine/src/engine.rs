@@ -7,6 +7,7 @@ use crate::builder::{IntersectionStrategy, KendallStrategy};
 use crate::delta::DeltaReport;
 use crate::error::EngineError;
 use crate::export::{CoClusterExport, EngineExport, PreferenceExport, RankContextExport};
+use crate::obs::{Artifact, EngineObs};
 use crate::query::{splitmix64, BaselineKind, Query, SetMetric, TopKMetric, Variant};
 use cpdb_andxor::{AndXorTree, NodeKind, TreeDelta};
 use cpdb_consensus::aggregate::GroupByInstance;
@@ -14,6 +15,7 @@ use cpdb_consensus::clustering::{self, CoClusteringWeights};
 use cpdb_consensus::topk::{footrule, intersection, kendall, median_dp, sym_diff};
 use cpdb_consensus::{baselines, jaccard, set_distance, TopKContext};
 use cpdb_model::Alternative;
+use cpdb_obs::MetricsSnapshot;
 use cpdb_parallel::parallel_map_indexed;
 use cpdb_rankagg::pivot::PreferenceMatrix;
 use cpdb_sync::atomic::{AtomicUsize, Ordering::Relaxed};
@@ -313,6 +315,10 @@ pub struct ConsensusEngine {
     /// live updates keep across probability-only epochs.
     key_index: Slot<Arc<Vec<cpdb_model::TupleKey>>>,
     stats: AtomicCacheStats,
+    /// Pre-registered observability handles (inert unless a sink was
+    /// attached via [`crate::ConsensusEngineBuilder::obs`]). Purely
+    /// additive: records timings and events, never touches answers.
+    obs: EngineObs,
 }
 
 impl Clone for ConsensusEngine {
@@ -339,6 +345,7 @@ impl Clone for ConsensusEngine {
             jaccard_candidates: clone_built_slot(&self.jaccard_candidates),
             key_index: clone_built_slot(&self.key_index),
             stats: AtomicCacheStats::from_snapshot(self.stats.snapshot()),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -354,6 +361,7 @@ impl ConsensusEngine {
         kendall_distance_samples: usize,
         groupby: Option<GroupByInstance>,
         threads: usize,
+        obs: cpdb_obs::Obs,
     ) -> Self {
         let shape = detect_shape(&tree);
         ConsensusEngine {
@@ -374,6 +382,7 @@ impl ConsensusEngine {
             jaccard_candidates: Slot::default(),
             key_index: Slot::default(),
             stats: AtomicCacheStats::default(),
+            obs: EngineObs::new(obs),
         }
     }
 
@@ -398,9 +407,55 @@ impl ConsensusEngine {
     }
 
     /// Cache build/hit counters since construction (a consistent snapshot of
-    /// the atomic counters).
+    /// the atomic counters). A thin view over the same counters
+    /// [`metrics_snapshot`](Self::metrics_snapshot) folds in — kept so
+    /// existing callers need not change.
     pub fn cache_stats(&self) -> CacheStats {
         self.stats.snapshot()
+    }
+
+    /// The engine's slice of the unified metrics read path: the attached
+    /// sink's registered metrics (query/artifact latency histograms — empty
+    /// without a sink) with the [`CacheStats`] counters folded in as
+    /// `engine.cache.*` entries.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.obs.sink().snapshot();
+        let stats = self.stats.snapshot();
+        for (name, value) in [
+            ("rank_context_builds", stats.rank_context_builds),
+            ("rank_context_hits", stats.rank_context_hits),
+            ("preference_builds", stats.preference_builds),
+            ("preference_hits", stats.preference_hits),
+            ("coclustering_builds", stats.coclustering_builds),
+            ("coclustering_hits", stats.coclustering_hits),
+            ("marginal_builds", stats.marginal_builds),
+            ("marginal_hits", stats.marginal_hits),
+            ("batch_dedup_hits", stats.batch_dedup_hits),
+            ("key_index_builds", stats.key_index_builds),
+            ("key_index_hits", stats.key_index_hits),
+            ("delta_kept", stats.delta_kept),
+            ("delta_patched", stats.delta_patched),
+            ("delta_invalidated", stats.delta_invalidated),
+        ] {
+            snapshot.push_counter(&format!("engine.cache.{name}"), value as u64);
+        }
+        snapshot
+    }
+
+    /// The attached observability sink (disabled unless one was passed to
+    /// [`crate::ConsensusEngineBuilder::obs`]).
+    pub fn obs(&self) -> &cpdb_obs::Obs {
+        self.obs.sink()
+    }
+
+    /// Attaches an observability sink post-construction — how a durable
+    /// live engine threads its store's sink into an engine recovered via
+    /// [`ConsensusEngine::from_export`]. Purely additive: caches and
+    /// answers are untouched.
+    #[must_use = "with_obs returns the engine it instruments"]
+    pub fn with_obs(mut self, obs: cpdb_obs::Obs) -> Self {
+        self.obs = EngineObs::new(obs);
+        self
     }
 
     /// The deterministic RNG stream for the randomised parts of `query`,
@@ -426,7 +481,12 @@ impl ConsensusEngine {
             &self.key_index,
             &self.stats.key_index_builds,
             count_hit.then_some(&self.stats.key_index_hits),
-            || Arc::new(self.tree.keys()),
+            || {
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::KeyIndex, || "key_index".to_string());
+                Arc::new(self.tree.keys())
+            },
         )
         .clone()
     }
@@ -439,6 +499,9 @@ impl ConsensusEngine {
             &self.stats.preference_builds,
             Some(&self.stats.preference_hits),
             || {
+                let _build = self.obs.artifact_span(Artifact::PreferenceMatrix, || {
+                    "preference_matrix".to_string()
+                });
                 kendall::preference_matrix_with_parallelism(
                     &self.tree,
                     &self.key_index_arc(false),
@@ -455,7 +518,12 @@ impl ConsensusEngine {
             &self.cocluster,
             &self.stats.coclustering_builds,
             Some(&self.stats.coclustering_hits),
-            || CoClusteringWeights::from_tree_with_parallelism(&self.tree, self.threads),
+            || {
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::CoClustering, || "coclustering".to_string());
+                CoClusteringWeights::from_tree_with_parallelism(&self.tree, self.threads)
+            },
         )
     }
 
@@ -464,6 +532,9 @@ impl ConsensusEngine {
     /// it on one shared engine; see the type-level docs for the determinism
     /// contract.
     pub fn run(&self, query: &Query) -> Result<Answer, EngineError> {
+        // Timing + flight-recorder events only — the span never touches the
+        // answer, so results are bit-identical with the recorder on or off.
+        let _span = self.obs.query_span(query);
         match query {
             Query::SetConsensus { metric, variant } => self.run_set(query, *metric, *variant),
             Query::TopK { k, metric, variant } => self.run_topk(query, *k, *metric, *variant),
@@ -812,6 +883,9 @@ impl ConsensusEngine {
             &self.stats.rank_context_builds,
             Some(&self.stats.rank_context_hits),
             || {
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::RankContext, || format!("rank_context[k={k}]"));
                 Arc::new(TopKContext::new_with_parallelism(
                     &self.tree,
                     k,
@@ -829,7 +903,12 @@ impl ConsensusEngine {
             &self.marginals,
             &self.stats.marginal_builds,
             count_hit.then_some(&self.stats.marginal_hits),
-            || self.tree.alternative_probabilities(),
+            || {
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::Marginals, || "marginals".to_string());
+                self.tree.alternative_probabilities()
+            },
         )
     }
 
@@ -877,6 +956,9 @@ impl ConsensusEngine {
         let tournament = cell
             .get_or_init(|| {
                 built = true;
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::KendallPool, || format!("kendall_pool[k={k}]"));
                 let (pool_keys, coverage) = kendall::candidate_pool_with_coverage(ctx, pool_size);
                 let prefs = match self.prefs.get() {
                     Some(full) => kendall::preference_submatrix(full, &pool_keys),
@@ -908,6 +990,9 @@ impl ConsensusEngine {
     fn prime_context(&self, k: usize, build_threads: usize) -> Arc<TopKContext> {
         let cell = shard(&self.contexts, k);
         slot_get_or_build(&cell, &self.stats.rank_context_builds, None, || {
+            let _build = self
+                .obs
+                .artifact_span(Artifact::RankContext, || format!("rank_context[k={k}]"));
             Arc::new(TopKContext::new_with_parallelism(
                 &self.tree,
                 k,
@@ -919,6 +1004,9 @@ impl ConsensusEngine {
 
     fn prime_prefs(&self, build_threads: usize) {
         slot_get_or_build(&self.prefs, &self.stats.preference_builds, None, || {
+            let _build = self.obs.artifact_span(Artifact::PreferenceMatrix, || {
+                "preference_matrix".to_string()
+            });
             kendall::preference_matrix_with_parallelism(
                 &self.tree,
                 &self.key_index_arc(false),
@@ -932,7 +1020,12 @@ impl ConsensusEngine {
             &self.cocluster,
             &self.stats.coclustering_builds,
             None,
-            || CoClusteringWeights::from_tree_with_parallelism(&self.tree, build_threads),
+            || {
+                let _build = self
+                    .obs
+                    .artifact_span(Artifact::CoClustering, || "coclustering".to_string());
+                CoClusteringWeights::from_tree_with_parallelism(&self.tree, build_threads)
+            },
         );
     }
 
@@ -1239,6 +1332,7 @@ impl ConsensusEngine {
             jaccard_candidates,
             key_index,
             stats,
+            obs: self.obs.clone(),
         };
         Ok((next, report))
     }

@@ -74,6 +74,7 @@ mod delta;
 mod engine;
 mod error;
 mod export;
+mod obs;
 mod query;
 
 pub use answer::{Answer, Diagnostics, Optimality, Value};
@@ -87,3 +88,7 @@ pub use query::{BaselineKind, Query, SetMetric, TopKMetric, Variant};
 // Re-exported so delta authors work against one crate: the mutation API is
 // defined next to the tree it mutates.
 pub use cpdb_andxor::{DeltaImpact, TreeDelta};
+
+// Re-exported so engine users attach an observability sink without naming
+// the obs crate separately.
+pub use cpdb_obs::{MetricsSnapshot, Obs};

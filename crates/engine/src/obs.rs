@@ -1,0 +1,97 @@
+//! The engine's observability bundle: handles pre-registered against a
+//! [`cpdb_obs::Obs`] sink at attach time, so the hot query path records
+//! latency and events without any name lookup — and pays one `Option`
+//! branch per record when no sink is attached.
+
+use crate::query::Query;
+use cpdb_obs::{EventKind, Histogram, Obs, Span};
+
+/// Pre-registered engine metrics: one latency histogram per [`Query`] kind
+/// plus one build-latency histogram per shared artifact. Cloning shares the
+/// underlying handles, so a cloned or delta-built engine keeps recording
+/// into the same sink.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineObs {
+    obs: Obs,
+    query_set: Histogram,
+    query_topk: Histogram,
+    query_aggregate: Histogram,
+    query_clustering: Histogram,
+    query_baseline: Histogram,
+    artifact_rank_context: Histogram,
+    artifact_prefs: Histogram,
+    artifact_kendall_pool: Histogram,
+    artifact_cocluster: Histogram,
+    artifact_marginals: Histogram,
+    artifact_key_index: Histogram,
+}
+
+impl EngineObs {
+    pub(crate) fn new(obs: Obs) -> Self {
+        EngineObs {
+            query_set: obs.histogram("engine.query.set_consensus"),
+            query_topk: obs.histogram("engine.query.topk"),
+            query_aggregate: obs.histogram("engine.query.aggregate"),
+            query_clustering: obs.histogram("engine.query.clustering"),
+            query_baseline: obs.histogram("engine.query.baseline"),
+            artifact_rank_context: obs.histogram("engine.artifact.rank_context"),
+            artifact_prefs: obs.histogram("engine.artifact.preference_matrix"),
+            artifact_kendall_pool: obs.histogram("engine.artifact.kendall_pool"),
+            artifact_cocluster: obs.histogram("engine.artifact.coclustering"),
+            artifact_marginals: obs.histogram("engine.artifact.marginals"),
+            artifact_key_index: obs.histogram("engine.artifact.key_index"),
+            obs,
+        }
+    }
+
+    /// The underlying sink handle.
+    pub(crate) fn sink(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A span timing one query into its kind's histogram, leaving
+    /// query-start/finish events in the flight recorder.
+    pub(crate) fn query_span(&self, query: &Query) -> Span {
+        let histogram = match query {
+            Query::SetConsensus { .. } => &self.query_set,
+            Query::TopK { .. } => &self.query_topk,
+            Query::Aggregate { .. } => &self.query_aggregate,
+            Query::Clustering { .. } => &self.query_clustering,
+            Query::Baseline { .. } => &self.query_baseline,
+        };
+        self.obs.span_with_events(
+            histogram,
+            EventKind::QueryStart,
+            EventKind::QueryFinish,
+            || format!("{query:?}"),
+        )
+    }
+
+    /// A span timing one artifact build, leaving an artifact-build event
+    /// carrying `label` and the build duration.
+    pub(crate) fn artifact_span(&self, artifact: Artifact, label: impl FnOnce() -> String) -> Span {
+        let histogram = match artifact {
+            Artifact::RankContext => &self.artifact_rank_context,
+            Artifact::PreferenceMatrix => &self.artifact_prefs,
+            Artifact::KendallPool => &self.artifact_kendall_pool,
+            Artifact::CoClustering => &self.artifact_cocluster,
+            Artifact::Marginals => &self.artifact_marginals,
+            Artifact::KeyIndex => &self.artifact_key_index,
+        };
+        self.obs
+            .span_finishing(histogram, EventKind::ArtifactBuild, label)
+    }
+}
+
+/// Which shared artifact a build span times (maps to the per-artifact
+/// latency histograms — the cache-amortised dominant cost of the paper's
+/// consensus-query evaluation).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Artifact {
+    RankContext,
+    PreferenceMatrix,
+    KendallPool,
+    CoClustering,
+    Marginals,
+    KeyIndex,
+}

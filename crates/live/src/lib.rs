@@ -119,6 +119,7 @@
 #![warn(missing_docs)]
 
 use cpdb_engine::{ConsensusEngine, EngineError};
+use cpdb_obs::{EventKind, Gauge, Histogram, MetricsSnapshot, Obs};
 use cpdb_store::Store;
 use std::fmt;
 use std::ops::Deref;
@@ -346,6 +347,43 @@ fn duplicate_store_error(e: &StoreError) -> StoreError {
     }
 }
 
+/// Pre-registered live-layer metrics: apply/publish and snapshot-write
+/// latency histograms plus the served-epoch gauge. Cloning shares the
+/// underlying handles; the default is a disabled sink (one branch per
+/// record site, no allocation).
+#[derive(Debug, Clone, Default)]
+struct LiveObs {
+    obs: Obs,
+    apply: Histogram,
+    compaction: Histogram,
+    epoch: Gauge,
+}
+
+impl LiveObs {
+    fn new(obs: Obs) -> Self {
+        LiveObs {
+            apply: obs.histogram("live.apply"),
+            compaction: obs.histogram("live.compaction"),
+            epoch: obs.gauge("live.epoch"),
+            obs,
+        }
+    }
+
+    /// Records an epoch publish: bumps the gauge and leaves a
+    /// flight-recorder event.
+    fn published(&self, epoch: u64) {
+        self.epoch.set(epoch);
+        self.obs
+            .event_with(EventKind::EpochPublish, || format!("epoch {epoch}"));
+    }
+
+    /// Records a health-state transition into degraded mode.
+    fn degraded(&self, reason: &DegradedReason) {
+        self.obs
+            .event_with(EventKind::Degraded, || reason.to_string());
+    }
+}
+
 /// The durability attachment of a [`LiveEngine`]: the store directory, the
 /// background-compaction cadence, and the running compactor (if any).
 struct Durability {
@@ -490,6 +528,9 @@ pub struct LiveEngine {
     /// Replication progress published by the `cpdb_replica` layer, folded
     /// into [`Health`] reports. `None` when not replicating.
     replication: Mutex<Option<ReplicationStatus>>,
+    /// Live-layer metric handles. Purely additive: records timings, gauges,
+    /// and flight-recorder events, never touches answers or epochs.
+    obs: LiveObs,
 }
 
 impl LiveEngine {
@@ -500,7 +541,38 @@ impl LiveEngine {
             writer: Mutex::new(()),
             durability: None,
             replication: Mutex::new(None),
+            obs: LiveObs::default(),
         }
+    }
+
+    /// Attaches an observability sink to the live layer: apply/publish and
+    /// snapshot-write latency histograms, a served-epoch gauge, and
+    /// flight-recorder events for epoch publishes, compactions, and health
+    /// transitions. The sink is also rethreaded into the served engine, so
+    /// one snapshot carries every layer's series; durable constructors call
+    /// this with [`StoreOptions::obs`](cpdb_store::StoreOptions) already.
+    /// Purely additive — answers and epochs are bit-identical with any sink
+    /// attached.
+    #[must_use = "with_obs returns the engine it instruments"]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = LiveObs::new(obs.clone());
+        self.obs.epoch.set(self.epoch());
+        if obs.is_enabled() {
+            let current = self.current.load();
+            let engine = current.engine.clone().with_obs(obs);
+            self.current.store(Arc::new(Epoch {
+                epoch: current.epoch,
+                engine,
+            }));
+        }
+        self
+    }
+
+    /// The observability sink attached via [`with_obs`](Self::with_obs)
+    /// (a disabled handle when none was) — the replication layer registers
+    /// its own metrics against it.
+    pub fn obs(&self) -> &Obs {
+        &self.obs.obs
     }
 
     /// Starts serving the given engine as epoch 0 with durability in `dir`:
@@ -522,6 +594,7 @@ impl LiveEngine {
         dir: &Path,
         options: StoreOptions,
     ) -> Result<Self, LiveError> {
+        let obs = options.obs.clone();
         let store = Store::create_with(dir, options)?;
         store.write_snapshot(0, &engine.export())?;
         Ok(LiveEngine {
@@ -529,7 +602,9 @@ impl LiveEngine {
             writer: Mutex::new(()),
             durability: Some(Durability::new(store, 0)),
             replication: Mutex::new(None),
-        })
+            obs: LiveObs::default(),
+        }
+        .with_obs(obs))
     }
 
     /// Warm-starts from the store in `dir`: loads the newest valid snapshot
@@ -542,6 +617,7 @@ impl LiveEngine {
 
     /// [`LiveEngine::open`] with an explicit store configuration.
     pub fn open_with(dir: &Path, options: StoreOptions) -> Result<Self, LiveError> {
+        let obs = options.obs.clone();
         let (store, recovered) = Store::open_with(dir, options)?;
         let (snap_epoch, export) = recovered.snapshot.ok_or(StoreError::NoSnapshot)?;
         let mut engine = ConsensusEngine::from_export(&export)?;
@@ -555,7 +631,9 @@ impl LiveEngine {
             writer: Mutex::new(()),
             durability: Some(Durability::new(store, recovered.wal.len() as u64)),
             replication: Mutex::new(None),
-        })
+            obs: LiveObs::default(),
+        }
+        .with_obs(obs))
     }
 
     /// Sets how many deltas may accumulate before a background snapshot
@@ -579,15 +657,22 @@ impl LiveEngine {
             return Ok(None);
         };
         let current = self.current_arc();
+        let _span = self.obs.obs.span(&self.obs.compaction);
         if let Err(e) = d
             .store
             .write_snapshot(current.epoch, &current.engine.export())
         {
+            self.obs.obs.event_with(EventKind::CompactionFailed, || {
+                format!("epoch {}: {e}", current.epoch)
+            });
             *d.last_compaction_error
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner) = Some(duplicate_store_error(&e));
             return Err(LiveError::Store(e));
         }
+        self.obs.obs.event_with(EventKind::SnapshotWrite, || {
+            format!("epoch {}", current.epoch)
+        });
         d.deltas_since_snapshot.store(0, Ordering::Relaxed);
         Ok(Some(current.epoch))
     }
@@ -615,6 +700,7 @@ impl LiveEngine {
     /// engines fsync before the publish), and publishes it. On error nothing
     /// is published and the current epoch keeps serving.
     pub fn apply(&self, delta: &TreeDelta) -> Result<AppliedDelta, LiveError> {
+        let _span = self.obs.obs.span(&self.obs.apply);
         let _writer = self
             .writer
             .lock()
@@ -635,11 +721,16 @@ impl LiveEngine {
                 // failure is permanent. The append was rolled back (or the
                 // WAL marked unusable), so the published epoch still equals
                 // the durable one — park the reason and refuse writes.
-                return Err(d.enter_degraded(e));
+                let err = d.enter_degraded(e);
+                if let LiveError::Degraded(reason) = &err {
+                    self.obs.degraded(reason);
+                }
+                return Err(err);
             }
         }
         let next = Arc::new(Epoch { epoch, engine });
         self.current.store(next.clone());
+        self.obs.published(epoch);
         self.after_publish(1, next);
         Ok(AppliedDelta { epoch, report })
     }
@@ -655,6 +746,7 @@ impl LiveEngine {
     /// `current + 1 ..= current + deltas.len()`; only the last is ever
     /// served, the others exist as maintenance records.
     pub fn apply_all(&self, deltas: &[TreeDelta]) -> Result<Vec<AppliedDelta>, LiveError> {
+        let _span = self.obs.obs.span(&self.obs.apply);
         let _writer = self
             .writer
             .lock()
@@ -684,7 +776,11 @@ impl LiveEngine {
             if let Err(e) = appended {
                 // Group commit: either the whole batch became durable or
                 // none of it did — no epoch advances, writes are refused.
-                return Err(d.enter_degraded(e));
+                let err = d.enter_degraded(e);
+                if let LiveError::Degraded(reason) = &err {
+                    self.obs.degraded(reason);
+                }
+                return Err(err);
             }
         }
 
@@ -709,6 +805,7 @@ impl LiveEngine {
             engine,
         });
         self.current.store(next.clone());
+        self.obs.published(base.epoch + count as u64);
         self.after_publish(count as u64, next);
         Ok(outcomes)
     }
@@ -745,9 +842,21 @@ impl LiveEngine {
         d.deltas_since_snapshot.store(0, Ordering::Relaxed);
         let store = Arc::clone(&d.store);
         let error_slot = Arc::clone(&d.last_compaction_error);
+        let obs = self.obs.clone();
         *compactor = Some(cpdb_sync::thread::spawn(move || {
+            let _span = obs.obs.span(&obs.compaction);
             if let Err(e) = store.write_snapshot(published.epoch, &published.engine.export()) {
+                // The failing epoch goes into the flight recorder too: a
+                // post-mortem dump must show *which* compaction died, not
+                // just that the parked-error slot is occupied.
+                obs.obs.event_with(EventKind::CompactionFailed, || {
+                    format!("epoch {}: {e}", published.epoch)
+                });
                 *error_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+            } else {
+                obs.obs.event_with(EventKind::SnapshotWrite, || {
+                    format!("epoch {}", published.epoch)
+                });
             }
         }));
     }
@@ -848,6 +957,46 @@ impl LiveEngine {
         }
     }
 
+    /// One unified [`MetricsSnapshot`] over every layer: the current
+    /// epoch's engine series (query/artifact histograms plus its
+    /// [`cpdb_engine::CacheStats`] counters, folded as `engine.cache.*`),
+    /// the live sink's own series, and the [`Health`] /
+    /// [`ReplicationStatus`] reports folded in as gauges (`live.health.*`,
+    /// `replica.*`). The dedicated accessors
+    /// ([`health`](Self::health), [`replication_status`](Self::replication_status),
+    /// `cache_stats` on the engine) keep working — they are the sources
+    /// this snapshot folds.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let current = self.current_arc();
+        // When one sink is shared across layers (the intended wiring), the
+        // engine's snapshot of it already carries the live.* and store.*
+        // series too.
+        let mut snapshot = current.engine.metrics_snapshot();
+        let health = self.health();
+        snapshot.push_gauge("live.durable", u64::from(health.durable));
+        snapshot.push_gauge("live.epoch", health.epoch);
+        snapshot.push_gauge("live.health.overall", u64::from(health.is_healthy()));
+        snapshot.push_gauge("live.health.writer", u64::from(health.writer.is_healthy()));
+        snapshot.push_gauge(
+            "live.health.compactor",
+            u64::from(health.compactor.is_healthy()),
+        );
+        snapshot.push_gauge("live.health.store", u64::from(health.store.is_healthy()));
+        if let Some(replication) = &health.replication {
+            snapshot.push_gauge("replica.epoch", replication.epoch);
+            snapshot.push_gauge("replica.lag", replication.lag);
+            snapshot.push_gauge(
+                "replica.link_healthy",
+                u64::from(replication.link.is_healthy()),
+            );
+            snapshot.push_gauge(
+                "replica.role_primary",
+                u64::from(matches!(replication.role, ReplicaRole::Primary)),
+            );
+        }
+        snapshot
+    }
+
     /// Publishes replication progress into this engine's [`Health`]
     /// reports — called by the `cpdb_replica` layer after every ship/sync
     /// round; `None` detaches the engine from replication reporting.
@@ -911,6 +1060,7 @@ impl LiveEngine {
                     error: e.to_string(),
                 };
                 *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.clone());
+                self.obs.degraded(&reason);
                 return Err(LiveError::Degraded(reason));
             }
         };
@@ -934,6 +1084,7 @@ impl LiveEngine {
                     };
                     *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) =
                         Some(reason.clone());
+                    self.obs.degraded(&reason);
                     return Err(LiveError::Degraded(reason));
                 }
             }
@@ -946,9 +1097,13 @@ impl LiveEngine {
                 ),
             };
             *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.clone());
+            self.obs.degraded(&reason);
             return Err(LiveError::Degraded(reason));
         }
         *d.degraded.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        self.obs
+            .obs
+            .event_with(EventKind::Recovered, || format!("epoch {served} verified"));
         Ok(self.health())
     }
 }
@@ -1268,6 +1423,60 @@ mod tests {
         assert_eq!(live.epoch(), 1, "failed compaction must not block serving");
     }
 
+    #[test]
+    fn compaction_failures_land_in_the_flight_recorder_with_their_epoch() {
+        let dir = temp_store_dir("compaction_event");
+        let engine = ConsensusEngineBuilder::new(bid_tree())
+            .seed(5)
+            .kendall_distance_samples(64)
+            .build()
+            .unwrap();
+        let live = LiveEngine::new_durable(engine, &dir)
+            .unwrap()
+            .with_obs(Obs::enabled());
+        live.set_snapshot_every(1);
+
+        // Pull the directory out from under the background compactor (the
+        // WAL's open descriptor keeps appends working) and force one
+        // compaction to fail.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let s = live.snapshot();
+        live.apply(&reweight(&s, 2, 0.7)).unwrap();
+        live.await_compaction();
+
+        // Regression: the failure used to be visible only in the parked
+        // error slot — the flight recorder showed a publish and then
+        // nothing. The post-mortem event must name the failing epoch.
+        let events = live.obs().drain_events();
+        let failed: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::CompactionFailed)
+            .collect();
+        assert_eq!(failed.len(), 1, "{events:?}");
+        assert!(failed[0].detail.contains("epoch 1"), "{:?}", failed[0]);
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::EpochPublish),
+            "publishes record events too: {events:?}"
+        );
+        // The parked-slot accessors keep working alongside the events.
+        assert!(live.take_compaction_error().is_some());
+    }
+
+    #[test]
+    fn metrics_snapshot_folds_health_and_epoch_gauges() {
+        let live = live().with_obs(Obs::enabled());
+        let s = live.snapshot();
+        live.apply(&reweight(&s, 2, 0.75)).unwrap();
+        let snapshot = live.metrics_snapshot();
+        assert_eq!(snapshot.gauge("live.epoch"), Some(1));
+        assert_eq!(snapshot.gauge("live.durable"), Some(0));
+        assert_eq!(snapshot.gauge("live.health.overall"), Some(1));
+        assert!(
+            snapshot.gauge("replica.lag").is_none(),
+            "no replication attached"
+        );
+    }
+
     fn fault_live(vfs: &cpdb_store::FaultVfs, dir: &std::path::Path) -> LiveEngine {
         let engine = ConsensusEngineBuilder::new(bid_tree())
             .seed(5)
@@ -1280,6 +1489,7 @@ mod tests {
             StoreOptions {
                 vfs: Arc::new(vfs.clone()),
                 retry: cpdb_store::RetryPolicy::no_delay(3),
+                ..StoreOptions::default()
             },
         )
         .unwrap()

@@ -1,0 +1,263 @@
+//! The metrics registry and its lock-free recording handles.
+//!
+//! Registration takes a short-lived lock on the name table; recording never
+//! does — every handle is an `Arc` straight to the metric's atomics, so hot
+//! paths pre-register once and then record with relaxed atomic ops (or a
+//! single `Option` branch when no sink is attached).
+
+use crate::snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use cpdb_sync::atomic::{AtomicU64, Ordering::Relaxed};
+use cpdb_sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A monotonically increasing counter. Inert when obtained from a disabled
+/// [`crate::Obs`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count (`0` on an inert handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Relaxed))
+    }
+}
+
+/// A last-value-wins gauge. Inert when obtained from a disabled
+/// [`crate::Obs`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Publishes a new value.
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Relaxed);
+        }
+    }
+
+    /// The current value (`0` on an inert handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket `0` holds zero-duration samples,
+/// bucket `i ∈ 1..=64` holds samples with `⌊log₂ ns⌋ = i − 1`, i.e. the
+/// nanosecond range `[2^(i−1), 2^i)`. Fixed and log-scale, so recording is
+/// one `leading_zeros` plus two relaxed `fetch_add`s — no allocation, no
+/// comparison ladder.
+pub(crate) const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, cell) in self.buckets.iter().enumerate() {
+            let count = cell.load(Relaxed);
+            if count > 0 {
+                buckets.push((bucket_upper_ns(i), count));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Relaxed),
+            sum_ns: self.sum_ns.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The inclusive upper bound (in nanoseconds) of bucket `i`.
+pub(crate) fn bucket_upper_ns(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// The bucket index for a sample of `ns` nanoseconds.
+fn bucket_index(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+/// A fixed-bucket log-scale latency histogram. Recording is lock-free
+/// (relaxed atomics on pre-sized buckets); inert when obtained from a
+/// disabled [`crate::Obs`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// Records one duration sample.
+    pub fn record(&self, elapsed: Duration) {
+        if let Some(cells) = &self.0 {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            cells.buckets[bucket_index(ns)].fetch_add(1, Relaxed);
+            cells.count.fetch_add(1, Relaxed);
+            cells.sum_ns.fetch_add(ns, Relaxed);
+        }
+    }
+
+    /// Number of samples recorded (`0` on an inert handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(Relaxed))
+    }
+
+    /// Whether this handle actually records (i.e. came from an enabled
+    /// sink).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+/// The name table. Held briefly for registration and snapshotting only —
+/// recording goes straight through the `Arc` handles.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn table(&self) -> cpdb_sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A poisoned registry cannot be torn: every critical section is a
+        // map insert or read.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Metric::Counter(cell) => Counter(Some(Arc::clone(cell))),
+            // Name already taken by another kind: hand out a detached
+            // counter rather than corrupting the registered metric.
+            _ => Counter(Some(Arc::new(AtomicU64::new(0)))),
+        }
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))))
+        {
+            Metric::Gauge(cell) => Gauge(Some(Arc::clone(cell))),
+            _ => Gauge(Some(Arc::new(AtomicU64::new(0)))),
+        }
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Histogram {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCells::new())))
+        {
+            Metric::Histogram(cells) => Histogram(Some(Arc::clone(cells))),
+            _ => Histogram(Some(Arc::new(HistogramCells::new()))),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let table = self.table();
+        let entries = table
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(cell) => MetricValue::Counter(cell.load(Relaxed)),
+                    Metric::Gauge(cell) => MetricValue::Gauge(cell.load(Relaxed)),
+                    Metric::Histogram(cells) => MetricValue::Histogram(cells.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_ranges() {
+        for ns in [0u64, 1, 7, 1000, 123_456_789, u64::MAX] {
+            let i = bucket_index(ns);
+            assert!(
+                ns <= bucket_upper_ns(i),
+                "ns {ns} above bound of bucket {i}"
+            );
+            if i > 0 {
+                assert!(ns > bucket_upper_ns(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_hands_out_detached_handles() {
+        let registry = Registry::new();
+        let counter = registry.counter("m");
+        counter.add(2);
+        let gauge = registry.gauge("m");
+        gauge.set(9);
+        // The registered counter is unharmed; the mismatched gauge floats.
+        assert_eq!(registry.counter("m").get(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("m"), Some(2));
+        assert_eq!(snap.gauge("m"), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! The flight recorder: a bounded ring buffer of recent events.
+//!
+//! Events are rare relative to metric records (epoch publishes, WAL
+//! appends, retries, health transitions — not per-sample timings), so a
+//! short-lived mutex around a `VecDeque` is cheap; the `observability`
+//! bench reports its throughput so a regression here is visible.
+
+use cpdb_sync::atomic::{AtomicU64, Ordering::Relaxed};
+use cpdb_sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+use std::time::Instant;
+
+/// What happened. The variants cover the stack's layer transitions: query
+/// lifecycle and artifact builds (engine), epoch/compaction/health (live),
+/// WAL and retry traffic (store), and replication (primary/follower).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A query entered the engine.
+    QueryStart,
+    /// A query left the engine (detail carries the elapsed time).
+    QueryFinish,
+    /// A shared artifact was built from scratch.
+    ArtifactBuild,
+    /// A new epoch became the serving snapshot.
+    EpochPublish,
+    /// A delta record was appended to the WAL.
+    WalAppend,
+    /// The WAL was fsynced.
+    WalFsync,
+    /// A snapshot was written (compaction or explicit persist).
+    SnapshotWrite,
+    /// A background compaction failed (detail carries the failing epoch).
+    CompactionFailed,
+    /// A transient store failure was retried.
+    RetryAttempt,
+    /// The live engine entered degraded mode.
+    Degraded,
+    /// The live engine recovered from degraded mode.
+    Recovered,
+    /// The primary shipped WAL segments to the outbox.
+    Ship,
+    /// A follower synced from the outbox.
+    Sync,
+    /// A follower was promoted to primary.
+    Promote,
+    /// A follower quarantined a corrupt outbox artifact.
+    Quarantine,
+}
+
+impl EventKind {
+    /// A stable lowercase name for dumps and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::QueryStart => "query_start",
+            EventKind::QueryFinish => "query_finish",
+            EventKind::ArtifactBuild => "artifact_build",
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalFsync => "wal_fsync",
+            EventKind::SnapshotWrite => "snapshot_write",
+            EventKind::CompactionFailed => "compaction_failed",
+            EventKind::RetryAttempt => "retry_attempt",
+            EventKind::Degraded => "degraded",
+            EventKind::Recovered => "recovered",
+            EventKind::Ship => "ship",
+            EventKind::Sync => "sync",
+            EventKind::Promote => "promote",
+            EventKind::Quarantine => "quarantine",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (counts every event ever recorded, so gaps
+    /// in a drained dump reveal ring evictions).
+    pub seq: u64,
+    /// Microseconds since the recorder was created (monotonic clock).
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form context: the epoch, the artifact name, the error, …
+    pub detail: String,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>6}] +{:>10}µs {:<17} {}",
+            self.seq, self.at_us, self.kind, self.detail
+        )
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    recorded: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            start: Instant::now(),
+            capacity,
+            recorded: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    fn lock(&self) -> cpdb_sync::MutexGuard<'_, VecDeque<Event>> {
+        // A poisoned ring cannot be torn: every critical section is a
+        // push/pop pair or a clone.
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn record(&self, kind: EventKind, detail: String) {
+        let at_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let seq = self.recorded.fetch_add(1, Relaxed);
+        let mut ring = self.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Event {
+            seq,
+            at_us,
+            kind,
+            detail,
+        });
+    }
+
+    pub(crate) fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = self.lock();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    pub(crate) fn drain(&self) -> Vec<Event> {
+        self.lock().drain(..).collect()
+    }
+
+    pub(crate) fn recorded(&self) -> u64 {
+        self.recorded.load(Relaxed)
+    }
+}

@@ -1,0 +1,234 @@
+//! The cloneable metrics snapshot and its stable text emitters.
+
+use crate::metrics::bucket_upper_ns;
+
+/// A point-in-time copy of one histogram: total count, total nanoseconds,
+/// and the non-empty log-scale buckets as `(inclusive upper bound ns,
+/// count)` pairs, ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (`0.0` when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile in nanoseconds (the bound of the
+    /// first bucket whose cumulative count reaches `q · count`; `0` when
+    /// empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(upper, count) in &self.buckets {
+            seen += count;
+            if seen >= target {
+                return upper;
+            }
+        }
+        bucket_upper_ns(crate::metrics::HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The value of one registered metric inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-value-wins gauge.
+    Gauge(u64),
+    /// A latency histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// A consistent, cloneable snapshot of every registered metric, sorted by
+/// name. The one coherent read path for the stack's telemetry: layer
+/// surfaces that predate `cpdb_obs` (`CacheStats`, `Health`,
+/// `ReplicationStatus`) fold their values in as namespaced entries via
+/// [`push_counter`](Self::push_counter) / [`push_gauge`](Self::push_gauge).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub(crate) entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(name, value)` entries, ascending by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// The counter `name`, if registered (or folded in).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge `name`, if registered (or folded in).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Folds a counter value in under `name` (replacing an existing entry of
+    /// that name), keeping the snapshot sorted.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        self.push(name, MetricValue::Counter(value));
+    }
+
+    /// Folds a gauge value in under `name` (replacing an existing entry of
+    /// that name), keeping the snapshot sorted.
+    pub fn push_gauge(&mut self, name: &str, value: u64) {
+        self.push(name, MetricValue::Gauge(value));
+    }
+
+    fn push(&mut self, name: &str, value: MetricValue) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(at) => self.entries[at].1 = value,
+            Err(at) => self.entries.insert(at, (name.to_string(), value)),
+        }
+    }
+
+    /// The stable JSON text form (hand-rolled, sorted by name): an object
+    /// mapping each metric name to `{"type": …, …}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": {\n");
+        let body: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let payload = match value {
+                    MetricValue::Counter(c) => {
+                        format!("{{\"type\": \"counter\", \"value\": {c}}}")
+                    }
+                    MetricValue::Gauge(g) => format!("{{\"type\": \"gauge\", \"value\": {g}}}"),
+                    MetricValue::Histogram(h) => {
+                        let buckets: Vec<String> = h
+                            .buckets
+                            .iter()
+                            .map(|(upper, count)| format!("[{upper}, {count}]"))
+                            .collect();
+                        format!(
+                            "{{\"type\": \"histogram\", \"count\": {}, \"sum_ns\": {}, \
+                             \"buckets\": [{}]}}",
+                            h.count,
+                            h.sum_ns,
+                            buckets.join(", ")
+                        )
+                    }
+                };
+                format!("    \"{name}\": {payload}")
+            })
+            .collect();
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// A human-readable dump: one line per metric, histograms summarised as
+    /// count / mean / p50 / p99 in microseconds.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("counter    {name:<44} {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("gauge      {name:<44} {g}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "histogram  {name:<44} count={} mean={:.1}µs p50≤{:.1}µs p99≤{:.1}µs\n",
+                        h.count,
+                        h.mean_ns() / 1_000.0,
+                        h.quantile_ns(0.5) as f64 / 1_000.0,
+                        h.quantile_ns(0.99) as f64 / 1_000.0,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_entries_sorted_and_replaces() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_counter("b", 1);
+        snap.push_gauge("a", 2);
+        snap.push_counter("c", 3);
+        snap.push_counter("b", 9);
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(snap.counter("b"), Some(9));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let h = HistogramSnapshot {
+            count: 10,
+            sum_ns: 0,
+            buckets: vec![(127, 9), (1023, 1)],
+        };
+        assert_eq!(h.quantile_ns(0.5), 127);
+        assert_eq!(h.quantile_ns(0.9), 127);
+        assert_eq!(h.quantile_ns(0.99), 1023);
+        assert_eq!(h.quantile_ns(1.0), 1023);
+    }
+
+    #[test]
+    fn json_contains_every_metric_kind() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_counter("ops", 4);
+        snap.push_gauge("lag", 2);
+        snap.entries.push((
+            "zlat".to_string(),
+            MetricValue::Histogram(HistogramSnapshot {
+                count: 1,
+                sum_ns: 500,
+                buckets: vec![(511, 1)],
+            }),
+        ));
+        let json = snap.to_json();
+        assert!(json.contains("\"ops\": {\"type\": \"counter\", \"value\": 4}"));
+        assert!(json.contains("\"lag\": {\"type\": \"gauge\", \"value\": 2}"));
+        assert!(json.contains("\"buckets\": [[511, 1]]"));
+        assert!(!snap.to_text().is_empty());
+    }
+}

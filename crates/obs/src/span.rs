@@ -1,0 +1,127 @@
+//! Lightweight tracing spans: monotonic timing guards that record into a
+//! histogram (and optionally the flight recorder) on drop.
+
+use crate::metrics::Histogram;
+use crate::recorder::EventKind;
+use crate::Obs;
+use std::time::Instant;
+
+/// A timing guard. Created via [`Obs::span`] /
+/// [`Obs::span_with_events`]; on drop it records the elapsed time into its
+/// histogram and, when configured, a finish event in the flight recorder.
+/// Inert (a no-op on creation *and* drop) when the [`Obs`] handle is
+/// disabled, so spans can wrap hot paths unconditionally.
+#[derive(Debug, Default)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    start: Instant,
+    histogram: Histogram,
+    finish: Option<(Obs, EventKind, String)>,
+}
+
+impl Span {
+    /// An inert span (what disabled handles produce).
+    pub fn inert() -> Self {
+        Span { state: None }
+    }
+
+    pub(crate) fn timing(obs: &Obs, histogram: &Histogram) -> Self {
+        if !obs.is_enabled() || !histogram.is_live() {
+            return Span::inert();
+        }
+        Span {
+            state: Some(SpanState {
+                start: Instant::now(),
+                histogram: histogram.clone(),
+                finish: None,
+            }),
+        }
+    }
+
+    pub(crate) fn finishing(
+        obs: &Obs,
+        histogram: &Histogram,
+        finish: EventKind,
+        detail: impl FnOnce() -> String,
+    ) -> Self {
+        if !obs.is_enabled() {
+            return Span::inert();
+        }
+        Span {
+            state: Some(SpanState {
+                start: Instant::now(),
+                histogram: histogram.clone(),
+                finish: Some((obs.clone(), finish, detail())),
+            }),
+        }
+    }
+
+    pub(crate) fn with_events(
+        obs: &Obs,
+        histogram: &Histogram,
+        start: EventKind,
+        finish: EventKind,
+        detail: impl FnOnce() -> String,
+    ) -> Self {
+        if !obs.is_enabled() {
+            return Span::inert();
+        }
+        let detail = detail();
+        obs.event(start, detail.clone());
+        Span {
+            state: Some(SpanState {
+                start: Instant::now(),
+                histogram: histogram.clone(),
+                finish: Some((obs.clone(), finish, detail)),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let elapsed = state.start.elapsed();
+            state.histogram.record(elapsed);
+            if let Some((obs, kind, detail)) = state.finish {
+                obs.event(
+                    kind,
+                    format!("{detail} ({:.1}µs)", elapsed.as_nanos() as f64 / 1_000.0),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_spans_do_nothing() {
+        let obs = Obs::disabled();
+        let h = obs.histogram("x");
+        drop(obs.span(&h));
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn timing_spans_record_once_on_drop() {
+        let obs = Obs::enabled();
+        let h = obs.histogram("x");
+        {
+            let _span = obs.span(&h);
+            assert_eq!(h.count(), 0, "span must record on drop, not creation");
+        }
+        assert_eq!(h.count(), 1);
+        assert!(
+            obs.recent_events(10).is_empty(),
+            "plain spans leave no events"
+        );
+    }
+}

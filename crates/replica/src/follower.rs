@@ -1,5 +1,6 @@
 //! The replay side: a read-only engine that tails the shipped chain.
 
+use crate::obs::ReplicaObs;
 use crate::{Primary, ReplicaError, Transport, FETCH_ATTEMPTS};
 use cpdb_live::{
     ComponentHealth, Health, LiveEngine, LiveError, ReplicaRole, ReplicationStatus, Snapshot,
@@ -38,10 +39,11 @@ pub struct Follower {
     store_dir: PathBuf,
     options: StoreOptions,
     manifest: Manifest,
+    obs: ReplicaObs,
 }
 
 /// Fetches the manifest, quarantining and re-fetching damaged copies.
-fn fetch_manifest(transport: &Transport) -> Result<Manifest, ReplicaError> {
+fn fetch_manifest(transport: &Transport, obs: &ReplicaObs) -> Result<Manifest, ReplicaError> {
     let mut last: Option<StoreError> = None;
     for _ in 0..FETCH_ATTEMPTS {
         match transport.fetch(MANIFEST_FILE) {
@@ -52,6 +54,7 @@ fn fetch_manifest(transport: &Transport) -> Result<Manifest, ReplicaError> {
                 }
                 Err(e) => {
                     let _ = transport.quarantine(MANIFEST_FILE);
+                    obs.quarantined(MANIFEST_FILE);
                     last = Some(e);
                 }
             },
@@ -68,6 +71,7 @@ fn fetch_manifest(transport: &Transport) -> Result<Manifest, ReplicaError> {
 fn fetch_anchor(
     transport: &Transport,
     manifest: &Manifest,
+    obs: &ReplicaObs,
 ) -> Result<(u64, cpdb_engine::EngineExport), ReplicaError> {
     let Some(entry) = manifest.anchor else {
         return Err(ReplicaError::SegmentUnavailable {
@@ -83,6 +87,7 @@ fn fetch_anchor(
                 Ok(export) => return Ok((entry.0, export)),
                 Err(e) => {
                     let _ = transport.quarantine(&name);
+                    obs.quarantined(&name);
                     last = Some(e);
                 }
             },
@@ -102,8 +107,9 @@ fn bootstrap(
     manifest: &Manifest,
     store_dir: &Path,
     options: StoreOptions,
+    obs: &ReplicaObs,
 ) -> Result<LiveEngine, ReplicaError> {
-    let (epoch, export) = fetch_anchor(transport, manifest)?;
+    let (epoch, export) = fetch_anchor(transport, manifest, obs)?;
     // Probing for local state leaves an empty WAL behind, and a
     // re-bootstrap abandons whatever is there: start from a clean
     // directory either way.
@@ -141,14 +147,16 @@ impl Follower {
                     .ok()
                     .flatten()
                     .unwrap_or_default();
+                let obs = ReplicaObs::new(live.obs().clone());
                 let mut follower = Follower {
                     transport,
                     live,
                     store_dir: store_dir.to_path_buf(),
                     options,
                     manifest,
+                    obs,
                 };
-                let adopted = fetch_manifest(&follower.transport)
+                let adopted = fetch_manifest(&follower.transport, &follower.obs)
                     .and_then(|fetched| follower.adopt_manifest(&fetched));
                 match adopted {
                     Ok(()) => follower.publish_status(ComponentHealth::Healthy),
@@ -175,14 +183,16 @@ impl Follower {
         store_dir: &Path,
         options: StoreOptions,
     ) -> Result<Follower, ReplicaError> {
-        let manifest = fetch_manifest(&transport)?;
-        let live = bootstrap(&transport, &manifest, store_dir, options.clone())?;
+        let obs = ReplicaObs::new(options.obs.clone());
+        let manifest = fetch_manifest(&transport, &obs)?;
+        let live = bootstrap(&transport, &manifest, store_dir, options.clone(), &obs)?;
         let follower = Follower {
             transport,
             live,
             store_dir: store_dir.to_path_buf(),
             options,
             manifest,
+            obs,
         };
         follower.publish_status(ComponentHealth::Healthy);
         Ok(follower)
@@ -196,19 +206,21 @@ impl Follower {
         match self.sync_inner() {
             Ok(epoch) => {
                 self.publish_status(ComponentHealth::Healthy);
+                self.obs.synced(epoch, self.lag());
                 Ok(epoch)
             }
             Err(e) => {
                 self.publish_status(ComponentHealth::Degraded {
                     reason: e.to_string(),
                 });
+                self.obs.degraded(|| format!("sync failed: {e}"));
                 Err(e)
             }
         }
     }
 
     fn sync_inner(&mut self) -> Result<u64, ReplicaError> {
-        let manifest = fetch_manifest(&self.transport)?;
+        let manifest = fetch_manifest(&self.transport, &self.obs)?;
         self.adopt_manifest(&manifest)?;
         for meta in &manifest.segments {
             let applied = self.live.epoch();
@@ -278,6 +290,7 @@ impl Follower {
                     Ok(records) => return Ok(records),
                     Err(e) => {
                         let _ = self.transport.quarantine(&name);
+                        self.obs.quarantined(&name);
                         last = Some(e);
                     }
                 },
@@ -297,16 +310,19 @@ impl Follower {
             manifest,
             &self.store_dir,
             self.options.clone(),
+            &self.obs,
         )?;
         Ok(())
     }
 
     fn publish_status(&self, link: ComponentHealth) {
         let applied = self.live.epoch();
+        let lag = self.manifest.shipped_epoch().saturating_sub(applied);
+        self.obs.set_lag(lag);
         self.live.set_replication(Some(ReplicationStatus {
             role: ReplicaRole::Follower,
             epoch: applied,
-            lag: self.manifest.shipped_epoch().saturating_sub(applied),
+            lag,
             link,
         }));
     }
@@ -399,6 +415,10 @@ impl Follower {
         }
         write_replica_manifest_with(&store.vfs(), store.dir(), &manifest)?;
         store.set_ship_watermark(epoch);
+        self.obs.promoted(token, epoch);
+        if let Some((_, _, bytes)) = manifest.anchor {
+            self.obs.shipped_anchor(epoch, bytes);
+        }
         Ok(Primary::assume(
             self.live, src_vfs, src_dir, token, manifest,
         ))

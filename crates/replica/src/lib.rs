@@ -45,6 +45,7 @@
 
 mod divergence;
 mod follower;
+mod obs;
 mod primary;
 mod transport;
 

@@ -1,0 +1,88 @@
+//! Replication metric handles, pre-registered on the engine's shared
+//! observability sink so one snapshot carries engine, store, live, and
+//! replica series together.
+
+use cpdb_obs::{Counter, EventKind, Gauge, Obs};
+use cpdb_store::SegmentMeta;
+
+/// Handles for the replication layer's counters and gauges. Cloned freely;
+/// every record is one atomic op against the shared registry (or a no-op
+/// branch when observability is disabled).
+#[derive(Clone)]
+pub(crate) struct ReplicaObs {
+    pub(crate) obs: Obs,
+    /// Segments committed to the outbox manifest.
+    ship_segments: Counter,
+    /// Bytes of segment and anchor payload shipped.
+    ship_bytes: Counter,
+    /// Shipped-but-unapplied epochs (primary: applied minus shipped;
+    /// follower: shipped minus applied).
+    lag: Gauge,
+    /// Damaged outbox files quarantined before a successful re-fetch.
+    quarantines: Counter,
+}
+
+impl ReplicaObs {
+    pub(crate) fn new(obs: Obs) -> ReplicaObs {
+        ReplicaObs {
+            ship_segments: obs.counter("replica.ship.segments"),
+            ship_bytes: obs.counter("replica.ship.bytes"),
+            lag: obs.gauge("replica.lag"),
+            quarantines: obs.counter("replica.quarantines"),
+            obs,
+        }
+    }
+
+    /// A segment run was committed to the manifest.
+    pub(crate) fn shipped_segment(&self, meta: &SegmentMeta) {
+        self.ship_segments.incr();
+        self.ship_bytes.add(meta.len);
+        self.obs.event_with(EventKind::Ship, || {
+            format!(
+                "segment epochs {}..={} ({} bytes)",
+                meta.first_epoch, meta.last_epoch, meta.len
+            )
+        });
+    }
+
+    /// An anchor image was committed to the manifest (first ship, rotation,
+    /// or promotion).
+    pub(crate) fn shipped_anchor(&self, epoch: u64, bytes: u64) {
+        self.ship_bytes.add(bytes);
+        self.obs.event_with(EventKind::Ship, || {
+            format!("anchor at epoch {epoch} ({bytes} bytes)")
+        });
+    }
+
+    /// The replication status was republished; mirror the lag into the
+    /// registry gauge.
+    pub(crate) fn set_lag(&self, lag: u64) {
+        self.lag.set(lag);
+    }
+
+    /// A fetched outbox file failed verification and was quarantined.
+    pub(crate) fn quarantined(&self, name: &str) {
+        self.quarantines.incr();
+        self.obs
+            .event_with(EventKind::Quarantine, || name.to_string());
+    }
+
+    /// A sync applied the chain through `epoch`.
+    pub(crate) fn synced(&self, epoch: u64, lag: u64) {
+        self.obs.event_with(EventKind::Sync, || {
+            format!("applied through epoch {epoch} (lag {lag})")
+        });
+    }
+
+    /// A follower took over the chain as the new writer.
+    pub(crate) fn promoted(&self, token: u64, epoch: u64) {
+        self.obs.event_with(EventKind::Promote, || {
+            format!("promoted with token {token} at epoch {epoch}")
+        });
+    }
+
+    /// The replication link degraded (fencing loss or a failed sync).
+    pub(crate) fn degraded(&self, reason: impl FnOnce() -> String) {
+        self.obs.event_with(EventKind::Degraded, reason);
+    }
+}

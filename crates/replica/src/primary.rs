@@ -1,6 +1,7 @@
 //! The shipping side: a writer engine that publishes its WAL as a
 //! verified segment chain.
 
+use crate::obs::ReplicaObs;
 use crate::ReplicaError;
 use cpdb_live::{
     AppliedDelta, ComponentHealth, Health, LiveEngine, ReplicaRole, ReplicationStatus, Snapshot,
@@ -39,6 +40,7 @@ pub struct Primary {
     outbox: PathBuf,
     held_token: u64,
     manifest: Mutex<Manifest>,
+    obs: ReplicaObs,
 }
 
 impl Primary {
@@ -130,12 +132,14 @@ impl Primary {
         }
         store.set_ship_watermark(manifest.shipped_epoch());
         let shipped = manifest.shipped_epoch();
+        let obs = ReplicaObs::new(live.obs().clone());
         let primary = Primary {
             live,
             outbox_vfs,
             outbox: outbox.to_path_buf(),
             held_token,
             manifest: Mutex::new(manifest),
+            obs,
         };
         primary.publish_status(shipped);
         Ok(primary)
@@ -152,12 +156,14 @@ impl Primary {
         manifest: Manifest,
     ) -> Primary {
         let shipped = manifest.shipped_epoch();
+        let obs = ReplicaObs::new(live.obs().clone());
         let primary = Primary {
             live,
             outbox_vfs,
             outbox,
             held_token,
             manifest: Mutex::new(manifest),
+            obs,
         };
         primary.publish_status(shipped);
         primary
@@ -189,6 +195,12 @@ impl Primary {
                     ),
                 },
             }));
+            self.obs.degraded(|| {
+                format!(
+                    "fenced: outbox token {token} is newer than held token {}",
+                    self.held_token
+                )
+            });
             return Err(ReplicaError::Fenced {
                 held: self.held_token,
                 manifest: token,
@@ -252,6 +264,7 @@ impl Primary {
         self.check_fence()?;
         *manifest = next;
         store.set_ship_watermark(epoch);
+        self.obs.shipped_segment(&meta);
         self.publish_status(epoch);
         Ok(epoch)
     }
@@ -309,6 +322,7 @@ impl Primary {
         self.check_fence()?;
         *manifest = next;
         store.set_ship_watermark(epoch);
+        self.obs.shipped_anchor(epoch, entry.2);
         for meta in &old_segments {
             let _ = self
                 .outbox_vfs
@@ -328,10 +342,12 @@ impl Primary {
     }
 
     fn publish_status(&self, shipped: u64) {
+        let lag = self.live.epoch().saturating_sub(shipped);
+        self.obs.set_lag(lag);
         self.live.set_replication(Some(ReplicationStatus {
             role: ReplicaRole::Primary,
             epoch: shipped,
-            lag: self.live.epoch().saturating_sub(shipped),
+            lag,
             link: ComponentHealth::Healthy,
         }));
     }

@@ -46,6 +46,7 @@ fn options(vfs: &FaultVfs) -> StoreOptions {
     StoreOptions {
         vfs: Arc::new(vfs.clone()),
         retry: RetryPolicy::no_delay(3),
+        ..StoreOptions::default()
     }
 }
 
@@ -668,4 +669,83 @@ fn follower_refuses_a_fenced_writers_manifest() {
     new_primary.ship().unwrap();
     assert_eq!(follower.sync().unwrap(), 5);
     check_divergence(&new_primary.snapshot(), &follower.snapshot(), &probes()).unwrap();
+}
+
+#[test]
+fn replication_metrics_and_events_flow_into_the_shared_sink() {
+    let pvfs = FaultVfs::new();
+    let fvfs = FaultVfs::new();
+    let obs = cpdb_obs::Obs::enabled();
+    let live = LiveEngine::new_durable_with(
+        engine(),
+        Path::new("/p/store"),
+        StoreOptions {
+            obs: obs.clone(),
+            ..options(&pvfs)
+        },
+    )
+    .unwrap();
+    let primary = Primary::attach(live, arc(&pvfs), Path::new("/p/outbox")).unwrap();
+    primary.ship().unwrap(); // anchor at epoch 0
+    for delta in &leaf_deltas(primary.snapshot().tree(), 3) {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap(); // segment 1..=3
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("replica.ship.segments"), Some(1));
+    assert!(snap.counter("replica.ship.bytes").unwrap_or(0) > 0);
+    // Everything applied has shipped, so the primary's lag gauge is flat.
+    assert_eq!(snap.gauge("replica.lag"), Some(0));
+    let kinds: Vec<_> = obs.drain_events().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&cpdb_obs::EventKind::Ship), "{kinds:?}");
+
+    // The follower registers against its own sink (passed via store
+    // options) and records the sync.
+    let fobs = cpdb_obs::Obs::enabled();
+    let transport = Transport::new(
+        arc(&pvfs),
+        Path::new("/p/outbox"),
+        arc(&fvfs),
+        Path::new("/f/inbox"),
+    )
+    .unwrap();
+    let mut follower = Follower::open(
+        transport,
+        Path::new("/f/store"),
+        StoreOptions {
+            obs: fobs.clone(),
+            ..options(&fvfs)
+        },
+    )
+    .unwrap();
+    assert_eq!(follower.sync().unwrap(), 3);
+    let fsnap = fobs.snapshot();
+    assert_eq!(fsnap.gauge("replica.lag"), Some(0));
+    let fkinds: Vec<_> = fobs.drain_events().into_iter().map(|e| e.kind).collect();
+    assert!(fkinds.contains(&cpdb_obs::EventKind::Sync), "{fkinds:?}");
+
+    // Damage the next shipped segment: the quarantine shows up as a
+    // counter and a flight-recorder event, and the served state survives.
+    for delta in &leaf_deltas(primary.snapshot().tree(), 2) {
+        primary.apply(delta).unwrap();
+    }
+    primary.ship().unwrap();
+    let seg_path = Path::new("/p/outbox").join(cpdb_store::ship::segment_file_name(4, 5));
+    let mut bytes = pvfs.contents(&seg_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let mut file = arc(&pvfs).create_truncated(&seg_path).unwrap();
+    file.write_all(&bytes).unwrap();
+    file.sync_all().unwrap();
+    drop(file);
+    assert!(follower.sync().is_err());
+    let fsnap = fobs.snapshot();
+    assert!(fsnap.counter("replica.quarantines").unwrap_or(0) >= 1);
+    let fkinds: Vec<_> = fobs.drain_events().into_iter().map(|e| e.kind).collect();
+    assert!(
+        fkinds.contains(&cpdb_obs::EventKind::Quarantine),
+        "{fkinds:?}"
+    );
+    assert_eq!(follower.applied_epoch(), 3);
 }

@@ -61,6 +61,7 @@
 mod checksum;
 mod codec;
 pub mod fault;
+mod obs;
 mod retry;
 pub mod ship;
 pub mod snapshot;
@@ -70,6 +71,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use fault::FaultVfs;
+pub use obs::ObsVfs;
 pub use retry::RetryPolicy;
 pub use ship::{Manifest, SegmentMeta};
 pub use store::{Recovered, Store, StoreOptions};

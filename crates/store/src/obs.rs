@@ -1,0 +1,257 @@
+//! Observability decorators for the persistence layer.
+//!
+//! [`ObsVfs`] wraps any [`Vfs`] with per-operation and byte counters (and
+//! flight-recorder events for WAL fsyncs); [`StoreObs`] bundles the
+//! [`Store`](crate::Store)-level handles — WAL-append latency and retry
+//! counters. Both are attached through [`StoreOptions::obs`]
+//! (see [`crate::StoreOptions`]); with the default disabled sink the store
+//! takes the undecorated path, so production I/O pays nothing.
+
+use crate::vfs::{Vfs, VfsFile};
+use cpdb_obs::{Counter, EventKind, Histogram, Obs};
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Pre-registered store metrics: WAL-append latency plus the retry counter
+/// every durable write's [`crate::RetryPolicy`] loop feeds.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StoreObs {
+    pub(crate) obs: Obs,
+    /// Latency of [`crate::Store::append`] / `append_all` (lock + encode +
+    /// write + fsync, including any retries).
+    pub(crate) append: Histogram,
+    /// Snapshot-write latency (the store side of a compaction).
+    pub(crate) snapshot: Histogram,
+    /// Retries taken by durable writes (first attempts are not counted).
+    pub(crate) retries: Counter,
+}
+
+impl StoreObs {
+    pub(crate) fn new(obs: Obs) -> Self {
+        StoreObs {
+            append: obs.histogram("store.wal.append"),
+            snapshot: obs.histogram("store.snapshot.write"),
+            retries: obs.counter("store.retry.attempts"),
+            obs,
+        }
+    }
+
+    /// Records one retry of a durable write: bumps the counter and leaves
+    /// a flight-recorder event naming the operation and attempt.
+    pub(crate) fn retried(&self, what: &'static str, attempt: u32) {
+        self.retries.incr();
+        self.obs.event_with(EventKind::RetryAttempt, || {
+            format!("{what} (retry {attempt})")
+        });
+    }
+}
+
+/// A [`Vfs`] decorator counting every file operation and byte moved.
+///
+/// Registered series (all under `store.vfs.`): `opens`, `creates`, `reads`,
+/// `renames`, `removes`, `dir_syncs`, `writes`, `fsyncs`, `set_lens`,
+/// `bytes_read`, `bytes_written`. Fsyncs of the WAL file additionally leave
+/// [`EventKind::WalFsync`] flight-recorder events — the durability barrier
+/// is the event worth seeing in a post-mortem dump.
+///
+/// The store wraps its configured [`Vfs`] with this automatically when
+/// [`StoreOptions::obs`](crate::StoreOptions) is enabled; a disabled sink
+/// skips the decoration entirely.
+pub struct ObsVfs {
+    inner: Arc<dyn Vfs>,
+    obs: Obs,
+    opens: Counter,
+    creates: Counter,
+    reads: Counter,
+    renames: Counter,
+    removes: Counter,
+    dir_syncs: Counter,
+    writes: Counter,
+    fsyncs: Counter,
+    set_lens: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+}
+
+impl ObsVfs {
+    /// Wraps `inner`, registering the operation and byte counters against
+    /// `obs`.
+    pub fn new(inner: Arc<dyn Vfs>, obs: &Obs) -> Self {
+        ObsVfs {
+            inner,
+            obs: obs.clone(),
+            opens: obs.counter("store.vfs.opens"),
+            creates: obs.counter("store.vfs.creates"),
+            reads: obs.counter("store.vfs.reads"),
+            renames: obs.counter("store.vfs.renames"),
+            removes: obs.counter("store.vfs.removes"),
+            dir_syncs: obs.counter("store.vfs.dir_syncs"),
+            writes: obs.counter("store.vfs.writes"),
+            fsyncs: obs.counter("store.vfs.fsyncs"),
+            set_lens: obs.counter("store.vfs.set_lens"),
+            bytes_read: obs.counter("store.vfs.bytes_read"),
+            bytes_written: obs.counter("store.vfs.bytes_written"),
+        }
+    }
+
+    fn file(&self, path: &Path, inner: Box<dyn VfsFile>) -> Box<dyn VfsFile> {
+        let is_wal = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("wal"));
+        Box::new(ObsFile {
+            inner,
+            obs: self.obs.clone(),
+            is_wal,
+            writes: self.writes.clone(),
+            fsyncs: self.fsyncs.clone(),
+            set_lens: self.set_lens.clone(),
+            bytes_read: self.bytes_read.clone(),
+            bytes_written: self.bytes_written.clone(),
+        })
+    }
+}
+
+impl fmt::Debug for ObsVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsVfs")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl Vfs for ObsVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.opens.incr();
+        Ok(self.file(path, self.inner.open_rw(path)?))
+    }
+
+    fn create_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.creates.incr();
+        Ok(self.file(path, self.inner.create_truncated(path)?))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.reads.incr();
+        let bytes = self.inner.read(path)?;
+        self.bytes_read.add(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.renames.incr();
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.removes.incr();
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.dir_syncs.incr();
+        self.inner.sync_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+struct ObsFile {
+    inner: Box<dyn VfsFile>,
+    obs: Obs,
+    is_wal: bool,
+    writes: Counter,
+    fsyncs: Counter,
+    set_lens: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+}
+
+impl ObsFile {
+    fn synced(&self) {
+        self.fsyncs.incr();
+        if self.is_wal {
+            self.obs.event_with(EventKind::WalFsync, String::new);
+        }
+    }
+}
+
+impl VfsFile for ObsFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.writes.incr();
+        self.inner.write_all(buf)?;
+        self.bytes_written.add(buf.len() as u64);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.inner.sync_data()?;
+        self.synced();
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.inner.sync_all()?;
+        self.synced();
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.set_lens.incr();
+        self.inner.set_len(len)
+    }
+
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.inner.seek_end()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        let bytes = self.inner.read_all()?;
+        self.bytes_read.add(bytes.len() as u64);
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultVfs;
+
+    #[test]
+    fn obs_vfs_counts_operations_and_bytes() {
+        let obs = Obs::enabled();
+        let vfs = ObsVfs::new(Arc::new(FaultVfs::new()), &obs);
+        let path = Path::new("/mem/wal.cpdb");
+        let mut f = vfs.open_rw(path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(path).unwrap(), b"hello");
+
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("store.vfs.opens"), Some(1));
+        assert_eq!(snapshot.counter("store.vfs.writes"), Some(1));
+        assert_eq!(snapshot.counter("store.vfs.bytes_written"), Some(5));
+        assert_eq!(snapshot.counter("store.vfs.fsyncs"), Some(1));
+        assert_eq!(snapshot.counter("store.vfs.reads"), Some(1));
+        assert_eq!(snapshot.counter("store.vfs.bytes_read"), Some(5));
+        // The fsync of a WAL file is a flight-recorder event.
+        assert!(obs
+            .recent_events(10)
+            .iter()
+            .any(|e| e.kind == EventKind::WalFsync));
+    }
+}

@@ -60,6 +60,17 @@ impl RetryPolicy {
 /// returned as-is.
 pub fn with_retry<T>(
     policy: &RetryPolicy,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    with_retry_hook(policy, |_| {}, op)
+}
+
+/// [`with_retry`] with an observation hook: `on_retry(n)` runs before the
+/// `n`-th retry sleeps (1-based; first attempts are not reported) — the
+/// store feeds its retry counters and flight-recorder events through it.
+pub(crate) fn with_retry_hook<T>(
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(u32),
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
     let attempts = policy.max_attempts.max(1);
@@ -68,6 +79,7 @@ pub fn with_retry<T>(
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                on_retry(attempt + 1);
                 let delay = policy.delay_after(attempt);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);

@@ -25,13 +25,15 @@
 //! to the caller — who can later call [`Store::reprobe`] to re-run
 //! recovery on the same directory and resume service.
 
-use crate::retry::with_retry;
+use crate::obs::{ObsVfs, StoreObs};
+use crate::retry::{with_retry, with_retry_hook};
 use crate::snapshot::{read_snapshot_with, write_snapshot_with};
 use crate::vfs::{std_vfs, Vfs};
 use crate::wal::Wal;
 use crate::{RetryPolicy, StoreError};
 use cpdb_andxor::TreeDelta;
 use cpdb_engine::EngineExport;
+use cpdb_obs::{EventKind, Obs};
 use cpdb_sync::atomic::{AtomicU64, Ordering};
 use cpdb_sync::Mutex;
 use std::path::{Path, PathBuf};
@@ -80,6 +82,11 @@ pub struct StoreOptions {
     pub vfs: Arc<dyn Vfs>,
     /// Retry schedule for transient I/O failures on durable writes.
     pub retry: RetryPolicy,
+    /// Observability sink. When enabled, the store wraps `vfs` in an
+    /// [`ObsVfs`] (per-operation and byte counters), times WAL appends and
+    /// snapshot writes, and counts retries; the default disabled sink
+    /// changes nothing on any I/O path.
+    pub obs: Obs,
 }
 
 impl Default for StoreOptions {
@@ -87,6 +94,7 @@ impl Default for StoreOptions {
         StoreOptions {
             vfs: std_vfs(),
             retry: RetryPolicy::default(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -103,6 +111,21 @@ pub struct Store {
     /// `NO_WATERMARK` (`u64::MAX`) means replication is not active and
     /// compaction is unconstrained.
     ship_watermark: AtomicU64,
+    /// Store-level metric handles (WAL-append latency, retry counters).
+    /// Purely additive: records timings and events, never changes what is
+    /// written or read.
+    obs: StoreObs,
+}
+
+/// Wraps `vfs` in the counting [`ObsVfs`] decorator when `obs` is enabled;
+/// a disabled sink keeps the undecorated handle so production I/O pays no
+/// extra virtual dispatch.
+fn instrumented_vfs(vfs: Arc<dyn Vfs>, obs: &Obs) -> Arc<dyn Vfs> {
+    if obs.is_enabled() {
+        Arc::new(ObsVfs::new(vfs, obs))
+    } else {
+        vfs
+    }
 }
 
 fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
@@ -199,7 +222,8 @@ impl Store {
 
     /// [`Store::create`] with an explicit [`Vfs`] and retry schedule.
     pub fn create_with(dir: &Path, options: StoreOptions) -> Result<Store, StoreError> {
-        let StoreOptions { vfs, retry } = options;
+        let StoreOptions { vfs, retry, obs } = options;
+        let vfs = instrumented_vfs(vfs, &obs);
         vfs.create_dir_all(dir)?;
         if !snapshot_epochs_in(&vfs, dir)?.is_empty() || vfs.exists(&dir.join(WAL_FILE)) {
             return Err(StoreError::AlreadyExists {
@@ -213,6 +237,7 @@ impl Store {
             vfs,
             retry,
             ship_watermark: AtomicU64::new(NO_WATERMARK),
+            obs: StoreObs::new(obs),
         })
     }
 
@@ -230,7 +255,8 @@ impl Store {
 
     /// [`Store::open`] with an explicit [`Vfs`] and retry schedule.
     pub fn open_with(dir: &Path, options: StoreOptions) -> Result<(Store, Recovered), StoreError> {
-        let StoreOptions { vfs, retry } = options;
+        let StoreOptions { vfs, retry, obs } = options;
+        let vfs = instrumented_vfs(vfs, &obs);
         let (wal, recovered) = recover(&vfs, &retry, dir)?;
         Ok((
             Store {
@@ -239,6 +265,7 @@ impl Store {
                 vfs,
                 retry,
                 ship_watermark: AtomicU64::new(NO_WATERMARK),
+                obs: StoreObs::new(obs),
             },
             recovered,
         ))
@@ -259,8 +286,13 @@ impl Store {
     /// Appends one WAL record; durable once this returns. Transient I/O
     /// failures are retried per the store's [`RetryPolicy`].
     pub fn append(&self, epoch: u64, delta: &TreeDelta) -> Result<(), StoreError> {
+        let _span = self.obs.obs.span(&self.obs.append);
         let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
-        with_retry(&self.retry, || wal.append(epoch, delta))
+        self.retried("wal append", || wal.append(epoch, delta))?;
+        self.obs
+            .obs
+            .event_with(EventKind::WalAppend, || format!("epoch {epoch}"));
+        Ok(())
     }
 
     /// Appends a batch of WAL records under one fsync (group commit), with
@@ -269,9 +301,26 @@ impl Store {
         &self,
         records: impl IntoIterator<Item = (u64, &'a TreeDelta)>,
     ) -> Result<(), StoreError> {
+        let _span = self.obs.obs.span(&self.obs.append);
         let records: Vec<(u64, &TreeDelta)> = records.into_iter().collect();
         let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
-        with_retry(&self.retry, || wal.append_all(records.iter().copied()))
+        self.retried("wal append", || wal.append_all(records.iter().copied()))?;
+        self.obs.obs.event_with(EventKind::WalAppend, || {
+            let lo = records.first().map(|(e, _)| *e).unwrap_or(0);
+            let hi = records.last().map(|(e, _)| *e).unwrap_or(0);
+            format!("epochs {lo}..={hi} (group commit)")
+        });
+        Ok(())
+    }
+
+    /// Runs `op` under the store's retry schedule, feeding each retry into
+    /// the retry counter and the flight recorder.
+    fn retried<T>(
+        &self,
+        what: &'static str,
+        op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        with_retry_hook(&self.retry, |attempt| self.obs.retried(what, attempt), op)
     }
 
     /// Cuts the WAL back so no record with epoch `> epoch` remains,
@@ -300,13 +349,14 @@ impl Store {
     pub fn write_snapshot(&self, epoch: u64, export: &EngineExport) -> Result<(), StoreError> {
         // Hold the WAL lock across the whole operation so a concurrent
         // append cannot interleave with the compaction rewrite.
+        let _span = self.obs.obs.span(&self.obs.snapshot);
         let mut wal = self.wal.lock().map_err(|_| StoreError::Poisoned)?;
-        with_retry(&self.retry, || {
+        self.retried("snapshot write", || {
             write_snapshot_with(&self.vfs, &snapshot_path(&self.dir, epoch), epoch, export)
         })?;
         let watermark = self.ship_watermark();
         let through = watermark.map_or(epoch, |w| epoch.min(w));
-        with_retry(&self.retry, || wal.truncate_through(through))?;
+        self.retried("wal compaction", || wal.truncate_through(through))?;
         for old in snapshot_epochs_in(&self.vfs, &self.dir)?
             .into_iter()
             .skip(SNAPSHOTS_RETAINED)
@@ -473,6 +523,7 @@ mod tests {
         StoreOptions {
             vfs: Arc::new(vfs.clone()),
             retry: RetryPolicy::no_delay(3),
+            ..StoreOptions::default()
         }
     }
 

@@ -565,6 +565,7 @@ mod tests {
             StoreOptions {
                 vfs: std::sync::Arc::new(vfs.clone()),
                 retry: crate::RetryPolicy::no_delay(2),
+                ..StoreOptions::default()
             },
         )
         .unwrap();

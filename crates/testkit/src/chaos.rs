@@ -102,6 +102,7 @@ fn options(vfs: &FaultVfs) -> StoreOptions {
     StoreOptions {
         vfs: Arc::new(vfs.clone()),
         retry: RetryPolicy::no_delay(3),
+        ..StoreOptions::default()
     }
 }
 

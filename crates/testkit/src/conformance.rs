@@ -1461,6 +1461,7 @@ pub fn run_seed(seed: u64) -> ConformanceSummary {
     checks += check_persistence(&ti_tree, seed);
     checks += check_sync_shims(&bid_tree, seed);
     checks += crate::replication::check_replication(&bid_tree, seed);
+    checks += crate::observability::check_observability(&bid_tree, seed);
     ConformanceSummary { seed, checks }
 }
 

@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod conformance;
 pub mod fixtures;
+pub mod observability;
 pub mod replication;
 
 /// Absolute tolerance used by all exact-equality conformance checks.

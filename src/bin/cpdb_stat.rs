@@ -1,0 +1,186 @@
+//! `cpdb_stat` — dump a unified metrics snapshot and flight-recorder tail.
+//!
+//! Two modes:
+//!
+//! * **Demo** (default): runs a small full-stack workload — a durable
+//!   engine over the in-memory fault VFS, shipped to a follower through an
+//!   outbox — and prints the metrics and events every layer recorded along
+//!   the way.
+//! * **Offline** (`--store DIR`): warm-starts the engine persisted in
+//!   `DIR` with an observability sink attached, runs a few probe queries,
+//!   and prints what recovery and the probes recorded. Read-only apart
+//!   from the store's own recovery housekeeping.
+//!
+//! Flags: `--store DIR`, `--json`, `--events N` (tail length, default 16).
+
+use consensus_pdb::engine::{ConsensusEngineBuilder, Query, SetMetric, TopKMetric, Variant};
+use consensus_pdb::live::{LiveEngine, TreeDelta};
+use consensus_pdb::obs::{MetricsSnapshot, Obs};
+use consensus_pdb::replica::{Follower, Primary, Transport};
+use consensus_pdb::store::{FaultVfs, RetryPolicy, StoreOptions, Vfs};
+use consensus_pdb::workloads::{random_scored_bid_tree, BidConfig};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    store: Option<String>,
+    json: bool,
+    events: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: None,
+        json: false,
+        events: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                args.store = Some(it.next().ok_or("--store needs a directory")?);
+            }
+            "--json" => args.json = true,
+            "--events" => {
+                let n = it.next().ok_or("--events needs a count")?;
+                args.events = n.parse().map_err(|_| format!("bad --events value {n}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: cpdb_stat [--store DIR] [--json] [--events N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn probes() -> Vec<Query> {
+    vec![
+        Query::SetConsensus {
+            metric: SetMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        },
+        Query::TopK {
+            k: 5,
+            metric: TopKMetric::SymmetricDifference,
+            variant: Variant::Mean,
+        },
+        Query::TopK {
+            k: 5,
+            metric: TopKMetric::Footrule,
+            variant: Variant::Mean,
+        },
+        Query::TopK {
+            k: 3,
+            metric: TopKMetric::Kendall,
+            variant: Variant::Mean,
+        },
+    ]
+}
+
+/// Demo: primary applies and ships a few epochs, a follower tails them,
+/// probe queries run on both — every layer records into one shared sink.
+fn demo(obs: &Obs) -> Result<MetricsSnapshot, Box<dyn std::error::Error>> {
+    let vfs = FaultVfs::new();
+    let options = StoreOptions {
+        vfs: Arc::new(vfs.clone()),
+        retry: RetryPolicy::no_delay(3),
+        obs: obs.clone(),
+    };
+    let tree = random_scored_bid_tree(&BidConfig {
+        num_blocks: 24,
+        seed: 7,
+        ..BidConfig::default()
+    });
+    let engine = ConsensusEngineBuilder::new(tree)
+        .seed(7)
+        .obs(obs.clone())
+        .build()?;
+    let live = LiveEngine::new_durable_with(engine, Path::new("/demo/store"), options.clone())?;
+    let primary = Primary::attach(
+        live,
+        Arc::new(vfs.clone()) as Arc<dyn Vfs>,
+        Path::new("/demo/outbox"),
+    )?;
+    primary.ship()?;
+
+    let leaves = primary.snapshot().tree().leaf_nodes();
+    for i in 0..8usize {
+        primary.apply(&TreeDelta::LeafValue {
+            leaf: leaves[i % leaves.len()],
+            value: 100.0 + i as f64,
+        })?;
+    }
+    primary.ship()?;
+
+    let transport = Transport::new(
+        Arc::new(vfs.clone()) as Arc<dyn Vfs>,
+        Path::new("/demo/outbox"),
+        Arc::new(vfs.clone()) as Arc<dyn Vfs>,
+        Path::new("/demo/inbox"),
+    )?;
+    let mut follower = Follower::open(transport, Path::new("/demo/fstore"), options)?;
+    follower.sync()?;
+
+    for query in probes() {
+        let _ = primary.snapshot().run(&query)?;
+    }
+    // Rerun one probe so the artifact caches show hits next to builds.
+    let _ = primary.snapshot().run(&probes()[1])?;
+    Ok(primary.live().metrics_snapshot())
+}
+
+/// Offline: warm-start the store in `dir` with the sink attached and probe
+/// it, so the dump shows what recovery replayed and what the probes cost.
+fn offline(dir: &str, obs: &Obs) -> Result<MetricsSnapshot, Box<dyn std::error::Error>> {
+    let options = StoreOptions {
+        obs: obs.clone(),
+        ..StoreOptions::default()
+    };
+    let live = LiveEngine::open_with(Path::new(dir), options)?;
+    let snapshot = live.snapshot();
+    for query in probes() {
+        if let Err(e) = snapshot.run(&query) {
+            eprintln!("probe {query:?} failed: {e}");
+        }
+    }
+    Ok(live.metrics_snapshot())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("cpdb_stat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = Obs::enabled();
+    let snapshot = match match &args.store {
+        Some(dir) => offline(dir, &obs),
+        None => demo(&obs),
+    } {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("cpdb_stat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = obs.recent_events(args.events);
+    if args.json {
+        println!("{}", snapshot.to_json());
+    } else {
+        println!("== metrics ==");
+        print!("{}", snapshot.to_text());
+        println!("\n== flight recorder (last {} events) ==", events.len());
+        for event in &events {
+            println!(
+                "#{:>6} +{:>10}µs {:<18} {}",
+                event.seq, event.at_us, event.kind, event.detail
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

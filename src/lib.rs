@@ -26,6 +26,11 @@
 //!   behind a checksummed manifest, verified [`Follower`](replica::Follower)
 //!   replay, divergence detection, and fenced primary failover via
 //!   [`promote`](replica::Follower::promote);
+//! * [`obs`] — unified observability: one [`Obs`](obs::Obs) sink of named
+//!   counters, gauges, and log-scale latency histograms plus a bounded
+//!   flight recorder of engine/store/live/replica events, snapshot-readable
+//!   via [`MetricsSnapshot`](obs::MetricsSnapshot) (see the `cpdb_stat`
+//!   binary);
 //! * [`genfunc`] — polynomial / generating-function engine;
 //! * [`model`] — probabilistic relation models and possible-world semantics;
 //! * [`andxor`] — the probabilistic and/xor tree (including the single-sweep
@@ -85,6 +90,7 @@ pub use cpdb_engine as engine;
 pub use cpdb_genfunc as genfunc;
 pub use cpdb_live as live;
 pub use cpdb_model as model;
+pub use cpdb_obs as obs;
 pub use cpdb_parallel as parallel;
 pub use cpdb_rankagg as rankagg;
 pub use cpdb_replica as replica;
